@@ -1,0 +1,18 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``bench_*`` module regenerates one experiment row of DESIGN.md's
+index (E1-E15).  Benchmarks assert the *shape* of the paper's result
+(who wins, which deciders agree, which dichotomy side a pattern falls
+on) and time the reproducing computation; absolute numbers are ours,
+the shape is the paper's.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+
+def record(benchmark, **info):
+    """Attach experiment metadata to a benchmark entry."""
+    for key, value in info.items():
+        benchmark.extra_info[key] = value

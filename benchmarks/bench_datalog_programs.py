@@ -1,0 +1,93 @@
+"""E1 -- Examples 2.1 / 2.2: the paper's flagship programs.
+
+Regenerates: TC and the w-avoiding-path query computed by the engine,
+with their ground-truth relations, across growing path graphs; plus the
+monotone-but-not-strongly-monotone separation of Section 2.
+"""
+
+import pytest
+
+from _harness import record
+from repro.core.expressibility import is_strongly_monotone_on
+from repro.datalog import evaluate
+from repro.datalog.library import (
+    avoiding_path_program,
+    transitive_closure_program,
+)
+from repro.graphs import DiGraph
+from repro.graphs.generators import path_graph, random_digraph
+
+
+@pytest.mark.parametrize("n", [6, 10, 14])
+def bench_transitive_closure(benchmark, n):
+    structure = path_graph(n).to_structure()
+    program = transitive_closure_program()
+    result = benchmark(lambda: evaluate(program, structure))
+    expected = n * (n - 1) // 2
+    assert len(result.goal_relation) == expected
+    record(benchmark, experiment="E1", nodes=n, tuples=expected)
+
+
+@pytest.mark.parametrize("n", [5, 7, 9])
+def bench_avoiding_path(benchmark, n):
+    structure = random_digraph(n, 0.3, seed=n).to_structure()
+    program = avoiding_path_program()
+    result = benchmark(lambda: evaluate(program, structure))
+    record(
+        benchmark,
+        experiment="E1",
+        nodes=n,
+        tuples=len(result.goal_relation),
+    )
+
+
+def bench_path_systems(benchmark):
+    """Section 1's PTIME-complete plain-Datalog query [Coo74]."""
+    import random
+
+    from repro.datalog.library import path_systems_program, solve_path_system
+    from repro.structures import Structure, Vocabulary
+
+    rng = random.Random(11)
+    nodes = list(range(20))
+    axioms = rng.sample(nodes, 3)
+    rules = [tuple(rng.choice(nodes) for __ in range(3)) for __ in range(40)]
+    voc = Vocabulary({"Axiom": 1, "Rule": 3})
+    structure = Structure(
+        voc, nodes, {"Axiom": [(a,) for a in axioms], "Rule": rules}
+    )
+    program = path_systems_program()
+
+    result = benchmark(lambda: evaluate(program, structure))
+    expected = solve_path_system(nodes, axioms, rules)
+    assert {x for (x,) in result.goal_relation} == set(expected)
+    record(
+        benchmark,
+        experiment="E1",
+        derivable=len(expected),
+        nodes=len(nodes),
+    )
+
+
+def bench_strong_monotonicity_separation(benchmark):
+    """TC survives element identification; w-avoiding path does not --
+    the exact dividing line of Section 2."""
+    g = DiGraph(nodes=["w"], edges=[("v0", "v1"), ("v1", "v2")])
+    s = g.to_structure()
+    tc = transitive_closure_program()
+    avoiding = avoiding_path_program()
+
+    def separation():
+        return (
+            is_strongly_monotone_on(tc, s, "w", "v1"),
+            is_strongly_monotone_on(avoiding, s, "w", "v1"),
+        )
+
+    tc_strong, avoiding_strong = benchmark(separation)
+    assert tc_strong and not avoiding_strong
+    record(
+        benchmark,
+        experiment="E1",
+        tc_strongly_monotone=tc_strong,
+        avoiding_strongly_monotone=avoiding_strong,
+    )

@@ -1,0 +1,90 @@
+"""E11 -- Definition 6.5: the k-pebble game on CNF formulas.
+
+Regenerates the paper's winner table:
+
+    phi satisfiable            ->  II wins every k
+    phi_k (complete formula)   ->  II wins k, I wins k + 1
+    x1 & .. & xk & (~x1|..|~xk) -> I wins with just 2 pebbles
+"""
+
+import pytest
+
+from _harness import record
+from repro.cnf import CnfFormula, complete_formula, pigeonhole_style_formula
+from repro.games.formula_game import (
+    PaperPhiKStrategy,
+    RandomFormulaPlayerOne,
+    run_formula_game,
+    solve_formula_game,
+)
+
+
+@pytest.mark.parametrize("k", [1, 2])
+def bench_phi_k_threshold(benchmark, k):
+    phi = complete_formula(k)
+
+    def winners():
+        return (
+            solve_formula_game(phi, k).player_two_wins,
+            solve_formula_game(phi, k + 1).player_two_wins,
+        )
+
+    at_k, at_k_plus_1 = benchmark(winners)
+    assert at_k and not at_k_plus_1
+    record(
+        benchmark,
+        experiment="E11",
+        formula=f"phi_{k}",
+        player_two_wins_at_k=at_k,
+        player_two_wins_at_k_plus_1=at_k_plus_1,
+    )
+
+
+def bench_pigeonhole_two_pebbles(benchmark):
+    phi = pigeonhole_style_formula(4)
+    result = benchmark(lambda: solve_formula_game(phi, 2))
+    assert not result.player_two_wins
+    record(benchmark, experiment="E11", formula="x1&..&x4&(~x1|..|~x4)", k=2)
+
+
+def bench_satisfiable_formula(benchmark):
+    phi = CnfFormula.parse("x1 | x2; ~x1 | x2; ~x2 | x3")
+    result = benchmark(lambda: solve_formula_game(phi, 3))
+    assert result.player_two_wins
+    record(benchmark, experiment="E11", satisfiable=True, k=3)
+
+
+def bench_optimal_adversary(benchmark):
+    """The solver-extracted Player I beats the phi_k strategy at k+1."""
+    from repro.games.formula_game import OptimalFormulaPlayerOne
+
+    k = 2
+    phi = complete_formula(k)
+    result = solve_formula_game(phi, k + 1)
+
+    def attack():
+        adversary = OptimalFormulaPlayerOne(result, phi)
+        strategy = PaperPhiKStrategy(phi, k + 1)
+        transcript = run_formula_game(phi, k + 1, adversary, strategy, 80)
+        return not transcript.player_two_survived
+
+    assert benchmark(attack)
+    record(benchmark, experiment="E11", k=k, attack_pebbles=k + 1)
+
+
+@pytest.mark.parametrize("k", [2, 3])
+def bench_paper_strategy_simulation(benchmark, k):
+    phi = complete_formula(k)
+
+    def simulate():
+        survived = 0
+        for seed in range(5):
+            strategy = PaperPhiKStrategy(phi, k)
+            adversary = RandomFormulaPlayerOne(phi, k, seed=seed)
+            transcript = run_formula_game(phi, k, adversary, strategy, 80)
+            survived += transcript.player_two_survived
+        return survived
+
+    survived = benchmark(simulate)
+    assert survived == 5
+    record(benchmark, experiment="E11", k=k, survived=survived)

@@ -1,0 +1,40 @@
+"""E5 -- Proposition 5.3: the game solver is polynomial for fixed k.
+
+Regenerates the polynomial-time claim as a runtime series over
+structure size for k = 2: the series should grow polynomially (the
+position space is O((|A| |B|)^k)), not exponentially.
+"""
+
+import pytest
+
+from _harness import record
+from repro.games import solve_existential_game
+from repro.graphs.generators import path_pair_structures
+
+
+@pytest.mark.parametrize("n", [4, 6, 8, 10])
+def bench_solver_scaling_k2(benchmark, n):
+    short, long_ = path_pair_structures(n - 1, n)
+    result = benchmark(lambda: solve_existential_game(short, long_, 2))
+    assert result.winner == "II"
+    record(
+        benchmark,
+        experiment="E5",
+        size=n,
+        k=2,
+        positions=len(result.family) + len(result.ranks),
+    )
+
+
+@pytest.mark.parametrize("k", [1, 2, 3])
+def bench_solver_scaling_in_k(benchmark, k):
+    """The exponential dependence on k (the fixed parameter)."""
+    short, long_ = path_pair_structures(4, 5)
+    result = benchmark(lambda: solve_existential_game(short, long_, k))
+    assert result.winner == "II"
+    record(
+        benchmark,
+        experiment="E5",
+        k=k,
+        positions=len(result.family) + len(result.ranks),
+    )

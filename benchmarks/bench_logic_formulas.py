@@ -1,0 +1,77 @@
+"""E2 -- Examples 3.3 / 3.4: fixed-variable infinitary formulas.
+
+Regenerates: tau_n in two variables on total orders, p_n in three
+variables on graphs, and the "walk length in P" family, with width
+audits certifying the L^2 / L^3 membership the paper states.
+"""
+
+import pytest
+
+from _harness import record
+from repro.datalog.ast import Variable
+from repro.logic import (
+    cardinality_at_least,
+    evaluate_formula,
+    path_formula,
+    path_length_in,
+    variable_width,
+)
+from repro.graphs.generators import path_graph
+from repro.structures import Structure, Vocabulary
+
+
+def total_order(n):
+    voc = Vocabulary({"<": 2})
+    return Structure(
+        voc,
+        range(n),
+        {"<": [(i, j) for i in range(n) for j in range(n) if i < j]},
+    )
+
+
+@pytest.mark.parametrize("n", [4, 8, 12])
+def bench_cardinality_formulas(benchmark, n):
+    structure = total_order(n)
+    formula = cardinality_at_least(n)
+
+    def verdicts():
+        return (
+            evaluate_formula(formula, structure),
+            evaluate_formula(cardinality_at_least(n + 1), structure),
+        )
+
+    at_n, at_n_plus_1 = benchmark(verdicts)
+    assert at_n and not at_n_plus_1
+    assert variable_width(formula) == 2  # Example 3.3: two variables
+    record(benchmark, experiment="E2", n=n, width=2)
+
+
+@pytest.mark.parametrize("n", [3, 6, 9])
+def bench_path_formulas(benchmark, n):
+    structure = path_graph(n + 1).to_structure()
+    formula = path_formula(n)
+    x, y = Variable("x"), Variable("y")
+
+    def verdict():
+        return evaluate_formula(formula, structure, {x: "v0", y: f"v{n}"})
+
+    assert benchmark(verdict)
+    assert variable_width(formula) == 3  # Example 3.4: three variables
+    record(benchmark, experiment="E2", walk_length=n, width=3)
+
+
+def bench_even_walk_family(benchmark):
+    structure = path_graph(7).to_structure()
+    family = path_length_in(lambda n: n % 2 == 0)
+    x, y = Variable("x"), Variable("y")
+
+    def verdicts():
+        expanded = family.expand(structure)
+        return (
+            evaluate_formula(expanded, structure, {x: "v0", y: "v4"}),
+            evaluate_formula(expanded, structure, {x: "v0", y: "v3"}),
+        )
+
+    even, odd = benchmark(verdicts)
+    assert even and not odd
+    record(benchmark, experiment="E2", family="even walk lengths")

@@ -1,0 +1,67 @@
+"""E6 -- Propositions 5.3/5.4 and Theorem 5.5: pattern-based decisions.
+
+Regenerates: the agreement between the embedding decision (Definition
+5.1(3)) and the exact semantics for the even simple path query, and the
+game-based decision procedure that Theorem 5.5 turns into a PTIME
+algorithm for L^k-expressible pattern-based queries.
+"""
+
+import pytest
+
+from _harness import record
+from repro.graphs.generators import random_digraph
+from repro.patterns import (
+    EvenSimplePathQuery,
+    decide_via_embedding,
+    decide_via_game,
+)
+
+
+def _instances(count):
+    query = EvenSimplePathQuery()
+    instances = []
+    for seed in range(count):
+        g = random_digraph(6, 0.3, seed)
+        nodes = sorted(g.nodes)
+        instances.append(
+            g.with_distinguished({"s": nodes[0], "t": nodes[-1]}).to_structure()
+        )
+    return query, instances
+
+
+def bench_embedding_decision(benchmark):
+    query, instances = _instances(6)
+
+    def sweep():
+        return [decide_via_embedding(query, s) for s in instances]
+
+    verdicts = benchmark(sweep)
+    expected = [query.holds_exact(s) for s in instances]
+    assert verdicts == expected
+    record(
+        benchmark,
+        experiment="E6",
+        positives=sum(verdicts),
+        instances=len(instances),
+    )
+
+
+@pytest.mark.parametrize("k", [1, 2])
+def bench_game_decision(benchmark, k):
+    query, instances = _instances(4)
+
+    def sweep():
+        return [decide_via_game(query, s, k) for s in instances]
+
+    game_verdicts = benchmark(sweep)
+    exact = [query.holds_exact(s) for s in instances]
+    # Soundness half of Proposition 5.4: the game never misses a
+    # yes-instance (an embedding is a copying strategy for Player II).
+    assert all(g or not e for g, e in zip(game_verdicts, exact))
+    record(
+        benchmark,
+        experiment="E6",
+        k=k,
+        game_positives=sum(game_verdicts),
+        exact_positives=sum(exact),
+    )

@@ -1,0 +1,56 @@
+"""E4 -- Examples 4.4 / 4.5: the existential pebble games.
+
+Regenerates the paper's winner table:
+
+    (short path, long path), any k  ->  Player II
+    (long path, short path), k >= 2 ->  Player I
+    (disjoint paths, crossed paths), k = 3 -> Player I
+"""
+
+import pytest
+
+from _harness import record
+from repro.games import solve_existential_game
+from repro.graphs.generators import (
+    crossed_paths_structure_pair,
+    path_pair_structures,
+)
+
+
+@pytest.mark.parametrize("k", [1, 2, 3])
+def bench_example_44_forward(benchmark, k):
+    short, long_ = path_pair_structures(3, 6)
+    result = benchmark(lambda: solve_existential_game(short, long_, k))
+    assert result.winner == "II"
+    record(benchmark, experiment="E4", example="4.4 (A,B)", k=k, winner="II")
+
+
+@pytest.mark.parametrize("k", [2, 3])
+def bench_example_44_backward(benchmark, k):
+    short, long_ = path_pair_structures(3, 6)
+    result = benchmark(lambda: solve_existential_game(long_, short, k))
+    assert result.winner == "I"
+    record(benchmark, experiment="E4", example="4.4 (B,A)", k=k, winner="I")
+
+
+def bench_example_45(benchmark):
+    disjoint, crossed = crossed_paths_structure_pair(1)
+    result = benchmark(lambda: solve_existential_game(disjoint, crossed, 3))
+    assert result.winner == "I"  # the paper's 3-pebble win
+    record(benchmark, experiment="E4", example="4.5", k=3, winner="I")
+
+
+def bench_example_45_homomorphism_variant(benchmark):
+    """Remark 4.12: without injectivity the crossing is invisible --
+    Player II just plays the collapsing map."""
+    disjoint, crossed = crossed_paths_structure_pair(1)
+    result = benchmark(
+        lambda: solve_existential_game(disjoint, crossed, 3, injective=False)
+    )
+    assert result.winner == "II"
+    record(
+        benchmark,
+        experiment="E4",
+        example="4.5 homomorphism game",
+        winner="II",
+    )

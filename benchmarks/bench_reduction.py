@@ -1,0 +1,88 @@
+"""E10 -- Figures 2-6: the SAT -> two-disjoint-paths reduction.
+
+Regenerates: the paper's own example instances (Figure 5: x1 | x1,
+Figure 6: x1 & ~x1), the construction sizes of G_{phi_k}, the
+constructive direction (model -> disjoint paths, verified), and the
+exact-oracle refutation on unsatisfiable instances.
+"""
+
+import pytest
+
+from _harness import record
+from repro.cnf import CnfFormula, complete_formula, satisfying_assignment
+from repro.fhw.reduction import (
+    sat_to_disjoint_paths,
+    standard_path_lengths,
+    verify_disjoint_paths,
+)
+from repro.graphs.paths import node_disjoint_simple_paths
+
+
+def bench_figure_5_instance(benchmark):
+    formula = CnfFormula.parse("x1 | x1")
+
+    def build_and_route():
+        instance = sat_to_disjoint_paths(formula)
+        p1, p2 = instance.build_disjoint_paths({"x1": True})
+        return instance, verify_disjoint_paths(instance, p1, p2)
+
+    instance, ok = benchmark(build_and_route)
+    assert ok
+    record(
+        benchmark,
+        experiment="E10",
+        figure=5,
+        nodes=len(instance.graph),
+        satisfiable=True,
+    )
+
+
+def bench_figure_6_instance(benchmark):
+    formula = CnfFormula.parse("x1; ~x1")
+    instance = sat_to_disjoint_paths(formula)
+
+    def refute():
+        return node_disjoint_simple_paths(
+            instance.graph,
+            [
+                (instance.s_node(1), instance.s_node(2)),
+                (instance.s_node(3), instance.s_node(4)),
+            ],
+        )
+
+    assert benchmark(refute) is None
+    record(
+        benchmark,
+        experiment="E10",
+        figure=6,
+        nodes=len(instance.graph),
+        satisfiable=False,
+    )
+
+
+@pytest.mark.parametrize("k", [1, 2, 3])
+def bench_g_phi_k_construction(benchmark, k):
+    formula = complete_formula(k)
+    instance = benchmark(lambda: sat_to_disjoint_paths(formula))
+    lengths = standard_path_lengths(instance)
+    record(
+        benchmark,
+        experiment="E10",
+        k=k,
+        switches=len(instance.switches),
+        nodes=len(instance.graph),
+        standard_lengths=lengths,
+    )
+
+
+def bench_constructive_direction_three_clause(benchmark):
+    formula = CnfFormula.parse("x1 | ~x2; x2 | x3; ~x1 | x3")
+    instance = sat_to_disjoint_paths(formula)
+    model = satisfying_assignment(formula)
+
+    def route():
+        p1, p2 = instance.build_disjoint_paths(model)
+        return verify_disjoint_paths(instance, p1, p2)
+
+    assert benchmark(route)
+    record(benchmark, experiment="E10", nodes=len(instance.graph))

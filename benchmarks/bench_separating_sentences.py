@@ -1,0 +1,80 @@
+"""E16 -- constructive Corollary 4.9 / Proposition 4.2.
+
+Regenerates: extraction of separating L^k sentences from Player I's
+winning strategies (model-checked on both structures, width-audited),
+and the Proposition 4.2 defining-sentence construction over a finite
+universe of graphs.
+"""
+
+import pytest
+
+from _harness import record
+from repro.graphs.generators import (
+    crossed_paths_structure_pair,
+    cycle_graph,
+    path_graph,
+    path_pair_structures,
+    random_digraph,
+)
+from repro.logic import (
+    defining_sentence,
+    evaluate_formula,
+    separating_sentence,
+    variable_width,
+)
+
+
+def bench_example_44_separator(benchmark):
+    short, long_ = path_pair_structures(3, 6)
+    sentence = benchmark(lambda: separating_sentence(long_, short, 2))
+    assert evaluate_formula(sentence, long_)
+    assert not evaluate_formula(sentence, short)
+    assert variable_width(sentence) <= 2
+    record(benchmark, experiment="E16", k=2, width=variable_width(sentence))
+
+
+def bench_example_45_separator(benchmark):
+    disjoint, crossed = crossed_paths_structure_pair(1)
+    sentence = benchmark(lambda: separating_sentence(disjoint, crossed, 3))
+    assert evaluate_formula(sentence, disjoint)
+    assert not evaluate_formula(sentence, crossed)
+    assert variable_width(sentence) <= 3
+    record(benchmark, experiment="E16", k=3, width=variable_width(sentence))
+
+
+def bench_random_separator_sweep(benchmark):
+    def sweep():
+        extracted = 0
+        for seed in range(6):
+            a = random_digraph(4, 0.35, seed).to_structure()
+            b = random_digraph(4, 0.35, seed + 1234).to_structure()
+            sentence = separating_sentence(a, b, 2)
+            if sentence is None:
+                continue
+            assert evaluate_formula(sentence, a)
+            assert not evaluate_formula(sentence, b)
+            extracted += 1
+        return extracted
+
+    extracted = benchmark(sweep)
+    record(benchmark, experiment="E16", separators=extracted, pairs=6)
+
+
+def bench_proposition_42_definability(benchmark):
+    universe = [
+        path_graph(2).to_structure(),
+        path_graph(4).to_structure(),
+        cycle_graph(3).to_structure(),
+        cycle_graph(4).to_structure(),
+    ]
+    members = [2, 3]
+
+    def define_and_check():
+        sentence = defining_sentence(universe, members, 2)
+        return [
+            evaluate_formula(sentence, structure) for structure in universe
+        ]
+
+    verdicts = benchmark(define_and_check)
+    assert verdicts == [False, False, True, True]
+    record(benchmark, experiment="E16", universe=len(universe))

@@ -1,0 +1,36 @@
+"""E9 -- Figure 1 / Lemma 6.4: the switch gadget.
+
+Regenerates: the exhaustive verification that the reconstructed switch
+satisfies every property the reduction uses -- the disjoint-pair
+dichotomy, the unique third path, the brand couplings, and the equal
+path lengths Theorem 6.6 needs.
+"""
+
+from _harness import record
+from repro.fhw.switch import build_switch, check_switch_lemma, passing_paths
+
+
+def bench_lemma_64_verification(benchmark):
+    switch = build_switch()
+    report = benchmark(lambda: check_switch_lemma(switch))
+    assert report.holds
+    record(
+        benchmark,
+        experiment="E9",
+        pair_condition=report.pair_condition,
+        third_path_unique=report.third_path_unique,
+        equal_lengths=report.equal_lengths,
+    )
+
+
+def bench_passing_path_enumeration(benchmark):
+    switch = build_switch()
+    paths = benchmark(lambda: list(passing_paths(switch)))
+    named = set(switch.paths().named().values())
+    assert named <= set(paths)
+    record(
+        benchmark,
+        experiment="E9",
+        passing_paths=len(paths),
+        named_paths=len(named),
+    )

@@ -1,0 +1,73 @@
+"""E7 -- Theorem 6.1: class-C patterns are Datalog(!=)-expressible.
+
+Regenerates: for out-star patterns (k = 2, 3) and the self-loop
+variants, the generated program's verdicts versus the FHW flow
+algorithm and the exact embedding oracle, across random instances --
+the three columns must agree everywhere.
+"""
+
+import random
+
+import pytest
+
+from _harness import record
+from repro.datalog.homeo import class_c_program
+from repro.fhw.homeomorphism import (
+    homeomorphic_via_flow,
+    is_homeomorphic_to_distinguished_subgraph,
+)
+from repro.graphs import DiGraph
+from repro.graphs.generators import random_digraph
+
+PATTERNS = {
+    "out-star-2": DiGraph(edges=[("r", "u1"), ("r", "u2")]),
+    "in-star-2": DiGraph(edges=[("u1", "r"), ("u2", "r")]),
+    "loop-plus-out": DiGraph(edges=[("r", "r"), ("r", "u1")]),
+}
+
+
+@pytest.mark.parametrize("name", sorted(PATTERNS))
+def bench_three_deciders_agree(benchmark, name):
+    pattern = PATTERNS[name]
+    query = class_c_program(pattern)
+    rng = random.Random(99)
+    pattern_nodes = sorted(pattern.nodes, key=repr)
+    cases = []
+    for seed in range(3):
+        g = random_digraph(6, 0.3, seed, loops=("loop" in name))
+        nodes = sorted(g.nodes)
+        for __ in range(4):
+            cases.append(
+                (g, dict(zip(pattern_nodes, rng.sample(nodes, len(pattern_nodes)))))
+            )
+
+    def datalog_sweep():
+        return [query.decide(g, assignment) for g, assignment in cases]
+
+    datalog = benchmark(datalog_sweep)
+    flow = [homeomorphic_via_flow(pattern, g, a) for g, a in cases]
+    exact = [
+        is_homeomorphic_to_distinguished_subgraph(pattern, g, a)
+        for g, a in cases
+    ]
+    assert datalog == flow == exact
+    record(
+        benchmark,
+        experiment="E7",
+        pattern=name,
+        cases=len(cases),
+        positives=sum(exact),
+    )
+
+
+def bench_program_size_growth(benchmark):
+    """The Q_{k,0} program family: rule count grows linearly in k."""
+    from repro.datalog.library import q_program
+
+    def sizes():
+        return [len(q_program(k, 0)) for k in (1, 2, 3, 4)]
+
+    rule_counts = benchmark(sizes)
+    assert rule_counts == sorted(rule_counts)
+    assert rule_counts[0] == 2
+    record(benchmark, experiment="E7", rule_counts=rule_counts)

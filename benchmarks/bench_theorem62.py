@@ -1,0 +1,102 @@
+"""E8 -- Theorem 6.2: every pattern is Datalog(!=)-expressible on DAGs.
+
+Regenerates: on random layered DAGs, the four-way agreement between the
+exact embedding oracle, the two-player game, the level-scheduled
+solitaire game, and the generated Datalog(!=) game program -- for H1
+(outside class C!) and H2.
+"""
+
+import random
+
+import pytest
+
+from _harness import record
+from repro.datalog.homeo import acyclic_game_program
+from repro.fhw.homeomorphism import is_homeomorphic_to_distinguished_subgraph
+from repro.fhw.pattern_class import pattern_h1, pattern_h2
+from repro.games.acyclic import acyclic_game_winner
+from repro.games.solitaire import solitaire_game_solvable
+from repro.graphs.generators import layered_random_dag
+
+PATTERNS = {"H1": pattern_h1, "H2": pattern_h2}
+
+
+def _cases(pattern, count=10, seed0=0):
+    rng = random.Random(13)
+    pattern_nodes = sorted(pattern.nodes, key=repr)
+    cases = []
+    for seed in range(seed0, seed0 + 2):
+        dag = layered_random_dag(4, 3, 0.5, seed)
+        nodes = sorted(dag.nodes)
+        for __ in range(count // 2):
+            cases.append(
+                (dag, dict(zip(pattern_nodes, rng.sample(nodes, len(pattern_nodes)))))
+            )
+    return cases
+
+
+@pytest.mark.parametrize("name", sorted(PATTERNS))
+def bench_datalog_game_program(benchmark, name):
+    pattern = PATTERNS[name]()
+    query = acyclic_game_program(pattern)
+    cases = _cases(pattern)
+
+    def sweep():
+        return [query.decide(g, a) for g, a in cases]
+
+    datalog = benchmark(sweep)
+    exact = [
+        is_homeomorphic_to_distinguished_subgraph(pattern, g, a)
+        for g, a in cases
+    ]
+    game = [acyclic_game_winner(g, pattern, a) == "II" for g, a in cases]
+    solitaire = [solitaire_game_solvable(g, pattern, a) for g, a in cases]
+    assert datalog == exact == game == solitaire
+    record(
+        benchmark,
+        experiment="E8",
+        pattern=name,
+        cases=len(cases),
+        positives=sum(exact),
+    )
+
+
+def bench_embedding_extraction(benchmark):
+    """Theorem 6.2's proof direction: winning plays trace the embedding."""
+    from repro.games.acyclic import extract_embedding_from_game
+
+    pattern = pattern_h1()
+    cases = _cases(pattern, count=8, seed0=3)
+
+    def sweep():
+        extracted = 0
+        for g, assignment in cases:
+            paths = extract_embedding_from_game(g, pattern, assignment)
+            exists = is_homeomorphic_to_distinguished_subgraph(
+                pattern, g, assignment
+            )
+            assert (paths is not None) == exists
+            extracted += paths is not None
+        return extracted
+
+    extracted = benchmark(sweep)
+    record(
+        benchmark, experiment="E8", embeddings=extracted, cases=len(cases)
+    )
+
+
+def bench_game_solver(benchmark):
+    pattern = pattern_h1()
+    cases = _cases(pattern, count=12, seed0=5)
+
+    def sweep():
+        return [acyclic_game_winner(g, pattern, a) for g, a in cases]
+
+    winners = benchmark(sweep)
+    assert set(winners) <= {"I", "II"}
+    record(
+        benchmark,
+        experiment="E8",
+        player_two_wins=winners.count("II"),
+        cases=len(cases),
+    )

@@ -1,0 +1,101 @@
+"""E12 -- Theorem 6.6: the H1 query is not expressible in L^omega.
+
+Regenerates the certificate per k: A_k satisfies the query, B_k =
+G_{phi_k} falsifies it (exact oracle at k = 1; unsatisfiability of
+phi_k beyond), and the proof's Player II strategy survives adversarial
+existential k-pebble play -- while k + 1 pebbles defeat it.
+"""
+
+import pytest
+
+from _harness import record
+from repro.cnf.assignments import InconsistentAssignment
+from repro.core import theorem_66_certificate
+from repro.fhw.reduction import ClauseSlot, ColumnSlot
+from repro.games.simulate import (
+    PlaceMove,
+    RandomPlayerOne,
+    ScriptedPlayerOne,
+    run_existential_game,
+)
+from repro.graphs.paths import node_disjoint_simple_paths
+
+
+@pytest.mark.parametrize("k", [1, 2, 3])
+def bench_certificate_construction(benchmark, k):
+    cert = benchmark(lambda: theorem_66_certificate(k))
+    record(
+        benchmark,
+        experiment="E12",
+        k=k,
+        a_nodes=len(cert.a),
+        b_nodes=len(cert.b),
+    )
+
+
+@pytest.mark.parametrize("k", [1, 2, 3])
+def bench_strategy_survival(benchmark, k):
+    cert = theorem_66_certificate(k)
+
+    def simulate():
+        survived = 0
+        for seed in range(8):
+            transcript = run_existential_game(
+                cert.a, cert.b, k,
+                RandomPlayerOne(cert.a, seed=seed),
+                cert.fresh_strategy(), rounds=150,
+            )
+            survived += transcript.player_two_survived
+        return survived
+
+    survived = benchmark(simulate)
+    assert survived == 8
+    record(benchmark, experiment="E12", k=k, survived=f"{survived}/8")
+
+
+def bench_b_side_refutation(benchmark):
+    cert = theorem_66_certificate(1)
+    d = cert.b_graph.distinguished
+
+    def refute():
+        return node_disjoint_simple_paths(
+            cert.b_graph, [(d["s1"], d["s2"]), (d["s3"], d["s4"])]
+        )
+
+    assert benchmark(refute) is None
+    record(benchmark, experiment="E12", b_nodes=len(cert.b))
+
+
+def bench_threshold_attack(benchmark):
+    """k + 1 pebbles corner the strategy (the bound is tight)."""
+    k = 2
+    cert = theorem_66_certificate(k)
+    instance = cert.fresh_strategy().instance
+    slots = instance.p2_slots()
+    moves = []
+    for pebble, variable in enumerate(instance.formula.variables):
+        index = next(
+            i for i, slot in enumerate(slots)
+            if isinstance(slot, ColumnSlot) and slot.variable == variable
+        )
+        moves.append(PlaceMove(pebble, ("q", index)))
+    target = len(instance.formula.clauses) - 1
+    index = next(
+        i for i, slot in enumerate(slots)
+        if isinstance(slot, ClauseSlot) and slot.clause_index == target
+    )
+    moves.append(PlaceMove(k, ("q", index)))
+
+    def attack():
+        strategy = cert.fresh_strategy()
+        try:
+            transcript = run_existential_game(
+                cert.a, cert.b, k + 1,
+                ScriptedPlayerOne(moves), strategy, rounds=len(moves),
+            )
+            return not transcript.player_two_survived
+        except InconsistentAssignment:
+            return True
+
+    assert benchmark(attack)
+    record(benchmark, experiment="E12", k=k, attack_pebbles=k + 1)

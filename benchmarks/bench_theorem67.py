@@ -1,0 +1,93 @@
+"""E13 -- Theorem 6.7 and Lemma 6.3: the whole complement of C.
+
+Regenerates: the H2 / H3 certificates (endpoint identifications of the
+Theorem 6.6 structures) with exact-oracle side checks at k = 1 and
+adversarial strategy survival, plus a Lemma 6.3 lift to a superpattern.
+"""
+
+import pytest
+
+from _harness import record
+from repro.core import h2_certificate, h3_certificate, lift_certificate, theorem_66_certificate
+from repro.fhw.pattern_class import pattern_h1
+from repro.games.simulate import RandomPlayerOne, run_existential_game
+from repro.graphs.paths import node_disjoint_simple_paths
+
+FACTORIES = {"H2": h2_certificate, "H3": h3_certificate}
+
+
+@pytest.mark.parametrize("name", sorted(FACTORIES))
+def bench_certificate_sides(benchmark, name):
+    cert = FACTORIES[name](1)
+    d_a = cert.a_graph.distinguished
+    d_b = cert.b_graph.distinguished
+    if name == "H2":
+        a_pairs = [(d_a["s1"], d_a["s2"]), (d_a["s2"], d_a["s3"])]
+        b_pairs = [(d_b["s1"], d_b["s2"]), (d_b["s2"], d_b["s3"])]
+    else:
+        a_pairs = [(d_a["s1"], d_a["s2"]), (d_a["s2"], d_a["s1"])]
+        b_pairs = [(d_b["s1"], d_b["s2"]), (d_b["s2"], d_b["s1"])]
+
+    def sides():
+        return (
+            node_disjoint_simple_paths(cert.a_graph, a_pairs) is not None,
+            node_disjoint_simple_paths(cert.b_graph, b_pairs) is not None,
+        )
+
+    a_holds, b_holds = benchmark(sides)
+    assert a_holds and not b_holds
+    record(
+        benchmark,
+        experiment="E13",
+        pattern=name,
+        a_nodes=len(cert.a),
+        b_nodes=len(cert.b),
+    )
+
+
+@pytest.mark.parametrize("name", sorted(FACTORIES))
+@pytest.mark.parametrize("k", [1, 2])
+def bench_strategy_survival(benchmark, name, k):
+    cert = FACTORIES[name](k)
+
+    def simulate():
+        survived = 0
+        for seed in range(6):
+            transcript = run_existential_game(
+                cert.a, cert.b, k,
+                RandomPlayerOne(cert.a, seed=seed),
+                cert.fresh_strategy(), rounds=120,
+            )
+            survived += transcript.player_two_survived
+        return survived
+
+    survived = benchmark(simulate)
+    assert survived == 6
+    record(benchmark, experiment="E13", pattern=name, k=k)
+
+
+def bench_lemma_63_lift(benchmark):
+    base = theorem_66_certificate(1)
+    sub = pattern_h1()
+    super_pattern = sub.add_edges([("s2", "s5")])
+    d_a, d_b = base.a_graph.distinguished, base.b_graph.distinguished
+    anchors_a = {n: d_a[n] for n in ("s1", "s2", "s3", "s4")}
+    anchors_b = {n: d_b[n] for n in ("s1", "s2", "s3", "s4")}
+
+    def lift_and_play():
+        lifted = lift_certificate(base, sub, super_pattern, anchors_a, anchors_b)
+        transcript = run_existential_game(
+            lifted.a, lifted.b, 1,
+            RandomPlayerOne(lifted.a, seed=0),
+            lifted.fresh_strategy(), rounds=100,
+        )
+        return lifted, transcript.player_two_survived
+
+    lifted, survived = benchmark(lift_and_play)
+    assert survived
+    record(
+        benchmark,
+        experiment="E13",
+        lifted_pattern=lifted.pattern_name,
+        a_nodes=len(lifted.a),
+    )

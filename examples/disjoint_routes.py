@@ -1,0 +1,78 @@
+"""Scenario: vertex-disjoint routing in a data-centre fabric (Theorem 6.1).
+
+A controller wants k vertex-disjoint paths from an ingress switch to k
+egress switches (so one failed middlebox never cuts two routes).  That
+is exactly the H-subgraph homeomorphism query for the out-star pattern
+-- a class-C pattern -- which the paper proves expressible in
+Datalog(!=).  This example runs all three deciders on a random fabric
+and shows they agree:
+
+* the generated Datalog(!=) program of Theorem 6.1 (``Q_{k,0}``);
+* the FHW polynomial algorithm (max flow / Menger);
+* the exact exponential embedding search (ground truth).
+
+Run:  python examples/disjoint_routes.py
+"""
+
+import itertools
+import random
+
+from repro.core import classify_query
+from repro.datalog.homeo import class_c_program
+from repro.fhw.homeomorphism import (
+    homeomorphic_via_flow,
+    is_homeomorphic_to_distinguished_subgraph,
+)
+from repro.flow import max_node_disjoint_paths, separating_nodes
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import random_digraph
+
+
+def main() -> None:
+    k = 2
+    star = DiGraph(edges=[("root", f"leaf{i}") for i in range(1, k + 1)])
+
+    classification = classify_query(star)
+    print(f"Pattern: out-star with {k} leaves")
+    print(f"  in class C: {classification.in_class_c}")
+    print(f"  complexity: {classification.complexity}")
+    print(f"  general inputs: {classification.general_inputs}")
+
+    query = class_c_program(star)
+    print(f"\nGenerated program ({len(query.program)} rules, "
+          f"goal {query.program.goal}):")
+    for rule in query.program.rules:
+        print(f"  {rule}")
+
+    fabric = random_digraph(9, 0.22, seed=7)
+    nodes = sorted(fabric.nodes)
+    rng = random.Random(1)
+    print(f"\nFabric: {len(fabric)} switches, {fabric.number_of_edges()} links")
+
+    agreements = 0
+    routable = 0
+    for trial in range(8):
+        ingress, *egress = rng.sample(nodes, k + 1)
+        assignment = dict(zip(query.goal_argument_nodes, [ingress, *egress]))
+        datalog_says = query.decide(fabric, assignment)
+        flow_says = homeomorphic_via_flow(star, fabric, assignment)
+        exact_says = is_homeomorphic_to_distinguished_subgraph(
+            star, fabric, assignment
+        )
+        agreements += datalog_says == flow_says == exact_says
+        routable += exact_says
+        verdict = "routable" if exact_says else "NOT routable"
+        print(f"  {ingress} -> {egress}: {verdict} "
+              f"(datalog={datalog_says}, flow={flow_says}, exact={exact_says})")
+        if not exact_says:
+            cut = separating_nodes(fabric, ingress, egress)
+            print(f"    separating middleboxes (Menger): {sorted(cut)}")
+        else:
+            __, paths = max_node_disjoint_paths(fabric, ingress, egress)
+            for path in paths:
+                print(f"    route: {' -> '.join(str(v) for v in path)}")
+    print(f"\nAll three deciders agreed on {agreements}/8 trials")
+
+
+if __name__ == "__main__":
+    main()

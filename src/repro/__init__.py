@@ -1,0 +1,23 @@
+"""Reproduction of Kolaitis & Vardi (PODS 1990).
+
+``repro`` implements, end to end, the systems described in *On the
+Expressive Power of Datalog: Tools and a Case Study*:
+
+* :mod:`repro.structures` -- finite relational structures and homomorphisms;
+* :mod:`repro.graphs` -- directed graphs, paths, and generators;
+* :mod:`repro.flow` -- max-flow/min-cut with node capacities (Menger);
+* :mod:`repro.cnf` -- CNF formulas and satisfiability;
+* :mod:`repro.datalog` -- the Datalog(!=) language and its fixpoint engine;
+* :mod:`repro.logic` -- the existential positive infinitary fragment L^k;
+* :mod:`repro.games` -- existential k-pebble games and their solvers;
+* :mod:`repro.fhw` -- the Fortune-Hopcroft-Wyllie gadgets and reduction;
+* :mod:`repro.patterns` -- pattern-based queries (Definition 5.1);
+* :mod:`repro.core` -- the dichotomy classification and the paper's
+  positive/negative expressibility results as an API.
+
+The public API of each subpackage is re-exported from its ``__init__``.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,387 @@
+"""Command-line interface: the paper's toolbox from a shell.
+
+Subcommands
+-----------
+
+* ``repro run PROGRAM GRAPH`` -- evaluate a Datalog(!=) program file on
+  a graph file and print the goal relation (or check one tuple).
+* ``repro game A B K`` -- decide the existential K-pebble game on two
+  graph files, optionally extracting a separating L^K sentence.
+* ``repro classify PATTERN`` -- the FHW/Kolaitis-Vardi dichotomy row for
+  a pattern graph, optionally printing the generated program.
+* ``repro homeo PATTERN GRAPH --assign h=g ...`` -- decide a fixed
+  subgraph homeomorphism instance with the exact oracle (and the flow
+  algorithm / game program where applicable).
+* ``repro reduce CNF`` -- build the SAT reduction graph G_phi from a
+  DIMACS file; optionally write it out or route a model's paths.
+* ``repro certificate K`` -- build a Theorem 6.6/6.7 certificate and
+  simulate adversarial play against the proof's Player II strategy.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.cnf.sat import satisfying_assignment
+from repro.datalog.evaluation import evaluate
+from repro.graphs.digraph import DiGraph
+from repro.io import (
+    dump_digraph,
+    load_cnf,
+    load_digraph,
+    load_program,
+)
+
+
+def _parse_assignment(pairs: Sequence[str]) -> dict[str, str]:
+    assignment = {}
+    for pair in pairs:
+        name, sep, value = pair.partition("=")
+        if not sep or not name or not value:
+            raise SystemExit(f"malformed assignment {pair!r}; use name=node")
+        assignment[name] = value
+    return assignment
+
+
+# ---------------------------------------------------------------------------
+# Subcommand implementations
+# ---------------------------------------------------------------------------
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    program = load_program(args.program, goal=args.goal)
+    graph = load_digraph(args.graph)
+    if args.engine == "algebra":
+        from repro.datalog.algebra_engine import evaluate_algebra
+
+        result = evaluate_algebra(program, graph.to_structure())
+    else:
+        result = evaluate(
+            program, graph.to_structure(), method=args.engine
+        )
+    if args.check is not None:
+        tuple_ = tuple(args.check)
+        verdict = result.holds(tuple_)
+        print(f"{program.goal}{tuple_!r}: {verdict}")
+        return 0 if verdict else 1
+    rows = sorted(result.goal_relation, key=repr)
+    print(f"% {program.goal}: {len(rows)} tuples "
+          f"({result.iterations} fixpoint rounds)")
+    for row in rows:
+        print("\t".join(str(x) for x in row))
+    return 0
+
+
+def _cmd_game(args: argparse.Namespace) -> int:
+    from repro.games.existential import solve_existential_game
+
+    a = load_digraph(args.a).to_structure()
+    b = load_digraph(args.b).to_structure()
+    result = solve_existential_game(
+        a, b, args.k, injective=not args.homomorphism
+    )
+    flavour = "homomorphism" if args.homomorphism else "existential"
+    print(f"{flavour} {args.k}-pebble game: Player {result.winner} wins")
+    if result.player_two_wins:
+        print(f"winning family: {len(result.family)} positions")
+    elif args.separate:
+        from repro.logic.evaluation import evaluate_formula
+        from repro.logic.separating import separating_sentence
+        from repro.logic.simplify import simplify_formula
+
+        sentence = simplify_formula(
+            separating_sentence(
+                a, b, args.k, injective=not args.homomorphism
+            )
+        )
+        assert evaluate_formula(sentence, a)
+        assert not evaluate_formula(sentence, b)
+        note = (
+            " (inequality-free: Datalog fragment)"
+            if args.homomorphism
+            else ""
+        )
+        print(f"separating L^{args.k} sentence{note} "
+              "(true in A, false in B):")
+        print(f"  {sentence}")
+    return 0 if result.player_two_wins else 1
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    from repro.core.dichotomy import classify_query
+
+    pattern = load_digraph(args.pattern)
+    row = classify_query(pattern)
+    print(f"pattern: {len(row.pattern)} nodes, "
+          f"{row.pattern.number_of_edges()} edges")
+    print(f"class C: {row.in_class_c}")
+    print(f"complexity: {row.complexity}")
+    print(f"general inputs: {row.general_inputs}")
+    print(f"acyclic inputs: {row.acyclic_inputs}")
+    if args.program:
+        query = (
+            row.general_program() if row.in_class_c else row.acyclic_program()
+        )
+        kind = "Theorem 6.1" if row.in_class_c else "Theorem 6.2 (DAG inputs)"
+        print(f"\n% generated {kind} program, goal {query.program.goal}:")
+        print(query.program)
+    return 0
+
+
+def _cmd_homeo(args: argparse.Namespace) -> int:
+    from repro.core.dichotomy import classify_query
+    from repro.fhw.homeomorphism import (
+        homeomorphic_via_flow,
+        is_homeomorphic_to_distinguished_subgraph,
+    )
+    from repro.graphs.acyclic import is_acyclic
+
+    pattern = load_digraph(args.pattern)
+    graph = load_digraph(args.graph)
+    assignment = _parse_assignment(args.assign)
+    verdict = is_homeomorphic_to_distinguished_subgraph(
+        pattern, graph, assignment
+    )
+    print(f"exact: {verdict}")
+    row = classify_query(pattern)
+    if row.in_class_c:
+        print(f"flow (Theorem 6.1): "
+              f"{homeomorphic_via_flow(pattern, graph, assignment)}")
+    if is_acyclic(graph):
+        from repro.games.acyclic import acyclic_game_winner
+
+        winner = acyclic_game_winner(graph, pattern, assignment)
+        print(f"two-player game (Theorem 6.2): Player {winner} "
+              f"({'yes' if winner == 'II' else 'no'})")
+    return 0 if verdict else 1
+
+
+def _cmd_reduce(args: argparse.Namespace) -> int:
+    from repro.fhw.reduction import (
+        sat_to_disjoint_paths,
+        verify_disjoint_paths,
+    )
+
+    formula = load_cnf(args.cnf)
+    instance = sat_to_disjoint_paths(formula)
+    graph = instance.graph
+    print(f"formula: {len(formula.variables)} variables, "
+          f"{len(formula.clauses)} clauses, "
+          f"{len(instance.switches)} literal occurrences")
+    print(f"G_phi: {len(graph)} nodes, {graph.number_of_edges()} edges, "
+          f"distinguished s1..s4")
+    model = satisfying_assignment(formula)
+    if model is None:
+        print("formula is UNSATISFIABLE: G_phi has no disjoint path pair")
+    else:
+        p1, p2 = instance.build_disjoint_paths(model)
+        assert verify_disjoint_paths(instance, p1, p2)
+        print(f"formula is SATISFIABLE: routed disjoint paths of "
+              f"{len(p1)} and {len(p2)} nodes")
+    if args.output:
+        relabelled = graph.relabel(lambda node: repr(node).replace(" ", ""))
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(dump_digraph(relabelled))
+        print(f"wrote {args.output}")
+    if args.dot:
+        from repro.io.dot import reduction_to_dot
+
+        with open(args.dot, "w", encoding="utf-8") as handle:
+            handle.write(reduction_to_dot(instance, model))
+        print(f"wrote {args.dot}")
+    return 0
+
+
+def _cmd_selfcheck(args: argparse.Namespace) -> int:
+    """A quick battery of the reproduction's keystone checks."""
+    from repro.cnf import CnfFormula, complete_formula, is_satisfiable
+    from repro.core import theorem_66_certificate, verify_certificate
+    from repro.fhw.reduction import sat_to_disjoint_paths, verify_disjoint_paths
+    from repro.fhw.switch import build_switch, check_switch_lemma
+    from repro.games import solve_existential_game
+    from repro.games.formula_game import solve_formula_game
+    from repro.graphs.generators import path_pair_structures
+
+    failures = 0
+
+    def check(label: str, outcome: bool) -> None:
+        nonlocal failures
+        print(f"  [{'PASS' if outcome else 'FAIL'}] {label}")
+        failures += not outcome
+
+    print("switch gadget (Figure 1 / Lemma 6.4):")
+    check("all Lemma 6.4 properties", check_switch_lemma(build_switch()).holds)
+
+    print("reduction (Figures 2-6):")
+    sat = sat_to_disjoint_paths(CnfFormula.parse("x1 | x1"))
+    p1, p2 = sat.build_disjoint_paths({"x1": True})
+    check("Figure 5 routes disjoint paths", verify_disjoint_paths(sat, p1, p2))
+    check("phi_2 unsatisfiable", not is_satisfiable(complete_formula(2)))
+
+    print("pebble games (Example 4.4):")
+    short, long_ = path_pair_structures(3, 6)
+    check("II wins (short, long)",
+          solve_existential_game(short, long_, 2).winner == "II")
+    check("I wins (long, short)",
+          solve_existential_game(long_, short, 2).winner == "I")
+
+    print("formula game (Definition 6.5):")
+    check("II wins k on phi_2", solve_formula_game(complete_formula(2), 2).player_two_wins)
+    check("I wins k+1 on phi_2",
+          not solve_formula_game(complete_formula(2), 3).player_two_wins)
+
+    print("Theorem 6.6 certificate:")
+    report = verify_certificate(
+        theorem_66_certificate(1), seeds=4, rounds=80
+    )
+    check("Player II strategy survives", report.all_survived)
+
+    print("all checks passed" if failures == 0 else f"{failures} FAILURES")
+    return 0 if failures == 0 else 1
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    from repro.core.dichotomy import dichotomy_table, pattern_catalogue
+
+    names = sorted(pattern_catalogue())
+    rows = dichotomy_table()
+    width = max(len(name) for name in names)
+    print(f"{'pattern':<{width}}  {'class C':<8} {'complexity':<30} "
+          "general inputs")
+    for name, row in zip(names, rows):
+        print(f"{name:<{width}}  {str(row.in_class_c):<8} "
+              f"{row.complexity:<30} {row.general_inputs}")
+    print("\nall patterns: expressible in Datalog(!=) on acyclic inputs "
+          "(Theorem 6.2)")
+    return 0
+
+
+def _cmd_certificate(args: argparse.Namespace) -> int:
+    from repro.core import (
+        even_simple_path_certificate,
+        h2_certificate,
+        h3_certificate,
+        theorem_66_certificate,
+    )
+    factories = {
+        "H1": theorem_66_certificate,
+        "H2": h2_certificate,
+        "H3": h3_certificate,
+        "esp": even_simple_path_certificate,
+    }
+    from repro.core import verify_certificate
+
+    cert = factories[args.pattern](args.k)
+    print(f"certificate against L^{args.k} for {cert.pattern_name}:")
+    print(f"  A: {len(cert.a)} nodes (satisfies the query)")
+    print(f"  B: {len(cert.b)} nodes (falsifies the query)")
+    report = verify_certificate(
+        cert, seeds=args.simulate, rounds=args.rounds
+    )
+    print(f"  Player II survived {report.survived}/{report.total} "
+          f"adversarial schedules of {report.rounds} rounds")
+    return 0 if report.all_survived else 1
+
+
+# ---------------------------------------------------------------------------
+# Argument parsing
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Kolaitis-Vardi (PODS 1990) reproduction toolbox",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="evaluate a Datalog(!=) program")
+    run.add_argument("program", help="program file (% goal: directive)")
+    run.add_argument("graph", help="graph file")
+    run.add_argument("--goal", help="override the goal predicate")
+    run.add_argument(
+        "--check", nargs="*", metavar="NODE",
+        help="test one tuple instead of printing the relation",
+    )
+    run.add_argument(
+        "--engine", choices=["seminaive", "naive", "algebra"],
+        default="seminaive", help="evaluation engine",
+    )
+    run.set_defaults(func=_cmd_run)
+
+    game = sub.add_parser("game", help="solve an existential pebble game")
+    game.add_argument("a", help="graph file for structure A")
+    game.add_argument("b", help="graph file for structure B")
+    game.add_argument("k", type=int, help="number of pebbles")
+    game.add_argument(
+        "--homomorphism", action="store_true",
+        help="play the inequality-free (Datalog) variant",
+    )
+    game.add_argument(
+        "--separate", action="store_true",
+        help="when Player I wins, print a separating L^k sentence",
+    )
+    game.set_defaults(func=_cmd_game)
+
+    classify = sub.add_parser("classify", help="dichotomy row for a pattern")
+    classify.add_argument("pattern", help="pattern graph file")
+    classify.add_argument(
+        "--program", action="store_true",
+        help="print the generated Datalog(!=) program",
+    )
+    classify.set_defaults(func=_cmd_classify)
+
+    homeo = sub.add_parser("homeo", help="decide a homeomorphism instance")
+    homeo.add_argument("pattern", help="pattern graph file")
+    homeo.add_argument("graph", help="input graph file")
+    homeo.add_argument(
+        "--assign", nargs="+", required=True, metavar="PATTERN=NODE",
+        help="pattern-node to graph-node assignment",
+    )
+    homeo.set_defaults(func=_cmd_homeo)
+
+    reduce_ = sub.add_parser("reduce", help="build G_phi from DIMACS CNF")
+    reduce_.add_argument("cnf", help="DIMACS CNF file")
+    reduce_.add_argument("--output", help="write G_phi as a graph file")
+    reduce_.add_argument(
+        "--dot",
+        help="write G_phi as Graphviz DOT (routed paths highlighted when "
+        "the formula is satisfiable)",
+    )
+    reduce_.set_defaults(func=_cmd_reduce)
+
+    table = sub.add_parser(
+        "table", help="print the full dichotomy table (experiment E15)"
+    )
+    table.set_defaults(func=_cmd_table)
+
+    selfcheck = sub.add_parser(
+        "selfcheck", help="run the reproduction's keystone checks"
+    )
+    selfcheck.set_defaults(func=_cmd_selfcheck)
+
+    certificate = sub.add_parser(
+        "certificate", help="build and exercise an inexpressibility certificate"
+    )
+    certificate.add_argument("k", type=int, help="pebble count to certify against")
+    certificate.add_argument(
+        "--pattern", choices=["H1", "H2", "H3", "esp"], default="H1"
+    )
+    certificate.add_argument("--simulate", type=int, default=5)
+    certificate.add_argument("--rounds", type=int, default=120)
+    certificate.set_defaults(func=_cmd_certificate)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

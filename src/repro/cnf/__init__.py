@@ -1,0 +1,31 @@
+"""CNF formulas, extended truth assignments, and satisfiability.
+
+Section 6.2 of the paper reduces SATISFIABILITY to the two-disjoint-paths
+query and then plays k-pebble games *on Boolean formulas* (Definition
+6.5).  This subpackage supplies the formulas, the "extended" truth
+assignments over literals used by those games, a DPLL satisfiability
+checker for ground truth, and the complete formula phi_k.
+"""
+
+from repro.cnf.assignments import ExtendedAssignment, InconsistentAssignment
+from repro.cnf.formulas import (
+    CnfFormula,
+    Clause,
+    Literal,
+    complete_formula,
+    pigeonhole_style_formula,
+)
+from repro.cnf.sat import all_satisfying_assignments, is_satisfiable, satisfying_assignment
+
+__all__ = [
+    "Literal",
+    "Clause",
+    "CnfFormula",
+    "complete_formula",
+    "pigeonhole_style_formula",
+    "ExtendedAssignment",
+    "InconsistentAssignment",
+    "is_satisfiable",
+    "satisfying_assignment",
+    "all_satisfying_assignments",
+]

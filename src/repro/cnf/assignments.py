@@ -1,0 +1,88 @@
+"""Extended truth assignments over literals.
+
+Section 6.2: "we will be considering 'extended' truth assignments in
+which we keep track of the truth values assigned to literals ... if x̄_i
+is assigned value true, then x_i is assigned value false at the same
+time, and vice versa."
+
+:class:`ExtendedAssignment` is that object, with the bookkeeping Player II
+needs in the formula game: values carry *support counts* (how many pebbles
+currently force them) and evaporate when unsupported, matching "a truth
+value is removed from a literal as soon as no pebbled node forces it".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cnf.formulas import Literal
+
+
+class InconsistentAssignment(Exception):
+    """Raised when a literal would be made both true and false.
+
+    In the formula game this is exactly the event "Player I wins".
+    """
+
+
+@dataclass
+class ExtendedAssignment:
+    """A partial, reference-counted assignment of truth values to literals.
+
+    Each ``assign`` must later be matched by a ``release``; the truth value
+    of a literal persists while its support count is positive.  Assigning a
+    value to ``x`` simultaneously fixes ``~x`` (and vice versa).
+    """
+
+    _values: dict[str, bool] = field(default_factory=dict)
+    _support: dict[str, int] = field(default_factory=dict)
+
+    def value(self, literal: Literal) -> bool | None:
+        """Current truth value of ``literal``, or ``None`` if undetermined."""
+        variable_value = self._values.get(literal.variable)
+        if variable_value is None:
+            return None
+        return variable_value if literal.positive else not variable_value
+
+    def is_determined(self, literal: Literal) -> bool:
+        """Whether the literal currently has a truth value."""
+        return literal.variable in self._values
+
+    def determined_variables(self) -> frozenset[str]:
+        """Variables that currently carry a truth value."""
+        return frozenset(self._values)
+
+    def assign(self, literal: Literal, value: bool) -> None:
+        """Give ``literal`` the truth value ``value`` and add one support.
+
+        Raises :class:`InconsistentAssignment` if the literal already has
+        the opposite value -- the losing event for Player II.
+        """
+        variable_value = value if literal.positive else not value
+        current = self._values.get(literal.variable)
+        if current is not None and current != variable_value:
+            raise InconsistentAssignment(
+                f"literal {literal} already has value {not value}"
+            )
+        self._values[literal.variable] = variable_value
+        self._support[literal.variable] = (
+            self._support.get(literal.variable, 0) + 1
+        )
+
+    def release(self, literal: Literal) -> None:
+        """Drop one unit of support; the value evaporates at zero support."""
+        count = self._support.get(literal.variable, 0)
+        if count <= 0:
+            raise ValueError(f"literal {literal} has no support to release")
+        if count == 1:
+            del self._support[literal.variable]
+            del self._values[literal.variable]
+        else:
+            self._support[literal.variable] = count - 1
+
+    def as_dict(self) -> dict[str, bool]:
+        """The current variable assignment as a plain dict (copy)."""
+        return dict(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)

@@ -1,0 +1,194 @@
+"""CNF formulas: literals, clauses, and the paper's example formulas.
+
+The reduction of Section 6.2 keys several objects off the formula's
+*literal occurrences* (one switch per occurrence), so clauses here keep
+their literals as ordered tuples -- duplicate occurrences inside a clause
+matter (the paper's own Figure 5 example is the formula ``x1 OR x1``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+
+@dataclass(frozen=True, order=True)
+class Literal:
+    """A propositional literal: a variable or its negation.
+
+    ``Literal.parse`` accepts ``"x1"`` and ``"~x1"`` / ``"!x1"``.
+    """
+
+    variable: str
+    positive: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.variable:
+            raise ValueError("literal variable name must be non-empty")
+
+    @classmethod
+    def parse(cls, text: str) -> "Literal":
+        """Parse ``"x"`` or ``"~x"`` / ``"!x"`` into a literal."""
+        text = text.strip()
+        if text.startswith(("~", "!")):
+            return cls(text[1:].strip(), positive=False)
+        return cls(text, positive=True)
+
+    @property
+    def complement(self) -> "Literal":
+        """The complementary literal (x <-> ~x)."""
+        return Literal(self.variable, not self.positive)
+
+    def __str__(self) -> str:
+        return self.variable if self.positive else f"~{self.variable}"
+
+
+@dataclass(frozen=True)
+class Clause:
+    """A disjunction of literal *occurrences* (order and multiplicity kept).
+
+    Multiplicity matters for the FHW reduction: each occurrence of a
+    literal in a clause gets its own switch in ``G_phi``.
+    """
+
+    literals: tuple[Literal, ...]
+
+    def __init__(self, literals: Iterable[Literal | str]) -> None:
+        parsed = tuple(
+            lit if isinstance(lit, Literal) else Literal.parse(lit)
+            for lit in literals
+        )
+        if not parsed:
+            raise ValueError("a clause needs at least one literal")
+        object.__setattr__(self, "literals", parsed)
+
+    def __iter__(self) -> Iterator[Literal]:
+        return iter(self.literals)
+
+    def __len__(self) -> int:
+        return len(self.literals)
+
+    def distinct_literals(self) -> frozenset[Literal]:
+        """The set of distinct literals (for satisfaction checks)."""
+        return frozenset(self.literals)
+
+    def __str__(self) -> str:
+        return "(" + " | ".join(str(lit) for lit in self.literals) + ")"
+
+
+@dataclass(frozen=True)
+class CnfFormula:
+    """A conjunction of clauses over named variables.
+
+    Examples
+    --------
+    >>> phi = CnfFormula.parse("x1 | x1; ~x1 | x2")
+    >>> len(phi.clauses)
+    2
+    >>> phi.variables
+    ('x1', 'x2')
+    """
+
+    clauses: tuple[Clause, ...]
+
+    def __init__(self, clauses: Iterable[Clause | Iterable[Literal | str]]) -> None:
+        built = tuple(
+            clause if isinstance(clause, Clause) else Clause(clause)
+            for clause in clauses
+        )
+        if not built:
+            raise ValueError("a CNF formula needs at least one clause")
+        object.__setattr__(self, "clauses", built)
+
+    @classmethod
+    def parse(cls, text: str) -> "CnfFormula":
+        """Parse ``"x1 | ~x2; x2 | x3"`` (clauses split on ``;``)."""
+        clause_texts = [part for part in text.split(";") if part.strip()]
+        return cls(
+            Clause(part.split("|")) for part in clause_texts
+        )
+
+    @property
+    def variables(self) -> tuple[str, ...]:
+        """Variable names, sorted."""
+        return tuple(sorted({
+            lit.variable for clause in self.clauses for lit in clause
+        }))
+
+    @property
+    def literals(self) -> tuple[Literal, ...]:
+        """All 2n literals over the formula's variables, sorted."""
+        return tuple(sorted(
+            itertools.chain.from_iterable(
+                (Literal(v, True), Literal(v, False)) for v in self.variables
+            )
+        ))
+
+    def occurrences(self) -> tuple[tuple[int, int, Literal], ...]:
+        """Every literal occurrence as ``(clause_index, slot, literal)``.
+
+        The FHW reduction builds one switch per entry of this tuple.
+        """
+        return tuple(
+            (i, j, lit)
+            for i, clause in enumerate(self.clauses)
+            for j, lit in enumerate(clause.literals)
+        )
+
+    def occurrence_count(self, literal: Literal) -> int:
+        """Number of occurrences of ``literal`` across all clauses."""
+        return sum(
+            1
+            for clause in self.clauses
+            for lit in clause.literals
+            if lit == literal
+        )
+
+    def evaluate(self, assignment: dict[str, bool]) -> bool:
+        """Truth value under a total assignment; KeyError if partial."""
+        return all(
+            any(
+                assignment[lit.variable] == lit.positive
+                for lit in clause.literals
+            )
+            for clause in self.clauses
+        )
+
+    def __str__(self) -> str:
+        return " & ".join(str(clause) for clause in self.clauses)
+
+
+def complete_formula(k: int) -> CnfFormula:
+    """The complete (unsatisfiable) formula phi_k of Section 6.2.
+
+    The unique CNF formula with 2^k distinct clauses, each containing k
+    distinct literals, over variables ``x1, .., xk``.  Player II wins the
+    k-pebble formula game on phi_k while Player I wins the (k+1)-pebble
+    game -- the engine of Theorem 6.6.
+    """
+    if k < 1:
+        raise ValueError("k must be positive")
+    variables = [f"x{i}" for i in range(1, k + 1)]
+    clauses = [
+        Clause(
+            Literal(v, positive)
+            for v, positive in zip(variables, signs)
+        )
+        for signs in itertools.product((True, False), repeat=k)
+    ]
+    return CnfFormula(clauses)
+
+
+def pigeonhole_style_formula(k: int) -> CnfFormula:
+    """The paper's 2-pebble example: ``x1 & x2 & ... & xk & (~x1 | ... | ~xk)``.
+
+    Unsatisfiable with k variables, yet Player I wins the formula game
+    with only 2 pebbles (Section 6.2).
+    """
+    if k < 1:
+        raise ValueError("k must be positive")
+    variables = [f"x{i}" for i in range(1, k + 1)]
+    clauses = [Clause([Literal(v)]) for v in variables]
+    clauses.append(Clause(Literal(v, False) for v in variables))
+    return CnfFormula(clauses)

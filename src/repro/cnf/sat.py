@@ -1,0 +1,101 @@
+"""Satisfiability: a small DPLL solver used as ground truth.
+
+The reproduction never assumes P != NP; it *checks* the FHW reduction
+(``phi satisfiable <=> G_phi has the two disjoint paths``) on concrete
+formulas, and this module supplies the left-hand side of that check.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.cnf.formulas import CnfFormula, Literal
+
+
+def _unit_and_pure(
+    clauses: list[frozenset[Literal]], assignment: dict[str, bool]
+) -> list[frozenset[Literal]] | None:
+    """Apply unit propagation; return simplified clauses or None on conflict."""
+    changed = True
+    while changed:
+        changed = False
+        simplified: list[frozenset[Literal]] = []
+        for clause in clauses:
+            live: set[Literal] = set()
+            satisfied = False
+            for lit in clause:
+                value = assignment.get(lit.variable)
+                if value is None:
+                    live.add(lit)
+                elif value == lit.positive:
+                    satisfied = True
+                    break
+            if satisfied:
+                continue
+            if not live:
+                return None
+            if len(live) == 1:
+                lit = next(iter(live))
+                assignment[lit.variable] = lit.positive
+                changed = True
+            else:
+                simplified.append(frozenset(live))
+        clauses = simplified
+    return clauses
+
+
+def _dpll(
+    clauses: list[frozenset[Literal]], assignment: dict[str, bool]
+) -> dict[str, bool] | None:
+    clauses = _unit_and_pure(clauses, assignment)
+    if clauses is None:
+        return None
+    if not clauses:
+        return assignment
+    # Branch on the smallest literal of the first clause (deterministic).
+    literal = min(clauses[0])
+    for value in (literal.positive, not literal.positive):
+        trial = dict(assignment)
+        trial[literal.variable] = value
+        result = _dpll(list(clauses), trial)
+        if result is not None:
+            return result
+    return None
+
+
+def satisfying_assignment(formula: CnfFormula) -> dict[str, bool] | None:
+    """A satisfying total assignment, or ``None`` if unsatisfiable."""
+    clauses = [clause.distinct_literals() for clause in formula.clauses]
+    partial = _dpll(clauses, {})
+    if partial is None:
+        return None
+    # Complete the assignment on untouched variables.
+    assignment = dict(partial)
+    for variable in formula.variables:
+        assignment.setdefault(variable, True)
+    return assignment
+
+
+def is_satisfiable(formula: CnfFormula) -> bool:
+    """Whether the formula has a satisfying assignment."""
+    return satisfying_assignment(formula) is not None
+
+
+def all_satisfying_assignments(
+    formula: CnfFormula,
+) -> Iterator[dict[str, bool]]:
+    """Enumerate all total satisfying assignments (exponential; small use)."""
+    variables = formula.variables
+    total = len(variables)
+
+    def assignments(index: int, current: dict[str, bool]) -> Iterator[dict]:
+        if index == total:
+            if formula.evaluate(current):
+                yield dict(current)
+            return
+        for value in (False, True):
+            current[variables[index]] = value
+            yield from assignments(index + 1, current)
+        del current[variables[index]]
+
+    yield from assignments(0, {})

@@ -1,0 +1,63 @@
+"""The paper's results as an API.
+
+* :mod:`repro.core.certificates` -- the Theorem 6.6 / 6.7 structures
+  ``(A_k, B_k)`` for the patterns H1, H2, H3, together with the proof's
+  Player II strategy as an executable object, and the Lemma 6.3 lifting
+  to arbitrary patterns outside class C.
+* :mod:`repro.core.separations` -- the Corollary 6.8 doubling reduction
+  from two-disjoint-paths to even-simple-path, with certificate
+  transport.
+* :mod:`repro.core.dichotomy` -- the full classification of a pattern
+  graph H: class C membership, FHW complexity, Datalog(!=)
+  expressibility, and the witnessing program or obstruction.
+* :mod:`repro.core.expressibility` -- executable monotonicity and
+  preservation properties separating Datalog, Datalog(!=) and beyond.
+"""
+
+from repro.core.api import cross_check, decide_homeomorphism
+from repro.core.certificates import (
+    CertificateReport,
+    certificate_for_pattern,
+    InexpressibilityCertificate,
+    TheoremSixSixStrategy,
+    h2_certificate,
+    h3_certificate,
+    lift_certificate,
+    theorem_66_certificate,
+    verify_certificate,
+)
+from repro.core.dichotomy import PatternClassification, classify_query
+from repro.core.expressibility import (
+    identify_elements,
+    is_monotone_on,
+    is_strongly_monotone_on,
+    random_extension,
+    random_identification,
+)
+from repro.core.separations import (
+    double_graph,
+    even_simple_path_certificate,
+)
+
+__all__ = [
+    "decide_homeomorphism",
+    "cross_check",
+    "InexpressibilityCertificate",
+    "TheoremSixSixStrategy",
+    "CertificateReport",
+    "verify_certificate",
+    "certificate_for_pattern",
+    "theorem_66_certificate",
+    "h2_certificate",
+    "h3_certificate",
+    "lift_certificate",
+    "PatternClassification",
+    "classify_query",
+    "double_graph",
+    "even_simple_path_certificate",
+    "identify_elements",
+    "is_monotone_on",
+    "is_strongly_monotone_on",
+    "random_extension",
+    "random_identification",
+]

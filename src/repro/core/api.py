@@ -1,0 +1,132 @@
+"""The one-call facade for fixed subgraph homeomorphism.
+
+:func:`decide_homeomorphism` picks the right decision procedure for an
+instance, following the paper's own decision tree:
+
+1. pattern in class C          -> the polynomial flow algorithm
+                                  (or the Theorem 6.1 Datalog program);
+2. input graph acyclic         -> the Theorem 6.2 game
+                                  (or its Datalog program);
+3. otherwise                   -> the exact exponential search
+                                  (NP-complete territory, Theorem 6.6).
+
+``method="auto"`` applies that tree; explicit methods are available for
+cross-checking, which :func:`cross_check` does wholesale.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping
+
+from repro.core.dichotomy import classify_query
+from repro.fhw.homeomorphism import (
+    homeomorphic_via_flow,
+    is_homeomorphic_to_distinguished_subgraph,
+)
+from repro.graphs.acyclic import is_acyclic
+from repro.graphs.digraph import DiGraph
+
+Node = Hashable
+
+METHODS = ("auto", "exact", "flow", "game", "datalog")
+
+
+def decide_homeomorphism(
+    pattern: DiGraph,
+    graph: DiGraph,
+    assignment: Mapping[Node, Node],
+    method: str = "auto",
+) -> bool:
+    """Is ``pattern`` homeomorphic to the distinguished subgraph?
+
+    Parameters
+    ----------
+    method:
+        * ``"auto"`` -- polynomial when the paper provides one
+          (class C, or acyclic input), exact search otherwise;
+        * ``"exact"`` -- the exponential oracle, any instance;
+        * ``"flow"`` -- Theorem 6.1's algorithm; requires pattern in C;
+        * ``"game"`` -- Theorem 6.2's two-player game; sound on acyclic
+          inputs only (enforced);
+        * ``"datalog"`` -- run the generated Datalog(!=) program
+          (Theorem 6.1's for class C, else Theorem 6.2's, which again
+          requires an acyclic input).
+    """
+    if method not in METHODS:
+        raise ValueError(f"unknown method {method!r}; pick from {METHODS}")
+
+    if method == "exact":
+        return is_homeomorphic_to_distinguished_subgraph(
+            pattern, graph, assignment
+        )
+    if method == "flow":
+        return homeomorphic_via_flow(pattern, graph, assignment)
+    if method == "game":
+        from repro.games.acyclic import acyclic_game_winner
+
+        if not is_acyclic(graph):
+            raise ValueError(
+                "the Theorem 6.2 game characterises homeomorphism on "
+                "acyclic inputs only"
+            )
+        return acyclic_game_winner(graph, pattern, assignment) == "II"
+    if method == "datalog":
+        from repro.datalog.homeo import acyclic_game_program, class_c_program
+
+        row = classify_query(pattern)
+        if row.in_class_c:
+            query = class_c_program(pattern)
+        else:
+            if not is_acyclic(graph):
+                raise ValueError(
+                    "no Datalog(!=) program exists for this pattern on "
+                    "general inputs (Theorem 6.7); the Theorem 6.2 program "
+                    "requires an acyclic input"
+                )
+            query = acyclic_game_program(pattern)
+        return query.decide(graph, assignment)
+
+    # method == "auto"
+    row = classify_query(pattern)
+    if row.in_class_c:
+        return homeomorphic_via_flow(pattern, graph, assignment)
+    if is_acyclic(graph):
+        from repro.games.acyclic import acyclic_game_winner
+
+        return acyclic_game_winner(graph, pattern, assignment) == "II"
+    return is_homeomorphic_to_distinguished_subgraph(
+        pattern, graph, assignment
+    )
+
+
+def cross_check(
+    pattern: DiGraph,
+    graph: DiGraph,
+    assignment: Mapping[Node, Node],
+) -> dict[str, bool]:
+    """Run every method applicable to the instance; all must agree.
+
+    Returns the per-method verdicts; raises ``AssertionError`` on any
+    disagreement (which would falsify one of the paper's theorems).
+    """
+    verdicts: dict[str, bool] = {
+        "exact": decide_homeomorphism(pattern, graph, assignment, "exact")
+    }
+    row = classify_query(pattern)
+    if row.in_class_c:
+        verdicts["flow"] = decide_homeomorphism(
+            pattern, graph, assignment, "flow"
+        )
+    if is_acyclic(graph):
+        verdicts["game"] = decide_homeomorphism(
+            pattern, graph, assignment, "game"
+        )
+    if row.in_class_c or is_acyclic(graph):
+        verdicts["datalog"] = decide_homeomorphism(
+            pattern, graph, assignment, "datalog"
+        )
+    if len(set(verdicts.values())) > 1:
+        raise AssertionError(
+            f"deciders disagree on the instance: {verdicts}"
+        )
+    return verdicts

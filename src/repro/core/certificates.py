@@ -1,0 +1,606 @@
+"""Inexpressibility certificates: Theorems 6.6 and 6.7, Lemma 6.3.
+
+A certificate that a query Q is not expressible in ``L^k`` is a pair of
+structures ``(A_k, B_k)`` with: A_k satisfies Q, B_k does not, and
+Player II wins the existential k-pebble game on (A_k, B_k) (Theorem
+4.10).  For the H1 query ("two node-disjoint paths"), the paper's
+construction is:
+
+* ``B_k = G_{phi_k}`` -- the SAT-reduction graph of the complete
+  (unsatisfiable) formula on k variables, which therefore has no
+  disjoint-path pair;
+* ``A_k`` -- two plain disjoint paths whose lengths equal the standard
+  path lengths in ``G_{phi_k}``, which trivially has the pair;
+* Player II's strategy: answer a pebble at distance i along an A_k path
+  with the i-th node of a *standard path* of ``G_{phi_k}``, resolving
+  the per-switch brand / column / clause choices by playing the
+  k-pebble formula game on ``phi_k`` on the side.
+
+``B_k`` is far too large for the exact game solver, so the strategy is
+the executable witness: :class:`TheoremSixSixStrategy` implements the
+proof verbatim and is validated against adversarial Player I schedules
+by the test suite (and cross-checked against exact solvers on the small
+synthetic games elsewhere).
+
+The H2 / H3 certificates (Theorem 6.7) arise by identifying endpoint
+nodes on both sides; :func:`lift_certificate` is Lemma 6.3, extending a
+certificate for a subpattern F1 to any superpattern F2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Mapping
+
+from repro.cnf.formulas import CnfFormula, Literal, complete_formula
+from repro.fhw.reduction import (
+    ClauseSlot,
+    ColumnSlot,
+    FixedSlot,
+    ReductionInstance,
+    SwitchSegmentSlot,
+)
+from repro.games.formula_game import PaperPhiKStrategy
+from repro.games.simulate import GameState
+from repro.graphs.digraph import DiGraph
+from repro.structures.structure import Structure
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class InexpressibilityCertificate:
+    """A (A_k, B_k, strategy) certificate against L^k definability.
+
+    ``strategy_factory`` builds a fresh Player II strategy object (the
+    strategies are stateful, one per game).  ``pattern_name`` names the
+    obstruction (H1 / H2 / H3 / a lifted pattern's repr).
+    """
+
+    k: int
+    pattern_name: str
+    a: Structure
+    b: Structure
+    a_graph: DiGraph
+    b_graph: DiGraph
+    strategy_factory: Callable[[], object]
+
+    def fresh_strategy(self):
+        """A new stateful Player II strategy for one game run."""
+        return self.strategy_factory()
+
+
+class TheoremSixSixStrategy:
+    """Player II's strategy from the proof of Theorem 6.6.
+
+    Responds to Player I pebbling nodes of ``A_k`` (two disjoint paths,
+    nodes ``("p", i)`` and ``("q", j)``) with nodes of ``B_k = G_{phi_k}``
+    along standard paths, keeping a k-pebble formula game on ``phi_k``
+    on the side:
+
+    * Case 1/2 (c..a or b..d interior): challenge the switch's literal;
+      true -> the p-branded node, false -> the q-branded node.
+    * Case 3 (variable column): challenge the variable; pebble the
+      corresponding node in the column of the *complement* literal.
+    * Case 4 (clause segment): pick an undetermined literal of the
+      clause, make it true, pebble its occurrence's p(e, f) node.
+
+    Support counting (via :class:`PaperPhiKStrategy`'s assignment) makes
+    values evaporate when no pebble sustains them; per-clause occurrence
+    choices are reference-counted the same way.
+
+    An optional ``node_map_a`` / ``node_map_b`` pair lets the same logic
+    drive the quotient games of Theorem 6.7 (H2 / H3) and the lifted
+    games of Lemma 6.3.
+    """
+
+    def __init__(self, instance: ReductionInstance, k: int) -> None:
+        self.instance = instance
+        self.k = k
+        self.formula_player = PaperPhiKStrategy(instance.formula, k)
+        self._p1_slots = instance.p1_slots()
+        self._p2_slots = instance.p2_slots()
+        # Per-pebble bookkeeping: which formula-game pebble (if any) and
+        # which clause choice the placement charged.
+        self._charges: dict[int, tuple[str, object]] = {}
+        self._clause_choice: dict[int, tuple[int, int]] = {}  # clause -> (switch, support)
+
+    # -- slot resolution under the current formula-game state ------------
+
+    def _slot_for(self, element: Node):
+        kind, index = element
+        if kind == "p":
+            return self._p1_slots[index]
+        if kind == "q":
+            return self._p2_slots[index]
+        raise ValueError(f"{element!r} is not a node of A_k")
+
+    def _respond_to_slot(self, pebble: int, slot) -> Node:
+        instance = self.instance
+        if isinstance(slot, FixedSlot):
+            self._charges[pebble] = ("none", None)
+            return slot.node
+        if isinstance(slot, SwitchSegmentSlot):
+            literal = instance.switches[slot.switch_index].literal
+            value = self.formula_player.respond(("peb", pebble), literal)
+            self._charges[pebble] = ("formula", ("peb", pebble))
+            brand = "p" if value else "q"
+            if slot.kind == "ca":
+                return instance.resolve_ca(slot.switch_index, slot.offset, brand)
+            return instance.resolve_bd(slot.switch_index, slot.offset, brand)
+        if isinstance(slot, ColumnSlot):
+            positive = Literal(slot.variable, True)
+            value = self.formula_player.respond(("peb", pebble), positive)
+            self._charges[pebble] = ("formula", ("peb", pebble))
+            column_literal = Literal(slot.variable, positive=not value)
+            return instance.resolve_column(column_literal, slot.rank, slot.offset)
+        if isinstance(slot, ClauseSlot):
+            switch_index = self._choose_clause_switch(slot.clause_index, pebble)
+            return instance.resolve_clause(switch_index, slot.offset)
+        raise TypeError(f"unknown slot {slot!r}")
+
+    def _choose_clause_switch(self, clause_index: int, pebble: int) -> int:
+        """The occurrence a clause segment routes through (ref-counted)."""
+        instance = self.instance
+        existing = self._clause_choice.get(clause_index)
+        if existing is not None:
+            switch_index, support = existing
+            # Re-assert the chosen literal (adds one unit of support).
+            literal = instance.switches[switch_index].literal
+            self.formula_player.respond(("peb", pebble), literal)
+            self._clause_choice[clause_index] = (switch_index, support + 1)
+            self._charges[pebble] = ("clause", clause_index)
+            return switch_index
+        # Fresh choice: let the formula player answer the clause
+        # challenge (it picks an undetermined literal and makes it true).
+        chosen = self.formula_player.respond(("peb", pebble), clause_index)
+        for switch_index in instance.clause_occurrences(clause_index):
+            if instance.switches[switch_index].literal == chosen:
+                self._clause_choice[clause_index] = (switch_index, 1)
+                self._charges[pebble] = ("clause", clause_index)
+                return switch_index
+        raise AssertionError(
+            f"clause {clause_index} has no occurrence of {chosen}"
+        )
+
+    # -- PlayerTwoStrategy protocol ---------------------------------------
+
+    def respond(self, state: GameState, pebble: int, element: Node) -> Node:
+        """Answer Player I's placement on A_k."""
+        # Function-ness: a re-pebbled A-element keeps its image.
+        for other in state.board_a:
+            if other != pebble and state.board_a[other] == element:
+                # Mirror the bookkeeping as a fresh charge on this pebble
+                # so later removals stay balanced.
+                return self._respond_existing(pebble, element, state.board_b[other])
+        return self._respond_to_slot(pebble, self._slot_for(element))
+
+    def _respond_existing(
+        self, pebble: int, element: Node, image: Node
+    ) -> Node:
+        """Duplicate pebble: recharge the same choices and echo the image."""
+        answered = self._respond_to_slot(pebble, self._slot_for(element))
+        # With consistent bookkeeping the recomputed answer must agree.
+        if answered != image:  # pragma: no cover - soundness guard
+            raise AssertionError(
+                "strategy produced conflicting images for a duplicated pebble"
+            )
+        return answered
+
+    def notify_removal(self, state: GameState, pebble: int) -> None:
+        """Release whatever the removed pebble supported."""
+        kind, payload = self._charges.pop(pebble, ("none", None))
+        if kind == "none":
+            return
+        if kind == "formula":
+            self.formula_player.release(payload)
+            return
+        # kind == "clause": drop one unit of clause-choice support, and
+        # the literal support recorded in the formula player.
+        clause_index = payload
+        self.formula_player.release(("peb", pebble))
+        switch_index, support = self._clause_choice[clause_index]
+        if support == 1:
+            del self._clause_choice[clause_index]
+        else:
+            self._clause_choice[clause_index] = (switch_index, support - 1)
+
+
+@dataclass(frozen=True)
+class CertificateReport:
+    """Outcome of exercising a certificate under adversarial play."""
+
+    survived: int
+    total: int
+    rounds: int
+    failure_seeds: tuple[int, ...]
+
+    @property
+    def all_survived(self) -> bool:
+        """Whether Player II survived every schedule."""
+        return self.survived == self.total
+
+
+def verify_certificate(
+    certificate: "InexpressibilityCertificate",
+    seeds: int = 10,
+    rounds: int = 200,
+) -> CertificateReport:
+    """Exercise a certificate's Player II strategy against random
+    adversarial schedules; the library-level routine behind the CLI's
+    ``repro certificate`` and the benchmarks."""
+    from repro.games.simulate import RandomPlayerOne, run_existential_game
+
+    failures = []
+    for seed in range(seeds):
+        transcript = run_existential_game(
+            certificate.a,
+            certificate.b,
+            certificate.k,
+            RandomPlayerOne(certificate.a, seed=seed),
+            certificate.fresh_strategy(),
+            rounds=rounds,
+        )
+        if not transcript.player_two_survived:
+            failures.append(seed)
+    return CertificateReport(
+        survived=seeds - len(failures),
+        total=seeds,
+        rounds=rounds,
+        failure_seeds=tuple(failures),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Certificate constructions
+# ---------------------------------------------------------------------------
+
+
+def _a_k_graph(instance: ReductionInstance) -> DiGraph:
+    """A_k: two disjoint simple paths with the standard path lengths."""
+    length_p1 = len(instance.p1_slots())
+    length_p2 = len(instance.p2_slots())
+    first = [("p", i) for i in range(length_p1)]
+    second = [("q", i) for i in range(length_p2)]
+    edges = list(zip(first, first[1:])) + list(zip(second, second[1:]))
+    return DiGraph(
+        first + second,
+        edges,
+        distinguished={
+            "s1": first[0],
+            "s2": first[-1],
+            "s3": second[0],
+            "s4": second[-1],
+        },
+    )
+
+
+def theorem_66_certificate(k: int) -> InexpressibilityCertificate:
+    """The Theorem 6.6 certificate against L^k for the H1 query.
+
+    ``A_k`` has node-disjoint s1->s2 / s3->s4 paths, ``B_k = G_{phi_k}``
+    has none (phi_k being unsatisfiable), and
+    :class:`TheoremSixSixStrategy` keeps Player II alive in the
+    existential k-pebble game.
+    """
+    if k < 1:
+        raise ValueError("k must be positive")
+    instance = ReductionInstance(complete_formula(k))
+    a_graph = _a_k_graph(instance)
+    b_graph = instance.graph
+    return InexpressibilityCertificate(
+        k=k,
+        pattern_name="H1",
+        a=a_graph.to_structure(),
+        b=b_graph.to_structure(),
+        a_graph=a_graph,
+        b_graph=b_graph,
+        strategy_factory=lambda: TheoremSixSixStrategy(instance, k),
+    )
+
+
+def quotient_graph(
+    graph: DiGraph, merge: Mapping[Node, Node], distinguished: Mapping[str, Node]
+) -> DiGraph:
+    """The graph with nodes identified per ``merge`` (old -> new)."""
+
+    def image(node: Node) -> Node:
+        return merge.get(node, node)
+
+    nodes = {image(v) for v in graph.nodes}
+    edges = {(image(u), image(v)) for u, v in graph.edges}
+    return DiGraph(nodes, edges, distinguished)
+
+
+class _QuotientStrategy:
+    """Drive a base strategy through node identifications on both sides."""
+
+    def __init__(
+        self,
+        base,
+        a_preimage: Mapping[Node, Node],
+        b_merge: Mapping[Node, Node],
+    ) -> None:
+        self._base = base
+        self._a_preimage = dict(a_preimage)
+        self._b_merge = dict(b_merge)
+
+    def respond(self, state: GameState, pebble: int, element: Node) -> Node:
+        original = self._a_preimage.get(element, element)
+        answer = self._base.respond(state, pebble, original)
+        return self._b_merge.get(answer, answer)
+
+    def notify_removal(self, state: GameState, pebble: int) -> None:
+        self._base.notify_removal(state, pebble)
+
+
+def h2_certificate(k: int) -> InexpressibilityCertificate:
+    """Theorem 6.7, pattern H2 (path of length two).
+
+    Identify the end of A_k's first path with the start of its second
+    (w2 ~ w3) and, on B_k, s2 ~ s3; the distinguished nodes become the
+    three nodes of H2.  Player II plays the Theorem 6.6 strategy through
+    the identification.
+    """
+    base = theorem_66_certificate(k)
+    instance: ReductionInstance = base.strategy_factory().instance
+    a_end = base.a_graph.distinguished["s2"]
+    a_start = base.a_graph.distinguished["s3"]
+    a_merge = {a_start: a_end}
+    a_graph = quotient_graph(
+        base.a_graph,
+        a_merge,
+        {
+            "s1": base.a_graph.distinguished["s1"],
+            "s2": a_end,
+            "s3": base.a_graph.distinguished["s4"],
+        },
+    )
+    b2 = base.b_graph.distinguished["s2"]
+    b3 = base.b_graph.distinguished["s3"]
+    b_merge = {b3: b2}
+    b_graph = quotient_graph(
+        base.b_graph,
+        b_merge,
+        {
+            "s1": base.b_graph.distinguished["s1"],
+            "s2": b2,
+            "s3": base.b_graph.distinguished["s4"],
+        },
+    )
+
+    def factory():
+        return _QuotientStrategy(
+            TheoremSixSixStrategy(instance, k),
+            a_preimage={a_end: a_start},
+            b_merge=b_merge,
+        )
+
+    return InexpressibilityCertificate(
+        k=k,
+        pattern_name="H2",
+        a=a_graph.to_structure(),
+        b=b_graph.to_structure(),
+        a_graph=a_graph,
+        b_graph=b_graph,
+        strategy_factory=factory,
+    )
+
+
+def h3_certificate(k: int) -> InexpressibilityCertificate:
+    """Theorem 6.7, pattern H3 (two-cycle).
+
+    Identify w1 ~ w4 and w2 ~ w3 in A_k (making the two paths a cycle
+    through two distinguished nodes) and s1 ~ s4, s2 ~ s3 in B_k.
+    """
+    base = theorem_66_certificate(k)
+    instance: ReductionInstance = base.strategy_factory().instance
+    d_a = base.a_graph.distinguished
+    a_merge = {d_a["s4"]: d_a["s1"], d_a["s3"]: d_a["s2"]}
+    a_graph = quotient_graph(
+        base.a_graph, a_merge, {"s1": d_a["s1"], "s2": d_a["s2"]}
+    )
+    d_b = base.b_graph.distinguished
+    b_merge = {d_b["s4"]: d_b["s1"], d_b["s3"]: d_b["s2"]}
+    b_graph = quotient_graph(
+        base.b_graph, b_merge, {"s1": d_b["s1"], "s2": d_b["s2"]}
+    )
+
+    def factory():
+        return _QuotientStrategy(
+            TheoremSixSixStrategy(instance, k),
+            # Quotient A-nodes whose base answer we reuse: the merged
+            # endpoints answer via their "p"-path representatives.
+            a_preimage={d_a["s1"]: d_a["s1"], d_a["s2"]: d_a["s2"]},
+            b_merge=b_merge,
+        )
+
+    return InexpressibilityCertificate(
+        k=k,
+        pattern_name="H3",
+        a=a_graph.to_structure(),
+        b=b_graph.to_structure(),
+        a_graph=a_graph,
+        b_graph=b_graph,
+        strategy_factory=factory,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Theorem 6.7 in full generality: any pattern outside class C
+# ---------------------------------------------------------------------------
+
+
+def certificate_for_pattern(
+    pattern: DiGraph, k: int
+) -> InexpressibilityCertificate:
+    """An inexpressibility certificate for any pattern H outside C.
+
+    Implements the proof of Theorem 6.7: locate an H1 / H2 / H3
+    obstruction inside H (Section 6.2's characterisation of the
+    complement of C), take the corresponding base certificate, and lift
+    it to H via Lemma 6.3.  When H *is* one of the three obstructions
+    the base certificate is returned directly.
+
+    Patterns whose only obstruction involves a self-loop (a loop plus a
+    node-disjoint edge) fall outside the paper's three base
+    constructions and are rejected.
+    """
+    from repro.fhw.pattern_class import complement_witness, pattern_h1, pattern_h2, pattern_h3
+
+    stripped = pattern.without_isolated_nodes()
+    witness = complement_witness(stripped)
+    if witness is None:
+        raise ValueError(
+            "pattern is in class C: Theorem 6.1 gives a Datalog(!=) "
+            "program, so no inexpressibility certificate exists"
+        )
+    kind, nodes = witness
+    if kind == "H1" and (nodes[0] == nodes[1] or nodes[2] == nodes[3]):
+        raise NotImplementedError(
+            "the obstruction is a self-loop plus a disjoint edge; the "
+            "paper's base constructions cover H1/H2/H3 only"
+        )
+
+    if kind == "H1":
+        base = theorem_66_certificate(k)
+        sub_names = ("s1", "s2", "s3", "s4")
+        sub_pattern = DiGraph(
+            edges=[(nodes[0], nodes[1]), (nodes[2], nodes[3])]
+        )
+        witness_order = nodes
+    elif kind == "H2":
+        base = h2_certificate(k)
+        sub_names = ("s1", "s2", "s3")
+        sub_pattern = DiGraph(
+            edges=[(nodes[0], nodes[1]), (nodes[1], nodes[2])]
+        )
+        witness_order = nodes
+    else:  # H3
+        base = h3_certificate(k)
+        sub_names = ("s1", "s2")
+        sub_pattern = DiGraph(
+            edges=[(nodes[0], nodes[1]), (nodes[1], nodes[0])]
+        )
+        witness_order = nodes
+
+    sub_assignment_a = {
+        node: base.a_graph.distinguished[name]
+        for node, name in zip(witness_order, sub_names)
+    }
+    sub_assignment_b = {
+        node: base.b_graph.distinguished[name]
+        for node, name in zip(witness_order, sub_names)
+    }
+    if stripped.edges == sub_pattern.edges:
+        # H is (a relabelling of) the obstruction itself; re-expose the
+        # base certificate under the uniform h<i>-naming convention so
+        # callers can always address distinguished nodes by H's nodes.
+        ordered = sorted(stripped.nodes, key=repr)
+        a_graph = base.a_graph.with_distinguished({
+            f"h{i}": sub_assignment_a[node] for i, node in enumerate(ordered)
+        })
+        b_graph = base.b_graph.with_distinguished({
+            f"h{i}": sub_assignment_b[node] for i, node in enumerate(ordered)
+        })
+        return InexpressibilityCertificate(
+            k=k,
+            pattern_name=base.pattern_name,
+            a=a_graph.to_structure(),
+            b=b_graph.to_structure(),
+            a_graph=a_graph,
+            b_graph=b_graph,
+            strategy_factory=base.strategy_factory,
+        )
+    return lift_certificate(
+        base, sub_pattern, stripped, sub_assignment_a, sub_assignment_b
+    )
+
+
+# ---------------------------------------------------------------------------
+# Lemma 6.3: lifting certificates to superpatterns
+# ---------------------------------------------------------------------------
+
+
+def lift_certificate(
+    certificate: InexpressibilityCertificate,
+    sub_pattern: DiGraph,
+    super_pattern: DiGraph,
+    sub_assignment_a: Mapping[Node, Node],
+    sub_assignment_b: Mapping[Node, Node],
+) -> InexpressibilityCertificate:
+    """Lemma 6.3: extend a certificate for F1 to a superpattern F2.
+
+    ``sub_assignment_a`` / ``sub_assignment_b`` map the nodes of
+    ``sub_pattern`` (F1) to the distinguished nodes of the certificate's
+    A / B sides.  A fresh copy of F2 - F1 is attached to both sides,
+    identifying shared F1-nodes with the existing distinguished nodes;
+    Player II answers new-copy nodes by the corresponding new-copy node
+    and defers to the base strategy elsewhere.
+    """
+    extra_edges = [
+        edge for edge in sorted(super_pattern.edges, key=repr)
+        if edge not in sub_pattern.edges
+    ]
+    if not extra_edges:
+        raise ValueError("super_pattern adds no edges over sub_pattern")
+
+    def attach(
+        graph: DiGraph, anchor: Mapping[Node, Node], tag: str
+    ) -> tuple[DiGraph, dict[Node, Node], dict[str, Node]]:
+        """Glue F2 - F1 onto a side; return (graph, copy map, names)."""
+        copy: dict[Node, Node] = {}
+
+        def image(node: Node) -> Node:
+            if node in anchor:
+                return anchor[node]
+            if node not in copy:
+                copy[node] = (tag, node)
+            return copy[node]
+
+        new_edges = {(image(u), image(v)) for u, v in extra_edges}
+        extended = graph.add_edges(new_edges)
+        names = {
+            f"h{i}": image(node)
+            for i, node in enumerate(sorted(super_pattern.nodes, key=repr))
+        }
+        return extended.with_distinguished(names), copy, names
+
+    a_graph, a_copy, __ = attach(certificate.a_graph, sub_assignment_a, "xa")
+    b_graph, b_copy, __ = attach(certificate.b_graph, sub_assignment_b, "xb")
+
+    # Correspondence for the new nodes: ("xa", v) answers ("xb", v); old
+    # distinguished nodes answer via the base strategy's constants, and
+    # every other node defers to the base strategy.
+    new_answers = {
+        a_copy[node]: b_copy[node] for node in a_copy
+    }
+    distinguished_answers = {
+        sub_assignment_a[node]: sub_assignment_b[node]
+        for node in sub_assignment_a
+    }
+
+    def factory():
+        base = certificate.fresh_strategy()
+
+        class _Lifted:
+            def respond(self, state: GameState, pebble: int, element: Node):
+                if element in new_answers:
+                    return new_answers[element]
+                answer = base.respond(state, pebble, element)
+                return answer
+
+            def notify_removal(self, state: GameState, pebble: int) -> None:
+                base.notify_removal(state, pebble)
+
+        return _Lifted()
+
+    return InexpressibilityCertificate(
+        k=certificate.k,
+        pattern_name=f"lift({certificate.pattern_name})",
+        a=a_graph.to_structure(),
+        b=b_graph.to_structure(),
+        a_graph=a_graph,
+        b_graph=b_graph,
+        strategy_factory=factory,
+    )

@@ -1,0 +1,111 @@
+"""The full FHW dichotomy, classified per pattern graph.
+
+For a pattern H (no isolated nodes), the classification reports:
+
+* whether H is in class C;
+* the FHW complexity verdict (PTIME for C, NP-complete otherwise);
+* the paper's expressibility verdict: Datalog(!=)-expressible on all
+  inputs (Theorem 6.1) vs. not expressible in L^omega (Theorems 6.6/6.7)
+  -- while on *acyclic* inputs every H is Datalog(!=)-expressible
+  (Theorem 6.2);
+* the witnessing artefact: a generated program for the positive side, an
+  H1/H2/H3 obstruction for the negative side.
+
+This is experiment E15 of DESIGN.md; ``benchmarks/bench_dichotomy_table``
+prints the table for a catalogue of small patterns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datalog.homeo import (
+    GeneratedHomeoQuery,
+    acyclic_game_program,
+    class_c_program,
+)
+from repro.fhw.pattern_class import ClassCMembership, classify_pattern
+from repro.graphs.digraph import DiGraph
+
+
+@dataclass(frozen=True)
+class PatternClassification:
+    """One row of the dichotomy table."""
+
+    pattern: DiGraph
+    membership: ClassCMembership
+    complexity: str
+    general_inputs: str
+    acyclic_inputs: str
+
+    @property
+    def in_class_c(self) -> bool:
+        """Whether the pattern is in class C."""
+        return self.membership.in_class_c
+
+    def general_program(self) -> GeneratedHomeoQuery:
+        """The Theorem 6.1 program (raises outside class C)."""
+        return class_c_program(self.pattern)
+
+    def acyclic_program(self) -> GeneratedHomeoQuery:
+        """The Theorem 6.2 game program (any pattern)."""
+        return acyclic_game_program(self.pattern)
+
+    def inexpressibility_certificate(self, k: int):
+        """The Theorem 6.7 certificate against L^k (raises inside C)."""
+        from repro.core.certificates import certificate_for_pattern
+
+        return certificate_for_pattern(self.pattern, k)
+
+
+def classify_query(pattern: DiGraph) -> PatternClassification:
+    """Classify the H-subgraph homeomorphism query for pattern H."""
+    stripped = pattern.without_isolated_nodes()
+    if not stripped.edges:
+        raise ValueError("edgeless patterns define a trivial query")
+    membership = classify_pattern(stripped)
+    if membership.in_class_c:
+        complexity = "PTIME (FHW, via network flow)"
+        general = "expressible in Datalog(!=) (Theorem 6.1)"
+    else:
+        complexity = "NP-complete (FHW)"
+        general = (
+            "not expressible in L^omega, a fortiori not in Datalog(!=) "
+            f"(Theorems 6.6/6.7 via {membership.obstruction[0]})"
+        )
+    return PatternClassification(
+        pattern=stripped,
+        membership=membership,
+        complexity=complexity,
+        general_inputs=general,
+        acyclic_inputs="expressible in Datalog(!=) (Theorem 6.2)",
+    )
+
+
+def pattern_catalogue() -> dict[str, DiGraph]:
+    """Small named patterns spanning both sides of the dichotomy."""
+    return {
+        "single-edge": DiGraph(edges=[("u", "v")]),
+        "out-star-2": DiGraph(edges=[("r", "u"), ("r", "v")]),
+        "out-star-3": DiGraph(edges=[("r", "u"), ("r", "v"), ("r", "w")]),
+        "in-star-2": DiGraph(edges=[("u", "r"), ("v", "r")]),
+        "self-loop": DiGraph(edges=[("r", "r")]),
+        "loop-plus-out": DiGraph(edges=[("r", "r"), ("r", "u")]),
+        "H1-two-disjoint-edges": DiGraph(
+            edges=[("s1", "s2"), ("s3", "s4")]
+        ),
+        "H2-path-length-2": DiGraph(edges=[("s1", "s2"), ("s2", "s3")]),
+        "H3-two-cycle": DiGraph(edges=[("s1", "s2"), ("s2", "s1")]),
+        "triangle": DiGraph(
+            edges=[("a", "b"), ("b", "c"), ("c", "a")]
+        ),
+        "in-out-node": DiGraph(edges=[("u", "r"), ("r", "v")]),
+    }
+
+
+def dichotomy_table() -> list[PatternClassification]:
+    """The classification of every catalogue pattern (experiment E15)."""
+    return [
+        classify_query(pattern)
+        for __, pattern in sorted(pattern_catalogue().items())
+    ]

@@ -1,0 +1,128 @@
+"""Executable preservation properties (Section 2's monotonicity facts).
+
+* Datalog programs compute *strongly monotone* queries: preserved under
+  adding tuples/elements **and** under identifying universe elements;
+* Datalog(!=) programs compute *monotone* queries: preserved under
+  adding tuples and elements, but not necessarily under identification
+  (Example 2.1's w-avoiding path query is the witness).
+
+These helpers generate random extensions / identifications and check
+preservation of the computed goal relation -- the property-based tests
+drive them with hypothesis, and the test suite exhibits the paper's
+separating examples.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable
+
+from repro.datalog.ast import Program
+from repro.datalog.evaluation import evaluate
+from repro.structures.structure import Structure
+
+Element = Hashable
+
+
+def random_extension(
+    structure: Structure, seed: int, extra_elements: int = 2, extra_tuples: int = 3
+) -> Structure:
+    """A random superstructure: new elements and new relation tuples."""
+    rng = random.Random(seed)
+    universe = set(structure.universe)
+    fresh = [("new", seed, i) for i in range(extra_elements)]
+    universe.update(fresh)
+    pool = sorted(universe, key=repr)
+    relations = {
+        name: set(structure.relation(name))
+        for name in structure.vocabulary.relation_names
+    }
+    names = sorted(relations)
+    for __ in range(extra_tuples):
+        name = rng.choice(names)
+        arity = structure.vocabulary.arity(name)
+        relations[name].add(tuple(rng.choice(pool) for __ in range(arity)))
+    return Structure(
+        structure.vocabulary, universe, relations, dict(structure.constants)
+    )
+
+
+def identify_elements(
+    structure: Structure, victim: Element, survivor: Element
+) -> Structure:
+    """The quotient structure identifying ``victim`` with ``survivor``.
+
+    The non-injective collapse of the paper's strong-monotonicity
+    discussion; constants interpreted by the victim move to the
+    survivor.
+    """
+    if victim not in structure.universe or survivor not in structure.universe:
+        raise ValueError("both elements must belong to the universe")
+
+    def image(x: Element) -> Element:
+        return survivor if x == victim else x
+
+    relations = {
+        name: {tuple(image(x) for x in t) for t in structure.relation(name)}
+        for name in structure.vocabulary.relation_names
+    }
+    constants = {
+        name: image(value) for name, value in structure.constants.items()
+    }
+    universe = {image(x) for x in structure.universe}
+    return Structure(structure.vocabulary, universe, relations, constants)
+
+
+def random_identification(
+    structure: Structure, seed: int
+) -> tuple[Structure, Element, Element] | None:
+    """A random single identification (None if fewer than 2 elements).
+
+    Elements interpreting constants are never collapsed (distinguished
+    nodes must stay pairwise distinct).
+    """
+    rng = random.Random(seed)
+    protected = set(structure.constants.values())
+    candidates = sorted(
+        (x for x in structure.universe if x not in protected), key=repr
+    )
+    if len(candidates) < 2:
+        return None
+    victim, survivor = rng.sample(candidates, 2)
+    return identify_elements(structure, victim, survivor), victim, survivor
+
+
+def is_monotone_on(
+    program: Program, smaller: Structure, larger: Structure
+) -> bool:
+    """Whether the goal relation on ``smaller`` survives in ``larger``.
+
+    ``larger`` must extend ``smaller`` (superset universe and
+    relations); the check is goal-relation containment.
+    """
+    before = evaluate(program, smaller).goal_relation
+    after = evaluate(program, larger).goal_relation
+    return before <= after
+
+
+def is_strongly_monotone_on(
+    program: Program,
+    structure: Structure,
+    victim: Element,
+    survivor: Element,
+) -> bool:
+    """Preservation under identifying ``victim`` with ``survivor``.
+
+    Every goal tuple of the original must map (under the collapse) to a
+    goal tuple of the quotient -- the defining property of strongly
+    monotone queries, which all pure Datalog programs have and
+    Datalog(!=) programs may lack.
+    """
+    quotient = identify_elements(structure, victim, survivor)
+
+    def image(x: Element) -> Element:
+        return survivor if x == victim else x
+
+    before = evaluate(program, structure).goal_relation
+    after = evaluate(program, quotient).goal_relation
+    return all(tuple(image(x) for x in t) in after for t in before)

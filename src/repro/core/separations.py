@@ -1,0 +1,131 @@
+"""Corollary 6.8: the even simple path query is not in L^omega.
+
+The reduction: from a graph G with distinguished s1..s4 build ``G*`` by
+*doubling* every edge (u, v) into (u, w), (w, v) with w fresh, adding a
+new node t, an edge s2 -> s3 and an edge s4 -> t.  Then::
+
+    G has disjoint s1->s2 / s3->s4 paths
+        <=>  G* has a simple path of even length from s1 to t
+
+:func:`even_simple_path_certificate` transports the Theorem 6.6
+certificate through this reduction: an ``L^k`` sentence for even simple
+path would give an ``L^{2k}`` sentence for the H1 query, so Player II's
+2k-pebble strategy on (A_{2k}, B_{2k}) drives a k-pebble strategy on
+(A*, B*) -- each pebble on a midpoint node consumes two auxiliary
+pebbles, exactly as in the proof.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.core.certificates import (
+    InexpressibilityCertificate,
+    theorem_66_certificate,
+)
+from repro.games.simulate import GameState
+from repro.graphs.digraph import DiGraph
+
+Node = Hashable
+
+#: The fresh sink node added by the doubling reduction.
+T_NODE = ("t*",)
+
+
+def midpoint(u: Node, v: Node) -> Node:
+    """The fresh node subdividing the doubled edge (u, v)."""
+    return ("mid", u, v)
+
+
+def double_graph(graph: DiGraph) -> DiGraph:
+    """The Corollary 6.8 reduction ``G -> G*``.
+
+    ``graph`` must carry distinguished nodes s1..s4; the result carries
+    distinguished ``s`` (= s1) and ``t`` (the fresh node).
+    """
+    distinguished = graph.distinguished
+    for name in ("s1", "s2", "s3", "s4"):
+        if name not in distinguished:
+            raise ValueError(f"input graph lacks distinguished node {name}")
+    edges: set[tuple] = set()
+    for u, v in graph.edges:
+        w = midpoint(u, v)
+        edges.add((u, w))
+        edges.add((w, v))
+    edges.add((distinguished["s2"], distinguished["s3"]))
+    edges.add((distinguished["s4"], T_NODE))
+    return DiGraph(
+        set(graph.nodes) | {T_NODE},
+        edges,
+        distinguished={"s": distinguished["s1"], "t": T_NODE},
+    )
+
+
+class _DoublingStrategy:
+    """Player II on (A*, B*) driven by a 2k-pebble strategy on (A, B).
+
+    Pebble i of the k-pebble game owns auxiliary pebbles 2i and 2i+1 of
+    the base game; original nodes use one, midpoints use both, and the
+    fresh t-node answers t directly.
+    """
+
+    def __init__(self, base, a: DiGraph, b: DiGraph, k: int) -> None:
+        self._base = base
+        self._a = a
+        self._b = b
+        self._aux = GameState(k=2 * k)
+        self._owned: dict[int, list[int]] = {}
+
+    def _base_place(self, aux_pebble: int, element: Node) -> Node:
+        answer = self._base.respond(self._aux, aux_pebble, element)
+        self._aux.board_a[aux_pebble] = element
+        self._aux.board_b[aux_pebble] = answer
+        return answer
+
+    def respond(self, state: GameState, pebble: int, element: Node) -> Node:
+        if element == T_NODE:
+            self._owned[pebble] = []
+            return T_NODE
+        if isinstance(element, tuple) and len(element) == 3 and element[0] == "mid":
+            __, u, v = element
+            first = self._base_place(2 * pebble, u)
+            second = self._base_place(2 * pebble + 1, v)
+            self._owned[pebble] = [2 * pebble, 2 * pebble + 1]
+            return midpoint(first, second)
+        answer = self._base_place(2 * pebble, element)
+        self._owned[pebble] = [2 * pebble]
+        return answer
+
+    def notify_removal(self, state: GameState, pebble: int) -> None:
+        for aux_pebble in self._owned.pop(pebble, []):
+            del self._aux.board_a[aux_pebble]
+            del self._aux.board_b[aux_pebble]
+            self._base.notify_removal(self._aux, aux_pebble)
+
+
+def even_simple_path_certificate(k: int) -> InexpressibilityCertificate:
+    """A certificate that the even simple path query is not in L^k.
+
+    ``A* = double(A_{2k})`` has an even simple s -> t path; ``B* =
+    double(B_{2k})`` does not; Player II survives the existential
+    k-pebble game on (A*, B*) by bookkeeping the 2k-pebble Theorem 6.6
+    strategy underneath (Corollary 6.8's argument, executably).
+    """
+    base = theorem_66_certificate(2 * k)
+    a_star = double_graph(base.a_graph)
+    b_star = double_graph(base.b_graph)
+
+    def factory():
+        return _DoublingStrategy(
+            base.fresh_strategy(), base.a_graph, base.b_graph, k
+        )
+
+    return InexpressibilityCertificate(
+        k=k,
+        pattern_name="even-simple-path",
+        a=a_star.to_structure(),
+        b=b_star.to_structure(),
+        a_graph=a_star,
+        b_graph=b_star,
+        strategy_factory=factory,
+    )

@@ -1,0 +1,58 @@
+"""Datalog(!=): the query language of the paper (Section 2).
+
+A Datalog(!=) program is a finite set of rules whose bodies may contain
+atomic formulas, equalities, and inequalities -- but no negation.  Its
+semantics is the least fixpoint of the monotone operator the rules induce
+on every finite structure.
+
+Public API
+----------
+
+* AST: :class:`Variable`, :class:`Constant`, :class:`Atom`,
+  :class:`Equality`, :class:`Inequality`, :class:`Rule`, :class:`Program`.
+* :func:`parse_program` -- text syntax (``Head(x, y) :- E(x, z), z != y.``).
+* :func:`evaluate` / :func:`stages` / :func:`boolean_query` -- the fixpoint
+  engine (naive and semi-naive) and the paper's stage sequence
+  ``Theta^1 <= Theta^2 <= ...``.
+* :mod:`repro.datalog.library` -- every concrete program in the paper.
+* :mod:`repro.datalog.homeo` -- generated programs for Theorems 6.1 / 6.2.
+"""
+
+from repro.datalog.ast import (
+    Atom,
+    Constant,
+    Equality,
+    Inequality,
+    Program,
+    Rule,
+    Variable,
+)
+from repro.datalog.algebra_engine import evaluate_algebra
+from repro.datalog.evaluation import (
+    FixpointResult,
+    boolean_query,
+    evaluate,
+    stages,
+)
+from repro.datalog.parser import ParseError, parse_program, parse_rule
+from repro.datalog.validation import ProgramAnalysis, analyze_program
+
+__all__ = [
+    "Variable",
+    "Constant",
+    "Atom",
+    "Equality",
+    "Inequality",
+    "Rule",
+    "Program",
+    "parse_program",
+    "parse_rule",
+    "ParseError",
+    "evaluate",
+    "evaluate_algebra",
+    "stages",
+    "boolean_query",
+    "FixpointResult",
+    "analyze_program",
+    "ProgramAnalysis",
+]

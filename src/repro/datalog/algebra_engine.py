@@ -1,0 +1,330 @@
+"""An algebra-backed Datalog(!=) engine.
+
+A third evaluation strategy (after the naive and semi-naive binding
+engines of :mod:`repro.datalog.evaluation`): compile every rule body
+into a relational-algebra expression once, then iterate the operator by
+evaluating the expressions against the growing IDB overlay -- the way a
+relational database would execute the program.
+
+Rule compilation:
+
+* each body atom becomes a :class:`Base` over its predicate, columns
+  named by the atom's variables (repeated variables collapse inside the
+  Base, constants become placeholder columns selected against the
+  structure constant);
+* the body atoms are folded with natural :class:`Join`;
+* rule variables bound by no atom are padded in with :class:`Universe`
+  columns (the paper's universe-ranging semantics);
+* equalities and inequalities become a :class:`Select`.
+
+Cross-validated against the binding engines by the test suite on the
+library programs and on hypothesis-generated random programs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Mapping
+
+from repro.datalog.ast import (
+    Atom,
+    Constant,
+    Equality,
+    Inequality,
+    Program,
+    Rule,
+    Variable,
+)
+from repro.datalog.evaluation import FixpointResult, _database_from_structure
+from repro.relalg.expressions import (
+    Base,
+    Condition,
+    Expression,
+    Join,
+    Select,
+    Truth,
+    Universe,
+    evaluate_expression,
+    expression_columns,
+)
+from repro.structures.structure import Structure
+
+Element = Hashable
+
+
+@dataclass(frozen=True)
+class CompiledRule:
+    """A rule body as an algebra expression plus head assembly data.
+
+    ``head_terms`` holds, per head position, either a column name (for
+    variables) or a ``Constant`` to resolve against the structure.
+    """
+
+    rule: Rule
+    expression: Expression
+    columns: tuple[str, ...]
+    head_terms: tuple
+
+
+def compile_rule(rule: Rule) -> CompiledRule:
+    """Compile one rule's body into a relational-algebra expression."""
+    expression: Expression = Truth()
+    pending_conditions: list[Condition] = []
+
+    for index, literal in enumerate(rule.body):
+        if not isinstance(literal, Atom):
+            continue
+        columns: list[str] = []
+        for position, term in enumerate(literal.args):
+            if isinstance(term, Variable):
+                columns.append(term.name)
+            else:
+                placeholder = f"_k{index}_{position}"
+                columns.append(placeholder)
+                pending_conditions.append(
+                    Condition(placeholder, "=", term.name, True)
+                )
+        base: Expression = Base(literal.predicate, tuple(columns))
+        expression = (
+            base if isinstance(expression, Truth) else Join(expression, base)
+        )
+
+    # Pad in variables no atom binds (head-only / constraint-only vars).
+    present = set(expression_columns(expression))
+    for variable in sorted(rule.variables()):
+        if variable.name not in present:
+            expression = Join(expression, Universe(variable.name))
+            present.add(variable.name)
+
+    # Constraints.
+    for literal in rule.constraints():
+        comparator = "=" if isinstance(literal, Equality) else "!="
+        left, right = literal.left, literal.right
+        if isinstance(left, Variable) and isinstance(right, Variable):
+            pending_conditions.append(
+                Condition(left.name, comparator, right.name)
+            )
+        elif isinstance(left, Variable):
+            pending_conditions.append(
+                Condition(left.name, comparator, right.name, True)
+            )
+        elif isinstance(right, Variable):
+            pending_conditions.append(
+                Condition(right.name, comparator, left.name, True)
+            )
+        else:
+            # Constant-vs-constant: route both through a scratch column.
+            scratch = f"_cc{len(pending_conditions)}"
+            expression = Join(expression, Universe(scratch))
+            pending_conditions.append(
+                Condition(scratch, "=", left.name, True)
+            )
+            pending_conditions.append(
+                Condition(scratch, comparator, right.name, True)
+            )
+
+    if pending_conditions:
+        expression = Select(expression, tuple(pending_conditions))
+
+    head_terms = tuple(
+        term.name if isinstance(term, Variable) else term
+        for term in rule.head.args
+    )
+    return CompiledRule(
+        rule=rule,
+        expression=expression,
+        columns=expression_columns(expression),
+        head_terms=head_terms,
+    )
+
+
+def compile_program(program: Program) -> tuple[CompiledRule, ...]:
+    """Compile every rule of the program."""
+    return tuple(compile_rule(rule) for rule in program.rules)
+
+
+#: Overlay-key prefix for delta relations (cannot clash with user names).
+_DELTA = "\x00delta\x00"
+
+
+def _with_delta_base(
+    expression: Expression, predicate: str, occurrence: int
+) -> tuple[Expression, int]:
+    """Rewrite the ``occurrence``-th Base over ``predicate`` to read the
+    delta overlay; returns (expression, occurrences seen so far)."""
+    if isinstance(expression, Base):
+        if expression.relation_name == predicate:
+            if occurrence == 0:
+                return Base(_DELTA + predicate, expression.columns), -1
+            return expression, 1
+        return expression, 0
+    if isinstance(expression, Join):
+        left, seen_left = _with_delta_base(
+            expression.left, predicate, occurrence
+        )
+        if seen_left == -1:
+            return Join(left, expression.right), -1
+        right, seen_right = _with_delta_base(
+            expression.right, predicate, occurrence - seen_left
+        )
+        if seen_right == -1:
+            return Join(left, right), -1
+        return expression, seen_left + seen_right
+    if isinstance(expression, Select):
+        inner, seen = _with_delta_base(
+            expression.source, predicate, occurrence
+        )
+        if seen == -1:
+            return Select(inner, expression.conditions), -1
+        return expression, seen
+    return expression, 0
+
+
+def compile_rule_deltas(
+    rule: Rule, idb_predicates: frozenset[str]
+) -> tuple[CompiledRule, ...]:
+    """Delta variants of a rule: one per IDB body-atom occurrence.
+
+    Variant i joins the i-th IDB occurrence against the *delta* of its
+    predicate and everything else against the full relations -- the
+    standard semi-naive rewriting, expressed in the algebra.
+    """
+    base = compile_rule(rule)
+    variants: list[CompiledRule] = []
+    occurrence_by_predicate: dict[str, int] = {}
+    for atom in rule.body_atoms():
+        if atom.predicate not in idb_predicates:
+            continue
+        occurrence = occurrence_by_predicate.get(atom.predicate, 0)
+        occurrence_by_predicate[atom.predicate] = occurrence + 1
+        rewritten, seen = _with_delta_base(
+            base.expression, atom.predicate, occurrence
+        )
+        if seen != -1:  # pragma: no cover - occurrence must exist
+            raise AssertionError("delta rewriting missed an occurrence")
+        variants.append(
+            CompiledRule(
+                rule=rule,
+                expression=rewritten,
+                columns=base.columns,
+                head_terms=base.head_terms,
+            )
+        )
+    return tuple(variants)
+
+
+def _head_tuples(
+    compiled: CompiledRule,
+    structure: Structure,
+    database: Mapping[str, frozenset],
+) -> set[tuple]:
+    relation = evaluate_expression(
+        compiled.expression, structure, database
+    )
+    positions = []
+    for term in compiled.head_terms:
+        if isinstance(term, Constant):
+            positions.append(term)
+        else:
+            positions.append(relation.index_of(term))
+    results = set()
+    for row in relation.rows:
+        results.add(tuple(
+            structure.constants[term.name]
+            if isinstance(term, Constant)
+            else row[term]
+            for term in positions
+        ))
+    return results
+
+
+def evaluate_algebra(
+    program: Program,
+    structure: Structure,
+    extra_edb: Mapping[str, Iterable[tuple]] | None = None,
+    method: str = "naive",
+) -> FixpointResult:
+    """Least fixpoint via iteration of the compiled algebra.
+
+    Same contract as :func:`repro.datalog.evaluation.evaluate`, third
+    implementation; ``method`` selects plain operator iteration
+    (``"naive"``) or the delta-rewritten rules (``"seminaive"``).
+    """
+    if method not in ("naive", "seminaive"):
+        raise ValueError(f"unknown evaluation method {method!r}")
+    database, __ = _database_from_structure(program, structure, extra_edb)
+    for predicate in program.idb_predicates:
+        database.setdefault(predicate, set())
+    compiled_rules = compile_program(program)
+
+    iterations = 0
+    if method == "naive":
+        while True:
+            iterations += 1
+            frozen = {
+                name: frozenset(rows) for name, rows in database.items()
+            }
+            changed = False
+            for compiled in compiled_rules:
+                derived = _head_tuples(compiled, structure, frozen)
+                target = database[compiled.rule.head.predicate]
+                if not derived <= target:
+                    target |= derived
+                    changed = True
+            if not changed:
+                break
+    else:
+        iterations = _seminaive_algebra(
+            program, structure, database, compiled_rules
+        )
+
+    return FixpointResult(
+        relations={
+            p: frozenset(database[p]) for p in program.idb_predicates
+        },
+        goal=program.goal,
+        stages=None,
+        iterations=iterations,
+    )
+
+
+def _seminaive_algebra(
+    program: Program,
+    structure: Structure,
+    database: dict,
+    compiled_rules: tuple[CompiledRule, ...],
+) -> int:
+    """Delta-driven iteration of the compiled algebra."""
+    idb = program.idb_predicates
+    delta_rules = [
+        variant
+        for rule in program.rules
+        for variant in compile_rule_deltas(rule, idb)
+    ]
+
+    # Round one: every rule against the initial (EDB-only) database.
+    frozen = {name: frozenset(rows) for name, rows in database.items()}
+    delta: dict[str, set] = {p: set() for p in idb}
+    for compiled in compiled_rules:
+        derived = _head_tuples(compiled, structure, frozen)
+        fresh = derived - database[compiled.rule.head.predicate]
+        database[compiled.rule.head.predicate] |= fresh
+        delta[compiled.rule.head.predicate] |= fresh
+    iterations = 1
+
+    while any(delta.values()):
+        iterations += 1
+        overlay = {
+            name: frozenset(rows) for name, rows in database.items()
+        }
+        for predicate, rows in delta.items():
+            overlay[_DELTA + predicate] = frozenset(rows)
+        new_delta: dict[str, set] = {p: set() for p in idb}
+        for compiled in delta_rules:
+            derived = _head_tuples(compiled, structure, overlay)
+            fresh = derived - database[compiled.rule.head.predicate]
+            new_delta[compiled.rule.head.predicate] |= fresh
+        for predicate, rows in new_delta.items():
+            database[predicate] |= rows
+        delta = new_delta
+    return iterations

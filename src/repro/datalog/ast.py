@@ -1,0 +1,275 @@
+"""Abstract syntax for Datalog(!=) programs.
+
+Terms are variables or constants; constants refer by name to the constant
+symbols of the structure the program is evaluated on (the paper's
+distinguished nodes ``s_1, ..., s_l``).  Rule bodies mix relational atoms
+with equalities and inequalities; negated atoms do not exist in this
+language by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Union
+
+
+@dataclass(frozen=True, order=True)
+class Variable:
+    """A rule variable, e.g. ``x`` in ``E(x, y)``."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("variable name must be non-empty")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, order=True)
+class Constant:
+    """A reference to a constant symbol of the input structure.
+
+    Written ``$name`` in the concrete syntax, e.g. ``$s1``.
+    """
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("constant name must be non-empty")
+
+    def __str__(self) -> str:
+        return f"${self.name}"
+
+
+Term = Union[Variable, Constant]
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A relational atom ``P(t_1, ..., t_n)``; ``n = 0`` is allowed.
+
+    Nullary atoms (``P()``) are used by the generated game programs of
+    Theorem 6.2, where "all pebbles removed" is a propositional fact.
+    """
+
+    predicate: str
+    args: tuple[Term, ...] = ()
+
+    def __init__(self, predicate: str, args: Iterable[Term] = ()) -> None:
+        if not predicate:
+            raise ValueError("predicate name must be non-empty")
+        object.__setattr__(self, "predicate", predicate)
+        object.__setattr__(self, "args", tuple(args))
+
+    @property
+    def arity(self) -> int:
+        """Number of argument positions."""
+        return len(self.args)
+
+    def variables(self) -> frozenset[Variable]:
+        """The variables occurring in this atom."""
+        return frozenset(t for t in self.args if isinstance(t, Variable))
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(t) for t in self.args)
+        return f"{self.predicate}({inner})"
+
+
+@dataclass(frozen=True)
+class Equality:
+    """An equality ``t1 = t2`` in a rule body."""
+
+    left: Term
+    right: Term
+
+    def variables(self) -> frozenset[Variable]:
+        """The variables occurring in this equality."""
+        return frozenset(
+            t for t in (self.left, self.right) if isinstance(t, Variable)
+        )
+
+    def __str__(self) -> str:
+        return f"{self.left} = {self.right}"
+
+
+@dataclass(frozen=True)
+class Inequality:
+    """An inequality ``t1 != t2`` in a rule body -- the construct that
+    separates Datalog(!=) from Datalog."""
+
+    left: Term
+    right: Term
+
+    def variables(self) -> frozenset[Variable]:
+        """The variables occurring in this inequality."""
+        return frozenset(
+            t for t in (self.left, self.right) if isinstance(t, Variable)
+        )
+
+    def __str__(self) -> str:
+        return f"{self.left} != {self.right}"
+
+
+BodyLiteral = Union[Atom, Equality, Inequality]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A rule ``head :- body``; an empty body makes the rule a fact schema.
+
+    Variables range over the whole universe of the input structure (the
+    paper's semantics ``Theta(S) = {a : A, a |= phi(w, S)}``), so a head
+    variable that never occurs in the body is legal and universally
+    enumerated -- the ``Q_{1,l}`` programs of Theorem 6.1 rely on this.
+    """
+
+    head: Atom
+    body: tuple[BodyLiteral, ...] = ()
+
+    def __init__(self, head: Atom, body: Iterable[BodyLiteral] = ()) -> None:
+        object.__setattr__(self, "head", head)
+        object.__setattr__(self, "body", tuple(body))
+
+    def variables(self) -> frozenset[Variable]:
+        """All variables of the rule (head and body)."""
+        result = set(self.head.variables())
+        for literal in self.body:
+            result |= literal.variables()
+        return frozenset(result)
+
+    def body_atoms(self) -> tuple[Atom, ...]:
+        """The relational atoms of the body, in order."""
+        return tuple(lit for lit in self.body if isinstance(lit, Atom))
+
+    def constraints(self) -> tuple[Union[Equality, Inequality], ...]:
+        """The equalities and inequalities of the body, in order."""
+        return tuple(
+            lit for lit in self.body if not isinstance(lit, Atom)
+        )
+
+    def __str__(self) -> str:
+        if not self.body:
+            return f"{self.head}."
+        inner = ", ".join(str(lit) for lit in self.body)
+        return f"{self.head} :- {inner}."
+
+
+class Program:
+    """A Datalog(!=) program: rules plus a designated goal predicate.
+
+    The IDB predicates are those occurring in rule heads; all other
+    predicates are EDBs and must be interpreted by the input structure.
+
+    Examples
+    --------
+    >>> from repro.datalog.parser import parse_program
+    >>> tc = parse_program('''
+    ...     S(x, y) :- E(x, y).
+    ...     S(x, y) :- E(x, z), S(z, y).
+    ... ''', goal="S")
+    >>> sorted(tc.idb_predicates)
+    ['S']
+    >>> sorted(tc.edb_predicates)
+    ['E']
+    """
+
+    __slots__ = ("_rules", "_goal", "_arities", "_idb", "_edb")
+
+    def __init__(self, rules: Iterable[Rule], goal: str) -> None:
+        rule_tuple = tuple(rules)
+        if not rule_tuple:
+            raise ValueError("a program needs at least one rule")
+        arities: dict[str, int] = {}
+        for rule in rule_tuple:
+            for atom in (rule.head, *rule.body_atoms()):
+                known = arities.get(atom.predicate)
+                if known is not None and known != atom.arity:
+                    raise ValueError(
+                        f"predicate {atom.predicate!r} used with arities "
+                        f"{known} and {atom.arity}"
+                    )
+                arities[atom.predicate] = atom.arity
+        idb = frozenset(rule.head.predicate for rule in rule_tuple)
+        if goal not in idb:
+            raise ValueError(
+                f"goal predicate {goal!r} never occurs in a rule head"
+            )
+        self._rules = rule_tuple
+        self._goal = goal
+        self._arities = arities
+        self._idb = idb
+        self._edb = frozenset(arities) - idb
+
+    @property
+    def rules(self) -> tuple[Rule, ...]:
+        """The program's rules, in declaration order."""
+        return self._rules
+
+    @property
+    def goal(self) -> str:
+        """The goal predicate's name."""
+        return self._goal
+
+    @property
+    def idb_predicates(self) -> frozenset[str]:
+        """Predicates defined by rules (intensional database)."""
+        return self._idb
+
+    @property
+    def edb_predicates(self) -> frozenset[str]:
+        """Predicates the input structure must interpret (extensional)."""
+        return self._edb
+
+    def arity(self, predicate: str) -> int:
+        """Arity of ``predicate`` as used in this program."""
+        return self._arities[predicate]
+
+    def constants(self) -> frozenset[str]:
+        """Names of all constants mentioned by the program."""
+        names: set[str] = set()
+        for rule in self._rules:
+            for atom in (rule.head, *rule.body_atoms()):
+                names.update(
+                    t.name for t in atom.args if isinstance(t, Constant)
+                )
+            for constraint in rule.constraints():
+                for term in (constraint.left, constraint.right):
+                    if isinstance(term, Constant):
+                        names.add(term.name)
+        return frozenset(names)
+
+    def is_pure_datalog(self) -> bool:
+        """Whether the program is plain Datalog (no =, no !=).
+
+        Pure Datalog programs compute *strongly monotone* queries; the
+        inequality-using programs of Section 6 are deliberately not pure.
+        """
+        return all(not rule.constraints() for rule in self._rules)
+
+    def rules_for(self, predicate: str) -> tuple[Rule, ...]:
+        """The rules whose head predicate is ``predicate``."""
+        return tuple(
+            rule for rule in self._rules if rule.head.predicate == predicate
+        )
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(self._rules)
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Program):
+            return NotImplemented
+        return self._rules == other._rules and self._goal == other._goal
+
+    def __hash__(self) -> int:
+        return hash((self._rules, self._goal))
+
+    def __str__(self) -> str:
+        lines = [str(rule) for rule in self._rules]
+        lines.append(f"% goal: {self._goal}")
+        return "\n".join(lines)

@@ -1,0 +1,465 @@
+"""Bottom-up fixpoint evaluation of Datalog(!=) programs.
+
+Two engines are provided and cross-validated against each other in the
+test suite:
+
+* **naive** -- iterate the paper's operator ``Theta`` from the empty
+  interpretation; the intermediate interpretations are exactly the stages
+  ``Theta^1 <= Theta^2 <= ...`` of Section 2, which Theorem 3.6 translates
+  into ``L^{l+r}`` formulas;
+* **semi-naive** -- the standard delta-driven optimisation, used by
+  default.
+
+Variables range over the *universe* of the input structure (the paper
+defines ``Theta_A(S) = {a : A, a |= phi(w, S)}`` with no range
+restriction), so variables that occur only in the head or in constraints
+are enumerated over the whole universe.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Iterator, Mapping
+
+from repro.datalog.ast import (
+    Atom,
+    Constant,
+    Equality,
+    Inequality,
+    Program,
+    Rule,
+    Term,
+    Variable,
+)
+from repro.structures.structure import Structure
+
+Element = Hashable
+Database = dict[str, set]
+Binding = dict[Variable, Element]
+
+
+@dataclass(frozen=True)
+class FixpointResult:
+    """The least fixpoint of a program on a structure.
+
+    Attributes
+    ----------
+    relations:
+        Final interpretation of every IDB predicate.
+    goal:
+        Name of the goal predicate.
+    stages:
+        When requested, the sequence ``Theta^1, Theta^2, ...`` (one dict of
+        IDB relations per stage, cumulative, last equals ``relations``).
+    iterations:
+        Number of operator applications performed until stabilisation.
+    """
+
+    relations: Mapping[str, frozenset]
+    goal: str
+    stages: tuple[Mapping[str, frozenset], ...] | None
+    iterations: int
+
+    @property
+    def goal_relation(self) -> frozenset:
+        """The relation computed for the goal predicate."""
+        return self.relations[self.goal]
+
+    def holds(self, arguments: tuple = ()) -> bool:
+        """Whether the goal relation contains ``arguments``."""
+        return tuple(arguments) in self.goal_relation
+
+
+def _resolve(term: Term, binding: Binding, constants: Mapping[str, Element]):
+    """The element a term denotes under ``binding``; None if unbound."""
+    if isinstance(term, Constant):
+        try:
+            return constants[term.name]
+        except KeyError:
+            raise ValueError(
+                f"program mentions constant ${term.name} but the structure "
+                "does not interpret it"
+            ) from None
+    return binding.get(term)
+
+
+def _match_atom(
+    atom: Atom,
+    tuples: Iterable[tuple],
+    bindings: list[Binding],
+    constants: Mapping[str, Element],
+) -> list[Binding]:
+    """Join the current bindings with an atom over the given tuples.
+
+    A hash join: for each set of argument positions already determined
+    by a binding, the relation is indexed once on those positions, so
+    each binding only touches the rows that can possibly match.
+    """
+    result: list[Binding] = []
+    tuple_list = list(tuples)
+    indexes: dict[tuple, dict[tuple, list[tuple]]] = {}
+    for binding in bindings:
+        bound_positions: list[int] = []
+        key: list[Element] = []
+        for position, term in enumerate(atom.args):
+            value = _resolve(term, binding, constants)
+            if value is not None:
+                bound_positions.append(position)
+                key.append(value)
+        positions = tuple(bound_positions)
+        index = indexes.get(positions)
+        if index is None:
+            index = {}
+            for row in tuple_list:
+                index.setdefault(
+                    tuple(row[i] for i in positions), []
+                ).append(row)
+            indexes[positions] = index
+        for row in index.get(tuple(key), ()):
+            extended = dict(binding)
+            ok = True
+            for term, value in zip(atom.args, row):
+                known = _resolve(term, extended, constants)
+                if known is None:
+                    extended[term] = value  # term must be a Variable
+                elif known != value:
+                    ok = False
+                    break
+            if ok:
+                result.append(extended)
+    return result
+
+
+def _apply_ready_constraints(
+    rule: Rule,
+    bindings: list[Binding],
+    constants: Mapping[str, Element],
+    pending: set[int],
+) -> list[Binding]:
+    """Filter bindings by constraints whose terms are all determined.
+
+    Equalities with exactly one bound side *bind* the other side instead
+    of filtering.  ``pending`` holds indices (into ``rule.body``) of
+    constraints not yet applied and is updated in place.
+    """
+    changed = True
+    while changed and pending:
+        changed = False
+        for index in sorted(pending):
+            literal = rule.body[index]
+            left, right = literal.left, literal.right
+            survivors: list[Binding] = []
+            # Decide whether this constraint is ready for every binding:
+            # constraints are ready when, for each binding, both sides are
+            # resolvable -- or, for an equality, one side is.
+            ready = True
+            for binding in bindings:
+                lv = _resolve(left, binding, constants)
+                rv = _resolve(right, binding, constants)
+                if lv is None and rv is None:
+                    ready = False
+                    break
+                if isinstance(literal, Inequality) and (lv is None or rv is None):
+                    ready = False
+                    break
+            if not ready:
+                continue
+            for binding in bindings:
+                lv = _resolve(left, binding, constants)
+                rv = _resolve(right, binding, constants)
+                if isinstance(literal, Equality):
+                    if lv is None:
+                        extended = dict(binding)
+                        extended[left] = rv
+                        survivors.append(extended)
+                    elif rv is None:
+                        extended = dict(binding)
+                        extended[right] = lv
+                        survivors.append(extended)
+                    elif lv == rv:
+                        survivors.append(binding)
+                else:
+                    if lv != rv:
+                        survivors.append(binding)
+            bindings = survivors
+            pending.discard(index)
+            changed = True
+    return bindings
+
+
+def _rule_bindings(
+    rule: Rule,
+    database: Mapping[str, Iterable[tuple]],
+    universe: Iterable[Element],
+    constants: Mapping[str, Element],
+    delta_index: int | None = None,
+    delta: Iterable[tuple] | None = None,
+) -> Iterator[Binding]:
+    """All satisfying bindings for a rule body.
+
+    When ``delta_index`` is given, the ``delta_index``-th relational atom
+    is joined against ``delta`` instead of the full relation (the
+    semi-naive trick).
+    """
+    bindings: list[Binding] = [{}]
+    pending = {
+        index
+        for index, literal in enumerate(rule.body)
+        if not isinstance(literal, Atom)
+    }
+    atom_position = 0
+    for literal in rule.body:
+        if not isinstance(literal, Atom):
+            continue
+        if atom_position == delta_index and delta is not None:
+            rows: Iterable[tuple] = delta
+        else:
+            rows = database.get(literal.predicate, ())
+        bindings = _match_atom(literal, rows, bindings, constants)
+        if not bindings:
+            return
+        bindings = _apply_ready_constraints(rule, bindings, constants, pending)
+        if not bindings:
+            return
+        atom_position += 1
+
+    # Enumerate variables still unbound (head-only / constraint-only vars).
+    universe_list = list(universe)
+    needed = sorted(rule.variables())
+    for binding in bindings:
+        free = [v for v in needed if v not in binding]
+        if not free:
+            candidates: Iterable[Binding] = (binding,)
+        else:
+            candidates = (
+                {**binding, **dict(zip(free, values))}
+                for values in itertools.product(universe_list, repeat=len(free))
+            )
+        for candidate in candidates:
+            if _constraints_hold(rule, candidate, constants):
+                yield candidate
+
+
+def _constraints_hold(
+    rule: Rule, binding: Binding, constants: Mapping[str, Element]
+) -> bool:
+    for literal in rule.constraints():
+        lv = _resolve(literal.left, binding, constants)
+        rv = _resolve(literal.right, binding, constants)
+        if isinstance(literal, Equality):
+            if lv != rv:
+                return False
+        else:
+            if lv == rv:
+                return False
+    return True
+
+
+def _head_tuple(
+    rule: Rule, binding: Binding, constants: Mapping[str, Element]
+) -> tuple:
+    values = []
+    for term in rule.head.args:
+        value = _resolve(term, binding, constants)
+        if value is None:  # pragma: no cover - ruled out by enumeration
+            raise RuntimeError(f"unbound head term {term} in rule {rule}")
+        values.append(value)
+    return tuple(values)
+
+
+def _database_from_structure(
+    program: Program,
+    structure: Structure,
+    extra_edb: Mapping[str, Iterable[tuple]] | None,
+) -> tuple[Database, dict[str, Element]]:
+    extra = {
+        name: {tuple(t) for t in tuples}
+        for name, tuples in (extra_edb or {}).items()
+    }
+    database: Database = {}
+    for predicate in program.edb_predicates:
+        if predicate in extra:
+            database[predicate] = set(extra[predicate])
+        elif structure.vocabulary.has_relation(predicate):
+            database[predicate] = set(structure.relation(predicate))
+        else:
+            raise ValueError(
+                f"EDB predicate {predicate!r} is interpreted neither by the "
+                "structure nor by extra_edb"
+            )
+    constants = dict(structure.constants)
+    missing = program.constants() - set(constants)
+    if missing:
+        raise ValueError(
+            f"program mentions constants the structure does not interpret: "
+            f"{sorted(missing)}"
+        )
+    return database, constants
+
+
+def _apply_all_rules(
+    program: Program,
+    database: Mapping[str, Iterable[tuple]],
+    universe: Iterable[Element],
+    constants: Mapping[str, Element],
+) -> dict[str, set]:
+    """One application of the paper's operator Theta to ``database``."""
+    derived: dict[str, set] = {p: set() for p in program.idb_predicates}
+    for rule in program.rules:
+        for binding in _rule_bindings(rule, database, universe, constants):
+            derived[rule.head.predicate].add(
+                _head_tuple(rule, binding, constants)
+            )
+    return derived
+
+
+def _snapshot(database: Database, idb: frozenset[str]) -> dict[str, frozenset]:
+    return {p: frozenset(database.get(p, ())) for p in idb}
+
+
+def evaluate(
+    program: Program,
+    structure: Structure,
+    extra_edb: Mapping[str, Iterable[tuple]] | None = None,
+    method: str = "seminaive",
+    collect_stages: bool = False,
+) -> FixpointResult:
+    """Compute the least fixpoint ``pi^infty`` of a program on a structure.
+
+    Parameters
+    ----------
+    program:
+        The Datalog(!=) program.
+    structure:
+        Interprets every EDB predicate (unless overridden) and every
+        constant the program mentions.
+    extra_edb:
+        Optional relation overrides/additions, e.g. feeding a previously
+        computed predicate ``T`` into a follow-up program, as the proof of
+        Theorem 6.1 does ("consider the following program in which T is
+        viewed as an EDB predicate").
+    method:
+        ``"seminaive"`` (default) or ``"naive"``.
+    collect_stages:
+        When true, record the cumulative stage relations (forces naive
+        evaluation, whose iterations are exactly the paper's stages).
+    """
+    if method not in ("naive", "seminaive"):
+        raise ValueError(f"unknown evaluation method {method!r}")
+    if collect_stages:
+        method = "naive"
+    database, constants = _database_from_structure(program, structure, extra_edb)
+    universe = list(structure.universe)
+    for predicate in program.idb_predicates:
+        database.setdefault(predicate, set())
+
+    stage_snapshots: list[dict[str, frozenset]] = []
+    iterations = 0
+
+    if method == "naive":
+        while True:
+            derived = _apply_all_rules(program, database, universe, constants)
+            iterations += 1
+            changed = False
+            for predicate, tuples in derived.items():
+                if not tuples <= database[predicate]:
+                    changed = True
+                database[predicate] = database[predicate] | tuples
+            if collect_stages:
+                stage_snapshots.append(
+                    _snapshot(database, program.idb_predicates)
+                )
+            if not changed:
+                break
+    else:
+        iterations = _seminaive(program, database, universe, constants)
+
+    return FixpointResult(
+        relations=_snapshot(database, program.idb_predicates),
+        goal=program.goal,
+        stages=tuple(stage_snapshots) if collect_stages else None,
+        iterations=iterations,
+    )
+
+
+def _seminaive(
+    program: Program,
+    database: Database,
+    universe: list,
+    constants: Mapping[str, Element],
+) -> int:
+    """Delta-driven evaluation; mutates ``database``; returns iterations."""
+    idb = program.idb_predicates
+    # Initial round: every rule against the EDB-only database.
+    delta: dict[str, set] = {p: set() for p in idb}
+    derived = _apply_all_rules(program, database, universe, constants)
+    for predicate, tuples in derived.items():
+        fresh = tuples - database[predicate]
+        database[predicate] |= fresh
+        delta[predicate] = fresh
+    iterations = 1
+
+    while any(delta.values()):
+        new_delta: dict[str, set] = {p: set() for p in idb}
+        for rule in program.rules:
+            atoms = rule.body_atoms()
+            idb_positions = [
+                index
+                for index, atom in enumerate(atoms)
+                if atom.predicate in idb
+            ]
+            if not idb_positions:
+                continue  # EDB-only rules contribute nothing after round 1
+            for position in idb_positions:
+                predicate = atoms[position].predicate
+                if not delta[predicate]:
+                    continue
+                for binding in _rule_bindings(
+                    rule,
+                    database,
+                    universe,
+                    constants,
+                    delta_index=position,
+                    delta=delta[predicate],
+                ):
+                    head = _head_tuple(rule, binding, constants)
+                    if head not in database[rule.head.predicate]:
+                        new_delta[rule.head.predicate].add(head)
+        for predicate, tuples in new_delta.items():
+            database[predicate] |= tuples
+        delta = new_delta
+        iterations += 1
+    return iterations
+
+
+def stages(
+    program: Program,
+    structure: Structure,
+    extra_edb: Mapping[str, Iterable[tuple]] | None = None,
+) -> tuple[Mapping[str, frozenset], ...]:
+    """The paper's stage sequence ``Theta^1, Theta^2, ...`` (cumulative).
+
+    The final entry is the least fixpoint; by the paper's Section 2
+    discussion the sequence stabilises after at most ``|A|^r`` steps.
+    """
+    result = evaluate(
+        program, structure, extra_edb=extra_edb, collect_stages=True
+    )
+    assert result.stages is not None
+    return result.stages
+
+
+def boolean_query(
+    program: Program,
+    structure: Structure,
+    arguments: tuple = (),
+    extra_edb: Mapping[str, Iterable[tuple]] | None = None,
+) -> bool:
+    """Evaluate the program and test ``arguments`` against the goal.
+
+    For a nullary goal, pass the empty tuple; the query is then "was the
+    goal fact derived at all".
+    """
+    result = evaluate(program, structure, extra_edb=extra_edb)
+    return result.holds(arguments)

@@ -1,0 +1,317 @@
+"""Every concrete Datalog(!=) program that appears in the paper.
+
+* :func:`transitive_closure_program` -- Example 2.2 (pure Datalog).
+* :func:`avoiding_path_program` -- Example 2.1: "is there a w-avoiding
+  path from x to y?".
+* :func:`two_disjoint_paths_from_source_program` -- the illustration in
+  the proof of Theorem 6.1 (Q' on top of T).
+* :func:`q_program` -- the general ``Q_{k,l}`` family of Theorem 6.1:
+  k node-disjoint, {t_1..t_l}-avoiding simple paths from s to s_1..s_k.
+* :func:`rooted_star_homeomorphism_program` -- the full Theorem 6.1
+  construction for a pattern in class C, including the self-loop case and
+  the root-is-head orientation (via edge reversal).
+
+The generated programs are cross-validated against the flow oracle
+(:mod:`repro.flow`) and the exact path search in the test suite.
+"""
+
+from __future__ import annotations
+
+from repro.datalog.ast import (
+    Atom,
+    Constant,
+    Equality,
+    Inequality,
+    Program,
+    Rule,
+    Variable,
+)
+from repro.datalog.parser import parse_program
+
+
+def path_systems_program() -> Program:
+    """The path systems query [Coo74], cited in the paper's Section 1 as
+    a PTIME-complete query that plain Datalog captures.
+
+    Input vocabulary: ``Axiom/1`` (the axiom nodes) and ``Rule/3``
+    (``Rule(x, y, z)``: x is derivable from y and z together).  The goal
+    ``D`` holds the derivable nodes::
+
+        D(x) :- Axiom(x).
+        D(x) :- Rule(x, y, z), D(y), D(z).
+    """
+    return parse_program(
+        """
+        D(x) :- Axiom(x).
+        D(x) :- Rule(x, y, z), D(y), D(z).
+        """,
+        goal="D",
+    )
+
+
+def solve_path_system(
+    nodes, axioms, rules
+) -> frozenset:
+    """Ground-truth closure for the path systems query.
+
+    ``rules`` are ``(x, y, z)`` triples meaning "x follows from y and z".
+    """
+    derivable = set(axioms)
+    changed = True
+    while changed:
+        changed = False
+        for x, y, z in rules:
+            if x not in derivable and y in derivable and z in derivable:
+                derivable.add(x)
+                changed = True
+    return frozenset(derivable)
+
+
+def transitive_closure_program() -> Program:
+    """Example 2.2: the transitive-closure query TC (pure Datalog)."""
+    return parse_program(
+        """
+        S(x, y) :- E(x, y).
+        S(x, y) :- E(x, z), S(z, y).
+        """,
+        goal="S",
+    )
+
+
+def avoiding_path_program() -> Program:
+    """Example 2.1: T(x, y, w) <=> there is a w-avoiding path x -> y.
+
+    The canonical Datalog(!=)-but-not-Datalog query: it is monotone but
+    not preserved when universe elements are identified.
+    """
+    return parse_program(
+        """
+        T(x, y, w) :- E(x, y), w != x, w != y.
+        T(x, y, w) :- E(x, z), T(z, y, w), w != x.
+        """,
+        goal="T",
+    )
+
+
+def two_disjoint_paths_from_source_program() -> Program:
+    """The proof of Theorem 6.1, base illustration.
+
+    ``Q(s, s1, s2)`` holds iff there are node-disjoint simple paths from
+    s to s1 and from s to s2 (sharing only s).  The program layers the
+    paper's Q' on the avoiding-path predicate T:
+
+        Q'(s, s1, s2) :- E(s, s2), T(s, s1, s2).
+        Q'(s, s1, s2) :- Q'(s, s1, w), E(w, s2), T(s, s1, s2).
+
+    By Menger's theorem Q' coincides with the disjoint-paths query.
+    """
+    return parse_program(
+        """
+        T(x, y, w) :- E(x, y), w != x, w != y.
+        T(x, y, w) :- E(x, z), T(z, y, w), w != x.
+        Q(s, s1, s2) :- E(s, s2), T(s, s1, s2).
+        Q(s, s1, s2) :- Q(s, s1, w), E(w, s2), T(s, s1, s2).
+        """,
+        goal="Q",
+    )
+
+
+def q_predicate_name(k: int, l: int) -> str:
+    """The predicate name used for ``Q_{k,l}``."""
+    return f"Q_{k}_{l}"
+
+
+def _edge(u: Variable, v: Variable, reverse: bool) -> Atom:
+    """An E-atom, optionally with reversed orientation.
+
+    Reversal realises the "root is the head of every edge" half of class
+    C: paths towards the root in G are paths from the root in G reversed,
+    and reversing every E-atom of the program is equivalent to reversing
+    the input graph.
+    """
+    if reverse:
+        return Atom("E", (v, u))
+    return Atom("E", (u, v))
+
+
+def q_rules(k: int, l: int, reverse: bool = False) -> list[Rule]:
+    """The rules defining ``Q_{k,l}`` (only; no auxiliary predicates).
+
+    Head: ``Q_{k,l}(s, s1, ..., sk, t1, ..., tl)``.
+    """
+    if k < 1 or l < 0:
+        raise ValueError("need k >= 1 and l >= 0")
+    s = Variable("s")
+    targets = [Variable(f"s{i}") for i in range(1, k + 1)]
+    avoided = [Variable(f"t{i}") for i in range(1, l + 1)]
+    w = Variable("w")
+    head = Atom(q_predicate_name(k, l), (s, *targets, *avoided))
+
+    if k == 1:
+        s1 = targets[0]
+        base_body = [_edge(s, s1, reverse)]
+        base_body += [Inequality(s, t) for t in avoided]
+        base_body += [Inequality(s1, t) for t in avoided]
+        rec_body = [
+            Atom(q_predicate_name(1, l), (s, w, *avoided)),
+            _edge(w, s1, reverse),
+        ]
+        rec_body += [Inequality(s1, t) for t in avoided]
+        return [Rule(head, base_body), Rule(head, rec_body)]
+
+    sk = targets[-1]
+    inner = Atom(
+        q_predicate_name(k - 1, l + 1),
+        (s, *targets[:-1], sk, *avoided),
+    )
+    # Note: the paper's displayed rules omit the ``sk != t_i``
+    # inequalities for k >= 2, but its correctness argument (Menger on
+    # the {t}-avoiding paths) needs the w-path itself to avoid the t's,
+    # exactly as the displayed k = 1 rules do; without them the program
+    # provably over-approximates (see tests/test_datalog_library.py for
+    # the 7-node counterexample the exact oracle found).  We generate
+    # the inequality-carrying rules.
+    base_body = [_edge(s, sk, reverse)]
+    base_body += [Inequality(s, t) for t in avoided]
+    base_body += [Inequality(sk, t) for t in avoided]
+    base_body.append(inner)
+    rec_body = [
+        Atom(q_predicate_name(k, l), (s, *targets[:-1], w, *avoided)),
+        _edge(w, sk, reverse),
+    ]
+    rec_body += [Inequality(sk, t) for t in avoided]
+    rec_body.append(inner)
+    return [Rule(head, base_body), Rule(head, rec_body)]
+
+
+def q_rules_as_displayed(k: int, l: int) -> list[Rule]:
+    """The ``Q_{k,l}`` rules exactly as displayed in the paper (k >= 2).
+
+    These omit the ``sk != t_i`` inequalities and therefore
+    over-approximate the disjoint-paths query (the path to ``s_k`` may
+    cross an avoided node).  Kept for the ablation benchmark that
+    measures the over-approximation; every production caller should use
+    :func:`q_rules` / :func:`q_program`.
+    """
+    if k < 2:
+        return q_rules(k, l)
+    s = Variable("s")
+    targets = [Variable(f"s{i}") for i in range(1, k + 1)]
+    avoided = [Variable(f"t{i}") for i in range(1, l + 1)]
+    w = Variable("w")
+    head = Atom(q_predicate_name(k, l), (s, *targets, *avoided))
+    sk = targets[-1]
+    inner = Atom(
+        q_predicate_name(k - 1, l + 1),
+        (s, *targets[:-1], sk, *avoided),
+    )
+    base_body = [Atom("E", (s, sk)), inner]
+    rec_body = [
+        Atom(q_predicate_name(k, l), (s, *targets[:-1], w, *avoided)),
+        Atom("E", (w, sk)),
+        inner,
+    ]
+    return [Rule(head, base_body), Rule(head, rec_body)]
+
+
+def q_program_as_displayed(k: int, l: int = 0) -> Program:
+    """The full displayed-rules program (ablation target; see
+    :func:`q_rules_as_displayed`)."""
+    rules: list[Rule] = []
+    for j in range(1, k + 1):
+        rules.extend(q_rules_as_displayed(j, l + k - j))
+    return Program(rules, goal=q_predicate_name(k, l))
+
+
+def q_program(k: int, l: int = 0, reverse: bool = False) -> Program:
+    """Theorem 6.1: the full program whose goal is ``Q_{k,l}``.
+
+    ``Q_{k,l}(s, s1, .., sk, t1, .., tl)`` holds iff there are k
+    node-disjoint simple {t1..tl}-avoiding paths from s to s1, ..., sk
+    (sharing only s).  The program contains rules for all the auxiliary
+    predicates ``Q_{j, l + k - j}``, j < k, as in the paper's induction.
+
+    With ``reverse=True`` the program instead asks for paths *into* s
+    from s1, ..., sk (the root-is-head orientation).
+    """
+    rules: list[Rule] = []
+    for j in range(1, k + 1):
+        rules.extend(q_rules(j, l + k - j, reverse=reverse))
+    return Program(rules, goal=q_predicate_name(k, l))
+
+
+def rooted_star_homeomorphism_program(
+    k: int, reverse: bool = False, self_loop: bool = False
+) -> Program:
+    """Theorem 6.1: H-subgraph homeomorphism for a class-C pattern.
+
+    The pattern H is a "star": a root plus ``k`` non-loop edges all
+    leaving the root (``reverse=False``) or all entering it
+    (``reverse=True``), plus optionally a self-loop at the root.  The
+    goal predicate is ``Goal(s, s1, ..., sk)`` (just ``Goal(s)`` when
+    ``k == 0``, which requires the self-loop).
+
+    For the self-loop case the paper observes::
+
+        Q_H(s, s1..sk)  iff  (self-loop on s and Q_{k,0}(s, s1..sk))
+                         or  exists w distinct from s, s1..sk with an
+                             edge w -> s and Q_{k+1,0}(s, s1..sk, w)
+    """
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    if k == 0 and not self_loop:
+        raise ValueError("a class-C pattern with no edges is empty")
+
+    s = Variable("s")
+    targets = [Variable(f"s{i}") for i in range(1, k + 1)]
+    w = Variable("w")
+    goal_head = Atom("Goal", (s, *targets))
+    rules: list[Rule] = []
+
+    if not self_loop:
+        for j in range(1, k + 1):
+            rules.extend(q_rules(j, k - j, reverse=reverse))
+        rules.append(
+            Rule(goal_head, [Atom(q_predicate_name(k, 0), (s, *targets))])
+        )
+        return Program(rules, goal="Goal")
+
+    # Self-loop cases.  A loop edge of H maps to a simple cycle through s.
+    if k == 0:
+        rules.append(Rule(goal_head, [_edge(s, s, reverse)]))
+        rules.extend(q_rules(1, 0, reverse=reverse))
+        rules.append(
+            Rule(
+                goal_head,
+                [
+                    Atom(q_predicate_name(1, 0), (s, w)),
+                    _edge(w, s, reverse),
+                    Inequality(w, s),
+                ],
+            )
+        )
+        return Program(rules, goal="Goal")
+
+    for j in range(1, k + 2):
+        rules.extend(q_rules(j, k + 1 - j, reverse=reverse))
+    for j in range(1, k + 1):
+        rules.extend(q_rules(j, k - j, reverse=reverse))
+    # Case 1: G has a self-loop on s (the loop cycle is just {s}).
+    rules.append(
+        Rule(
+            goal_head,
+            [
+                _edge(s, s, reverse),
+                Atom(q_predicate_name(k, 0), (s, *targets)),
+            ],
+        )
+    )
+    # Case 2: the loop expands through a fresh node w with an edge w -> s.
+    body = [
+        _edge(w, s, reverse),
+        Inequality(w, s),
+    ]
+    body += [Inequality(w, t) for t in targets]
+    body.append(Atom(q_predicate_name(k + 1, 0), (s, *targets, w)))
+    rules.append(Rule(goal_head, body))
+    return Program(rules, goal="Goal")

@@ -1,0 +1,205 @@
+"""A small recursive-descent parser for the Datalog(!=) concrete syntax.
+
+Grammar::
+
+    program  :=  rule*
+    rule     :=  atom "." | atom ":-" body "." | atom "<-" body "."
+    body     :=  literal ("," literal)*
+    literal  :=  atom | term "=" term | term "!=" term
+    atom     :=  IDENT "(" [term ("," term)*] ")"
+    term     :=  IDENT            -- a variable
+              |  "$" IDENT        -- a constant of the input structure
+
+Comments run from ``%`` or ``#`` to end of line.  ``!=`` may also be
+written as the Unicode ``≠``.  Nullary atoms are written ``P()``.
+
+Example
+-------
+>>> program = parse_program('''
+...     % Example 2.1 of the paper: w-avoiding paths.
+...     T(x, y, w) :- E(x, y), w != x, w != y.
+...     T(x, y, w) :- E(x, z), T(z, y, w), w != x.
+... ''', goal="T")
+>>> len(program.rules)
+2
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.datalog.ast import (
+    Atom,
+    BodyLiteral,
+    Constant,
+    Equality,
+    Inequality,
+    Program,
+    Rule,
+    Term,
+    Variable,
+)
+
+
+class ParseError(Exception):
+    """Raised on malformed program text, with line/column context."""
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+    line: int
+    column: int
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<comment>[%\#][^\n]*)
+  | (?P<arrow>:-|<-)
+  | (?P<neq>!=|≠)
+  | (?P<eq>=)
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<comma>,)
+  | (?P<dot>\.)
+  | (?P<constant>\$[A-Za-z_][A-Za-z0-9_']*)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_']*)
+  | (?P<whitespace>\s+)
+  | (?P<error>.)
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> Iterator[_Token]:
+    line = 1
+    line_start = 0
+    for match in _TOKEN_RE.finditer(text):
+        kind = match.lastgroup or "error"
+        value = match.group()
+        column = match.start() - line_start + 1
+        if kind in ("whitespace", "comment"):
+            newlines = value.count("\n")
+            if newlines:
+                line += newlines
+                line_start = match.start() + value.rfind("\n") + 1
+            continue
+        if kind == "error":
+            raise ParseError(
+                f"unexpected character {value!r} at line {line}, column {column}"
+            )
+        yield _Token(kind, value, line, column)
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self._tokens = list(_tokenize(text))
+        self._position = 0
+
+    def _peek(self) -> _Token | None:
+        if self._position < len(self._tokens):
+            return self._tokens[self._position]
+        return None
+
+    def _next(self, expected: str | None = None) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError(
+                f"unexpected end of input"
+                + (f" (expected {expected})" if expected else "")
+            )
+        if expected is not None and token.kind != expected:
+            raise ParseError(
+                f"expected {expected} but found {token.text!r} at line "
+                f"{token.line}, column {token.column}"
+            )
+        self._position += 1
+        return token
+
+    def parse_rules(self) -> list[Rule]:
+        rules: list[Rule] = []
+        while self._peek() is not None:
+            rules.append(self.parse_rule())
+        return rules
+
+    def parse_rule(self) -> Rule:
+        head = self._parse_atom()
+        token = self._peek()
+        if token is not None and token.kind == "arrow":
+            self._next()
+            body = self._parse_body()
+        else:
+            body = []
+        self._next("dot")
+        return Rule(head, body)
+
+    def _parse_body(self) -> list[BodyLiteral]:
+        literals = [self._parse_literal()]
+        while self._peek() is not None and self._peek().kind == "comma":
+            self._next()
+            literals.append(self._parse_literal())
+        return literals
+
+    def _parse_literal(self) -> BodyLiteral:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of input inside a rule body")
+        if token.kind == "ident":
+            after = (
+                self._tokens[self._position + 1]
+                if self._position + 1 < len(self._tokens)
+                else None
+            )
+            if after is not None and after.kind == "lparen":
+                return self._parse_atom()
+        term = self._parse_term()
+        comparator = self._next()
+        if comparator.kind == "eq":
+            return Equality(term, self._parse_term())
+        if comparator.kind == "neq":
+            return Inequality(term, self._parse_term())
+        raise ParseError(
+            f"expected '=', '!=' or an atom at line {comparator.line}, "
+            f"column {comparator.column}"
+        )
+
+    def _parse_atom(self) -> Atom:
+        name = self._next("ident")
+        self._next("lparen")
+        args: list[Term] = []
+        token = self._peek()
+        if token is not None and token.kind != "rparen":
+            args.append(self._parse_term())
+            while self._peek() is not None and self._peek().kind == "comma":
+                self._next()
+                args.append(self._parse_term())
+        self._next("rparen")
+        return Atom(name.text, args)
+
+    def _parse_term(self) -> Term:
+        token = self._next()
+        if token.kind == "ident":
+            return Variable(token.text)
+        if token.kind == "constant":
+            return Constant(token.text[1:])
+        raise ParseError(
+            f"expected a term but found {token.text!r} at line {token.line}, "
+            f"column {token.column}"
+        )
+
+
+def parse_rule(text: str) -> Rule:
+    """Parse a single rule, e.g. ``"S(x, y) :- E(x, y)."``."""
+    parser = _Parser(text)
+    rule = parser.parse_rule()
+    if parser._peek() is not None:
+        raise ParseError("trailing input after the rule")
+    return rule
+
+
+def parse_program(text: str, goal: str) -> Program:
+    """Parse a whole program and designate ``goal`` as its goal predicate."""
+    return Program(_Parser(text).parse_rules(), goal=goal)

@@ -1,0 +1,131 @@
+"""Program transformations: renaming, merging, pruning.
+
+Utility passes a Datalog(≠) library needs around its generators:
+
+* :func:`rename_predicates` -- consistent predicate renaming (used to
+  avoid clashes when layering programs, as Theorem 6.1 layers Q' on T);
+* :func:`merge_programs` -- union of rule sets under a chosen goal;
+* :func:`reachable_predicates` / :func:`prune_unreachable` -- drop rules
+  that cannot contribute to the goal (the generated game programs of
+  Theorem 6.2 contain challenge predicates for unreachable pebble sets
+  on some patterns);
+* :func:`rename_variables_apart` -- rule-level variable freshening.
+
+All passes are semantics-preserving on the goal predicate, which the
+test suite checks by evaluating before and after on random structures.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.datalog.ast import (
+    Atom,
+    BodyLiteral,
+    Equality,
+    Inequality,
+    Program,
+    Rule,
+    Term,
+    Variable,
+)
+
+
+def _map_atom(atom: Atom, rename: Callable[[str], str]) -> Atom:
+    return Atom(rename(atom.predicate), atom.args)
+
+
+def rename_predicates(
+    program: Program, mapping: Mapping[str, str]
+) -> Program:
+    """Rename predicates (IDB and/or EDB) throughout the program.
+
+    Distinct predicates must stay distinct; unknown names are left
+    untouched.  The goal follows the renaming.
+    """
+    values = list(mapping.values())
+    if len(set(values)) != len(values):
+        raise ValueError("predicate renaming must be injective")
+
+    def rename(name: str) -> str:
+        return mapping.get(name, name)
+
+    renamed_names = {rename(p) for p in program.idb_predicates} | {
+        rename(p) for p in program.edb_predicates
+    }
+    if len(renamed_names) < len(
+        program.idb_predicates | program.edb_predicates
+    ):
+        raise ValueError("renaming collapses distinct predicates")
+
+    rules = []
+    for rule in program.rules:
+        body: list[BodyLiteral] = []
+        for literal in rule.body:
+            if isinstance(literal, Atom):
+                body.append(_map_atom(literal, rename))
+            else:
+                body.append(literal)
+        rules.append(Rule(_map_atom(rule.head, rename), body))
+    return Program(rules, goal=rename(program.goal))
+
+
+def merge_programs(first: Program, second: Program, goal: str) -> Program:
+    """The union of two programs' rules under a designated goal.
+
+    IDB/EDB roles must be compatible: a predicate may not be an IDB of
+    one program and an EDB of the other unless the caller intends the
+    layering (in which case merging is exactly how to express it --
+    Theorem 6.1's Q' over T is ``merge_programs(q_rules, t_rules, "Q")``).
+    Arities must agree; this is checked by the Program constructor.
+    """
+    return Program(first.rules + second.rules, goal=goal)
+
+
+def reachable_predicates(program: Program) -> frozenset[str]:
+    """IDB predicates on which the goal (transitively) depends."""
+    reached = {program.goal}
+    frontier = [program.goal]
+    while frontier:
+        predicate = frontier.pop()
+        for rule in program.rules_for(predicate):
+            for atom in rule.body_atoms():
+                name = atom.predicate
+                if name in program.idb_predicates and name not in reached:
+                    reached.add(name)
+                    frontier.append(name)
+    return frozenset(reached)
+
+
+def prune_unreachable(program: Program) -> Program:
+    """Drop rules whose head cannot reach the goal.
+
+    Semantics-preserving on the goal: pruned predicates never feed it.
+    """
+    keep = reachable_predicates(program)
+    rules = [
+        rule for rule in program.rules if rule.head.predicate in keep
+    ]
+    return Program(rules, goal=program.goal)
+
+
+def rename_variables_apart(rule: Rule, suffix: str) -> Rule:
+    """Append ``suffix`` to every variable of the rule.
+
+    Useful when splicing rule bodies together manually.
+    """
+
+    def freshen(term: Term) -> Term:
+        if isinstance(term, Variable):
+            return Variable(term.name + suffix)
+        return term
+
+    def map_literal(literal: BodyLiteral) -> BodyLiteral:
+        if isinstance(literal, Atom):
+            return Atom(literal.predicate, tuple(freshen(t) for t in literal.args))
+        if isinstance(literal, Equality):
+            return Equality(freshen(literal.left), freshen(literal.right))
+        return Inequality(freshen(literal.left), freshen(literal.right))
+
+    head = Atom(rule.head.predicate, tuple(freshen(t) for t in rule.head.args))
+    return Rule(head, tuple(map_literal(l) for l in rule.body))

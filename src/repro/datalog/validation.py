@@ -1,0 +1,144 @@
+"""Static analysis of Datalog(!=) programs.
+
+The analyses here back several claims of the paper:
+
+* pure Datalog vs. Datalog(!=) -- inequality use is what breaks *strong*
+  monotonicity (Section 2's remarks after Example 2.2);
+* the number of distinct variables per rule -- Theorem 3.6 bounds the
+  L^k translation width by ``l + r`` where ``l`` is the number of
+  distinct variables of the rule-defining formula and ``r`` the IDB
+  arity;
+* the predicate dependency structure (recursion detection) -- used by the
+  documentation and by sanity checks of the generated programs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datalog.ast import Atom, Program, Rule, Variable
+
+
+@dataclass(frozen=True)
+class ProgramAnalysis:
+    """A static summary of a program.
+
+    Attributes
+    ----------
+    is_pure_datalog:
+        No equalities or inequalities anywhere (plain Datalog).
+    recursive_predicates:
+        IDB predicates that depend on themselves (directly or not).
+    max_rule_variables:
+        Max number of distinct variables in any single rule; feeds the
+        ``l`` of Theorem 3.6.
+    max_idb_arity:
+        Max arity of an IDB predicate; the ``r`` of Theorem 3.6.
+    universe_enumerated:
+        Per-rule tuples of variables not bound by any body atom; these
+        range over the whole universe (legal, but worth surfacing).
+    dependency_edges:
+        Pairs ``(head_predicate, body_predicate)`` over IDB predicates.
+    """
+
+    is_pure_datalog: bool
+    recursive_predicates: frozenset[str]
+    max_rule_variables: int
+    max_idb_arity: int
+    universe_enumerated: tuple[tuple[Rule, frozenset[Variable]], ...]
+    dependency_edges: frozenset[tuple[str, str]]
+
+    @property
+    def is_recursive(self) -> bool:
+        """Whether any predicate is recursive."""
+        return bool(self.recursive_predicates)
+
+    @property
+    def translation_width(self) -> int:
+        """The ``l + r`` bound of Theorem 3.6 for this program.
+
+        ``l`` is the number of distinct variables needed by the formula
+        phi defining the program's operator (at most the max over rules of
+        distinct rule variables), ``r`` the maximum IDB arity; the paper
+        shows every stage is definable in ``L^{l+r}``.
+        """
+        return self.max_rule_variables + self.max_idb_arity
+
+
+def _atom_bound_variables(rule: Rule) -> frozenset[Variable]:
+    """Variables bound by relational atoms, closed under equalities."""
+    bound: set[Variable] = set()
+    for atom in rule.body_atoms():
+        bound |= atom.variables()
+    changed = True
+    while changed:
+        changed = False
+        for constraint in rule.constraints():
+            if constraint.__class__.__name__ != "Equality":
+                continue
+            left, right = constraint.left, constraint.right
+            left_known = not isinstance(left, Variable) or left in bound
+            right_known = not isinstance(right, Variable) or right in bound
+            if left_known and not right_known:
+                bound.add(right)  # type: ignore[arg-type]
+                changed = True
+            elif right_known and not left_known:
+                bound.add(left)  # type: ignore[arg-type]
+                changed = True
+    return frozenset(bound)
+
+
+def _recursive_predicates(program: Program) -> frozenset[str]:
+    """Predicates lying on a cycle of the dependency graph."""
+    edges: dict[str, set[str]] = {p: set() for p in program.idb_predicates}
+    for rule in program.rules:
+        for atom in rule.body_atoms():
+            if atom.predicate in program.idb_predicates:
+                edges[rule.head.predicate].add(atom.predicate)
+
+    def reaches(start: str, goal: str) -> bool:
+        seen: set[str] = set()
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            for nxt in edges[node]:
+                if nxt == goal:
+                    return True
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return False
+
+    return frozenset(
+        p for p in program.idb_predicates if reaches(p, p)
+    )
+
+
+def analyze_program(program: Program) -> ProgramAnalysis:
+    """Compute the :class:`ProgramAnalysis` of a program."""
+    enumerated: list[tuple[Rule, frozenset[Variable]]] = []
+    max_vars = 0
+    for rule in program.rules:
+        rule_vars = rule.variables()
+        max_vars = max(max_vars, len(rule_vars))
+        unbound = rule_vars - _atom_bound_variables(rule)
+        if unbound:
+            enumerated.append((rule, frozenset(unbound)))
+
+    dependency_edges = frozenset(
+        (rule.head.predicate, atom.predicate)
+        for rule in program.rules
+        for atom in rule.body_atoms()
+        if atom.predicate in program.idb_predicates
+    )
+    max_idb_arity = max(
+        program.arity(p) for p in program.idb_predicates
+    )
+    return ProgramAnalysis(
+        is_pure_datalog=program.is_pure_datalog(),
+        recursive_predicates=_recursive_predicates(program),
+        max_rule_variables=max_vars,
+        max_idb_arity=max_idb_arity,
+        universe_enumerated=tuple(enumerated),
+        dependency_edges=dependency_edges,
+    )

@@ -1,0 +1,67 @@
+"""The Fortune-Hopcroft-Wyllie (FHW) machinery the case study builds on.
+
+* :mod:`repro.fhw.pattern_class` -- the class C of pattern graphs and the
+  characterisation of its complement via H1 / H2 / H3;
+* :mod:`repro.fhw.homeomorphism` -- exact and polynomial homeomorphic-
+  embedding checkers;
+* :mod:`repro.fhw.switch` -- the switch gadget of Figure 1 (reconstructed
+  from the six named passing paths; see DESIGN.md);
+* :mod:`repro.fhw.reduction` -- the SAT -> two-disjoint-paths reduction
+  ``phi |-> G_phi`` of Figures 2-6, including standard paths.
+"""
+
+from repro.fhw.homeomorphism import (
+    homeomorphic_via_flow,
+    homeomorphism_embedding,
+    is_homeomorphic_to_distinguished_subgraph,
+)
+from repro.fhw.pattern_class import (
+    H1,
+    H2,
+    H3,
+    ClassCMembership,
+    classify_pattern,
+    complement_witness,
+    is_in_class_c,
+    pattern_h1,
+    pattern_h2,
+    pattern_h3,
+)
+from repro.fhw.reduction import (
+    ReductionInstance,
+    sat_to_disjoint_paths,
+    standard_path_lengths,
+)
+from repro.fhw.switch import (
+    Switch,
+    SwitchLemmaReport,
+    SwitchPaths,
+    build_switch,
+    check_switch_lemma,
+    passing_paths,
+)
+
+__all__ = [
+    "ClassCMembership",
+    "classify_pattern",
+    "is_in_class_c",
+    "complement_witness",
+    "pattern_h1",
+    "pattern_h2",
+    "pattern_h3",
+    "H1",
+    "H2",
+    "H3",
+    "is_homeomorphic_to_distinguished_subgraph",
+    "homeomorphism_embedding",
+    "homeomorphic_via_flow",
+    "Switch",
+    "SwitchPaths",
+    "SwitchLemmaReport",
+    "build_switch",
+    "check_switch_lemma",
+    "passing_paths",
+    "ReductionInstance",
+    "sat_to_disjoint_paths",
+    "standard_path_lengths",
+]

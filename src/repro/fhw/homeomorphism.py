@@ -1,0 +1,127 @@
+"""Homeomorphic embedding of a fixed pattern graph.
+
+``H`` is *homeomorphic to the distinguished subgraph* of ``G`` when the
+edges of H map to pairwise node-disjoint simple paths of G between the
+corresponding distinguished nodes (Section 6, opening definition).
+
+Two checkers are provided:
+
+* :func:`homeomorphism_embedding` -- exact backtracking search over
+  node-disjoint simple paths; exponential, used as ground truth (the
+  problem is NP-complete for patterns outside C);
+* :func:`homeomorphic_via_flow` -- the FHW polynomial algorithm for
+  patterns in class C, via max flow (Menger), exactly the reduction that
+  Theorem 6.1 turns into a Datalog(!=) program.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping
+
+from repro.flow.disjoint_paths import has_node_disjoint_paths_to_targets
+from repro.fhw.pattern_class import classify_pattern
+from repro.graphs.digraph import DiGraph
+from repro.graphs.paths import node_disjoint_simple_paths
+
+Node = Hashable
+
+
+def _check_assignment(
+    pattern: DiGraph, graph: DiGraph, assignment: Mapping[Node, Node]
+) -> DiGraph:
+    """Validate the node assignment and return the stripped pattern."""
+    stripped = pattern.without_isolated_nodes()
+    missing = stripped.nodes - set(assignment)
+    if missing:
+        raise ValueError(
+            f"assignment misses pattern nodes: {sorted(map(repr, missing))}"
+        )
+    images = [assignment[v] for v in stripped.nodes]
+    if len(set(images)) != len(images):
+        raise ValueError("assignment must be injective on pattern nodes")
+    outside = [g for g in images if g not in graph]
+    if outside:
+        raise ValueError(
+            f"assignment targets outside the graph: {sorted(map(repr, outside))}"
+        )
+    return stripped
+
+
+def homeomorphism_embedding(
+    pattern: DiGraph, graph: DiGraph, assignment: Mapping[Node, Node]
+) -> tuple[tuple, ...] | None:
+    """An explicit embedding (one simple path per pattern edge) or None.
+
+    Exact but exponential; the returned paths are pairwise node-disjoint
+    (endpoints may coincide where pattern edges share nodes) and path i
+    realises the i-th edge of ``sorted(pattern.edges, key=repr)``.
+    """
+    stripped = _check_assignment(pattern, graph, assignment)
+    pairs = [
+        (assignment[u], assignment[v])
+        for u, v in sorted(stripped.edges, key=repr)
+    ]
+    return node_disjoint_simple_paths(graph, pairs)
+
+
+def is_homeomorphic_to_distinguished_subgraph(
+    pattern: DiGraph, graph: DiGraph, assignment: Mapping[Node, Node]
+) -> bool:
+    """Exact decision: is H homeomorphic to the distinguished subgraph?"""
+    return homeomorphism_embedding(pattern, graph, assignment) is not None
+
+
+def homeomorphic_via_flow(
+    pattern: DiGraph, graph: DiGraph, assignment: Mapping[Node, Node]
+) -> bool:
+    """FHW's polynomial algorithm for patterns in class C.
+
+    Reduces the question to "can the root push k units of node-capacity-1
+    flow to its neighbours?", handling the self-loop case by guessing the
+    cycle's re-entry node (a polynomial number of candidates).  Raises
+    ``ValueError`` for patterns outside C, where no polynomial algorithm
+    is known (and, by Theorem 6.7, no Datalog(!=) program exists).
+    """
+    stripped = _check_assignment(pattern, graph, assignment)
+    membership = classify_pattern(stripped)
+    if not membership.in_class_c:
+        raise ValueError(
+            "flow algorithm only applies to patterns in class C; "
+            f"obstruction: {membership.obstruction}"
+        )
+    if membership.root is None:  # edgeless pattern: trivially embeds
+        return True
+
+    root = membership.root
+    if membership.orientation == "in":
+        working = graph.reverse()
+        oriented = stripped.reverse()
+    else:
+        working = graph
+        oriented = stripped
+
+    source = assignment[root]
+    neighbours = sorted(
+        (v for v in oriented.successors(root) if v != root), key=repr
+    )
+    targets = [assignment[v] for v in neighbours]
+    distinguished = {assignment[v] for v in stripped.nodes}
+
+    if not membership.has_self_loop:
+        return has_node_disjoint_paths_to_targets(working, source, targets)
+
+    # Self-loop: the loop edge maps to a simple cycle through the root,
+    # node-disjoint (except at the root) from the other k paths.
+    if working.has_edge(source, source):
+        if not targets:
+            return True
+        if has_node_disjoint_paths_to_targets(working, source, targets):
+            return True
+    for candidate in sorted(working.predecessors(source), key=repr):
+        if candidate == source or candidate in distinguished:
+            continue
+        if has_node_disjoint_paths_to_targets(
+            working, source, [*targets, candidate]
+        ):
+            return True
+    return False

@@ -1,0 +1,408 @@
+"""The SAT -> two-disjoint-paths reduction ``phi |-> G_phi`` (Section 6.2).
+
+Build, from a CNF formula phi, the graph ``G_phi`` with distinguished
+nodes ``s1, s2, s3, s4`` such that::
+
+    phi is satisfiable
+        <=>  G_phi contains node-disjoint simple paths s1 -> s2, s3 -> s4
+
+following the paper's prose for Figures 2-6:
+
+* one switch per literal occurrence, chained via ``d_i -> b_{i+1}`` and
+  ``a_{i+1} -> c_i``;
+* one building block per variable: two columns (one per literal) whose
+  vertical edges are the ``q(g, h)`` paths of that literal's switches;
+* one clause block ``n_0 .. n_l`` whose ``n_{j-1} -> n_j`` segments are
+  the ``p(e, f)`` paths of clause j's switches;
+* the linking edges of construction steps 3-4.
+
+:class:`ReductionInstance` also exposes the *standard paths* of the
+Theorem 6.6 proof as slot sequences: every position along a standard
+path is either a fixed node (terminals, block joints, clause nodes) or a
+choice slot resolved per switch brand / column / clause occurrence --
+exactly the correspondence Player II's strategy uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Mapping, Union
+
+from repro.cnf.formulas import CnfFormula, Literal
+from repro.fhw.switch import Switch
+from repro.graphs.digraph import DiGraph
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class FixedSlot:
+    """A standard-path position occupied by the same node in every
+    standard path (terminals a/b/c/d, block joints, n_j, s-nodes)."""
+
+    node: Node
+
+
+@dataclass(frozen=True)
+class SwitchSegmentSlot:
+    """An interior position of a switch's c..a or b..d section.
+
+    Resolved to the ``offset``-th interior node of ``p(c,a)`` / ``q(c,a)``
+    (kind ``"ca"``) or ``p(b,d)`` / ``q(b,d)`` (kind ``"bd"``) of switch
+    ``switch_index``, depending on the brand chosen for that switch.
+    """
+
+    kind: str
+    switch_index: int
+    offset: int  # 0..4
+
+
+@dataclass(frozen=True)
+class ColumnSlot:
+    """A position inside variable ``variable``'s block, column-resolved.
+
+    ``rank`` selects the occurrence (vertical edge) within the chosen
+    column, ``offset`` runs 0..6 over ``g, <five interior nodes>, h`` of
+    that occurrence's switch.
+    """
+
+    variable: str
+    rank: int
+    offset: int  # 0..6
+
+
+@dataclass(frozen=True)
+class ClauseSlot:
+    """A position inside clause ``clause_index``'s n_{j} -> n_{j+1}
+    segment; ``offset`` runs 0..6 over ``e, <interior>, f`` of the chosen
+    occurrence's switch."""
+
+    clause_index: int
+    offset: int  # 0..6
+
+
+Slot = Union[FixedSlot, SwitchSegmentSlot, ColumnSlot, ClauseSlot]
+
+
+@dataclass(frozen=True)
+class SwitchInfo:
+    """One switch of G_phi and the literal occurrence it belongs to."""
+
+    index: int
+    clause_index: int
+    slot: int
+    literal: Literal
+    switch: Switch
+
+
+class ReductionInstance:
+    """``G_phi`` plus the structural metadata of the construction."""
+
+    def __init__(self, formula: CnfFormula) -> None:
+        self.formula = formula
+        occurrences = formula.occurrences()
+        if not occurrences:
+            raise ValueError("the formula has no literal occurrences")
+        self.switches: tuple[SwitchInfo, ...] = tuple(
+            SwitchInfo(
+                index=i,
+                clause_index=clause_index,
+                slot=slot,
+                literal=literal,
+                switch=Switch(("sw", i)),
+            )
+            for i, (clause_index, slot, literal) in enumerate(occurrences)
+        )
+        self.variables = formula.variables
+        # Column membership: literal -> switch indices, in switch order.
+        self.columns: dict[Literal, tuple[int, ...]] = {}
+        for variable in self.variables:
+            for literal in (Literal(variable, True), Literal(variable, False)):
+                self.columns[literal] = tuple(
+                    info.index
+                    for info in self.switches
+                    if info.literal == literal
+                )
+        self.graph = self._build_graph()
+
+    # -- node naming -----------------------------------------------------
+
+    @staticmethod
+    def s_node(index: int) -> Node:
+        """The distinguished node s1..s4."""
+        return ("s", index)
+
+    def top(self, variable: str) -> Node:
+        """Top joint of a variable's building block."""
+        return ("var", variable, "top")
+
+    def bottom(self, variable: str) -> Node:
+        """Bottom joint of a variable's building block."""
+        return ("var", variable, "bottom")
+
+    def clause_node(self, j: int) -> Node:
+        """The node ``n_j`` of the clause block, ``0 <= j <= #clauses``."""
+        return ("n", j)
+
+    # -- construction ----------------------------------------------------
+
+    def _build_graph(self) -> DiGraph:
+        edges: set[tuple] = set()
+        for info in self.switches:
+            edges |= info.switch.edges()
+
+        # Step 2: chain the switches.
+        for left, right in zip(self.switches, self.switches[1:]):
+            edges.add((left.switch.terminal("d"), right.switch.terminal("b")))
+            edges.add((right.switch.terminal("a"), left.switch.terminal("c")))
+
+        # Variable blocks (Figure 2): columns of q(g, h) paths.
+        for variable in self.variables:
+            for literal in (Literal(variable, True), Literal(variable, False)):
+                member_switches = [
+                    self.switches[i].switch for i in self.columns[literal]
+                ]
+                if not member_switches:
+                    edges.add((self.top(variable), self.bottom(variable)))
+                    continue
+                edges.add(
+                    (self.top(variable), member_switches[0].terminal("g"))
+                )
+                for upper, lower in zip(member_switches, member_switches[1:]):
+                    edges.add((upper.terminal("h"), lower.terminal("g")))
+                edges.add(
+                    (member_switches[-1].terminal("h"), self.bottom(variable))
+                )
+        for upper, lower in zip(self.variables, self.variables[1:]):
+            edges.add((self.bottom(upper), self.top(lower)))
+
+        # Clause block: p(e, f) paths from n_{j-1} to n_j.
+        for info in self.switches:
+            edges.add(
+                (self.clause_node(info.clause_index), info.switch.terminal("e"))
+            )
+            edges.add(
+                (
+                    info.switch.terminal("f"),
+                    self.clause_node(info.clause_index + 1),
+                )
+            )
+
+        # Step 3: variables block feeds the clause block.
+        edges.add((self.bottom(self.variables[-1]), self.clause_node(0)))
+
+        # Step 4: the four distinguished nodes and their five edges.
+        first, last = self.switches[0], self.switches[-1]
+        edges.add((self.s_node(1), last.switch.terminal("c")))
+        edges.add((first.switch.terminal("a"), self.s_node(2)))
+        edges.add((self.s_node(3), first.switch.terminal("b")))
+        edges.add((last.switch.terminal("d"), self.top(self.variables[0])))
+        edges.add(
+            (self.clause_node(len(self.formula.clauses)), self.s_node(4))
+        )
+
+        return DiGraph(
+            edges=edges,
+            distinguished={
+                "s1": self.s_node(1),
+                "s2": self.s_node(2),
+                "s3": self.s_node(3),
+                "s4": self.s_node(4),
+            },
+        )
+
+    # -- standard paths as slot sequences ---------------------------------
+
+    def has_balanced_columns(self) -> bool:
+        """Whether x and ~x occur equally often for every variable.
+
+        Standard s3 -> s4 paths have a well-defined, choice-independent
+        length exactly in this case (true for the complete formula
+        phi_k, where every literal occurs ``2^{k-1}`` times).
+        """
+        return all(
+            len(self.columns[Literal(v, True)])
+            == len(self.columns[Literal(v, False)])
+            for v in self.variables
+        )
+
+    def p1_slots(self) -> tuple[Slot, ...]:
+        """Positions along a standard s1 -> s2 path, first to last."""
+        slots: list[Slot] = [FixedSlot(self.s_node(1))]
+        for info in reversed(self.switches):
+            slots.append(FixedSlot(info.switch.terminal("c")))
+            slots.extend(
+                SwitchSegmentSlot("ca", info.index, offset)
+                for offset in range(5)
+            )
+            slots.append(FixedSlot(info.switch.terminal("a")))
+        slots.append(FixedSlot(self.s_node(2)))
+        return tuple(slots)
+
+    def p2_slots(self) -> tuple[Slot, ...]:
+        """Positions along a standard s3 -> s4 path, first to last.
+
+        Requires balanced columns (see :meth:`has_balanced_columns`).
+        """
+        if not self.has_balanced_columns():
+            raise ValueError(
+                "standard s3->s4 paths need balanced columns; "
+                "this formula's literals occur unevenly"
+            )
+        slots: list[Slot] = [FixedSlot(self.s_node(3))]
+        for info in self.switches:
+            slots.append(FixedSlot(info.switch.terminal("b")))
+            slots.extend(
+                SwitchSegmentSlot("bd", info.index, offset)
+                for offset in range(5)
+            )
+            slots.append(FixedSlot(info.switch.terminal("d")))
+        for variable in self.variables:
+            slots.append(FixedSlot(self.top(variable)))
+            ranks = len(self.columns[Literal(variable, True)])
+            for rank in range(ranks):
+                slots.extend(
+                    ColumnSlot(variable, rank, offset) for offset in range(7)
+                )
+            slots.append(FixedSlot(self.bottom(variable)))
+        slots.append(FixedSlot(self.clause_node(0)))
+        for clause_index in range(len(self.formula.clauses)):
+            slots.extend(
+                ClauseSlot(clause_index, offset) for offset in range(7)
+            )
+            slots.append(FixedSlot(self.clause_node(clause_index + 1)))
+        slots.append(FixedSlot(self.s_node(4)))
+        return tuple(slots)
+
+    # -- slot resolution ---------------------------------------------------
+
+    def resolve_ca(self, switch_index: int, offset: int, brand: str) -> Node:
+        """Interior node of the c..a section under a brand choice."""
+        name = "p_ca" if brand == "p" else "q_ca"
+        return self.switches[switch_index].switch.interior(name)[offset]
+
+    def resolve_bd(self, switch_index: int, offset: int, brand: str) -> Node:
+        """Interior node of the b..d section under a brand choice."""
+        name = "p_bd" if brand == "p" else "q_bd"
+        return self.switches[switch_index].switch.interior(name)[offset]
+
+    def resolve_column(
+        self, literal: Literal, rank: int, offset: int
+    ) -> Node:
+        """Node of the ``rank``-th vertical edge of ``literal``'s column."""
+        switch = self.switches[self.columns[literal][rank]].switch
+        if offset == 0:
+            return switch.terminal("g")
+        if offset == 6:
+            return switch.terminal("h")
+        return switch.interior("q_gh")[offset - 1]
+
+    def resolve_clause(self, switch_index: int, offset: int) -> Node:
+        """Node of a clause segment routed through ``switch_index``."""
+        switch = self.switches[switch_index].switch
+        if offset == 0:
+            return switch.terminal("e")
+        if offset == 6:
+            return switch.terminal("f")
+        return switch.interior("p_ef")[offset - 1]
+
+    def clause_occurrences(self, clause_index: int) -> tuple[int, ...]:
+        """Switch indices of a clause's literal occurrences."""
+        return tuple(
+            info.index
+            for info in self.switches
+            if info.clause_index == clause_index
+        )
+
+    # -- constructive direction (satisfiable => disjoint paths) -----------
+
+    def build_disjoint_paths(
+        self, assignment: Mapping[str, bool]
+    ) -> tuple[tuple, ...]:
+        """Concrete disjoint paths realised by a satisfying assignment.
+
+        Returns ``(p1, p2)`` as node tuples; raises ``ValueError`` if the
+        assignment does not satisfy the formula.  Together with
+        :func:`verify_disjoint_paths` this is the polynomial *witness
+        check* for the satisfiable direction of the reduction.
+        """
+        if not self.formula.evaluate(dict(assignment)):
+            raise ValueError("the assignment does not satisfy the formula")
+
+        def truth(literal: Literal) -> bool:
+            value = assignment[literal.variable]
+            return value if literal.positive else not value
+
+        def brand(info: SwitchInfo) -> str:
+            return "p" if truth(info.literal) else "q"
+
+        p1: list[Node] = [self.s_node(1)]
+        for info in reversed(self.switches):
+            p1.append(info.switch.terminal("c"))
+            p1.extend(info.switch.interior(f"{brand(info)}_ca"))
+            p1.append(info.switch.terminal("a"))
+        p1.append(self.s_node(2))
+
+        p2: list[Node] = [self.s_node(3)]
+        for info in self.switches:
+            p2.append(info.switch.terminal("b"))
+            p2.extend(info.switch.interior(f"{brand(info)}_bd"))
+            p2.append(info.switch.terminal("d"))
+        for variable in self.variables:
+            p2.append(self.top(variable))
+            false_literal = Literal(variable, positive=not assignment[variable])
+            for switch_index in self.columns[false_literal]:
+                switch = self.switches[switch_index].switch
+                p2.append(switch.terminal("g"))
+                p2.extend(switch.interior("q_gh"))
+                p2.append(switch.terminal("h"))
+            p2.append(self.bottom(variable))
+        p2.append(self.clause_node(0))
+        for clause_index in range(len(self.formula.clauses)):
+            chosen = next(
+                index
+                for index in self.clause_occurrences(clause_index)
+                if truth(self.switches[index].literal)
+            )
+            switch = self.switches[chosen].switch
+            p2.append(switch.terminal("e"))
+            p2.extend(switch.interior("p_ef"))
+            p2.append(switch.terminal("f"))
+            p2.append(self.clause_node(clause_index + 1))
+        p2.append(self.s_node(4))
+        return tuple(p1), tuple(p2)
+
+
+def sat_to_disjoint_paths(formula: CnfFormula) -> ReductionInstance:
+    """Build ``G_phi`` for a CNF formula (Figures 2-6)."""
+    return ReductionInstance(formula)
+
+
+def standard_path_lengths(instance: ReductionInstance) -> tuple[int, int]:
+    """Node counts of the standard s1->s2 and s3->s4 paths.
+
+    Both are choice-independent (all standard paths of a kind have the
+    same length) -- the property Theorem 6.6's structure A_k relies on.
+    """
+    return len(instance.p1_slots()), len(instance.p2_slots())
+
+
+def verify_disjoint_paths(
+    instance: ReductionInstance, p1: tuple, p2: tuple
+) -> bool:
+    """Check that (p1, p2) are simple, edge-valid, disjoint, and run
+    s1 -> s2 and s3 -> s4 respectively."""
+    graph = instance.graph
+    for path in (p1, p2):
+        if len(set(path)) != len(path):
+            return False
+        if any(not graph.has_edge(u, v) for u, v in zip(path, path[1:])):
+            return False
+    if set(p1) & set(p2):
+        return False
+    return (
+        p1[0] == instance.s_node(1)
+        and p1[-1] == instance.s_node(2)
+        and p2[0] == instance.s_node(3)
+        and p2[-1] == instance.s_node(4)
+    )

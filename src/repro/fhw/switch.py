@@ -1,0 +1,290 @@
+"""The switch gadget of Figure 1, reconstructed and machine-verified.
+
+The supplied paper text names the switch's six distinguished passing
+paths but not the figure itself, so the gadget here is *defined as* the
+union of those six paths (plus the terminal attachment edges forced by
+their endpoints)::
+
+    p(c,a):  5 -> 4 -> 3 -> 2 -> 1
+    p(b,d):  6' -> 2' -> 7 -> 9 -> 12
+    p(e,f):  8' -> 9' -> 10' -> 4' -> 11'
+    q(c,a):  5' -> 4' -> 3' -> 2' -> 1'
+    q(b,d):  6 -> 2 -> 7' -> 9' -> 12'
+    q(g,h):  8 -> 9 -> 10 -> 4 -> 11
+
+with terminals ``a..h`` attached so that b, c, e, g are the in-degree-0
+entries and a, d, f, h the out-degree-0 exits.  The p-paths are pairwise
+node-disjoint, the q-paths likewise, and every p/q crossing shares a node
+(2, 2', 4, 4', 9 or 9') -- which is the whole mechanism of Lemma 6.4.
+
+:func:`check_switch_lemma` verifies Lemma 6.4 exhaustively on the
+reconstruction (every disjoint passing pair with one path from b and one
+into a is a matched p- or q-pair, and the third disjoint passing path is
+unique), plus the equal-length properties Theorem 6.6 relies on.  Any
+graph passing these checks is behaviourally interchangeable with FHW's
+original figure for both the reduction and the games (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterator
+
+from repro.graphs.digraph import DiGraph
+from repro.graphs.paths import all_simple_paths
+
+Node = Hashable
+
+#: Interior label sequences of the six named passing paths.
+_PATH_LABELS = {
+    "p_ca": ("5", "4", "3", "2", "1"),
+    "p_bd": ("6'", "2'", "7", "9", "12"),
+    "p_ef": ("8'", "9'", "10'", "4'", "11'"),
+    "q_ca": ("5'", "4'", "3'", "2'", "1'"),
+    "q_bd": ("6", "2", "7'", "9'", "12'"),
+    "q_gh": ("8", "9", "10", "4", "11"),
+}
+
+#: Entry/exit terminals of each named path.
+_PATH_TERMINALS = {
+    "p_ca": ("c", "a"),
+    "p_bd": ("b", "d"),
+    "p_ef": ("e", "f"),
+    "q_ca": ("c", "a"),
+    "q_bd": ("b", "d"),
+    "q_gh": ("g", "h"),
+}
+
+TERMINALS = ("a", "b", "c", "d", "e", "f", "g", "h")
+
+
+@dataclass(frozen=True)
+class SwitchPaths:
+    """The six named passing paths of a switch, as full node tuples."""
+
+    p_ca: tuple
+    p_bd: tuple
+    p_ef: tuple
+    q_ca: tuple
+    q_bd: tuple
+    q_gh: tuple
+
+    def named(self) -> dict[str, tuple]:
+        """Mapping from path name to node tuple."""
+        return {
+            "p_ca": self.p_ca,
+            "p_bd": self.p_bd,
+            "p_ef": self.p_ef,
+            "q_ca": self.q_ca,
+            "q_bd": self.q_bd,
+            "q_gh": self.q_gh,
+        }
+
+
+class Switch:
+    """One switch instance, with nodes tagged by a switch identifier.
+
+    Every node is the pair ``(tag, label)`` where the label is one of
+    ``"1"``..``"12"``, ``"1'"``..``"12'"``, or a terminal letter.
+    """
+
+    __slots__ = ("tag",)
+
+    def __init__(self, tag: Hashable) -> None:
+        self.tag = tag
+
+    def node(self, label: str) -> tuple:
+        """The node carrying ``label`` in this switch."""
+        return (self.tag, label)
+
+    def terminal(self, letter: str) -> tuple:
+        """One of the eight terminals a..h."""
+        if letter not in TERMINALS:
+            raise ValueError(f"unknown terminal {letter!r}")
+        return (self.tag, letter)
+
+    def interior(self, path_name: str) -> tuple:
+        """The five interior nodes of a named path, in order."""
+        return tuple(self.node(label) for label in _PATH_LABELS[path_name])
+
+    def full_path(self, path_name: str) -> tuple:
+        """A named path including its entry and exit terminals."""
+        entry, exit_ = _PATH_TERMINALS[path_name]
+        return (
+            self.terminal(entry),
+            *self.interior(path_name),
+            self.terminal(exit_),
+        )
+
+    def paths(self) -> SwitchPaths:
+        """All six named passing paths (with terminals)."""
+        return SwitchPaths(**{
+            name: self.full_path(name) for name in _PATH_LABELS
+        })
+
+    def edges(self) -> frozenset:
+        """All edges of the switch: the union of the six named paths."""
+        result: set = set()
+        for name in _PATH_LABELS:
+            path = self.full_path(name)
+            result.update(zip(path, path[1:]))
+        return frozenset(result)
+
+    def nodes(self) -> frozenset:
+        """All nodes of the switch."""
+        result: set = set()
+        for u, v in self.edges():
+            result.add(u)
+            result.add(v)
+        return frozenset(result)
+
+    def graph(self) -> DiGraph:
+        """The standalone switch as a directed graph."""
+        return DiGraph(edges=self.edges())
+
+
+def build_switch(tag: Hashable = 0) -> Switch:
+    """Create a switch instance whose nodes are tagged by ``tag``."""
+    return Switch(tag)
+
+
+# ---------------------------------------------------------------------------
+# Lemma 6.4 verification
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SwitchLemmaReport:
+    """Outcome of checking Lemma 6.4 on a reconstructed switch.
+
+    All fields must be true for the gadget to be a faithful stand-in for
+    Figure 1; ``holds`` aggregates them.
+    """
+
+    named_paths_pass_through: bool
+    p_family_disjoint: bool
+    q_family_disjoint: bool
+    crossings_intersect: bool
+    pair_condition: bool
+    third_path_unique: bool
+    equal_lengths: bool
+
+    @property
+    def holds(self) -> bool:
+        """Whether every Lemma 6.4 property was verified."""
+        return all(
+            (
+                self.named_paths_pass_through,
+                self.p_family_disjoint,
+                self.q_family_disjoint,
+                self.crossings_intersect,
+                self.pair_condition,
+                self.third_path_unique,
+                self.equal_lengths,
+            )
+        )
+
+
+def passing_paths(switch: Switch) -> Iterator[tuple]:
+    """All simple paths through the switch from an entry to an exit.
+
+    "Passing through" = starting at an in-degree-0 node and ending at an
+    out-degree-0 node (the paper's definition).
+    """
+    graph = switch.graph()
+    sources = sorted(graph.sources(), key=repr)
+    sinks = sorted(graph.sinks(), key=repr)
+    for source in sources:
+        for sink in sinks:
+            yield from all_simple_paths(graph, source, sink)
+
+
+def _strictly_disjoint(first: tuple, second: tuple) -> bool:
+    return not (set(first) & set(second))
+
+
+def check_switch_lemma(switch: Switch) -> SwitchLemmaReport:
+    """Exhaustively verify the Lemma 6.4 properties of a switch."""
+    named = switch.paths().named()
+    through = list(passing_paths(switch))
+    through_set = set(through)
+
+    named_ok = all(path in through_set for path in named.values())
+
+    p_family = [named["p_ca"], named["p_bd"], named["p_ef"]]
+    q_family = [named["q_ca"], named["q_bd"], named["q_gh"]]
+
+    def family_disjoint(family: list) -> bool:
+        return all(
+            _strictly_disjoint(x, y)
+            for i, x in enumerate(family)
+            for y in family[i + 1:]
+        )
+
+    # The brand-coupling crossings: each of these p/q pairs must share an
+    # interior node, so a simple path (or disjoint pair) can never mix
+    # brands within one switch.  (p_ef and q_gh are allowed to be
+    # disjoint -- their exclusion is mediated through the b..d segment.)
+    coupling = [
+        ("p_ca", "q_bd"),
+        ("p_ca", "q_gh"),
+        ("p_bd", "q_ca"),
+        ("p_bd", "q_gh"),
+        ("p_ef", "q_ca"),
+        ("p_ef", "q_bd"),
+    ]
+    crossings = all(
+        set(switch.interior(p)) & set(switch.interior(q))
+        for p, q in coupling
+    )
+
+    a = switch.terminal("a")
+    b = switch.terminal("b")
+
+    pair_ok = True
+    third_ok = True
+    for ending_at_a in through:
+        if ending_at_a[-1] != a:
+            continue
+        for starting_at_b in through:
+            if starting_at_b[0] != b:
+                continue
+            if not _strictly_disjoint(ending_at_a, starting_at_b):
+                continue
+            # Lemma 6.4, first part: the pair is a matched p- or q-pair.
+            if ending_at_a == named["p_ca"] and starting_at_b == named["p_bd"]:
+                brand = "p"
+            elif (
+                ending_at_a == named["q_ca"]
+                and starting_at_b == named["q_bd"]
+            ):
+                brand = "q"
+            else:
+                pair_ok = False
+                continue
+            # Second part: exactly one disjoint third passing path.
+            used = set(ending_at_a) | set(starting_at_b)
+            thirds = [
+                path
+                for path in through
+                if not (set(path) & used)
+            ]
+            expected = named["p_ef"] if brand == "p" else named["q_gh"]
+            if thirds != [expected] and set(thirds) != {expected}:
+                third_ok = False
+
+    lengths_ok = (
+        len(named["p_ca"]) == len(named["q_ca"])
+        and len(named["p_bd"]) == len(named["q_bd"])
+        and len(named["p_ef"]) == len(named["q_gh"])
+    )
+
+    return SwitchLemmaReport(
+        named_paths_pass_through=named_ok,
+        p_family_disjoint=family_disjoint(p_family),
+        q_family_disjoint=family_disjoint(q_family),
+        crossings_intersect=crossings,
+        pair_condition=pair_ok,
+        third_path_unique=third_ok,
+        equal_lengths=lengths_ok,
+    )

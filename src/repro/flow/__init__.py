@@ -1,0 +1,30 @@
+"""Network flow with node capacities.
+
+Theorem 6.1 of the paper reduces H-subgraph homeomorphism for pattern
+graphs H in the class C to a network-flow question: "can the input graph,
+viewed as a directed network with node capacities, carry a flow >= k?"
+(k = out-degree of the root).  This subpackage supplies that substrate:
+
+* :func:`max_flow` -- Edmonds-Karp max flow on edge-capacitated networks,
+  with min-cut extraction;
+* :func:`max_node_disjoint_paths` -- Menger's theorem made executable:
+  the maximum number of node-disjoint paths from a source to a set of
+  targets, with path extraction and an avoid set;
+* :func:`separating_nodes` -- the dual min-vertex-cut, i.e. the nodes
+  ``u_1, ..., u_{k-1}`` used in the correctness proof of Theorem 6.1.
+"""
+
+from repro.flow.disjoint_paths import (
+    has_node_disjoint_paths_to_targets,
+    max_node_disjoint_paths,
+    separating_nodes,
+)
+from repro.flow.maxflow import FlowResult, max_flow
+
+__all__ = [
+    "FlowResult",
+    "max_flow",
+    "max_node_disjoint_paths",
+    "has_node_disjoint_paths_to_targets",
+    "separating_nodes",
+]

@@ -1,0 +1,81 @@
+"""Pebble games: the paper's tool kit (Sections 4-6).
+
+* :mod:`repro.games.existential` -- the existential k-pebble game between
+  two structures (Definition 4.3), its winning-strategy families
+  (Definition 4.7), the polynomial-time solver (Proposition 5.3), and the
+  relation ``A <=_k B`` (Theorem 4.8).  A homomorphism (non-injective)
+  variant covers the Datalog refinement of Remark 4.12.
+* :mod:`repro.games.simulate` -- an interactive game runner with
+  pluggable Player I / Player II strategies, used to validate the
+  constructed strategies of Theorem 6.6 under adversarial play.
+* :mod:`repro.games.acyclic` -- the two-player pebble game on a single
+  (acyclic) input graph from Theorem 6.2.
+* :mod:`repro.games.solitaire` -- the level-scheduled single-player
+  variant standing in for FHW's Lemma 4 game (see DESIGN.md).
+* :mod:`repro.games.formula_game` -- the k-pebble game on CNF formulas
+  (Definition 6.5), engine of the Theorem 6.6 lower bound.
+"""
+
+from repro.games.acyclic import (
+    AcyclicGameResult,
+    acyclic_game_winner,
+    extract_embedding_from_game,
+    solve_acyclic_game,
+)
+from repro.games.existential import (
+    ExistentialGameResult,
+    preceq_k,
+    solve_existential_game,
+    winning_family,
+)
+from repro.games.formula_game import (
+    FormulaGameResult,
+    OptimalFormulaPlayerOne,
+    PaperPhiKStrategy,
+    RandomFormulaPlayerOne,
+    formula_game_player_one_move,
+    run_formula_game,
+    solve_formula_game,
+)
+from repro.games.simulate import (
+    CopyingStrategy,
+    FamilyStrategy,
+    GameTranscript,
+    PlaceMove,
+    RandomPlayerOne,
+    RemoveMove,
+    ScriptedPlayerOne,
+    SolverPlayerOne,
+    run_existential_game,
+)
+from repro.games.solitaire import solitaire_game_solvable
+from repro.games.win_algorithm import paper_win_algorithm
+
+__all__ = [
+    "ExistentialGameResult",
+    "solve_existential_game",
+    "winning_family",
+    "preceq_k",
+    "run_existential_game",
+    "GameTranscript",
+    "PlaceMove",
+    "RemoveMove",
+    "RandomPlayerOne",
+    "ScriptedPlayerOne",
+    "SolverPlayerOne",
+    "FamilyStrategy",
+    "CopyingStrategy",
+    "AcyclicGameResult",
+    "solve_acyclic_game",
+    "acyclic_game_winner",
+    "extract_embedding_from_game",
+    "solitaire_game_solvable",
+    "paper_win_algorithm",
+    "FormulaGameResult",
+    "solve_formula_game",
+    "run_formula_game",
+    "formula_game_player_one_move",
+    "PaperPhiKStrategy",
+    "OptimalFormulaPlayerOne",
+    "RandomFormulaPlayerOne",
+]

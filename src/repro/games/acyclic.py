@@ -1,0 +1,214 @@
+"""The two-player pebble game of Theorem 6.2, on a single input graph.
+
+One pebble per edge ``e = (i, j)`` of the pattern H; pebble ``p_e``
+starts on the distinguished node interpreting ``i``.  Player I points at
+a placed pebble; Player II must advance it along an edge of G onto a
+node that carries no other pebble and is not distinguished -- except the
+pebble's own target, reaching which removes the pebble.  Player II wins
+iff he is never stuck (on acyclic graphs: iff all pebbles get removed,
+iff H is homeomorphic to the distinguished subgraph -- the claim the
+test suite verifies against the exact embedding oracle).
+
+The solver is a safety greatest fixpoint over positions, of which there
+are at most ``(|G| + 1)^{|E_H|}`` -- polynomial for fixed H.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Mapping
+
+from repro.graphs.digraph import DiGraph
+
+Node = Hashable
+
+#: Sentinel marking a removed pebble inside a position tuple.
+REMOVED = ("__removed__",)
+
+Position = tuple  # one entry per pattern edge: a node of G, or REMOVED
+
+
+@dataclass(frozen=True)
+class AcyclicGameResult:
+    """Outcome of solving the Theorem 6.2 game.
+
+    Attributes
+    ----------
+    player_two_wins:
+        Whether Player II wins from the initial position.
+    initial:
+        The initial position (pebble e on the image of e's tail).
+    alive:
+        All positions from which Player II survives indefinitely.
+    pattern_edges:
+        The pattern edges, in the order used by position tuples.
+    """
+
+    player_two_wins: bool
+    initial: Position
+    alive: frozenset
+    pattern_edges: tuple
+
+
+def _legal_moves(
+    graph: DiGraph,
+    position: Position,
+    pebble: int,
+    targets: tuple,
+    distinguished: frozenset,
+) -> list[Position]:
+    """All positions reachable by Player II advancing ``pebble``."""
+    location = position[pebble]
+    occupied = {
+        node
+        for index, node in enumerate(position)
+        if index != pebble and node is not REMOVED
+    }
+    moves: list[Position] = []
+    for nxt in sorted(graph.successors(location), key=repr):
+        if nxt == targets[pebble]:
+            # Landing on the pebble's own target removes it instantly;
+            # occupancy does not block removal moves (another pebble may
+            # legitimately *start* on this node -- homeomorphism paths
+            # share endpoints).
+            replacement: object = REMOVED
+        elif nxt in occupied or nxt in distinguished:
+            continue
+        else:
+            replacement = nxt
+        moves.append(
+            position[:pebble] + (replacement,) + position[pebble + 1:]
+        )
+    return moves
+
+
+def solve_acyclic_game(
+    graph: DiGraph,
+    pattern: DiGraph,
+    assignment: Mapping[Node, Node],
+) -> AcyclicGameResult:
+    """Solve the game for (graph, pattern, assignment).
+
+    ``assignment`` maps pattern nodes injectively to nodes of ``graph``.
+    The solver itself is graph-agnostic; the game characterises
+    homeomorphism only on acyclic inputs (Theorem 6.2), which is where
+    the test suite exercises the equivalence.
+    """
+    stripped = pattern.without_isolated_nodes()
+    edges = tuple(sorted(stripped.edges, key=repr))
+    if not edges:
+        raise ValueError("the pattern needs at least one edge")
+    images = [assignment[v] for v in stripped.nodes]
+    if len(set(images)) != len(images):
+        raise ValueError("assignment must be injective")
+    for image in images:
+        if image not in graph:
+            raise ValueError(f"assigned node {image!r} not in the graph")
+
+    targets = tuple(assignment[j] for __, j in edges)
+    initial: Position = tuple(assignment[i] for i, __ in edges)
+    distinguished = frozenset(images)
+
+    # Explore the reachable position space from the initial position,
+    # closing under Player II moves for any challenged pebble.
+    reachable: set[Position] = {initial}
+    frontier = [initial]
+    while frontier:
+        position = frontier.pop()
+        for pebble, location in enumerate(position):
+            if location is REMOVED:
+                continue
+            for successor in _legal_moves(
+                graph, position, pebble, targets, distinguished
+            ):
+                if successor not in reachable:
+                    reachable.add(successor)
+                    frontier.append(successor)
+
+    # Safety greatest fixpoint: survive every challenge forever.
+    alive = set(reachable)
+    changed = True
+    while changed:
+        changed = False
+        for position in list(alive):
+            for pebble, location in enumerate(position):
+                if location is REMOVED:
+                    continue
+                moves = _legal_moves(
+                    graph, position, pebble, targets, distinguished
+                )
+                if not any(move in alive for move in moves):
+                    alive.discard(position)
+                    changed = True
+                    break
+
+    return AcyclicGameResult(
+        player_two_wins=initial in alive,
+        initial=initial,
+        alive=frozenset(alive),
+        pattern_edges=edges,
+    )
+
+
+def acyclic_game_winner(
+    graph: DiGraph,
+    pattern: DiGraph,
+    assignment: Mapping[Node, Node],
+) -> str:
+    """``"II"`` if Player II wins the game, else ``"I"``."""
+    result = solve_acyclic_game(graph, pattern, assignment)
+    return "II" if result.player_two_wins else "I"
+
+
+def extract_embedding_from_game(
+    graph: DiGraph,
+    pattern: DiGraph,
+    assignment: Mapping[Node, Node],
+) -> tuple[tuple, ...] | None:
+    """Theorem 6.2's proof direction, executably.
+
+    When Player II wins the game on an *acyclic* graph, play it out with
+    the proof's max-level Player I (always challenge a pebble on a node
+    of maximal level) while Player II follows his winning set; the
+    pebble traces are then pairwise node-disjoint simple paths realising
+    the homeomorphism.  Returns one path per pattern edge (sorted edge
+    order), or ``None`` when Player I wins.
+
+    The test suite checks the extracted paths against
+    :func:`repro.fhw.homeomorphism.is_homeomorphic_to_distinguished_subgraph`.
+    """
+    from repro.graphs.acyclic import levels
+
+    level = levels(graph)  # raises ValueError on cyclic inputs
+    result = solve_acyclic_game(graph, pattern, assignment)
+    if not result.player_two_wins:
+        return None
+    stripped = pattern.without_isolated_nodes()
+    edges = result.pattern_edges
+    targets = tuple(assignment[j] for __, j in edges)
+    distinguished = frozenset(
+        assignment[v] for v in stripped.nodes
+    )
+
+    position = result.initial
+    traces: list[list] = [[node] for node in position]
+    while any(node is not REMOVED for node in position):
+        placed = [
+            (index, node)
+            for index, node in enumerate(position)
+            if node is not REMOVED
+        ]
+        top = max(level[node] for __, node in placed)
+        pebble = min(
+            index for index, node in placed if level[node] == top
+        )
+        moves = _legal_moves(graph, position, pebble, targets, distinguished)
+        successor = next(
+            move for move in moves if move in result.alive
+        )
+        landed = successor[pebble]
+        traces[pebble].append(
+            targets[pebble] if landed is REMOVED else landed
+        )
+        position = successor
+    return tuple(tuple(trace) for trace in traces)

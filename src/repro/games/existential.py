@@ -1,0 +1,287 @@
+"""The existential k-pebble game and its exact solver.
+
+Definition 4.3: Players I and II each hold k pebbles; I plays on A, II
+answers on B; I wins a round when the pebbled correspondence (together
+with the constants) stops being a partial one-to-one homomorphism.
+
+Definition 4.7 recasts Player II's winning strategies as nonempty
+families H of partial one-to-one homomorphisms closed under subfunctions
+and with the forth property up to k.  The solver computes the *largest*
+candidate family by greatest-fixpoint elimination over all positions
+(partial maps with at most k non-constant pairs):
+
+* a position violating the forth property is eliminated;
+* a position one of whose subfunctions was eliminated is eliminated
+  (closure under subfunctions).
+
+Player II wins iff the empty position survives; the surviving family is
+then a bona-fide winning-strategy family and is returned.  Elimination
+rounds also assign each dead position a *rank*, from which a concrete
+Player I winning line is extracted.
+
+Complexity: the number of positions is at most ``(|A| * |B| + 1)^k``
+-- polynomial for fixed k, which is Proposition 5.3.
+
+Setting ``injective=False`` plays the homomorphism variant of Remark
+4.12(1), which characterises inequality-free ``L^k`` and hence Datalog.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Iterator, Mapping
+
+from repro.structures.homomorphism import (
+    is_partial_homomorphism,
+    is_partial_one_to_one_homomorphism,
+)
+from repro.structures.structure import Structure
+
+Element = Hashable
+Position = frozenset  # of (a, b) pairs; constants are implicit
+
+
+@dataclass(frozen=True)
+class ExistentialGameResult:
+    """Outcome of solving an existential k-pebble game on (A, B).
+
+    Attributes
+    ----------
+    winner:
+        ``"I"`` or ``"II"``.
+    k:
+        Number of pebbles.
+    family:
+        When II wins: a winning-strategy family (Definition 4.7),
+        positions as frozensets of (a, b) pairs, constants left implicit.
+        When I wins: the (possibly empty) surviving family, which then
+        does not contain the empty position.
+    ranks:
+        For every eliminated position, the elimination round at which it
+        died; used to extract Player I's winning line.
+    injective:
+        True for the standard (one-to-one) game, False for the Datalog
+        (homomorphism) variant.
+    """
+
+    winner: str
+    k: int
+    family: frozenset[Position]
+    ranks: Mapping[Position, int]
+    injective: bool
+
+    @property
+    def player_two_wins(self) -> bool:
+        """Convenience flag."""
+        return self.winner == "II"
+
+
+def _is_valid_position(
+    position: Iterable[tuple], a: Structure, b: Structure, injective: bool
+) -> bool:
+    mapping: dict = {}
+    for source, target in position:
+        if source in mapping and mapping[source] != target:
+            return False
+        mapping[source] = target
+    if injective:
+        return is_partial_one_to_one_homomorphism(mapping, a, b)
+    return is_partial_homomorphism(mapping, a, b)
+
+
+def _all_positions(
+    a: Structure, b: Structure, k: int, injective: bool
+) -> Iterator[Position]:
+    """Every valid position with at most k non-constant pairs.
+
+    Pebbles carrying the same pair are collapsed (a position is the set
+    of pairs), so positions are subsets of A x B of size <= k.  Two
+    prunings keep the enumeration close to the valid set: only pairs
+    whose singleton is itself valid participate (subfunctions of valid
+    positions are valid), and function-ness/injectivity conflicts are
+    skipped structurally before the full homomorphism check.
+    """
+    pairs = [
+        (x, y)
+        for x in sorted(a.universe, key=repr)
+        for y in sorted(b.universe, key=repr)
+        if _is_valid_position([(x, y)], a, b, injective)
+    ]
+    if _is_valid_position([], a, b, injective):
+        yield frozenset()
+
+    chosen: list[tuple] = []
+
+    def extend(start: int) -> Iterator[Position]:
+        for index in range(start, len(pairs)):
+            x, y = pairs[index]
+            if any(x == cx for cx, __ in chosen):
+                continue  # two images for one element: not a function
+            if injective and any(y == cy for __, cy in chosen):
+                continue  # two sources for one image: not injective
+            chosen.append((x, y))
+            if _is_valid_position(chosen, a, b, injective):
+                yield frozenset(chosen)
+                if len(chosen) < k:
+                    yield from extend(index + 1)
+            chosen.pop()
+
+    yield from extend(0)
+
+
+def solve_existential_game(
+    a: Structure,
+    b: Structure,
+    k: int,
+    injective: bool = True,
+) -> ExistentialGameResult:
+    """Decide who wins the existential k-pebble game on (A, B).
+
+    Exact and polynomial for fixed k (Proposition 5.3); exponential in k.
+    """
+    if a.vocabulary != b.vocabulary:
+        raise ValueError("the two structures must share a vocabulary")
+    if k < 1:
+        raise ValueError("at least one pebble is required")
+
+    alive: set[Position] = set(_all_positions(a, b, k, injective))
+    ranks: dict[Position, int] = {}
+    a_elements = sorted(a.universe, key=repr)
+    b_elements = sorted(b.universe, key=repr)
+
+    def forth_holds(position: Position) -> bool:
+        """Forth property: every placement challenge has a live answer."""
+        if len(position) >= k:
+            return True
+        sources = {pair[0] for pair in position}
+        for x in a_elements:
+            if x in sources:
+                continue  # re-pebbling a pebbled element is answerable
+            answered = False
+            for y in b_elements:
+                candidate = position | {(x, y)}
+                if candidate in alive:
+                    answered = True
+                    break
+            if not answered:
+                return False
+        return True
+
+    round_number = 0
+    while True:
+        round_number += 1
+        doomed = set()
+        for position in alive:
+            if not forth_holds(position):
+                doomed.add(position)
+                continue
+            # Closure under subfunctions: a position whose sub-position
+            # died is dead too (Player I just lifts pebbles).
+            for pair in position:
+                if (position - {pair}) not in alive and len(position) > 0:
+                    doomed.add(position)
+                    break
+        if not doomed:
+            break
+        for position in doomed:
+            alive.discard(position)
+            ranks[position] = round_number
+
+    empty: Position = frozenset()
+    # The empty position is valid iff the constant pairing itself is a
+    # partial (one-to-one) homomorphism; it may be missing from `alive`
+    # from the start.
+    if empty in alive:
+        winner = "II"
+    else:
+        winner = "I"
+        ranks.setdefault(empty, 0)
+    return ExistentialGameResult(
+        winner=winner,
+        k=k,
+        family=frozenset(alive),
+        ranks=dict(ranks),
+        injective=injective,
+    )
+
+
+def winning_family(
+    a: Structure, b: Structure, k: int, injective: bool = True
+) -> frozenset[Position] | None:
+    """A winning-strategy family for Player II, or ``None`` if I wins."""
+    result = solve_existential_game(a, b, k, injective)
+    if result.player_two_wins:
+        return result.family
+    return None
+
+
+def preceq_k(
+    a: Structure,
+    b: Structure,
+    k: int,
+    injective: bool = True,
+) -> bool:
+    """The relation ``A <=^k B`` of Definition 4.1 / Theorem 4.8.
+
+    ``A <=^k B`` iff every L^k sentence true in A holds in B, iff Player
+    II wins the existential k-pebble game on (A, B).  With
+    ``injective=False`` this instead characterises the inequality-free
+    fragment (Remark 4.12), the one matching pure Datalog.
+
+    To compare expansions ``(A, a_1..a_m) <=^k (B, b_1..b_m)`` add the
+    tuples as constants via :meth:`Structure.with_constants` first.
+    """
+    return solve_existential_game(a, b, k, injective).player_two_wins
+
+
+def player_one_winning_move(
+    result: ExistentialGameResult,
+    position: Position,
+    a: Structure,
+    b: Structure,
+) -> tuple[str, Element | None]:
+    """Player I's move keeping a dead position dead.
+
+    Returns ``("place", x)`` when pebbling ``x`` of A defeats every
+    response, or ``("remove", pair)`` when lifting a pebble exposes a
+    dead sub-position.  Only meaningful when ``position`` is eliminated
+    (not in ``result.family``).
+    """
+    if position in result.family:
+        raise ValueError("Player I has no winning move from a live position")
+    rank = result.ranks.get(position)
+    if rank is None:
+        # The position is not even a valid partial homomorphism: Player I
+        # has already won the game.
+        raise ValueError("position is already lost for Player II")
+
+    def strictly_worse(candidate: Position) -> bool:
+        """Invalid, or dead with a strictly smaller elimination rank.
+
+        Strict rank decrease guarantees Player I's line terminates
+        within ``rank`` moves no matter how Player II answers.
+        """
+        if candidate in result.family:
+            return False
+        candidate_rank = result.ranks.get(candidate)
+        return candidate_rank is None or candidate_rank < rank
+
+    # Removal exposing an earlier-eliminated sub-position.
+    for pair in sorted(position, key=repr):
+        if strictly_worse(position - {pair}):
+            return ("remove", pair)
+    # Placement whose every response is strictly worse.
+    sources = {pair[0] for pair in position}
+    if len(position) < result.k:
+        for x in sorted(a.universe, key=repr):
+            if x in sources:
+                continue
+            responses = [
+                position | {(x, y)} for y in sorted(b.universe, key=repr)
+            ]
+            if all(strictly_worse(candidate) for candidate in responses):
+                return ("place", x)
+    raise AssertionError(
+        "eliminated position with no winning move; solver invariant broken"
+    )

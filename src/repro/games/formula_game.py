@@ -1,0 +1,396 @@
+"""The k-pebble game on Boolean formulas (Definition 6.5).
+
+Player I pebbles literals or clauses of a CNF formula; Player II must
+assign a truth value to a pebbled literal, or select a literal of a
+pebbled clause and make it true.  Player II loses as soon as some literal
+is forced both true and false; he wins by playing forever.
+
+Facts reproduced (Section 6.2) and verified in the test suite:
+
+* if ``phi`` is satisfiable, Player II wins the k-pebble game for all k;
+* if ``phi`` is unsatisfiable with k variables, Player I wins the
+  (k+1)-pebble game;
+* Player I wins the 2-pebble game on ``x1 & .. & xk & (~x1 | .. | ~xk)``;
+* Player II wins the k-pebble game on the complete formula ``phi_k``
+  (but loses the (k+1)-pebble game) -- the engine of Theorem 6.6.
+
+The exact solver is a safety greatest fixpoint over game states; states
+are multisets of at most k (challenge, response) pairs.  Following the
+standard abstraction, Player I may remove or place a pebble at any time
+(giving him at least the power of the paper's phased schedule).
+
+:class:`PaperPhiKStrategy` implements Player II's explicit strategy for
+``phi_k`` from the proof of Theorem 6.6 and is reused verbatim by the
+Theorem 6.6 certificate.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Iterator, Union
+
+from repro.cnf.assignments import ExtendedAssignment, InconsistentAssignment
+from repro.cnf.formulas import CnfFormula, Literal
+
+# A challenge is a literal, or a clause index; a response is the truth
+# value (for literals) or the selected literal made true (for clauses).
+LiteralChallenge = Literal
+ClauseChallenge = int
+Challenge = Union[Literal, int]
+Pebble = tuple  # (challenge, response)
+State = tuple  # sorted tuple of pebbles (a multiset)
+
+
+@dataclass(frozen=True)
+class FormulaGameResult:
+    """Outcome of solving the k-pebble formula game.
+
+    ``alive`` holds the consistent states from which Player II survives
+    every schedule; Player II wins the game iff the empty state is
+    alive.  ``ranks`` maps each eliminated state to the elimination
+    round at which it died (used to extract Player I's winning line).
+    """
+
+    player_two_wins: bool
+    k: int
+    alive: frozenset
+    ranks: dict = None
+
+
+def _responses(formula: CnfFormula, challenge: Challenge) -> list:
+    if isinstance(challenge, Literal):
+        return [True, False]
+    clause = formula.clauses[challenge]
+    return sorted(set(clause.literals))
+
+
+def _forced_pairs(pebble: Pebble) -> list[tuple[str, bool]]:
+    """(variable, value) facts a pebble imposes."""
+    challenge, response = pebble
+    if isinstance(challenge, Literal):
+        value = response if challenge.positive else not response
+        return [(challenge.variable, value)]
+    literal = response
+    return [(literal.variable, literal.positive)]
+
+
+def _consistent(state: State) -> bool:
+    values: dict[str, bool] = {}
+    for pebble in state:
+        for variable, value in _forced_pairs(pebble):
+            if values.setdefault(variable, value) != value:
+                return False
+    return True
+
+
+def _challenges(formula: CnfFormula) -> list[Challenge]:
+    literal_challenges: list[Challenge] = list(formula.literals)
+    clause_challenges: list[Challenge] = list(range(len(formula.clauses)))
+    return literal_challenges + clause_challenges
+
+
+def _sorted_state(pebbles: Iterator[Pebble] | list[Pebble]) -> State:
+    return tuple(sorted(pebbles, key=repr))
+
+
+def solve_formula_game(formula: CnfFormula, k: int) -> FormulaGameResult:
+    """Decide who wins the k-pebble game on ``formula`` (exact)."""
+    if k < 1:
+        raise ValueError("at least one pebble is required")
+    challenges = _challenges(formula)
+    pebble_pool = [
+        (challenge, response)
+        for challenge in challenges
+        for response in _responses(formula, challenge)
+    ]
+    states: set[State] = set()
+    for size in range(k + 1):
+        for combo in itertools.combinations_with_replacement(
+            sorted(pebble_pool, key=repr), size
+        ):
+            state = _sorted_state(list(combo))
+            if _consistent(state):
+                states.add(state)
+
+    alive = set(states)
+    ranks: dict[State, int] = {}
+    round_number = 0
+    changed = True
+    while changed:
+        round_number += 1
+        changed = False
+        doomed = [
+            state
+            for state in alive
+            if _state_doomed(state, alive, challenges, formula, k)
+        ]
+        for state in doomed:
+            alive.discard(state)
+            ranks[state] = round_number
+            changed = True
+    return FormulaGameResult(
+        player_two_wins=() in alive,
+        k=k,
+        alive=frozenset(alive),
+        ranks=ranks,
+    )
+
+
+def _state_doomed(
+    state: State,
+    alive: set[State],
+    challenges: list[Challenge],
+    formula: CnfFormula,
+    k: int,
+) -> bool:
+    # Removal challenges: Player I picks any pebble to lift.
+    for index in range(len(state)):
+        reduced = _sorted_state(state[:index] + state[index + 1:])
+        if reduced not in alive:
+            return True
+    # Placement challenges.
+    if len(state) < k:
+        for challenge in challenges:
+            answered = False
+            for response in _responses(formula, challenge):
+                candidate = _sorted_state(list(state) + [(challenge, response)])
+                if candidate in alive:
+                    answered = True
+                    break
+            if not answered:
+                return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Interactive play
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FormulaGameTranscript:
+    """Record of a simulated formula game."""
+
+    rounds_played: int
+    player_two_survived: bool
+    failure_round: int | None
+    history: tuple
+
+
+class PaperPhiKStrategy:
+    """Player II's strategy for the complete formula phi_k (Section 6.2).
+
+    * literal challenge: keep the current value if determined, otherwise
+      assign **true**;
+    * clause challenge: with at most k-1 other pebbles placed, at most
+      k-1 variable pairs are determined, so the (k-literal, all-distinct)
+      clause contains an undetermined literal -- select one and make it
+      true;
+    * values are reference-counted and evaporate when no pebble supports
+      them, exactly as the proof prescribes.
+
+    The strategy is sound for *any* formula whose clauses each contain k
+    distinct variables (phi_k being the canonical case); on others it
+    raises :class:`InconsistentAssignment` when cornered.
+    """
+
+    def __init__(self, formula: CnfFormula, k: int) -> None:
+        self.formula = formula
+        self.k = k
+        self._assignment = ExtendedAssignment()
+        self._pebbles: dict[int, tuple[Challenge, Literal, bool]] = {}
+
+    def respond(self, pebble_id: int, challenge: Challenge):
+        """Answer a challenge; records support for the chosen value.
+
+        Returns the response (a bool for literal challenges, the selected
+        literal for clause challenges).
+        """
+        if pebble_id in self._pebbles:
+            raise ValueError(f"pebble {pebble_id} is already placed")
+        if isinstance(challenge, Literal):
+            current = self._assignment.value(challenge)
+            value = True if current is None else current
+            self._assignment.assign(challenge, value)
+            self._pebbles[pebble_id] = (challenge, challenge, value)
+            return value
+        clause = self.formula.clauses[challenge]
+        for literal in sorted(set(clause.literals)):
+            if not self._assignment.is_determined(literal):
+                self._assignment.assign(literal, True)
+                self._pebbles[pebble_id] = (challenge, literal, True)
+                return literal
+        # Fall back to any already-true literal; if none exists Player II
+        # is genuinely beaten (cannot happen on phi_k with < k pebbles).
+        for literal in sorted(set(clause.literals)):
+            if self._assignment.value(literal):
+                self._assignment.assign(literal, True)
+                self._pebbles[pebble_id] = (challenge, literal, True)
+                return literal
+        raise InconsistentAssignment(
+            f"every literal of clause {clause} is already false"
+        )
+
+    def release(self, pebble_id: int) -> None:
+        """Player I removed a pebble: drop one unit of support."""
+        challenge, literal, value = self._pebbles.pop(pebble_id)
+        if isinstance(challenge, Literal):
+            self._assignment.release(literal)
+        else:
+            self._assignment.release(literal)
+
+    def current_assignment(self) -> dict[str, bool]:
+        """The currently-supported partial assignment (copy)."""
+        return self._assignment.as_dict()
+
+    def value_of(self, literal: Literal) -> bool | None:
+        """Current truth value of a literal, if determined."""
+        return self._assignment.value(literal)
+
+
+class RandomFormulaPlayerOne:
+    """A seeded random Player I for the formula game."""
+
+    def __init__(self, formula: CnfFormula, k: int, seed: int) -> None:
+        self._challenges = _challenges(formula)
+        self._k = k
+        self._rng = random.Random(seed)
+
+    def next_move(self, placed: dict, responses: dict | None = None):
+        """``("remove", pebble_id)`` or ``("place", pebble_id, challenge)``."""
+        free = [i for i in range(self._k) if i not in placed]
+        if placed and (not free or self._rng.random() < 0.35):
+            return ("remove", self._rng.choice(sorted(placed)))
+        if not free:  # pragma: no cover - implies placed nonempty above
+            return None
+        return (
+            "place",
+            free[0],
+            self._rng.choice(self._challenges),
+        )
+
+
+def formula_game_player_one_move(
+    result: FormulaGameResult, state: State, formula: CnfFormula
+):
+    """Player I's rank-decreasing winning move from a dead state.
+
+    Returns ``("remove", index-into-state)`` or ``("place", challenge)``;
+    mirrors :func:`repro.games.existential.player_one_winning_move`.
+    """
+    if state in result.alive:
+        raise ValueError("Player I has no winning move from a live state")
+    rank = result.ranks.get(state)
+    if rank is None:
+        raise ValueError("state is already inconsistent; the game is over")
+
+    def strictly_worse(candidate: State) -> bool:
+        if candidate in result.alive:
+            return False
+        candidate_rank = result.ranks.get(candidate)
+        return candidate_rank is None or candidate_rank < rank
+
+    for index in range(len(state)):
+        reduced = _sorted_state(state[:index] + state[index + 1:])
+        if strictly_worse(reduced):
+            return ("remove", index)
+    if len(state) < result.k:
+        for challenge in _challenges(formula):
+            candidates = [
+                _sorted_state(list(state) + [(challenge, response)])
+                for response in _responses(formula, challenge)
+            ]
+            if all(strictly_worse(candidate) for candidate in candidates):
+                return ("place", challenge)
+    raise AssertionError(
+        "dead state with no rank-decreasing move; solver invariant broken"
+    )
+
+
+class OptimalFormulaPlayerOne:
+    """Plays the solver-extracted winning line (when Player I wins)."""
+
+    def __init__(self, result: FormulaGameResult, formula: CnfFormula) -> None:
+        if result.player_two_wins:
+            raise ValueError("Player I has no winning strategy here")
+        self._result = result
+        self._formula = formula
+
+    def next_move(self, placed: dict, responses: dict | None = None):
+        responses = responses or {}
+        state = _sorted_state([
+            (challenge, responses[pebble_id])
+            for pebble_id, challenge in placed.items()
+        ])
+        if state not in self._result.ranks and state not in self._result.alive:
+            return None  # Player II is already inconsistent
+        kind, payload = formula_game_player_one_move(
+            self._result, state, self._formula
+        )
+        if kind == "remove":
+            # Translate the state index back to a pebble id.
+            target = state[payload]
+            for pebble_id, challenge in sorted(placed.items()):
+                if (challenge, responses[pebble_id]) == target:
+                    return ("remove", pebble_id)
+            raise AssertionError("winning removal refers to an absent pebble")
+        free = [
+            i for i in range(self._result.k) if i not in placed
+        ]
+        return ("place", free[0], payload)
+
+
+def run_formula_game(
+    formula: CnfFormula,
+    k: int,
+    player_one,
+    player_two: PaperPhiKStrategy,
+    rounds: int,
+) -> FormulaGameTranscript:
+    """Simulate the formula game; Player II loses on inconsistency."""
+    placed: dict[int, Challenge] = {}
+    responses: dict[int, object] = {}
+    history = []
+    for round_number in range(1, rounds + 1):
+        move = player_one.next_move(placed, responses)
+        if move is None:
+            break
+        if move[0] == "remove":
+            __, pebble_id = move
+            del placed[pebble_id]
+            del responses[pebble_id]
+            player_two.release(pebble_id)
+            history.append(move)
+            continue
+        __, pebble_id, challenge = move
+        try:
+            response = player_two.respond(pebble_id, challenge)
+        except InconsistentAssignment:
+            history.append(move)
+            return FormulaGameTranscript(
+                rounds_played=round_number,
+                player_two_survived=False,
+                failure_round=round_number,
+                history=tuple(history),
+            )
+        placed[pebble_id] = challenge
+        responses[pebble_id] = response
+        history.append((move, response))
+        state = _sorted_state([
+            (placed[i], responses[i]) for i in placed
+        ])
+        if not _consistent(state):
+            return FormulaGameTranscript(
+                rounds_played=round_number,
+                player_two_survived=False,
+                failure_round=round_number,
+                history=tuple(history),
+            )
+    return FormulaGameTranscript(
+        rounds_played=len(history),
+        player_two_survived=True,
+        failure_round=None,
+        history=tuple(history),
+    )

@@ -1,0 +1,324 @@
+"""An interactive runner for the existential k-pebble game.
+
+The exact solver of :mod:`repro.games.existential` decides who wins; this
+module lets concrete *strategies* actually play, which is how the
+reproduction validates the hand-built Player II strategy of Theorem 6.6
+(too large for the exact solver) against adversarial Player I schedules.
+
+Pebbles are indexed ``0 .. k-1``.  A round is: Player I picks a pebble --
+removing it if placed, otherwise placing it on an element of A -- and, on
+placements, Player II answers with an element of B.  Player II survives
+the round iff the pebbled correspondence (plus constants) remains a
+partial one-to-one homomorphism.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Protocol, Sequence
+
+from repro.games.existential import (
+    ExistentialGameResult,
+    player_one_winning_move,
+)
+from repro.structures.homomorphism import (
+    is_partial_homomorphism,
+    is_partial_one_to_one_homomorphism,
+)
+from repro.structures.structure import Structure
+
+Element = Hashable
+
+
+@dataclass(frozen=True)
+class PlaceMove:
+    """Player I places pebble ``pebble`` on ``element`` (of A)."""
+
+    pebble: int
+    element: Element
+
+
+@dataclass(frozen=True)
+class RemoveMove:
+    """Player I picks up pebble ``pebble`` (currently placed)."""
+
+    pebble: int
+
+
+Move = PlaceMove | RemoveMove
+
+
+@dataclass
+class GameState:
+    """Current boards: pebble index -> element, for each structure."""
+
+    k: int
+    board_a: dict[int, Element] = field(default_factory=dict)
+    board_b: dict[int, Element] = field(default_factory=dict)
+
+    def position(self) -> frozenset:
+        """The current position as a set of (a, b) pairs."""
+        return frozenset(
+            (self.board_a[i], self.board_b[i]) for i in self.board_a
+        )
+
+    def free_pebbles(self) -> list[int]:
+        """Indices of pebbles not currently placed."""
+        return [i for i in range(self.k) if i not in self.board_a]
+
+    def mapping(self) -> dict:
+        """The pebbled correspondence as a map (may be inconsistent)."""
+        return {
+            self.board_a[i]: self.board_b[i] for i in sorted(self.board_a)
+        }
+
+
+class PlayerOneStrategy(Protocol):
+    """Chooses Player I's move each round (None ends the run early)."""
+
+    def next_move(self, state: GameState, round_number: int) -> Move | None:
+        """The move for this round, or ``None`` to stop playing."""
+
+
+class PlayerTwoStrategy(Protocol):
+    """Chooses Player II's response to each placement."""
+
+    def respond(
+        self, state: GameState, pebble: int, element: Element
+    ) -> Element:
+        """The element of B answering Player I's placement."""
+
+    def notify_removal(self, state: GameState, pebble: int) -> None:
+        """Called after Player I removes a pebble (for bookkeeping)."""
+
+
+@dataclass(frozen=True)
+class GameTranscript:
+    """The record of a simulated game.
+
+    ``player_two_survived`` is False iff some round produced a position
+    that is not a partial one-to-one homomorphism; ``failure_round`` then
+    holds its 1-based index.
+    """
+
+    rounds_played: int
+    player_two_survived: bool
+    failure_round: int | None
+    history: tuple[tuple[Move, Element | None], ...]
+
+
+def run_existential_game(
+    a: Structure,
+    b: Structure,
+    k: int,
+    player_one: PlayerOneStrategy,
+    player_two: PlayerTwoStrategy,
+    rounds: int,
+    injective: bool = True,
+) -> GameTranscript:
+    """Play ``rounds`` rounds and report whether Player II survived."""
+    state = GameState(k=k)
+    history: list[tuple[Move, Element | None]] = []
+    check = (
+        is_partial_one_to_one_homomorphism
+        if injective
+        else is_partial_homomorphism
+    )
+    for round_number in range(1, rounds + 1):
+        move = player_one.next_move(state, round_number)
+        if move is None:
+            break
+        if isinstance(move, RemoveMove):
+            if move.pebble not in state.board_a:
+                raise ValueError(
+                    f"Player I removed unplaced pebble {move.pebble}"
+                )
+            del state.board_a[move.pebble]
+            del state.board_b[move.pebble]
+            player_two.notify_removal(state, move.pebble)
+            history.append((move, None))
+            continue
+        if move.pebble in state.board_a:
+            raise ValueError(f"Player I re-placed pebble {move.pebble}")
+        if move.element not in a.universe:
+            raise ValueError(f"{move.element!r} is not an element of A")
+        state.board_a[move.pebble] = move.element
+        answer = player_two.respond(state, move.pebble, move.element)
+        if answer not in b.universe:
+            raise ValueError(f"{answer!r} is not an element of B")
+        state.board_b[move.pebble] = answer
+        history.append((move, answer))
+        mapping = state.mapping()
+        consistent = len(mapping) == len(state.board_a) or all(
+            state.board_b[i] == mapping[state.board_a[i]]
+            for i in state.board_a
+        )
+        if not consistent or not check(mapping, a, b):
+            return GameTranscript(
+                rounds_played=round_number,
+                player_two_survived=False,
+                failure_round=round_number,
+                history=tuple(history),
+            )
+    return GameTranscript(
+        rounds_played=len(history),
+        player_two_survived=True,
+        failure_round=None,
+        history=tuple(history),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Player I strategies
+# ---------------------------------------------------------------------------
+
+
+class RandomPlayerOne:
+    """A seeded random adversary: mixes placements and removals."""
+
+    def __init__(
+        self, a: Structure, seed: int, removal_bias: float = 0.3
+    ) -> None:
+        self._elements = sorted(a.universe, key=repr)
+        self._rng = random.Random(seed)
+        self._removal_bias = removal_bias
+
+    def next_move(self, state: GameState, round_number: int) -> Move | None:
+        free = state.free_pebbles()
+        placed = sorted(state.board_a)
+        if placed and (
+            not free or self._rng.random() < self._removal_bias
+        ):
+            return RemoveMove(self._rng.choice(placed))
+        if not free:  # pragma: no cover - implies placed nonempty above
+            return None
+        return PlaceMove(
+            self._rng.choice(free), self._rng.choice(self._elements)
+        )
+
+
+class ScriptedPlayerOne:
+    """Plays a fixed move list, then stops."""
+
+    def __init__(self, moves: Sequence[Move]) -> None:
+        self._moves = list(moves)
+
+    def next_move(self, state: GameState, round_number: int) -> Move | None:
+        if round_number - 1 < len(self._moves):
+            return self._moves[round_number - 1]
+        return None
+
+
+class SolverPlayerOne:
+    """Plays optimally from an exact-solver result (when Player I wins).
+
+    Translates the solver's set-level winning move into a pebble-level
+    move; guaranteed to defeat any Player II within the solver's rank
+    bound when the solver declared Player I the winner.
+    """
+
+    def __init__(
+        self, result: ExistentialGameResult, a: Structure, b: Structure
+    ) -> None:
+        if result.player_two_wins:
+            raise ValueError("Player I has no winning strategy here")
+        self._result = result
+        self._a = a
+        self._b = b
+
+    def next_move(self, state: GameState, round_number: int) -> Move | None:
+        position = state.position()
+        if position not in self._result.ranks and position not in self._result.family:
+            return None  # Player II already dead; nothing to do
+        if position in self._result.family:  # pragma: no cover - defensive
+            return None
+        kind, payload = player_one_winning_move(
+            self._result, position, self._a, self._b
+        )
+        if kind == "place":
+            free = state.free_pebbles()
+            if not free:
+                # Duplicate pebbles forced the set below k; lift one.
+                duplicate = self._find_duplicate(state)
+                return RemoveMove(duplicate)
+            return PlaceMove(free[0], payload)
+        # kind == "remove": payload is an (a, b) pair.
+        for pebble in sorted(state.board_a):
+            pair = (state.board_a[pebble], state.board_b[pebble])
+            if pair == payload:
+                return RemoveMove(pebble)
+        raise AssertionError("winning removal refers to an absent pair")
+
+    def _find_duplicate(self, state: GameState) -> int:
+        seen: dict[tuple, int] = {}
+        for pebble in sorted(state.board_a):
+            pair = (state.board_a[pebble], state.board_b[pebble])
+            if pair in seen:
+                return pebble
+            seen[pair] = pebble
+        raise AssertionError("no free pebble and no duplicate pair")
+
+
+# ---------------------------------------------------------------------------
+# Player II strategies
+# ---------------------------------------------------------------------------
+
+
+class FamilyStrategy:
+    """Player II playing from a winning-strategy family (Definition 4.7).
+
+    The family must be closed under subfunctions and have the forth
+    property; both hold for the solver's output, so this strategy never
+    loses when the solver declared Player II the winner.
+    """
+
+    def __init__(self, family: Iterable[frozenset], b: Structure) -> None:
+        self._family = frozenset(family)
+        self._b_elements = sorted(b.universe, key=repr)
+
+    def respond(
+        self, state: GameState, pebble: int, element: Element
+    ) -> Element:
+        current = frozenset(
+            (state.board_a[i], state.board_b[i])
+            for i in state.board_a
+            if i != pebble
+        )
+        # A re-pebbled element must keep its image (function-ness).
+        for i in state.board_a:
+            if i != pebble and state.board_a[i] == element:
+                return state.board_b[i]
+        for candidate in self._b_elements:
+            if current | {(element, candidate)} in self._family:
+                return candidate
+        # No live answer: concede with an arbitrary element.
+        return self._b_elements[0]
+
+    def notify_removal(self, state: GameState, pebble: int) -> None:
+        """Nothing to track; the family is memoryless."""
+
+
+class CopyingStrategy:
+    """Player II playing along a fixed (one-to-one) homomorphism h.
+
+    This is the strategy of Proposition 5.4: whenever Player I pebbles a,
+    Player II pebbles h(a).  It also captures Example 4.4's "copy the
+    moves" strategy, where h embeds the short path into the long one.
+    """
+
+    def __init__(self, mapping: dict) -> None:
+        self._mapping = dict(mapping)
+
+    def respond(
+        self, state: GameState, pebble: int, element: Element
+    ) -> Element:
+        try:
+            return self._mapping[element]
+        except KeyError:
+            raise ValueError(
+                f"copying strategy has no image for {element!r}"
+            ) from None
+
+    def notify_removal(self, state: GameState, pebble: int) -> None:
+        """Stateless; nothing to do."""

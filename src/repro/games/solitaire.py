@@ -1,0 +1,77 @@
+"""The level-scheduled solitaire pebble game (FHW's Lemma 4 stand-in).
+
+The paper cites a *single-player* pebble game from [FHW80] whose
+solvability characterises homeomorphism on acyclic inputs; the original
+figure-level description is not part of the supplied text, so -- per the
+substitution policy in DESIGN.md -- we implement the variant the paper's
+own proof of Theorem 6.2 directly supports: a single player moves the
+pebbles of the two-player game, but may only ever move a pebble whose
+node has *maximal level* among the pebbled nodes (the level of a node
+being the length of the longest path leaving it).
+
+The proof of Theorem 6.2 shows that any successful max-level-scheduled
+play traces pairwise node-disjoint paths, and conversely a homeomorphic
+embedding yields such a play; hence, on DAGs::
+
+    solitaire solvable  <=>  H homeomorphic to the distinguished subgraph
+
+which the test suite verifies against the exact embedding oracle.
+Solvability is plain reachability over at most ``(|G|+1)^{|E_H|}``
+positions -- polynomial for fixed H.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping
+
+from repro.games.acyclic import REMOVED, _legal_moves
+from repro.graphs.acyclic import levels
+from repro.graphs.digraph import DiGraph
+
+Node = Hashable
+
+
+def solitaire_game_solvable(
+    graph: DiGraph,
+    pattern: DiGraph,
+    assignment: Mapping[Node, Node],
+) -> bool:
+    """Whether the level-scheduled solitaire game can remove all pebbles.
+
+    Requires an acyclic ``graph`` (levels are undefined otherwise).
+    """
+    level = levels(graph)  # raises ValueError on cyclic graphs
+    stripped = pattern.without_isolated_nodes()
+    edges = tuple(sorted(stripped.edges, key=repr))
+    if not edges:
+        raise ValueError("the pattern needs at least one edge")
+    images = [assignment[v] for v in stripped.nodes]
+    if len(set(images)) != len(images):
+        raise ValueError("assignment must be injective")
+
+    targets = tuple(assignment[j] for __, j in edges)
+    initial = tuple(assignment[i] for i, __ in edges)
+    distinguished = frozenset(images)
+
+    seen = {initial}
+    frontier = [initial]
+    while frontier:
+        position = frontier.pop()
+        placed = [
+            (index, node)
+            for index, node in enumerate(position)
+            if node is not REMOVED
+        ]
+        if not placed:
+            return True
+        top = max(level[node] for __, node in placed)
+        for pebble, node in placed:
+            if level[node] != top:
+                continue  # the scheduler only releases max-level pebbles
+            for successor in _legal_moves(
+                graph, position, pebble, targets, distinguished
+            ):
+                if successor not in seen:
+                    seen.add(successor)
+                    frontier.append(successor)
+    return False

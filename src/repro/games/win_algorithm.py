@@ -1,0 +1,148 @@
+"""Proposition 5.3, implemented exactly as described.
+
+The paper's polynomial-time decision procedure for the existential
+k-pebble game works over *configurations* -- placements of the indexed
+pebbles ``p_1..p_k`` / ``q_1..q_k`` (each pebble on an element or off
+the board) -- and iterates the predicate::
+
+    Win_k(A, B, c, m)  =  "Player I wins from configuration c within m moves"
+
+for m = 1, 2, ..., (n+1)^{2k}, using the two observations that (i) the
+configuration space has at most ``(n+1)^{2k}`` members, so Player I wins
+iff he wins within that many moves, and (ii) ``Win(c, m)`` reduces to
+``Win(c'', m-1)`` over Player I's <= k*n successor moves and Player II's
+<= n replies.  Determinacy (Koenig's lemma) then makes "not Win" a
+Player II win.
+
+This is *much* slower than :mod:`repro.games.existential` (which works
+on the partial-map quotient of the configuration space) and exists as a
+faithful executable of the paper's own algorithm; the test suite
+cross-validates the two solvers on small instances.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Hashable
+
+from repro.structures.homomorphism import (
+    is_partial_homomorphism,
+    is_partial_one_to_one_homomorphism,
+)
+from repro.structures.structure import Structure
+
+Element = Hashable
+
+#: Sentinel for a pebble that is not on the board.
+OFF = ("__off__",)
+
+Configuration = tuple  # (a_placements, b_placements), each a k-tuple
+
+
+def _initial(k: int) -> Configuration:
+    return ((OFF,) * k, (OFF,) * k)
+
+
+def _mapping(configuration: Configuration) -> dict | None:
+    """The pebbled correspondence, or None if it is not a function."""
+    a_side, b_side = configuration
+    mapping: dict = {}
+    for a_el, b_el in zip(a_side, b_side):
+        if a_el is OFF:
+            continue
+        if a_el in mapping and mapping[a_el] != b_el:
+            return None
+        mapping[a_el] = b_el
+    return mapping
+
+
+def _player_two_alive(
+    configuration: Configuration, a: Structure, b: Structure, injective: bool
+) -> bool:
+    mapping = _mapping(configuration)
+    if mapping is None:
+        return False
+    check = (
+        is_partial_one_to_one_homomorphism
+        if injective
+        else is_partial_homomorphism
+    )
+    return check(mapping, a, b)
+
+
+def paper_win_algorithm(
+    a: Structure, b: Structure, k: int, injective: bool = True
+) -> str:
+    """Who wins the existential k-pebble game, per Proposition 5.3.
+
+    Returns ``"I"`` or ``"II"``.  Exponential in k and heavy in n even
+    for fixed k -- use :func:`repro.games.existential.solve_existential_game`
+    for anything but the cross-validation of tiny instances.
+    """
+    if k < 1:
+        raise ValueError("at least one pebble is required")
+    a_elements = sorted(a.universe, key=repr)
+    b_elements = sorted(b.universe, key=repr)
+
+    # Enumerate all configurations where Player II is still alive; any
+    # configuration outside this set is an immediate Player I win.
+    alive: set[Configuration] = set()
+    placements_a = itertools.product([OFF, *a_elements], repeat=k)
+    for a_side in placements_a:
+        board = [
+            [OFF] if el is OFF else b_elements for el in a_side
+        ]
+        for b_side in itertools.product(*board):
+            configuration = (a_side, tuple(b_side))
+            if _player_two_alive(configuration, a, b, injective):
+                alive.add(configuration)
+
+    def player_one_moves(configuration: Configuration):
+        """Each move: pick up pebble i (placed -> removal; off -> the
+        element to place it on); yields (i, action)."""
+        a_side, __ = configuration
+        for i in range(k):
+            if a_side[i] is OFF:
+                for element in a_elements:
+                    yield (i, element)
+            else:
+                yield (i, OFF)
+
+    def apply_move(
+        configuration: Configuration, pebble: int, action
+    ) -> list[Configuration]:
+        """Configurations reachable after Player II's reply."""
+        a_side, b_side = configuration
+        if action is OFF:
+            new_a = a_side[:pebble] + (OFF,) + a_side[pebble + 1:]
+            new_b = b_side[:pebble] + (OFF,) + b_side[pebble + 1:]
+            return [(new_a, new_b)]
+        new_a = a_side[:pebble] + (action,) + a_side[pebble + 1:]
+        return [
+            (new_a, b_side[:pebble] + (reply,) + b_side[pebble + 1:])
+            for reply in b_elements
+        ]
+
+    # Iterate Win(c, m): win[c] becomes True at the iteration where
+    # Player I can force a dead configuration within m moves.
+    win: dict[Configuration, bool] = {c: False for c in alive}
+    bound = (max(len(a_elements), len(b_elements)) + 1) ** (2 * k)
+    for __ in range(bound):
+        changed = False
+        for configuration in alive:
+            if win[configuration]:
+                continue
+            for pebble, action in player_one_moves(configuration):
+                replies = apply_move(configuration, pebble, action)
+                if all(
+                    reply not in alive or win[reply] for reply in replies
+                ):
+                    win[configuration] = True
+                    changed = True
+                    break
+        if not changed:
+            break
+
+    initial = _initial(k)
+    player_one_wins = initial not in alive or win[initial]
+    return "I" if player_one_wins else "II"

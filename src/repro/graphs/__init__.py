@@ -1,0 +1,57 @@
+"""Directed graphs with distinguished nodes.
+
+The case study of the paper (Section 6) is about queries on directed
+graphs ``G = (V, E, s_1, ..., s_l)`` with distinguished nodes.  This
+subpackage provides the graph type, path utilities (simple paths,
+avoiding paths, node-disjoint path search), acyclicity utilities, and the
+generators for every example structure in the paper.
+"""
+
+from repro.graphs.acyclic import is_acyclic, levels, topological_order
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import (
+    complete_digraph,
+    crossed_paths_structure_pair,
+    cycle_graph,
+    disjoint_paths_graph,
+    layered_random_dag,
+    path_graph,
+    path_pair_structures,
+    random_digraph,
+)
+from repro.graphs.paths import (
+    all_simple_cycles_through,
+    all_simple_paths,
+    avoiding_path_exists,
+    has_path,
+    node_disjoint_simple_paths,
+    reachable_from,
+    shortest_path,
+    simple_path_lengths,
+    walk_length_profile,
+)
+
+__all__ = [
+    "DiGraph",
+    "is_acyclic",
+    "topological_order",
+    "levels",
+    "has_path",
+    "reachable_from",
+    "shortest_path",
+    "all_simple_paths",
+    "simple_path_lengths",
+    "walk_length_profile",
+    "avoiding_path_exists",
+    "node_disjoint_simple_paths",
+    "all_simple_cycles_through",
+    "path_graph",
+    "cycle_graph",
+    "complete_digraph",
+    "disjoint_paths_graph",
+    "random_digraph",
+    "layered_random_dag",
+    "path_pair_structures",
+    "crossed_paths_structure_pair",
+    "path_pair_structures",
+]

@@ -1,0 +1,59 @@
+"""Acyclicity utilities: topological order and FHW levels.
+
+The second FHW dichotomy restricts inputs to acyclic graphs; the proof of
+Theorem 6.2 uses the *level* of a node -- the length of the longest path
+starting there -- to schedule Player I's challenges.  Levels are only
+well-defined on DAGs.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.graphs.digraph import DiGraph
+
+Node = Hashable
+
+
+def topological_order(graph: DiGraph) -> tuple | None:
+    """A topological order of the nodes, or ``None`` if the graph has a cycle.
+
+    Kahn's algorithm; deterministic (ties broken by ``repr``).
+    """
+    indegree = {v: graph.in_degree(v) for v in graph.nodes}
+    ready = sorted((v for v, d in indegree.items() if d == 0), key=repr)
+    order: list[Node] = []
+    while ready:
+        node = ready.pop()
+        order.append(node)
+        for nxt in sorted(graph.successors(node), key=repr):
+            indegree[nxt] -= 1
+            if indegree[nxt] == 0:
+                ready.append(nxt)
+        ready.sort(key=repr)
+    if len(order) != len(graph):
+        return None
+    return tuple(order)
+
+
+def is_acyclic(graph: DiGraph) -> bool:
+    """Whether the graph is a DAG.  Self-loops count as cycles."""
+    return topological_order(graph) is not None
+
+
+def levels(graph: DiGraph) -> dict:
+    """The level of each node: length of the longest path starting there.
+
+    Exactly the quantity used in the proof of Theorem 6.2 ("define the
+    level of a node in G to be the length of the longest path in G from
+    that node").  Raises ``ValueError`` on cyclic graphs, where levels are
+    undefined.
+    """
+    order = topological_order(graph)
+    if order is None:
+        raise ValueError("levels are only defined on acyclic graphs")
+    level = {v: 0 for v in graph.nodes}
+    for node in reversed(order):
+        for nxt in graph.successors(node):
+            level[node] = max(level[node], level[nxt] + 1)
+    return level

@@ -1,0 +1,278 @@
+"""An immutable directed graph with optional distinguished nodes.
+
+The paper's input graphs carry distinguished nodes ``s_1, ..., s_l`` which
+become constant symbols when the graph is viewed as a relational structure.
+:meth:`DiGraph.to_structure` performs exactly that conversion.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Iterable, Mapping
+
+from repro.structures.structure import Structure
+from repro.structures.vocabulary import Vocabulary
+
+Node = Hashable
+Edge = tuple
+
+
+class DiGraph:
+    """A finite directed graph (no multi-edges), optionally with
+    distinguished nodes.
+
+    Parameters
+    ----------
+    nodes:
+        Iterable of nodes; nodes appearing in ``edges`` are added
+        automatically.
+    edges:
+        Iterable of ``(u, v)`` pairs.  Self-loops are allowed (the paper's
+        class ``C`` explicitly considers roots with self-loops).
+    distinguished:
+        Ordered mapping from names (e.g. ``"s1"``) to nodes.  Distinct
+        names must denote distinct nodes, matching the paper's convention
+        ``s_i != s_j`` for ``i != j``.
+    """
+
+    __slots__ = ("_succ", "_pred", "_edges", "_distinguished", "_hash")
+
+    def __init__(
+        self,
+        nodes: Iterable[Node] = (),
+        edges: Iterable[Edge] = (),
+        distinguished: Mapping[str, Node] | None = None,
+    ) -> None:
+        edge_set = frozenset((u, v) for u, v in edges)
+        node_set = set(nodes)
+        for u, v in edge_set:
+            node_set.add(u)
+            node_set.add(v)
+        distinguished = dict(distinguished or {})
+        for name, node in distinguished.items():
+            if node not in node_set:
+                raise ValueError(
+                    f"distinguished node {name}={node!r} not in the graph"
+                )
+        values = list(distinguished.values())
+        if len(set(values)) != len(values):
+            raise ValueError(
+                f"distinguished nodes must be pairwise distinct: {distinguished}"
+            )
+        succ: dict[Node, set] = {v: set() for v in node_set}
+        pred: dict[Node, set] = {v: set() for v in node_set}
+        for u, v in edge_set:
+            succ[u].add(v)
+            pred[v].add(u)
+        self._succ = {v: frozenset(s) for v, s in succ.items()}
+        self._pred = {v: frozenset(p) for v, p in pred.items()}
+        self._edges = edge_set
+        self._distinguished = distinguished
+        self._hash: int | None = None
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def nodes(self) -> frozenset:
+        """The node set."""
+        return frozenset(self._succ)
+
+    @property
+    def edges(self) -> frozenset:
+        """The edge set as ``(u, v)`` pairs."""
+        return self._edges
+
+    @property
+    def distinguished(self) -> dict[str, Node]:
+        """Mapping from distinguished-node names to nodes (copy)."""
+        return dict(self._distinguished)
+
+    def distinguished_nodes(self) -> tuple:
+        """Distinguished nodes in declaration order."""
+        return tuple(self._distinguished.values())
+
+    def successors(self, node: Node) -> frozenset:
+        """Out-neighbours of ``node``."""
+        return self._succ[node]
+
+    def predecessors(self, node: Node) -> frozenset:
+        """In-neighbours of ``node``."""
+        return self._pred[node]
+
+    def out_degree(self, node: Node) -> int:
+        """Number of out-neighbours."""
+        return len(self._succ[node])
+
+    def in_degree(self, node: Node) -> int:
+        """Number of in-neighbours."""
+        return len(self._pred[node])
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        """Whether edge ``(u, v)`` is present."""
+        return (u, v) in self._edges
+
+    def sources(self) -> frozenset:
+        """Nodes of in-degree 0 (entry points of FHW switches)."""
+        return frozenset(v for v in self._succ if not self._pred[v])
+
+    def sinks(self) -> frozenset:
+        """Nodes of out-degree 0 (exit points of FHW switches)."""
+        return frozenset(v for v in self._succ if not self._succ[v])
+
+    def isolated_nodes(self) -> frozenset:
+        """Nodes with no incident edges.
+
+        The paper assumes pattern graphs have no isolated nodes; the
+        classifier strips them via :meth:`without_isolated_nodes`.
+        """
+        return frozenset(
+            v for v in self._succ if not self._succ[v] and not self._pred[v]
+        )
+
+    def __len__(self) -> int:
+        return len(self._succ)
+
+    def __contains__(self, node: object) -> bool:
+        return node in self._succ
+
+    def number_of_edges(self) -> int:
+        """Number of edges."""
+        return len(self._edges)
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+
+    def with_distinguished(self, distinguished: Mapping[str, Node]) -> "DiGraph":
+        """A copy with the given distinguished-node assignment."""
+        return DiGraph(self.nodes, self._edges, distinguished)
+
+    def without_distinguished(self) -> "DiGraph":
+        """A copy with no distinguished nodes."""
+        return DiGraph(self.nodes, self._edges)
+
+    def add_edges(self, edges: Iterable[Edge]) -> "DiGraph":
+        """A copy with extra edges (and their endpoints) added."""
+        return DiGraph(self.nodes, set(self._edges) | set(edges), self._distinguished)
+
+    def add_nodes(self, nodes: Iterable[Node]) -> "DiGraph":
+        """A copy with extra (possibly isolated) nodes added."""
+        return DiGraph(set(self.nodes) | set(nodes), self._edges, self._distinguished)
+
+    def remove_nodes(self, nodes: Iterable[Node]) -> "DiGraph":
+        """A copy with ``nodes`` (and incident edges) removed."""
+        removed = set(nodes)
+        hit = removed & set(self._distinguished.values())
+        if hit:
+            raise ValueError(f"cannot remove distinguished nodes: {sorted(map(repr, hit))}")
+        keep = self.nodes - removed
+        edges = {
+            (u, v) for u, v in self._edges if u in keep and v in keep
+        }
+        return DiGraph(keep, edges, self._distinguished)
+
+    def without_isolated_nodes(self) -> "DiGraph":
+        """A copy with isolated, non-distinguished nodes removed."""
+        isolated = self.isolated_nodes() - set(self._distinguished.values())
+        return self.remove_nodes(isolated)
+
+    def subgraph(self, nodes: Iterable[Node]) -> "DiGraph":
+        """The induced subgraph on ``nodes`` (distinguished map dropped)."""
+        keep = set(nodes)
+        extra = keep - self.nodes
+        if extra:
+            raise ValueError(f"nodes not in graph: {sorted(map(repr, extra))}")
+        edges = {(u, v) for u, v in self._edges if u in keep and v in keep}
+        return DiGraph(keep, edges)
+
+    def reverse(self) -> "DiGraph":
+        """The graph with every edge reversed (distinguished map kept)."""
+        return DiGraph(
+            self.nodes,
+            {(v, u) for u, v in self._edges},
+            self._distinguished,
+        )
+
+    def relabel(self, mapping: Callable[[Node], Node]) -> "DiGraph":
+        """Apply an injective relabelling to every node."""
+        images = {v: mapping(v) for v in self.nodes}
+        if len(set(images.values())) != len(images):
+            raise ValueError("relabelling is not injective")
+        return DiGraph(
+            images.values(),
+            {(images[u], images[v]) for u, v in self._edges},
+            {name: images[v] for name, v in self._distinguished.items()},
+        )
+
+    def disjoint_union(self, other: "DiGraph") -> "DiGraph":
+        """Disjoint union, tagging nodes with 0 / 1; distinguished maps merged.
+
+        Distinguished names must not clash.
+        """
+        clash = set(self._distinguished) & set(other._distinguished)
+        if clash:
+            raise ValueError(f"clashing distinguished names: {sorted(clash)}")
+        left = self.relabel(lambda v: (0, v))
+        right = other.relabel(lambda v: (1, v))
+        return DiGraph(
+            left.nodes | right.nodes,
+            left.edges | right.edges,
+            {**left.distinguished, **right.distinguished},
+        )
+
+    # ------------------------------------------------------------------
+    # Structure view
+    # ------------------------------------------------------------------
+
+    def to_structure(self) -> Structure:
+        """View this graph as a relational structure.
+
+        The vocabulary is ``{E/2}`` plus one constant per distinguished
+        node, in declaration order -- exactly the structures on which the
+        paper's existential pebble games are played.
+        """
+        vocabulary = Vocabulary.graph(constants=tuple(self._distinguished))
+        return Structure(
+            vocabulary,
+            self.nodes,
+            {"E": self._edges},
+            dict(self._distinguished),
+        )
+
+    # ------------------------------------------------------------------
+    # Equality / display
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DiGraph):
+            return NotImplemented
+        return (
+            self.nodes == other.nodes
+            and self._edges == other._edges
+            and self._distinguished == other._distinguished
+        )
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(
+                (
+                    self.nodes,
+                    self._edges,
+                    tuple(sorted(
+                        (name, repr(v))
+                        for name, v in self._distinguished.items()
+                    )),
+                )
+            )
+        return self._hash
+
+    def __repr__(self) -> str:
+        extras = (
+            f", distinguished={self._distinguished}"
+            if self._distinguished
+            else ""
+        )
+        return (
+            f"DiGraph(|V|={len(self._succ)}, |E|={len(self._edges)}{extras})"
+        )

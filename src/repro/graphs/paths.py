@@ -1,0 +1,297 @@
+"""Path utilities: reachability, simple paths, avoiding paths, and the
+exact node-disjoint simple-path search.
+
+``node_disjoint_simple_paths`` is the exponential ground-truth oracle that
+underlies the exact homeomorphism checker (Section 6); everything the paper
+proves expressible or inexpressible is cross-validated against it on small
+instances.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable, Iterable, Iterator, Sequence
+
+from repro.graphs.digraph import DiGraph
+
+Node = Hashable
+Path = tuple
+
+
+def has_path(graph: DiGraph, source: Node, target: Node) -> bool:
+    """Whether a (possibly empty) directed path runs from source to target.
+
+    A node reaches itself via the empty path.
+    """
+    return target in reachable_from(graph, source)
+
+
+def reachable_from(graph: DiGraph, source: Node) -> frozenset:
+    """All nodes reachable from ``source`` (including itself)."""
+    if source not in graph:
+        raise ValueError(f"source {source!r} not in graph")
+    seen = {source}
+    frontier = deque([source])
+    while frontier:
+        node = frontier.popleft()
+        for nxt in graph.successors(node):
+            if nxt not in seen:
+                seen.add(nxt)
+                frontier.append(nxt)
+    return frozenset(seen)
+
+
+def shortest_path(graph: DiGraph, source: Node, target: Node) -> Path | None:
+    """A shortest directed path as a node tuple, or ``None``.
+
+    The trivial path ``(source,)`` is returned when source == target.
+    """
+    if source not in graph or target not in graph:
+        raise ValueError("endpoints must be nodes of the graph")
+    parents: dict[Node, Node] = {source: source}
+    frontier = deque([source])
+    while frontier:
+        node = frontier.popleft()
+        if node == target:
+            path = [node]
+            while parents[path[-1]] != path[-1]:
+                path.append(parents[path[-1]])
+            return tuple(reversed(path))
+        for nxt in graph.successors(node):
+            if nxt not in parents:
+                parents[nxt] = node
+                frontier.append(nxt)
+    return None
+
+
+def all_simple_paths(
+    graph: DiGraph,
+    source: Node,
+    target: Node,
+    avoid: Iterable[Node] = (),
+    max_length: int | None = None,
+) -> Iterator[Path]:
+    """Enumerate all simple directed paths from source to target.
+
+    Parameters
+    ----------
+    avoid:
+        Nodes the path may not visit (endpoints excluded from the check
+        only if they are the endpoints themselves).
+    max_length:
+        Optional bound on path length in edges.
+
+    Paths are yielded as node tuples; the single-node path is yielded when
+    ``source == target`` and source is not avoided.
+    """
+    forbidden = frozenset(avoid)
+    if source in forbidden or target in forbidden:
+        return
+    if source not in graph or target not in graph:
+        raise ValueError("endpoints must be nodes of the graph")
+
+    stack: list[Node] = [source]
+    on_path = {source}
+
+    def extend() -> Iterator[Path]:
+        if stack[-1] == target and len(stack) >= 1:
+            yield tuple(stack)
+            # A simple path may not revisit target, so stop extending here
+            # unless target == source and we have the trivial path (cycles
+            # through target are not simple paths from source to target).
+            return
+        if max_length is not None and len(stack) - 1 >= max_length:
+            return
+        for nxt in sorted(graph.successors(stack[-1]), key=repr):
+            if nxt in on_path or nxt in forbidden:
+                continue
+            stack.append(nxt)
+            on_path.add(nxt)
+            yield from extend()
+            on_path.discard(nxt)
+            stack.pop()
+
+    yield from extend()
+
+
+def simple_path_lengths(
+    graph: DiGraph, source: Node, target: Node
+) -> frozenset[int]:
+    """The set of lengths (in edges) of simple source->target paths.
+
+    Used by the even-simple-path query and by Example 3.4's infinitary
+    "path length in P" formulas.
+    """
+    return frozenset(
+        len(path) - 1 for path in all_simple_paths(graph, source, target)
+    )
+
+
+def avoiding_path_exists(
+    graph: DiGraph, source: Node, target: Node, avoid: Iterable[Node]
+) -> bool:
+    """Whether an ``avoid``-avoiding directed path source -> target exists.
+
+    This is the ground-truth semantics of the paper's Example 2.1 program
+    (for a single avoided node) and of the ``Q_{1,l}`` programs of Theorem
+    6.1.  Following those programs, the path must have at least one edge
+    and neither endpoint may be an avoided node.
+    """
+    forbidden = frozenset(avoid)
+    if source in forbidden or target in forbidden:
+        return False
+    if source not in graph or target not in graph:
+        raise ValueError("endpoints must be nodes of the graph")
+    seen: set[Node] = set()
+    frontier = deque(
+        nxt for nxt in graph.successors(source) if nxt not in forbidden
+    )
+    while frontier:
+        node = frontier.popleft()
+        if node in seen:
+            continue
+        seen.add(node)
+        if node == target:
+            return True
+        for nxt in graph.successors(node):
+            if nxt not in forbidden and nxt not in seen:
+                frontier.append(nxt)
+    return False
+
+
+def walk_length_profile(
+    graph: DiGraph, max_length: int
+) -> dict[tuple, frozenset[int]]:
+    """Which walk lengths (1..max_length) connect each node pair.
+
+    Dynamic programming over boolean reachability layers; the ground
+    truth behind Example 3.4's infinitary "walk length in P" formulas.
+    """
+    if max_length < 1:
+        raise ValueError("max_length must be positive")
+    nodes = sorted(graph.nodes, key=repr)
+    current: dict[Node, frozenset] = {
+        v: graph.successors(v) for v in nodes
+    }
+    lengths: dict[tuple, set[int]] = {}
+    for n in range(1, max_length + 1):
+        for u in nodes:
+            for v in current[u]:
+                lengths.setdefault((u, v), set()).add(n)
+        if n < max_length:
+            current = {
+                u: frozenset(
+                    w
+                    for v in current[u]
+                    for w in graph.successors(v)
+                )
+                for u in nodes
+            }
+    return {pair: frozenset(values) for pair, values in lengths.items()}
+
+
+def all_simple_cycles_through(
+    graph: DiGraph, node: Node, avoid: Iterable[Node] = ()
+) -> Iterator[Path]:
+    """Enumerate simple cycles through ``node`` as ``(node, ..., node)``.
+
+    A self-loop edge of a pattern graph H maps to a simple cycle through
+    the corresponding distinguished node (Section 6.1, last paragraph of
+    the proof of Theorem 6.1); this enumerates the candidates.
+    """
+    forbidden = frozenset(avoid)
+    if node in forbidden:
+        return
+    for pred in sorted(graph.predecessors(node), key=repr):
+        if pred == node:
+            if node not in forbidden:
+                yield (node, node)
+            continue
+        for path in all_simple_paths(graph, node, pred, avoid=forbidden):
+            yield path + (node,)
+
+
+def node_disjoint_simple_paths(
+    graph: DiGraph,
+    terminal_pairs: Sequence[tuple],
+    avoid: Iterable[Node] = (),
+) -> tuple[Path, ...] | None:
+    """Find pairwise node-disjoint simple paths realising ``terminal_pairs``.
+
+    Parameters
+    ----------
+    terminal_pairs:
+        A sequence of ``(source, target)`` pairs; the i-th returned path
+        runs from ``source_i`` to ``target_i``.
+    avoid:
+        Nodes no path may use at all.
+
+    Disjointness follows the paper's footnote: two simple paths are
+    node-disjoint if they share no node, *except that endpoints may be
+    equal*.  Interior nodes must avoid every other path entirely
+    (endpoints included); endpoints may coincide only with endpoints.
+
+    Returns the tuple of paths, or ``None`` if no realisation exists.
+    This is a backtracking search -- exponential in general (the problem is
+    NP-complete for two pairs, Theorem 6.6) -- and is used as the exact
+    oracle on small instances.
+    """
+    forbidden = frozenset(avoid)
+    endpoints: set[Node] = set()
+    for source, target in terminal_pairs:
+        if source in forbidden or target in forbidden:
+            return None
+        endpoints.add(source)
+        endpoints.add(target)
+
+    chosen: list[Path] = []
+
+    def interiors(path: Path) -> frozenset:
+        return frozenset(path[1:-1])
+
+    def conflict(path: Path) -> bool:
+        """Whether ``path`` collides with already-chosen paths."""
+        path_interior = interiors(path)
+        path_all = frozenset(path)
+        for other in chosen:
+            other_interior = interiors(other)
+            other_all = frozenset(other)
+            # Interior of one may not meet any node of the other.
+            if path_interior & other_all:
+                return True
+            if other_interior & path_all:
+                return True
+            # Endpoint sharing is allowed; identical endpoints of distinct
+            # pattern edges are exactly how homeomorphisms share H-nodes.
+        return False
+
+    def search(index: int) -> tuple[Path, ...] | None:
+        if index == len(terminal_pairs):
+            return tuple(chosen)
+        source, target = terminal_pairs[index]
+        # Interior nodes may not be endpoints of *any* pair: distinguished
+        # nodes of G interpret distinct H-nodes, and a simple path through a
+        # distinguished node would break node-disjointness elsewhere.  The
+        # path's own endpoints are naturally allowed.
+        blocked = (forbidden | endpoints) - {source, target}
+        if source == target:
+            candidates = all_simple_cycles_through(graph, source)
+        else:
+            candidates = all_simple_paths(graph, source, target, avoid=())
+        for path in candidates:
+            if len(path) < 2:
+                continue  # an H-edge needs a path with at least one edge
+            if interiors(path) & blocked:
+                continue
+            if frozenset(path) & forbidden:
+                continue
+            if conflict(path):
+                continue
+            chosen.append(path)
+            result = search(index + 1)
+            if result is not None:
+                return result
+            chosen.pop()
+        return None
+
+    return search(0)

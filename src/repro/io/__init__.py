@@ -1,0 +1,24 @@
+"""File formats: graphs, DIMACS CNF, and Datalog(!=) program files.
+
+* :func:`load_digraph` / :func:`dump_digraph` -- a line-based edge-list
+  format with distinguished-node assignments;
+* :func:`load_cnf` / :func:`dump_cnf` -- DIMACS CNF;
+* :func:`load_program` / :func:`dump_program` -- Datalog(!=) source with
+  a ``% goal: <predicate>`` directive.
+"""
+
+from repro.io.cnf_format import dump_cnf, load_cnf, loads_cnf
+from repro.io.graph_format import dump_digraph, load_digraph, loads_digraph
+from repro.io.program_format import dump_program, load_program, loads_program
+
+__all__ = [
+    "load_digraph",
+    "loads_digraph",
+    "dump_digraph",
+    "load_cnf",
+    "loads_cnf",
+    "dump_cnf",
+    "load_program",
+    "loads_program",
+    "dump_program",
+]

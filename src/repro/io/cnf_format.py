@@ -1,0 +1,76 @@
+"""DIMACS CNF reading and writing.
+
+Variables ``1..n`` map to names ``x1..xn``; negative literals are
+negations; clauses are 0-terminated integer lists, and duplicate
+occurrences inside a clause are preserved (the FHW reduction builds one
+switch per occurrence).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.cnf.formulas import Clause, CnfFormula, Literal
+
+
+class DimacsError(Exception):
+    """Raised on malformed DIMACS input."""
+
+
+def loads_cnf(text: str) -> CnfFormula:
+    """Parse DIMACS CNF text into a :class:`CnfFormula`."""
+    clauses: list[Clause] = []
+    pending: list[Literal] = []
+    declared: tuple[int, int] | None = None
+    for number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith(("c", "%")):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise DimacsError(f"line {number}: malformed problem line")
+            declared = (int(parts[2]), int(parts[3]))
+            continue
+        for token in line.split():
+            try:
+                value = int(token)
+            except ValueError:
+                raise DimacsError(
+                    f"line {number}: non-integer token {token!r}"
+                ) from None
+            if value == 0:
+                if not pending:
+                    raise DimacsError(f"line {number}: empty clause")
+                clauses.append(Clause(pending))
+                pending = []
+            else:
+                pending.append(Literal(f"x{abs(value)}", value > 0))
+    if pending:
+        clauses.append(Clause(pending))  # tolerate a missing final 0
+    if not clauses:
+        raise DimacsError("no clauses found")
+    if declared is not None and declared[1] != len(clauses):
+        raise DimacsError(
+            f"problem line declares {declared[1]} clauses, found {len(clauses)}"
+        )
+    return CnfFormula(clauses)
+
+
+def dump_cnf(formula: CnfFormula) -> str:
+    """Serialise a formula to DIMACS (variables renumbered x1.. order)."""
+    index = {name: i + 1 for i, name in enumerate(formula.variables)}
+    lines = [f"p cnf {len(index)} {len(formula.clauses)}"]
+    for clause in formula.clauses:
+        numbers = [
+            index[lit.variable] if lit.positive else -index[lit.variable]
+            for lit in clause.literals
+        ]
+        lines.append(" ".join(str(n) for n in numbers) + " 0")
+    return "\n".join(lines) + "\n"
+
+
+def load_cnf(path: str | os.PathLike) -> CnfFormula:
+    """Read a DIMACS file."""
+    with open(path, encoding="utf-8") as handle:
+        return loads_cnf(handle.read())

@@ -1,0 +1,84 @@
+"""Graphviz DOT export for directed graphs.
+
+Purely textual (no graphviz dependency): render the gadget graphs --
+switches, ``G_phi``, certificates -- for inspection with any DOT viewer.
+Distinguished nodes are drawn as labelled doublecircles; optional
+highlighted paths (e.g. the standard paths of the reduction) get
+coloured edges.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping, Sequence
+
+from repro.graphs.digraph import DiGraph
+
+Node = Hashable
+
+_PALETTE = ("red", "blue", "darkgreen", "orange", "purple", "brown")
+
+
+def _quote(text: str) -> str:
+    escaped = text.replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def to_dot(
+    graph: DiGraph,
+    name: str = "G",
+    highlight_paths: Sequence[Sequence[Node]] = (),
+    node_labels: Mapping[Node, str] | None = None,
+) -> str:
+    """Render the graph as a DOT digraph.
+
+    Parameters
+    ----------
+    highlight_paths:
+        Node sequences whose consecutive edges are coloured (cycling
+        through a fixed palette) -- e.g. the two disjoint paths routed
+        through ``G_phi``.
+    node_labels:
+        Optional display labels; defaults to ``str(node)``.
+    """
+    labels = node_labels or {}
+
+    def label(node: Node) -> str:
+        return labels.get(node, str(node))
+
+    def ident(node: Node) -> str:
+        return _quote(repr(node))
+
+    colour_of: dict[tuple, str] = {}
+    for index, path in enumerate(highlight_paths):
+        colour = _PALETTE[index % len(_PALETTE)]
+        for edge in zip(path, path[1:]):
+            colour_of[edge] = colour
+
+    lines = [f"digraph {_quote(name)} {{", "  rankdir=LR;"]
+    distinguished = {node: dn for dn, node in graph.distinguished.items()}
+    for node in sorted(graph.nodes, key=repr):
+        attributes = [f"label={_quote(label(node))}"]
+        if node in distinguished:
+            attributes.append("shape=doublecircle")
+            attributes.append(
+                f"xlabel={_quote(distinguished[node])}"
+            )
+        lines.append(f"  {ident(node)} [{', '.join(attributes)}];")
+    for u, v in sorted(graph.edges, key=repr):
+        colour = colour_of.get((u, v))
+        suffix = f" [color={colour}, penwidth=2]" if colour else ""
+        lines.append(f"  {ident(u)} -> {ident(v)}{suffix};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def reduction_to_dot(instance, assignment: Mapping[str, bool] | None = None):
+    """DOT for a reduction graph, optionally routing a model's paths."""
+    paths: Iterable[Sequence[Node]] = ()
+    if assignment is not None:
+        paths = instance.build_disjoint_paths(assignment)
+    return to_dot(
+        instance.graph,
+        name="G_phi",
+        highlight_paths=tuple(paths),
+    )

@@ -1,0 +1,88 @@
+"""A line-based text format for directed graphs with distinguished nodes.
+
+Format::
+
+    # comments and blank lines are ignored
+    node isolated_name          # declare a node with no edges
+    edge tail head              # declare an edge (nodes auto-created)
+    s1 = some_node              # distinguish a node under a name
+
+Node names are whitespace-free tokens and are kept as strings.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.graphs.digraph import DiGraph
+
+
+class GraphFormatError(Exception):
+    """Raised on malformed graph files, with line context."""
+
+
+def loads_digraph(text: str) -> DiGraph:
+    """Parse a graph from its textual representation."""
+    nodes: list[str] = []
+    edges: list[tuple[str, str]] = []
+    distinguished: dict[str, str] = {}
+    for number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if "=" in line:
+            name, __, target = line.partition("=")
+            name, target = name.strip(), target.strip()
+            if not name or not target:
+                raise GraphFormatError(
+                    f"line {number}: malformed distinguished assignment "
+                    f"{raw.strip()!r}"
+                )
+            distinguished[name] = target
+            continue
+        parts = line.split()
+        if parts[0] == "node" and len(parts) == 2:
+            nodes.append(parts[1])
+        elif parts[0] == "edge" and len(parts) == 3:
+            edges.append((parts[1], parts[2]))
+        else:
+            raise GraphFormatError(
+                f"line {number}: expected 'node <n>', 'edge <u> <v>' or "
+                f"'<name> = <node>', got {raw.strip()!r}"
+            )
+    known = set(nodes) | {u for u, __ in edges} | {v for __, v in edges}
+    for name, target in distinguished.items():
+        if target not in known:
+            raise GraphFormatError(
+                f"distinguished node {name} = {target!r} never declared"
+            )
+    return DiGraph(nodes, edges, distinguished)
+
+
+def dump_digraph(graph: DiGraph) -> str:
+    """Serialise a graph; round-trips through :func:`loads_digraph` for
+    graphs whose nodes are strings (other node types are repr-stringified
+    and will not round-trip to the same objects)."""
+    lines = []
+    for node in sorted(graph.isolated_nodes(), key=repr):
+        lines.append(f"node {_token(node)}")
+    for u, v in sorted(graph.edges, key=repr):
+        lines.append(f"edge {_token(u)} {_token(v)}")
+    for name, node in sorted(graph.distinguished.items()):
+        lines.append(f"{name} = {_token(node)}")
+    return "\n".join(lines) + "\n"
+
+
+def _token(node) -> str:
+    text = node if isinstance(node, str) else repr(node)
+    if any(ch.isspace() for ch in text) or "#" in text or "=" in text:
+        raise GraphFormatError(
+            f"node name {text!r} cannot be serialised (whitespace/#/=)"
+        )
+    return text
+
+
+def load_digraph(path: str | os.PathLike) -> DiGraph:
+    """Read a graph file."""
+    with open(path, encoding="utf-8") as handle:
+        return loads_digraph(handle.read())

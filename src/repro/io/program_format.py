@@ -1,0 +1,55 @@
+"""Datalog(!=) program files.
+
+A program file is ordinary program text (see
+:mod:`repro.datalog.parser`) carrying the goal predicate in a comment
+directive::
+
+    % goal: T
+    T(x, y, w) :- E(x, y), w != x, w != y.
+    T(x, y, w) :- E(x, z), T(z, y, w), w != x.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+
+from repro.datalog.ast import Program
+from repro.datalog.parser import parse_program
+
+_GOAL_RE = re.compile(r"^[%#]\s*goal\s*:\s*([A-Za-z_][A-Za-z0-9_']*)\s*$")
+
+
+class ProgramFormatError(Exception):
+    """Raised when the goal directive is missing or duplicated."""
+
+
+def loads_program(text: str, goal: str | None = None) -> Program:
+    """Parse program text; the goal comes from the directive unless
+    overridden by the ``goal`` argument."""
+    directive: str | None = None
+    for line in text.splitlines():
+        match = _GOAL_RE.match(line.strip())
+        if match:
+            if directive is not None:
+                raise ProgramFormatError("multiple goal directives")
+            directive = match.group(1)
+    chosen = goal or directive
+    if chosen is None:
+        raise ProgramFormatError(
+            "no '% goal: <predicate>' directive and no explicit goal"
+        )
+    return parse_program(text, goal=chosen)
+
+
+def dump_program(program: Program) -> str:
+    """Serialise a program with its goal directive; round-trips."""
+    lines = [f"% goal: {program.goal}"]
+    lines.extend(str(rule) for rule in program.rules)
+    return "\n".join(lines) + "\n"
+
+
+def load_program(path: str | os.PathLike, goal: str | None = None) -> Program:
+    """Read a program file."""
+    with open(path, encoding="utf-8") as handle:
+        return loads_program(handle.read(), goal=goal)

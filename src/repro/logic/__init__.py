@@ -1,0 +1,88 @@
+"""The existential negation-free infinitary fragment L^k / L^omega.
+
+Section 3 of the paper: ``L^k`` consists of the formulas of the
+infinitary logic with k variables built from atomic formulas, equalities
+and inequalities using (infinitary) conjunction, (infinitary) disjunction
+and existential quantification only; ``L^omega`` is their union.
+
+Here the finitary connectives are explicit AST nodes; *infinitary*
+disjunctions and conjunctions are represented by finitely-presented
+families (:class:`BoundedDisjunction` / :class:`BoundedConjunction`) that
+expand to the finite prefix sufficient for a given finite structure --
+exactly how the paper's own examples (stage formulas, "path length in P")
+are used on finite structures.
+"""
+
+from repro.logic.datalog_to_lk import (
+    StageTranslation,
+    fixpoint_family,
+    translate_program,
+)
+from repro.logic.definability import (
+    NotClosedUnderPreceq,
+    check_closure,
+    defining_sentence,
+)
+from repro.logic.separating import separating_sentence
+from repro.logic.simplify import formula_size, simplify_formula
+from repro.logic.evaluation import evaluate_formula, satisfying_tuples
+from repro.logic.examples import (
+    cardinality_at_least,
+    cardinality_exactly,
+    cardinality_in,
+    path_formula,
+    path_length_in,
+    transitive_closure_family,
+)
+from repro.logic.formulas import (
+    And,
+    AtomF,
+    BoundedConjunction,
+    BoundedDisjunction,
+    Eq,
+    Exists,
+    Formula,
+    Neq,
+    Or,
+    falsum,
+    verum,
+)
+from repro.logic.width import (
+    free_variables,
+    is_existential_positive,
+    variable_width,
+)
+
+__all__ = [
+    "Formula",
+    "AtomF",
+    "Eq",
+    "Neq",
+    "And",
+    "Or",
+    "Exists",
+    "BoundedDisjunction",
+    "BoundedConjunction",
+    "verum",
+    "falsum",
+    "evaluate_formula",
+    "satisfying_tuples",
+    "variable_width",
+    "free_variables",
+    "is_existential_positive",
+    "translate_program",
+    "StageTranslation",
+    "fixpoint_family",
+    "separating_sentence",
+    "simplify_formula",
+    "formula_size",
+    "defining_sentence",
+    "check_closure",
+    "NotClosedUnderPreceq",
+    "cardinality_at_least",
+    "cardinality_exactly",
+    "cardinality_in",
+    "path_formula",
+    "path_length_in",
+    "transitive_closure_family",
+]

@@ -1,0 +1,86 @@
+"""Constructive Proposition 4.2: defining a <=^k-closed class in L^k.
+
+Proposition 4.2: a class C of finite structures is L^k-definable iff it
+is closed under ``<=^k``.  Its proof builds, for each member A_i, the
+sentence::
+
+    Phi_i  =  AND over { j : not (A_i <=^k A_j) }  of  phi_ij
+
+where ``phi_ij`` holds in A_i and fails in A_j, and defines C by
+``OR over members of Phi_i``.  With :func:`separating_sentence`
+supplying the phi_ij constructively, the whole proof is executable --
+over an explicitly given finite universe of structures (the paper works
+over the countably many isomorphism types; a finite slice is what can
+be materialised, and is exactly what the tests exercise).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.games.existential import preceq_k
+from repro.logic.formulas import And, Formula, Or
+from repro.logic.separating import separating_sentence
+from repro.structures.structure import Structure
+
+
+class NotClosedUnderPreceq(Exception):
+    """The class violates Proposition 4.2's closure condition.
+
+    Carries the witnessing pair ``(member, non_member)`` with
+    ``member <=^k non_member``.
+    """
+
+    def __init__(self, member: int, non_member: int) -> None:
+        super().__init__(
+            f"structure #{member} is in the class, #{non_member} is not, "
+            f"yet #{member} <=^k #{non_member}: no L^k sentence can "
+            "separate them (Proposition 4.2)"
+        )
+        self.member = member
+        self.non_member = non_member
+
+
+def check_closure(
+    universe: Sequence[Structure], members: Sequence[int], k: int
+) -> None:
+    """Verify Proposition 4.2(2) on the given finite universe.
+
+    Raises :class:`NotClosedUnderPreceq` on a violation.
+    """
+    member_set = set(members)
+    for i in member_set:
+        for j in range(len(universe)):
+            if j in member_set or j == i:
+                continue
+            if preceq_k(universe[i], universe[j], k):
+                raise NotClosedUnderPreceq(i, j)
+
+
+def defining_sentence(
+    universe: Sequence[Structure], members: Sequence[int], k: int
+) -> Formula:
+    """An L^k sentence true exactly on the members, within ``universe``.
+
+    Implements the proof of Proposition 4.2 verbatim: for each member i,
+    ``Phi_i`` conjoins a separating sentence against every universe
+    structure j with ``A_i`` not ``<=^k A_j``; the disjunction of the
+    ``Phi_i`` defines the class.  Requires (and checks) closure under
+    ``<=^k`` within the universe.
+    """
+    member_list = sorted(set(members))
+    if not member_list:
+        return Or(())  # the empty class: FALSE
+    check_closure(universe, member_list, k)
+
+    disjuncts: list[Formula] = []
+    for i in member_list:
+        conjuncts: list[Formula] = []
+        for j in range(len(universe)):
+            if j == i:
+                continue
+            sentence = separating_sentence(universe[i], universe[j], k)
+            if sentence is not None:
+                conjuncts.append(sentence)
+        disjuncts.append(And(conjuncts))
+    return Or(disjuncts)

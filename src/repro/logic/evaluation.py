@@ -1,0 +1,138 @@
+"""Evaluation of existential positive formulas on finite structures.
+
+A straightforward recursive evaluator: existential quantifiers range over
+the structure's universe, infinitary connectives are expanded to the
+finite prefix their :class:`BoundedDisjunction` declares sufficient.
+Exponential in quantifier depth in the worst case -- this is the ground
+truth against which the pebble games and the Datalog engine are checked,
+not a production query processor.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Hashable, Iterator, Mapping, Sequence
+
+from repro.datalog.ast import Constant, Term, Variable
+from repro.logic.formulas import (
+    And,
+    AtomF,
+    BoundedConjunction,
+    BoundedDisjunction,
+    Eq,
+    Exists,
+    Formula,
+    Neq,
+    Not,
+    Or,
+)
+from repro.structures.structure import Structure
+
+Element = Hashable
+Assignment = Mapping[Variable, Element]
+
+
+def _value(term: Term, assignment: Assignment, structure: Structure):
+    if isinstance(term, Constant):
+        try:
+            return structure.constants[term.name]
+        except KeyError:
+            raise ValueError(
+                f"formula mentions constant ${term.name} but the structure "
+                "does not interpret it"
+            ) from None
+    try:
+        return assignment[term]
+    except KeyError:
+        raise ValueError(f"free variable {term} left unassigned") from None
+
+
+def evaluate_formula(
+    formula: Formula,
+    structure: Structure,
+    assignment: Assignment | None = None,
+) -> bool:
+    """Whether ``structure, assignment |= formula``."""
+    assignment = dict(assignment or {})
+    return _evaluate(formula, structure, assignment)
+
+
+def _evaluate(
+    formula: Formula, structure: Structure, assignment: dict
+) -> bool:
+    if isinstance(formula, AtomF):
+        row = tuple(
+            _value(term, assignment, structure) for term in formula.args
+        )
+        return structure.holds(formula.predicate, row)
+    if isinstance(formula, Eq):
+        return _value(formula.left, assignment, structure) == _value(
+            formula.right, assignment, structure
+        )
+    if isinstance(formula, Neq):
+        return _value(formula.left, assignment, structure) != _value(
+            formula.right, assignment, structure
+        )
+    if isinstance(formula, And):
+        return all(
+            _evaluate(sub, structure, assignment)
+            for sub in formula.subformulas
+        )
+    if isinstance(formula, Or):
+        return any(
+            _evaluate(sub, structure, assignment)
+            for sub in formula.subformulas
+        )
+    if isinstance(formula, Exists):
+        saved = assignment.get(formula.variable, _MISSING)
+        for element in structure.universe:
+            assignment[formula.variable] = element
+            if _evaluate(formula.subformula, structure, assignment):
+                _restore(assignment, formula.variable, saved)
+                return True
+        _restore(assignment, formula.variable, saved)
+        return False
+    if isinstance(formula, Not):
+        return not _evaluate(formula.subformula, structure, assignment)
+    if isinstance(formula, (BoundedDisjunction, BoundedConjunction)):
+        return _evaluate(formula.expand(structure), structure, assignment)
+    raise TypeError(f"not a formula: {formula!r}")
+
+
+_MISSING = object()
+
+
+def _restore(assignment: dict, variable: Variable, saved) -> None:
+    if saved is _MISSING:
+        assignment.pop(variable, None)
+    else:
+        assignment[variable] = saved
+
+
+def satisfying_tuples(
+    formula: Formula,
+    structure: Structure,
+    free: Sequence[Variable],
+) -> frozenset[tuple]:
+    """All tuples over the universe satisfying the formula.
+
+    ``free`` fixes the order of the formula's free variables.  Used to
+    compare a stage formula ``phi^n(w_1, .., w_r)`` with the engine's
+    stage relation ``Theta^n``.
+    """
+    rows = []
+    universe = list(structure.universe)
+    for values in itertools.product(universe, repeat=len(free)):
+        assignment = dict(zip(free, values))
+        if _evaluate(formula, structure, assignment):
+            rows.append(values)
+    return frozenset(rows)
+
+
+def enumerate_assignments(
+    structure: Structure, free: Sequence[Variable]
+) -> Iterator[dict]:
+    """All assignments of the universe to ``free`` (helper for tests)."""
+    universe = list(structure.universe)
+    for values in itertools.product(universe, repeat=len(free)):
+        yield dict(zip(free, values))

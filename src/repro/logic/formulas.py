@@ -1,0 +1,213 @@
+"""Formula AST for the existential positive fragment.
+
+Terms are shared with the Datalog AST (:class:`Variable`,
+:class:`Constant`) so that Theorem 3.6's translation from programs to
+formulas is a direct tree rewrite.
+
+By construction the AST can only express existential negation-free
+formulas: there is no negation node and no universal quantifier --
+matching Definition 3.5 of L^k exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Union
+
+from repro.datalog.ast import Constant, Term, Variable
+from repro.structures.structure import Structure
+
+
+@dataclass(frozen=True)
+class AtomF:
+    """An atomic formula ``R(t_1, ..., t_n)``."""
+
+    predicate: str
+    args: tuple[Term, ...]
+
+    def __init__(self, predicate: str, args: Iterable[Term]) -> None:
+        object.__setattr__(self, "predicate", predicate)
+        object.__setattr__(self, "args", tuple(args))
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(t) for t in self.args)
+        return f"{self.predicate}({inner})"
+
+
+@dataclass(frozen=True)
+class Eq:
+    """An equality ``t1 = t2``."""
+
+    left: Term
+    right: Term
+
+    def __str__(self) -> str:
+        return f"({self.left} = {self.right})"
+
+
+@dataclass(frozen=True)
+class Neq:
+    """An inequality ``t1 != t2`` -- allowed in L^k, banned in the
+    inequality-free fragment that corresponds to pure Datalog."""
+
+    left: Term
+    right: Term
+
+    def __str__(self) -> str:
+        return f"({self.left} != {self.right})"
+
+
+@dataclass(frozen=True)
+class And:
+    """A finite conjunction; the empty conjunction is truth."""
+
+    subformulas: tuple["Formula", ...]
+
+    def __init__(self, subformulas: Iterable["Formula"]) -> None:
+        object.__setattr__(self, "subformulas", tuple(subformulas))
+
+    def __str__(self) -> str:
+        if not self.subformulas:
+            return "TRUE"
+        return "(" + " & ".join(str(f) for f in self.subformulas) + ")"
+
+
+@dataclass(frozen=True)
+class Or:
+    """A finite disjunction; the empty disjunction is falsity."""
+
+    subformulas: tuple["Formula", ...]
+
+    def __init__(self, subformulas: Iterable["Formula"]) -> None:
+        object.__setattr__(self, "subformulas", tuple(subformulas))
+
+    def __str__(self) -> str:
+        if not self.subformulas:
+            return "FALSE"
+        return "(" + " | ".join(str(f) for f in self.subformulas) + ")"
+
+
+@dataclass(frozen=True)
+class Exists:
+    """Existential quantification over one variable."""
+
+    variable: Variable
+    subformula: "Formula"
+
+    def __str__(self) -> str:
+        return f"(exists {self.variable}){self.subformula}"
+
+
+@dataclass(frozen=True)
+class Not:
+    """Negation.
+
+    Negation takes a formula *outside* the fragment L^k of Definition 3.5
+    (which is negation-free); it exists here only so the full-infinitary
+    examples of Section 3 -- e.g. ``rho_n = tau_n & ~tau_{n+1}`` of
+    Example 3.3 -- can be written and evaluated.  The games and the
+    Datalog translation never produce it, and
+    :func:`repro.logic.width.is_existential_positive` rejects it.
+    """
+
+    subformula: "Formula"
+
+    def __str__(self) -> str:
+        return f"~{self.subformula}"
+
+
+class BoundedDisjunction:
+    """A finitely-presented infinitary disjunction ``V_{n >= 1} phi_n``.
+
+    ``family(n)`` produces the n-th disjunct; ``bound(structure)`` gives a
+    prefix length sufficient on that structure, i.e. the disjunction is
+    equivalent to ``phi_1 | ... | phi_bound`` there.  This is faithful for
+    the paper's uses: stage formulas stabilise within ``|A|^r`` stages,
+    path formulas within ``|A|`` lengths, cardinality formulas within
+    ``|A|``.
+
+    The ``indices`` hook restricts which n participate (e.g. even lengths
+    only), mirroring formulas such as ``V_{n in P} p_n(x, y)``.
+    """
+
+    __slots__ = ("family", "bound", "indices", "description")
+
+    def __init__(
+        self,
+        family: Callable[[int], "Formula"],
+        bound: Callable[[Structure], int],
+        indices: Callable[[int], bool] | None = None,
+        description: str = "",
+    ) -> None:
+        self.family = family
+        self.bound = bound
+        self.indices = indices or (lambda n: True)
+        self.description = description
+
+    def expand(self, structure: Structure) -> Or:
+        """The finite disjunction equivalent to this one on ``structure``."""
+        limit = self.bound(structure)
+        return Or(
+            self.family(n)
+            for n in range(1, limit + 1)
+            if self.indices(n)
+        )
+
+    def __str__(self) -> str:
+        label = self.description or "phi_n"
+        return f"V_n {label}"
+
+
+class BoundedConjunction:
+    """A finitely-presented infinitary conjunction, dual to
+    :class:`BoundedDisjunction`."""
+
+    __slots__ = ("family", "bound", "indices", "description")
+
+    def __init__(
+        self,
+        family: Callable[[int], "Formula"],
+        bound: Callable[[Structure], int],
+        indices: Callable[[int], bool] | None = None,
+        description: str = "",
+    ) -> None:
+        self.family = family
+        self.bound = bound
+        self.indices = indices or (lambda n: True)
+        self.description = description
+
+    def expand(self, structure: Structure) -> And:
+        """The finite conjunction equivalent to this one on ``structure``."""
+        limit = self.bound(structure)
+        return And(
+            self.family(n)
+            for n in range(1, limit + 1)
+            if self.indices(n)
+        )
+
+    def __str__(self) -> str:
+        label = self.description or "phi_n"
+        return f"A_n {label}"
+
+
+Formula = Union[
+    AtomF,
+    Eq,
+    Neq,
+    And,
+    Or,
+    Exists,
+    Not,
+    BoundedDisjunction,
+    BoundedConjunction,
+]
+
+
+def verum() -> And:
+    """The always-true formula (empty conjunction)."""
+    return And(())
+
+
+def falsum() -> Or:
+    """The always-false formula (empty disjunction)."""
+    return Or(())

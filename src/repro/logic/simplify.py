@@ -1,0 +1,134 @@
+"""Semantics-preserving simplification of existential positive formulas.
+
+The game-extracted sentences of :mod:`repro.logic.separating` conjoin
+one sub-sentence per element of B and recurse, so they arrive with
+massive duplication.  This pass normalises without changing meaning:
+
+* flatten nested conjunctions / disjunctions;
+* deduplicate operands (sets, order normalised deterministically);
+* absorb truth in conjunctions and falsity in disjunctions;
+* collapse to FALSE / TRUE when an operand forces it;
+* drop trivial ``t = t`` conjuncts and recognise ``t != t`` as falsity;
+* unwrap single-operand connectives.
+
+Equivalence is property-tested against the evaluator on random
+structures.  Quantifiers are left in place (no renaming, no scope
+surgery), so the variable width never increases.
+"""
+
+from __future__ import annotations
+
+from repro.logic.formulas import (
+    And,
+    AtomF,
+    BoundedConjunction,
+    BoundedDisjunction,
+    Eq,
+    Exists,
+    Formula,
+    Neq,
+    Not,
+    Or,
+    falsum,
+    verum,
+)
+
+
+def _is_true(formula: Formula) -> bool:
+    return isinstance(formula, And) and not formula.subformulas
+
+
+def _is_false(formula: Formula) -> bool:
+    return isinstance(formula, Or) and not formula.subformulas
+
+
+def _ordered_unique(formulas) -> tuple:
+    seen = []
+    for formula in formulas:
+        if formula not in seen:
+            seen.append(formula)
+    return tuple(sorted(seen, key=repr))
+
+
+def simplify_formula(formula: Formula) -> Formula:
+    """A smaller formula equivalent to the input on every structure."""
+    if isinstance(formula, AtomF):
+        return formula
+    if isinstance(formula, Eq):
+        if formula.left == formula.right:
+            return verum()
+        return formula
+    if isinstance(formula, Neq):
+        if formula.left == formula.right:
+            return falsum()
+        return formula
+    if isinstance(formula, Not):
+        inner = simplify_formula(formula.subformula)
+        if _is_true(inner):
+            return falsum()
+        if _is_false(inner):
+            return verum()
+        if isinstance(inner, Not):
+            return inner.subformula
+        return Not(inner)
+    if isinstance(formula, And):
+        flattened: list[Formula] = []
+        for sub in formula.subformulas:
+            reduced = simplify_formula(sub)
+            if _is_false(reduced):
+                return falsum()
+            if _is_true(reduced):
+                continue
+            if isinstance(reduced, And):
+                flattened.extend(reduced.subformulas)
+            else:
+                flattened.append(reduced)
+        unique = _ordered_unique(flattened)
+        if not unique:
+            return verum()
+        if len(unique) == 1:
+            return unique[0]
+        return And(unique)
+    if isinstance(formula, Or):
+        flattened = []
+        for sub in formula.subformulas:
+            reduced = simplify_formula(sub)
+            if _is_true(reduced):
+                return verum()
+            if _is_false(reduced):
+                continue
+            if isinstance(reduced, Or):
+                flattened.extend(reduced.subformulas)
+            else:
+                flattened.append(reduced)
+        unique = _ordered_unique(flattened)
+        if not unique:
+            return falsum()
+        if len(unique) == 1:
+            return unique[0]
+        return Or(unique)
+    if isinstance(formula, Exists):
+        inner = simplify_formula(formula.subformula)
+        if _is_false(inner):
+            return falsum()
+        # NOTE: (exists v) TRUE is *not* TRUE on the empty structure, so
+        # truth does not propagate out of a quantifier.
+        return Exists(formula.variable, inner)
+    if isinstance(formula, (BoundedDisjunction, BoundedConjunction)):
+        return formula  # structure-bounded; simplify after expanding
+    raise TypeError(f"not a formula: {formula!r}")
+
+
+def formula_size(formula: Formula) -> int:
+    """Node count of the formula tree (a crude size measure)."""
+    if isinstance(formula, (AtomF, Eq, Neq)):
+        return 1
+    if isinstance(formula, Not):
+        return 1 + formula_size(formula.subformula)
+    if isinstance(formula, (And, Or)):
+        return 1 + sum(formula_size(sub) for sub in formula.subformulas)
+    if isinstance(formula, Exists):
+        return 1 + formula_size(formula.subformula)
+    if isinstance(formula, (BoundedDisjunction, BoundedConjunction)):
+        return 1
+    raise TypeError(f"not a formula: {formula!r}")

@@ -1,0 +1,145 @@
+"""Variable-width analysis: which L^k a formula lives in.
+
+The defining resource of L^k is the number of *distinct variables*
+(free or bound, reuse allowed and encouraged -- Example 3.4's three-
+variable path formulas re-quantify x and y repeatedly).  These helpers
+compute that width and certify fragment membership.
+"""
+
+from __future__ import annotations
+
+from repro.datalog.ast import Term, Variable
+from repro.logic.formulas import (
+    And,
+    AtomF,
+    BoundedConjunction,
+    BoundedDisjunction,
+    Eq,
+    Exists,
+    Formula,
+    Neq,
+    Not,
+    Or,
+)
+
+
+def _term_variables(term: Term) -> frozenset[Variable]:
+    if isinstance(term, Variable):
+        return frozenset((term,))
+    return frozenset()
+
+
+def all_variables(formula: Formula, probe: int = 8) -> frozenset[Variable]:
+    """Every distinct variable occurring in the formula (free or bound).
+
+    For finitely-presented infinitary connectives the first ``probe``
+    members of the family are inspected; the paper's families reuse the
+    same finite variable stock in every member (that is the whole point
+    of L^k), which the test suite spot-checks at higher probes.
+    """
+    if isinstance(formula, AtomF):
+        result: frozenset[Variable] = frozenset()
+        for term in formula.args:
+            result |= _term_variables(term)
+        return result
+    if isinstance(formula, (Eq, Neq)):
+        return _term_variables(formula.left) | _term_variables(formula.right)
+    if isinstance(formula, (And, Or)):
+        result = frozenset()
+        for sub in formula.subformulas:
+            result |= all_variables(sub, probe)
+        return result
+    if isinstance(formula, Exists):
+        return frozenset((formula.variable,)) | all_variables(
+            formula.subformula, probe
+        )
+    if isinstance(formula, Not):
+        return all_variables(formula.subformula, probe)
+    if isinstance(formula, (BoundedDisjunction, BoundedConjunction)):
+        result = frozenset()
+        for n in range(1, probe + 1):
+            if formula.indices(n):
+                result |= all_variables(formula.family(n), probe)
+        return result
+    raise TypeError(f"not a formula: {formula!r}")
+
+
+def free_variables(formula: Formula, probe: int = 8) -> frozenset[Variable]:
+    """The free variables of the formula."""
+    if isinstance(formula, AtomF):
+        result: frozenset[Variable] = frozenset()
+        for term in formula.args:
+            result |= _term_variables(term)
+        return result
+    if isinstance(formula, (Eq, Neq)):
+        return _term_variables(formula.left) | _term_variables(formula.right)
+    if isinstance(formula, (And, Or)):
+        result = frozenset()
+        for sub in formula.subformulas:
+            result |= free_variables(sub, probe)
+        return result
+    if isinstance(formula, Exists):
+        return free_variables(formula.subformula, probe) - {formula.variable}
+    if isinstance(formula, Not):
+        return free_variables(formula.subformula, probe)
+    if isinstance(formula, (BoundedDisjunction, BoundedConjunction)):
+        result = frozenset()
+        for n in range(1, probe + 1):
+            if formula.indices(n):
+                result |= free_variables(formula.family(n), probe)
+        return result
+    raise TypeError(f"not a formula: {formula!r}")
+
+
+def variable_width(formula: Formula, probe: int = 8) -> int:
+    """The least k such that the formula lies in L^k.
+
+    This is simply the number of distinct variables used, since the AST
+    is existential positive by construction.
+    """
+    return len(all_variables(formula, probe))
+
+
+def is_existential_positive(formula: Formula) -> bool:
+    """Always true for this AST; present as an executable invariant.
+
+    The AST has no negation and no universal quantifier nodes, so every
+    value of type :class:`Formula` is existential negation-free.  The
+    function still walks the tree to reject foreign objects smuggled in.
+    """
+    if isinstance(formula, (AtomF, Eq, Neq)):
+        return True
+    if isinstance(formula, (And, Or)):
+        return all(
+            is_existential_positive(sub) for sub in formula.subformulas
+        )
+    if isinstance(formula, Exists):
+        return is_existential_positive(formula.subformula)
+    if isinstance(formula, (BoundedDisjunction, BoundedConjunction)):
+        return all(
+            is_existential_positive(formula.family(n))
+            for n in range(1, 4)
+            if formula.indices(n)
+        )
+    return False
+
+
+def uses_inequality(formula: Formula, probe: int = 8) -> bool:
+    """Whether any inequality occurs -- the pure-Datalog dividing line."""
+    if isinstance(formula, Neq):
+        return True
+    if isinstance(formula, (AtomF, Eq)):
+        return False
+    if isinstance(formula, (And, Or)):
+        return any(uses_inequality(sub, probe) for sub in formula.subformulas)
+    if isinstance(formula, Exists):
+        return uses_inequality(formula.subformula, probe)
+    if isinstance(formula, Not):
+        return uses_inequality(formula.subformula, probe)
+    if isinstance(formula, (BoundedDisjunction, BoundedConjunction)):
+        return any(
+            uses_inequality(formula.family(n), probe)
+            for n in range(1, probe + 1)
+            if formula.indices(n)
+        )
+    raise TypeError(f"not a formula: {formula!r}")

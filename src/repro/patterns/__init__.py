@@ -1,0 +1,27 @@
+"""Pattern-based queries (Definition 5.1) and their decision procedures.
+
+A query Q is *pattern-based* when a polynomial-time generator alpha maps
+each structure B to a set of pattern structures such that B satisfies Q
+iff some pattern embeds into B by a one-to-one homomorphism.  Section 5
+shows that when such a Q is also expressible in L^k, the embedding test
+can be replaced by the existential k-pebble game (Proposition 5.4),
+making Q polynomial-time (Theorem 5.5).
+"""
+
+from repro.patterns.base import PatternBasedQuery, TrivialPatternQuery
+from repro.patterns.decision import decide_via_embedding, decide_via_game
+from repro.patterns.even_simple_path import (
+    EvenSimplePathQuery,
+    SimplePathLengthQuery,
+)
+from repro.patterns.homeo_query import HomeomorphismQuery
+
+__all__ = [
+    "PatternBasedQuery",
+    "TrivialPatternQuery",
+    "decide_via_embedding",
+    "decide_via_game",
+    "EvenSimplePathQuery",
+    "SimplePathLengthQuery",
+    "HomeomorphismQuery",
+]

@@ -1,0 +1,67 @@
+"""The pattern-based query abstraction (Definition 5.1)."""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterator
+
+from repro.structures.structure import Structure
+
+
+class PatternBasedQuery(abc.ABC):
+    """A Boolean query with a pattern generator alpha.
+
+    Subclasses implement :meth:`patterns` (the generator alpha); the
+    three conditions of Definition 5.1 then hold by construction:
+
+    1. ``alpha(B)`` is a set of finite structures;
+    2. every pattern structure satisfies the query (subclasses must
+       ensure this -- :meth:`patterns_satisfy_query` lets tests check);
+    3. B satisfies the query iff some pattern maps into B by a
+       one-to-one homomorphism (this is how :func:`decide_via_embedding`
+       evaluates the query).
+
+    The paper notes that *every* polynomial-time query is trivially
+    pattern-based (alpha(B) = {B} or {}); the interesting instances here
+    are the even-simple-path query and the fixed subgraph homeomorphism
+    queries of Example 5.2.
+    """
+
+    @abc.abstractmethod
+    def patterns(self, structure: Structure) -> Iterator[Structure]:
+        """The pattern structures alpha(B), over B's vocabulary."""
+
+    @abc.abstractmethod
+    def holds_exact(self, structure: Structure) -> bool:
+        """Ground-truth semantics, independent of the generator.
+
+        Used by the test suite to confirm condition (3) of Definition
+        5.1 for the concrete queries.
+        """
+
+    def pattern_count_bound(self, structure: Structure) -> int:
+        """An upper bound on ``|alpha(B)|`` (documentation of
+        polynomiality; subclasses may refine)."""
+        return max(1, len(structure)) ** 2
+
+
+class TrivialPatternQuery(PatternBasedQuery):
+    """The paper's remark that *every* polynomial-time query is
+    pattern-based: set ``alpha(B) = {B}`` if B satisfies Q else ``{}``.
+
+    Wraps an arbitrary Boolean query given as a predicate on structures;
+    the identity map is then the witnessing one-to-one homomorphism.
+    """
+
+    def __init__(self, predicate) -> None:
+        self._predicate = predicate
+
+    def patterns(self, structure: Structure):
+        if self._predicate(structure):
+            yield structure
+
+    def holds_exact(self, structure: Structure) -> bool:
+        return bool(self._predicate(structure))
+
+    def pattern_count_bound(self, structure: Structure) -> int:
+        return 1

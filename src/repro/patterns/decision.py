@@ -1,0 +1,53 @@
+"""Decision procedures for pattern-based queries (Propositions 5.3-5.4).
+
+Two ways to answer a pattern-based query on B:
+
+* :func:`decide_via_embedding` -- search for a one-to-one homomorphism
+  from some pattern into B (condition (3) of Definition 5.1); exact but
+  exponential, and exactly what NP-hardness says cannot be avoided in
+  general;
+* :func:`decide_via_game` -- play the existential k-pebble game on
+  (pattern, B) instead.  Proposition 5.4: if the query is expressible in
+  L^k, this is equivalent -- and, since the game is solvable in
+  polynomial time (Proposition 5.3) and alpha is polynomial, the query
+  is then in PTIME (Theorem 5.5).
+
+For queries *not* expressible in L^k, the game direction is one-sided:
+an embedding still makes Player II win (he copies along it), but Player
+II may also win with no embedding present -- the test suite exhibits
+this slack for the even simple path query, which is the paper's
+expressibility lower bound made concrete.
+"""
+
+from __future__ import annotations
+
+from repro.games.existential import solve_existential_game
+from repro.patterns.base import PatternBasedQuery
+from repro.structures.homomorphism import find_one_to_one_homomorphism
+from repro.structures.structure import Structure
+
+
+def decide_via_embedding(
+    query: PatternBasedQuery, structure: Structure
+) -> bool:
+    """Definition 5.1(3): some pattern embeds one-to-one into B."""
+    return any(
+        find_one_to_one_homomorphism(pattern, structure) is not None
+        for pattern in query.patterns(structure)
+    )
+
+
+def decide_via_game(
+    query: PatternBasedQuery, structure: Structure, k: int
+) -> bool:
+    """Proposition 5.4: some pattern A has Player II winning the
+    existential k-pebble game on (A, B).
+
+    Sound and complete for queries expressible in L^k; in general an
+    over-approximation of the embedding test (never a miss, possibly a
+    false positive -- see the module docstring).
+    """
+    return any(
+        solve_existential_game(pattern, structure, k).player_two_wins
+        for pattern in query.patterns(structure)
+    )

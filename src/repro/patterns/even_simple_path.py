@@ -1,0 +1,71 @@
+"""The even simple path query (Example 5.2(1), [LM89]).
+
+"Given a directed graph G with distinguished nodes s and t, is there a
+simple path of even length from s to t?"  NP-complete, monotone, and --
+by Corollary 6.8 -- not expressible in L^omega.
+
+The pattern generator alpha(G) is the paper's: all directed paths with
+an odd number k of vertices, 1 < k <= |G|, with the first vertex
+interpreted as s and the last as t.  A one-to-one homomorphism from such
+a pattern into G is exactly a simple s -> t path of even length.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.graphs.digraph import DiGraph
+from repro.graphs.paths import simple_path_lengths
+from repro.patterns.base import PatternBasedQuery
+from repro.structures.structure import Structure
+from repro.structures.vocabulary import Vocabulary
+
+
+def _path_pattern(k: int) -> Structure:
+    """A directed path on vertices 1..k with constants s = 1, t = k."""
+    vocabulary = Vocabulary.graph(constants=("s", "t"))
+    universe = range(1, k + 1)
+    edges = [(i, i + 1) for i in range(1, k)]
+    return Structure(
+        vocabulary, universe, {"E": edges}, {"s": 1, "t": k}
+    )
+
+
+class SimplePathLengthQuery(PatternBasedQuery):
+    """"Is there a simple s -> t path whose length satisfies P?"
+
+    ``membership`` is a predicate on positive path lengths (in edges).
+    Patterns are the directed paths of the admissible lengths, up to the
+    structure's size.  Structures must be graphs with constants s and t.
+    """
+
+    def __init__(
+        self, membership: Callable[[int], bool], name: str = "P"
+    ) -> None:
+        self.membership = membership
+        self.name = name
+
+    def patterns(self, structure: Structure) -> Iterator[Structure]:
+        """All path patterns of admissible length that could embed."""
+        for k in range(2, len(structure) + 1):
+            if self.membership(k - 1):
+                yield _path_pattern(k)
+
+    def holds_exact(self, structure: Structure) -> bool:
+        """Ground truth via exhaustive simple-path enumeration."""
+        graph = DiGraph(structure.universe, structure.relation("E"))
+        source = structure.constants["s"]
+        target = structure.constants["t"]
+        lengths = simple_path_lengths(graph, source, target)
+        return any(self.membership(n) for n in lengths if n > 0)
+
+    def pattern_count_bound(self, structure: Structure) -> int:
+        """At most |B| - 1 patterns."""
+        return max(1, len(structure) - 1)
+
+
+class EvenSimplePathQuery(SimplePathLengthQuery):
+    """The even simple path query of Lakshmanan and Mendelzon [LM89]."""
+
+    def __init__(self) -> None:
+        super().__init__(lambda n: n % 2 == 0, name="even")

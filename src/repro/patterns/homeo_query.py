@@ -1,0 +1,102 @@
+"""Fixed subgraph homeomorphism as a pattern-based query (Example 5.2(2)).
+
+The patterns for an H-homeomorphism query are the *subdivisions* of H:
+every edge replaced by a path of length >= 1, with total size bounded by
+|B|.  A one-to-one homomorphism from a subdivision into G (fixing the
+distinguished nodes) is exactly a homeomorphic embedding.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator
+
+from repro.fhw.homeomorphism import is_homeomorphic_to_distinguished_subgraph
+from repro.graphs.digraph import DiGraph
+from repro.patterns.base import PatternBasedQuery
+from repro.structures.structure import Structure
+from repro.structures.vocabulary import Vocabulary
+
+
+def subdivide(pattern: DiGraph, extra: dict[tuple, int]) -> DiGraph:
+    """Subdivide each edge ``e`` of the pattern with ``extra[e]`` fresh
+    interior nodes (0 = keep the edge)."""
+    edges: set[tuple] = set()
+    nodes = set(pattern.nodes)
+    for edge in sorted(pattern.edges, key=repr):
+        u, v = edge
+        count = extra.get(edge, 0)
+        interior = [("sub", edge, i) for i in range(count)]
+        chain = [u, *interior, v]
+        nodes.update(interior)
+        edges.update(zip(chain, chain[1:]))
+    return DiGraph(nodes, edges)
+
+
+class HomeomorphismQuery(PatternBasedQuery):
+    """The H-subgraph homeomorphism query, pattern-based.
+
+    Input structures are graphs over ``{E/2}`` with one constant per
+    pattern node (named ``h<i>`` for the i-th pattern node in sorted
+    order); the constants interpret the distinguished nodes.
+
+    The pattern *generator* enumerates subdivisions of H with at most
+    ``|B| - |H|`` extra nodes.  For patterns with a bounded number of
+    edges this is polynomial in |B| (degree = number of H-edges).
+    """
+
+    def __init__(self, pattern: DiGraph) -> None:
+        self.pattern = pattern.without_isolated_nodes()
+        if not self.pattern.edges:
+            raise ValueError("the pattern needs at least one edge")
+        self.pattern_nodes = tuple(sorted(self.pattern.nodes, key=repr))
+        self.constant_names = tuple(
+            f"h{i}" for i in range(len(self.pattern_nodes))
+        )
+
+    def instance(self, graph: DiGraph, assignment: dict) -> Structure:
+        """Package (G, assignment) as an input structure."""
+        distinguished = {
+            name: assignment[node]
+            for name, node in zip(self.constant_names, self.pattern_nodes)
+        }
+        return graph.with_distinguished(distinguished).to_structure()
+
+    def _assignment_from(self, structure: Structure) -> dict:
+        constants = structure.constants
+        return {
+            node: constants[name]
+            for name, node in zip(self.constant_names, self.pattern_nodes)
+        }
+
+    def patterns(self, structure: Structure) -> Iterator[Structure]:
+        """Subdivisions of H with total size at most |B|."""
+        vocabulary = Vocabulary.graph(constants=self.constant_names)
+        edges = sorted(self.pattern.edges, key=repr)
+        budget = max(0, len(structure) - len(self.pattern_nodes))
+        for counts in itertools.product(range(budget + 1), repeat=len(edges)):
+            if sum(counts) > budget:
+                continue
+            subdivided = subdivide(self.pattern, dict(zip(edges, counts)))
+            yield Structure(
+                vocabulary,
+                subdivided.nodes,
+                {"E": subdivided.edges},
+                {
+                    name: node
+                    for name, node in zip(
+                        self.constant_names, self.pattern_nodes
+                    )
+                },
+            )
+
+    def holds_exact(self, structure: Structure) -> bool:
+        """Ground truth via the exact embedding oracle."""
+        graph = DiGraph(structure.universe, structure.relation("E"))
+        return is_homeomorphic_to_distinguished_subgraph(
+            self.pattern, graph, self._assignment_from(structure)
+        )
+
+    def pattern_count_bound(self, structure: Structure) -> int:
+        """O(|B|^{#edges}) subdivisions."""
+        return (len(structure) + 1) ** self.pattern.number_of_edges()

@@ -1,0 +1,47 @@
+"""Relational algebra with bounded-arity subexpressions.
+
+Section 3 of the paper: "Intuitively, a formula phi of L^k corresponds
+to a relational-algebra expression e_phi with infinitary unions and
+intersections, such that all subexpressions of e_phi have arity at most
+k."  This subpackage makes that correspondence executable:
+
+* :mod:`repro.relalg.relation` -- named-column relations;
+* :mod:`repro.relalg.expressions` -- the algebra: base relations, the
+  universe relation, rename, project, select (=, != against columns or
+  structure constants), natural join, and union;
+* :mod:`repro.relalg.compiler` -- compile an existential positive L^k
+  formula into an expression whose every subexpression has arity <= k,
+  with :func:`expression_width` auditing the bound.
+
+The compiled expressions are cross-checked against the direct formula
+evaluator in the test suite.
+"""
+
+from repro.relalg.compiler import compile_formula, expression_width
+from repro.relalg.expressions import (
+    Base,
+    Expression,
+    Join,
+    Project,
+    Rename,
+    Select,
+    Union,
+    Universe,
+    evaluate_expression,
+)
+from repro.relalg.relation import Relation
+
+__all__ = [
+    "Relation",
+    "Expression",
+    "Base",
+    "Universe",
+    "Rename",
+    "Project",
+    "Select",
+    "Join",
+    "Union",
+    "evaluate_expression",
+    "compile_formula",
+    "expression_width",
+]

@@ -1,0 +1,198 @@
+"""Compile existential positive formulas into bounded-arity algebra.
+
+The translation mirrors the Section 3 remark structurally:
+
+* atoms become Base relations (repeated variables collapse inside the
+  Base evaluation, constants become selections);
+* conjunction becomes natural Join, disjunction becomes Union (operands
+  padded with Universe columns to a common signature);
+* existential quantification becomes Projection (padded through a
+  throwaway Universe column when the variable never occurs, so the
+  empty-universe semantics of ``exists`` is preserved);
+* equalities and inequalities become Selections over Universe columns.
+
+:func:`expression_width` audits the arity discipline: for a formula of
+``L^k`` over a vocabulary of maximum relation arity r, every
+subexpression of the compilation has arity at most ``max(k, r)`` (the
+Base nodes contribute r; everything built above them stays within the
+formula's k variables).  Infinitary connectives must be expanded for a
+concrete structure first (``family.expand(structure)``), matching how
+the paper's infinitary unions are used on finite structures.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.datalog.ast import Constant, Term, Variable
+from repro.logic.formulas import (
+    And,
+    AtomF,
+    BoundedConjunction,
+    BoundedDisjunction,
+    Eq,
+    Exists,
+    Formula,
+    Neq,
+    Or,
+)
+from repro.relalg.expressions import (
+    Base,
+    Condition,
+    Empty,
+    Expression,
+    Join,
+    Project,
+    Select,
+    Truth,
+    Union,
+    Universe,
+    expression_columns,
+)
+
+
+def _variable_columns(expression: Expression) -> tuple[str, ...]:
+    return expression_columns(expression)
+
+
+def _pad_to(expression: Expression, columns: set[str]) -> Expression:
+    """Join in Universe columns until the expression covers ``columns``."""
+    present = set(expression_columns(expression))
+    for column in sorted(columns - present):
+        expression = Join(expression, Universe(column))
+    return expression
+
+
+def _compile_atom(formula: AtomF) -> Expression:
+    columns: list[str] = []
+    conditions: list[Condition] = []
+    keep: list[str] = []
+    for position, term in enumerate(formula.args):
+        if isinstance(term, Variable):
+            columns.append(term.name)
+            if term.name not in keep:
+                keep.append(term.name)
+        else:
+            placeholder = f"_c{position}"
+            columns.append(placeholder)
+            conditions.append(
+                Condition(placeholder, "=", term.name, right_is_constant=True)
+            )
+    expression: Expression = Base(formula.predicate, tuple(columns))
+    if conditions:
+        expression = Project(
+            Select(expression, tuple(conditions)), tuple(keep)
+        )
+    return expression
+
+
+def _comparison_term(term: Term, label: str):
+    """(column-or-None, constant-name-or-None) for a comparison side."""
+    if isinstance(term, Variable):
+        return term.name, None
+    return None, term.name
+
+
+def _compile_comparison(formula: Eq | Neq) -> Expression:
+    comparator = "=" if isinstance(formula, Eq) else "!="
+    left_col, left_const = _comparison_term(formula.left, "l")
+    right_col, right_const = _comparison_term(formula.right, "r")
+
+    if left_col is not None and right_col is not None:
+        if left_col == right_col:
+            # v = v is truth over v; v != v is falsity over v.
+            base = Universe(left_col)
+            if comparator == "=":
+                return base
+            return Empty((left_col,))
+        return Select(
+            Join(Universe(left_col), Universe(right_col)),
+            (Condition(left_col, comparator, right_col),),
+        )
+    if left_col is not None:
+        return Select(
+            Universe(left_col),
+            (Condition(left_col, comparator, right_const, True),),
+        )
+    if right_col is not None:
+        return Select(
+            Universe(right_col),
+            (Condition(right_col, comparator, left_const, True),),
+        )
+    # Constant vs constant: probe through a scratch Universe column.
+    scratch = "_cc"
+    probe = Select(
+        Universe(scratch),
+        (
+            Condition(scratch, "=", left_const, True),
+            Condition(scratch, comparator, right_const, True),
+        ),
+    )
+    return Project(probe, ())
+
+
+def compile_formula(formula: Formula) -> Expression:
+    """Compile an existential positive formula into the algebra.
+
+    The output columns are the formula's free variable names; closed
+    formulas compile to 0-ary (Boolean) expressions.  Infinitary nodes
+    must be expanded first (they carry a structure-dependent bound).
+    """
+    if isinstance(formula, AtomF):
+        return _compile_atom(formula)
+    if isinstance(formula, (Eq, Neq)):
+        return _compile_comparison(formula)
+    if isinstance(formula, And):
+        if not formula.subformulas:
+            return Truth()
+        compiled = [compile_formula(sub) for sub in formula.subformulas]
+        expression = compiled[0]
+        for operand in compiled[1:]:
+            expression = Join(expression, operand)
+        return expression
+    if isinstance(formula, Or):
+        if not formula.subformulas:
+            return Empty(())
+        compiled = [compile_formula(sub) for sub in formula.subformulas]
+        all_columns: set[str] = set()
+        for operand in compiled:
+            all_columns |= set(expression_columns(operand))
+        padded = tuple(_pad_to(operand, all_columns) for operand in compiled)
+        return Union(padded)
+    if isinstance(formula, Exists):
+        inner = compile_formula(formula.subformula)
+        columns = expression_columns(inner)
+        name = formula.variable.name
+        if name not in columns:
+            # exists v . psi with v absent: psi AND "some element exists".
+            inner = Join(inner, Universe(name))
+            columns = expression_columns(inner)
+        keep = tuple(c for c in columns if c != name)
+        return Project(inner, keep)
+    if isinstance(formula, (BoundedDisjunction, BoundedConjunction)):
+        raise TypeError(
+            "infinitary connectives are structure-bounded; compile "
+            "family.expand(structure) instead"
+        )
+    raise TypeError(
+        f"not an existential positive formula node: {formula!r}"
+    )
+
+
+def expression_width(expression: Expression) -> int:
+    """The maximum arity over all subexpressions (the Section 3 bound)."""
+    own = len(expression_columns(expression))
+    if isinstance(expression, Base):
+        return max(own, len(expression.columns))
+    children: tuple[Expression, ...]
+    if isinstance(expression, (Universe, Truth, Empty)):
+        children = ()
+    elif isinstance(expression, Join):
+        children = (expression.left, expression.right)
+    elif isinstance(expression, Union):
+        children = expression.operands
+    elif hasattr(expression, "source"):
+        children = (expression.source,)
+    else:  # pragma: no cover - exhaustive above
+        children = ()
+    return max([own, *(expression_width(child) for child in children)])

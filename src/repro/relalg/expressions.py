@@ -1,0 +1,253 @@
+"""The algebra: expression AST and its evaluator.
+
+Operators are chosen so that the Section 3 arity discipline is visible
+in the tree: *natural join* is a primitive (its arity is the union of
+its operands' columns, never the product's sum), and the *universe*
+relation supplies quantified variables that no atom binds.
+
+Selection conditions compare two columns or a column against a
+structure constant, with ``=`` or ``!=`` -- exactly the atomic stock of
+the logic L^k.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Mapping, Union as TypingUnion
+
+from repro.relalg.relation import Relation
+from repro.structures.structure import Structure
+
+Element = Hashable
+
+
+@dataclass(frozen=True)
+class Base:
+    """A database relation, with columns named per argument position."""
+
+    relation_name: str
+    columns: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class Universe:
+    """The unary relation holding every universe element."""
+
+    column: str
+
+
+@dataclass(frozen=True)
+class Rename:
+    """Rename columns via an (injective) old -> new mapping."""
+
+    source: "Expression"
+    mapping: Mapping[str, str]
+
+
+@dataclass(frozen=True)
+class Project:
+    """Keep only the named columns (in the given order)."""
+
+    source: "Expression"
+    columns: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class Condition:
+    """``left (=|!=) right`` where right is a column or a constant.
+
+    ``right_is_constant`` selects the interpretation: a column name or
+    the name of a structure constant.
+    """
+
+    left: str
+    comparator: str  # "=" or "!="
+    right: str
+    right_is_constant: bool = False
+
+
+@dataclass(frozen=True)
+class Select:
+    """Filter rows by a conjunction of conditions."""
+
+    source: "Expression"
+    conditions: tuple[Condition, ...]
+
+
+@dataclass(frozen=True)
+class Join:
+    """Natural join: rows agreeing on all shared columns."""
+
+    left: "Expression"
+    right: "Expression"
+
+
+@dataclass(frozen=True)
+class Union:
+    """Set union of union-compatible operands (same column sets)."""
+
+    operands: tuple["Expression", ...]
+
+
+@dataclass(frozen=True)
+class Truth:
+    """The 0-ary relation holding the empty row (logical truth)."""
+
+
+@dataclass(frozen=True)
+class Empty:
+    """An empty relation with the given columns (logical falsity)."""
+
+    columns: tuple[str, ...]
+
+
+Expression = TypingUnion[
+    Base, Universe, Rename, Project, Select, Join, Union, Truth, Empty
+]
+
+
+def expression_columns(expression: Expression) -> tuple[str, ...]:
+    """The output columns of an expression (statically known)."""
+    if isinstance(expression, Base):
+        return expression.columns
+    if isinstance(expression, Universe):
+        return (expression.column,)
+    if isinstance(expression, Rename):
+        return tuple(
+            expression.mapping.get(c, c)
+            for c in expression_columns(expression.source)
+        )
+    if isinstance(expression, Project):
+        return expression.columns
+    if isinstance(expression, Select):
+        return expression_columns(expression.source)
+    if isinstance(expression, Join):
+        left = expression_columns(expression.left)
+        right = expression_columns(expression.right)
+        return left + tuple(c for c in right if c not in left)
+    if isinstance(expression, Union):
+        return expression_columns(expression.operands[0])
+    if isinstance(expression, Truth):
+        return ()
+    if isinstance(expression, Empty):
+        return expression.columns
+    raise TypeError(f"not an expression: {expression!r}")
+
+
+def evaluate_expression(
+    expression: Expression,
+    structure: Structure,
+    database: Mapping[str, frozenset] | None = None,
+) -> Relation:
+    """Evaluate the expression against a structure.
+
+    ``database`` optionally overlays relation contents by name (used by
+    the algebra-backed Datalog engine to feed IDB relations through the
+    fixpoint iteration); names not overlaid fall back to the structure.
+    """
+    if isinstance(expression, Base):
+        if database is not None and expression.relation_name in database:
+            source_rows = database[expression.relation_name]
+        else:
+            if len(expression.columns) != structure.vocabulary.arity(
+                expression.relation_name
+            ):
+                raise ValueError(
+                    f"column count mismatch for {expression.relation_name}"
+                )
+            source_rows = structure.relation(expression.relation_name)
+        # Repeated column names express within-atom equality.
+        seen: dict[str, int] = {}
+        keep: list[int] = []
+        for position, column in enumerate(expression.columns):
+            if column in seen:
+                continue
+            seen[column] = position
+            keep.append(position)
+        rows = set()
+        for raw in source_rows:
+            if all(
+                raw[position] == raw[seen[column]]
+                for position, column in enumerate(expression.columns)
+            ):
+                rows.add(tuple(raw[i] for i in keep))
+        return Relation(
+            tuple(expression.columns[i] for i in keep), rows
+        )
+    if isinstance(expression, Universe):
+        return Relation(
+            (expression.column,), {(x,) for x in structure.universe}
+        )
+    if isinstance(expression, Rename):
+        source = evaluate_expression(expression.source, structure, database)
+        values = list(expression.mapping.values())
+        if len(set(values)) != len(values):
+            raise ValueError("rename mapping must be injective")
+        return Relation(
+            tuple(expression.mapping.get(c, c) for c in source.columns),
+            source.rows,
+        )
+    if isinstance(expression, Project):
+        source = evaluate_expression(expression.source, structure, database)
+        positions = [source.index_of(c) for c in expression.columns]
+        return Relation(
+            expression.columns,
+            {tuple(row[i] for i in positions) for row in source.rows},
+        )
+    if isinstance(expression, Select):
+        source = evaluate_expression(expression.source, structure, database)
+
+        def passes(row: tuple) -> bool:
+            for condition in expression.conditions:
+                left = row[source.index_of(condition.left)]
+                if condition.right_is_constant:
+                    right = structure.constants[condition.right]
+                else:
+                    right = row[source.index_of(condition.right)]
+                if condition.comparator == "=" and left != right:
+                    return False
+                if condition.comparator == "!=" and left == right:
+                    return False
+            return True
+
+        return Relation(
+            source.columns, {row for row in source.rows if passes(row)}
+        )
+    if isinstance(expression, Join):
+        left = evaluate_expression(expression.left, structure, database)
+        right = evaluate_expression(expression.right, structure, database)
+        shared = [c for c in left.columns if c in right.columns]
+        extra = [c for c in right.columns if c not in left.columns]
+        left_key = [left.index_of(c) for c in shared]
+        right_key = [right.index_of(c) for c in shared]
+        extra_positions = [right.index_of(c) for c in extra]
+        index: dict[tuple, list[tuple]] = {}
+        for row in right.rows:
+            index.setdefault(
+                tuple(row[i] for i in right_key), []
+            ).append(row)
+        rows = set()
+        for row in left.rows:
+            key = tuple(row[i] for i in left_key)
+            for partner in index.get(key, ()):
+                rows.add(row + tuple(partner[i] for i in extra_positions))
+        return Relation(left.columns + tuple(extra), rows)
+    if isinstance(expression, Union):
+        if not expression.operands:
+            raise ValueError("an empty union has no column signature")
+        first = evaluate_expression(expression.operands[0], structure, database)
+        rows = set(first.rows)
+        for operand in expression.operands[1:]:
+            value = evaluate_expression(operand, structure, database)
+            if set(value.columns) != set(first.columns):
+                raise ValueError(
+                    f"union operands disagree on columns: "
+                    f"{first.columns} vs {value.columns}"
+                )
+            rows |= value.reorder(first.columns).rows
+        return Relation(first.columns, rows)
+    if isinstance(expression, Truth):
+        return Relation((), {()})
+    if isinstance(expression, Empty):
+        return Relation(expression.columns, ())
+    raise TypeError(f"not an expression: {expression!r}")

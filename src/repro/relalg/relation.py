@@ -1,0 +1,68 @@
+"""Named-column relations: the values the algebra computes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable
+
+Element = Hashable
+
+
+@dataclass(frozen=True)
+class Relation:
+    """A relation instance with named columns.
+
+    ``columns`` fixes the order of every row; rows are tuples of
+    universe elements.  Column names are the free-variable names of the
+    originating formula, so the relation *is* its satisfying-assignment
+    set.
+    """
+
+    columns: tuple[str, ...]
+    rows: frozenset[tuple]
+
+    def __init__(self, columns: Iterable[str], rows: Iterable[tuple]) -> None:
+        column_tuple = tuple(columns)
+        if len(set(column_tuple)) != len(column_tuple):
+            raise ValueError(f"duplicate column names: {column_tuple}")
+        row_set = frozenset(tuple(row) for row in rows)
+        for row in row_set:
+            if len(row) != len(column_tuple):
+                raise ValueError(
+                    f"row {row} does not match columns {column_tuple}"
+                )
+        object.__setattr__(self, "columns", column_tuple)
+        object.__setattr__(self, "rows", row_set)
+
+    @property
+    def arity(self) -> int:
+        """Number of columns."""
+        return len(self.columns)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def index_of(self, column: str) -> int:
+        """Position of a column; ValueError if absent."""
+        try:
+            return self.columns.index(column)
+        except ValueError:
+            raise ValueError(
+                f"no column {column!r} in {self.columns}"
+            ) from None
+
+    def reorder(self, columns: Iterable[str]) -> "Relation":
+        """The same relation with columns listed in the given order."""
+        target = tuple(columns)
+        if set(target) != set(self.columns) or len(target) != self.arity:
+            raise ValueError(
+                f"cannot reorder {self.columns} as {target}"
+            )
+        positions = [self.index_of(c) for c in target]
+        return Relation(
+            target,
+            {tuple(row[i] for i in positions) for row in self.rows},
+        )
+
+    def __repr__(self) -> str:
+        return f"Relation(columns={self.columns}, rows={len(self.rows)})"

@@ -1,0 +1,50 @@
+"""Finite relational structures over finite vocabularies.
+
+This subpackage is the model-theoretic substrate of the reproduction: the
+paper's queries are Boolean queries on finite structures, its games are
+played on pairs of structures, and its logics are evaluated on structures.
+
+Public API
+----------
+
+* :class:`Vocabulary` -- relation symbols with arities plus constant symbols.
+* :class:`Structure` -- a finite structure: universe, relations, constants.
+* :func:`is_homomorphism` / :func:`is_one_to_one_homomorphism` -- mapping
+  checks (Definition 4.6 of the paper).
+* :func:`is_partial_one_to_one_homomorphism` -- the partial maps that make
+  up Player II's winning-strategy families (Definition 4.7).
+* :func:`find_homomorphisms` / :func:`find_one_to_one_homomorphism` --
+  exhaustive searches used as ground truth on small instances.
+* :func:`are_isomorphic` -- isomorphism via the injective search.
+* :mod:`repro.structures.builders` -- conversions from graphs and common
+  example structures.
+"""
+
+from repro.structures.homomorphism import (
+    extend_partial_map,
+    find_homomorphisms,
+    find_one_to_one_homomorphism,
+    find_one_to_one_homomorphisms,
+    is_homomorphism,
+    is_one_to_one_homomorphism,
+    is_partial_homomorphism,
+    is_partial_one_to_one_homomorphism,
+    are_isomorphic,
+)
+from repro.structures.structure import Structure
+from repro.structures.vocabulary import RelationSymbol, Vocabulary
+
+__all__ = [
+    "RelationSymbol",
+    "Vocabulary",
+    "Structure",
+    "is_homomorphism",
+    "is_one_to_one_homomorphism",
+    "is_partial_homomorphism",
+    "is_partial_one_to_one_homomorphism",
+    "extend_partial_map",
+    "find_homomorphisms",
+    "find_one_to_one_homomorphism",
+    "find_one_to_one_homomorphisms",
+    "are_isomorphic",
+]

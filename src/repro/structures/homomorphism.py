@@ -1,0 +1,228 @@
+"""Homomorphisms between finite structures.
+
+The paper's games revolve around two kinds of maps (Definition 4.6):
+
+* a **homomorphism** from A into B maps constants to corresponding
+  constants and preserves every relation tuple;
+* a **one-to-one homomorphism** is additionally injective.  (Note: unlike
+  an embedding, it need *not* reflect relations -- only preserve them.)
+
+Partial maps between A and B appear as the positions of the existential
+k-pebble game; :func:`is_partial_one_to_one_homomorphism` decides whether a
+position is still alive for Player II.
+
+The exhaustive searches here are exponential and serve as ground truth on
+small instances, mirroring how the paper uses brute-force reasoning only on
+fixed patterns.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator, Mapping
+
+from repro.structures.structure import Structure
+
+Element = Hashable
+PartialMap = Mapping[Element, Element]
+
+
+def _constants_respected(mapping: PartialMap, a: Structure, b: Structure) -> bool:
+    """Check h(c_j) = d_j for all constants (they must be in the map)."""
+    a_consts = a.constant_elements()
+    b_consts = b.constant_elements()
+    for source, target in zip(a_consts, b_consts):
+        if mapping.get(source, target) != target:
+            return False
+    return True
+
+
+def _tuples_preserved(
+    mapping: PartialMap, a: Structure, b: Structure, total_on: frozenset | None = None
+) -> bool:
+    """Check preservation of every relation tuple whose entries are mapped."""
+    domain = set(mapping)
+    for name in a.vocabulary.relation_names:
+        b_relation = b.relation(name)
+        for t in a.relation(name):
+            if all(x in domain for x in t):
+                image = tuple(mapping[x] for x in t)
+                if image not in b_relation:
+                    return False
+    return True
+
+
+def is_partial_homomorphism(
+    mapping: PartialMap, a: Structure, b: Structure
+) -> bool:
+    """Whether ``mapping`` is a partial homomorphism from ``a`` to ``b``.
+
+    The domain may be any subset of ``a``'s universe; only tuples fully
+    inside the domain must be preserved.  Constants that appear in the
+    domain must map to the corresponding constants of ``b``.
+    """
+    if a.vocabulary != b.vocabulary:
+        raise ValueError("structures must share a vocabulary")
+    if not all(x in a.universe for x in mapping):
+        return False
+    if not all(y in b.universe for y in mapping.values()):
+        return False
+    if not _constants_respected(mapping, a, b):
+        return False
+    # Constants are implicitly part of every partial map (Definition
+    # 4.6: the domain always contains the constants of A).
+    effective = dict(zip(a.constant_elements(), b.constant_elements()))
+    effective.update(mapping)
+    return _tuples_preserved(effective, a, b)
+
+
+def is_partial_one_to_one_homomorphism(
+    mapping: PartialMap, a: Structure, b: Structure
+) -> bool:
+    """Definition 4.6: a partial homomorphism that is also injective.
+
+    This is the "alive position" test of the existential k-pebble game:
+    Player I wins a round exactly when the pebbled correspondence fails
+    this test.  Constants of the vocabulary are implicitly part of every
+    position, so they are checked even when absent from ``mapping``.
+    """
+    if not is_partial_homomorphism(mapping, a, b):
+        return False
+    # Injectivity over the mapping plus the constant pairs.
+    pairs = dict(zip(a.constant_elements(), b.constant_elements()))
+    for source, target in mapping.items():
+        existing = pairs.get(source)
+        if existing is not None and existing != target:
+            return False
+        pairs[source] = target
+    values = list(pairs.values())
+    return len(set(values)) == len(values)
+
+
+def is_homomorphism(mapping: PartialMap, a: Structure, b: Structure) -> bool:
+    """Whether ``mapping`` is a (total) homomorphism from ``a`` into ``b``."""
+    if set(mapping) != set(a.universe):
+        return False
+    return is_partial_homomorphism(mapping, a, b)
+
+
+def is_one_to_one_homomorphism(
+    mapping: PartialMap, a: Structure, b: Structure
+) -> bool:
+    """Whether ``mapping`` is a total injective homomorphism A -> B."""
+    if set(mapping) != set(a.universe):
+        return False
+    return is_partial_one_to_one_homomorphism(mapping, a, b)
+
+
+def extend_partial_map(
+    mapping: PartialMap,
+    source: Element,
+    target: Element,
+    a: Structure,
+    b: Structure,
+) -> dict | None:
+    """Try to extend a partial one-to-one homomorphism by one pair.
+
+    Returns the extended map if ``mapping ∪ {(source, target)}`` is still a
+    partial one-to-one homomorphism, else ``None``.  This is the "forth"
+    step of Definition 4.7.
+    """
+    if source in mapping:
+        if mapping[source] == target:
+            return dict(mapping)
+        return None
+    extended = dict(mapping)
+    extended[source] = target
+    if is_partial_one_to_one_homomorphism(extended, a, b):
+        return extended
+    return None
+
+
+def _search(
+    a: Structure,
+    b: Structure,
+    injective: bool,
+    partial: dict,
+    remaining: list,
+) -> Iterator[dict]:
+    """Backtracking enumeration of (injective) homomorphism extensions."""
+    if not remaining:
+        yield dict(partial)
+        return
+    source = remaining[0]
+    used = set(partial.values()) if injective else frozenset()
+    for target in b.universe:
+        if injective and target in used:
+            continue
+        partial[source] = target
+        if _tuples_preserved(partial, a, b):
+            yield from _search(a, b, injective, partial, remaining[1:])
+        del partial[source]
+
+
+def _seed(a: Structure, b: Structure, injective: bool) -> dict | None:
+    """Initial map sending constants to constants; None if that fails."""
+    seed = dict(zip(a.constant_elements(), b.constant_elements()))
+    if injective:
+        values = list(seed.values())
+        if len(set(values)) != len(values):
+            return None
+        if len(set(seed)) != len(seed.values()) and len(seed) != len(
+            set(seed)
+        ):  # pragma: no cover - defensive
+            return None
+    if not _tuples_preserved(seed, a, b):
+        return None
+    return seed
+
+
+def find_homomorphisms(a: Structure, b: Structure) -> Iterator[dict]:
+    """Enumerate all homomorphisms from ``a`` into ``b`` (exponential)."""
+    if a.vocabulary != b.vocabulary:
+        raise ValueError("structures must share a vocabulary")
+    seed = _seed(a, b, injective=False)
+    if seed is None:
+        return
+    remaining = [x for x in a.universe if x not in seed]
+    yield from _search(a, b, False, seed, remaining)
+
+
+def find_one_to_one_homomorphisms(a: Structure, b: Structure) -> Iterator[dict]:
+    """Enumerate all one-to-one homomorphisms from ``a`` into ``b``."""
+    if a.vocabulary != b.vocabulary:
+        raise ValueError("structures must share a vocabulary")
+    seed = _seed(a, b, injective=True)
+    if seed is None:
+        return
+    # The constant seed must itself be injective.
+    values = list(seed.values())
+    if len(set(values)) != len(values):
+        return
+    remaining = [x for x in a.universe if x not in seed]
+    yield from _search(a, b, True, seed, remaining)
+
+
+def find_one_to_one_homomorphism(a: Structure, b: Structure) -> dict | None:
+    """The first one-to-one homomorphism A -> B, or ``None``."""
+    return next(find_one_to_one_homomorphisms(a, b), None)
+
+
+def are_isomorphic(a: Structure, b: Structure) -> bool:
+    """Isomorphism test via bidirectional injective homomorphism search.
+
+    An isomorphism is an injective, surjective, relation-*reflecting*
+    homomorphism; we realise it as a one-to-one homomorphism whose inverse
+    is also one (sizes being equal makes both total bijections).
+    """
+    if a.vocabulary != b.vocabulary:
+        raise ValueError("structures must share a vocabulary")
+    if len(a) != len(b):
+        return False
+    for name in a.vocabulary.relation_names:
+        if len(a.relation(name)) != len(b.relation(name)):
+            return False
+    for mapping in find_one_to_one_homomorphisms(a, b):
+        inverse = {v: k for k, v in mapping.items()}
+        if is_one_to_one_homomorphism(inverse, b, a):
+            return True
+    return False

@@ -1,0 +1,290 @@
+"""Finite relational structures.
+
+A :class:`Structure` interprets every relation symbol of a
+:class:`~repro.structures.vocabulary.Vocabulary` as a finite set of tuples
+over its universe and every constant symbol as an element of the universe.
+Structures are immutable once built; all "modifications" return new
+structures.  Elements may be any hashable Python objects.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable, Iterable, Mapping
+
+from repro.structures.vocabulary import RelationSymbol, Vocabulary
+
+Element = Hashable
+Tuple_ = tuple
+
+
+class Structure:
+    """A finite structure over a finite vocabulary.
+
+    Parameters
+    ----------
+    vocabulary:
+        The structure's vocabulary.
+    universe:
+        The (finite) set of elements.  Every tuple in every relation and
+        every constant interpretation must draw from this set.
+    relations:
+        Mapping from relation name to an iterable of tuples.  Relations of
+        the vocabulary that are omitted are interpreted as empty.
+    constants:
+        Mapping from constant symbol to its interpreting element.  Every
+        constant of the vocabulary must be interpreted.
+
+    Examples
+    --------
+    >>> voc = Vocabulary.graph()
+    >>> a = Structure(voc, {1, 2, 3}, {"E": [(1, 2), (2, 3)]})
+    >>> a.holds("E", (1, 2))
+    True
+    >>> len(a)
+    3
+    """
+
+    __slots__ = ("_vocabulary", "_universe", "_relations", "_constants", "_hash")
+
+    def __init__(
+        self,
+        vocabulary: Vocabulary,
+        universe: Iterable[Element],
+        relations: Mapping[str, Iterable[tuple]] | None = None,
+        constants: Mapping[str, Element] | None = None,
+    ) -> None:
+        universe_set = frozenset(universe)
+        relations = relations or {}
+        constants = constants or {}
+
+        interp: dict[str, frozenset[tuple]] = {}
+        for symbol in vocabulary.relations:
+            tuples = frozenset(tuple(t) for t in relations.get(symbol.name, ()))
+            for t in tuples:
+                if len(t) != symbol.arity:
+                    raise ValueError(
+                        f"tuple {t} has wrong arity for {symbol}: "
+                        f"expected {symbol.arity}, got {len(t)}"
+                    )
+                bad = [x for x in t if x not in universe_set]
+                if bad:
+                    raise ValueError(
+                        f"tuple {t} of relation {symbol.name!r} mentions "
+                        f"elements outside the universe: {bad}"
+                    )
+            interp[symbol.name] = tuples
+        unknown = set(relations) - set(interp)
+        if unknown:
+            raise ValueError(
+                f"relations not in the vocabulary: {sorted(unknown)}"
+            )
+
+        const_interp: dict[str, Element] = {}
+        for name in vocabulary.constants:
+            if name not in constants:
+                raise ValueError(f"constant {name!r} left uninterpreted")
+            value = constants[name]
+            if value not in universe_set:
+                raise ValueError(
+                    f"constant {name!r} interpreted by {value!r}, which is "
+                    "outside the universe"
+                )
+            const_interp[name] = value
+        unknown_consts = set(constants) - set(const_interp)
+        if unknown_consts:
+            raise ValueError(
+                f"constants not in the vocabulary: {sorted(unknown_consts)}"
+            )
+
+        self._vocabulary = vocabulary
+        self._universe = universe_set
+        self._relations = interp
+        self._constants = const_interp
+        self._hash: int | None = None
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def vocabulary(self) -> Vocabulary:
+        """The structure's vocabulary."""
+        return self._vocabulary
+
+    @property
+    def universe(self) -> frozenset:
+        """The set of elements."""
+        return self._universe
+
+    @property
+    def constants(self) -> Mapping[str, Element]:
+        """Constant symbol interpretations, in vocabulary order."""
+        return dict(self._constants)
+
+    def constant_elements(self) -> tuple:
+        """Interpretations of the constants, in vocabulary order."""
+        return tuple(
+            self._constants[name] for name in self._vocabulary.constants
+        )
+
+    def relation(self, name: str) -> frozenset[tuple]:
+        """All tuples of relation ``name``."""
+        return self._relations[name]
+
+    def holds(self, name: str, arguments: tuple) -> bool:
+        """Whether ``arguments`` is a tuple of relation ``name``."""
+        return tuple(arguments) in self._relations[name]
+
+    def __len__(self) -> int:
+        return len(self._universe)
+
+    def __contains__(self, element: object) -> bool:
+        return element in self._universe
+
+    # ------------------------------------------------------------------
+    # Derived structures
+    # ------------------------------------------------------------------
+
+    def induced(self, elements: Iterable[Element]) -> "Structure":
+        """The substructure induced by ``elements``.
+
+        The constants of the vocabulary must all lie inside ``elements``;
+        this mirrors Definition 4.6, where partial maps always contain the
+        constants.
+        """
+        subset = frozenset(elements)
+        extra = subset - self._universe
+        if extra:
+            raise ValueError(f"elements not in the universe: {sorted(map(repr, extra))}")
+        missing = [
+            name
+            for name, value in self._constants.items()
+            if value not in subset
+        ]
+        if missing:
+            raise ValueError(
+                f"induced substructure must contain the constants; missing "
+                f"interpretations of {missing}"
+            )
+        relations = {
+            name: {t for t in tuples if all(x in subset for x in t)}
+            for name, tuples in self._relations.items()
+        }
+        return Structure(self._vocabulary, subset, relations, self._constants)
+
+    def rename(self, mapping: Callable[[Element], Element]) -> "Structure":
+        """Apply an injective renaming to every element.
+
+        Raises ``ValueError`` if ``mapping`` is not injective on the
+        universe.
+        """
+        images: dict[Element, Element] = {}
+        for element in self._universe:
+            image = mapping(element)
+            images[element] = image
+        if len(set(images.values())) != len(images):
+            raise ValueError("renaming is not injective on the universe")
+        relations = {
+            name: {tuple(images[x] for x in t) for t in tuples}
+            for name, tuples in self._relations.items()
+        }
+        constants = {name: images[v] for name, v in self._constants.items()}
+        return Structure(
+            self._vocabulary, images.values(), relations, constants
+        )
+
+    def with_constants(self, assignment: Mapping[str, Element]) -> "Structure":
+        """Expand the vocabulary with fresh constants interpreted as given."""
+        vocabulary = self._vocabulary.with_constants(assignment.keys())
+        constants = {**self._constants, **assignment}
+        return Structure(vocabulary, self._universe, self._relations, constants)
+
+    def reduct(self, vocabulary: Vocabulary) -> "Structure":
+        """Forget symbols: the reduct of this structure to ``vocabulary``."""
+        for symbol in vocabulary.relations:
+            if (
+                not self._vocabulary.has_relation(symbol.name)
+                or self._vocabulary.arity(symbol.name) != symbol.arity
+            ):
+                raise ValueError(f"{symbol} is not interpreted here")
+        for name in vocabulary.constants:
+            if name not in self._constants:
+                raise ValueError(f"constant {name!r} is not interpreted here")
+        relations = {
+            symbol.name: self._relations[symbol.name]
+            for symbol in vocabulary.relations
+        }
+        constants = {name: self._constants[name] for name in vocabulary.constants}
+        return Structure(vocabulary, self._universe, relations, constants)
+
+    def disjoint_union(self, other: "Structure") -> "Structure":
+        """Disjoint union, tagging elements with 0 / 1.
+
+        Only available when neither vocabulary has constants (a constant
+        cannot be interpreted twice).
+        """
+        if self._vocabulary.constants or other._vocabulary.constants:
+            raise ValueError("disjoint union undefined for vocabularies with constants")
+        if self._vocabulary != other._vocabulary:
+            raise ValueError("vocabulary mismatch in disjoint union")
+        left = self.rename(lambda x: (0, x))
+        right = other.rename(lambda x: (1, x))
+        relations = {
+            name: left.relation(name) | right.relation(name)
+            for name in self._vocabulary.relation_names
+        }
+        return Structure(
+            self._vocabulary, left.universe | right.universe, relations
+        )
+
+    # ------------------------------------------------------------------
+    # Equality / hashing / display
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Structure):
+            return NotImplemented
+        return (
+            self._vocabulary == other._vocabulary
+            and self._universe == other._universe
+            and self._relations == other._relations
+            and self._constants == other._constants
+        )
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(
+                (
+                    self._vocabulary,
+                    self._universe,
+                    tuple(sorted(
+                        (name, tuples)
+                        for name, tuples in self._relations.items()
+                    )),
+                    tuple(sorted(self._constants.items())),
+                )
+            )
+        return self._hash
+
+    def __repr__(self) -> str:
+        sizes = ", ".join(
+            f"{name}:{len(tuples)}" for name, tuples in self._relations.items()
+        )
+        consts = (
+            f", constants={self._constants}" if self._constants else ""
+        )
+        return f"Structure(|A|={len(self._universe)}, {sizes}{consts})"
+
+    def describe(self) -> str:
+        """A full, deterministic textual rendering (for debugging/tests)."""
+
+        def key(x: Any) -> str:
+            return repr(x)
+
+        lines = [f"universe: {sorted(self._universe, key=key)}"]
+        for name in sorted(self._relations):
+            tuples = sorted(self._relations[name], key=key)
+            lines.append(f"{name}: {tuples}")
+        for name in self._vocabulary.constants:
+            lines.append(f"{name} = {self._constants[name]!r}")
+        return "\n".join(lines)

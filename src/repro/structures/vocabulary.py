@@ -1,0 +1,162 @@
+"""Vocabularies: finite sets of relation symbols and constant symbols.
+
+The paper's Proviso (Section 3) restricts attention to finite vocabularies;
+we enforce that by construction.  A vocabulary is immutable and hashable so
+it can key caches and be shared between the two structures of a pebble game.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+
+@dataclass(frozen=True, order=True)
+class RelationSymbol:
+    """A relation symbol with a fixed arity.
+
+    Parameters
+    ----------
+    name:
+        The symbol's name, e.g. ``"E"`` for graph edges.
+    arity:
+        Number of argument positions; must be positive.
+    """
+
+    name: str
+    arity: int
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("relation symbol name must be non-empty")
+        if self.arity < 1:
+            raise ValueError(
+                f"relation symbol {self.name!r} must have positive arity, "
+                f"got {self.arity}"
+            )
+
+    def __str__(self) -> str:
+        return f"{self.name}/{self.arity}"
+
+
+class Vocabulary:
+    """A finite relational vocabulary with optional constant symbols.
+
+    Instances are immutable.  Two vocabularies are equal iff they have the
+    same relation symbols (name and arity) and the same constant symbols in
+    the same order; constant order matters because the pebble games of
+    Definition 4.3 pair the i-th constants of the two structures.
+
+    Examples
+    --------
+    >>> graphs = Vocabulary.graph()
+    >>> graphs.arity("E")
+    2
+    >>> with_sources = Vocabulary.graph(constants=("s", "t"))
+    >>> with_sources.constants
+    ('s', 't')
+    """
+
+    __slots__ = ("_relations", "_constants", "_hash")
+
+    def __init__(
+        self,
+        relations: Iterable[RelationSymbol] | Mapping[str, int],
+        constants: Iterable[str] = (),
+    ) -> None:
+        if isinstance(relations, Mapping):
+            symbols = tuple(
+                RelationSymbol(name, arity) for name, arity in relations.items()
+            )
+        else:
+            symbols = tuple(relations)
+        by_name: dict[str, RelationSymbol] = {}
+        for symbol in symbols:
+            existing = by_name.get(symbol.name)
+            if existing is not None and existing != symbol:
+                raise ValueError(
+                    f"conflicting arities for relation {symbol.name!r}: "
+                    f"{existing.arity} and {symbol.arity}"
+                )
+            by_name[symbol.name] = symbol
+        constant_tuple = tuple(constants)
+        if len(set(constant_tuple)) != len(constant_tuple):
+            raise ValueError(f"duplicate constant symbols in {constant_tuple}")
+        overlap = set(by_name) & set(constant_tuple)
+        if overlap:
+            raise ValueError(
+                f"symbols used both as relations and constants: {sorted(overlap)}"
+            )
+        object.__setattr__(self, "_relations", dict(sorted(by_name.items())))
+        object.__setattr__(self, "_constants", constant_tuple)
+        object.__setattr__(
+            self,
+            "_hash",
+            hash((tuple(self._relations.values()), constant_tuple)),
+        )
+
+    @classmethod
+    def graph(cls, constants: Iterable[str] = ()) -> "Vocabulary":
+        """The vocabulary of directed graphs: one binary relation ``E``."""
+        return cls([RelationSymbol("E", 2)], constants)
+
+    @property
+    def relations(self) -> tuple[RelationSymbol, ...]:
+        """All relation symbols, sorted by name."""
+        return tuple(self._relations.values())
+
+    @property
+    def relation_names(self) -> tuple[str, ...]:
+        """Names of all relation symbols, sorted."""
+        return tuple(self._relations)
+
+    @property
+    def constants(self) -> tuple[str, ...]:
+        """The constant symbols, in declaration order."""
+        return self._constants
+
+    def arity(self, name: str) -> int:
+        """Arity of the relation symbol ``name``; KeyError if absent."""
+        return self._relations[name].arity
+
+    def has_relation(self, name: str) -> bool:
+        """Whether ``name`` is a relation symbol of this vocabulary."""
+        return name in self._relations
+
+    def has_constant(self, name: str) -> bool:
+        """Whether ``name`` is a constant symbol of this vocabulary."""
+        return name in self._constants
+
+    def with_constants(self, constants: Iterable[str]) -> "Vocabulary":
+        """A copy of this vocabulary with ``constants`` appended."""
+        return Vocabulary(self.relations, self._constants + tuple(constants))
+
+    def extend(self, relations: Iterable[RelationSymbol]) -> "Vocabulary":
+        """A copy of this vocabulary with extra relation symbols.
+
+        Used to extend an EDB vocabulary with a program's IDB predicates.
+        """
+        return Vocabulary(self.relations + tuple(relations), self._constants)
+
+    def __iter__(self) -> Iterator[RelationSymbol]:
+        return iter(self._relations.values())
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._relations or name in self._constants
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Vocabulary):
+            return NotImplemented
+        return (
+            self._relations == other._relations
+            and self._constants == other._constants
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        rels = ", ".join(str(symbol) for symbol in self._relations.values())
+        if self._constants:
+            return f"Vocabulary({{{rels}}}, constants={self._constants})"
+        return f"Vocabulary({{{rels}}})"

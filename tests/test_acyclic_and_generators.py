@@ -1,0 +1,107 @@
+"""Unit tests for acyclicity utilities and the paper's generators."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import (
+    DiGraph,
+    cycle_graph,
+    disjoint_paths_graph,
+    is_acyclic,
+    layered_random_dag,
+    levels,
+    path_graph,
+    random_digraph,
+    topological_order,
+)
+from repro.graphs.generators import (
+    complete_digraph,
+    crossed_paths_structure_pair,
+    path_pair_structures,
+)
+
+
+class TestAcyclicity:
+    def test_path_is_acyclic(self):
+        assert is_acyclic(path_graph(5))
+
+    def test_cycle_is_not(self):
+        assert not is_acyclic(cycle_graph(3))
+
+    def test_self_loop_counts_as_cycle(self):
+        assert not is_acyclic(DiGraph(edges=[("r", "r")]))
+
+    def test_topological_order_respects_edges(self):
+        g = DiGraph(edges=[("a", "b"), ("a", "c"), ("c", "b")])
+        order = topological_order(g)
+        assert order.index("a") < order.index("c") < order.index("b")
+
+    def test_levels_of_path(self):
+        g = path_graph(4)
+        assert levels(g) == {"v0": 3, "v1": 2, "v2": 1, "v3": 0}
+
+    def test_levels_reject_cycles(self):
+        with pytest.raises(ValueError):
+            levels(cycle_graph(3))
+
+    def test_levels_decrease_along_edges(self):
+        g = layered_random_dag(4, 3, 0.5, seed=1)
+        level = levels(g)
+        assert all(level[u] > level[v] for u, v in g.edges)
+
+
+class TestGenerators:
+    def test_path_graph_shape(self):
+        g = path_graph(4)
+        assert len(g) == 4 and g.number_of_edges() == 3
+
+    def test_cycle_graph_shape(self):
+        g = cycle_graph(4)
+        assert len(g) == 4 and g.number_of_edges() == 4
+        assert all(g.out_degree(v) == 1 for v in g.nodes)
+
+    def test_complete_digraph(self):
+        g = complete_digraph(3)
+        assert g.number_of_edges() == 6
+        assert complete_digraph(3, loops=True).number_of_edges() == 9
+
+    def test_example_4_4_structures(self):
+        a, b = path_pair_structures(3, 5)
+        assert len(a) == 3 and len(b) == 5
+        assert len(a.relation("E")) == 2
+
+    def test_example_4_5_structures(self):
+        a, b = crossed_paths_structure_pair(2)
+        # A: two disjoint 5-paths; B: they share the middle vertex.
+        assert len(a) == 10
+        assert len(b) == 9
+        assert len(a.relation("E")) == 8 == len(b.relation("E"))
+
+    def test_disjoint_paths_graph(self):
+        g = disjoint_paths_graph(3, 4, names=("s1", "s2", "s3", "s4"))
+        d = g.distinguished
+        assert len(g) == 4 + 5
+        assert g.out_degree(d["s2"]) == 0
+        assert g.in_degree(d["s1"]) == 0
+
+    def test_random_digraph_is_seeded(self):
+        assert random_digraph(8, 0.3, 5) == random_digraph(8, 0.3, 5)
+        assert random_digraph(8, 0.3, 5) != random_digraph(8, 0.3, 6)
+
+    def test_layered_dag_is_acyclic(self):
+        assert is_acyclic(layered_random_dag(5, 3, 0.6, seed=2))
+
+    def test_bad_arguments(self):
+        with pytest.raises(ValueError):
+            path_graph(0)
+        with pytest.raises(ValueError):
+            random_digraph(3, 1.5, 0)
+        with pytest.raises(ValueError):
+            crossed_paths_structure_pair(0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=2, max_value=6), st.integers(min_value=0, max_value=999))
+def test_topological_order_exists_iff_acyclic(n, seed):
+    g = random_digraph(n, 0.4, seed)
+    assert (topological_order(g) is not None) == is_acyclic(g)

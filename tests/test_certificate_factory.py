@@ -1,0 +1,73 @@
+"""Tests for the general Theorem 6.7 certificate factory."""
+
+import pytest
+
+from repro.core import certificate_for_pattern, classify_query, verify_certificate
+from repro.fhw.homeomorphism import homeomorphism_embedding
+from repro.fhw.pattern_class import pattern_h1, pattern_h3
+from repro.graphs import DiGraph
+
+
+def h_assignment(certificate, pattern, side="a"):
+    """Map pattern nodes to the certificate's h-named distinguished."""
+    graph = certificate.a_graph if side == "a" else certificate.b_graph
+    ordered = sorted(pattern.without_isolated_nodes().nodes, key=repr)
+    return {
+        node: graph.distinguished[f"h{i}"]
+        for i, node in enumerate(ordered)
+    }
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "pattern",
+        [
+            DiGraph(edges=[("a", "b"), ("b", "c"), ("c", "a")]),  # triangle
+            DiGraph(edges=[("u", "r"), ("r", "v")]),              # in-out
+            DiGraph(edges=[("s1", "s2"), ("s3", "s4"), ("s2", "s5")]),
+            pattern_h1(),
+            pattern_h3(),
+        ],
+        ids=["triangle", "in-out", "H1-plus-edge", "H1", "H3"],
+    )
+    def test_certificates_for_complement_patterns(self, pattern):
+        cert = certificate_for_pattern(pattern, k=1)
+        # Uniform naming: h0..h{m-1} address the pattern's nodes.
+        ordered = sorted(pattern.without_isolated_nodes().nodes, key=repr)
+        assert set(cert.a_graph.distinguished) == {
+            f"h{i}" for i in range(len(ordered))
+        }
+        # The A side genuinely satisfies the H-query.
+        embedding = homeomorphism_embedding(
+            pattern, cert.a_graph, h_assignment(cert, pattern, "a")
+        )
+        assert embedding is not None
+        # The proof's strategy survives adversarial play.
+        report = verify_certificate(cert, seeds=6, rounds=120)
+        assert report.all_survived, report
+
+    def test_rejected_for_class_c_patterns(self):
+        with pytest.raises(ValueError, match="class C"):
+            certificate_for_pattern(DiGraph(edges=[("r", "u")]), 1)
+
+    def test_loop_obstruction_not_implemented(self):
+        loopy = DiGraph(edges=[("r", "r"), ("u", "v")])
+        with pytest.raises(NotImplementedError):
+            certificate_for_pattern(loopy, 1)
+
+    def test_dichotomy_integration(self):
+        row = classify_query(pattern_h1())
+        cert = row.inexpressibility_certificate(1)
+        assert cert.pattern_name == "H1"
+        report = verify_certificate(cert, seeds=4, rounds=80)
+        assert report.all_survived
+
+    def test_b_side_of_small_lift_falsifies_query(self):
+        """For a lifted pattern small enough to brute-force: B' must not
+        satisfy the H-query (Lemma 6.3's second condition)."""
+        pattern = DiGraph(edges=[("s1", "s2"), ("s3", "s4"), ("s2", "s5")])
+        cert = certificate_for_pattern(pattern, k=1)
+        assignment = h_assignment(cert, pattern, "b")
+        assert homeomorphism_embedding(
+            pattern, cert.b_graph, assignment
+        ) is None

@@ -1,0 +1,253 @@
+"""Tests for the Theorem 6.6 / 6.7 inexpressibility certificates."""
+
+import pytest
+
+from repro.cnf.assignments import InconsistentAssignment
+from repro.core import (
+    h2_certificate,
+    h3_certificate,
+    lift_certificate,
+    theorem_66_certificate,
+)
+from repro.fhw.pattern_class import pattern_h1, pattern_h2
+from repro.fhw.reduction import ClauseSlot, ColumnSlot
+from repro.games.simulate import (
+    PlaceMove,
+    RandomPlayerOne,
+    RemoveMove,
+    ScriptedPlayerOne,
+    run_existential_game,
+)
+from repro.graphs import DiGraph
+from repro.graphs.paths import node_disjoint_simple_paths
+
+
+def adversarial_survival(cert, k, seeds=12, rounds=200):
+    """Fraction of random Player I schedules the strategy survives."""
+    survived = 0
+    for seed in range(seeds):
+        transcript = run_existential_game(
+            cert.a, cert.b, k,
+            RandomPlayerOne(cert.a, seed=seed),
+            cert.fresh_strategy(), rounds=rounds,
+        )
+        survived += transcript.player_two_survived
+    return survived / seeds
+
+
+class TestTheorem66:
+    def test_a_side_satisfies_h1(self):
+        cert = theorem_66_certificate(2)
+        d = cert.a_graph.distinguished
+        assert node_disjoint_simple_paths(
+            cert.a_graph, [(d["s1"], d["s2"]), (d["s3"], d["s4"])]
+        ) is not None
+
+    def test_b_side_falsifies_h1_exactly_for_k1(self):
+        cert = theorem_66_certificate(1)
+        d = cert.b_graph.distinguished
+        assert node_disjoint_simple_paths(
+            cert.b_graph, [(d["s1"], d["s2"]), (d["s3"], d["s4"])]
+        ) is None
+
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_strategy_survives_random_adversaries(self, k):
+        cert = theorem_66_certificate(k)
+        assert adversarial_survival(cert, k) == 1.0
+
+    def test_structures_share_vocabulary(self):
+        cert = theorem_66_certificate(1)
+        assert cert.a.vocabulary == cert.b.vocabulary
+        assert cert.a.vocabulary.constants == ("s1", "s2", "s3", "s4")
+
+    def test_strategy_walks_the_standard_path(self):
+        """Walking two pebbles down A's first path traces a standard
+        path of B (the Example 4.4 attack, survived)."""
+        cert = theorem_66_certificate(2)
+        length = max(i for (kind, i) in cert.a_graph.nodes if kind == "p")
+        moves = []
+        for i in range(length + 1):
+            pebble = i % 2
+            if i >= 2:
+                # Lift the trailing pebble before re-placing it.
+                moves.append(RemoveMove(pebble))
+            moves.append(PlaceMove(pebble, ("p", i)))
+        transcript = run_existential_game(
+            cert.a, cert.b, 2,
+            ScriptedPlayerOne(moves), cert.fresh_strategy(),
+            rounds=len(moves),
+        )
+        assert transcript.player_two_survived
+
+    def test_strategy_survives_walking_the_second_path(self):
+        """Walk two pebbles along the whole of A's second path: crosses
+        every b..d segment, column, and clause segment boundary."""
+        cert = theorem_66_certificate(2)
+        length = max(i for (kind, i) in cert.a_graph.nodes if kind == "q")
+        moves = []
+        for i in range(length + 1):
+            pebble = i % 2
+            if i >= 2:
+                moves.append(RemoveMove(pebble))
+            moves.append(PlaceMove(pebble, ("q", i)))
+        transcript = run_existential_game(
+            cert.a, cert.b, 2,
+            ScriptedPlayerOne(moves), cert.fresh_strategy(),
+            rounds=len(moves),
+        )
+        assert transcript.player_two_survived
+
+    def test_h3_strategy_survives_walking_around_the_cycle(self):
+        """The H3 quotient turns A into a cycle; walk two pebbles twice
+        around it, across both identification points."""
+        cert = h3_certificate(1)
+        # Rebuild the cycle order by following edges from s1.
+        node = cert.a_graph.distinguished["s1"]
+        cycle = [node]
+        while True:
+            nxt = next(iter(cert.a_graph.successors(cycle[-1])))
+            if nxt == node:
+                break
+            cycle.append(nxt)
+        walk = cycle + cycle + cycle[:2]
+        moves = []
+        for i, target in enumerate(walk):
+            if i >= 1:
+                moves.append(RemoveMove(0))
+            moves.append(PlaceMove(0, target))
+        transcript = run_existential_game(
+            cert.a, cert.b, 1,
+            ScriptedPlayerOne(moves), cert.fresh_strategy(),
+            rounds=len(moves),
+        )
+        assert transcript.player_two_survived
+
+    def test_k_plus_one_pebbles_defeat_the_strategy(self):
+        """Completeness of the threshold: pin every variable via column
+        nodes, then challenge the all-negative clause."""
+        k = 2
+        cert = theorem_66_certificate(k)
+        instance = cert.fresh_strategy().instance
+        slots = instance.p2_slots()
+        moves = []
+        for pebble, variable in enumerate(instance.formula.variables):
+            index = next(
+                i for i, slot in enumerate(slots)
+                if isinstance(slot, ColumnSlot) and slot.variable == variable
+            )
+            moves.append(PlaceMove(pebble, ("q", index)))
+        target = len(instance.formula.clauses) - 1  # all-negative clause
+        index = next(
+            i for i, slot in enumerate(slots)
+            if isinstance(slot, ClauseSlot) and slot.clause_index == target
+        )
+        moves.append(PlaceMove(k, ("q", index)))
+        strategy = cert.fresh_strategy()
+        with pytest.raises(InconsistentAssignment):
+            run_existential_game(
+                cert.a, cert.b, k + 1,
+                ScriptedPlayerOne(moves), strategy, rounds=len(moves),
+            )
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            theorem_66_certificate(0)
+
+
+class FocusedPlayerOne:
+    """An adversary that concentrates on the strategy's hard spots:
+    column and clause slots of the second A-path (where the formula-game
+    bookkeeping does real work), mixed with removals."""
+
+    def __init__(self, cert, seed):
+        import random
+
+        from repro.fhw.reduction import ClauseSlot, ColumnSlot
+
+        instance = cert.fresh_strategy().instance
+        slots = instance.p2_slots()
+        self._targets = [
+            ("q", i)
+            for i, slot in enumerate(slots)
+            if isinstance(slot, (ColumnSlot, ClauseSlot))
+        ]
+        self._rng = random.Random(seed)
+
+    def next_move(self, state, round_number):
+        placed = sorted(state.board_a)
+        free = state.free_pebbles()
+        if placed and (not free or self._rng.random() < 0.4):
+            return RemoveMove(self._rng.choice(placed))
+        return PlaceMove(
+            free[0], self._rng.choice(self._targets)
+        )
+
+
+class TestFocusedAdversary:
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_strategy_survives_column_clause_pressure(self, k):
+        cert = theorem_66_certificate(k)
+        for seed in range(10):
+            transcript = run_existential_game(
+                cert.a, cert.b, k,
+                FocusedPlayerOne(cert, seed),
+                cert.fresh_strategy(), rounds=200,
+            )
+            assert transcript.player_two_survived, seed
+
+
+class TestTheorem67:
+    def test_h2_sides(self):
+        cert = h2_certificate(1)
+        d_a = cert.a_graph.distinguished
+        assert node_disjoint_simple_paths(
+            cert.a_graph,
+            [(d_a["s1"], d_a["s2"]), (d_a["s2"], d_a["s3"])],
+        ) is not None
+        d_b = cert.b_graph.distinguished
+        assert node_disjoint_simple_paths(
+            cert.b_graph,
+            [(d_b["s1"], d_b["s2"]), (d_b["s2"], d_b["s3"])],
+        ) is None
+
+    def test_h3_sides(self):
+        cert = h3_certificate(1)
+        d_a = cert.a_graph.distinguished
+        assert node_disjoint_simple_paths(
+            cert.a_graph,
+            [(d_a["s1"], d_a["s2"]), (d_a["s2"], d_a["s1"])],
+        ) is not None
+        d_b = cert.b_graph.distinguished
+        assert node_disjoint_simple_paths(
+            cert.b_graph,
+            [(d_b["s1"], d_b["s2"]), (d_b["s2"], d_b["s1"])],
+        ) is None
+
+    @pytest.mark.parametrize("factory", [h2_certificate, h3_certificate])
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_strategies_survive(self, factory, k):
+        cert = factory(k)
+        assert adversarial_survival(cert, k) == 1.0
+
+
+class TestLemma63:
+    def test_lifted_certificate_survives(self):
+        """Lift the H1 certificate to the superpattern H1 + extra edge."""
+        base = theorem_66_certificate(1)
+        sub = pattern_h1()
+        super_pattern = sub.add_edges([("s2", "s5")])
+        d_a = base.a_graph.distinguished
+        d_b = base.b_graph.distinguished
+        sub_a = {name: d_a[name] for name in ("s1", "s2", "s3", "s4")}
+        sub_b = {name: d_b[name] for name in ("s1", "s2", "s3", "s4")}
+        lifted = lift_certificate(base, sub, super_pattern, sub_a, sub_b)
+        assert lifted.pattern_name == "lift(H1)"
+        # The new copy nodes exist on both sides.
+        assert len(lifted.a) == len(base.a) + 1
+        assert len(lifted.b) == len(base.b) + 1
+        assert adversarial_survival(lifted, 1, seeds=8) == 1.0
+
+    def test_lift_requires_new_edges(self):
+        base = theorem_66_certificate(1)
+        with pytest.raises(ValueError):
+            lift_certificate(base, pattern_h1(), pattern_h1(), {}, {})

@@ -1,0 +1,197 @@
+"""End-to-end tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.io import dump_cnf, dump_digraph, dump_program
+from repro.cnf import CnfFormula
+from repro.datalog.library import transitive_closure_program
+from repro.graphs import DiGraph
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    path = tmp_path / "tc.dl"
+    path.write_text(dump_program(transitive_closure_program()))
+    return str(path)
+
+
+@pytest.fixture
+def path_graph_file(tmp_path):
+    g = DiGraph(edges=[("a", "b"), ("b", "c"), ("c", "d")])
+    path = tmp_path / "path.graph"
+    path.write_text(dump_digraph(g))
+    return str(path)
+
+
+@pytest.fixture
+def long_path_file(tmp_path):
+    g = DiGraph(edges=[("u1", "u2"), ("u2", "u3"), ("u3", "u4"),
+                       ("u4", "u5"), ("u5", "u6")])
+    path = tmp_path / "long.graph"
+    path.write_text(dump_digraph(g))
+    return str(path)
+
+
+class TestRun:
+    def test_prints_relation(self, capsys, program_file, path_graph_file):
+        assert main(["run", program_file, path_graph_file]) == 0
+        out = capsys.readouterr().out
+        assert "6 tuples" in out
+        assert "a\td" in out
+
+    def test_check_tuple(self, capsys, program_file, path_graph_file):
+        assert main([
+            "run", program_file, path_graph_file, "--check", "a", "c",
+        ]) == 0
+        assert main([
+            "run", program_file, path_graph_file, "--check", "c", "a",
+        ]) == 1
+
+
+class TestGame:
+    def test_player_two_wins(self, capsys, path_graph_file, long_path_file):
+        assert main(["game", path_graph_file, long_path_file, "2"]) == 0
+        assert "Player II wins" in capsys.readouterr().out
+
+    def test_player_one_wins_with_separator(
+        self, capsys, path_graph_file, long_path_file
+    ):
+        code = main([
+            "game", long_path_file, path_graph_file, "2", "--separate",
+        ])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "Player I wins" in out
+        assert "separating L^2 sentence" in out
+
+    def test_homomorphism_variant(self, capsys, tmp_path, long_path_file):
+        cycle = tmp_path / "cycle.graph"
+        cycle.write_text(dump_digraph(
+            DiGraph(edges=[("x", "y"), ("y", "z"), ("z", "x")])
+        ))
+        assert main([
+            "game", long_path_file, str(cycle), "2", "--homomorphism",
+        ]) == 0
+        assert "homomorphism" in capsys.readouterr().out
+
+
+class TestClassify:
+    def test_class_c_pattern(self, capsys, tmp_path):
+        star = tmp_path / "star.graph"
+        star.write_text("edge r u\nedge r v\n")
+        assert main(["classify", str(star), "--program"]) == 0
+        out = capsys.readouterr().out
+        assert "class C: True" in out
+        assert "PTIME" in out
+        assert "Q_2_0" in out
+
+    def test_h1_pattern(self, capsys, tmp_path):
+        h1 = tmp_path / "h1.graph"
+        h1.write_text("edge s1 s2\nedge s3 s4\n")
+        assert main(["classify", str(h1)]) == 0
+        out = capsys.readouterr().out
+        assert "class C: False" in out
+        assert "NP-complete" in out
+
+
+class TestHomeo:
+    def test_acyclic_instance(self, capsys, tmp_path):
+        pattern = tmp_path / "p.graph"
+        pattern.write_text("edge u v\n")
+        graph = tmp_path / "g.graph"
+        graph.write_text("edge a m\nedge m b\n")
+        assert main([
+            "homeo", str(pattern), str(graph), "--assign", "u=a", "v=b",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "exact: True" in out
+        assert "Player II" in out
+
+    def test_negative_instance(self, capsys, tmp_path):
+        pattern = tmp_path / "p.graph"
+        pattern.write_text("edge u v\n")
+        graph = tmp_path / "g.graph"
+        graph.write_text("edge b a\n")
+        assert main([
+            "homeo", str(pattern), str(graph), "--assign", "u=a", "v=b",
+        ]) == 1
+
+
+class TestReduce:
+    def test_satisfiable(self, capsys, tmp_path):
+        cnf = tmp_path / "sat.cnf"
+        cnf.write_text(dump_cnf(CnfFormula.parse("x1 | x1")))
+        out_file = tmp_path / "gphi.graph"
+        assert main(["reduce", str(cnf), "--output", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        assert "SATISFIABLE" in out
+        assert out_file.exists()
+        from repro.io import load_digraph
+
+        graph = load_digraph(out_file)
+        assert len(graph) == 72
+
+    def test_unsatisfiable(self, capsys, tmp_path):
+        cnf = tmp_path / "unsat.cnf"
+        cnf.write_text("p cnf 1 2\n1 0\n-1 0\n")
+        assert main(["reduce", str(cnf)]) == 0
+        assert "UNSATISFIABLE" in capsys.readouterr().out
+
+
+class TestSelfcheck:
+    def test_all_pass(self, capsys):
+        assert main(["selfcheck"]) == 0
+        out = capsys.readouterr().out
+        assert "all checks passed" in out
+        assert "FAIL" not in out.replace("PASS", "")
+
+
+class TestEngineOption:
+    def test_algebra_engine(self, capsys, program_file, path_graph_file):
+        assert main([
+            "run", program_file, path_graph_file, "--engine", "algebra",
+        ]) == 0
+        assert "6 tuples" in capsys.readouterr().out
+
+    def test_naive_engine(self, capsys, program_file, path_graph_file):
+        assert main([
+            "run", program_file, path_graph_file, "--engine", "naive",
+        ]) == 0
+        assert "6 tuples" in capsys.readouterr().out
+
+
+class TestTable:
+    def test_prints_dichotomy(self, capsys):
+        assert main(["table"]) == 0
+        out = capsys.readouterr().out
+        assert "H1-two-disjoint-edges" in out
+        assert "NP-complete" in out
+        assert "Theorem 6.2" in out
+
+
+class TestReduceDot:
+    def test_dot_output(self, capsys, tmp_path):
+        cnf = tmp_path / "sat.cnf"
+        cnf.write_text("p cnf 1 1\n1 1 0\n")
+        dot_file = tmp_path / "gphi.dot"
+        assert main(["reduce", str(cnf), "--dot", str(dot_file)]) == 0
+        content = dot_file.read_text()
+        assert content.startswith('digraph "G_phi"')
+        assert "color=red" in content  # routed satisfiable paths
+
+
+class TestCertificate:
+    def test_h1_certificate(self, capsys):
+        assert main([
+            "certificate", "1", "--simulate", "3", "--rounds", "60",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "survived 3/3" in out
+
+    def test_h3_certificate(self, capsys):
+        assert main([
+            "certificate", "1", "--pattern", "H3",
+            "--simulate", "2", "--rounds", "50",
+        ]) == 0
+        assert "H3" in capsys.readouterr().out

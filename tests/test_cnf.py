@@ -1,0 +1,167 @@
+"""Unit and property tests for CNF formulas, assignments, and SAT."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cnf import (
+    Clause,
+    CnfFormula,
+    ExtendedAssignment,
+    InconsistentAssignment,
+    Literal,
+    all_satisfying_assignments,
+    complete_formula,
+    is_satisfiable,
+    pigeonhole_style_formula,
+    satisfying_assignment,
+)
+
+
+class TestLiteral:
+    def test_parse(self):
+        assert Literal.parse("x1") == Literal("x1", True)
+        assert Literal.parse("~x1") == Literal("x1", False)
+        assert Literal.parse("!x1") == Literal("x1", False)
+
+    def test_complement(self):
+        lit = Literal("x", True)
+        assert lit.complement == Literal("x", False)
+        assert lit.complement.complement == lit
+
+    def test_str(self):
+        assert str(Literal("x", False)) == "~x"
+
+
+class TestFormula:
+    def test_parse(self):
+        phi = CnfFormula.parse("x1 | ~x2; x2")
+        assert len(phi.clauses) == 2
+        assert phi.variables == ("x1", "x2")
+
+    def test_occurrences_keep_multiplicity(self):
+        phi = CnfFormula.parse("x1 | x1")  # the paper's Figure 5 formula
+        assert len(phi.occurrences()) == 2
+        assert phi.occurrence_count(Literal("x1")) == 2
+
+    def test_evaluate(self):
+        phi = CnfFormula.parse("x1 | ~x2; x2")
+        assert phi.evaluate({"x1": True, "x2": True})
+        assert not phi.evaluate({"x1": False, "x2": True})
+
+    def test_literals_listing(self):
+        phi = CnfFormula.parse("x1")
+        assert set(phi.literals) == {Literal("x1", True), Literal("x1", False)}
+
+    def test_empty_clause_rejected(self):
+        with pytest.raises(ValueError):
+            Clause([])
+
+
+class TestCompleteFormula:
+    def test_shape(self):
+        phi = complete_formula(3)
+        assert len(phi.clauses) == 8
+        assert all(len(clause) == 3 for clause in phi.clauses)
+        assert all(
+            len({lit.variable for lit in clause}) == 3
+            for clause in phi.clauses
+        )
+
+    def test_unsatisfiable(self):
+        for k in (1, 2, 3):
+            assert not is_satisfiable(complete_formula(k))
+
+    def test_every_literal_occurs_equally(self):
+        phi = complete_formula(3)
+        counts = {phi.occurrence_count(lit) for lit in phi.literals}
+        assert counts == {4}  # 2^{k-1}
+
+    def test_pigeonhole_style(self):
+        phi = pigeonhole_style_formula(4)
+        assert not is_satisfiable(phi)
+        assert len(phi.clauses) == 5
+
+
+class TestSat:
+    def test_satisfiable(self):
+        phi = CnfFormula.parse("x1 | x2; ~x1 | x2; ~x2 | x3")
+        model = satisfying_assignment(phi)
+        assert model is not None
+        assert phi.evaluate(model)
+
+    def test_unsatisfiable(self):
+        assert not is_satisfiable(CnfFormula.parse("x1; ~x1"))
+
+    def test_all_models(self):
+        phi = CnfFormula.parse("x1 | x2")
+        models = list(all_satisfying_assignments(phi))
+        assert len(models) == 3
+
+    def test_dpll_agrees_with_enumeration(self):
+        phi = CnfFormula.parse("x1 | ~x2; ~x1 | x2; x1 | x2")
+        assert is_satisfiable(phi) == bool(list(all_satisfying_assignments(phi)))
+
+
+class TestExtendedAssignment:
+    def test_assign_literal_fixes_complement(self):
+        a = ExtendedAssignment()
+        a.assign(Literal("x", False), True)  # ~x := true
+        assert a.value(Literal("x", True)) is False
+        assert a.value(Literal("x", False)) is True
+
+    def test_conflict_raises(self):
+        a = ExtendedAssignment()
+        a.assign(Literal("x"), True)
+        with pytest.raises(InconsistentAssignment):
+            a.assign(Literal("x"), False)
+
+    def test_support_counting(self):
+        a = ExtendedAssignment()
+        a.assign(Literal("x"), True)
+        a.assign(Literal("x"), True)
+        a.release(Literal("x"))
+        assert a.value(Literal("x")) is True  # one support left
+        a.release(Literal("x"))
+        assert a.value(Literal("x")) is None  # evaporated
+
+    def test_release_without_support_raises(self):
+        with pytest.raises(ValueError):
+            ExtendedAssignment().release(Literal("x"))
+
+    def test_as_dict(self):
+        a = ExtendedAssignment()
+        a.assign(Literal("x", False), True)
+        assert a.as_dict() == {"x": False}
+
+
+def _random_formula(draw_clauses, variables):
+    clauses = []
+    for signs in draw_clauses:
+        clause = [
+            Literal(f"x{i + 1}", sign)
+            for i, sign in enumerate(signs[:variables])
+            if sign is not None
+        ]
+        if clause:
+            clauses.append(Clause(clause))
+    return CnfFormula(clauses) if clauses else None
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.lists(st.sampled_from([True, False, None]), min_size=3, max_size=3),
+        min_size=1,
+        max_size=5,
+    )
+)
+def test_dpll_matches_brute_force(clause_specs):
+    """Property: the DPLL verdict equals exhaustive enumeration."""
+    formula = _random_formula(clause_specs, variables=3)
+    if formula is None:
+        return
+    brute = bool(list(all_satisfying_assignments(formula)))
+    assert is_satisfiable(formula) == brute
+    model = satisfying_assignment(formula)
+    if model is not None:
+        assert formula.evaluate(model)

@@ -1,0 +1,113 @@
+"""Tests for the facade API and the trivial pattern query."""
+
+import random
+
+import pytest
+
+from repro.core import cross_check, decide_homeomorphism
+from repro.fhw.pattern_class import pattern_h1
+from repro.graphs import DiGraph
+from repro.graphs.generators import layered_random_dag, random_digraph
+from repro.patterns import TrivialPatternQuery, decide_via_embedding
+from repro.structures import Structure
+
+
+@pytest.fixture
+def star():
+    return DiGraph(edges=[("r", "u"), ("r", "v")])
+
+
+@pytest.fixture
+def star_instance():
+    graph = DiGraph(edges=[("s", "a"), ("s", "b")])
+    return graph, {"r": "s", "u": "a", "v": "b"}
+
+
+class TestDecideHomeomorphism:
+    def test_auto_uses_flow_for_class_c(self, star, star_instance):
+        graph, assignment = star_instance
+        assert decide_homeomorphism(star, graph, assignment)
+        assert decide_homeomorphism(star, graph, assignment, "flow")
+        assert decide_homeomorphism(star, graph, assignment, "exact")
+
+    def test_auto_on_dag_outside_c(self):
+        pattern = pattern_h1()
+        dag = DiGraph(edges=[
+            ("s1", "a"), ("a", "t1"), ("s2", "b"), ("b", "t2"),
+        ])
+        assignment = {"s1": "s1", "s2": "t1", "s3": "s2", "s4": "t2"}
+        assert decide_homeomorphism(pattern, dag, assignment)
+        assert decide_homeomorphism(pattern, dag, assignment, "game")
+        assert decide_homeomorphism(pattern, dag, assignment, "datalog")
+
+    def test_auto_falls_back_to_exact(self):
+        """Pattern outside C, cyclic input: NP-complete territory."""
+        pattern = pattern_h1()
+        cyclic = DiGraph(edges=[
+            ("s1", "a"), ("a", "t1"), ("a", "a2"), ("a2", "a"),
+            ("s2", "b"), ("b", "t2"),
+        ])
+        assignment = {"s1": "s1", "s2": "t1", "s3": "s2", "s4": "t2"}
+        assert decide_homeomorphism(pattern, cyclic, assignment)
+
+    def test_game_requires_acyclic(self):
+        pattern = pattern_h1()
+        cyclic = DiGraph(edges=[
+            ("s1", "t1"), ("s2", "t2"), ("x", "y"), ("y", "x"),
+        ])
+        assignment = {"s1": "s1", "s2": "t1", "s3": "s2", "s4": "t2"}
+        with pytest.raises(ValueError, match="acyclic"):
+            decide_homeomorphism(pattern, cyclic, assignment, "game")
+        with pytest.raises(ValueError, match="Theorem 6.7"):
+            decide_homeomorphism(pattern, cyclic, assignment, "datalog")
+
+    def test_flow_requires_class_c(self):
+        pattern = pattern_h1()
+        graph = DiGraph(edges=[("s1", "t1"), ("s2", "t2")])
+        assignment = {"s1": "s1", "s2": "t1", "s3": "s2", "s4": "t2"}
+        with pytest.raises(ValueError, match="class C"):
+            decide_homeomorphism(pattern, graph, assignment, "flow")
+
+    def test_unknown_method(self, star, star_instance):
+        graph, assignment = star_instance
+        with pytest.raises(ValueError, match="unknown method"):
+            decide_homeomorphism(star, graph, assignment, "magic")
+
+
+class TestCrossCheck:
+    def test_all_methods_agree_on_random_dags(self):
+        pattern = pattern_h1()
+        rng = random.Random(2)
+        nodes_of = sorted(pattern.nodes)
+        for seed in range(2):
+            dag = layered_random_dag(4, 3, 0.5, seed)
+            nodes = sorted(dag.nodes)
+            for __ in range(3):
+                assignment = dict(zip(nodes_of, rng.sample(nodes, 4)))
+                verdicts = cross_check(pattern, dag, assignment)
+                assert set(verdicts) == {"exact", "game", "datalog"}
+
+    def test_class_c_on_cyclic_graphs(self, star):
+        rng = random.Random(5)
+        for seed in range(2):
+            graph = random_digraph(6, 0.3, seed)
+            nodes = sorted(graph.nodes)
+            assignment = dict(zip(sorted(star.nodes), rng.sample(nodes, 3)))
+            verdicts = cross_check(star, graph, assignment)
+            assert "flow" in verdicts and "datalog" in verdicts
+
+
+class TestTrivialPatternQuery:
+    def test_every_query_is_pattern_based(self):
+        """The paper's remark after Definition 5.1, executably."""
+        query = TrivialPatternQuery(
+            lambda s: len(s.relation("E")) >= 2
+        )
+        rich = random_digraph(4, 0.8, seed=1).to_structure()
+        poor = DiGraph(edges=[("a", "b")]).to_structure()
+        assert query.holds_exact(rich)
+        assert not query.holds_exact(poor)
+        # Condition (3): decided via embedding of alpha(B) patterns.
+        assert decide_via_embedding(query, rich)
+        assert not decide_via_embedding(query, poor)
+        assert query.pattern_count_bound(rich) == 1

@@ -1,0 +1,158 @@
+"""Unit and property tests for the fixpoint engine."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datalog import boolean_query, evaluate, parse_program, stages
+from repro.datalog.library import (
+    avoiding_path_program,
+    transitive_closure_program,
+)
+from repro.graphs import DiGraph, has_path, reachable_from
+from repro.graphs.generators import cycle_graph, path_graph, random_digraph
+
+
+class TestTransitiveClosure:
+    def test_on_path(self):
+        result = evaluate(transitive_closure_program(), path_graph(4).to_structure())
+        assert result.goal_relation == frozenset(
+            (f"v{i}", f"v{j}") for i in range(4) for j in range(i + 1, 4)
+        )
+
+    def test_on_cycle(self):
+        result = evaluate(transitive_closure_program(), cycle_graph(3).to_structure())
+        assert len(result.goal_relation) == 9  # everything reaches everything
+
+    def test_matches_bfs_on_random_graphs(self):
+        program = transitive_closure_program()
+        for seed in range(5):
+            g = random_digraph(7, 0.25, seed)
+            relation = evaluate(program, g.to_structure()).goal_relation
+            for u in g.nodes:
+                for v in g.nodes:
+                    # TC holds iff a path with >= 1 edge runs u -> v.
+                    nonempty = any(
+                        v in reachable_from(g, w) for w in g.successors(u)
+                    )
+                    assert ((u, v) in relation) == nonempty
+
+
+class TestAvoidingPath:
+    def test_example_2_1_semantics(self):
+        from repro.graphs.paths import avoiding_path_exists
+
+        program = avoiding_path_program()
+        for seed in range(4):
+            g = random_digraph(6, 0.3, seed)
+            relation = evaluate(program, g.to_structure()).goal_relation
+            for x in g.nodes:
+                for y in g.nodes:
+                    for w in g.nodes:
+                        assert ((x, y, w) in relation) == avoiding_path_exists(
+                            g, x, y, {w}
+                        )
+
+
+class TestEngineMechanics:
+    def test_naive_equals_seminaive(self):
+        program = avoiding_path_program()
+        for seed in range(4):
+            s = random_digraph(6, 0.3, seed).to_structure()
+            naive = evaluate(program, s, method="naive").relations
+            semi = evaluate(program, s, method="seminaive").relations
+            assert naive == semi
+
+    def test_stages_are_increasing_and_converge(self):
+        program = transitive_closure_program()
+        s = path_graph(5).to_structure()
+        stage_list = stages(program, s)
+        for earlier, later in zip(stage_list, stage_list[1:]):
+            assert earlier["S"] <= later["S"]
+        final = evaluate(program, s).relations
+        assert stage_list[-1] == final
+
+    def test_stage_count_matches_depth(self):
+        # On an n-node path TC needs n-1 stages to stabilise (+1 to detect).
+        program = transitive_closure_program()
+        stage_list = stages(program, path_graph(5).to_structure())
+        assert len(stage_list) == 5
+
+    def test_facts_and_constants(self):
+        g = path_graph(3).with_distinguished({"t1": "v0", "t2": "v2"})
+        program = parse_program(
+            """
+            D($t1, $t2).
+            Goal() :- D(x, y), E(x, z), E(z, y).
+            """,
+            goal="Goal",
+        )
+        assert boolean_query(program, g.to_structure())
+
+    def test_missing_constant_raises(self):
+        program = parse_program("D(x) :- E(x, $s).", goal="D")
+        with pytest.raises(ValueError, match="constant"):
+            evaluate(program, path_graph(2).to_structure())
+
+    def test_missing_edb_raises(self):
+        program = parse_program("D(x) :- R(x).", goal="D")
+        with pytest.raises(ValueError, match="EDB"):
+            evaluate(program, path_graph(2).to_structure())
+
+    def test_extra_edb_override(self):
+        program = parse_program("D(x, y) :- R(x, y).", goal="D")
+        s = path_graph(2).to_structure()
+        result = evaluate(program, s, extra_edb={"R": [("v1", "v0")]})
+        assert result.goal_relation == frozenset({("v1", "v0")})
+
+    def test_universe_ranging_head_variable(self):
+        # u occurs only in the head: it ranges over the whole universe.
+        program = parse_program("D(x, u) :- E(x, y).", goal="D")
+        s = path_graph(3).to_structure()
+        result = evaluate(program, s).goal_relation
+        assert result == frozenset(
+            (x, u) for x in ("v0", "v1") for u in ("v0", "v1", "v2")
+        )
+
+    def test_inequality_only_variable(self):
+        program = parse_program("D(x) :- E(x, y), x != $s.", goal="D")
+        g = path_graph(3).with_distinguished({"s": "v0"})
+        assert evaluate(program, g.to_structure()).goal_relation == frozenset(
+            {("v1",)}
+        )
+
+    def test_equality_binding(self):
+        program = parse_program("D(x, z) :- E(x, y), z = y.", goal="D")
+        s = path_graph(3).to_structure()
+        assert evaluate(program, s).goal_relation == frozenset(
+            {("v0", "v1"), ("v1", "v2")}
+        )
+
+    def test_nullary_goal(self):
+        program = parse_program("Yes() :- E(x, y).", goal="Yes")
+        assert boolean_query(program, path_graph(2).to_structure())
+        assert not boolean_query(
+            program, DiGraph(nodes=[1, 2]).to_structure()
+        )
+
+    def test_unknown_method_rejected(self):
+        program = transitive_closure_program()
+        with pytest.raises(ValueError):
+            evaluate(program, path_graph(2).to_structure(), method="magic")
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_naive_seminaive_agree_on_random_graphs(seed):
+    """Property: the two engines compute identical fixpoints."""
+    program = parse_program(
+        """
+        S(x, y) :- E(x, y).
+        S(x, y) :- S(x, z), S(z, y), x != y.
+        """,
+        goal="S",
+    )
+    s = random_digraph(6, 0.3, seed).to_structure()
+    assert (
+        evaluate(program, s, method="naive").relations
+        == evaluate(program, s, method="seminaive").relations
+    )

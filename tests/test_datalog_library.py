@@ -1,0 +1,223 @@
+"""Tests for the paper's concrete programs (Theorem 6.1 family)."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datalog import analyze_program, evaluate
+from repro.datalog.library import (
+    avoiding_path_program,
+    q_predicate_name,
+    q_program,
+    rooted_star_homeomorphism_program,
+    transitive_closure_program,
+    two_disjoint_paths_from_source_program,
+)
+from repro.flow import has_node_disjoint_paths_to_targets
+from repro.graphs import DiGraph
+from repro.graphs.generators import random_digraph
+
+
+class TestAnalysis:
+    def test_tc_is_pure_recursive(self):
+        analysis = analyze_program(transitive_closure_program())
+        assert analysis.is_pure_datalog
+        assert analysis.recursive_predicates == {"S"}
+        assert analysis.max_idb_arity == 2
+
+    def test_avoiding_path_is_impure(self):
+        analysis = analyze_program(avoiding_path_program())
+        assert not analysis.is_pure_datalog
+        assert analysis.translation_width == 4 + 3  # l=4 variables, r=3
+
+    def test_q_program_enumerates_avoided_variables(self):
+        analysis = analyze_program(q_program(1, 2))
+        assert analysis.universe_enumerated  # t1, t2 unbound in base rule
+
+
+class TestPathSystems:
+    """Section 1's PTIME-complete plain-Datalog example [Coo74]."""
+
+    def _structure(self, nodes, axioms, rules):
+        from repro.structures import Structure, Vocabulary
+
+        voc = Vocabulary({"Axiom": 1, "Rule": 3})
+        return Structure(
+            voc, nodes,
+            {"Axiom": [(a,) for a in axioms], "Rule": rules},
+        )
+
+    def test_small_system(self):
+        from repro.datalog.library import (
+            path_systems_program,
+            solve_path_system,
+        )
+
+        nodes = range(6)
+        axioms = [0, 1]
+        rules = [(2, 0, 1), (3, 2, 1), (4, 3, 5)]  # 4 blocked: 5 underivable
+        program = path_systems_program()
+        relation = evaluate(
+            program, self._structure(nodes, axioms, rules)
+        ).goal_relation
+        assert {x for (x,) in relation} == set(
+            solve_path_system(nodes, axioms, rules)
+        ) == {0, 1, 2, 3}
+
+    def test_is_pure_datalog(self):
+        from repro.datalog.library import path_systems_program
+
+        assert path_systems_program().is_pure_datalog()
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_closure_on_random_systems(self, seed):
+        from repro.datalog.library import (
+            path_systems_program,
+            solve_path_system,
+        )
+
+        rng = random.Random(seed)
+        nodes = list(range(8))
+        axioms = rng.sample(nodes, 2)
+        rules = [
+            tuple(rng.choice(nodes) for __ in range(3)) for __ in range(12)
+        ]
+        relation = evaluate(
+            path_systems_program(), self._structure(nodes, axioms, rules)
+        ).goal_relation
+        assert {x for (x,) in relation} == set(
+            solve_path_system(nodes, axioms, rules)
+        )
+
+
+class TestTwoDisjointPathsFromSource:
+    def test_agrees_with_flow(self):
+        program = two_disjoint_paths_from_source_program()
+        for seed in range(5):
+            g = random_digraph(7, 0.25, seed)
+            relation = evaluate(program, g.to_structure()).goal_relation
+            nodes = sorted(g.nodes)
+            for s, s1, s2 in itertools.permutations(nodes[:5], 3):
+                expected = has_node_disjoint_paths_to_targets(g, s, [s1, s2])
+                assert ((s, s1, s2) in relation) == expected
+
+
+class TestQPrograms:
+    def test_q1_is_avoiding_path(self):
+        from repro.graphs.paths import avoiding_path_exists
+
+        program = q_program(1, 1)
+        for seed in range(4):
+            g = random_digraph(6, 0.3, seed)
+            relation = evaluate(program, g.to_structure()).goal_relation
+            for s, s1, t1 in itertools.product(g.nodes, repeat=3):
+                assert ((s, s1, t1) in relation) == avoiding_path_exists(
+                    g, s, s1, {t1}
+                )
+
+    @pytest.mark.parametrize("k,l", [(2, 0), (2, 1), (3, 0)])
+    def test_q_matches_flow_oracle(self, k, l):
+        program = q_program(k, l)
+        rng = random.Random(k * 10 + l)
+        for seed in range(3):
+            size = 7 if k == 2 else 6
+            g = random_digraph(size, 0.25, seed)
+            relation = evaluate(program, g.to_structure()).goal_relation
+            nodes = sorted(g.nodes)
+            for __ in range(12):
+                picks = rng.sample(nodes, 1 + k + l)
+                s, targets, avoided = picks[0], picks[1:1 + k], picks[1 + k:]
+                expected = has_node_disjoint_paths_to_targets(
+                    g, s, targets, avoid=avoided
+                )
+                assert ((s, *targets, *avoided) in relation) == expected
+
+    def test_regression_avoided_node_on_sk_path(self):
+        """The 7-node instance on which the paper's displayed rules
+        (without the ``sk != t_i`` inequalities) over-approximate: the
+        only {5}-avoiding route to node 0 passes through target 1, yet a
+        5-using derivation sneaks through.  Our generated rules carry
+        the inequalities and must answer False."""
+        g = DiGraph(edges=[
+            (0, 1), (1, 3), (1, 4), (2, 1), (2, 5), (3, 1), (3, 2),
+            (4, 0), (4, 2), (4, 3), (5, 0), (5, 1), (5, 2), (5, 6), (6, 3),
+        ])
+        relation = evaluate(q_program(2, 1), g.to_structure()).goal_relation
+        assert (3, 1, 0, 5) not in relation
+        assert not has_node_disjoint_paths_to_targets(g, 3, [1, 0], avoid=[5])
+
+    def test_auxiliary_predicates_present(self):
+        program = q_program(3, 0)
+        assert q_predicate_name(3, 0) in program.idb_predicates
+        assert q_predicate_name(2, 1) in program.idb_predicates
+        assert q_predicate_name(1, 2) in program.idb_predicates
+
+    def test_reverse_orientation(self):
+        # Paths INTO s from the targets.
+        program = q_program(2, 0, reverse=True)
+        g = DiGraph(edges=[("a", "s"), ("b", "s")])
+        relation = evaluate(program, g.to_structure()).goal_relation
+        assert ("s", "a", "b") in relation
+
+    def test_bad_arguments(self):
+        with pytest.raises(ValueError):
+            q_program(0, 0)
+
+
+class TestRootedStarPrograms:
+    def _assignments(self, g, count, rng):
+        nodes = sorted(g.nodes)
+        for __ in range(count):
+            yield rng.sample(nodes, 3)
+
+    def test_star_without_loop(self):
+        from repro.fhw.homeomorphism import is_homeomorphic_to_distinguished_subgraph
+
+        star = DiGraph(edges=[("r", "u"), ("r", "v")])
+        program = rooted_star_homeomorphism_program(2)
+        rng = random.Random(0)
+        for seed in range(3):
+            g = random_digraph(6, 0.3, seed)
+            relation = evaluate(program, g.to_structure()).goal_relation
+            for s, s1, s2 in self._assignments(g, 6, rng):
+                expected = is_homeomorphic_to_distinguished_subgraph(
+                    star, g, {"r": s, "u": s1, "v": s2}
+                )
+                assert ((s, s1, s2) in relation) == expected
+
+    def test_pure_self_loop(self):
+        from repro.fhw.homeomorphism import is_homeomorphic_to_distinguished_subgraph
+
+        loop = DiGraph(edges=[("r", "r")])
+        program = rooted_star_homeomorphism_program(0, self_loop=True)
+        for seed in range(4):
+            g = random_digraph(6, 0.3, seed, loops=(seed % 2 == 0))
+            relation = evaluate(program, g.to_structure()).goal_relation
+            for s in g.nodes:
+                expected = is_homeomorphic_to_distinguished_subgraph(
+                    loop, g, {"r": s}
+                )
+                assert ((s,) in relation) == expected
+
+    def test_loop_plus_leaf(self):
+        from repro.fhw.homeomorphism import is_homeomorphic_to_distinguished_subgraph
+
+        pattern = DiGraph(edges=[("r", "r"), ("r", "u")])
+        program = rooted_star_homeomorphism_program(1, self_loop=True)
+        rng = random.Random(2)
+        for seed in range(3):
+            g = random_digraph(6, 0.35, seed, loops=True)
+            relation = evaluate(program, g.to_structure()).goal_relation
+            nodes = sorted(g.nodes)
+            for __ in range(8):
+                s, s1 = rng.sample(nodes, 2)
+                expected = is_homeomorphic_to_distinguished_subgraph(
+                    pattern, g, {"r": s, "u": s1}
+                )
+                assert ((s, s1) in relation) == expected
+
+    def test_edgeless_rejected(self):
+        with pytest.raises(ValueError):
+            rooted_star_homeomorphism_program(0, self_loop=False)

@@ -1,0 +1,117 @@
+"""Unit tests for the Datalog(!=) AST and parser."""
+
+import pytest
+
+from repro.datalog import (
+    Atom,
+    Constant,
+    Equality,
+    Inequality,
+    ParseError,
+    Program,
+    Rule,
+    Variable,
+    parse_program,
+    parse_rule,
+)
+
+
+class TestAst:
+    def test_atom_arity_and_vars(self):
+        atom = Atom("E", (Variable("x"), Constant("s")))
+        assert atom.arity == 2
+        assert atom.variables() == {Variable("x")}
+
+    def test_nullary_atom(self):
+        atom = Atom("Goal")
+        assert atom.arity == 0
+        assert str(atom) == "Goal()"
+
+    def test_rule_partitions_body(self):
+        rule = parse_rule("S(x, y) :- E(x, z), S(z, y), x != y.")
+        assert len(rule.body_atoms()) == 2
+        assert len(rule.constraints()) == 1
+        assert rule.variables() == {Variable("x"), Variable("y"), Variable("z")}
+
+    def test_program_idb_edb_split(self):
+        program = parse_program(
+            "S(x, y) :- E(x, y). S(x, y) :- E(x, z), S(z, y).", goal="S"
+        )
+        assert program.idb_predicates == {"S"}
+        assert program.edb_predicates == {"E"}
+        assert program.arity("S") == 2
+
+    def test_goal_must_be_idb(self):
+        with pytest.raises(ValueError):
+            parse_program("S(x) :- E(x, y).", goal="E")
+
+    def test_arity_conflict_rejected(self):
+        with pytest.raises(ValueError):
+            parse_program("S(x) :- E(x, y). S(x, y) :- E(x, y).", goal="S")
+
+    def test_constants_collected(self):
+        program = parse_program("D(x) :- E(x, $t1), x != $s1.", goal="D")
+        assert program.constants() == {"t1", "s1"}
+
+    def test_is_pure_datalog(self):
+        pure = parse_program("S(x, y) :- E(x, y).", goal="S")
+        impure = parse_program("S(x, y) :- E(x, y), x != y.", goal="S")
+        assert pure.is_pure_datalog()
+        assert not impure.is_pure_datalog()
+
+    def test_str_roundtrip(self):
+        rule = parse_rule("T(x, y, w) :- E(x, z), T(z, y, w), w != x.")
+        assert parse_rule(str(rule)) == rule
+
+
+class TestParser:
+    def test_fact(self):
+        rule = parse_rule("D($t1, $t2).")
+        assert rule.body == ()
+        assert rule.head.args == (Constant("t1"), Constant("t2"))
+
+    def test_both_arrows(self):
+        assert parse_rule("S(x) :- E(x, x).") == parse_rule("S(x) <- E(x, x).")
+
+    def test_unicode_neq(self):
+        rule = parse_rule("S(x) :- E(x, y), x ≠ y.")
+        assert isinstance(rule.body[1], Inequality)
+
+    def test_equality(self):
+        rule = parse_rule("S(x) :- E(x, y), x = y.")
+        assert isinstance(rule.body[1], Equality)
+
+    def test_comments_ignored(self):
+        program = parse_program(
+            """
+            % transitive closure
+            S(x, y) :- E(x, y).   # base case
+            S(x, y) :- E(x, z), S(z, y).
+            """,
+            goal="S",
+        )
+        assert len(program.rules) == 2
+
+    def test_missing_dot(self):
+        with pytest.raises(ParseError):
+            parse_rule("S(x) :- E(x, y)")
+
+    def test_garbage_character(self):
+        with pytest.raises(ParseError):
+            parse_rule("S(x) :- E(x, y) @.")
+
+    def test_trailing_input(self):
+        with pytest.raises(ParseError):
+            parse_rule("S(x) :- E(x, x). S(y) :- E(y, y).")
+
+    def test_nullary_atoms(self):
+        program = parse_program("Win() :- Step(). Step().", goal="Win")
+        assert program.arity("Win") == 0
+
+    def test_primed_variable_names(self):
+        rule = parse_rule("S(x) :- E(x, x').")
+        assert Variable("x'") in rule.variables()
+
+    def test_error_mentions_location(self):
+        with pytest.raises(ParseError, match="line"):
+            parse_program("S(x) :-\n E(x, ).", goal="S")

@@ -1,0 +1,143 @@
+"""Tests for the Theorem 3.6 translation of programs into L^{l+r}."""
+
+import pytest
+
+from repro.datalog import evaluate, parse_program, stages
+from repro.datalog.library import (
+    avoiding_path_program,
+    transitive_closure_program,
+    two_disjoint_paths_from_source_program,
+)
+from repro.logic import (
+    evaluate_formula,
+    fixpoint_family,
+    translate_program,
+    variable_width,
+)
+from repro.logic.evaluation import satisfying_tuples
+from repro.graphs.generators import path_graph, random_digraph
+
+
+PROGRAMS = {
+    "tc": transitive_closure_program,
+    "avoiding": avoiding_path_program,
+}
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+class TestStageFormulas:
+    def test_stage_formulas_match_engine_stages(self, name):
+        program = PROGRAMS[name]()
+        translation = translate_program(program)
+        structure = random_digraph(4, 0.4, seed=3).to_structure()
+        engine_stages = stages(program, structure)
+        goal = program.goal
+        free = translation.head_variables(goal)
+        for n in (1, 2, 3):
+            if n > len(engine_stages):
+                break
+            formula = translation.stage_formula(goal, n)
+            assert satisfying_tuples(formula, structure, free) == (
+                engine_stages[n - 1][goal]
+            )
+
+    def test_width_bound_holds(self, name):
+        """Theorem 3.6: phi^n stays within l + r distinct variables."""
+        program = PROGRAMS[name]()
+        translation = translate_program(program)
+        for n in (1, 2, 4):
+            actual, claimed = translation.audit_width(program.goal, n)
+            assert actual <= claimed
+
+    def test_width_constant_across_stages(self, name):
+        program = PROGRAMS[name]()
+        translation = translate_program(program)
+        widths = {
+            variable_width(translation.stage_formula(program.goal, n))
+            for n in (2, 3, 4)
+        }
+        assert len(widths) == 1  # re-quantification reuses the same stock
+
+
+class TestRefinements:
+    def test_pure_datalog_gives_inequality_free_formulas(self):
+        translation = translate_program(transitive_closure_program())
+        assert translation.is_inequality_free("S", n=3)
+
+    def test_datalog_neq_formulas_use_inequalities(self):
+        translation = translate_program(avoiding_path_program())
+        assert not translation.is_inequality_free("T", n=2)
+
+    def test_stage_one_is_first_application(self):
+        program = transitive_closure_program()
+        translation = translate_program(program)
+        structure = path_graph(4).to_structure()
+        formula = translation.stage_formula("S", 1)
+        # Stage 1 of TC is exactly the edge relation.
+        assert satisfying_tuples(
+            formula, structure, translation.head_variables("S")
+        ) == structure.relation("E")
+
+    def test_bad_arguments(self):
+        translation = translate_program(transitive_closure_program())
+        with pytest.raises(ValueError):
+            translation.stage_formula("S", 0)
+        with pytest.raises(ValueError):
+            translation.stage_formula("NoSuch", 1)
+
+
+class TestMultipleIdbPredicates:
+    def test_simultaneous_induction(self):
+        program = parse_program(
+            """
+            A(x, y) :- E(x, y).
+            B(x, y) :- A(x, z), E(z, y).
+            A(x, y) :- B(x, z), E(z, y).
+            """,
+            goal="B",
+        )
+        translation = translate_program(program)
+        structure = path_graph(5).to_structure()
+        engine_stages = stages(program, structure)
+        for predicate in ("A", "B"):
+            free = translation.head_variables(predicate)
+            for n in (1, 2, 3):
+                formula = translation.stage_formula(predicate, n)
+                assert satisfying_tuples(formula, structure, free) == (
+                    engine_stages[n - 1][predicate]
+                )
+
+    def test_q_prime_program_translates(self):
+        program = two_disjoint_paths_from_source_program()
+        translation = translate_program(program)
+        structure = random_digraph(3, 0.5, seed=1).to_structure()
+        engine_stages = stages(program, structure)
+        formula = translation.stage_formula("Q", 2)
+        assert satisfying_tuples(
+            formula, structure, translation.head_variables("Q")
+        ) == engine_stages[1]["Q"]
+
+
+class TestFixpointFamily:
+    def test_family_defines_the_fixpoint(self):
+        program = transitive_closure_program()
+        translation = translate_program(program)
+        family = fixpoint_family(translation)
+        structure = path_graph(4).to_structure()
+        expanded = family.expand(structure)
+        fixpoint = evaluate(program, structure).goal_relation
+        free = translation.head_variables("S")
+        assert satisfying_tuples(expanded, structure, free) == fixpoint
+
+    def test_family_on_empty_graph(self):
+        from repro.graphs import DiGraph
+
+        program = transitive_closure_program()
+        translation = translate_program(program)
+        structure = DiGraph(nodes=[1, 2]).to_structure()
+        family = fixpoint_family(translation)
+        assert satisfying_tuples(
+            family.expand(structure),
+            structure,
+            translation.head_variables("S"),
+        ) == frozenset()

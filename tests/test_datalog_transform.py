@@ -1,0 +1,111 @@
+"""Tests for the program transformation passes."""
+
+import pytest
+
+from repro.datalog import evaluate, parse_program
+from repro.datalog.library import (
+    avoiding_path_program,
+    q_program,
+    transitive_closure_program,
+)
+from repro.datalog.parser import parse_rule
+from repro.datalog.transform import (
+    merge_programs,
+    prune_unreachable,
+    reachable_predicates,
+    rename_predicates,
+    rename_variables_apart,
+)
+from repro.graphs.generators import random_digraph
+
+
+@pytest.fixture
+def structure():
+    return random_digraph(5, 0.35, seed=8).to_structure()
+
+
+class TestRenamePredicates:
+    def test_idb_rename_preserves_semantics(self, structure):
+        program = transitive_closure_program()
+        renamed = rename_predicates(program, {"S": "Reach"})
+        assert renamed.goal == "Reach"
+        assert evaluate(renamed, structure).goal_relation == (
+            evaluate(program, structure).goal_relation
+        )
+
+    def test_edb_rename(self):
+        program = rename_predicates(
+            transitive_closure_program(), {"E": "Link"}
+        )
+        assert program.edb_predicates == {"Link"}
+
+    def test_non_injective_rejected(self):
+        with pytest.raises(ValueError, match="injective"):
+            rename_predicates(
+                avoiding_path_program(), {"T": "X", "E": "X"}
+            )
+
+    def test_collapse_rejected(self):
+        with pytest.raises(ValueError, match="collapses"):
+            rename_predicates(avoiding_path_program(), {"T": "E"})
+
+
+class TestMerge:
+    def test_layering_q_over_t(self, structure):
+        """Rebuild the Theorem 6.1 illustration by merging."""
+        t_rules = avoiding_path_program()
+        q_rules = parse_program(
+            """
+            Q(s, s1, s2) :- E(s, s2), T(s, s1, s2).
+            Q(s, s1, s2) :- Q(s, s1, w), E(w, s2), T(s, s1, s2).
+            """,
+            goal="Q",
+        )
+        merged = merge_programs(q_rules, t_rules, goal="Q")
+        from repro.datalog.library import two_disjoint_paths_from_source_program
+
+        reference = two_disjoint_paths_from_source_program()
+        assert evaluate(merged, structure).goal_relation == (
+            evaluate(reference, structure).goal_relation
+        )
+
+    def test_arity_conflicts_rejected(self):
+        a = parse_program("P(x) :- E(x, x).", goal="P")
+        b = parse_program("P(x, y) :- E(x, y).", goal="P")
+        with pytest.raises(ValueError):
+            merge_programs(a, b, goal="P")
+
+
+class TestPrune:
+    def test_reachability(self):
+        program = q_program(2, 0)
+        assert reachable_predicates(program) == {"Q_2_0", "Q_1_1"}
+
+    def test_pruning_preserves_goal(self, structure):
+        base = q_program(2, 0)
+        # Add a junk predicate no one uses.
+        junk = parse_program("Junk(x, y) :- E(x, y), Junk(y, x).", goal="Junk")
+        bloated = merge_programs(base, junk, goal=base.goal)
+        pruned = prune_unreachable(bloated)
+        assert "Junk" not in pruned.idb_predicates
+        assert evaluate(pruned, structure).goal_relation == (
+            evaluate(base, structure).goal_relation
+        )
+
+    def test_idempotent(self):
+        program = prune_unreachable(q_program(3, 0))
+        assert prune_unreachable(program) == program
+
+
+class TestRenameVariablesApart:
+    def test_fresh_suffix(self):
+        rule = parse_rule("S(x, y) :- E(x, z), S(z, y), x != y.")
+        fresh = rename_variables_apart(rule, "_1")
+        assert fresh == parse_rule(
+            "S(x_1, y_1) :- E(x_1, z_1), S(z_1, y_1), x_1 != y_1."
+        )
+
+    def test_constants_untouched(self):
+        rule = parse_rule("D(x) :- E(x, $t), x != $t.")
+        fresh = rename_variables_apart(rule, "_9")
+        assert fresh == parse_rule("D(x_9) :- E(x_9, $t), x_9 != $t.")

@@ -1,0 +1,98 @@
+"""Dedicated tests for the static program analysis."""
+
+import pytest
+
+from repro.datalog import analyze_program, parse_program
+from repro.datalog.ast import Variable
+from repro.datalog.library import (
+    avoiding_path_program,
+    q_program,
+    transitive_closure_program,
+    two_disjoint_paths_from_source_program,
+)
+
+
+class TestRecursionDetection:
+    def test_direct_recursion(self):
+        analysis = analyze_program(transitive_closure_program())
+        assert analysis.recursive_predicates == {"S"}
+        assert analysis.is_recursive
+
+    def test_mutual_recursion(self):
+        program = parse_program(
+            """
+            A(x, y) :- E(x, y).
+            A(x, y) :- B(x, z), E(z, y).
+            B(x, y) :- A(x, z), E(z, y).
+            """,
+            goal="A",
+        )
+        analysis = analyze_program(program)
+        assert analysis.recursive_predicates == {"A", "B"}
+
+    def test_non_recursive(self):
+        program = parse_program(
+            """
+            A(x, y) :- E(x, y).
+            B(x, y) :- A(x, z), A(z, y).
+            """,
+            goal="B",
+        )
+        analysis = analyze_program(program)
+        assert not analysis.is_recursive
+        assert ("B", "A") in analysis.dependency_edges
+        assert ("A", "B") not in analysis.dependency_edges
+
+    def test_layered_program_dependencies(self):
+        analysis = analyze_program(two_disjoint_paths_from_source_program())
+        assert ("Q", "T") in analysis.dependency_edges
+        assert analysis.recursive_predicates == {"Q", "T"}
+
+
+class TestWidthData:
+    def test_translation_width_formula(self):
+        analysis = analyze_program(transitive_closure_program())
+        # l = 3 rule variables, r = 2 IDB arity.
+        assert analysis.max_rule_variables == 3
+        assert analysis.max_idb_arity == 2
+        assert analysis.translation_width == 5
+
+    def test_avoiding_path_width(self):
+        analysis = analyze_program(avoiding_path_program())
+        assert analysis.max_rule_variables == 4
+        assert analysis.translation_width == 7
+
+
+class TestUniverseEnumeration:
+    def test_flagged_variables(self):
+        program = parse_program("D(x, u) :- E(x, y).", goal="D")
+        analysis = analyze_program(program)
+        assert len(analysis.universe_enumerated) == 1
+        __, unbound = analysis.universe_enumerated[0]
+        assert unbound == {Variable("u")}
+
+    def test_equality_binds(self):
+        program = parse_program("D(x, u) :- E(x, y), u = y.", goal="D")
+        analysis = analyze_program(program)
+        assert not analysis.universe_enumerated
+
+    def test_equality_chain_binds(self):
+        program = parse_program(
+            "D(x, u) :- E(x, y), v = y, u = v.", goal="D"
+        )
+        analysis = analyze_program(program)
+        assert not analysis.universe_enumerated
+
+    def test_inequality_does_not_bind(self):
+        program = parse_program("D(x) :- E(x, y), x != u.", goal="D")
+        analysis = analyze_program(program)
+        assert analysis.universe_enumerated
+
+    def test_q_base_rules_flagged(self):
+        analysis = analyze_program(q_program(1, 2))
+        flagged = {
+            var.name
+            for __, unbound in analysis.universe_enumerated
+            for var in unbound
+        }
+        assert flagged == {"t1", "t2"}

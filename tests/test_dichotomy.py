@@ -1,0 +1,71 @@
+"""Tests for the full dichotomy classification (experiment E15)."""
+
+import pytest
+
+from repro.core import classify_query
+from repro.core.dichotomy import dichotomy_table, pattern_catalogue
+from repro.fhw.pattern_class import pattern_h1, pattern_h2, pattern_h3
+from repro.graphs import DiGraph
+
+
+class TestClassification:
+    def test_out_star_row(self):
+        row = classify_query(DiGraph(edges=[("r", "a"), ("r", "b")]))
+        assert row.in_class_c
+        assert "PTIME" in row.complexity
+        assert "Theorem 6.1" in row.general_inputs
+        assert "Theorem 6.2" in row.acyclic_inputs
+
+    @pytest.mark.parametrize(
+        "pattern,obstruction",
+        [(pattern_h1(), "H1"), (pattern_h2(), "H2"), (pattern_h3(), "H3")],
+    )
+    def test_negative_rows(self, pattern, obstruction):
+        row = classify_query(pattern)
+        assert not row.in_class_c
+        assert "NP-complete" in row.complexity
+        assert obstruction in row.general_inputs
+        assert "not expressible" in row.general_inputs
+
+    def test_general_program_available_in_c(self):
+        row = classify_query(DiGraph(edges=[("r", "a")]))
+        query = row.general_program()
+        g = DiGraph(edges=[("x", "y")])
+        assert query.decide(g, {"r": "x", "a": "y"})
+
+    def test_general_program_refused_outside_c(self):
+        row = classify_query(pattern_h1())
+        with pytest.raises(ValueError):
+            row.general_program()
+
+    def test_acyclic_program_available_everywhere(self):
+        for pattern in (pattern_h1(), DiGraph(edges=[("r", "a")])):
+            row = classify_query(pattern)
+            query = row.acyclic_program()
+            assert query.program.goal == "Answer"
+
+    def test_edgeless_rejected(self):
+        with pytest.raises(ValueError):
+            classify_query(DiGraph(nodes=["x"]))
+
+
+class TestCatalogue:
+    def test_catalogue_spans_the_dichotomy(self):
+        rows = dichotomy_table()
+        assert any(row.in_class_c for row in rows)
+        assert any(not row.in_class_c for row in rows)
+        assert len(rows) == len(pattern_catalogue())
+
+    def test_expected_verdicts(self):
+        verdicts = {
+            name: classify_query(pattern).in_class_c
+            for name, pattern in pattern_catalogue().items()
+        }
+        assert verdicts["out-star-3"] is True
+        assert verdicts["self-loop"] is True
+        assert verdicts["loop-plus-out"] is True
+        assert verdicts["H1-two-disjoint-edges"] is False
+        assert verdicts["H2-path-length-2"] is False
+        assert verdicts["H3-two-cycle"] is False
+        assert verdicts["triangle"] is False
+        assert verdicts["in-out-node"] is False

@@ -1,0 +1,120 @@
+"""Unit tests for the directed-graph type."""
+
+import pytest
+
+from repro.graphs import DiGraph
+from repro.structures import Vocabulary
+
+
+@pytest.fixture
+def diamond():
+    return DiGraph(edges=[("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")])
+
+
+class TestBasics:
+    def test_nodes_from_edges(self, diamond):
+        assert diamond.nodes == {"a", "b", "c", "d"}
+        assert diamond.number_of_edges() == 4
+
+    def test_degrees(self, diamond):
+        assert diamond.out_degree("a") == 2
+        assert diamond.in_degree("d") == 2
+        assert diamond.successors("a") == {"b", "c"}
+        assert diamond.predecessors("d") == {"b", "c"}
+
+    def test_sources_and_sinks(self, diamond):
+        assert diamond.sources() == {"a"}
+        assert diamond.sinks() == {"d"}
+
+    def test_isolated_nodes(self):
+        g = DiGraph(nodes=["x", "y"], edges=[("x", "z")])
+        assert g.isolated_nodes() == {"y"}
+        assert g.without_isolated_nodes().nodes == {"x", "z"}
+
+    def test_self_loop_allowed(self):
+        g = DiGraph(edges=[("r", "r")])
+        assert g.has_edge("r", "r")
+        assert g.in_degree("r") == 1
+
+
+class TestDistinguished:
+    def test_distinguished_mapping(self, diamond):
+        g = diamond.with_distinguished({"s": "a", "t": "d"})
+        assert g.distinguished == {"s": "a", "t": "d"}
+        assert g.distinguished_nodes() == ("a", "d")
+
+    def test_distinct_required(self, diamond):
+        with pytest.raises(ValueError):
+            diamond.with_distinguished({"s": "a", "t": "a"})
+
+    def test_must_be_present(self, diamond):
+        with pytest.raises(ValueError):
+            diamond.with_distinguished({"s": "zz"})
+
+    def test_removal_protects_distinguished(self, diamond):
+        g = diamond.with_distinguished({"s": "a"})
+        with pytest.raises(ValueError):
+            g.remove_nodes(["a"])
+
+    def test_isolated_distinguished_survive_strip(self):
+        g = DiGraph(nodes=["x", "y"], edges=[("x", "z")]).with_distinguished(
+            {"s": "y"}
+        )
+        assert "y" in g.without_isolated_nodes()
+
+
+class TestDerivedGraphs:
+    def test_add_edges(self, diamond):
+        g = diamond.add_edges([("d", "e")])
+        assert g.has_edge("d", "e")
+        assert len(g) == 5
+
+    def test_add_nodes(self, diamond):
+        g = diamond.add_nodes(["island"])
+        assert "island" in g
+        assert g.isolated_nodes() == {"island"}
+
+    def test_remove_nodes(self, diamond):
+        g = diamond.remove_nodes(["b"])
+        assert "b" not in g
+        assert not g.has_edge("a", "b")
+        assert g.has_edge("a", "c")
+
+    def test_subgraph(self, diamond):
+        sub = diamond.subgraph({"a", "b", "d"})
+        assert sub.edges == {("a", "b"), ("b", "d")}
+
+    def test_reverse(self, diamond):
+        rev = diamond.reverse()
+        assert rev.has_edge("b", "a")
+        assert rev.sources() == {"d"}
+
+    def test_reverse_involution(self, diamond):
+        assert diamond.reverse().reverse() == diamond
+
+    def test_relabel(self, diamond):
+        g = diamond.relabel(lambda v: v.upper())
+        assert g.has_edge("A", "B")
+
+    def test_relabel_rejects_collisions(self, diamond):
+        with pytest.raises(ValueError):
+            diamond.relabel(lambda v: "same")
+
+    def test_disjoint_union(self, diamond):
+        g = diamond.disjoint_union(diamond)
+        assert len(g) == 8
+        assert g.has_edge((0, "a"), (0, "b"))
+        assert g.has_edge((1, "a"), (1, "b"))
+
+
+class TestStructureView:
+    def test_to_structure(self, diamond):
+        s = diamond.with_distinguished({"s": "a"}).to_structure()
+        assert s.vocabulary == Vocabulary.graph(constants=("s",))
+        assert s.holds("E", ("a", "b"))
+        assert s.constants == {"s": "a"}
+
+    def test_equality(self, diamond):
+        same = DiGraph(edges=[("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")])
+        assert diamond == same
+        assert hash(diamond) == hash(same)

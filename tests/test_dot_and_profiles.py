@@ -1,0 +1,82 @@
+"""Tests for DOT export and walk-length profiles."""
+
+import pytest
+
+from repro.cnf import CnfFormula
+from repro.fhw.reduction import sat_to_disjoint_paths
+from repro.graphs import DiGraph, walk_length_profile
+from repro.graphs.generators import cycle_graph, path_graph, random_digraph
+from repro.io.dot import reduction_to_dot, to_dot
+
+
+class TestDot:
+    def test_basic_structure(self):
+        g = DiGraph(edges=[("a", "b")], distinguished={"s": "a"})
+        dot = to_dot(g)
+        assert dot.startswith('digraph "G" {')
+        assert '"\'a\'" -> "\'b\'"' in dot
+        assert "doublecircle" in dot
+        assert 'xlabel="s"' in dot
+
+    def test_highlighting(self):
+        g = DiGraph(edges=[("a", "b"), ("b", "c"), ("a", "c")])
+        dot = to_dot(g, highlight_paths=[("a", "b", "c")])
+        assert dot.count("penwidth=2") == 2
+        assert "color=red" in dot
+
+    def test_custom_labels(self):
+        g = DiGraph(edges=[(1, 2)])
+        dot = to_dot(g, node_labels={1: "one"})
+        assert 'label="one"' in dot
+
+    def test_reduction_export_with_routed_paths(self):
+        instance = sat_to_disjoint_paths(CnfFormula.parse("x1 | x1"))
+        dot = reduction_to_dot(instance, {"x1": True})
+        assert "G_phi" in dot
+        assert "color=red" in dot and "color=blue" in dot
+
+    def test_reduction_export_without_model(self):
+        instance = sat_to_disjoint_paths(CnfFormula.parse("x1; ~x1"))
+        dot = reduction_to_dot(instance)
+        assert "penwidth" not in dot
+
+    def test_quoting(self):
+        g = DiGraph(edges=[('a"b', "c")])
+        dot = to_dot(g)
+        assert '\\"' in dot
+
+
+class TestWalkLengthProfile:
+    def test_path_graph(self):
+        profile = walk_length_profile(path_graph(4), max_length=5)
+        assert profile[("v0", "v3")] == {3}
+        assert profile[("v0", "v1")] == {1}
+        assert ("v3", "v0") not in profile
+
+    def test_cycle_wraps(self):
+        profile = walk_length_profile(cycle_graph(3), max_length=7)
+        assert profile[("v0", "v0")] == {3, 6}
+        assert profile[("v0", "v1")] == {1, 4, 7}
+
+    def test_matches_brute_force(self):
+        g = random_digraph(5, 0.35, seed=6)
+        bound = 6
+        profile = walk_length_profile(g, bound)
+        # brute force: enumerate walks by DP on predecessor chains
+        reach = {0: {(v, v) for v in g.nodes}}
+        for n in range(1, bound + 1):
+            reach[n] = {
+                (u, w)
+                for (u, v) in reach[n - 1]
+                for w in g.successors(v)
+            }
+        for u in g.nodes:
+            for v in g.nodes:
+                expected = frozenset(
+                    n for n in range(1, bound + 1) if (u, v) in reach[n]
+                )
+                assert profile.get((u, v), frozenset()) == expected
+
+    def test_bad_bound(self):
+        with pytest.raises(ValueError):
+            walk_length_profile(path_graph(2), 0)

@@ -1,0 +1,42 @@
+"""Smoke tests: every example script runs to completion.
+
+The examples double as executable documentation; this keeps them from
+rotting as the library evolves.  Stdout is captured and spot-checked
+for each script's headline output.
+"""
+
+import io
+import pathlib
+import runpy
+from contextlib import redirect_stdout
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+EXPECTED_SNIPPETS = {
+    "quickstart.py": "Transitive closure of a 5-node path",
+    "disjoint_routes.py": "All three deciders agreed",
+    "pebble_games.py": "Example 4.5",
+    "acyclic_workflows.py": "all four deciders agreed",
+    "inexpressibility.py": "scripted Player I",
+    "separating_sentences.py": "separating sentence",
+    "gadget_gallery.py": "Lemma 6.4 verified: True",
+}
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTED_SNIPPETS))
+def test_example_runs(script, tmp_path, monkeypatch):
+    monkeypatch.setattr(
+        "sys.argv", [script, str(tmp_path)]
+    )
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    output = buffer.getvalue()
+    assert EXPECTED_SNIPPETS[script] in output
+
+
+def test_every_example_is_covered():
+    scripts = {path.name for path in EXAMPLES.glob("*.py")}
+    assert scripts == set(EXPECTED_SNIPPETS)

@@ -1,0 +1,89 @@
+"""Tests for the monotonicity / preservation properties (Section 2)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    is_monotone_on,
+    is_strongly_monotone_on,
+    random_extension,
+    random_identification,
+)
+from repro.core.expressibility import identify_elements
+from repro.datalog import evaluate, parse_program
+from repro.datalog.library import (
+    avoiding_path_program,
+    transitive_closure_program,
+)
+from repro.graphs import DiGraph
+from repro.graphs.generators import path_graph, random_digraph
+
+
+class TestHelpers:
+    def test_random_extension_is_superstructure(self):
+        s = path_graph(3).to_structure()
+        bigger = random_extension(s, seed=1)
+        assert s.universe <= bigger.universe
+        assert s.relation("E") <= bigger.relation("E")
+
+    def test_identify_elements(self):
+        s = path_graph(3).to_structure()
+        q = identify_elements(s, "v2", "v0")
+        assert len(q) == 2
+        assert q.holds("E", ("v1", "v0"))  # the v1 -> v2 edge collapsed
+
+    def test_identification_protects_constants(self):
+        g = path_graph(3).with_distinguished({"s": "v0", "t": "v2"})
+        result = random_identification(g.to_structure(), seed=0)
+        assert result is None  # only v1 is unprotected: nothing to merge
+
+
+class TestDatalogStrongMonotonicity:
+    """Pure Datalog queries are strongly monotone."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=5_000))
+    def test_tc_preserved_under_extension(self, seed):
+        program = transitive_closure_program()
+        s = random_digraph(5, 0.3, seed).to_structure()
+        assert is_monotone_on(program, s, random_extension(s, seed))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=5_000))
+    def test_tc_preserved_under_identification(self, seed):
+        program = transitive_closure_program()
+        s = random_digraph(5, 0.3, seed).to_structure()
+        result = random_identification(s, seed)
+        if result is None:
+            return
+        __, victim, survivor = result
+        assert is_strongly_monotone_on(program, s, victim, survivor)
+
+
+class TestDatalogNeqMonotonicity:
+    """Datalog(!=) queries are monotone but not strongly monotone."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=5_000))
+    def test_avoiding_path_preserved_under_extension(self, seed):
+        program = avoiding_path_program()
+        s = random_digraph(5, 0.3, seed).to_structure()
+        assert is_monotone_on(program, s, random_extension(s, seed))
+
+    def test_avoiding_path_not_strongly_monotone(self):
+        """The paper's Section 2 remark, witnessed concretely: collapse
+        the avoided node onto the path and the w-avoiding path dies."""
+        program = avoiding_path_program()
+        # v0 -> v1 -> v2 with a spare node w.
+        g = DiGraph(nodes=["w"], edges=[("v0", "v1"), ("v1", "v2")])
+        s = g.to_structure()
+        before = evaluate(program, s).goal_relation
+        assert ("v0", "v2", "w") in before
+        # Identify w with v1: the only v0 -> v2 path now goes through w.
+        assert not is_strongly_monotone_on(program, s, "w", "v1")
+
+    def test_inequality_filters_under_identification(self):
+        program = parse_program("D(x, y) :- E(x, y), x != y.", goal="D")
+        g = DiGraph(edges=[("a", "b")])
+        s = g.to_structure()
+        assert not is_strongly_monotone_on(program, s, "b", "a")

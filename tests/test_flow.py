@@ -1,0 +1,145 @@
+"""Unit and property tests for max flow and node-disjoint paths."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.flow import (
+    has_node_disjoint_paths_to_targets,
+    max_flow,
+    max_node_disjoint_paths,
+    separating_nodes,
+)
+from repro.graphs import DiGraph, node_disjoint_simple_paths
+from repro.graphs.generators import random_digraph
+
+
+class TestMaxFlow:
+    def test_single_edge(self):
+        result = max_flow({("s", "t"): 3}, "s", "t")
+        assert result.value == 3
+        assert result.flow == {("s", "t"): 3}
+
+    def test_bottleneck(self):
+        capacities = {("s", "a"): 5, ("a", "t"): 2}
+        assert max_flow(capacities, "s", "t").value == 2
+
+    def test_parallel_routes(self):
+        capacities = {
+            ("s", "a"): 1, ("a", "t"): 1,
+            ("s", "b"): 1, ("b", "t"): 1,
+        }
+        assert max_flow(capacities, "s", "t").value == 2
+
+    def test_min_cut(self):
+        capacities = {("s", "a"): 2, ("a", "t"): 1, ("s", "t"): 1}
+        result = max_flow(capacities, "s", "t")
+        assert result.value == 2
+        cut = result.min_cut_edges(capacities)
+        assert sum(capacities[e] for e in cut) == result.value
+
+    def test_disconnected(self):
+        assert max_flow({("a", "b"): 1}, "s", "t" ).value == 0
+
+    def test_rejects_negative_capacity(self):
+        with pytest.raises(ValueError):
+            max_flow({("s", "t"): -1}, "s", "t")
+
+    def test_rejects_equal_terminals(self):
+        with pytest.raises(ValueError):
+            max_flow({}, "s", "s")
+
+
+class TestDisjointPaths:
+    def test_parallel_routes(self):
+        g = DiGraph(edges=[("s", "a"), ("a", "t1"), ("s", "b"), ("b", "t2")])
+        count, paths = max_node_disjoint_paths(g, "s", ["t1", "t2"])
+        assert count == 2
+        assert {p[-1] for p in paths} == {"t1", "t2"}
+
+    def test_shared_interior_blocks(self):
+        g = DiGraph(edges=[("s", "v"), ("v", "t1"), ("v", "t2")])
+        count, __ = max_node_disjoint_paths(g, "s", ["t1", "t2"])
+        assert count == 1
+        assert not has_node_disjoint_paths_to_targets(g, "s", ["t1", "t2"])
+
+    def test_direct_edges(self):
+        g = DiGraph(edges=[("s", "t1"), ("s", "t2")])
+        assert has_node_disjoint_paths_to_targets(g, "s", ["t1", "t2"])
+
+    def test_avoid_set(self):
+        g = DiGraph(edges=[("s", "a"), ("a", "t")])
+        assert has_node_disjoint_paths_to_targets(g, "s", ["t"])
+        assert not has_node_disjoint_paths_to_targets(g, "s", ["t"], avoid={"a"})
+
+    def test_target_cannot_be_crossed(self):
+        # Reaching t2 requires passing through t1: forbidden.
+        g = DiGraph(edges=[("s", "t1"), ("t1", "t2")])
+        count, __ = max_node_disjoint_paths(g, "s", ["t1", "t2"])
+        assert count == 1
+
+    def test_separating_nodes_menger(self):
+        g = DiGraph(edges=[("s", "v"), ("v", "t1"), ("v", "t2")])
+        cut = separating_nodes(g, "s", ["t1", "t2"])
+        assert cut == {"v"}
+
+    def test_duplicate_targets_rejected(self):
+        g = DiGraph(edges=[("s", "t")])
+        with pytest.raises(ValueError):
+            max_node_disjoint_paths(g, "s", ["t", "t"])
+
+    def test_source_in_targets_rejected(self):
+        g = DiGraph(edges=[("s", "t")])
+        with pytest.raises(ValueError):
+            max_node_disjoint_paths(g, "s", ["s"])
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_flow_agrees_with_exact_search(seed):
+    """Menger executably: the flow verdict matches the exponential
+    disjoint-path search on random graphs."""
+    g = random_digraph(7, 0.25, seed)
+    nodes = sorted(g.nodes)
+    source, t1, t2 = nodes[0], nodes[3], nodes[5]
+    flow_says = has_node_disjoint_paths_to_targets(g, source, [t1, t2])
+    exact = node_disjoint_simple_paths(g, [(source, t1), (source, t2)])
+    assert flow_says == (exact is not None)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_returned_paths_are_disjoint(seed):
+    """The extracted flow paths are simple, edge-valid, and share only
+    the source."""
+    g = random_digraph(8, 0.3, seed)
+    nodes = sorted(g.nodes)
+    source, targets = nodes[0], [nodes[4], nodes[6]]
+    count, paths = max_node_disjoint_paths(g, source, targets)
+    assert count == len(paths)
+    seen_interiors = set()
+    for path in paths:
+        assert path[0] == source
+        assert path[-1] in targets
+        assert len(set(path)) == len(path)
+        assert all(g.has_edge(u, v) for u, v in zip(path, path[1:]))
+        interior = set(path[1:])
+        assert not (interior & seen_interiors)
+        seen_interiors |= interior
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_separator_actually_separates(seed):
+    """Removing the Menger separator kills every source -> target path."""
+    g = random_digraph(8, 0.3, seed)
+    nodes = sorted(g.nodes)
+    source, targets = nodes[0], [nodes[4], nodes[6]]
+    count, __ = max_node_disjoint_paths(g, source, targets)
+    cut = separating_nodes(g, source, targets)
+    assert len(cut) == count  # max-flow = min-cut
+    if source in cut:
+        return
+    survivors = [t for t in targets if t not in cut]
+    reduced = g.remove_nodes(cut - {source})
+    from repro.graphs import has_path
+    assert all(not has_path(reduced, source, t) for t in survivors)

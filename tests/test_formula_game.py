@@ -1,0 +1,164 @@
+"""Tests for the k-pebble game on CNF formulas (Definition 6.5)."""
+
+import pytest
+
+from repro.cnf import (
+    CnfFormula,
+    InconsistentAssignment,
+    Literal,
+    complete_formula,
+    is_satisfiable,
+    pigeonhole_style_formula,
+)
+from repro.games.formula_game import (
+    OptimalFormulaPlayerOne,
+    PaperPhiKStrategy,
+    RandomFormulaPlayerOne,
+    formula_game_player_one_move,
+    run_formula_game,
+    solve_formula_game,
+)
+
+
+class TestSolver:
+    def test_satisfiable_formula_player_two_wins_all_k(self):
+        phi = CnfFormula.parse("x1 | x2; ~x1 | x2")
+        assert is_satisfiable(phi)
+        for k in (1, 2, 3):
+            assert solve_formula_game(phi, k).player_two_wins
+
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_complete_formula_threshold(self, k):
+        """Player II wins the k-pebble game on phi_k, loses with k+1."""
+        phi = complete_formula(k)
+        assert solve_formula_game(phi, k).player_two_wins
+        assert not solve_formula_game(phi, k + 1).player_two_wins
+
+    def test_pigeonhole_two_pebbles(self):
+        """The paper's example: I wins the 2-pebble game on
+        x1 & ... & xk & (~x1 | ... | ~xk)."""
+        phi = pigeonhole_style_formula(3)
+        assert not solve_formula_game(phi, 2).player_two_wins
+        # With a single pebble Player I never forces a conflict.
+        assert solve_formula_game(phi, 1).player_two_wins
+
+    def test_unsat_with_k_vars_loses_k_plus_1(self):
+        phi = CnfFormula.parse("x1 | x2; ~x1; ~x2")
+        assert not is_satisfiable(phi)
+        assert not solve_formula_game(phi, 3).player_two_wins
+
+    def test_bad_k(self):
+        with pytest.raises(ValueError):
+            solve_formula_game(complete_formula(1), 0)
+
+
+class TestPaperStrategy:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_survives_random_play_on_phi_k(self, k):
+        phi = complete_formula(k)
+        for seed in range(10):
+            strategy = PaperPhiKStrategy(phi, k)
+            adversary = RandomFormulaPlayerOne(phi, k, seed=seed)
+            transcript = run_formula_game(phi, k, adversary, strategy, rounds=120)
+            assert transcript.player_two_survived
+
+    def test_clause_response_is_a_clause_literal(self):
+        phi = complete_formula(2)
+        strategy = PaperPhiKStrategy(phi, 2)
+        chosen = strategy.respond(0, 0)
+        assert chosen in set(phi.clauses[0].literals)
+        assert strategy.value_of(chosen) is True
+
+    def test_literal_values_maintained_then_released(self):
+        phi = complete_formula(2)
+        strategy = PaperPhiKStrategy(phi, 2)
+        x1 = Literal("x1")
+        assert strategy.respond(0, x1) is True
+        assert strategy.respond(1, x1.complement) is False  # maintained
+        strategy.release(0)
+        assert strategy.value_of(x1) is True  # still supported by pebble 1
+        strategy.release(1)
+        assert strategy.value_of(x1) is None  # evaporated
+
+    def test_k_plus_one_pebbles_corner_the_strategy(self):
+        """Pin all k variables true, then challenge the all-negative
+        clause: the strategy is cornered (Player I's (k+1)-pebble win)."""
+        k = 2
+        phi = complete_formula(k)
+        strategy = PaperPhiKStrategy(phi, k + 1)
+        for pebble, variable in enumerate(phi.variables):
+            strategy.respond(pebble, Literal(variable))
+        all_negative = next(
+            index
+            for index, clause in enumerate(phi.clauses)
+            if all(not lit.positive for lit in clause.literals)
+        )
+        with pytest.raises(InconsistentAssignment):
+            strategy.respond(k, all_negative)
+
+
+class TestOptimalPlayerOne:
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_defeats_paper_strategy_with_extra_pebble(self, k):
+        """The solver-extracted adversary beats PaperPhiKStrategy in the
+        (k+1)-pebble game on phi_k -- automatically, no hand scripting."""
+        phi = complete_formula(k)
+        result = solve_formula_game(phi, k + 1)
+        assert not result.player_two_wins
+        adversary = OptimalFormulaPlayerOne(result, phi)
+        strategy = PaperPhiKStrategy(phi, k + 1)
+        transcript = run_formula_game(
+            phi, k + 1, adversary, strategy, rounds=100
+        )
+        assert not transcript.player_two_survived
+
+    def test_defeats_paper_strategy_on_pigeonhole(self):
+        phi = pigeonhole_style_formula(3)
+        result = solve_formula_game(phi, 2)
+        adversary = OptimalFormulaPlayerOne(result, phi)
+        strategy = PaperPhiKStrategy(phi, 2)
+        transcript = run_formula_game(phi, 2, adversary, strategy, rounds=60)
+        assert not transcript.player_two_survived
+
+    def test_refuses_lost_causes(self):
+        phi = complete_formula(2)
+        result = solve_formula_game(phi, 2)
+        with pytest.raises(ValueError):
+            OptimalFormulaPlayerOne(result, phi)
+
+    def test_move_extraction_is_rank_decreasing(self):
+        phi = complete_formula(1)
+        result = solve_formula_game(phi, 2)
+        assert not result.player_two_wins
+        state = ()
+        rank = result.ranks[state]
+        kind, payload = formula_game_player_one_move(result, state, phi)
+        assert kind == "place"
+
+    def test_no_move_from_live_state(self):
+        phi = complete_formula(2)
+        result = solve_formula_game(phi, 2)
+        with pytest.raises(ValueError):
+            formula_game_player_one_move(result, (), phi)
+
+
+class TestRunner:
+    def test_removal_releases_support(self):
+        phi = complete_formula(2)
+        strategy = PaperPhiKStrategy(phi, 2)
+
+        class Script:
+            def __init__(self):
+                self.moves = [
+                    ("place", 0, Literal("x1")),
+                    ("remove", 0),
+                    ("place", 0, Literal("x1", False)),
+                ]
+
+            def next_move(self, placed, responses=None):
+                return self.moves.pop(0) if self.moves else None
+
+        transcript = run_formula_game(phi, 2, Script(), strategy, rounds=10)
+        assert transcript.player_two_survived
+        # After re-assignment the fresh value sticks: ~x1 true now.
+        assert strategy.value_of(Literal("x1", False)) is True

@@ -1,0 +1,174 @@
+"""Tests for the Theorem 6.2 two-player game and the solitaire variant."""
+
+import random
+
+import pytest
+
+from repro.fhw.homeomorphism import is_homeomorphic_to_distinguished_subgraph
+from repro.fhw.pattern_class import pattern_h1, pattern_h2, pattern_h3
+from repro.games.acyclic import acyclic_game_winner, solve_acyclic_game
+from repro.games.solitaire import solitaire_game_solvable
+from repro.graphs import DiGraph
+from repro.graphs.generators import layered_random_dag
+
+
+@pytest.fixture
+def shared_middle():
+    """The graph where naive single-pebble interleaving over-approximates:
+    both chains must pass through v, yet pebbles can dodge each other in
+    time.  The two-player game (and the exact oracle) say NO."""
+    return DiGraph(edges=[
+        ("s1", "v"), ("v", "t1"), ("s2", "v"), ("v", "t2"),
+    ])
+
+
+H1_ASSIGNMENT = {"s1": "s1", "s2": "t1", "s3": "s2", "s4": "t2"}
+
+
+class TestTwoPlayerGame:
+    def test_shared_middle_is_a_player_one_win(self, shared_middle):
+        assert acyclic_game_winner(
+            shared_middle, pattern_h1(), H1_ASSIGNMENT
+        ) == "I"
+        assert not is_homeomorphic_to_distinguished_subgraph(
+            pattern_h1(), shared_middle, H1_ASSIGNMENT
+        )
+
+    def test_parallel_chains_are_a_player_two_win(self):
+        g = DiGraph(edges=[
+            ("s1", "a"), ("a", "t1"), ("s2", "b"), ("b", "t2"),
+        ])
+        assert acyclic_game_winner(g, pattern_h1(), H1_ASSIGNMENT) == "II"
+
+    def test_removal_onto_occupied_start(self):
+        """Regression: a pebble may land on its own target even while
+        another pebble still rests there (H2's middle node is both a
+        target and a start)."""
+        g = DiGraph(edges=[("a", "b"), ("b", "c"), ("a", "x"), ("x", "y")])
+        assignment = {"s1": "a", "s2": "b", "s3": "c"}
+        assert acyclic_game_winner(g, pattern_h2(), assignment) == "II"
+        assert solitaire_game_solvable(g, pattern_h2(), assignment)
+
+    def test_direct_edges_win_immediately(self):
+        g = DiGraph(edges=[("s1", "t1"), ("s2", "t2")])
+        result = solve_acyclic_game(g, pattern_h1(), H1_ASSIGNMENT)
+        assert result.player_two_wins
+        assert result.initial in result.alive
+
+    @pytest.mark.parametrize(
+        "pattern,mapping_size", [(pattern_h1(), 4), (pattern_h2(), 3), (pattern_h3(), 2)]
+    )
+    def test_game_equals_homeomorphism_on_dags(self, pattern, mapping_size):
+        """Theorem 6.2's core equivalence, checked on random DAGs.
+
+        (H3 contains a cycle, so it never embeds into a DAG -- the game
+        must always go to Player I there.)"""
+        rng = random.Random(17)
+        pattern_nodes = sorted(pattern.nodes, key=repr)
+        for seed in range(3):
+            g = layered_random_dag(4, 3, 0.5, seed)
+            nodes = sorted(g.nodes)
+            for __ in range(4):
+                assignment = dict(
+                    zip(pattern_nodes, rng.sample(nodes, mapping_size))
+                )
+                game = acyclic_game_winner(g, pattern, assignment) == "II"
+                exact = is_homeomorphic_to_distinguished_subgraph(
+                    pattern, g, assignment
+                )
+                assert game == exact
+
+    def test_assignment_validation(self, shared_middle):
+        with pytest.raises(ValueError, match="injective"):
+            solve_acyclic_game(
+                shared_middle, pattern_h1(),
+                {"s1": "s1", "s2": "s1", "s3": "s2", "s4": "t2"},
+            )
+        with pytest.raises(ValueError, match="not in the graph"):
+            solve_acyclic_game(
+                shared_middle, pattern_h1(),
+                {"s1": "s1", "s2": "zz", "s3": "s2", "s4": "t2"},
+            )
+
+    def test_edgeless_pattern_rejected(self, shared_middle):
+        with pytest.raises(ValueError):
+            solve_acyclic_game(shared_middle, DiGraph(nodes=["x"]), {})
+
+
+class TestEmbeddingExtraction:
+    """Theorem 6.2's proof direction: winning plays trace embeddings."""
+
+    def test_extracted_paths_realise_the_homeomorphism(self):
+        from repro.games.acyclic import extract_embedding_from_game
+
+        pattern = pattern_h1()
+        pattern_nodes = sorted(pattern.nodes, key=repr)
+        rng = random.Random(9)
+        for seed in range(3):
+            g = layered_random_dag(4, 3, 0.5, seed)
+            nodes = sorted(g.nodes)
+            for __ in range(4):
+                assignment = dict(zip(pattern_nodes, rng.sample(nodes, 4)))
+                paths = extract_embedding_from_game(g, pattern, assignment)
+                exists = is_homeomorphic_to_distinguished_subgraph(
+                    pattern, g, assignment
+                )
+                assert (paths is not None) == exists
+                if paths is None:
+                    continue
+                edges = sorted(pattern.edges, key=repr)
+                interiors: set = set()
+                for path, (i, j) in zip(paths, edges):
+                    assert path[0] == assignment[i]
+                    assert path[-1] == assignment[j]
+                    assert len(set(path)) == len(path)  # simple
+                    assert all(
+                        g.has_edge(u, v) for u, v in zip(path, path[1:])
+                    )
+                    inner = set(path[1:-1])
+                    assert not inner & interiors
+                    interiors |= inner | {path[0], path[-1]}
+
+    def test_none_when_player_one_wins(self, shared_middle):
+        from repro.games.acyclic import extract_embedding_from_game
+
+        assert extract_embedding_from_game(
+            shared_middle, pattern_h1(), H1_ASSIGNMENT
+        ) is None
+
+    def test_rejects_cyclic_graphs(self):
+        from repro.games.acyclic import extract_embedding_from_game
+
+        cyclic = DiGraph(edges=[
+            ("s1", "t1"), ("s2", "t2"), ("x", "y"), ("y", "x"),
+        ])
+        with pytest.raises(ValueError, match="acyclic"):
+            extract_embedding_from_game(cyclic, pattern_h1(), H1_ASSIGNMENT)
+
+
+class TestSolitaire:
+    def test_matches_two_player_game_on_dags(self):
+        pattern = pattern_h1()
+        pattern_nodes = sorted(pattern.nodes, key=repr)
+        rng = random.Random(5)
+        for seed in range(3):
+            g = layered_random_dag(4, 3, 0.5, seed)
+            nodes = sorted(g.nodes)
+            for __ in range(5):
+                assignment = dict(zip(pattern_nodes, rng.sample(nodes, 4)))
+                assert solitaire_game_solvable(g, pattern, assignment) == (
+                    acyclic_game_winner(g, pattern, assignment) == "II"
+                )
+
+    def test_shared_middle_unsolvable(self, shared_middle):
+        """The max-level scheduler exposes the conflict the unscheduled
+        single player could dodge."""
+        assert not solitaire_game_solvable(
+            shared_middle, pattern_h1(), H1_ASSIGNMENT
+        )
+
+    def test_rejects_cyclic_graphs(self):
+        cyclic = DiGraph(edges=[("a", "b"), ("b", "a"), ("s1", "a"),
+                                ("b", "t1"), ("s2", "t2")])
+        with pytest.raises(ValueError, match="acyclic"):
+            solitaire_game_solvable(cyclic, pattern_h1(), H1_ASSIGNMENT)

@@ -1,0 +1,243 @@
+"""Tests for the existential k-pebble game solver (Sections 4-5)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.games import preceq_k, solve_existential_game, winning_family
+from repro.games.existential import player_one_winning_move
+from repro.graphs import DiGraph
+from repro.graphs.generators import (
+    crossed_paths_structure_pair,
+    cycle_graph,
+    path_graph,
+    path_pair_structures,
+    random_digraph,
+)
+from repro.structures import (
+    Structure,
+    Vocabulary,
+    find_one_to_one_homomorphism,
+    is_partial_one_to_one_homomorphism,
+)
+
+
+class TestExample44:
+    """Paths of different length."""
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_short_preceq_long(self, k):
+        short, long_ = path_pair_structures(3, 6)
+        assert preceq_k(short, long_, k)
+
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_long_not_preceq_short(self, k):
+        short, long_ = path_pair_structures(3, 6)
+        assert not preceq_k(long_, short, k)
+
+    def test_one_pebble_cannot_tell(self):
+        # With a single pebble no edge can ever be challenged.
+        short, long_ = path_pair_structures(3, 6)
+        assert preceq_k(long_, short, 1)
+
+    def test_preceq_is_not_symmetric(self):
+        short, long_ = path_pair_structures(2, 5)
+        assert preceq_k(short, long_, 2) and not preceq_k(long_, short, 2)
+
+
+class TestExample45:
+    def test_player_one_wins_three_pebbles(self):
+        disjoint, crossed = crossed_paths_structure_pair(1)
+        assert not preceq_k(disjoint, crossed, 3)
+
+    def test_crossed_preceq_disjoint_fails_too(self):
+        # B has a degree-2 node A lacks; with 3 pebbles I exposes it.
+        disjoint, crossed = crossed_paths_structure_pair(1)
+        assert not preceq_k(crossed, disjoint, 3)
+
+
+class TestRelationProperties:
+    def test_reflexive(self):
+        s = random_digraph(4, 0.4, seed=0).to_structure()
+        assert preceq_k(s, s, 2)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=500))
+    def test_transitive(self, seed):
+        a = random_digraph(3, 0.4, seed).to_structure()
+        b = random_digraph(3, 0.4, seed + 1000).to_structure()
+        c = random_digraph(3, 0.4, seed + 2000).to_structure()
+        k = 2
+        if preceq_k(a, b, k) and preceq_k(b, c, k):
+            assert preceq_k(a, c, k)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=500))
+    def test_monotone_in_k(self, seed):
+        """More pebbles only help Player I: <=^{k+1} implies <=^k."""
+        a = random_digraph(4, 0.35, seed).to_structure()
+        b = random_digraph(4, 0.35, seed + 7777).to_structure()
+        if preceq_k(a, b, 3):
+            assert preceq_k(a, b, 2)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=500))
+    def test_embedding_implies_preceq(self, seed):
+        """Proposition 5.4's easy direction: a one-to-one homomorphism
+        gives Player II a winning strategy for every k."""
+        a = random_digraph(3, 0.3, seed).to_structure()
+        b = random_digraph(5, 0.45, seed + 123).to_structure()
+        if find_one_to_one_homomorphism(a, b) is not None:
+            assert preceq_k(a, b, 3)
+
+
+class TestWinningFamilies:
+    def test_family_properties(self):
+        """Definition 4.7: closure under subfunctions + forth property."""
+        short, long_ = path_pair_structures(3, 5)
+        k = 2
+        family = winning_family(short, long_, k)
+        assert family is not None and frozenset() in family
+        for position in family:
+            mapping = dict(position)
+            assert is_partial_one_to_one_homomorphism(mapping, short, long_)
+            # Closed under subfunctions.
+            for pair in position:
+                assert (position - {pair}) in family
+            # Forth property up to k.
+            if len(position) < k:
+                sources = {p[0] for p in position}
+                for x in short.universe:
+                    if x in sources:
+                        continue
+                    assert any(
+                        position | {(x, y)} in family
+                        for y in long_.universe
+                    )
+
+    def test_no_family_when_player_one_wins(self):
+        short, long_ = path_pair_structures(3, 6)
+        assert winning_family(long_, short, 2) is None
+
+
+class TestPlayerOneMoves:
+    def test_winning_move_extraction(self):
+        short, long_ = path_pair_structures(2, 4)
+        result = solve_existential_game(long_, short, 2)
+        assert result.winner == "I"
+        kind, payload = player_one_winning_move(
+            result, frozenset(), long_, short
+        )
+        assert kind == "place"
+        assert payload in long_.universe
+
+    def test_no_move_from_live_position(self):
+        short, long_ = path_pair_structures(2, 4)
+        result = solve_existential_game(short, long_, 2)
+        with pytest.raises(ValueError):
+            player_one_winning_move(result, frozenset(), short, long_)
+
+
+class TestConstants:
+    def test_constants_constrain_the_game(self):
+        voc = Vocabulary.graph(constants=("s",))
+        a = Structure(voc, {1, 2}, {"E": [(1, 2)]}, {"s": 1})
+        # In B the constant sits at the END of the edge: Player I wins
+        # immediately by pebbling 2 (s's successor in A has none in B).
+        b = Structure(voc, {1, 2}, {"E": [(2, 1)]}, {"s": 1})
+        assert not preceq_k(a, b, 1)
+
+    def test_incompatible_constants_lose_instantly(self):
+        voc = Vocabulary.graph(constants=("s", "t"))
+        a = Structure(voc, {1, 2}, {"E": [(1, 2)]}, {"s": 1, "t": 2})
+        b = Structure(voc, {1}, {"E": []}, {"s": 1, "t": 1})
+        # s != t in A but s = t in B: not injective even at the start.
+        result = solve_existential_game(a, b, 1)
+        assert result.winner == "I"
+
+
+class TestTupleExpansions:
+    """Definition 4.1's general form: (A, a1..am) <=^k (B, b1..bm),
+    realised by expanding both structures with constants."""
+
+    def test_pointed_paths(self):
+        short, long_ = path_pair_structures(3, 6)
+        # Pointing at the path STARTS preserves the relation...
+        a = short.with_constants({"p1": "a0"})
+        b = long_.with_constants({"p1": "b0"})
+        assert preceq_k(a, b, 2)
+        # ... pointing the short end at a deep node breaks it: the
+        # pointed node must still have two successors.
+        b_deep = long_.with_constants({"p1": "b4"})
+        assert not preceq_k(a, b_deep, 2)
+
+    def test_expansion_refines_the_plain_relation(self):
+        short, long_ = path_pair_structures(3, 6)
+        assert preceq_k(short, long_, 2)
+        # An expansion can only make Player II's life harder.
+        a = short.with_constants({"p1": "a2"})  # the path's end
+        b = long_.with_constants({"p1": "b0"})  # the path's start
+        assert not preceq_k(a, b, 2)
+
+
+class TestHomomorphismVariant:
+    """Remark 4.12: the Datalog (inequality-free) game."""
+
+    def test_collapse_is_fine_without_injectivity(self):
+        # A long path maps homomorphically onto a cycle: II wins the
+        # homomorphism game but loses the injective one (sizes differ).
+        path = path_graph(6).to_structure()
+        cycle = cycle_graph(3).to_structure()
+        assert preceq_k(path, cycle, 2, injective=False)
+        assert not preceq_k(path, cycle, 3)
+
+    def test_cycle_into_path_fails_both(self):
+        cycle = cycle_graph(3).to_structure()
+        path = path_graph(7).to_structure()
+        assert not preceq_k(cycle, path, 2, injective=False)
+
+
+class TestSolverIsExact:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=300))
+    def test_agrees_with_reference_minimax(self, seed):
+        """Cross-check the elimination solver against a direct
+        alpha-beta search of the game tree on tiny structures."""
+        a = random_digraph(3, 0.4, seed).to_structure()
+        b = random_digraph(3, 0.4, seed + 31).to_structure()
+        k = 2
+        result = solve_existential_game(a, b, k)
+
+        from functools import lru_cache
+
+        a_elems = tuple(sorted(a.universe, key=repr))
+        b_elems = tuple(sorted(b.universe, key=repr))
+
+        @lru_cache(maxsize=None)
+        def player_two_survives(position, depth):
+            if not is_partial_one_to_one_homomorphism(dict(position), a, b):
+                return False
+            if depth == 0:
+                return True  # survived the horizon
+            for pair in position:  # Player I removals
+                if not player_two_survives(position - {pair}, depth - 1):
+                    return False
+            if len(position) < k:  # Player I placements
+                sources = {p[0] for p in position}
+                for x in a_elems:
+                    if x in sources:
+                        continue
+                    if not any(
+                        player_two_survives(position | {(x, y)}, depth - 1)
+                        for y in b_elems
+                    ):
+                        return False
+            return True
+
+        # Player I's forcing lines alternate removals and placements; a
+        # horizon of two moves per elimination round is sound.
+        max_rank = max(result.ranks.values(), default=0)
+        horizon = min(2 * max_rank + 4, 26)
+        reference = player_two_survives(frozenset(), horizon)
+        assert result.player_two_wins == reference

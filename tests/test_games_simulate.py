@@ -1,0 +1,143 @@
+"""Tests for the interactive game runner and the stock strategies."""
+
+import pytest
+
+from repro.games import solve_existential_game
+from repro.games.simulate import (
+    CopyingStrategy,
+    FamilyStrategy,
+    PlaceMove,
+    RandomPlayerOne,
+    RemoveMove,
+    ScriptedPlayerOne,
+    SolverPlayerOne,
+    run_existential_game,
+)
+from repro.graphs.generators import path_pair_structures, random_digraph
+from repro.structures import find_one_to_one_homomorphism
+
+
+class TestRunner:
+    def test_scripted_walk(self):
+        short, long_ = path_pair_structures(3, 5)
+        result = solve_existential_game(short, long_, 2)
+        strategy = FamilyStrategy(result.family, long_)
+        moves = [
+            PlaceMove(0, "a0"),
+            PlaceMove(1, "a1"),
+            RemoveMove(0),
+            PlaceMove(0, "a2"),
+        ]
+        transcript = run_existential_game(
+            short, long_, 2, ScriptedPlayerOne(moves), strategy, rounds=10
+        )
+        assert transcript.player_two_survived
+        assert transcript.rounds_played == 4
+
+    def test_illegal_moves_rejected(self):
+        short, long_ = path_pair_structures(2, 3)
+        strategy = CopyingStrategy({"a0": "b0", "a1": "b1"})
+        with pytest.raises(ValueError, match="re-placed"):
+            run_existential_game(
+                short, long_, 2,
+                ScriptedPlayerOne([PlaceMove(0, "a0"), PlaceMove(0, "a1")]),
+                strategy, rounds=5,
+            )
+        with pytest.raises(ValueError, match="unplaced"):
+            run_existential_game(
+                short, long_, 2,
+                ScriptedPlayerOne([RemoveMove(0)]), strategy, rounds=5,
+            )
+
+    def test_losing_response_detected(self):
+        short, long_ = path_pair_structures(2, 3)
+        # Map both A-nodes onto the same B-node: dies on the second pebble.
+        bad = CopyingStrategy({"a0": "b0", "a1": "b0"})
+        transcript = run_existential_game(
+            short, long_, 2,
+            ScriptedPlayerOne([PlaceMove(0, "a0"), PlaceMove(1, "a1")]),
+            bad, rounds=5,
+        )
+        assert not transcript.player_two_survived
+        assert transcript.failure_round == 2
+
+
+class TestFamilyStrategy:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_never_loses_when_player_two_wins(self, seed):
+        short, long_ = path_pair_structures(3, 6)
+        result = solve_existential_game(short, long_, 2)
+        assert result.player_two_wins
+        transcript = run_existential_game(
+            short, long_, 2,
+            RandomPlayerOne(short, seed=seed),
+            FamilyStrategy(result.family, long_), rounds=120,
+        )
+        assert transcript.player_two_survived
+
+    def test_survives_on_random_structures(self):
+        for seed in range(6):
+            a = random_digraph(4, 0.35, seed).to_structure()
+            b = random_digraph(5, 0.4, seed + 999).to_structure()
+            result = solve_existential_game(a, b, 2)
+            if not result.player_two_wins:
+                continue
+            transcript = run_existential_game(
+                a, b, 2,
+                RandomPlayerOne(a, seed=seed),
+                FamilyStrategy(result.family, b), rounds=80,
+            )
+            assert transcript.player_two_survived
+
+
+class TestSolverPlayerOne:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_beats_family_fallback(self, seed):
+        """When Player I wins, the solver-driven adversary defeats the
+        best-effort family strategy within the rank bound."""
+        short, long_ = path_pair_structures(3, 6)
+        result = solve_existential_game(long_, short, 2)
+        assert result.winner == "I"
+        transcript = run_existential_game(
+            long_, short, 2,
+            SolverPlayerOne(result, long_, short),
+            FamilyStrategy(result.family, short), rounds=60,
+        )
+        assert not transcript.player_two_survived
+
+    def test_beats_copying_strategy(self):
+        # Copying along a partial embedding cannot save Player II.
+        short, long_ = path_pair_structures(3, 6)
+        result = solve_existential_game(long_, short, 2)
+        embedding = find_one_to_one_homomorphism(short, long_)
+        inverse = {v: k for k, v in embedding.items()}
+        # Extend arbitrarily so every element has an image.
+        for x in long_.universe:
+            inverse.setdefault(x, next(iter(short.universe)))
+        transcript = run_existential_game(
+            long_, short, 2,
+            SolverPlayerOne(result, long_, short),
+            CopyingStrategy(inverse), rounds=60,
+        )
+        assert not transcript.player_two_survived
+
+    def test_refuses_lost_cause(self):
+        short, long_ = path_pair_structures(3, 6)
+        result = solve_existential_game(short, long_, 2)
+        with pytest.raises(ValueError):
+            SolverPlayerOne(result, short, long_)
+
+
+class TestRandomPlayerOne:
+    def test_deterministic_given_seed(self):
+        short, long_ = path_pair_structures(3, 6)
+        result = solve_existential_game(short, long_, 2)
+
+        def play(seed):
+            return run_existential_game(
+                short, long_, 2,
+                RandomPlayerOne(short, seed=seed),
+                FamilyStrategy(result.family, long_), rounds=40,
+            ).history
+
+        assert play(5) == play(5)

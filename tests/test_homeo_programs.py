@@ -1,0 +1,116 @@
+"""Tests for the generated homeomorphism programs (Theorems 6.1 / 6.2)."""
+
+import random
+
+import pytest
+
+from repro.datalog.homeo import (
+    acyclic_game_program,
+    class_c_program,
+    two_disjoint_paths_acyclic_program,
+)
+from repro.fhw.homeomorphism import is_homeomorphic_to_distinguished_subgraph
+from repro.fhw.pattern_class import pattern_h1, pattern_h2, pattern_h3
+from repro.games.acyclic import acyclic_game_winner
+from repro.graphs import DiGraph
+from repro.graphs.generators import layered_random_dag, random_digraph
+
+
+def random_assignments(graph, pattern, count, seed):
+    rng = random.Random(seed)
+    nodes = sorted(graph.nodes)
+    pattern_nodes = sorted(pattern.nodes, key=repr)
+    for __ in range(count):
+        yield dict(zip(pattern_nodes, rng.sample(nodes, len(pattern_nodes))))
+
+
+class TestClassCProgram:
+    def test_rejects_patterns_outside_c(self):
+        with pytest.raises(ValueError, match="outside class C"):
+            class_c_program(pattern_h1())
+
+    def test_in_star_uses_reversal(self):
+        in_star = DiGraph(edges=[("u", "r"), ("v", "r")])
+        query = class_c_program(in_star)
+        g = DiGraph(edges=[("a", "r"), ("b", "r")])
+        assignment = {"r": "r", "u": "a", "v": "b"}
+        assert query.decide(g, assignment)
+        assert not query.decide(g.reverse(), assignment)
+
+    def test_matches_exact_oracle_on_random_graphs(self):
+        star = DiGraph(edges=[("r", "u"), ("r", "v")])
+        query = class_c_program(star)
+        for seed in range(3):
+            g = random_digraph(6, 0.3, seed)
+            for assignment in random_assignments(g, star, 5, seed):
+                assert query.decide(g, assignment) == (
+                    is_homeomorphic_to_distinguished_subgraph(
+                        star, g, assignment
+                    )
+                )
+
+    def test_self_loop_pattern(self):
+        loop_star = DiGraph(edges=[("r", "r"), ("r", "u")])
+        query = class_c_program(loop_star)
+        g = DiGraph(edges=[("s", "a"), ("a", "s"), ("s", "b")])
+        assert query.decide(g, {"r": "s", "u": "b"})
+        no_loop = DiGraph(edges=[("s", "a"), ("s", "b")])
+        assert not query.decide(no_loop, {"r": "s", "u": "b"})
+
+
+class TestAcyclicGameProgram:
+    @pytest.mark.parametrize(
+        "pattern", [pattern_h1(), pattern_h2(), pattern_h3()]
+    )
+    def test_matches_game_solver_on_dags(self, pattern):
+        query = acyclic_game_program(pattern)
+        for seed in range(2):
+            g = layered_random_dag(4, 3, 0.45, seed)
+            for assignment in random_assignments(g, pattern, 4, seed + 50):
+                game = acyclic_game_winner(g, pattern, assignment) == "II"
+                assert query.decide(g, assignment) == game
+
+    def test_matches_exact_oracle_on_dags(self):
+        pattern = pattern_h1()
+        query = acyclic_game_program(pattern)
+        for seed in range(3):
+            g = layered_random_dag(4, 3, 0.5, seed)
+            for assignment in random_assignments(g, pattern, 4, seed):
+                assert query.decide(g, assignment) == (
+                    is_homeomorphic_to_distinguished_subgraph(
+                        pattern, g, assignment
+                    )
+                )
+
+    def test_bottleneck_instance(self):
+        query = two_disjoint_paths_acyclic_program()
+        bottleneck = DiGraph(edges=[
+            ("s1", "v"), ("v", "t1"), ("s2", "v"), ("v", "t2"),
+        ])
+        assignment = dict(
+            zip(sorted(query.pattern.nodes), ["s1", "t1", "s2", "t2"])
+        )
+        assert not query.decide(bottleneck, assignment)
+
+    def test_parallel_instance(self):
+        query = two_disjoint_paths_acyclic_program()
+        parallel = DiGraph(edges=[
+            ("s1", "a"), ("a", "t1"), ("s2", "b"), ("b", "t2"),
+        ])
+        assignment = dict(
+            zip(sorted(query.pattern.nodes), ["s1", "t1", "s2", "t2"])
+        )
+        assert query.decide(parallel, assignment)
+
+    def test_program_shape(self):
+        query = acyclic_game_program(pattern_h1())
+        program = query.program
+        assert program.goal == "Answer"
+        # One W per pebble subset, two challenge rules per (subset, pebble).
+        assert "W0" in program.idb_predicates
+        assert "W3" in program.idb_predicates
+        assert program.is_pure_datalog() is False
+
+    def test_edgeless_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            acyclic_game_program(DiGraph(nodes=["x"]))

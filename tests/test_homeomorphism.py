@@ -1,0 +1,120 @@
+"""Tests for the homeomorphic-embedding checkers."""
+
+import random
+
+import pytest
+
+from repro.fhw.homeomorphism import (
+    homeomorphic_via_flow,
+    homeomorphism_embedding,
+    is_homeomorphic_to_distinguished_subgraph,
+)
+from repro.fhw.pattern_class import pattern_h1
+from repro.graphs import DiGraph
+from repro.graphs.generators import random_digraph
+
+
+class TestExactChecker:
+    def test_identity_embedding(self):
+        pattern = pattern_h1()
+        mapping = {v: v for v in pattern.nodes}
+        paths = homeomorphism_embedding(pattern, pattern, mapping)
+        assert paths is not None
+        assert all(len(path) == 2 for path in paths)
+
+    def test_subdivided_edges(self):
+        pattern = DiGraph(edges=[("u", "v")])
+        graph = DiGraph(edges=[("a", "m"), ("m", "b")])
+        assert is_homeomorphic_to_distinguished_subgraph(
+            pattern, graph, {"u": "a", "v": "b"}
+        )
+
+    def test_paths_must_be_node_disjoint(self):
+        pattern = pattern_h1()
+        graph = DiGraph(edges=[
+            ("s1", "v"), ("v", "t1"), ("s2", "v"), ("v", "t2"),
+        ])
+        mapping = {"s1": "s1", "s2": "t1", "s3": "s2", "s4": "t2"}
+        assert not is_homeomorphic_to_distinguished_subgraph(
+            pattern, graph, mapping
+        )
+
+    def test_distinguished_nodes_block_interiors(self):
+        # The only u -> v route passes through the node assigned to w.
+        pattern = DiGraph(edges=[("u", "v"), ("w", "v")])
+        graph = DiGraph(edges=[("a", "c"), ("c", "b"), ("c", "b2")])
+        # u -> v must go a -> c -> b, but c interprets w: forbidden.
+        assert not is_homeomorphic_to_distinguished_subgraph(
+            pattern, graph, {"u": "a", "v": "b", "w": "c"}
+        )
+
+    def test_self_loop_needs_cycle(self):
+        pattern = DiGraph(edges=[("r", "r")])
+        with_cycle = DiGraph(edges=[("s", "x"), ("x", "s")])
+        without = DiGraph(edges=[("s", "x"), ("x", "y")])
+        assert is_homeomorphic_to_distinguished_subgraph(
+            pattern, with_cycle, {"r": "s"}
+        )
+        assert not is_homeomorphic_to_distinguished_subgraph(
+            pattern, without, {"r": "s"}
+        )
+
+    def test_assignment_validation(self):
+        pattern = pattern_h1()
+        graph = DiGraph(edges=[("a", "b")])
+        with pytest.raises(ValueError, match="misses"):
+            is_homeomorphic_to_distinguished_subgraph(pattern, graph, {})
+        with pytest.raises(ValueError, match="injective"):
+            is_homeomorphic_to_distinguished_subgraph(
+                pattern, graph,
+                {"s1": "a", "s2": "a", "s3": "b", "s4": "b"},
+            )
+
+
+class TestFlowChecker:
+    def test_rejects_patterns_outside_c(self):
+        graph = DiGraph(edges=[("a", "b"), ("c", "d")])
+        with pytest.raises(ValueError, match="class C"):
+            homeomorphic_via_flow(
+                pattern_h1(), graph,
+                {"s1": "a", "s2": "b", "s3": "c", "s4": "d"},
+            )
+
+    @pytest.mark.parametrize("orientation", ["out", "in"])
+    def test_matches_exact_on_random_graphs(self, orientation):
+        if orientation == "out":
+            pattern = DiGraph(edges=[("r", "u"), ("r", "v")])
+        else:
+            pattern = DiGraph(edges=[("u", "r"), ("v", "r")])
+        rng = random.Random(42)
+        for seed in range(4):
+            graph = random_digraph(7, 0.25, seed)
+            nodes = sorted(graph.nodes)
+            for __ in range(6):
+                picks = rng.sample(nodes, 3)
+                assignment = dict(zip(("r", "u", "v"), picks))
+                assert homeomorphic_via_flow(
+                    pattern, graph, assignment
+                ) == is_homeomorphic_to_distinguished_subgraph(
+                    pattern, graph, assignment
+                )
+
+    def test_self_loop_cases_match_exact(self):
+        pattern = DiGraph(edges=[("r", "r"), ("r", "u")])
+        rng = random.Random(7)
+        for seed in range(4):
+            graph = random_digraph(6, 0.3, seed, loops=True)
+            nodes = sorted(graph.nodes)
+            for __ in range(6):
+                r, u = rng.sample(nodes, 2)
+                assignment = {"r": r, "u": u}
+                assert homeomorphic_via_flow(
+                    pattern, graph, assignment
+                ) == is_homeomorphic_to_distinguished_subgraph(
+                    pattern, graph, assignment
+                )
+
+    def test_pure_loop_uses_long_cycles(self):
+        pattern = DiGraph(edges=[("r", "r")])
+        cycle = DiGraph(edges=[("s", "x"), ("x", "y"), ("y", "s")])
+        assert homeomorphic_via_flow(pattern, cycle, {"r": "s"})

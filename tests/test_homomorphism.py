@@ -1,0 +1,131 @@
+"""Unit and property tests for homomorphisms (Definition 4.6)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.structures import (
+    Structure,
+    Vocabulary,
+    are_isomorphic,
+    extend_partial_map,
+    find_homomorphisms,
+    find_one_to_one_homomorphism,
+    find_one_to_one_homomorphisms,
+    is_homomorphism,
+    is_one_to_one_homomorphism,
+    is_partial_homomorphism,
+    is_partial_one_to_one_homomorphism,
+)
+from repro.graphs.generators import path_graph, cycle_graph
+
+
+def path_structure(n):
+    return path_graph(n).to_structure()
+
+
+def cycle_structure(n):
+    return cycle_graph(n).to_structure()
+
+
+class TestPartialMaps:
+    def test_empty_map_is_partial_hom(self):
+        a, b = path_structure(2), path_structure(3)
+        assert is_partial_homomorphism({}, a, b)
+        assert is_partial_one_to_one_homomorphism({}, a, b)
+
+    def test_edge_preservation(self):
+        a, b = path_structure(3), path_structure(3)
+        good = {"v0": "v0", "v1": "v1"}
+        bad = {"v0": "v1", "v1": "v0"}  # reverses the edge
+        assert is_partial_one_to_one_homomorphism(good, a, b)
+        assert not is_partial_homomorphism(bad, a, b)
+
+    def test_injectivity_checked(self):
+        a, b = path_structure(3), path_structure(5)
+        collapse = {"v0": "v0", "v2": "v0"}  # no edge constraint violated
+        assert is_partial_homomorphism(collapse, a, b)
+        assert not is_partial_one_to_one_homomorphism(collapse, a, b)
+
+    def test_constants_implicitly_included(self):
+        voc = Vocabulary.graph(constants=("s",))
+        a = Structure(voc, {1, 2}, {"E": [(1, 2)]}, {"s": 1})
+        b = Structure(voc, {10, 20}, {"E": [(10, 20)]}, {"s": 10})
+        # Mapping 2 -> 10 collides with the constant pair (1 -> 10).
+        assert not is_partial_one_to_one_homomorphism({2: 10}, a, b)
+        assert is_partial_one_to_one_homomorphism({2: 20}, a, b)
+
+    def test_constant_mismatch_rejected(self):
+        voc = Vocabulary.graph(constants=("s",))
+        a = Structure(voc, {1, 2}, {}, {"s": 1})
+        b = Structure(voc, {10, 20}, {}, {"s": 10})
+        assert not is_partial_homomorphism({1: 20}, a, b)
+
+    def test_extend_partial_map(self):
+        a, b = path_structure(3), path_structure(4)
+        base = {"v0": "v0"}
+        extended = extend_partial_map(base, "v1", "v1", a, b)
+        assert extended == {"v0": "v0", "v1": "v1"}
+        assert extend_partial_map(base, "v1", "v3", a, b) is None
+
+    def test_vocabulary_mismatch_raises(self):
+        a = path_structure(2)
+        voc = Vocabulary({"R": 1})
+        b = Structure(voc, {1}, {"R": [(1,)]})
+        with pytest.raises(ValueError):
+            is_partial_homomorphism({}, a, b)
+
+
+class TestTotalMaps:
+    def test_path_embeds_in_longer_path(self):
+        a, b = path_structure(3), path_structure(5)
+        h = find_one_to_one_homomorphism(a, b)
+        assert h is not None
+        assert is_one_to_one_homomorphism(h, a, b)
+
+    def test_longer_path_does_not_embed(self):
+        a, b = path_structure(5), path_structure(3)
+        assert find_one_to_one_homomorphism(a, b) is None
+
+    def test_path_maps_into_cycle(self):
+        # Non-injectively a long path wraps around a short cycle.
+        a, b = path_structure(5), cycle_structure(3)
+        assert any(True for _ in find_homomorphisms(a, b))
+
+    def test_cycle_does_not_map_into_path(self):
+        a, b = cycle_structure(3), path_structure(6)
+        assert not any(True for _ in find_homomorphisms(a, b))
+
+    def test_injective_count_on_paths(self):
+        # The 2-node path embeds into the 4-node path once per edge.
+        a, b = path_structure(2), path_structure(4)
+        assert len(list(find_one_to_one_homomorphisms(a, b))) == 3
+
+
+class TestIsomorphism:
+    def test_paths_isomorphic(self):
+        a = path_structure(4)
+        b = path_graph(4, prefix="w").to_structure()
+        assert are_isomorphic(a, b)
+
+    def test_path_not_isomorphic_to_cycle(self):
+        assert not are_isomorphic(path_structure(3), cycle_structure(3))
+
+    def test_size_mismatch(self):
+        assert not are_isomorphic(path_structure(3), path_structure(4))
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=2, max_value=5), st.integers(min_value=2, max_value=5))
+def test_shorter_paths_always_embed(m, n):
+    """Property: an m-path embeds injectively into an n-path iff m <= n."""
+    a, b = path_structure(m), path_structure(n)
+    found = find_one_to_one_homomorphism(a, b) is not None
+    assert found == (m <= n)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=2, max_value=5))
+def test_identity_is_automorphism(n):
+    s = path_structure(n)
+    identity = {x: x for x in s.universe}
+    assert is_one_to_one_homomorphism(identity, s, s)

@@ -1,0 +1,136 @@
+"""Cross-module integration tests: the paper's pipeline end to end."""
+
+import pytest
+
+from repro.cnf import CnfFormula, complete_formula, is_satisfiable
+from repro.core import classify_query, theorem_66_certificate
+from repro.datalog import evaluate
+from repro.datalog.homeo import acyclic_game_program, class_c_program
+from repro.fhw import sat_to_disjoint_paths
+from repro.fhw.homeomorphism import is_homeomorphic_to_distinguished_subgraph
+from repro.games import preceq_k, solve_existential_game
+from repro.games.formula_game import solve_formula_game
+from repro.graphs import DiGraph
+from repro.graphs.generators import layered_random_dag
+from repro.logic import translate_program
+from repro.logic.evaluation import satisfying_tuples
+from repro.patterns import HomeomorphismQuery, decide_via_embedding
+
+
+class TestPositivePipeline:
+    """Theorem 6.1 route: pattern in C -> program -> same answers as
+    the oracle -> program also definable in L^{l+r} (Theorem 3.6)."""
+
+    def test_star_pattern_end_to_end(self):
+        star = DiGraph(edges=[("r", "u"), ("r", "v")])
+        row = classify_query(star)
+        assert row.in_class_c
+
+        query = row.general_program()
+        g = DiGraph(edges=[
+            ("s", "a"), ("a", "x"), ("s", "b"), ("b", "y"),
+        ])
+        assignment = {"r": "s", "u": "x", "v": "y"}
+        assert query.decide(g, assignment)
+        assert is_homeomorphic_to_distinguished_subgraph(star, g, assignment)
+
+        # The very same program's stage semantics translates to L^{l+r}.
+        translation = translate_program(query.program)
+        structure = g.to_structure()
+        from repro.datalog import stages
+
+        engine = stages(query.program, structure)
+        goal = query.program.goal
+        formula = translation.stage_formula(goal, 2)
+        assert satisfying_tuples(
+            formula, structure, translation.head_variables(goal)
+        ) == engine[1][goal]
+
+
+class TestAcyclicPipeline:
+    """Theorem 6.2 route: game <-> Datalog program <-> embedding on DAGs,
+    for a pattern OUTSIDE class C."""
+
+    def test_h1_on_a_dag(self):
+        from repro.fhw.pattern_class import pattern_h1
+
+        pattern = pattern_h1()
+        assert not classify_query(pattern).in_class_c
+
+        query = acyclic_game_program(pattern)
+        dag = layered_random_dag(4, 3, 0.5, seed=11)
+        nodes = sorted(dag.nodes)
+        assignment = dict(zip(sorted(pattern.nodes), nodes[:4]))
+        expected = is_homeomorphic_to_distinguished_subgraph(
+            pattern, dag, assignment
+        )
+        assert query.decide(dag, assignment) == expected
+
+
+class TestNegativePipeline:
+    """Theorem 6.6 route: unsat formula -> reduction graph -> formula
+    game -> certificate."""
+
+    def test_k1_chain(self):
+        k = 1
+        phi = complete_formula(k)
+        assert not is_satisfiable(phi)
+        assert solve_formula_game(phi, k).player_two_wins
+        assert not solve_formula_game(phi, k + 1).player_two_wins
+
+        cert = theorem_66_certificate(k)
+        instance = sat_to_disjoint_paths(phi)
+        assert len(cert.b) == len(instance.graph)
+
+        # The pattern-based view agrees on the two sides.
+        query = HomeomorphismQuery(
+            DiGraph(edges=[("s1", "s2"), ("s3", "s4")])
+        )
+        d = cert.a_graph.distinguished
+        a_instance = query.instance(
+            cert.a_graph.without_distinguished(),
+            {"s1": d["s1"], "s2": d["s2"], "s3": d["s3"], "s4": d["s4"]},
+        )
+        assert query.holds_exact(a_instance)
+
+
+class TestGameLogicAgreement:
+    """preceq_k (game) versus direct L^k formula transfer on tiny
+    structures: if A <=^k B then every checked L^k sentence true in A
+    holds in B."""
+
+    def test_sentence_transfer(self):
+        from repro.datalog.ast import Variable
+        from repro.logic import AtomF, And, Eq, Exists, Neq, evaluate_formula
+        from repro.graphs.generators import path_pair_structures
+
+        x, y = Variable("x"), Variable("y")
+        sentences = [
+            Exists(x, Exists(y, AtomF("E", (x, y)))),
+            Exists(x, Exists(y, And([AtomF("E", (x, y)), Neq(x, y)]))),
+            Exists(x, Exists(y, And([
+                AtomF("E", (x, y)),
+                Exists(x, And([Eq(x, y), Exists(y, AtomF("E", (x, y)))])),
+            ]))),
+            Exists(x, AtomF("E", (x, x))),
+        ]
+        short, long_ = path_pair_structures(3, 6)
+        assert preceq_k(short, long_, 2)
+        for sentence in sentences:
+            if evaluate_formula(sentence, short):
+                assert evaluate_formula(sentence, long_)
+
+    def test_failure_is_witnessed_by_some_sentence(self):
+        """When A !<=^2 B, Example 3.4-style walk formulas separate."""
+        from repro.datalog.ast import Variable
+        from repro.logic import evaluate_formula, path_formula
+        from repro.graphs.generators import path_pair_structures
+
+        short, long_ = path_pair_structures(3, 6)
+        assert not preceq_k(long_, short, 2)
+        x, y = Variable("x"), Variable("y")
+        from repro.logic import Exists
+
+        walk5 = Exists(x, Exists(y, path_formula(5)))
+        assert evaluate_formula(walk5, long_)
+        assert not evaluate_formula(walk5, short)

@@ -1,0 +1,121 @@
+"""Tests for the file formats (graphs, DIMACS CNF, program files)."""
+
+import pytest
+
+from repro.cnf import CnfFormula, Literal, complete_formula
+from repro.datalog.library import avoiding_path_program
+from repro.graphs import DiGraph
+from repro.io import (
+    dump_cnf,
+    dump_digraph,
+    dump_program,
+    loads_cnf,
+    loads_digraph,
+    loads_program,
+)
+from repro.io.cnf_format import DimacsError
+from repro.io.graph_format import GraphFormatError
+from repro.io.program_format import ProgramFormatError
+
+
+class TestGraphFormat:
+    def test_roundtrip(self):
+        g = DiGraph(
+            nodes=["lonely"],
+            edges=[("a", "b"), ("b", "c")],
+            distinguished={"s": "a", "t": "c"},
+        )
+        assert loads_digraph(dump_digraph(g)) == g
+
+    def test_comments_and_blanks(self):
+        g = loads_digraph("""
+            # a tiny graph
+            edge a b   # inline comment
+            node x
+
+            s1 = a
+        """)
+        assert g.has_edge("a", "b")
+        assert "x" in g
+        assert g.distinguished == {"s1": "a"}
+
+    def test_malformed_line(self):
+        with pytest.raises(GraphFormatError, match="line 1"):
+            loads_digraph("edge a")
+
+    def test_undeclared_distinguished(self):
+        with pytest.raises(GraphFormatError, match="never declared"):
+            loads_digraph("edge a b\ns = zz")
+
+    def test_malformed_assignment(self):
+        with pytest.raises(GraphFormatError):
+            loads_digraph("s =")
+
+    def test_unserialisable_name(self):
+        g = DiGraph(edges=[("a b", "c")])
+        with pytest.raises(GraphFormatError):
+            dump_digraph(g)
+
+
+class TestDimacs:
+    def test_roundtrip(self):
+        phi = complete_formula(2)
+        assert loads_cnf(dump_cnf(phi)) == phi
+
+    def test_parse_with_comments(self):
+        phi = loads_cnf("""
+            c a comment
+            p cnf 2 2
+            1 -2 0
+            2 0
+        """)
+        assert len(phi.clauses) == 2
+        assert Literal("x2", False) in phi.clauses[0].literals
+
+    def test_duplicate_occurrences_preserved(self):
+        phi = loads_cnf("p cnf 1 1\n1 1 0")
+        assert phi.occurrence_count(Literal("x1")) == 2
+
+    def test_missing_final_zero_tolerated(self):
+        phi = loads_cnf("1 -1")
+        assert len(phi.clauses) == 1
+
+    def test_clause_count_mismatch(self):
+        with pytest.raises(DimacsError, match="declares"):
+            loads_cnf("p cnf 1 3\n1 0")
+
+    def test_bad_token(self):
+        with pytest.raises(DimacsError, match="non-integer"):
+            loads_cnf("1 x 0")
+
+    def test_empty(self):
+        with pytest.raises(DimacsError, match="no clauses"):
+            loads_cnf("c nothing here")
+
+
+class TestProgramFormat:
+    def test_roundtrip(self):
+        program = avoiding_path_program()
+        assert loads_program(dump_program(program)) == program
+
+    def test_goal_directive(self):
+        program = loads_program("""
+            % goal: S
+            S(x, y) :- E(x, y).
+        """)
+        assert program.goal == "S"
+
+    def test_explicit_goal_overrides(self):
+        program = loads_program(
+            "% goal: S\nS(x, y) :- E(x, y).\nR(x) :- E(x, x).",
+            goal="R",
+        )
+        assert program.goal == "R"
+
+    def test_missing_goal(self):
+        with pytest.raises(ProgramFormatError, match="goal"):
+            loads_program("S(x, y) :- E(x, y).")
+
+    def test_duplicate_goal(self):
+        with pytest.raises(ProgramFormatError, match="multiple"):
+            loads_program("% goal: S\n% goal: T\nS(x) :- E(x, x).")

@@ -1,0 +1,191 @@
+"""Tests for the L^k formula AST, evaluation, width, and the Section 3
+examples."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datalog.ast import Variable
+from repro.logic import (
+    And,
+    AtomF,
+    Eq,
+    Exists,
+    Neq,
+    Or,
+    cardinality_at_least,
+    cardinality_exactly,
+    cardinality_in,
+    evaluate_formula,
+    falsum,
+    free_variables,
+    is_existential_positive,
+    path_formula,
+    path_length_in,
+    transitive_closure_family,
+    variable_width,
+    verum,
+)
+from repro.logic.formulas import Not
+from repro.logic.width import uses_inequality
+from repro.structures import Structure, Vocabulary
+from repro.graphs.generators import cycle_graph, path_graph, random_digraph
+
+X, Y = Variable("x"), Variable("y")
+
+
+def total_order(n):
+    voc = Vocabulary({"<": 2})
+    universe = range(n)
+    tuples = [(i, j) for i in range(n) for j in range(n) if i < j]
+    return Structure(voc, universe, {"<": tuples})
+
+
+class TestEvaluation:
+    def test_atoms_and_quantifiers(self):
+        s = path_graph(3).to_structure()
+        formula = Exists(X, Exists(Y, AtomF("E", (X, Y))))
+        assert evaluate_formula(formula, s)
+
+    def test_truth_constants(self):
+        s = path_graph(2).to_structure()
+        assert evaluate_formula(verum(), s)
+        assert not evaluate_formula(falsum(), s)
+
+    def test_equality_and_inequality(self):
+        s = path_graph(2).to_structure()
+        assert evaluate_formula(Eq(X, X), s, {X: "v0"})
+        assert evaluate_formula(Neq(X, Y), s, {X: "v0", Y: "v1"})
+        assert not evaluate_formula(Neq(X, Y), s, {X: "v0", Y: "v0"})
+
+    def test_negation(self):
+        s = path_graph(2).to_structure()
+        assert evaluate_formula(
+            Not(AtomF("E", (X, Y))), s, {X: "v1", Y: "v0"}
+        )
+
+    def test_shadowing_requantification(self):
+        # (exists x)(E(x,y) & (exists y) E(y, y)) -- inner y shadows.
+        s = path_graph(2).to_structure()
+        inner = Exists(Y, Eq(Y, Y))
+        formula = Exists(X, And([AtomF("E", (X, Y)), inner]))
+        assert evaluate_formula(formula, s, {Y: "v1"})
+
+    def test_unassigned_free_variable_raises(self):
+        s = path_graph(2).to_structure()
+        with pytest.raises(ValueError, match="free variable"):
+            evaluate_formula(AtomF("E", (X, Y)), s, {X: "v0"})
+
+
+class TestWidth:
+    def test_variable_width(self):
+        formula = Exists(X, Exists(Y, AtomF("E", (X, Y))))
+        assert variable_width(formula) == 2
+
+    def test_free_variables(self):
+        formula = Exists(X, AtomF("E", (X, Y)))
+        assert free_variables(formula) == {Y}
+
+    def test_is_existential_positive(self):
+        assert is_existential_positive(Exists(X, AtomF("E", (X, X))))
+        assert not is_existential_positive(Not(AtomF("E", (X, X))))
+
+    def test_uses_inequality(self):
+        assert uses_inequality(Neq(X, Y))
+        assert not uses_inequality(Eq(X, Y))
+
+
+class TestExample33:
+    """Cardinalities of total orders in two variables."""
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 5])
+    def test_tau_n(self, n):
+        for size in range(1, 7):
+            s = total_order(size)
+            assert evaluate_formula(cardinality_at_least(n), s) == (size >= n)
+
+    def test_tau_uses_two_variables(self):
+        assert variable_width(cardinality_at_least(5)) == 2
+
+    def test_rho_n(self):
+        for size in range(1, 6):
+            s = total_order(size)
+            for n in range(1, 6):
+                assert evaluate_formula(cardinality_exactly(n), s) == (
+                    size == n
+                )
+
+    def test_cardinality_in_set(self):
+        evens = cardinality_in(lambda n: n % 2 == 0)
+        for size in range(1, 7):
+            assert evaluate_formula(
+                evens.expand(total_order(size)), total_order(size)
+            ) == (size % 2 == 0)
+
+    def test_cardinality_in_collection(self):
+        member = cardinality_in({2, 5})
+        assert evaluate_formula(member.expand(total_order(5)), total_order(5))
+        assert not evaluate_formula(
+            member.expand(total_order(4)), total_order(4)
+        )
+
+
+class TestExample34:
+    """Walks of length n in three variables."""
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    def test_path_formula_on_path_graph(self, n):
+        s = path_graph(5).to_structure()
+        formula = path_formula(n)
+        assert evaluate_formula(
+            formula, s, {X: "v0", Y: f"v{n}"}
+        )
+        assert not evaluate_formula(formula, s, {X: "v0", Y: "v0"})
+
+    def test_three_variables_suffice(self):
+        assert variable_width(path_formula(7)) == 3
+
+    def test_walks_not_simple_paths(self):
+        # On a 3-cycle there is a walk of length 4 from v0 to v1.
+        s = cycle_graph(3).to_structure()
+        assert evaluate_formula(path_formula(4), s, {X: "v0", Y: "v1"})
+
+    def test_transitive_closure_family(self):
+        family = transitive_closure_family()
+        s = path_graph(4).to_structure()
+        expanded = family.expand(s)
+        assert evaluate_formula(expanded, s, {X: "v0", Y: "v3"})
+        assert not evaluate_formula(expanded, s, {X: "v3", Y: "v0"})
+
+    def test_even_walk_family(self):
+        even = path_length_in(lambda n: n % 2 == 0)
+        s = path_graph(5).to_structure()
+        expanded = even.expand(s)
+        assert evaluate_formula(expanded, s, {X: "v0", Y: "v2"})
+        assert not evaluate_formula(expanded, s, {X: "v0", Y: "v1"})
+
+    def test_family_against_walk_ground_truth(self):
+        """The infinitary membership formula vs. matrix-power walks."""
+        even = path_length_in(lambda n: n % 2 == 0)
+        for seed in range(3):
+            g = random_digraph(5, 0.3, seed)
+            s = g.to_structure()
+            bound = 2 * len(s) * len(s) + len(s) + 1
+            # Ground truth: walk lengths by dynamic programming.
+            reach = {0: {(v, v) for v in g.nodes}}
+            for n in range(1, bound + 1):
+                reach[n] = {
+                    (u, w)
+                    for (u, v) in reach[n - 1]
+                    for w in g.successors(v)
+                }
+            expanded = even.expand(s)
+            for u in g.nodes:
+                for v in g.nodes:
+                    expected = any(
+                        (u, v) in reach[n]
+                        for n in range(1, bound + 1)
+                        if n % 2 == 0
+                    )
+                    assert evaluate_formula(
+                        expanded, s, {X: u, Y: v}
+                    ) == expected

@@ -1,0 +1,140 @@
+"""Unit and property tests for path utilities."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import (
+    DiGraph,
+    all_simple_paths,
+    avoiding_path_exists,
+    has_path,
+    node_disjoint_simple_paths,
+    reachable_from,
+    shortest_path,
+    simple_path_lengths,
+)
+from repro.graphs.generators import cycle_graph, path_graph, random_digraph
+from repro.graphs.paths import all_simple_cycles_through
+
+
+@pytest.fixture
+def braid():
+    # Two parallel routes a->d plus a chord.
+    return DiGraph(edges=[
+        ("a", "b"), ("b", "d"), ("a", "c"), ("c", "d"), ("b", "c"),
+    ])
+
+
+class TestReachability:
+    def test_reachable_from(self, braid):
+        assert reachable_from(braid, "a") == {"a", "b", "c", "d"}
+        assert reachable_from(braid, "d") == {"d"}
+
+    def test_has_path_reflexive(self, braid):
+        assert has_path(braid, "a", "a")
+
+    def test_shortest_path(self, braid):
+        assert shortest_path(braid, "a", "d") in (("a", "b", "d"), ("a", "c", "d"))
+        assert shortest_path(braid, "d", "a") is None
+
+    def test_unknown_node_raises(self, braid):
+        with pytest.raises(ValueError):
+            reachable_from(braid, "zz")
+
+
+class TestSimplePaths:
+    def test_enumeration(self, braid):
+        paths = set(all_simple_paths(braid, "a", "d"))
+        assert paths == {
+            ("a", "b", "d"),
+            ("a", "c", "d"),
+            ("a", "b", "c", "d"),
+        }
+
+    def test_max_length(self, braid):
+        paths = set(all_simple_paths(braid, "a", "d", max_length=2))
+        assert paths == {("a", "b", "d"), ("a", "c", "d")}
+
+    def test_avoid(self, braid):
+        paths = set(all_simple_paths(braid, "a", "d", avoid={"b"}))
+        assert paths == {("a", "c", "d")}
+
+    def test_lengths(self, braid):
+        assert simple_path_lengths(braid, "a", "d") == {2, 3}
+
+    def test_trivial_path(self, braid):
+        assert list(all_simple_paths(braid, "a", "a")) == [("a",)]
+
+    def test_cycles_through(self):
+        g = cycle_graph(4)
+        cycles = list(all_simple_cycles_through(g, "v0"))
+        assert cycles == [("v0", "v1", "v2", "v3", "v0")]
+
+    def test_self_loop_cycle(self):
+        g = DiGraph(edges=[("r", "r")])
+        assert list(all_simple_cycles_through(g, "r")) == [("r", "r")]
+
+
+class TestAvoidingPaths:
+    def test_ground_truth_of_example_2_1(self):
+        g = path_graph(4)
+        assert avoiding_path_exists(g, "v0", "v2", {"v3"})
+        assert not avoiding_path_exists(g, "v0", "v2", {"v1"})
+
+    def test_endpoints_may_not_be_avoided(self, braid):
+        assert not avoiding_path_exists(braid, "a", "d", {"a"})
+        assert not avoiding_path_exists(braid, "a", "d", {"d"})
+
+    def test_requires_at_least_one_edge(self):
+        g = path_graph(2)
+        assert not avoiding_path_exists(g, "v0", "v0", ())
+
+
+class TestNodeDisjointPaths:
+    def test_braid_has_two_disjoint_routes(self, braid):
+        result = node_disjoint_simple_paths(braid, [("a", "d"), ("a", "d")])
+        assert result is not None
+        first, second = result
+        assert set(first) & set(second) == {"a", "d"}  # endpoints shared
+
+    def test_bottleneck_blocks(self):
+        g = DiGraph(edges=[
+            ("s1", "v"), ("v", "t1"), ("s2", "v"), ("v", "t2"),
+        ])
+        assert node_disjoint_simple_paths(g, [("s1", "t1"), ("s2", "t2")]) is None
+
+    def test_interiors_avoid_other_endpoints(self):
+        # The only s1 -> t1 route passes through s2: not allowed.
+        g = DiGraph(edges=[("s1", "s2"), ("s2", "t1"), ("s2", "t2")])
+        assert node_disjoint_simple_paths(g, [("s1", "t1"), ("s2", "t2")]) is None
+
+    def test_self_loop_pair_uses_cycle(self):
+        g = cycle_graph(3).add_edges([("v0", "x"), ("x", "v0")])
+        result = node_disjoint_simple_paths(g, [("v0", "v0")])
+        assert result is not None
+
+    def test_avoid_set(self, braid):
+        assert node_disjoint_simple_paths(
+            braid, [("a", "d")], avoid={"b", "c"}
+        ) is None
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_disjoint_pairs_on_random_graphs_share_only_endpoints(seed):
+    """Property: any returned realisation is made of simple, edge-valid
+    paths whose pairwise intersections are endpoint nodes only."""
+    g = random_digraph(7, 0.3, seed)
+    nodes = sorted(g.nodes)
+    pairs = [(nodes[0], nodes[1]), (nodes[2], nodes[3])]
+    result = node_disjoint_simple_paths(g, pairs)
+    if result is None:
+        return
+    for path, (source, target) in zip(result, pairs):
+        assert path[0] == source and path[-1] == target
+        assert len(set(path)) == len(path)
+        assert all(g.has_edge(u, v) for u, v in zip(path, path[1:]))
+    first, second = result
+    shared = set(first) & set(second)
+    endpoints = {first[0], first[-1], second[0], second[-1]}
+    assert shared <= endpoints

@@ -1,0 +1,105 @@
+"""Tests for class C and its H1/H2/H3 characterisation (Section 6)."""
+
+import itertools
+
+import pytest
+
+from repro.fhw.pattern_class import (
+    H1,
+    H2,
+    H3,
+    classify_pattern,
+    complement_witness,
+    is_in_class_c,
+    pattern_h1,
+    pattern_h2,
+    pattern_h3,
+)
+from repro.graphs import DiGraph
+
+
+class TestMembership:
+    def test_out_star(self):
+        star = DiGraph(edges=[("r", "a"), ("r", "b"), ("r", "c")])
+        membership = classify_pattern(star)
+        assert membership.in_class_c
+        assert membership.root == "r"
+        assert membership.orientation == "out"
+        assert not membership.has_self_loop
+
+    def test_in_star(self):
+        star = DiGraph(edges=[("a", "r"), ("b", "r")])
+        membership = classify_pattern(star)
+        assert membership.in_class_c
+        assert membership.orientation == "in"
+
+    def test_single_edge_is_in_c(self):
+        assert is_in_class_c(DiGraph(edges=[("u", "v")]))
+
+    def test_pure_self_loop(self):
+        membership = classify_pattern(DiGraph(edges=[("r", "r")]))
+        assert membership.in_class_c
+        assert membership.orientation == "both"
+        assert membership.has_self_loop
+
+    def test_loop_plus_star(self):
+        pattern = DiGraph(edges=[("r", "r"), ("r", "a")])
+        membership = classify_pattern(pattern)
+        assert membership.in_class_c
+        assert membership.has_self_loop
+
+    def test_in_out_node_not_in_c(self):
+        # u -> r -> v: r is neither head nor tail of every edge.
+        assert not is_in_class_c(DiGraph(edges=[("u", "r"), ("r", "v")]))
+
+    def test_isolated_nodes_ignored(self):
+        pattern = DiGraph(nodes=["lonely"], edges=[("r", "a")])
+        assert is_in_class_c(pattern)
+
+
+class TestObstructions:
+    def test_the_three_minimal_patterns(self):
+        assert complement_witness(pattern_h1())[0] == H1
+        assert complement_witness(pattern_h2())[0] == H2
+        assert complement_witness(pattern_h3())[0] == H3
+
+    def test_class_c_patterns_have_no_witness(self):
+        star = DiGraph(edges=[("r", "a"), ("r", "b")])
+        assert complement_witness(star) is None
+
+    def test_witness_nodes_form_the_obstruction(self):
+        witness = complement_witness(pattern_h2())
+        kind, nodes = witness
+        assert kind == H2
+        u, v, w = nodes
+        assert len({u, v, w}) == 3
+
+    def test_classification_reports_obstruction(self):
+        membership = classify_pattern(pattern_h1())
+        assert not membership.in_class_c
+        assert membership.obstruction[0] == H1
+
+
+def all_small_patterns(max_nodes, max_edges):
+    """Every digraph (up to labelling) on at most max_nodes nodes with
+    1..max_edges edges and no isolated nodes."""
+    nodes = list(range(max_nodes))
+    possible = [(u, v) for u in nodes for v in nodes]
+    for count in range(1, max_edges + 1):
+        for edges in itertools.combinations(possible, count):
+            yield DiGraph(edges=edges).without_isolated_nodes()
+
+
+def test_characterisation_exhaustively():
+    """Section 6.2's claim, machine-checked: a pattern (no isolated
+    nodes) is outside C iff it contains H1, H2, or H3 -- exhaustively
+    over all patterns with up to 4 nodes and 3 edges."""
+    for pattern in all_small_patterns(4, 3):
+        witness = complement_witness(pattern)
+        assert is_in_class_c(pattern) == (witness is None), pattern.edges
+
+
+def test_classification_never_crashes_on_small_patterns():
+    for pattern in all_small_patterns(3, 3):
+        membership = classify_pattern(pattern)
+        assert membership.in_class_c == is_in_class_c(pattern)

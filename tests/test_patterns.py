@@ -1,0 +1,139 @@
+"""Tests for pattern-based queries (Definition 5.1, Propositions 5.3-5.4)."""
+
+import pytest
+
+from repro.graphs import DiGraph
+from repro.graphs.generators import path_graph, random_digraph
+from repro.patterns import (
+    EvenSimplePathQuery,
+    HomeomorphismQuery,
+    SimplePathLengthQuery,
+    decide_via_embedding,
+    decide_via_game,
+)
+from repro.structures import find_one_to_one_homomorphism
+
+
+def esp_instance(graph, source, target):
+    return graph.with_distinguished({"s": source, "t": target}).to_structure()
+
+
+class TestEvenSimplePath:
+    def test_patterns_are_odd_vertex_paths(self):
+        query = EvenSimplePathQuery()
+        structure = esp_instance(path_graph(5), "v0", "v4")
+        patterns = list(query.patterns(structure))
+        assert patterns  # lengths 2 and 4 fit in 5 nodes
+        assert all(len(p) % 2 == 1 for p in patterns)
+        assert {len(p) for p in patterns} == {3, 5}
+
+    def test_patterns_satisfy_the_query(self):
+        """Definition 5.1 condition (2)."""
+        query = EvenSimplePathQuery()
+        structure = esp_instance(path_graph(5), "v0", "v4")
+        for pattern in query.patterns(structure):
+            assert query.holds_exact(pattern)
+
+    def test_embedding_decision_equals_exact(self):
+        """Definition 5.1 condition (3), on random graphs."""
+        query = EvenSimplePathQuery()
+        for seed in range(6):
+            g = random_digraph(6, 0.3, seed)
+            nodes = sorted(g.nodes)
+            structure = esp_instance(g, nodes[0], nodes[-1])
+            assert decide_via_embedding(query, structure) == (
+                query.holds_exact(structure)
+            )
+
+    def test_simple_positive_and_negative(self):
+        query = EvenSimplePathQuery()
+        assert query.holds_exact(esp_instance(path_graph(3), "v0", "v2"))
+        assert not query.holds_exact(esp_instance(path_graph(4), "v0", "v3"))
+
+    def test_game_decision_never_misses(self):
+        """Proposition 5.4's sound half: an embedding always lets
+        Player II win, so the game decision covers every yes-instance."""
+        query = EvenSimplePathQuery()
+        for seed in range(4):
+            g = random_digraph(6, 0.3, seed)
+            nodes = sorted(g.nodes)
+            structure = esp_instance(g, nodes[0], nodes[-1])
+            if decide_via_embedding(query, structure):
+                assert decide_via_game(query, structure, k=2)
+
+    def test_game_decision_overshoots_at_small_k(self):
+        """The slack that *is* the inexpressibility result: for a query
+        outside L^k the game test may accept no-instances.  Here the only
+        simple s-t path is odd, but a single pebble cannot see global
+        parity, so the even path pattern survives the 1-pebble game."""
+        query = EvenSimplePathQuery()
+        g = DiGraph(
+            nodes=["z"], edges=[("s", "t"), ("s", "u"), ("w", "t")]
+        )  # z pads the universe so the 5-node pattern is generated
+        structure = esp_instance(g, "s", "t")
+        assert not query.holds_exact(structure)
+        assert decide_via_game(query, structure, k=1)
+
+
+class TestSimplePathLengthQuery:
+    def test_custom_membership(self):
+        query = SimplePathLengthQuery(lambda n: n == 3, name="exactly-3")
+        assert query.holds_exact(esp_instance(path_graph(4), "v0", "v3"))
+        assert not query.holds_exact(esp_instance(path_graph(3), "v0", "v2"))
+
+    def test_pattern_count_bound(self):
+        query = EvenSimplePathQuery()
+        structure = esp_instance(path_graph(6), "v0", "v5")
+        patterns = list(query.patterns(structure))
+        assert len(patterns) <= query.pattern_count_bound(structure)
+
+
+class TestHomeomorphismQuery:
+    @pytest.fixture
+    def h1_query(self):
+        from repro.fhw.pattern_class import pattern_h1
+
+        return HomeomorphismQuery(pattern_h1())
+
+    def test_patterns_are_subdivisions(self, h1_query):
+        g = DiGraph(edges=[
+            ("a", "b"), ("c", "m"), ("m", "d"),
+        ])
+        structure = h1_query.instance(
+            g, {"s1": "a", "s2": "b", "s3": "c", "s4": "d"}
+        )
+        patterns = list(h1_query.patterns(structure))
+        assert patterns
+        sizes = {len(p) for p in patterns}
+        assert 4 in sizes and 5 in sizes
+
+    def test_patterns_satisfy_query(self, h1_query):
+        g = DiGraph(edges=[("a", "b"), ("c", "m"), ("m", "d")])
+        structure = h1_query.instance(
+            g, {"s1": "a", "s2": "b", "s3": "c", "s4": "d"}
+        )
+        for pattern in h1_query.patterns(structure):
+            assert h1_query.holds_exact(pattern)
+
+    def test_embedding_decision_equals_exact(self, h1_query):
+        import random
+
+        rng = random.Random(3)
+        for seed in range(3):
+            g = random_digraph(6, 0.3, seed)
+            nodes = sorted(g.nodes)
+            assignment = dict(
+                zip(("s1", "s2", "s3", "s4"), rng.sample(nodes, 4))
+            )
+            structure = h1_query.instance(g, assignment)
+            assert decide_via_embedding(h1_query, structure) == (
+                h1_query.holds_exact(structure)
+            )
+
+    def test_self_loop_subdivision(self):
+        loop = DiGraph(edges=[("r", "r")])
+        query = HomeomorphismQuery(loop)
+        cycle = DiGraph(edges=[("s", "x"), ("x", "s")])
+        structure = query.instance(cycle, {"r": "s"})
+        assert decide_via_embedding(query, structure)
+        assert query.holds_exact(structure)

@@ -1,0 +1,276 @@
+"""Tests for the SAT -> two-disjoint-paths reduction (Figures 2-6)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cnf import (
+    Clause,
+    CnfFormula,
+    Literal,
+    all_satisfying_assignments,
+    complete_formula,
+    satisfying_assignment,
+)
+from repro.fhw.reduction import (
+    ClauseSlot,
+    ColumnSlot,
+    FixedSlot,
+    ReductionInstance,
+    SwitchSegmentSlot,
+    sat_to_disjoint_paths,
+    standard_path_lengths,
+    verify_disjoint_paths,
+)
+from repro.graphs.paths import node_disjoint_simple_paths
+
+
+def has_two_disjoint_paths(instance):
+    """Exact (exponential) oracle on the reduction graph."""
+    return node_disjoint_simple_paths(
+        instance.graph,
+        [
+            (instance.s_node(1), instance.s_node(2)),
+            (instance.s_node(3), instance.s_node(4)),
+        ],
+    ) is not None
+
+
+class TestFigureInstances:
+    def test_figure_5_satisfiable(self):
+        """phi = x1 | x1 (Figure 5): satisfiable, paths exist."""
+        instance = sat_to_disjoint_paths(CnfFormula.parse("x1 | x1"))
+        p1, p2 = instance.build_disjoint_paths({"x1": True})
+        assert verify_disjoint_paths(instance, p1, p2)
+        assert has_two_disjoint_paths(instance)
+
+    def test_figure_6_unsatisfiable(self):
+        """phi = x1 & ~x1 (Figure 6): unsatisfiable, no paths."""
+        instance = sat_to_disjoint_paths(CnfFormula.parse("x1; ~x1"))
+        assert not has_two_disjoint_paths(instance)
+
+    def test_phi_1_unsatisfiable(self):
+        instance = sat_to_disjoint_paths(complete_formula(1))
+        assert not has_two_disjoint_paths(instance)
+
+    def test_single_positive_clause(self):
+        instance = sat_to_disjoint_paths(CnfFormula.parse("x1"))
+        p1, p2 = instance.build_disjoint_paths({"x1": True})
+        assert verify_disjoint_paths(instance, p1, p2)
+
+
+class TestConstructiveDirection:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "x1 | ~x2; x2 | x3; ~x1 | x3",
+            "x1 | x2; ~x1 | ~x2",
+            "~x1; x1 | x2; x2 | x2",
+        ],
+    )
+    def test_every_model_yields_disjoint_paths(self, text):
+        formula = CnfFormula.parse(text)
+        instance = sat_to_disjoint_paths(formula)
+        for model in all_satisfying_assignments(formula):
+            p1, p2 = instance.build_disjoint_paths(model)
+            assert verify_disjoint_paths(instance, p1, p2)
+
+    def test_non_model_rejected(self):
+        formula = CnfFormula.parse("x1")
+        instance = sat_to_disjoint_paths(formula)
+        with pytest.raises(ValueError):
+            instance.build_disjoint_paths({"x1": False})
+
+
+class TestStandardPaths:
+    def test_lengths_on_phi_k(self):
+        for k in (1, 2):
+            instance = sat_to_disjoint_paths(complete_formula(k))
+            m = len(instance.switches)
+            length_p1, length_p2 = standard_path_lengths(instance)
+            assert length_p1 == 2 + 7 * m
+            # b..d sections + one column per variable + clause segments.
+            occurrences_per_literal = 2 ** (k - 1)
+            expected_p2 = (
+                2  # s3, s4
+                + 7 * m
+                + k * (2 + 7 * occurrences_per_literal)
+                + 1  # n_0
+                + len(instance.formula.clauses) * 8
+            )
+            assert length_p2 == expected_p2
+
+    def test_constructed_paths_have_standard_lengths(self):
+        # Needs balanced columns; x1 | ~x1 has one occurrence per literal.
+        instance = sat_to_disjoint_paths(CnfFormula.parse("x1 | ~x1"))
+        p1, p2 = instance.build_disjoint_paths({"x1": True})
+        assert (len(p1), len(p2)) == standard_path_lengths(instance)
+
+    def test_unbalanced_columns_rejected(self):
+        instance = sat_to_disjoint_paths(CnfFormula.parse("x1; x1 | ~x1"))
+        assert not instance.has_balanced_columns()
+        with pytest.raises(ValueError, match="balanced"):
+            instance.p2_slots()
+
+    def test_slot_resolution_is_edge_consistent(self):
+        """Adjacent standard-path slots resolve to adjacent graph nodes
+        under every consistent choice (brand p everywhere / q everywhere)."""
+        instance = sat_to_disjoint_paths(complete_formula(1))
+        graph = instance.graph
+
+        def resolve(slot, brand):
+            if isinstance(slot, FixedSlot):
+                return slot.node
+            if isinstance(slot, SwitchSegmentSlot):
+                if slot.kind == "ca":
+                    return instance.resolve_ca(slot.switch_index, slot.offset, brand)
+                return instance.resolve_bd(slot.switch_index, slot.offset, brand)
+            if isinstance(slot, ColumnSlot):
+                literal = Literal(slot.variable, positive=(brand == "p"))
+                return instance.resolve_column(literal, slot.rank, slot.offset)
+            if isinstance(slot, ClauseSlot):
+                chosen = instance.clause_occurrences(slot.clause_index)[0]
+                return instance.resolve_clause(chosen, slot.offset)
+            raise TypeError(slot)
+
+        for brand in ("p", "q"):
+            for slots in (instance.p1_slots(), instance.p2_slots()):
+                nodes = [resolve(slot, brand) for slot in slots]
+                assert all(
+                    graph.has_edge(u, v) for u, v in zip(nodes, nodes[1:])
+                )
+
+    def test_distinguished_nodes(self):
+        instance = sat_to_disjoint_paths(complete_formula(1))
+        d = instance.graph.distinguished
+        assert set(d) == {"s1", "s2", "s3", "s4"}
+        assert instance.graph.in_degree(d["s1"]) == 0
+        assert instance.graph.out_degree(d["s4"]) == 0
+
+
+class TestGraphInvariants:
+    @pytest.mark.parametrize(
+        "text", ["x1 | x1", "x1; ~x1", "x1 | ~x2; x2", "~x1 | ~x1 | x2"]
+    )
+    def test_sources_and_sinks(self, text):
+        """Every G_phi has exactly the entries {s1, s3} and exits
+        {s2, s4}: all gadget terminals are wired in."""
+        instance = sat_to_disjoint_paths(CnfFormula.parse(text))
+        graph = instance.graph
+        assert graph.sources() == {instance.s_node(1), instance.s_node(3)}
+        assert graph.sinks() == {instance.s_node(2), instance.s_node(4)}
+
+    def test_size_formula(self):
+        """Nodes: 32 per switch + blocks + clause nodes + s-nodes."""
+        formula = CnfFormula.parse("x1 | ~x2; x2")
+        instance = sat_to_disjoint_paths(formula)
+        switches = len(instance.switches)
+        variables = len(formula.variables)
+        clauses = len(formula.clauses)
+        expected = (
+            32 * switches
+            + 2 * variables       # top/bottom joints
+            + (clauses + 1)       # n_0 .. n_l
+            + 4                   # s1..s4
+        )
+        assert len(instance.graph) == expected
+
+
+class TestStructure:
+    def test_one_switch_per_occurrence(self):
+        formula = CnfFormula.parse("x1 | ~x2; x2 | x2 | x1")
+        instance = sat_to_disjoint_paths(formula)
+        assert len(instance.switches) == 5
+        assert instance.columns[Literal("x2")] != ()
+        assert len(instance.columns[Literal("x1")]) == 2
+
+    def test_clause_occurrence_index(self):
+        formula = CnfFormula.parse("x1 | ~x2; x2")
+        instance = sat_to_disjoint_paths(formula)
+        assert instance.clause_occurrences(0) == (0, 1)
+        assert instance.clause_occurrences(1) == (2,)
+
+    def test_empty_formula_rejected(self):
+        with pytest.raises(ValueError):
+            CnfFormula([])
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    st.lists(
+        st.lists(
+            st.tuples(st.integers(min_value=1, max_value=2), st.booleans()),
+            min_size=1,
+            max_size=2,
+        ),
+        min_size=1,
+        max_size=2,
+    ),
+    st.booleans(),
+    st.booleans(),
+)
+def test_standard_paths_on_balanced_formulas(spec, v1, v2):
+    """Property: on balanced formulas (clause + complement clause), every
+    assignment resolves the p1 slot sequence to an edge-valid simple
+    path, and models resolve both standard paths to the standard
+    lengths."""
+    clauses = []
+    for clause in spec:
+        literals = [Literal(f"x{i}", sign) for i, sign in clause]
+        clauses.append(Clause(literals))
+        clauses.append(Clause(lit.complement for lit in literals))
+    formula = CnfFormula(clauses)
+    instance = sat_to_disjoint_paths(formula)
+    assert instance.has_balanced_columns()
+
+    # p1 under the arbitrary brand map induced by (v1, v2).
+    assignment = {"x1": v1, "x2": v2}
+    graph = instance.graph
+
+    def brand(info):
+        value = assignment[info.literal.variable]
+        truth = value if info.literal.positive else not value
+        return "p" if truth else "q"
+
+    nodes = [instance.s_node(1)]
+    for info in reversed(instance.switches):
+        nodes.append(info.switch.terminal("c"))
+        nodes.extend(info.switch.interior(f"{brand(info)}_ca"))
+        nodes.append(info.switch.terminal("a"))
+    nodes.append(instance.s_node(2))
+    assert len(set(nodes)) == len(nodes)
+    assert all(graph.has_edge(u, v) for u, v in zip(nodes, nodes[1:]))
+    assert len(nodes) == standard_path_lengths(instance)[0]
+
+    full = {v: assignment.get(v, True) for v in formula.variables}
+    if formula.evaluate(full):
+        p1, p2 = instance.build_disjoint_paths(full)
+        assert verify_disjoint_paths(instance, p1, p2)
+        assert (len(p1), len(p2)) == standard_path_lengths(instance)
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    st.lists(
+        st.lists(
+            st.tuples(st.integers(min_value=1, max_value=2), st.booleans()),
+            min_size=1,
+            max_size=2,
+        ),
+        min_size=1,
+        max_size=2,
+    )
+)
+def test_reduction_soundness_on_random_small_formulas(spec):
+    """phi satisfiable <=> G_phi has the two disjoint paths, via the
+    exact oracle, on random formulas small enough to brute-force."""
+    formula = CnfFormula(
+        Clause(Literal(f"x{i}", sign) for i, sign in clause)
+        for clause in spec
+    )
+    instance = sat_to_disjoint_paths(formula)
+    model = satisfying_assignment(formula)
+    if model is not None:
+        p1, p2 = instance.build_disjoint_paths(model)
+        assert verify_disjoint_paths(instance, p1, p2)
+    else:
+        assert not has_two_disjoint_paths(instance)

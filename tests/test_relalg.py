@@ -1,0 +1,226 @@
+"""Tests for the bounded-arity relational algebra (Section 3's remark)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datalog.ast import Constant, Variable
+from repro.graphs.generators import path_graph, random_digraph
+from repro.logic import (
+    And,
+    AtomF,
+    Eq,
+    Exists,
+    Neq,
+    Or,
+    evaluate_formula,
+    falsum,
+    path_formula,
+    transitive_closure_family,
+    variable_width,
+    verum,
+)
+from repro.logic.evaluation import satisfying_tuples
+from repro.relalg import (
+    Base,
+    Join,
+    Project,
+    Relation,
+    Select,
+    Union,
+    Universe,
+    compile_formula,
+    evaluate_expression,
+    expression_width,
+)
+from repro.relalg.expressions import Condition
+from repro.structures import Structure, Vocabulary
+
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+
+
+@pytest.fixture
+def chain():
+    return path_graph(4).to_structure()
+
+
+class TestRelation:
+    def test_construction(self):
+        r = Relation(("a", "b"), {(1, 2), (3, 4)})
+        assert r.arity == 2 and len(r) == 2
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(ValueError):
+            Relation(("a", "a"), ())
+
+    def test_row_arity_checked(self):
+        with pytest.raises(ValueError):
+            Relation(("a",), {(1, 2)})
+
+    def test_reorder(self):
+        r = Relation(("a", "b"), {(1, 2)})
+        assert r.reorder(("b", "a")).rows == frozenset({(2, 1)})
+
+
+class TestOperators:
+    def test_base_and_universe(self, chain):
+        edges = evaluate_expression(Base("E", ("u", "v")), chain)
+        assert len(edges) == 3
+        universe = evaluate_expression(Universe("w"), chain)
+        assert len(universe) == 4
+
+    def test_base_repeated_columns_mean_equality(self, chain):
+        loops = evaluate_expression(Base("E", ("u", "u")), chain)
+        assert len(loops) == 0  # the path has no self-loops
+
+    def test_select_and_constants(self):
+        g = path_graph(3).with_distinguished({"s": "v0"})
+        s = g.to_structure()
+        expr = Select(
+            Base("E", ("u", "v")),
+            (Condition("u", "=", "s", right_is_constant=True),),
+        )
+        assert evaluate_expression(expr, s).rows == frozenset(
+            {("v0", "v1")}
+        )
+
+    def test_join_is_natural(self, chain):
+        two_step = Join(Base("E", ("u", "v")), Base("E", ("v", "w")))
+        rows = evaluate_expression(two_step, chain).rows
+        assert ("v0", "v1", "v2") in rows
+        assert len(rows) == 2
+
+    def test_union_reorders_columns(self, chain):
+        left = Base("E", ("u", "v"))
+        right = Project(
+            Join(Base("E", ("v", "u")), Universe("u")), ("v", "u")
+        )
+        # Same column set in different order: union must align.
+        both = Union((left, Select(right, ())))
+        value = evaluate_expression(both, chain)
+        assert value.columns == ("u", "v")
+
+    def test_rename(self, chain):
+        from repro.relalg import Rename
+
+        renamed = Rename(Base("E", ("u", "v")), {"u": "tail", "v": "head"})
+        value = evaluate_expression(renamed, chain)
+        assert value.columns == ("tail", "head")
+        assert ("v0", "v1") in value.rows
+
+    def test_rename_must_be_injective(self, chain):
+        from repro.relalg import Rename
+
+        bad = Rename(Base("E", ("u", "v")), {"u": "x", "v": "x"})
+        with pytest.raises(ValueError, match="injective"):
+            evaluate_expression(bad, chain)
+
+    def test_projection(self, chain):
+        heads = Project(Base("E", ("u", "v")), ("v",))
+        assert evaluate_expression(heads, chain).rows == frozenset(
+            {("v1",), ("v2",), ("v3",)}
+        )
+
+
+class TestCompiler:
+    def _check(self, formula, structure, free):
+        """Compiled relation == direct satisfying-assignment set."""
+        expression = compile_formula(formula)
+        relation = evaluate_expression(expression, structure)
+        names = tuple(sorted(v.name for v in free))
+        assert set(relation.columns) == set(names)
+        relation = relation.reorder(names)
+        ordered_vars = tuple(
+            Variable(name) for name in names
+        )
+        expected = satisfying_tuples(formula, structure, ordered_vars)
+        assert relation.rows == expected
+
+    def test_atoms(self, chain):
+        self._check(AtomF("E", (X, Y)), chain, [X, Y])
+
+    def test_repeated_variable_atom(self, chain):
+        self._check(AtomF("E", (X, X)), chain, [X])
+
+    def test_atom_with_constant(self):
+        g = path_graph(3).with_distinguished({"s": "v0"})
+        s = g.to_structure()
+        self._check(AtomF("E", (Constant("s"), X)), s, [X])
+
+    def test_conjunction_and_exists(self, chain):
+        formula = Exists(Z, And([AtomF("E", (X, Z)), AtomF("E", (Z, Y))]))
+        self._check(formula, chain, [X, Y])
+
+    def test_disjunction_pads_columns(self, chain):
+        formula = Or([AtomF("E", (X, Y)), Eq(X, X)])
+        self._check(formula, chain, [X, Y])
+
+    def test_inequalities(self, chain):
+        self._check(Neq(X, Y), chain, [X, Y])
+        self._check(And([AtomF("E", (X, Y)), Neq(X, Y)]), chain, [X, Y])
+
+    def test_truth_and_falsity(self, chain):
+        assert len(evaluate_expression(compile_formula(verum()), chain)) == 1
+        assert len(evaluate_expression(compile_formula(falsum()), chain)) == 0
+
+    def test_constant_comparisons(self):
+        g = path_graph(3).with_distinguished({"s": "v0", "t": "v2"})
+        s = g.to_structure()
+        same = compile_formula(Eq(Constant("s"), Constant("s")))
+        different = compile_formula(Eq(Constant("s"), Constant("t")))
+        assert len(evaluate_expression(same, s)) == 1
+        assert len(evaluate_expression(different, s)) == 0
+
+    def test_exists_over_absent_variable(self):
+        from repro.graphs import DiGraph
+
+        empty = DiGraph(nodes=[]).to_structure()
+        nonempty = path_graph(2).to_structure()
+        formula = Exists(Z, verum())
+        expression = compile_formula(formula)
+        assert len(evaluate_expression(expression, nonempty)) == 1
+        assert len(evaluate_expression(expression, empty)) == 0
+
+    def test_paper_path_formulas(self, chain):
+        for n in (1, 2, 3):
+            self._check(path_formula(n), chain, [X, Y])
+
+    def test_infinitary_requires_expansion(self, chain):
+        family = transitive_closure_family()
+        with pytest.raises(TypeError, match="expand"):
+            compile_formula(family)
+        self._check(family.expand(chain), chain, [X, Y])
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=2_000), st.integers(min_value=1, max_value=4))
+    def test_path_formulas_on_random_graphs(self, seed, n):
+        structure = random_digraph(4, 0.4, seed).to_structure()
+        self._check(path_formula(n), structure, [X, Y])
+
+
+class TestWidthDiscipline:
+    def test_three_variable_formulas_stay_at_width_three(self, chain):
+        """The Section 3 remark: subexpression arity <= max(k, r)."""
+        for n in (2, 4, 6):
+            formula = path_formula(n)
+            expression = compile_formula(formula)
+            assert expression_width(expression) <= max(
+                variable_width(formula), 2
+            )
+
+    def test_stage_formulas_respect_the_bound(self):
+        from repro.datalog.library import transitive_closure_program
+        from repro.logic import translate_program
+
+        translation = translate_program(transitive_closure_program())
+        formula = translation.stage_formula("S", 3)
+        expression = compile_formula(formula)
+        assert expression_width(expression) <= max(
+            variable_width(formula), 2
+        )
+
+    def test_width_counts_base_arity(self):
+        voc = Vocabulary({"R": 3})
+        expression = compile_formula(
+            Exists(Y, Exists(Z, AtomF("R", (X, Y, Z))))
+        )
+        assert expression_width(expression) == 3

@@ -1,0 +1,168 @@
+"""Tests for the constructive Corollary 4.9 / Proposition 4.2."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.games import preceq_k
+from repro.graphs.generators import (
+    crossed_paths_structure_pair,
+    cycle_graph,
+    path_graph,
+    path_pair_structures,
+    random_digraph,
+)
+from repro.logic import (
+    NotClosedUnderPreceq,
+    check_closure,
+    defining_sentence,
+    evaluate_formula,
+    is_existential_positive,
+    separating_sentence,
+    variable_width,
+)
+from repro.structures import Structure, Vocabulary
+
+
+class TestSeparatingSentence:
+    def test_none_when_player_two_wins(self):
+        short, long_ = path_pair_structures(3, 6)
+        assert separating_sentence(short, long_, 2) is None
+
+    def test_example_44_backward(self):
+        short, long_ = path_pair_structures(3, 6)
+        phi = separating_sentence(long_, short, 2)
+        assert phi is not None
+        assert evaluate_formula(phi, long_)
+        assert not evaluate_formula(phi, short)
+        assert variable_width(phi) <= 2
+        assert is_existential_positive(phi)
+
+    def test_example_45(self):
+        disjoint, crossed = crossed_paths_structure_pair(1)
+        phi = separating_sentence(disjoint, crossed, 3)
+        assert phi is not None
+        assert evaluate_formula(phi, disjoint)
+        assert not evaluate_formula(phi, crossed)
+        assert variable_width(phi) <= 3
+
+    def test_constant_level_separation(self):
+        voc = Vocabulary.graph(constants=("s", "t"))
+        a = Structure(voc, {1, 2}, {"E": [(1, 2)]}, {"s": 1, "t": 2})
+        b = Structure(voc, {1}, {"E": []}, {"s": 1, "t": 1})
+        phi = separating_sentence(a, b, 1)
+        assert phi is not None
+        assert evaluate_formula(phi, a) and not evaluate_formula(phi, b)
+        assert variable_width(phi) <= 1
+
+    def test_relational_constant_separation(self):
+        voc = Vocabulary.graph(constants=("s", "t"))
+        a = Structure(voc, {1, 2}, {"E": [(1, 2)]}, {"s": 1, "t": 2})
+        b = Structure(voc, {1, 2}, {"E": [(2, 1)]}, {"s": 1, "t": 2})
+        phi = separating_sentence(a, b, 1)
+        assert phi is not None
+        assert evaluate_formula(phi, a) and not evaluate_formula(phi, b)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=5_000))
+    def test_extracted_sentences_are_correct(self, seed):
+        """Property: whenever Player I wins, the extracted sentence is a
+        genuine L^k separator (model-checked on both sides)."""
+        a = random_digraph(4, 0.35, seed).to_structure()
+        b = random_digraph(4, 0.35, seed + 9999).to_structure()
+        k = 2
+        phi = separating_sentence(a, b, k)
+        if phi is None:
+            assert preceq_k(a, b, k)
+            return
+        assert evaluate_formula(phi, a)
+        assert not evaluate_formula(phi, b)
+        assert variable_width(phi) <= k
+        assert is_existential_positive(phi)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=2_000))
+    def test_completeness_direction(self, seed):
+        """When Player II wins, no separator comes out -- consistent
+        with Theorem 4.8 (every L^k sentence transfers)."""
+        a = random_digraph(3, 0.4, seed).to_structure()
+        b = random_digraph(4, 0.5, seed + 77).to_structure()
+        assert (separating_sentence(a, b, 2) is None) == preceq_k(a, b, 2)
+
+
+class TestHomomorphismVariant:
+    """Remark 4.12 constructively: inequality-free separators."""
+
+    def test_cycle_into_path_gets_inequality_free_separator(self):
+        from repro.graphs.generators import cycle_graph
+        from repro.logic.width import uses_inequality
+
+        cycle = cycle_graph(3).to_structure()
+        path = path_graph(7).to_structure()
+        phi = separating_sentence(cycle, path, 2, injective=False)
+        assert phi is not None
+        assert evaluate_formula(phi, cycle)
+        assert not evaluate_formula(phi, path)
+        assert not uses_inequality(phi)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=3_000))
+    def test_random_homomorphism_separators(self, seed):
+        from repro.logic.width import uses_inequality
+
+        a = random_digraph(4, 0.35, seed).to_structure()
+        b = random_digraph(4, 0.35, seed + 4242).to_structure()
+        phi = separating_sentence(a, b, 2, injective=False)
+        if phi is None:
+            assert preceq_k(a, b, 2, injective=False)
+            return
+        assert evaluate_formula(phi, a)
+        assert not evaluate_formula(phi, b)
+        assert not uses_inequality(phi)
+        assert variable_width(phi) <= 2
+
+
+class TestDefinability:
+    @pytest.fixture
+    def universe(self):
+        return [
+            path_graph(2).to_structure(),
+            path_graph(3).to_structure(),
+            cycle_graph(3).to_structure(),
+            cycle_graph(4).to_structure(),
+        ]
+
+    def test_cyclic_class_is_definable(self, universe):
+        """"Contains a cycle" is closed under <=^2 within this universe
+        and the constructed sentence defines exactly it."""
+        members = [2, 3]
+        sentence = defining_sentence(universe, members, 2)
+        for index, structure in enumerate(universe):
+            assert evaluate_formula(sentence, structure) == (index in members)
+
+    def test_closure_violation_detected(self, universe):
+        """"Is the 2-path" is not closed: the 2-path <=^2 the 3-path."""
+        with pytest.raises(NotClosedUnderPreceq) as info:
+            defining_sentence(universe, [0], 2)
+        assert info.value.member == 0
+
+    def test_empty_class(self, universe):
+        sentence = defining_sentence(universe, [], 2)
+        assert all(
+            not evaluate_formula(sentence, s) for s in universe
+        )
+
+    def test_check_closure_passes_on_closed_class(self, universe):
+        check_closure(universe, [2, 3], 2)  # no exception
+
+    def test_remark_411_normal_form_shape(self, universe):
+        """Remark 4.11: the defining sentence is a disjunction of
+        conjunctions of first-order L^k sentences."""
+        from repro.logic import And, Or
+        from repro.logic.width import free_variables
+
+        sentence = defining_sentence(universe, [2, 3], 2)
+        assert isinstance(sentence, Or)
+        for disjunct in sentence.subformulas:
+            assert isinstance(disjunct, And)
+            for conjunct in disjunct.subformulas:
+                assert free_variables(conjunct) == frozenset()

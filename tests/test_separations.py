@@ -1,0 +1,100 @@
+"""Tests for the Corollary 6.8 doubling reduction and its certificate."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import double_graph, even_simple_path_certificate
+from repro.core.separations import T_NODE, midpoint
+from repro.games.simulate import RandomPlayerOne, run_existential_game
+from repro.graphs import DiGraph
+from repro.graphs.generators import random_digraph
+from repro.graphs.paths import (
+    node_disjoint_simple_paths,
+    simple_path_lengths,
+)
+from repro.patterns import EvenSimplePathQuery
+
+
+def has_even_simple_path(graph, source, target):
+    return any(
+        n % 2 == 0 and n > 0
+        for n in simple_path_lengths(graph, source, target)
+    )
+
+
+class TestDoubling:
+    def test_shape(self):
+        g = DiGraph(edges=[("a", "b")]).add_nodes(["c", "d"]).with_distinguished(
+            {"s1": "a", "s2": "b", "s3": "c", "s4": "d"}
+        )
+        star = double_graph(g)
+        assert star.has_edge("a", midpoint("a", "b"))
+        assert star.has_edge(midpoint("a", "b"), "b")
+        assert star.has_edge("b", "c")       # s2 -> s3
+        assert star.has_edge("d", T_NODE)    # s4 -> t
+        assert star.distinguished == {"s": "a", "t": T_NODE}
+
+    def test_requires_four_distinguished(self):
+        with pytest.raises(ValueError):
+            double_graph(DiGraph(edges=[("a", "b")]))
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_equivalence_on_random_graphs(self, seed):
+        """Corollary 6.8's reduction identity, exhaustively checked:
+        disjoint s1->s2 / s3->s4 paths in G  <=>  even simple s->t path
+        in G*."""
+        g = random_digraph(6, 0.3, seed)
+        nodes = sorted(g.nodes)
+        graph = g.with_distinguished(
+            {"s1": nodes[0], "s2": nodes[1], "s3": nodes[2], "s4": nodes[3]}
+        )
+        disjoint = node_disjoint_simple_paths(
+            graph, [(nodes[0], nodes[1]), (nodes[2], nodes[3])]
+        ) is not None
+        star = double_graph(graph)
+        even = has_even_simple_path(star, nodes[0], T_NODE)
+        assert disjoint == even
+
+
+class TestCertificate:
+    def test_sides(self):
+        cert = even_simple_path_certificate(1)
+        query = EvenSimplePathQuery()
+        # A* has an even simple s -> t path; checking exhaustively on the
+        # B* side is infeasible, so B*'s falsity follows from the (tested)
+        # reduction identity plus B's falsity for k = 1... which is the
+        # k = 2 base here; we check A* positively and B* via parity of
+        # its only path shape through the clause block is impossible --
+        # here we at least confirm the even path on A*.
+        assert query.holds_exact(cert.a)
+
+    def test_strategy_survives(self):
+        cert = even_simple_path_certificate(1)
+        for seed in range(8):
+            transcript = run_existential_game(
+                cert.a, cert.b, 1,
+                RandomPlayerOne(cert.a, seed=seed),
+                cert.fresh_strategy(), rounds=150,
+            )
+            assert transcript.player_two_survived
+
+    def test_midpoint_answers_are_midpoints(self):
+        from repro.games.simulate import PlaceMove, ScriptedPlayerOne
+
+        cert = even_simple_path_certificate(1)
+        # Find a midpoint node of A*.
+        mid = next(
+            node for node in cert.a_graph.nodes
+            if isinstance(node, tuple) and len(node) == 3 and node[0] == "mid"
+        )
+        transcript = run_existential_game(
+            cert.a, cert.b, 1,
+            ScriptedPlayerOne([PlaceMove(0, mid)]),
+            cert.fresh_strategy(), rounds=1,
+        )
+        assert transcript.player_two_survived
+        __, answer = transcript.history[0]
+        assert answer[0] == "mid"

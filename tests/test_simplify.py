@@ -1,0 +1,102 @@
+"""Tests for the formula simplifier."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datalog.ast import Variable
+from repro.graphs.generators import random_digraph
+from repro.logic import (
+    And,
+    AtomF,
+    Eq,
+    Exists,
+    Neq,
+    Or,
+    evaluate_formula,
+    falsum,
+    formula_size,
+    path_formula,
+    separating_sentence,
+    simplify_formula,
+    variable_width,
+    verum,
+)
+from repro.logic.formulas import Not
+from repro.logic.evaluation import enumerate_assignments
+from repro.logic.width import free_variables
+from repro.graphs.generators import path_pair_structures
+
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+EDGE = AtomF("E", (X, Y))
+
+
+class TestRules:
+    def test_trivial_equality(self):
+        assert simplify_formula(Eq(X, X)) == verum()
+        assert simplify_formula(Neq(X, X)) == falsum()
+
+    def test_conjunction_absorbs_truth(self):
+        assert simplify_formula(And([verum(), EDGE, verum()])) == EDGE
+
+    def test_conjunction_collapses_on_falsity(self):
+        assert simplify_formula(And([EDGE, falsum()])) == falsum()
+
+    def test_disjunction_dual(self):
+        assert simplify_formula(Or([EDGE, verum()])) == verum()
+        assert simplify_formula(Or([falsum(), EDGE])) == EDGE
+
+    def test_flattening_and_dedup(self):
+        nested = And([And([EDGE, EDGE]), And([EDGE])])
+        assert simplify_formula(nested) == EDGE
+
+    def test_exists_keeps_empty_structure_semantics(self):
+        """(exists v) TRUE must stay quantified (false on empty universe)."""
+        formula = simplify_formula(Exists(X, verum()))
+        assert isinstance(formula, Exists)
+
+    def test_exists_of_false_is_false(self):
+        assert simplify_formula(Exists(X, falsum())) == falsum()
+
+    def test_double_negation(self):
+        assert simplify_formula(Not(Not(EDGE))) == EDGE
+
+    def test_size_measure(self):
+        assert formula_size(EDGE) == 1
+        assert formula_size(And([EDGE, Eq(X, Y)])) == 3
+
+
+class TestEquivalence:
+    def test_separating_sentences_shrink_and_stay_correct(self):
+        short, long_ = path_pair_structures(3, 6)
+        phi = separating_sentence(long_, short, 2)
+        slim = simplify_formula(phi)
+        assert formula_size(slim) < formula_size(phi)
+        assert variable_width(slim) <= 2
+        assert evaluate_formula(slim, long_)
+        assert not evaluate_formula(slim, short)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=2_000), st.integers(min_value=1, max_value=3))
+    def test_path_formula_equivalence(self, seed, n):
+        structure = random_digraph(4, 0.4, seed).to_structure()
+        formula = path_formula(n)
+        slim = simplify_formula(formula)
+        for assignment in enumerate_assignments(structure, (X, Y)):
+            assert evaluate_formula(formula, structure, assignment) == (
+                evaluate_formula(slim, structure, assignment)
+            )
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=5_000))
+    def test_extracted_sentence_equivalence(self, seed):
+        a = random_digraph(3, 0.4, seed).to_structure()
+        b = random_digraph(3, 0.4, seed + 99).to_structure()
+        phi = separating_sentence(a, b, 2)
+        if phi is None:
+            return
+        slim = simplify_formula(phi)
+        assert free_variables(slim) == free_variables(phi)
+        for structure in (a, b):
+            assert evaluate_formula(slim, structure) == (
+                evaluate_formula(phi, structure)
+            )

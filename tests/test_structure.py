@@ -1,0 +1,114 @@
+"""Unit tests for finite structures."""
+
+import pytest
+
+from repro.structures import Structure, Vocabulary
+
+
+@pytest.fixture
+def triangle():
+    voc = Vocabulary.graph()
+    return Structure(voc, {1, 2, 3}, {"E": [(1, 2), (2, 3), (3, 1)]})
+
+
+class TestConstruction:
+    def test_basic(self, triangle):
+        assert len(triangle) == 3
+        assert triangle.holds("E", (1, 2))
+        assert not triangle.holds("E", (2, 1))
+
+    def test_missing_relation_is_empty(self):
+        s = Structure(Vocabulary.graph(), {1})
+        assert s.relation("E") == frozenset()
+
+    def test_unknown_relation_rejected(self):
+        with pytest.raises(ValueError):
+            Structure(Vocabulary.graph(), {1}, {"R": [(1,)]})
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ValueError):
+            Structure(Vocabulary.graph(), {1}, {"E": [(1,)]})
+
+    def test_tuple_outside_universe_rejected(self):
+        with pytest.raises(ValueError):
+            Structure(Vocabulary.graph(), {1}, {"E": [(1, 2)]})
+
+    def test_constants_required(self):
+        voc = Vocabulary.graph(constants=("s",))
+        with pytest.raises(ValueError):
+            Structure(voc, {1}, {})
+        s = Structure(voc, {1}, {}, {"s": 1})
+        assert s.constants == {"s": 1}
+
+    def test_constant_outside_universe_rejected(self):
+        voc = Vocabulary.graph(constants=("s",))
+        with pytest.raises(ValueError):
+            Structure(voc, {1}, {}, {"s": 2})
+
+    def test_unknown_constant_rejected(self):
+        with pytest.raises(ValueError):
+            Structure(Vocabulary.graph(), {1}, {}, {"s": 1})
+
+    def test_constant_elements_in_order(self):
+        voc = Vocabulary.graph(constants=("s", "t"))
+        s = Structure(voc, {1, 2}, {}, {"s": 2, "t": 1})
+        assert s.constant_elements() == (2, 1)
+
+
+class TestDerived:
+    def test_induced(self, triangle):
+        sub = triangle.induced({1, 2})
+        assert sub.relation("E") == frozenset({(1, 2)})
+        assert len(sub) == 2
+
+    def test_induced_must_keep_constants(self):
+        voc = Vocabulary.graph(constants=("s",))
+        s = Structure(voc, {1, 2}, {"E": [(1, 2)]}, {"s": 1})
+        with pytest.raises(ValueError):
+            s.induced({2})
+
+    def test_rename(self, triangle):
+        renamed = triangle.rename(lambda x: x * 10)
+        assert renamed.holds("E", (10, 20))
+        assert 1 not in renamed
+
+    def test_rename_must_be_injective(self, triangle):
+        with pytest.raises(ValueError):
+            triangle.rename(lambda x: 0)
+
+    def test_with_constants(self, triangle):
+        expanded = triangle.with_constants({"s": 1})
+        assert expanded.constants == {"s": 1}
+        assert expanded.vocabulary.has_constant("s")
+
+    def test_reduct(self):
+        voc = Vocabulary({"E": 2, "P": 1})
+        s = Structure(voc, {1, 2}, {"E": [(1, 2)], "P": [(1,)]})
+        reduct = s.reduct(Vocabulary.graph())
+        assert reduct.vocabulary == Vocabulary.graph()
+        assert reduct.relation("E") == frozenset({(1, 2)})
+
+    def test_disjoint_union(self, triangle):
+        union = triangle.disjoint_union(triangle)
+        assert len(union) == 6
+        assert union.holds("E", ((0, 1), (0, 2)))
+        assert union.holds("E", ((1, 1), (1, 2)))
+
+    def test_disjoint_union_rejects_constants(self):
+        voc = Vocabulary.graph(constants=("s",))
+        s = Structure(voc, {1}, {}, {"s": 1})
+        with pytest.raises(ValueError):
+            s.disjoint_union(s)
+
+
+class TestEquality:
+    def test_equal_structures(self, triangle):
+        other = Structure(
+            Vocabulary.graph(), {3, 2, 1}, {"E": [(2, 3), (1, 2), (3, 1)]}
+        )
+        assert triangle == other
+        assert hash(triangle) == hash(other)
+
+    def test_describe_is_deterministic(self, triangle):
+        assert triangle.describe() == triangle.describe()
+        assert "universe" in triangle.describe()

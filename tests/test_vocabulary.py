@@ -1,0 +1,81 @@
+"""Unit tests for vocabularies and relation symbols."""
+
+import pytest
+
+from repro.structures import RelationSymbol, Vocabulary
+
+
+class TestRelationSymbol:
+    def test_str(self):
+        assert str(RelationSymbol("E", 2)) == "E/2"
+
+    def test_rejects_zero_arity(self):
+        with pytest.raises(ValueError):
+            RelationSymbol("P", 0)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            RelationSymbol("", 1)
+
+    def test_ordering(self):
+        assert RelationSymbol("A", 1) < RelationSymbol("B", 1)
+
+
+class TestVocabulary:
+    def test_graph_vocabulary(self):
+        voc = Vocabulary.graph()
+        assert voc.arity("E") == 2
+        assert voc.has_relation("E")
+        assert not voc.has_constant("E")
+        assert voc.constants == ()
+
+    def test_constants_order_preserved(self):
+        voc = Vocabulary.graph(constants=("s", "t"))
+        assert voc.constants == ("s", "t")
+        assert voc.has_constant("s")
+
+    def test_mapping_constructor(self):
+        voc = Vocabulary({"E": 2, "P": 1})
+        assert voc.arity("P") == 1
+        assert set(voc.relation_names) == {"E", "P"}
+
+    def test_conflicting_arities_rejected(self):
+        with pytest.raises(ValueError):
+            Vocabulary([RelationSymbol("E", 2), RelationSymbol("E", 3)])
+
+    def test_duplicate_constants_rejected(self):
+        with pytest.raises(ValueError):
+            Vocabulary.graph(constants=("s", "s"))
+
+    def test_relation_constant_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            Vocabulary({"E": 2}, constants=("E",))
+
+    def test_equality_and_hash(self):
+        assert Vocabulary.graph() == Vocabulary.graph()
+        assert hash(Vocabulary.graph()) == hash(Vocabulary.graph())
+        assert Vocabulary.graph() != Vocabulary.graph(constants=("s",))
+
+    def test_constant_order_matters(self):
+        assert Vocabulary.graph(constants=("s", "t")) != Vocabulary.graph(
+            constants=("t", "s")
+        )
+
+    def test_with_constants(self):
+        voc = Vocabulary.graph().with_constants(["s"])
+        assert voc.constants == ("s",)
+
+    def test_extend(self):
+        voc = Vocabulary.graph().extend([RelationSymbol("S", 2)])
+        assert voc.has_relation("S")
+        assert voc.has_relation("E")
+
+    def test_contains(self):
+        voc = Vocabulary.graph(constants=("s",))
+        assert "E" in voc
+        assert "s" in voc
+        assert "Q" not in voc
+
+    def test_iteration(self):
+        names = [symbol.name for symbol in Vocabulary({"B": 1, "A": 2})]
+        assert names == ["A", "B"]  # sorted
