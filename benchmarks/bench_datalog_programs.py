@@ -2,7 +2,16 @@
 
 Regenerates: TC and the w-avoiding-path query computed by the engine,
 with their ground-truth relations, across growing path graphs; plus the
-monotone-but-not-strongly-monotone separation of Section 2.
+monotone-but-not-strongly-monotone separation of Section 2, and the
+engine matrix (naive / semi-naive / indexed on the same workloads).
+
+Also runnable as a script (CI smoke)::
+
+    PYTHONPATH=src python benchmarks/bench_datalog_programs.py --quick
+
+which evaluates the library programs under every engine (algebra
+included), asserts they agree, and prints a timing table; exits
+nonzero on any mismatch.
 """
 
 import pytest
@@ -10,6 +19,7 @@ import pytest
 from _harness import record
 from repro.core.expressibility import is_strongly_monotone_on
 from repro.datalog import evaluate
+from repro.datalog.evaluation import METHODS
 from repro.datalog.library import (
     avoiding_path_program,
     transitive_closure_program,
@@ -69,6 +79,33 @@ def bench_path_systems(benchmark):
     )
 
 
+@pytest.mark.parametrize("engine", METHODS)
+def bench_engine_matrix_transitive_closure(benchmark, engine):
+    """The engine matrix on Example 2.2: same fixpoint, three engines."""
+    structure = path_graph(12).to_structure()
+    program = transitive_closure_program()
+    result = benchmark(lambda: evaluate(program, structure, method=engine))
+    assert len(result.goal_relation) == 12 * 11 // 2
+    record(benchmark, experiment="E1", engine=engine, nodes=12)
+
+
+@pytest.mark.parametrize("engine", METHODS)
+def bench_engine_matrix_avoiding_path(benchmark, engine):
+    """The engine matrix on Example 2.1 (a ternary recursive query)."""
+    structure = random_digraph(8, 0.3, seed=8).to_structure()
+    program = avoiding_path_program()
+    result = benchmark(lambda: evaluate(program, structure, method=engine))
+    reference = evaluate(program, structure, method="naive")
+    assert result.goal_relation == reference.goal_relation
+    record(
+        benchmark,
+        experiment="E1",
+        engine=engine,
+        nodes=8,
+        tuples=len(result.goal_relation),
+    )
+
+
 def bench_strong_monotonicity_separation(benchmark):
     """TC survives element identification; w-avoiding path does not --
     the exact dividing line of Section 2."""
@@ -91,3 +128,70 @@ def bench_strong_monotonicity_separation(benchmark):
         tc_strongly_monotone=tc_strong,
         avoiding_strongly_monotone=avoiding_strong,
     )
+
+
+def main(argv=None):
+    """CI smoke: every engine, every library program, must agree.
+
+    Prints a wall-clock table (informational; agreement is the check).
+    """
+    import argparse
+    import sys
+    import time
+
+    from repro.datalog import evaluate_algebra
+    from repro.datalog.library import q_program
+
+    parser = argparse.ArgumentParser(description=main.__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller structures, one structure per program (CI smoke)",
+    )
+    args = parser.parse_args(argv)
+
+    nodes = 5 if args.quick else 7
+    seeds = (3,) if args.quick else (3, 5, 9)
+    programs = {
+        "transitive-closure": transitive_closure_program(),
+        "avoiding-path": avoiding_path_program(),
+        "q-2-0": q_program(2, 0),
+        "q-1-1": q_program(1, 1),
+    }
+    engines = list(METHODS) + ["algebra"]
+
+    failures = 0
+    print(f"{'program':<20} {'structure':<12} " +
+          " ".join(f"{engine:>10}" for engine in engines))
+    for name, program in programs.items():
+        for seed in seeds:
+            structure = random_digraph(nodes, 0.3, seed).to_structure()
+            timings = {}
+            relations = {}
+            for engine in engines:
+                start = time.perf_counter()
+                if engine == "algebra":
+                    result = evaluate_algebra(program, structure)
+                else:
+                    result = evaluate(program, structure, method=engine)
+                timings[engine] = time.perf_counter() - start
+                relations[engine] = result.relations
+            row = f"{name:<20} n={nodes},s={seed:<4} " + " ".join(
+                f"{timings[engine] * 1000:>8.1f}ms" for engine in engines
+            )
+            agree = all(
+                relations[engine] == relations["naive"] for engine in engines
+            )
+            if not agree:
+                failures += 1
+                row += "  MISMATCH"
+            print(row)
+    if failures:
+        print(f"{failures} engine mismatch(es)", file=sys.stderr)
+        return 1
+    print("all engines agree on all programs")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -3,15 +3,20 @@
 Regenerates: for out-star patterns (k = 2, 3) and the self-loop
 variants, the generated program's verdicts versus the FHW flow
 algorithm and the exact embedding oracle, across random instances --
-the three columns must agree everywhere.
+the three columns must agree everywhere.  Also the engine sweep on the
+Q_{k,l} family, pinning the indexed engine's speedup over plain
+semi-naive on the largest default instance.
 """
 
 import random
+import time
 
 import pytest
 
 from _harness import record
+from repro.datalog.evaluation import evaluate
 from repro.datalog.homeo import class_c_program
+from repro.datalog.library import q_program
 from repro.fhw.homeomorphism import (
     homeomorphic_via_flow,
     is_homeomorphic_to_distinguished_subgraph,
@@ -58,6 +63,61 @@ def bench_three_deciders_agree(benchmark, name):
         cases=len(cases),
         positives=sum(exact),
     )
+
+
+#: The default Q_{k,l} sweep: (k, l, nodes).  The last entry is the
+#: largest instance, on which the indexed engine must beat plain
+#: semi-naive by at least 3x (the tentpole's acceptance bar).
+QKL_SWEEP = [(1, 1, 14), (2, 0, 12), (2, 1, 12)]
+LARGEST = QKL_SWEEP[-1]
+
+
+@pytest.mark.parametrize("k,l,n", QKL_SWEEP)
+def bench_indexed_vs_seminaive_qkl(benchmark, k, l, n):
+    """Indexed vs. plain semi-naive on the Q_{k,l} programs.
+
+    Both engines are timed best-of-N with ``perf_counter`` (the
+    benchmark fixture additionally profiles the indexed run); relations
+    must match exactly, and on the largest instance of the sweep the
+    index layer must pay for itself at >= 3x.
+    """
+    program = q_program(k, l)
+    structure = random_digraph(n, 0.25, seed=7).to_structure()
+
+    def best_of(engine, repeats=2):
+        times = []
+        result = None
+        for __ in range(repeats):
+            start = time.perf_counter()
+            result = evaluate(program, structure, method=engine)
+            times.append(time.perf_counter() - start)
+        return min(times), result
+
+    seminaive_time, seminaive = best_of("seminaive")
+    indexed_time, indexed = best_of("indexed")
+    benchmark.pedantic(
+        lambda: evaluate(program, structure, method="indexed"),
+        rounds=1,
+        iterations=1,
+    )
+    assert indexed.relations == seminaive.relations
+    assert indexed.iterations == seminaive.iterations
+    speedup = seminaive_time / indexed_time
+    record(
+        benchmark,
+        experiment="E7",
+        k=k,
+        l=l,
+        nodes=n,
+        seminaive_seconds=round(seminaive_time, 4),
+        indexed_seconds=round(indexed_time, 4),
+        speedup=round(speedup, 2),
+    )
+    if (k, l, n) == LARGEST:
+        assert speedup >= 3.0, (
+            f"indexed engine only {speedup:.2f}x faster than semi-naive "
+            f"on Q_{k}_{l} (n={n}); the index layer should buy >= 3x"
+        )
 
 
 def bench_program_size_growth(benchmark):

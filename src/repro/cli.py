@@ -306,8 +306,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="test one tuple instead of printing the relation",
     )
     run.add_argument(
-        "--engine", choices=["seminaive", "naive", "algebra"],
-        default="seminaive", help="evaluation engine",
+        "--engine", choices=["indexed", "seminaive", "naive", "algebra"],
+        default="indexed", help="evaluation engine",
     )
     run.set_defaults(func=_cmd_run)
 

@@ -12,8 +12,12 @@ Public API
   :class:`Equality`, :class:`Inequality`, :class:`Rule`, :class:`Program`.
 * :func:`parse_program` -- text syntax (``Head(x, y) :- E(x, z), z != y.``).
 * :func:`evaluate` / :func:`stages` / :func:`boolean_query` -- the fixpoint
-  engine (naive and semi-naive) and the paper's stage sequence
+  engines (indexed semi-naive by default; plain semi-naive and naive for
+  cross-validation) and the paper's stage sequence
   ``Theta^1 <= Theta^2 <= ...``.
+* :mod:`repro.datalog.indexing` / :mod:`repro.datalog.planner` -- the
+  hash-index layer and the greedy join-order planner behind the default
+  engine.
 * :mod:`repro.datalog.library` -- every concrete program in the paper.
 * :mod:`repro.datalog.homeo` -- generated programs for Theorems 6.1 / 6.2.
 """

@@ -36,6 +36,7 @@ from repro.datalog.ast import (
     Variable,
 )
 from repro.datalog.evaluation import FixpointResult, _database_from_structure
+from repro.datalog.indexing import IndexedDatabase
 from repro.relalg.expressions import (
     Base,
     Condition,
@@ -255,32 +256,39 @@ def evaluate_algebra(
     database, __ = _database_from_structure(program, structure, extra_edb)
     for predicate in program.idb_predicates:
         database.setdefault(predicate, set())
+    # The shared index layer bookkeeps the growing relations: merges run
+    # through RelationIndex.add_all, so fresh-row detection and any
+    # indexes the expression evaluator asks for stay incremental.
+    store = IndexedDatabase(database)
     compiled_rules = compile_program(program)
 
     iterations = 0
     if method == "naive":
+        idb = program.idb_predicates
         while True:
             iterations += 1
-            frozen = {
-                name: frozenset(rows) for name, rows in database.items()
-            }
-            changed = False
+            overlay = {name: store.rows(name) for name in store}
+            # Derive a full round against the pre-round overlay before
+            # merging, so each round is one application of Theta.
+            derived_by_head: dict[str, set] = {p: set() for p in idb}
             for compiled in compiled_rules:
-                derived = _head_tuples(compiled, structure, frozen)
-                target = database[compiled.rule.head.predicate]
-                if not derived <= target:
-                    target |= derived
+                derived_by_head[compiled.rule.head.predicate] |= _head_tuples(
+                    compiled, structure, overlay
+                )
+            changed = False
+            for predicate, rows in derived_by_head.items():
+                if store.merge(predicate, rows):
                     changed = True
             if not changed:
                 break
     else:
         iterations = _seminaive_algebra(
-            program, structure, database, compiled_rules
+            program, structure, store, compiled_rules
         )
 
     return FixpointResult(
         relations={
-            p: frozenset(database[p]) for p in program.idb_predicates
+            p: frozenset(store.rows(p)) for p in program.idb_predicates
         },
         goal=program.goal,
         stages=None,
@@ -291,7 +299,7 @@ def evaluate_algebra(
 def _seminaive_algebra(
     program: Program,
     structure: Structure,
-    database: dict,
+    store: IndexedDatabase,
     compiled_rules: tuple[CompiledRule, ...],
 ) -> int:
     """Delta-driven iteration of the compiled algebra."""
@@ -303,28 +311,30 @@ def _seminaive_algebra(
     ]
 
     # Round one: every rule against the initial (EDB-only) database.
-    frozen = {name: frozenset(rows) for name, rows in database.items()}
-    delta: dict[str, set] = {p: set() for p in idb}
+    overlay = {name: store.rows(name) for name in store}
+    derived_by_head: dict[str, set] = {p: set() for p in idb}
     for compiled in compiled_rules:
-        derived = _head_tuples(compiled, structure, frozen)
-        fresh = derived - database[compiled.rule.head.predicate]
-        database[compiled.rule.head.predicate] |= fresh
-        delta[compiled.rule.head.predicate] |= fresh
+        derived_by_head[compiled.rule.head.predicate] |= _head_tuples(
+            compiled, structure, overlay
+        )
+    delta = {
+        predicate: store.merge(predicate, rows)
+        for predicate, rows in derived_by_head.items()
+    }
     iterations = 1
 
     while any(delta.values()):
         iterations += 1
-        overlay = {
-            name: frozenset(rows) for name, rows in database.items()
-        }
+        overlay = {name: store.rows(name) for name in store}
         for predicate, rows in delta.items():
-            overlay[_DELTA + predicate] = frozenset(rows)
-        new_delta: dict[str, set] = {p: set() for p in idb}
+            overlay[_DELTA + predicate] = rows
+        new_derived: dict[str, set] = {p: set() for p in idb}
         for compiled in delta_rules:
-            derived = _head_tuples(compiled, structure, overlay)
-            fresh = derived - database[compiled.rule.head.predicate]
-            new_delta[compiled.rule.head.predicate] |= fresh
-        for predicate, rows in new_delta.items():
-            database[predicate] |= rows
-        delta = new_delta
+            new_derived[compiled.rule.head.predicate] |= _head_tuples(
+                compiled, structure, overlay
+            )
+        delta = {
+            predicate: store.merge(predicate, rows)
+            for predicate, rows in new_derived.items()
+        }
     return iterations

@@ -1,14 +1,25 @@
 """Bottom-up fixpoint evaluation of Datalog(!=) programs.
 
-Two engines are provided and cross-validated against each other in the
-test suite:
+Three engines are provided and cross-validated against each other in
+the test suite (plus a fourth, algebra-backed one in
+:mod:`repro.datalog.algebra_engine`):
 
 * **naive** -- iterate the paper's operator ``Theta`` from the empty
   interpretation; the intermediate interpretations are exactly the stages
   ``Theta^1 <= Theta^2 <= ...`` of Section 2, which Theorem 3.6 translates
   into ``L^{l+r}`` formulas;
-* **semi-naive** -- the standard delta-driven optimisation, used by
-  default.
+* **semi-naive** -- the standard delta-driven optimisation, matching the
+  naive engine round for round;
+* **indexed** -- the default: semi-naive rounds executed through
+  per-relation hash indexes (:mod:`repro.datalog.indexing`, built lazily
+  per position signature, maintained incrementally as deltas merge) and
+  greedily reordered rule bodies (:mod:`repro.datalog.planner`, delta
+  occurrence first, constraints as early as their variables are bound).
+
+All three engines produce identical relations, goal answers, iteration
+counts, and per-round stage snapshots -- the rounds of each engine are
+the same sequence ``Theta^1 <= Theta^2 <= ...`` of Section 2, so the
+Theorem 3.6 stage translations are engine-independent.
 
 Variables range over the *universe* of the input structure (the paper
 defines ``Theta_A(S) = {a : A, a |= phi(w, S)}`` with no range
@@ -32,11 +43,23 @@ from repro.datalog.ast import (
     Term,
     Variable,
 )
+from repro.datalog.indexing import IndexedDatabase, hash_index
+from repro.datalog.planner import (
+    AtomStep,
+    ConstraintStep,
+    EnumerateStep,
+    RulePlan,
+    plan_program_rules,
+    plan_rule,
+)
 from repro.structures.structure import Structure
 
 Element = Hashable
 Database = dict[str, set]
 Binding = dict[Variable, Element]
+
+#: The engines accepted by :func:`evaluate`'s ``method`` parameter.
+METHODS = ("indexed", "seminaive", "naive")
 
 
 @dataclass(frozen=True)
@@ -110,25 +133,30 @@ def _match_atom(
         positions = tuple(bound_positions)
         index = indexes.get(positions)
         if index is None:
-            index = {}
-            for row in tuple_list:
-                index.setdefault(
-                    tuple(row[i] for i in positions), []
-                ).append(row)
+            index = hash_index(tuple_list, positions)
             indexes[positions] = index
         for row in index.get(tuple(key), ()):
-            extended = dict(binding)
-            ok = True
-            for term, value in zip(atom.args, row):
-                known = _resolve(term, extended, constants)
-                if known is None:
-                    extended[term] = value  # term must be a Variable
-                elif known != value:
-                    ok = False
-                    break
-            if ok:
+            extended = _extend_binding(atom, row, binding, constants)
+            if extended is not None:
                 result.append(extended)
     return result
+
+
+def _extend_binding(
+    atom: Atom,
+    row: tuple,
+    binding: Binding,
+    constants: Mapping[str, Element],
+) -> Binding | None:
+    """Extend ``binding`` so that ``atom`` matches ``row``; None on clash."""
+    extended = dict(binding)
+    for term, value in zip(atom.args, row):
+        known = _resolve(term, extended, constants)
+        if known is None:
+            extended[term] = value  # term must be a Variable
+        elif known != value:
+            return None
+    return extended
 
 
 def _apply_ready_constraints(
@@ -225,18 +253,23 @@ def _rule_bindings(
         atom_position += 1
 
     # Enumerate variables still unbound (head-only / constraint-only vars).
-    universe_list = list(universe)
+    # Atom matching and ready-constraint application bind the same
+    # variable set in every surviving binding, so the free-variable list
+    # and its universe product are computed once per rule, not once per
+    # binding.
     needed = sorted(rule.variables())
+    free = [v for v in needed if v not in bindings[0]]
+    if not free:
+        for binding in bindings:
+            if _constraints_hold(rule, binding, constants):
+                yield binding
+        return
+    free_product = list(
+        itertools.product(list(universe), repeat=len(free))
+    )
     for binding in bindings:
-        free = [v for v in needed if v not in binding]
-        if not free:
-            candidates: Iterable[Binding] = (binding,)
-        else:
-            candidates = (
-                {**binding, **dict(zip(free, values))}
-                for values in itertools.product(universe_list, repeat=len(free))
-            )
-        for candidate in candidates:
+        for values in free_product:
+            candidate = {**binding, **dict(zip(free, values))}
             if _constraints_hold(rule, candidate, constants):
                 yield candidate
 
@@ -322,7 +355,7 @@ def evaluate(
     program: Program,
     structure: Structure,
     extra_edb: Mapping[str, Iterable[tuple]] | None = None,
-    method: str = "seminaive",
+    method: str = "indexed",
     collect_stages: bool = False,
 ) -> FixpointResult:
     """Compute the least fixpoint ``pi^infty`` of a program on a structure.
@@ -340,40 +373,36 @@ def evaluate(
         Theorem 6.1 does ("consider the following program in which T is
         viewed as an EDB predicate").
     method:
-        ``"seminaive"`` (default) or ``"naive"``.
+        ``"indexed"`` (default), ``"seminaive"``, or ``"naive"``.
     collect_stages:
-        When true, record the cumulative stage relations (forces naive
-        evaluation, whose iterations are exactly the paper's stages).
+        When true, record the cumulative stage relations after every
+        round.  Rounds coincide across the engines, so the recorded
+        sequence is the paper's ``Theta^1 <= Theta^2 <= ...`` whichever
+        engine runs.
     """
-    if method not in ("naive", "seminaive"):
+    if method not in METHODS:
         raise ValueError(f"unknown evaluation method {method!r}")
-    if collect_stages:
-        method = "naive"
     database, constants = _database_from_structure(program, structure, extra_edb)
     universe = list(structure.universe)
     for predicate in program.idb_predicates:
         database.setdefault(predicate, set())
 
-    stage_snapshots: list[dict[str, frozenset]] = []
-    iterations = 0
+    stage_snapshots: list[dict[str, frozenset]] | None = (
+        [] if collect_stages else None
+    )
 
     if method == "naive":
-        while True:
-            derived = _apply_all_rules(program, database, universe, constants)
-            iterations += 1
-            changed = False
-            for predicate, tuples in derived.items():
-                if not tuples <= database[predicate]:
-                    changed = True
-                database[predicate] = database[predicate] | tuples
-            if collect_stages:
-                stage_snapshots.append(
-                    _snapshot(database, program.idb_predicates)
-                )
-            if not changed:
-                break
+        iterations = _naive(
+            program, database, universe, constants, stage_snapshots
+        )
+    elif method == "seminaive":
+        iterations = _seminaive(
+            program, database, universe, constants, stage_snapshots
+        )
     else:
-        iterations = _seminaive(program, database, universe, constants)
+        iterations = _indexed(
+            program, database, universe, constants, stage_snapshots
+        )
 
     return FixpointResult(
         relations=_snapshot(database, program.idb_predicates),
@@ -383,11 +412,35 @@ def evaluate(
     )
 
 
+def _naive(
+    program: Program,
+    database: Database,
+    universe: list,
+    constants: Mapping[str, Element],
+    stage_snapshots: list[dict[str, frozenset]] | None,
+) -> int:
+    """Literal iteration of Theta; mutates ``database``; returns rounds."""
+    iterations = 0
+    while True:
+        derived = _apply_all_rules(program, database, universe, constants)
+        iterations += 1
+        changed = False
+        for predicate, tuples in derived.items():
+            if not tuples <= database[predicate]:
+                changed = True
+            database[predicate] = database[predicate] | tuples
+        if stage_snapshots is not None:
+            stage_snapshots.append(_snapshot(database, program.idb_predicates))
+        if not changed:
+            return iterations
+
+
 def _seminaive(
     program: Program,
     database: Database,
     universe: list,
     constants: Mapping[str, Element],
+    stage_snapshots: list[dict[str, frozenset]] | None = None,
 ) -> int:
     """Delta-driven evaluation; mutates ``database``; returns iterations."""
     idb = program.idb_predicates
@@ -399,6 +452,8 @@ def _seminaive(
         database[predicate] |= fresh
         delta[predicate] = fresh
     iterations = 1
+    if stage_snapshots is not None:
+        stage_snapshots.append(_snapshot(database, idb))
 
     while any(delta.values()):
         new_delta: dict[str, set] = {p: set() for p in idb}
@@ -430,6 +485,258 @@ def _seminaive(
             database[predicate] |= tuples
         delta = new_delta
         iterations += 1
+        if stage_snapshots is not None:
+            stage_snapshots.append(_snapshot(database, idb))
+    return iterations
+
+
+# ---------------------------------------------------------------------------
+# The indexed engine: plans from repro.datalog.planner, compiled to
+# slot-addressed ops and executed against the incrementally-indexed
+# store of repro.datalog.indexing.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _CompiledPlan:
+    """A plan lowered onto integer slots for one (rule, constants) pair.
+
+    Bindings become flat lists indexed by slot instead of
+    Variable-keyed dicts -- the hot loops never hash a Variable.  Each
+    op is a tuple whose first element is its kind:
+
+    * ``("atom", predicate, is_delta, bound_positions, key_sources,
+      writes, checks)`` -- index lookup; ``key_sources`` are
+      ``(from_slot, slot_or_value)`` pairs, ``writes``/``checks`` are
+      ``(row_position, slot)`` pairs (checks handle variables repeated
+      within the atom);
+    * ``("bind", slot, source)`` -- equality assigning a fresh slot;
+    * ``("eq" | "neq", left_source, right_source)`` -- filters;
+    * ``("enum", slot)`` -- universe sweep into a fresh slot.
+    """
+
+    plan: RulePlan
+    ops: tuple[tuple, ...]
+    slot_count: int
+    head: tuple  # per head position: (from_slot, slot_or_value)
+
+
+def _compile_plan(
+    plan: RulePlan, constants: Mapping[str, Element]
+) -> _CompiledPlan:
+    slots: dict[Variable, int] = {}
+
+    def source_of(term: Term) -> tuple[bool, object]:
+        if isinstance(term, Constant):
+            return (False, _resolve(term, {}, constants))
+        return (True, slots[term])
+
+    ops: list[tuple] = []
+    for step in plan.steps:
+        if isinstance(step, AtomStep):
+            atom = step.atom
+            bound = set(step.bound_positions)
+            key_sources = tuple(
+                source_of(atom.args[i]) for i in step.bound_positions
+            )
+            writes: list[tuple[int, int]] = []
+            checks: list[tuple[int, int]] = []
+            for position, term in enumerate(atom.args):
+                if position in bound:
+                    continue
+                # An unbound position is always a Variable; a slot can
+                # already exist only via a repeat within this atom.
+                if term in slots:
+                    checks.append((position, slots[term]))
+                else:
+                    slots[term] = len(slots)
+                    writes.append((position, slots[term]))
+            ops.append(
+                (
+                    "atom",
+                    atom.predicate,
+                    step.is_delta,
+                    step.bound_positions,
+                    key_sources,
+                    tuple(writes),
+                    tuple(checks),
+                )
+            )
+        elif isinstance(step, ConstraintStep):
+            literal = step.literal
+            if step.binds is not None:
+                other = (
+                    literal.right
+                    if step.binds == literal.left
+                    else literal.left
+                )
+                source = source_of(other)
+                slots[step.binds] = len(slots)
+                ops.append(("bind", slots[step.binds], source))
+            else:
+                kind = "eq" if isinstance(literal, Equality) else "neq"
+                ops.append(
+                    (kind, source_of(literal.left), source_of(literal.right))
+                )
+        else:  # EnumerateStep
+            slots[step.variable] = len(slots)
+            ops.append(("enum", slots[step.variable]))
+
+    head = tuple(source_of(term) for term in plan.rule.head.args)
+    return _CompiledPlan(plan, tuple(ops), len(slots), head)
+
+
+def _run_plan(
+    compiled: _CompiledPlan,
+    store: IndexedDatabase,
+    universe: list,
+    delta_rows: Iterable[tuple] | None = None,
+) -> Iterator[list]:
+    """All satisfying slot bindings for a compiled plan.
+
+    ``delta_rows`` feeds the plan's ``is_delta`` atom op (present
+    exactly when the plan was built with a ``delta_atom_index``).
+    """
+    bindings: list[list] = [[None] * compiled.slot_count]
+    for op in compiled.ops:
+        kind = op[0]
+        if kind == "atom":
+            __, predicate, is_delta, positions, key_sources, writes, checks = op
+            if is_delta:
+                # Deltas are per-round and small: a one-shot index.
+                lookup = hash_index(delta_rows or (), positions).get
+            else:
+                lookup = store.relation(predicate).index_for(positions).get
+            new_bindings: list[list] = []
+            for binding in bindings:
+                key = tuple(
+                    binding[value] if from_slot else value
+                    for from_slot, value in key_sources
+                )
+                for row in lookup(key, ()):
+                    extended = binding.copy()
+                    for position, slot in writes:
+                        extended[slot] = row[position]
+                    for position, slot in checks:
+                        if extended[slot] != row[position]:
+                            break
+                    else:
+                        new_bindings.append(extended)
+            bindings = new_bindings
+        elif kind == "bind":
+            __, slot, (from_slot, value) = op
+            for binding in bindings:
+                binding[slot] = binding[value] if from_slot else value
+        elif kind == "enum":
+            slot = op[1]
+            swept: list[list] = []
+            for binding in bindings:
+                for element in universe:
+                    extended = binding.copy()
+                    extended[slot] = element
+                    swept.append(extended)
+            bindings = swept
+        else:  # "eq" / "neq"
+            __, (left_slot, left), (right_slot, right) = op
+            wanted = kind == "eq"
+            bindings = [
+                binding
+                for binding in bindings
+                if (
+                    (binding[left] if left_slot else left)
+                    == (binding[right] if right_slot else right)
+                )
+                is wanted
+            ]
+        if not bindings:
+            return iter(())
+    return iter(bindings)
+
+
+def _plan_heads(
+    compiled: _CompiledPlan,
+    store: IndexedDatabase,
+    universe: list,
+    delta_rows: Iterable[tuple] | None = None,
+) -> Iterator[tuple]:
+    """Head tuples derived by one compiled plan."""
+    head = compiled.head
+    for binding in _run_plan(compiled, store, universe, delta_rows):
+        yield tuple(
+            binding[value] if from_slot else value
+            for from_slot, value in head
+        )
+
+
+def _indexed(
+    program: Program,
+    database: Database,
+    universe: list,
+    constants: Mapping[str, Element],
+    stage_snapshots: list[dict[str, frozenset]] | None = None,
+) -> int:
+    """Index-backed semi-naive evaluation; mutates ``database``.
+
+    Round-for-round identical to :func:`_seminaive`: round 1 applies
+    every rule to the EDB-only store, later rounds re-derive only
+    through the delta-specialised plans, and the iteration count is the
+    number of rounds until the delta empties.
+    """
+    idb = program.idb_predicates
+    store = IndexedDatabase(database)
+    full_plans = [
+        _compile_plan(plan_rule(rule), constants) for rule in program.rules
+    ]
+    delta_plans = [
+        tuple(
+            _compile_plan(plan, constants)
+            for plan in plan_program_rules(rule, idb)
+        )
+        for rule in program.rules
+    ]
+
+    # Initial round: every rule against the EDB-only store.
+    derived: dict[str, set] = {p: set() for p in idb}
+    for rule, compiled in zip(program.rules, full_plans):
+        derived[rule.head.predicate].update(
+            _plan_heads(compiled, store, universe)
+        )
+    delta: dict[str, set] = {}
+    for predicate, tuples in derived.items():
+        delta[predicate] = store.merge(predicate, tuples)
+    iterations = 1
+    if stage_snapshots is not None:
+        stage_snapshots.append(store.snapshot(idb))
+
+    while any(delta.values()):
+        new_derived: dict[str, set] = {p: set() for p in idb}
+        for rule, compiled_deltas in zip(program.rules, delta_plans):
+            existing = store.rows(rule.head.predicate)
+            target = new_derived[rule.head.predicate]
+            for compiled in compiled_deltas:
+                delta_index = compiled.plan.delta_atom_index
+                assert delta_index is not None
+                predicate = rule.body_atoms()[delta_index].predicate
+                rows = delta[predicate]
+                if not rows:
+                    continue
+                for head in _plan_heads(
+                    compiled, store, universe, delta_rows=rows
+                ):
+                    if head not in existing:
+                        target.add(head)
+        delta = {
+            predicate: store.merge(predicate, tuples)
+            for predicate, tuples in new_derived.items()
+        }
+        iterations += 1
+        if stage_snapshots is not None:
+            stage_snapshots.append(store.snapshot(idb))
+
+    # The store adopted copies of the database's row sets; write the
+    # final interpretations back so the caller's snapshot sees them.
+    for predicate in idb:
+        database[predicate] = store.rows(predicate)
     return iterations
 
 
@@ -442,9 +749,16 @@ def stages(
 
     The final entry is the least fixpoint; by the paper's Section 2
     discussion the sequence stabilises after at most ``|A|^r`` steps.
+    Computed with the naive engine -- the literal operator iteration of
+    Section 2 -- though every engine records the identical sequence (a
+    property the differential tests pin).
     """
     result = evaluate(
-        program, structure, extra_edb=extra_edb, collect_stages=True
+        program,
+        structure,
+        extra_edb=extra_edb,
+        method="naive",
+        collect_stages=True,
     )
     assert result.stages is not None
     return result.stages

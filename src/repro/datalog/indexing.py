@@ -1,0 +1,166 @@
+"""Hash indexes over relations: the shared index layer of the engines.
+
+Every join strategy in the reproduction ultimately answers the same
+question: *which rows of relation R agree with the values already bound
+at a given subset of argument positions?*  This module centralises the
+answer as hash indexes keyed by position signature:
+
+* :func:`hash_index` -- the one-shot grouping primitive, also used by
+  the relational-algebra evaluator's natural join;
+* :class:`RelationIndex` -- one relation's row set plus its indexes,
+  built lazily per position signature and maintained *incrementally* as
+  new rows arrive (so the indexed semi-naive engine never rebuilds an
+  index between fixpoint rounds);
+* :class:`IndexedDatabase` -- a name -> :class:`RelationIndex` mapping
+  with delta-merge bookkeeping, the store behind
+  ``evaluate(..., method="indexed")``.
+
+The index layer is purely an access-path optimisation: it stores the
+same row sets the plain ``dict[str, set]`` database does, so every
+engine built on top of it computes the paper's operator ``Theta``
+exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, Mapping
+
+Element = Hashable
+Row = tuple
+PositionSignature = tuple[int, ...]
+
+
+def hash_index(
+    rows: Iterable[Row], positions: PositionSignature
+) -> dict[tuple, list[Row]]:
+    """Group ``rows`` by their projection onto ``positions``.
+
+    The empty signature groups every row under the empty key, so a
+    lookup with ``()`` is a full scan -- the degenerate case needs no
+    special handling at call sites.
+    """
+    index: dict[tuple, list[Row]] = {}
+    for row in rows:
+        index.setdefault(tuple(row[i] for i in positions), []).append(row)
+    return index
+
+
+class RelationIndex:
+    """One relation's rows plus lazily-built, incrementally-kept indexes.
+
+    An index for a position signature is built on first use
+    (:meth:`matching` / :meth:`index_for`) and from then on updated in
+    place by :meth:`add` / :meth:`add_all` -- the point of the class:
+    fixpoint engines merge small deltas every round, and rebuilding
+    indexes over a large relation per round is where the avoidable
+    quadratic factor lives.
+
+    All mutation must go through :meth:`add` / :meth:`add_all`; mutating
+    :attr:`rows` directly would silently desynchronise the indexes.
+    """
+
+    __slots__ = ("_rows", "_indexes")
+
+    def __init__(self, rows: Iterable[Row] = ()) -> None:
+        self._rows: set[Row] = set(tuple(row) for row in rows)
+        self._indexes: dict[PositionSignature, dict[tuple, list[Row]]] = {}
+
+    @property
+    def rows(self) -> set[Row]:
+        """The row set (do not mutate; use :meth:`add` / :meth:`add_all`)."""
+        return self._rows
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __contains__(self, row: Row) -> bool:
+        return row in self._rows
+
+    @property
+    def signatures(self) -> frozenset[PositionSignature]:
+        """Position signatures whose indexes have been materialised."""
+        return frozenset(self._indexes)
+
+    def index_for(
+        self, positions: PositionSignature
+    ) -> Mapping[tuple, list[Row]]:
+        """The index keyed on ``positions``, building it if absent."""
+        index = self._indexes.get(positions)
+        if index is None:
+            index = hash_index(self._rows, positions)
+            self._indexes[positions] = index
+        return index
+
+    def matching(
+        self, positions: PositionSignature, key: tuple
+    ) -> Iterable[Row]:
+        """Rows whose projection onto ``positions`` equals ``key``."""
+        return self.index_for(positions).get(key, ())
+
+    def add(self, row: Row) -> bool:
+        """Insert one row; returns whether it was new.
+
+        Every already-built index is extended in place, so lookups stay
+        consistent without any rebuild.
+        """
+        if row in self._rows:
+            return False
+        self._rows.add(row)
+        for positions, index in self._indexes.items():
+            index.setdefault(
+                tuple(row[i] for i in positions), []
+            ).append(row)
+        return True
+
+    def add_all(self, rows: Iterable[Row]) -> set[Row]:
+        """Insert many rows; returns the subset that was actually new."""
+        fresh = {row for row in rows if self.add(row)}
+        return fresh
+
+
+class IndexedDatabase:
+    """A database whose relations carry incrementally-maintained indexes.
+
+    Construction *adopts* the given row iterables (copied into fresh
+    sets); subsequent growth goes through :meth:`merge`, which routes
+    every insertion through the per-relation index maintenance.
+    """
+
+    __slots__ = ("_relations",)
+
+    def __init__(
+        self, relations: Mapping[str, Iterable[Row]] | None = None
+    ) -> None:
+        self._relations: dict[str, RelationIndex] = {}
+        for name, rows in (relations or {}).items():
+            self._relations[name] = RelationIndex(rows)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._relations)
+
+    def relation(self, name: str) -> RelationIndex:
+        """The (possibly empty, created-on-demand) index for ``name``."""
+        index = self._relations.get(name)
+        if index is None:
+            index = RelationIndex()
+            self._relations[name] = index
+        return index
+
+    def rows(self, name: str) -> set[Row]:
+        """The row set of ``name`` (empty set if the relation is absent)."""
+        index = self._relations.get(name)
+        return index.rows if index is not None else set()
+
+    def merge(self, name: str, rows: Iterable[Row]) -> set[Row]:
+        """Union ``rows`` into ``name``; returns the genuinely new rows."""
+        return self.relation(name).add_all(rows)
+
+    def snapshot(self, names: Iterable[str]) -> dict[str, frozenset]:
+        """Frozen copies of the named relations (for stage tracking)."""
+        return {name: frozenset(self.rows(name)) for name in names}

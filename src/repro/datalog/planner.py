@@ -1,0 +1,268 @@
+"""Greedy join-order planning for rule bodies.
+
+The indexed engine does not execute a rule body in declaration order:
+:func:`plan_rule` reorders the relational atoms so that every join step
+has as many argument positions bound as possible (and therefore the
+most selective index lookup), schedules equalities and inequalities at
+the earliest point their terms are determined, and enumerates the
+variables no atom binds -- the paper's universe-ranging head-only and
+constraint-only variables -- one at a time so that constraints prune
+each universe sweep immediately.
+
+Plans are purely an execution order over the same satisfying-binding
+set: every atom and every constraint of the body is scheduled exactly
+once, so the plan computes exactly the rule's contribution to the
+operator ``Theta``.  The invariants are pinned by
+``tests/test_planner.py``.
+
+For semi-naive evaluation :func:`plan_rule` additionally specialises a
+plan per IDB body-atom occurrence (``delta_atom_index``): the delta
+occurrence is scheduled *first*, so each round's work is driven by the
+(small) set of newly derived tuples rather than the full relation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.datalog.ast import (
+    Atom,
+    Constant,
+    Equality,
+    Inequality,
+    Rule,
+    Variable,
+)
+
+
+@dataclass(frozen=True)
+class AtomStep:
+    """Join the current bindings with one relational atom.
+
+    ``bound_positions`` lists the argument positions whose terms are
+    already determined when the step runs (constants, or variables bound
+    by earlier steps) -- the index signature the executor looks up.
+    ``atom_index`` is the atom's position among ``rule.body_atoms()``;
+    ``is_delta`` marks the occurrence a semi-naive plan reads from the
+    delta relation instead of the full one.
+    """
+
+    atom: Atom
+    body_index: int
+    atom_index: int
+    bound_positions: tuple[int, ...]
+    is_delta: bool = False
+
+
+@dataclass(frozen=True)
+class ConstraintStep:
+    """Apply one equality / inequality to the current bindings.
+
+    For an equality with exactly one side still unbound, ``binds`` names
+    the variable the step *assigns* (rather than filters); otherwise the
+    step only discards bindings.
+    """
+
+    literal: Union[Equality, Inequality]
+    body_index: int
+    binds: Variable | None = None
+
+
+@dataclass(frozen=True)
+class EnumerateStep:
+    """Range one otherwise-unbound variable over the whole universe.
+
+    This is the paper's semantics for head-only / constraint-only
+    variables (``Theta_A(S) = {a : A, a |= phi(w, S)}`` has no range
+    restriction); planning enumerates such variables one at a time so
+    ready constraints can prune between sweeps.
+    """
+
+    variable: Variable
+
+
+PlanStep = Union[AtomStep, ConstraintStep, EnumerateStep]
+
+
+@dataclass(frozen=True)
+class RulePlan:
+    """An execution order for one rule body.
+
+    ``delta_atom_index`` is ``None`` for a full plan, or the
+    ``body_atoms()`` index of the occurrence joined against the delta.
+    """
+
+    rule: Rule
+    steps: tuple[PlanStep, ...]
+    delta_atom_index: int | None = None
+
+    def atom_steps(self) -> tuple[AtomStep, ...]:
+        return tuple(s for s in self.steps if isinstance(s, AtomStep))
+
+    def constraint_steps(self) -> tuple[ConstraintStep, ...]:
+        return tuple(s for s in self.steps if isinstance(s, ConstraintStep))
+
+    def enumerated_variables(self) -> tuple[Variable, ...]:
+        return tuple(
+            s.variable for s in self.steps if isinstance(s, EnumerateStep)
+        )
+
+
+@dataclass
+class _PlannerState:
+    bound: set[Variable] = field(default_factory=set)
+    steps: list[PlanStep] = field(default_factory=list)
+
+    def term_bound(self, term) -> bool:
+        return isinstance(term, Constant) or term in self.bound
+
+
+def _flush_ready_constraints(
+    state: _PlannerState, pending: dict[int, Union[Equality, Inequality]]
+) -> None:
+    """Schedule every pending constraint whose time has come.
+
+    Inequalities need both sides determined; equalities fire as soon as
+    one side is (binding the other when it is an unbound variable).
+    Fires repeatedly because an equality binding can ready its
+    neighbours.
+    """
+    changed = True
+    while changed and pending:
+        changed = False
+        for body_index in sorted(pending):
+            literal = pending[body_index]
+            left, right = literal.left, literal.right
+            left_bound = state.term_bound(left)
+            right_bound = state.term_bound(right)
+            if isinstance(literal, Equality):
+                if left_bound and right_bound:
+                    state.steps.append(ConstraintStep(literal, body_index))
+                elif left_bound and isinstance(right, Variable):
+                    state.steps.append(
+                        ConstraintStep(literal, body_index, binds=right)
+                    )
+                    state.bound.add(right)
+                elif right_bound and isinstance(left, Variable):
+                    state.steps.append(
+                        ConstraintStep(literal, body_index, binds=left)
+                    )
+                    state.bound.add(left)
+                else:
+                    continue
+            else:
+                if not (left_bound and right_bound):
+                    continue
+                state.steps.append(ConstraintStep(literal, body_index))
+            del pending[body_index]
+            changed = True
+
+
+def _atom_score(atom: Atom, state: _PlannerState) -> tuple[int, int]:
+    """Greedy ranking: (bound positions, -new variables) -- maximised."""
+    bound_positions = sum(
+        1 for term in atom.args if state.term_bound(term)
+    )
+    new_variables = len(
+        {
+            term
+            for term in atom.args
+            if isinstance(term, Variable) and term not in state.bound
+        }
+    )
+    return (bound_positions, -new_variables)
+
+
+def _schedule_atom(
+    state: _PlannerState,
+    atom: Atom,
+    body_index: int,
+    atom_index: int,
+    is_delta: bool,
+) -> None:
+    positions = tuple(
+        position
+        for position, term in enumerate(atom.args)
+        if state.term_bound(term)
+    )
+    state.steps.append(
+        AtomStep(atom, body_index, atom_index, positions, is_delta)
+    )
+    state.bound.update(atom.variables())
+
+
+def plan_rule(rule: Rule, delta_atom_index: int | None = None) -> RulePlan:
+    """Plan one rule body; see the module docstring for the strategy.
+
+    ``delta_atom_index`` (an index into ``rule.body_atoms()``) produces
+    the semi-naive specialisation in which that occurrence is scheduled
+    first and marked ``is_delta``.
+    """
+    atoms: list[tuple[int, int, Atom]] = []  # (atom_index, body_index, atom)
+    pending: dict[int, Union[Equality, Inequality]] = {}
+    atom_index = 0
+    for body_index, literal in enumerate(rule.body):
+        if isinstance(literal, Atom):
+            atoms.append((atom_index, body_index, literal))
+            atom_index += 1
+        else:
+            pending[body_index] = literal
+    if delta_atom_index is not None and not (
+        0 <= delta_atom_index < len(atoms)
+    ):
+        raise ValueError(
+            f"delta_atom_index {delta_atom_index} out of range for a body "
+            f"with {len(atoms)} atoms"
+        )
+
+    state = _PlannerState()
+    # Constant-vs-constant constraints are ready before anything runs.
+    _flush_ready_constraints(state, pending)
+
+    unscheduled = list(atoms)
+    if delta_atom_index is not None:
+        position = next(
+            i for i, (a, __, ___) in enumerate(unscheduled)
+            if a == delta_atom_index
+        )
+        a_index, b_index, atom = unscheduled.pop(position)
+        _schedule_atom(state, atom, b_index, a_index, is_delta=True)
+        _flush_ready_constraints(state, pending)
+
+    while unscheduled:
+        best = max(
+            range(len(unscheduled)),
+            key=lambda i: _atom_score(unscheduled[i][2], state)
+            + (-unscheduled[i][0],),  # deterministic tie-break: body order
+        )
+        a_index, b_index, atom = unscheduled.pop(best)
+        _schedule_atom(state, atom, b_index, a_index, is_delta=False)
+        _flush_ready_constraints(state, pending)
+
+    # Universe-ranged variables, one sweep at a time.
+    for variable in sorted(rule.variables()):
+        if variable in state.bound:
+            continue
+        state.steps.append(EnumerateStep(variable))
+        state.bound.add(variable)
+        _flush_ready_constraints(state, pending)
+
+    if pending:  # pragma: no cover - every rule variable is bound above
+        raise AssertionError(
+            f"constraints never became ready: {sorted(pending)}"
+        )
+    return RulePlan(rule, tuple(state.steps), delta_atom_index)
+
+
+def plan_program_rules(rule: Rule, idb_predicates: frozenset[str]):
+    """All semi-naive plans for a rule: one per IDB body-atom occurrence.
+
+    Returns an empty tuple for EDB-only rules (they contribute nothing
+    after the first round).
+    """
+    plans = []
+    for atom_index, atom in enumerate(rule.body_atoms()):
+        if atom.predicate in idb_predicates:
+            plans.append(plan_rule(rule, delta_atom_index=atom_index))
+    return tuple(plans)

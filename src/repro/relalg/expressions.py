@@ -221,11 +221,11 @@ def evaluate_expression(
         left_key = [left.index_of(c) for c in shared]
         right_key = [right.index_of(c) for c in shared]
         extra_positions = [right.index_of(c) for c in extra]
-        index: dict[tuple, list[tuple]] = {}
-        for row in right.rows:
-            index.setdefault(
-                tuple(row[i] for i in right_key), []
-            ).append(row)
+        # Shared index layer; imported lazily because repro.datalog's
+        # package init imports this module.
+        from repro.datalog.indexing import hash_index
+
+        index = hash_index(right.rows, tuple(right_key))
         rows = set()
         for row in left.rows:
             key = tuple(row[i] for i in left_key)

@@ -148,17 +148,72 @@ class TestSelfcheck:
 
 
 class TestEngineOption:
+    """Example 2.2 (transitive closure, ``program_file``) and Example 2.1
+    (avoiding paths) end-to-end under each fixpoint engine."""
+
+    @pytest.fixture
+    def avoiding_file(self, tmp_path):
+        from repro.datalog.library import avoiding_path_program
+
+        path = tmp_path / "avoiding.dl"
+        path.write_text(dump_program(avoiding_path_program()))
+        return str(path)
+
     def test_algebra_engine(self, capsys, program_file, path_graph_file):
         assert main([
             "run", program_file, path_graph_file, "--engine", "algebra",
         ]) == 0
         assert "6 tuples" in capsys.readouterr().out
 
-    def test_naive_engine(self, capsys, program_file, path_graph_file):
+    @pytest.mark.parametrize("engine", ["naive", "seminaive", "indexed"])
+    def test_transitive_closure_per_engine(
+        self, capsys, program_file, path_graph_file, engine
+    ):
         assert main([
-            "run", program_file, path_graph_file, "--engine", "naive",
+            "run", program_file, path_graph_file, "--engine", engine,
         ]) == 0
-        assert "6 tuples" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "6 tuples" in out
+        assert "a\td" in out
+
+    @pytest.mark.parametrize("engine", ["naive", "seminaive", "indexed"])
+    def test_avoiding_path_per_engine(
+        self, capsys, avoiding_file, path_graph_file, engine
+    ):
+        assert main([
+            "run", avoiding_file, path_graph_file, "--engine", engine,
+        ]) == 0
+        # A path a -> ... -> c avoiding d exists on the 4-node path.
+        assert "a\tc\td" in capsys.readouterr().out
+
+    def test_engines_print_identical_relations(
+        self, capsys, avoiding_file, path_graph_file
+    ):
+        outputs = set()
+        for engine in ["naive", "seminaive", "indexed", "algebra"]:
+            assert main([
+                "run", avoiding_file, path_graph_file, "--engine", engine,
+            ]) == 0
+            outputs.add(capsys.readouterr().out)
+        assert len(outputs) == 1
+
+    def test_default_engine_is_indexed(self, program_file, path_graph_file):
+        import repro.cli as cli_module
+
+        parser = cli_module.build_parser()
+        args = parser.parse_args(["run", program_file, path_graph_file])
+        assert args.engine == "indexed"
+
+    def test_check_tuple_per_engine(self, program_file, path_graph_file):
+        for engine in ["naive", "seminaive", "indexed"]:
+            assert main([
+                "run", program_file, path_graph_file,
+                "--engine", engine, "--check", "a", "c",
+            ]) == 0
+            assert main([
+                "run", program_file, path_graph_file,
+                "--engine", engine, "--check", "c", "a",
+            ]) == 1
 
 
 class TestTable:

@@ -54,13 +54,14 @@ class TestAvoidingPath:
 
 
 class TestEngineMechanics:
-    def test_naive_equals_seminaive(self):
+    def test_naive_equals_seminaive_equals_indexed(self):
         program = avoiding_path_program()
         for seed in range(4):
             s = random_digraph(6, 0.3, seed).to_structure()
             naive = evaluate(program, s, method="naive").relations
             semi = evaluate(program, s, method="seminaive").relations
-            assert naive == semi
+            indexed = evaluate(program, s, method="indexed").relations
+            assert naive == semi == indexed
 
     def test_stages_are_increasing_and_converge(self):
         program = transitive_closure_program()
@@ -113,6 +114,27 @@ class TestEngineMechanics:
             (x, u) for x in ("v0", "v1") for u in ("v0", "v1", "v2")
         )
 
+    def test_head_only_variables_pinned_across_methods(self):
+        """Regression: the free-variable universe product is hoisted out
+        of the per-binding loop in ``_rule_bindings``; the result set on
+        a program whose head mixes bound, free, and constrained-free
+        variables must stay exactly this, for every engine."""
+        program = parse_program(
+            "D(x, u, w) :- E(x, y), u != w, u != x.", goal="D"
+        )
+        s = path_graph(3).to_structure()
+        universe = ("v0", "v1", "v2")
+        expected = frozenset(
+            (x, u, w)
+            for x in ("v0", "v1")  # E's sources
+            for u in universe
+            for w in universe
+            if u != w and u != x
+        )
+        for method in ("naive", "seminaive", "indexed"):
+            result = evaluate(program, s, method=method)
+            assert result.goal_relation == expected, method
+
     def test_inequality_only_variable(self):
         program = parse_program("D(x) :- E(x, y), x != $s.", goal="D")
         g = path_graph(3).with_distinguished({"s": "v0"})
@@ -155,4 +177,5 @@ def test_naive_seminaive_agree_on_random_graphs(seed):
     assert (
         evaluate(program, s, method="naive").relations
         == evaluate(program, s, method="seminaive").relations
+        == evaluate(program, s, method="indexed").relations
     )

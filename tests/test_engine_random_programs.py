@@ -55,14 +55,15 @@ def random_programs(draw):
 
 @settings(max_examples=40, deadline=None)
 @given(random_programs(), st.integers(min_value=0, max_value=1_000))
-def test_all_three_engines_agree(program, seed):
+def test_all_engines_agree(program, seed):
     from repro.datalog import evaluate_algebra
 
     structure = random_digraph(4, 0.35, seed).to_structure()
     naive = evaluate(program, structure, method="naive").relations
     semi = evaluate(program, structure, method="seminaive").relations
+    indexed = evaluate(program, structure, method="indexed").relations
     algebra = evaluate_algebra(program, structure).relations
-    assert naive == semi == algebra
+    assert naive == semi == indexed == algebra
 
 
 @settings(max_examples=25, deadline=None)

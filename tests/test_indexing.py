@@ -1,0 +1,130 @@
+"""Unit tests for the shared hash-index layer."""
+
+import random
+
+from repro.datalog.indexing import IndexedDatabase, RelationIndex, hash_index
+
+ROWS = {("a", "b"), ("a", "c"), ("b", "b"), ("c", "a")}
+
+
+class TestHashIndex:
+    def test_groups_by_projection(self):
+        index = hash_index(ROWS, (0,))
+        assert sorted(index) == [("a",), ("b",), ("c",)]
+        assert sorted(index[("a",)]) == [("a", "b"), ("a", "c")]
+
+    def test_empty_signature_is_a_full_scan(self):
+        index = hash_index(ROWS, ())
+        assert set(index[()]) == ROWS
+
+    def test_multi_position_signature(self):
+        index = hash_index(ROWS, (1, 0))
+        assert index[("b", "a")] == [("a", "b")]
+
+    def test_nullary_rows(self):
+        assert hash_index({()}, ()) == {(): [()]}
+
+
+class TestRelationIndex:
+    def test_rows_and_membership(self):
+        relation = RelationIndex(ROWS)
+        assert len(relation) == 4
+        assert ("a", "b") in relation
+        assert ("z", "z") not in relation
+        assert set(relation) == ROWS
+
+    def test_indexes_are_lazy(self):
+        relation = RelationIndex(ROWS)
+        assert relation.signatures == frozenset()
+        relation.matching((0,), ("a",))
+        assert relation.signatures == frozenset({(0,)})
+
+    def test_matching(self):
+        relation = RelationIndex(ROWS)
+        assert set(relation.matching((0,), ("a",))) == {("a", "b"), ("a", "c")}
+        assert list(relation.matching((0,), ("z",))) == []
+        assert set(relation.matching((), ())) == ROWS
+
+    def test_add_reports_novelty(self):
+        relation = RelationIndex(ROWS)
+        assert relation.add(("z", "z")) is True
+        assert relation.add(("z", "z")) is False
+        assert relation.add(("a", "b")) is False
+        assert len(relation) == 5
+
+    def test_add_maintains_built_indexes(self):
+        relation = RelationIndex(ROWS)
+        relation.index_for((0,))
+        relation.index_for((1,))
+        relation.add(("a", "z"))
+        assert set(relation.matching((0,), ("a",))) == {
+            ("a", "b"), ("a", "c"), ("a", "z"),
+        }
+        assert set(relation.matching((1,), ("z",))) == {("a", "z")}
+
+    def test_add_all_returns_fresh_subset(self):
+        relation = RelationIndex(ROWS)
+        fresh = relation.add_all([("a", "b"), ("x", "y"), ("x", "y")])
+        assert fresh == {("x", "y")}
+
+    def test_incremental_equals_rebuild_under_random_merges(self):
+        """Property: incrementally-maintained indexes match a rebuild
+        from scratch after any sequence of merges."""
+        rng = random.Random(13)
+        relation = RelationIndex()
+        signatures = [(), (0,), (1,), (0, 1), (1, 0)]
+        for __ in range(30):
+            if rng.random() < 0.4:
+                relation.index_for(rng.choice(signatures))
+            relation.add_all(
+                (rng.randrange(4), rng.randrange(4))
+                for __ in range(rng.randint(1, 5))
+            )
+        for positions in relation.signatures:
+            rebuilt = hash_index(relation.rows, positions)
+            live = relation.index_for(positions)
+            assert {k: sorted(v) for k, v in live.items()} == {
+                k: sorted(v) for k, v in rebuilt.items()
+            }
+
+
+class TestIndexedDatabase:
+    def test_adopts_initial_relations(self):
+        store = IndexedDatabase({"E": ROWS})
+        assert "E" in store
+        assert store.rows("E") == ROWS
+
+    def test_relation_created_on_demand(self):
+        store = IndexedDatabase()
+        assert "P" not in store
+        relation = store.relation("P")
+        assert len(relation) == 0
+        assert "P" in store
+
+    def test_rows_of_absent_relation_is_empty(self):
+        assert IndexedDatabase().rows("nope") == set()
+
+    def test_merge_returns_fresh_rows(self):
+        store = IndexedDatabase({"P": {(1,)}})
+        assert store.merge("P", [(1,), (2,)]) == {(2,)}
+        assert store.merge("P", [(2,)]) == set()
+        assert store.rows("P") == {(1,), (2,)}
+
+    def test_merge_keeps_indexes_current(self):
+        store = IndexedDatabase({"P": {(1, 2)}})
+        assert set(store.relation("P").matching((0,), (1,))) == {(1, 2)}
+        store.merge("P", [(1, 3)])
+        assert set(store.relation("P").matching((0,), (1,))) == {
+            (1, 2), (1, 3),
+        }
+
+    def test_snapshot_is_frozen_and_detached(self):
+        store = IndexedDatabase({"P": {(1,)}, "Q": set()})
+        snap = store.snapshot(["P", "Q"])
+        assert snap == {"P": frozenset({(1,)}), "Q": frozenset()}
+        store.merge("P", [(2,)])
+        assert snap["P"] == frozenset({(1,)})
+
+    def test_iteration_lists_relations(self):
+        store = IndexedDatabase({"E": ROWS, "P": set()})
+        assert sorted(store) == ["E", "P"]

@@ -1,0 +1,199 @@
+"""Unit tests for the greedy join-order planner's invariants."""
+
+import pytest
+
+from repro.datalog.ast import (
+    Atom,
+    Constant,
+    Equality,
+    Inequality,
+    Rule,
+    Variable,
+)
+from repro.datalog.parser import parse_rule
+from repro.datalog.planner import (
+    AtomStep,
+    ConstraintStep,
+    EnumerateStep,
+    plan_program_rules,
+    plan_rule,
+)
+
+X, Y, Z, U = (Variable(n) for n in "xyzu")
+
+
+def _bound_before_each_step(plan):
+    """Replay the plan, yielding (step, variables bound before it runs)."""
+    bound = set()
+    for step in plan.steps:
+        yield step, set(bound)
+        if isinstance(step, AtomStep):
+            bound |= step.atom.variables()
+        elif isinstance(step, EnumerateStep):
+            bound.add(step.variable)
+        elif step.binds is not None:
+            bound.add(step.binds)
+
+
+class TestPlanInvariants:
+    """Every atom scheduled exactly once; constraints never early;
+    head-only variables still universe-ranged."""
+
+    RULES = [
+        parse_rule("P(x, y) :- E(x, z), E(z, y)."),
+        parse_rule("P(x, y) :- E(x, z), E(z, y), x != y, z != x."),
+        parse_rule("R(x) :- E(x, x), E(x, y), y = x."),
+        parse_rule("P(x, u) :- E(x, y)."),  # u is head-only
+        parse_rule("R(u) :- E(x, y), u != x, u != y."),  # u constraint-only
+        parse_rule("P(x, y) :- E(x, y), E(y, x), E(x, x), x != y."),
+    ]
+
+    @pytest.mark.parametrize("rule", RULES, ids=str)
+    def test_every_atom_scheduled_exactly_once(self, rule):
+        plan = plan_rule(rule)
+        scheduled = sorted(s.atom_index for s in plan.atom_steps())
+        assert scheduled == list(range(len(rule.body_atoms())))
+
+    @pytest.mark.parametrize("rule", RULES, ids=str)
+    def test_every_constraint_scheduled_exactly_once(self, rule):
+        plan = plan_rule(rule)
+        constraint_indexes = [
+            i
+            for i, literal in enumerate(rule.body)
+            if not isinstance(literal, Atom)
+        ]
+        scheduled = sorted(s.body_index for s in plan.constraint_steps())
+        assert scheduled == constraint_indexes
+
+    @pytest.mark.parametrize("rule", RULES, ids=str)
+    def test_constraints_never_run_before_their_variables_are_bound(
+        self, rule
+    ):
+        plan = plan_rule(rule)
+        for step, bound in _bound_before_each_step(plan):
+            if not isinstance(step, ConstraintStep):
+                continue
+            for term in (step.literal.left, step.literal.right):
+                if isinstance(term, Variable) and term != step.binds:
+                    assert term in bound, (step, term)
+
+    @pytest.mark.parametrize("rule", RULES, ids=str)
+    def test_atom_bound_positions_match_replay(self, rule):
+        plan = plan_rule(rule)
+        for step, bound in _bound_before_each_step(plan):
+            if not isinstance(step, AtomStep):
+                continue
+            expected = tuple(
+                i
+                for i, term in enumerate(step.atom.args)
+                if isinstance(term, Constant) or term in bound
+            )
+            assert step.bound_positions == expected
+
+    @pytest.mark.parametrize("rule", RULES, ids=str)
+    def test_unbound_variables_are_enumerated(self, rule):
+        """Head-only / constraint-only variables stay universe-ranged."""
+        plan = plan_rule(rule)
+        atom_bound = set()
+        for atom in rule.body_atoms():
+            atom_bound |= atom.variables()
+        for literal in rule.body:
+            if isinstance(literal, Equality):
+                atom_bound |= {
+                    t
+                    for t in (literal.left, literal.right)
+                    if isinstance(t, Variable)
+                }
+        expected_free = rule.variables() - atom_bound
+        assert expected_free <= set(plan.enumerated_variables())
+        assert set(plan.enumerated_variables()) <= rule.variables()
+
+
+class TestGreedyOrder:
+    def test_most_selective_atom_joins_second(self):
+        """After E(x, z) runs, E(z, y) has a bound position while F(u, w)
+        has none, so the planner must jump over F and pick E(z, y)."""
+        rule = parse_rule("P(x, y) :- E(x, z), F(u, w), E(z, y).")
+        plan = plan_rule(rule)
+        assert [s.body_index for s in plan.atom_steps()] == [0, 2, 1]
+        assert plan.atom_steps()[1].bound_positions == (0,)
+
+    def test_all_zero_scores_fall_back_to_body_order(self):
+        rule = parse_rule("P(x, y) :- F(u, w), E(x, y).")
+        plan = plan_rule(rule)
+        assert [s.body_index for s in plan.atom_steps()] == [0, 1]
+
+    def test_constraint_fires_between_joins_not_at_the_end(self):
+        rule = parse_rule("P(x, y) :- E(x, z), x != z, E(z, y).")
+        plan = plan_rule(rule)
+        kinds = [type(s).__name__ for s in plan.steps]
+        assert kinds.index("ConstraintStep") < len(kinds) - 1
+
+    def test_equality_binds_unbound_side(self):
+        rule = parse_rule("P(x, y) :- E(x, z), y = z.")
+        plan = plan_rule(rule)
+        (constraint,) = plan.constraint_steps()
+        assert constraint.binds == Y
+        assert plan.enumerated_variables() == ()
+
+    def test_filter_equality_has_no_binds(self):
+        rule = parse_rule("P(x, y) :- E(x, y), x = y.")
+        (constraint,) = plan_rule(rule).constraint_steps()
+        assert constraint.binds is None
+
+    def test_constant_positions_count_as_bound(self):
+        rule = Rule(
+            Atom("P", (X,)),
+            [Atom("E", (X, Y)), Atom("E", (Constant("s"), X))],
+        )
+        plan = plan_rule(rule)
+        first = plan.atom_steps()[0]
+        assert first.atom.args[0] == Constant("s")
+        assert first.bound_positions == (0,)
+
+
+class TestDeltaPlans:
+    def test_delta_atom_scheduled_first_and_marked(self):
+        rule = parse_rule("P(x, y) :- E(x, z), P(z, y).")
+        plan = plan_rule(rule, delta_atom_index=1)
+        first = plan.atom_steps()[0]
+        assert first.atom_index == 1
+        assert first.atom.predicate == "P"
+        assert first.is_delta
+        assert not any(s.is_delta for s in plan.atom_steps()[1:])
+        assert plan.delta_atom_index == 1
+
+    def test_delta_index_out_of_range(self):
+        rule = parse_rule("P(x, y) :- E(x, y).")
+        with pytest.raises(ValueError):
+            plan_rule(rule, delta_atom_index=1)
+        with pytest.raises(ValueError):
+            plan_rule(rule, delta_atom_index=-1)
+
+    def test_one_plan_per_idb_occurrence(self):
+        rule = parse_rule("P(x, y) :- P(x, z), E(z, u), P(u, y).")
+        plans = plan_program_rules(rule, frozenset({"P"}))
+        assert [p.delta_atom_index for p in plans] == [0, 2]
+        for plan in plans:
+            assert plan.atom_steps()[0].is_delta
+
+    def test_edb_only_rule_has_no_delta_plans(self):
+        rule = parse_rule("P(x, y) :- E(x, y).")
+        assert plan_program_rules(rule, frozenset({"P"})) == ()
+
+
+class TestDegenerateBodies:
+    def test_constant_only_constraint_flushed_first(self):
+        rule = Rule(
+            Atom("R", (X,)),
+            [Atom("E", (X, Y)), Inequality(Constant("s"), Constant("t"))],
+        )
+        plan = plan_rule(rule)
+        assert isinstance(plan.steps[0], ConstraintStep)
+
+    def test_constraint_only_body(self):
+        rule = Rule(Atom("R", (X,)), [Inequality(X, Y)])
+        plan = plan_rule(rule)
+        assert sorted(plan.enumerated_variables()) == [X, Y]
+        scheduled = [s.body_index for s in plan.constraint_steps()]
+        assert scheduled == [0]
