@@ -9,10 +9,85 @@ the shape is the paper's.
 Run with::
 
     pytest benchmarks/ --benchmark-only
+
+Row schema
+----------
+
+Scripted benchmark runs (``main(--json PATH)``) and the pytest
+``extra_info`` payloads both speak one schema per row::
+
+    {"name": str, "params": dict, "engine": str | None,
+     "wall_ms": float, "counters": {metric: int}}
+
+``counters`` is a :mod:`repro.obs` registry snapshot taken around the
+timed call, so a bench row records not just *how long* but *how much
+work* (rounds, rule firings, index probes) the run did.
 """
+
+import json
+import time
+
+from repro.obs import metrics as _metrics
 
 
 def record(benchmark, **info):
     """Attach experiment metadata to a benchmark entry."""
     for key, value in info.items():
         benchmark.extra_info[key] = value
+
+
+def measure(benchmark, fn):
+    """``benchmark(fn)`` with a live metrics registry around each call.
+
+    The registry resets per call, so ``extra_info["counters"]`` holds
+    the snapshot of exactly one (the last) timed invocation.
+    """
+    registry = _metrics.MetricsRegistry()
+
+    def instrumented():
+        registry.reset()
+        _metrics.enable_metrics(registry)
+        try:
+            return fn()
+        finally:
+            _metrics.disable_metrics()
+
+    result = benchmark(instrumented)
+    benchmark.extra_info["counters"] = registry.snapshot()["counters"]
+    return result
+
+
+def timed_row(name, fn, *, engine=None, params=None, repeats=1):
+    """Best-of-``repeats`` timing of ``fn`` as a schema row.
+
+    Returns ``(result, row)``: the last call's return value and the
+    shared-schema dict (wall_ms is the minimum over repeats; counters
+    come from the final repeat, so they describe one clean run).
+    """
+    registry = _metrics.MetricsRegistry()
+    times = []
+    result = None
+    _metrics.enable_metrics(registry)
+    try:
+        for __ in range(repeats):
+            registry.reset()
+            start = time.perf_counter()
+            result = fn()
+            times.append(time.perf_counter() - start)
+    finally:
+        _metrics.disable_metrics()
+    row = {
+        "name": name,
+        "params": dict(params or {}),
+        "engine": engine,
+        "wall_ms": round(min(times) * 1000, 3),
+        "counters": registry.snapshot()["counters"],
+    }
+    return result, row
+
+
+def write_rows(path, rows):
+    """Write schema rows as a JSON array (the CI bench artifact)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(list(rows), handle, indent=2, sort_keys=True)
+        handle.write("\n")

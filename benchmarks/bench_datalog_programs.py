@@ -16,7 +16,7 @@ nonzero on any mismatch.
 
 import pytest
 
-from _harness import record
+from _harness import measure, record
 from repro.core.expressibility import is_strongly_monotone_on
 from repro.datalog import evaluate
 from repro.datalog.evaluation import METHODS
@@ -32,7 +32,7 @@ from repro.graphs.generators import path_graph, random_digraph
 def bench_transitive_closure(benchmark, n):
     structure = path_graph(n).to_structure()
     program = transitive_closure_program()
-    result = benchmark(lambda: evaluate(program, structure))
+    result = measure(benchmark, lambda: evaluate(program, structure))
     expected = n * (n - 1) // 2
     assert len(result.goal_relation) == expected
     record(benchmark, experiment="E1", nodes=n, tuples=expected)
@@ -42,7 +42,7 @@ def bench_transitive_closure(benchmark, n):
 def bench_avoiding_path(benchmark, n):
     structure = random_digraph(n, 0.3, seed=n).to_structure()
     program = avoiding_path_program()
-    result = benchmark(lambda: evaluate(program, structure))
+    result = measure(benchmark, lambda: evaluate(program, structure))
     record(
         benchmark,
         experiment="E1",
@@ -68,7 +68,7 @@ def bench_path_systems(benchmark):
     )
     program = path_systems_program()
 
-    result = benchmark(lambda: evaluate(program, structure))
+    result = measure(benchmark, lambda: evaluate(program, structure))
     expected = solve_path_system(nodes, axioms, rules)
     assert {x for (x,) in result.goal_relation} == set(expected)
     record(
@@ -84,7 +84,9 @@ def bench_engine_matrix_transitive_closure(benchmark, engine):
     """The engine matrix on Example 2.2: same fixpoint, three engines."""
     structure = path_graph(12).to_structure()
     program = transitive_closure_program()
-    result = benchmark(lambda: evaluate(program, structure, method=engine))
+    result = measure(
+        benchmark, lambda: evaluate(program, structure, method=engine)
+    )
     assert len(result.goal_relation) == 12 * 11 // 2
     record(benchmark, experiment="E1", engine=engine, nodes=12)
 
@@ -94,7 +96,9 @@ def bench_engine_matrix_avoiding_path(benchmark, engine):
     """The engine matrix on Example 2.1 (a ternary recursive query)."""
     structure = random_digraph(8, 0.3, seed=8).to_structure()
     program = avoiding_path_program()
-    result = benchmark(lambda: evaluate(program, structure, method=engine))
+    result = measure(
+        benchmark, lambda: evaluate(program, structure, method=engine)
+    )
     reference = evaluate(program, structure, method="naive")
     assert result.goal_relation == reference.goal_relation
     record(
@@ -133,12 +137,14 @@ def bench_strong_monotonicity_separation(benchmark):
 def main(argv=None):
     """CI smoke: every engine, every library program, must agree.
 
-    Prints a wall-clock table (informational; agreement is the check).
+    Prints a wall-clock table (informational; agreement is the check)
+    and, with ``--json PATH``, writes the runs as shared-schema rows
+    (name, params, engine, wall_ms, counters) for the CI artifact.
     """
     import argparse
     import sys
-    import time
 
+    from _harness import timed_row, write_rows
     from repro.datalog import evaluate_algebra
     from repro.datalog.library import q_program
 
@@ -147,6 +153,10 @@ def main(argv=None):
         "--quick",
         action="store_true",
         help="smaller structures, one structure per program (CI smoke)",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH",
+        help="also write the timing rows as a JSON array",
     )
     args = parser.parse_args(argv)
 
@@ -161,6 +171,7 @@ def main(argv=None):
     engines = list(METHODS) + ["algebra"]
 
     failures = 0
+    rows = []
     print(f"{'program':<20} {'structure':<12} " +
           " ".join(f"{engine:>10}" for engine in engines))
     for name, program in programs.items():
@@ -169,23 +180,32 @@ def main(argv=None):
             timings = {}
             relations = {}
             for engine in engines:
-                start = time.perf_counter()
                 if engine == "algebra":
-                    result = evaluate_algebra(program, structure)
+                    run = lambda: evaluate_algebra(program, structure)
                 else:
-                    result = evaluate(program, structure, method=engine)
-                timings[engine] = time.perf_counter() - start
+                    run = lambda e=engine: evaluate(
+                        program, structure, method=e
+                    )
+                result, row = timed_row(
+                    name, run, engine=engine,
+                    params={"nodes": nodes, "seed": seed},
+                )
+                timings[engine] = row["wall_ms"]
                 relations[engine] = result.relations
-            row = f"{name:<20} n={nodes},s={seed:<4} " + " ".join(
-                f"{timings[engine] * 1000:>8.1f}ms" for engine in engines
+                rows.append(row)
+            line = f"{name:<20} n={nodes},s={seed:<4} " + " ".join(
+                f"{timings[engine]:>8.1f}ms" for engine in engines
             )
             agree = all(
                 relations[engine] == relations["naive"] for engine in engines
             )
             if not agree:
                 failures += 1
-                row += "  MISMATCH"
-            print(row)
+                line += "  MISMATCH"
+            print(line)
+    if args.json:
+        write_rows(args.json, rows)
+        print(f"wrote {len(rows)} rows to {args.json}")
     if failures:
         print(f"{failures} engine mismatch(es)", file=sys.stderr)
         return 1

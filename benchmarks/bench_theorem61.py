@@ -9,11 +9,10 @@ semi-naive on the largest default instance.
 """
 
 import random
-import time
 
 import pytest
 
-from _harness import record
+from _harness import measure, record, timed_row
 from repro.datalog.evaluation import evaluate
 from repro.datalog.homeo import class_c_program
 from repro.datalog.library import q_program
@@ -49,7 +48,7 @@ def bench_three_deciders_agree(benchmark, name):
     def datalog_sweep():
         return [query.decide(g, assignment) for g, assignment in cases]
 
-    datalog = benchmark(datalog_sweep)
+    datalog = measure(benchmark, datalog_sweep)
     flow = [homeomorphic_via_flow(pattern, g, a) for g, a in cases]
     exact = [
         is_homeomorphic_to_distinguished_subgraph(pattern, g, a)
@@ -85,16 +84,16 @@ def bench_indexed_vs_seminaive_qkl(benchmark, k, l, n):
     structure = random_digraph(n, 0.25, seed=7).to_structure()
 
     def best_of(engine, repeats=2):
-        times = []
-        result = None
-        for __ in range(repeats):
-            start = time.perf_counter()
-            result = evaluate(program, structure, method=engine)
-            times.append(time.perf_counter() - start)
-        return min(times), result
+        return timed_row(
+            f"q-{k}-{l}",
+            lambda: evaluate(program, structure, method=engine),
+            engine=engine,
+            params={"k": k, "l": l, "nodes": n},
+            repeats=repeats,
+        )
 
-    seminaive_time, seminaive = best_of("seminaive")
-    indexed_time, indexed = best_of("indexed")
+    seminaive, seminaive_row = best_of("seminaive")
+    indexed, indexed_row = best_of("indexed")
     benchmark.pedantic(
         lambda: evaluate(program, structure, method="indexed"),
         rounds=1,
@@ -102,15 +101,16 @@ def bench_indexed_vs_seminaive_qkl(benchmark, k, l, n):
     )
     assert indexed.relations == seminaive.relations
     assert indexed.iterations == seminaive.iterations
-    speedup = seminaive_time / indexed_time
+    speedup = seminaive_row["wall_ms"] / indexed_row["wall_ms"]
     record(
         benchmark,
         experiment="E7",
         k=k,
         l=l,
         nodes=n,
-        seminaive_seconds=round(seminaive_time, 4),
-        indexed_seconds=round(indexed_time, 4),
+        seminaive_ms=seminaive_row["wall_ms"],
+        indexed_ms=indexed_row["wall_ms"],
+        counters=indexed_row["counters"],
         speedup=round(speedup, 2),
     )
     if (k, l, n) == LARGEST:

@@ -16,6 +16,15 @@ Subcommands
   DIMACS file; optionally write it out or route a model's paths.
 * ``repro certificate K`` -- build a Theorem 6.6/6.7 certificate and
   simulate adversarial play against the proof's Player II strategy.
+* ``repro explain PROGRAM`` -- pretty-print the compiled rule plans the
+  indexed engine executes (library program name or program file).
+
+Observability: every subcommand accepts ``--stats`` (counter table +
+evaluation profile on stderr) and ``--trace FILE.jsonl`` (hierarchical
+span export); see :mod:`repro.obs`.
+
+Errors (missing files, unknown program/engine names, malformed input)
+exit with code 2 and a one-line ``repro: error: ...`` message.
 """
 
 from __future__ import annotations
@@ -35,12 +44,16 @@ from repro.io import (
 )
 
 
+class CliError(Exception):
+    """A user-input problem: reported as one line, exit code 2."""
+
+
 def _parse_assignment(pairs: Sequence[str]) -> dict[str, str]:
     assignment = {}
     for pair in pairs:
         name, sep, value = pair.partition("=")
         if not sep or not name or not value:
-            raise SystemExit(f"malformed assignment {pair!r}; use name=node")
+            raise CliError(f"malformed assignment {pair!r}; use name=node")
         assignment[name] = value
     return assignment
 
@@ -50,17 +63,52 @@ def _parse_assignment(pairs: Sequence[str]) -> dict[str, str]:
 # ---------------------------------------------------------------------------
 
 
+def _load_program_or_library(path_or_name: str, goal: str | None):
+    """A program file, or a library name from ``library_programs()``."""
+    import os
+
+    from repro.datalog.library import library_programs
+
+    catalogue = library_programs()
+    if path_or_name in catalogue:
+        return path_or_name, catalogue[path_or_name]
+    if not os.path.exists(path_or_name):
+        raise CliError(
+            f"unknown program {path_or_name!r}: not a file and not a "
+            f"library program (choose from {', '.join(sorted(catalogue))})"
+        )
+    return os.path.basename(path_or_name), load_program(
+        path_or_name, goal=goal
+    )
+
+
+ENGINES = ("indexed", "seminaive", "naive", "algebra")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
-    program = load_program(args.program, goal=args.goal)
+    if args.engine not in ENGINES:
+        raise CliError(
+            f"unknown engine {args.engine!r} "
+            f"(choose from {', '.join(ENGINES)})"
+        )
+    __, program = _load_program_or_library(args.program, args.goal)
     graph = load_digraph(args.graph)
+    profiled = bool(getattr(args, "stats", False))
     if args.engine == "algebra":
         from repro.datalog.algebra_engine import evaluate_algebra
 
-        result = evaluate_algebra(program, graph.to_structure())
+        result = evaluate_algebra(
+            program, graph.to_structure(), collect_profile=profiled
+        )
     else:
         result = evaluate(
-            program, graph.to_structure(), method=args.engine
+            program,
+            graph.to_structure(),
+            method=args.engine,
+            collect_profile=profiled,
         )
+    if result.profile is not None:
+        _print_profile(result.profile)
     if args.check is not None:
         tuple_ = tuple(args.check)
         verdict = result.holds(tuple_)
@@ -285,6 +333,79 @@ def _cmd_certificate(args: argparse.Namespace) -> int:
     return 0 if report.all_survived else 1
 
 
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.datalog.library import library_programs
+    from repro.obs.explain import explain_program
+
+    if args.list:
+        for name in sorted(library_programs()):
+            print(name)
+        return 0
+    if args.program is None:
+        raise CliError(
+            "explain needs a program (library name or file); "
+            "use --list to see library names"
+        )
+    name, program = _load_program_or_library(args.program, args.goal)
+    print(explain_program(program, name=name))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Observability plumbing (--stats / --trace, shared by every subcommand)
+# ---------------------------------------------------------------------------
+
+
+def _print_profile(profile) -> None:
+    """The per-rule / per-iteration tables behind ``run --stats``."""
+    err = sys.stderr
+    print(f"== profile ({profile.engine} engine) ==", file=err)
+    print("per-rule firings (distinct new head tuples):", file=err)
+    for label, count in zip(
+        profile.rule_labels, profile.total_rule_firings()
+    ):
+        print(f"  {count:>8}  {label}", file=err)
+    print("per-iteration deltas:", file=err)
+    header = (
+        f"  {'round':>5} {'new':>6} {'bindings':>9} {'wall_ms':>9}  deltas"
+    )
+    print(header, file=err)
+    for iteration in profile.iterations:
+        deltas = ", ".join(
+            f"{predicate}={size}"
+            for predicate, size in sorted(iteration.delta_sizes.items())
+        )
+        print(
+            f"  {iteration.index:>5} {iteration.new_tuples:>6} "
+            f"{iteration.bindings_enumerated:>9} "
+            f"{iteration.wall_seconds * 1000:>9.2f}  {deltas}",
+            file=err,
+        )
+
+
+def _print_stats(snapshot: dict) -> None:
+    """The counter table behind ``--stats`` (stderr, human-readable)."""
+    err = sys.stderr
+    print("== stats ==", file=err)
+    counters = snapshot.get("counters", {})
+    if counters:
+        for name in sorted(counters):
+            print(f"  {counters[name]:>12}  {name}", file=err)
+    else:
+        print("  (no counters incremented)", file=err)
+    gauges = snapshot.get("gauges", {})
+    for name in sorted(gauges):
+        print(f"  {gauges[name]:>12}  {name} (gauge)", file=err)
+    histograms = snapshot.get("histograms", {})
+    for name in sorted(histograms):
+        h = histograms[name]
+        print(
+            f"  {name} (histogram): count={h['count']} mean={h['mean']:.2f} "
+            f"min={h['min']} max={h['max']}",
+            file=err,
+        )
+
+
 # ---------------------------------------------------------------------------
 # Argument parsing
 # ---------------------------------------------------------------------------
@@ -295,10 +416,26 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Kolaitis-Vardi (PODS 1990) reproduction toolbox",
     )
+    # Observability flags shared by every subcommand (parents= plumbing).
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--stats", action="store_true",
+        help="print a metrics counter table (and, for `run`, the "
+        "evaluation profile) on stderr",
+    )
+    common.add_argument(
+        "--trace", metavar="FILE.jsonl",
+        help="record hierarchical spans and write them as JSONL",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    run = sub.add_parser("run", help="evaluate a Datalog(!=) program")
-    run.add_argument("program", help="program file (% goal: directive)")
+    run = sub.add_parser(
+        "run", parents=[common], help="evaluate a Datalog(!=) program"
+    )
+    run.add_argument(
+        "program",
+        help="program file (%% goal: directive) or library program name",
+    )
     run.add_argument("graph", help="graph file")
     run.add_argument("--goal", help="override the goal predicate")
     run.add_argument(
@@ -306,12 +443,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="test one tuple instead of printing the relation",
     )
     run.add_argument(
-        "--engine", choices=["indexed", "seminaive", "naive", "algebra"],
-        default="indexed", help="evaluation engine",
+        "--engine", default="indexed",
+        help=f"evaluation engine ({', '.join(ENGINES)})",
     )
     run.set_defaults(func=_cmd_run)
 
-    game = sub.add_parser("game", help="solve an existential pebble game")
+    game = sub.add_parser(
+        "game", parents=[common], help="solve an existential pebble game"
+    )
     game.add_argument("a", help="graph file for structure A")
     game.add_argument("b", help="graph file for structure B")
     game.add_argument("k", type=int, help="number of pebbles")
@@ -325,7 +464,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     game.set_defaults(func=_cmd_game)
 
-    classify = sub.add_parser("classify", help="dichotomy row for a pattern")
+    classify = sub.add_parser(
+        "classify", parents=[common], help="dichotomy row for a pattern"
+    )
     classify.add_argument("pattern", help="pattern graph file")
     classify.add_argument(
         "--program", action="store_true",
@@ -333,7 +474,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     classify.set_defaults(func=_cmd_classify)
 
-    homeo = sub.add_parser("homeo", help="decide a homeomorphism instance")
+    homeo = sub.add_parser(
+        "homeo", parents=[common], help="decide a homeomorphism instance"
+    )
     homeo.add_argument("pattern", help="pattern graph file")
     homeo.add_argument("graph", help="input graph file")
     homeo.add_argument(
@@ -342,7 +485,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     homeo.set_defaults(func=_cmd_homeo)
 
-    reduce_ = sub.add_parser("reduce", help="build G_phi from DIMACS CNF")
+    reduce_ = sub.add_parser(
+        "reduce", parents=[common], help="build G_phi from DIMACS CNF"
+    )
     reduce_.add_argument("cnf", help="DIMACS CNF file")
     reduce_.add_argument("--output", help="write G_phi as a graph file")
     reduce_.add_argument(
@@ -353,17 +498,20 @@ def build_parser() -> argparse.ArgumentParser:
     reduce_.set_defaults(func=_cmd_reduce)
 
     table = sub.add_parser(
-        "table", help="print the full dichotomy table (experiment E15)"
+        "table", parents=[common],
+        help="print the full dichotomy table (experiment E15)",
     )
     table.set_defaults(func=_cmd_table)
 
     selfcheck = sub.add_parser(
-        "selfcheck", help="run the reproduction's keystone checks"
+        "selfcheck", parents=[common],
+        help="run the reproduction's keystone checks",
     )
     selfcheck.set_defaults(func=_cmd_selfcheck)
 
     certificate = sub.add_parser(
-        "certificate", help="build and exercise an inexpressibility certificate"
+        "certificate", parents=[common],
+        help="build and exercise an inexpressibility certificate",
     )
     certificate.add_argument("k", type=int, help="pebble count to certify against")
     certificate.add_argument(
@@ -373,14 +521,69 @@ def build_parser() -> argparse.ArgumentParser:
     certificate.add_argument("--rounds", type=int, default=120)
     certificate.set_defaults(func=_cmd_certificate)
 
+    explain = sub.add_parser(
+        "explain", parents=[common],
+        help="pretty-print the indexed engine's compiled rule plans",
+    )
+    explain.add_argument(
+        "program", nargs="?",
+        help="library program name or program file",
+    )
+    explain.add_argument("--goal", help="override the goal predicate")
+    explain.add_argument(
+        "--list", action="store_true", help="list library program names"
+    )
+    explain.set_defaults(func=_cmd_explain)
+
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """Entry point; returns the process exit code."""
+    """Entry point; returns the process exit code.
+
+    All user-input failures (missing files, unknown program / engine
+    names, malformed programs or graphs) funnel through one path: a
+    single ``repro: error: ...`` line on stderr and exit code 2.
+    """
+    from repro.obs import metrics as _metrics
+    from repro.obs import trace as _trace
+
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    stats = bool(getattr(args, "stats", False))
+    trace_path = getattr(args, "trace", None)
+    if stats:
+        _metrics.enable_metrics()
+    if trace_path:
+        _trace.enable_tracing()
+    from repro.io.cnf_format import DimacsError
+    from repro.io.graph_format import GraphFormatError
+    from repro.io.program_format import ProgramFormatError
+
+    try:
+        return args.func(args)
+    except CliError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+    except (FileNotFoundError, IsADirectoryError) as exc:
+        filename = getattr(exc, "filename", None) or exc
+        print(f"repro: error: cannot read {filename}", file=sys.stderr)
+        return 2
+    except (DimacsError, GraphFormatError, ProgramFormatError) as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        if stats:
+            _print_stats(_metrics.metrics.snapshot())
+            _metrics.disable_metrics()
+        if trace_path:
+            _trace.tracer.write_jsonl(trace_path)
+            print(
+                f"repro: wrote {len(_trace.tracer.spans)} spans "
+                f"to {trace_path}",
+                file=sys.stderr,
+            )
+            _trace.disable_tracing()
 
 
 if __name__ == "__main__":

@@ -35,8 +35,15 @@ from repro.datalog.ast import (
     Rule,
     Variable,
 )
-from repro.datalog.evaluation import FixpointResult, _database_from_structure
+from repro.datalog.evaluation import (
+    FixpointResult,
+    _database_from_structure,
+    _profile_builder,
+    _record_round,
+)
 from repro.datalog.indexing import IndexedDatabase
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.relalg.expressions import (
     Base,
     Condition,
@@ -239,17 +246,42 @@ def _head_tuples(
     return results
 
 
+def _per_rule_round(
+    program: Program,
+    store: IndexedDatabase,
+    per_rule: list[set],
+) -> tuple[list[int], dict[str, set]]:
+    """Per-rule firings (new distinct heads) and merged derivations.
+
+    Uses the same semantics as the binding engines' profiles: a rule's
+    firing count at a round is the number of distinct head tuples it
+    derived that were not in the database at the round's start.
+    """
+    rule_firings = [
+        len(heads - store.rows(rule.head.predicate))
+        for rule, heads in zip(program.rules, per_rule)
+    ]
+    derived: dict[str, set] = {p: set() for p in program.idb_predicates}
+    for rule, heads in zip(program.rules, per_rule):
+        derived[rule.head.predicate] |= heads
+    return rule_firings, derived
+
+
 def evaluate_algebra(
     program: Program,
     structure: Structure,
     extra_edb: Mapping[str, Iterable[tuple]] | None = None,
     method: str = "naive",
+    collect_profile: bool = False,
 ) -> FixpointResult:
     """Least fixpoint via iteration of the compiled algebra.
 
     Same contract as :func:`repro.datalog.evaluation.evaluate`, third
     implementation; ``method`` selects plain operator iteration
     (``"naive"``) or the delta-rewritten rules (``"seminaive"``).
+    ``collect_profile`` populates :attr:`FixpointResult.profile`; its
+    semantic parts (delta sizes, rule firings) match the binding
+    engines'.
     """
     if method not in ("naive", "seminaive"):
         raise ValueError(f"unknown evaluation method {method!r}")
@@ -261,30 +293,58 @@ def evaluate_algebra(
     # indexes the expression evaluator asks for stay incremental.
     store = IndexedDatabase(database)
     compiled_rules = compile_program(program)
+    profile = _profile_builder(program) if collect_profile else None
+    _metrics.metrics.inc("datalog.evaluations")
 
     iterations = 0
-    if method == "naive":
-        idb = program.idb_predicates
-        while True:
-            iterations += 1
-            overlay = {name: store.rows(name) for name in store}
-            # Derive a full round against the pre-round overlay before
-            # merging, so each round is one application of Theta.
-            derived_by_head: dict[str, set] = {p: set() for p in idb}
-            for compiled in compiled_rules:
-                derived_by_head[compiled.rule.head.predicate] |= _head_tuples(
-                    compiled, structure, overlay
+    engine = f"algebra-{method}"
+    with _trace.tracer.span(
+        "evaluate", engine=engine, goal=program.goal, rules=len(program.rules)
+    ) as span:
+        if method == "naive":
+            idb = program.idb_predicates
+            tracer = _trace.tracer
+            while True:
+                iterations += 1
+                if profile is not None:
+                    profile.start_round()
+                with tracer.span(
+                    "iteration", engine=engine, round=iterations
+                ):
+                    overlay = {name: store.rows(name) for name in store}
+                    # Derive a full round against the pre-round overlay
+                    # before merging, so each round is one application
+                    # of Theta.
+                    per_rule = [
+                        _head_tuples(compiled, structure, overlay)
+                        for compiled in compiled_rules
+                    ]
+                rule_firings, derived_by_head = _per_rule_round(
+                    program, store, per_rule
                 )
-            changed = False
-            for predicate, rows in derived_by_head.items():
-                if store.merge(predicate, rows):
-                    changed = True
-            if not changed:
-                break
-    else:
-        iterations = _seminaive_algebra(
-            program, structure, store, compiled_rules
-        )
+                changed = False
+                delta_sizes: dict[str, int] = {}
+                for predicate, rows in derived_by_head.items():
+                    fresh = store.merge(predicate, rows)
+                    delta_sizes[predicate] = len(fresh)
+                    if fresh:
+                        changed = True
+                produced = sum(len(heads) for heads in per_rule)
+                _record_round(
+                    engine,
+                    delta_sizes,
+                    rule_firings,
+                    produced,
+                    produced,
+                    profile,
+                )
+                if not changed:
+                    break
+        else:
+            iterations = _seminaive_algebra(
+                program, structure, store, compiled_rules, profile
+            )
+        span.annotate(iterations=iterations)
 
     return FixpointResult(
         relations={
@@ -293,6 +353,7 @@ def evaluate_algebra(
         goal=program.goal,
         stages=None,
         iterations=iterations,
+        profile=None if profile is None else profile.build(engine),
     )
 
 
@@ -301,40 +362,69 @@ def _seminaive_algebra(
     structure: Structure,
     store: IndexedDatabase,
     compiled_rules: tuple[CompiledRule, ...],
+    profile=None,
 ) -> int:
     """Delta-driven iteration of the compiled algebra."""
+    tracer = _trace.tracer
     idb = program.idb_predicates
     delta_rules = [
-        variant
-        for rule in program.rules
-        for variant in compile_rule_deltas(rule, idb)
+        (index, compile_rule_deltas(rule, idb))
+        for index, rule in enumerate(program.rules)
     ]
 
     # Round one: every rule against the initial (EDB-only) database.
-    overlay = {name: store.rows(name) for name in store}
-    derived_by_head: dict[str, set] = {p: set() for p in idb}
-    for compiled in compiled_rules:
-        derived_by_head[compiled.rule.head.predicate] |= _head_tuples(
-            compiled, structure, overlay
-        )
+    if profile is not None:
+        profile.start_round()
+    with tracer.span("iteration", engine="algebra-seminaive", round=1):
+        overlay = {name: store.rows(name) for name in store}
+        per_rule = [
+            _head_tuples(compiled, structure, overlay)
+            for compiled in compiled_rules
+        ]
+    rule_firings, derived_by_head = _per_rule_round(program, store, per_rule)
     delta = {
         predicate: store.merge(predicate, rows)
         for predicate, rows in derived_by_head.items()
     }
+    produced = sum(len(heads) for heads in per_rule)
+    _record_round(
+        "algebra-seminaive",
+        {p: len(rows) for p, rows in delta.items()},
+        rule_firings,
+        produced,
+        produced,
+        profile,
+    )
     iterations = 1
 
     while any(delta.values()):
         iterations += 1
-        overlay = {name: store.rows(name) for name in store}
-        for predicate, rows in delta.items():
-            overlay[_DELTA + predicate] = rows
-        new_derived: dict[str, set] = {p: set() for p in idb}
-        for compiled in delta_rules:
-            new_derived[compiled.rule.head.predicate] |= _head_tuples(
-                compiled, structure, overlay
-            )
+        if profile is not None:
+            profile.start_round()
+        with tracer.span(
+            "iteration", engine="algebra-seminaive", round=iterations
+        ):
+            overlay = {name: store.rows(name) for name in store}
+            for predicate, rows in delta.items():
+                overlay[_DELTA + predicate] = rows
+            per_rule = [set() for __ in program.rules]
+            for rule_index, variants in delta_rules:
+                for compiled in variants:
+                    per_rule[rule_index] |= _head_tuples(
+                        compiled, structure, overlay
+                    )
+        rule_firings, new_derived = _per_rule_round(program, store, per_rule)
         delta = {
             predicate: store.merge(predicate, rows)
             for predicate, rows in new_derived.items()
         }
+        produced = sum(len(heads) for heads in per_rule)
+        _record_round(
+            "algebra-seminaive",
+            {p: len(rows) for p, rows in delta.items()},
+            rule_firings,
+            produced,
+            produced,
+            profile,
+        )
     return iterations

@@ -30,8 +30,12 @@ are enumerated over the whole universe.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from typing import Hashable, Iterable, Iterator, Mapping
+
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 
 from repro.datalog.ast import (
     Atom,
@@ -63,6 +67,124 @@ METHODS = ("indexed", "seminaive", "naive")
 
 
 @dataclass(frozen=True)
+class IterationProfile:
+    """Observability record for one fixpoint round.
+
+    ``delta_sizes`` and ``rule_firings`` are *semantic*: they depend only
+    on the operator ``Theta``, not on the engine (see
+    :meth:`EvaluationProfile.semantic_view`), so the differential harness
+    pins them equal across engines.  ``bindings_enumerated``,
+    ``tuples_produced``, and ``wall_seconds`` describe the work a
+    particular engine did and legitimately differ.
+    """
+
+    index: int
+    delta_sizes: Mapping[str, int]
+    rule_firings: tuple[int, ...]
+    bindings_enumerated: int
+    tuples_produced: int
+    wall_seconds: float
+
+    @property
+    def new_tuples(self) -> int:
+        """Tuples first derived this round, across every IDB predicate."""
+        return sum(self.delta_sizes.values())
+
+
+@dataclass(frozen=True)
+class EvaluationProfile:
+    """Per-iteration observability for one fixpoint run.
+
+    ``rule_firings[i]`` in each :class:`IterationProfile` counts the
+    *distinct head tuples rule i derived that were new at that round* --
+    a property of the stage sequence, so every engine reports the same
+    numbers (a new tuple always has a derivation through the previous
+    round's delta, hence semi-naive rewriting cannot miss it).
+    """
+
+    engine: str
+    rule_labels: tuple[str, ...]
+    iterations: tuple[IterationProfile, ...]
+
+    def semantic_view(self) -> tuple:
+        """The engine-independent part, for differential assertions."""
+        return tuple(
+            (
+                tuple(sorted(iteration.delta_sizes.items())),
+                iteration.rule_firings,
+            )
+            for iteration in self.iterations
+        )
+
+    def total_rule_firings(self) -> tuple[int, ...]:
+        """Distinct-new-head counts per rule, summed over the run."""
+        totals = [0] * len(self.rule_labels)
+        for iteration in self.iterations:
+            for index, count in enumerate(iteration.rule_firings):
+                totals[index] += count
+        return tuple(totals)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (benchmark rows, ``--stats``)."""
+        return {
+            "engine": self.engine,
+            "rules": list(self.rule_labels),
+            "iterations": [
+                {
+                    "round": iteration.index,
+                    "delta_sizes": dict(iteration.delta_sizes),
+                    "rule_firings": list(iteration.rule_firings),
+                    "bindings_enumerated": iteration.bindings_enumerated,
+                    "tuples_produced": iteration.tuples_produced,
+                    "wall_seconds": iteration.wall_seconds,
+                }
+                for iteration in self.iterations
+            ],
+        }
+
+
+@dataclass
+class _ProfileBuilder:
+    """Mutable accumulator the engines feed one round at a time."""
+
+    rule_labels: tuple[str, ...]
+    iterations: list[IterationProfile] = field(default_factory=list)
+    _round_start: float = 0.0
+
+    def start_round(self) -> None:
+        self._round_start = time.perf_counter()
+
+    def end_round(
+        self,
+        delta_sizes: Mapping[str, int],
+        rule_firings: Iterable[int],
+        bindings_enumerated: int,
+        tuples_produced: int,
+    ) -> None:
+        self.iterations.append(
+            IterationProfile(
+                index=len(self.iterations) + 1,
+                delta_sizes=dict(delta_sizes),
+                rule_firings=tuple(rule_firings),
+                bindings_enumerated=bindings_enumerated,
+                tuples_produced=tuples_produced,
+                wall_seconds=time.perf_counter() - self._round_start,
+            )
+        )
+
+    def build(self, engine: str) -> EvaluationProfile:
+        return EvaluationProfile(
+            engine=engine,
+            rule_labels=self.rule_labels,
+            iterations=tuple(self.iterations),
+        )
+
+
+def _profile_builder(program: Program) -> _ProfileBuilder:
+    return _ProfileBuilder(tuple(str(rule) for rule in program.rules))
+
+
+@dataclass(frozen=True)
 class FixpointResult:
     """The least fixpoint of a program on a structure.
 
@@ -77,12 +199,17 @@ class FixpointResult:
         IDB relations per stage, cumulative, last equals ``relations``).
     iterations:
         Number of operator applications performed until stabilisation.
+    profile:
+        When requested (``collect_profile=True``), the per-iteration
+        :class:`EvaluationProfile` -- delta sizes per IDB predicate,
+        per-rule firing counts, bindings enumerated, wall time per round.
     """
 
     relations: Mapping[str, frozenset]
     goal: str
     stages: tuple[Mapping[str, frozenset], ...] | None
     iterations: int
+    profile: EvaluationProfile | None = None
 
     @property
     def goal_relation(self) -> frozenset:
@@ -339,12 +466,44 @@ def _apply_all_rules(
 ) -> dict[str, set]:
     """One application of the paper's operator Theta to ``database``."""
     derived: dict[str, set] = {p: set() for p in program.idb_predicates}
-    for rule in program.rules:
-        for binding in _rule_bindings(rule, database, universe, constants):
-            derived[rule.head.predicate].add(
-                _head_tuple(rule, binding, constants)
-            )
+    per_rule, __ = _apply_rules_detailed(
+        program, database, universe, constants
+    )
+    for rule, heads in zip(program.rules, per_rule):
+        derived[rule.head.predicate] |= heads
     return derived
+
+
+def _apply_rules_detailed(
+    program: Program,
+    database: Mapping[str, Iterable[tuple]],
+    universe: Iterable[Element],
+    constants: Mapping[str, Element],
+) -> tuple[list[set], int]:
+    """One operator application, kept per rule.
+
+    Returns the derived head-tuple set of every rule (in rule order) and
+    the total number of satisfying bindings enumerated -- the inputs the
+    per-round profile needs.
+    """
+    tracer = _trace.tracer
+    per_rule: list[set] = []
+    bindings_enumerated = 0
+    for rule_index, rule in enumerate(program.rules):
+        with tracer.span(
+            "rule", rule=rule_index, head=rule.head.predicate
+        ) as span:
+            heads: set = set()
+            count = 0
+            for binding in _rule_bindings(
+                rule, database, universe, constants
+            ):
+                heads.add(_head_tuple(rule, binding, constants))
+                count += 1
+            span.annotate(bindings=count, heads=len(heads))
+        bindings_enumerated += count
+        per_rule.append(heads)
+    return per_rule, bindings_enumerated
 
 
 def _snapshot(database: Database, idb: frozenset[str]) -> dict[str, frozenset]:
@@ -357,6 +516,7 @@ def evaluate(
     extra_edb: Mapping[str, Iterable[tuple]] | None = None,
     method: str = "indexed",
     collect_stages: bool = False,
+    collect_profile: bool = False,
 ) -> FixpointResult:
     """Compute the least fixpoint ``pi^infty`` of a program on a structure.
 
@@ -379,6 +539,10 @@ def evaluate(
         round.  Rounds coincide across the engines, so the recorded
         sequence is the paper's ``Theta^1 <= Theta^2 <= ...`` whichever
         engine runs.
+    collect_profile:
+        When true, populate :attr:`FixpointResult.profile` with the
+        per-iteration :class:`EvaluationProfile`.  The semantic parts
+        (delta sizes, rule firings) are engine-independent.
     """
     if method not in METHODS:
         raise ValueError(f"unknown evaluation method {method!r}")
@@ -390,26 +554,57 @@ def evaluate(
     stage_snapshots: list[dict[str, frozenset]] | None = (
         [] if collect_stages else None
     )
+    profile = _profile_builder(program) if collect_profile else None
 
-    if method == "naive":
-        iterations = _naive(
-            program, database, universe, constants, stage_snapshots
+    engine = {
+        "naive": _naive,
+        "seminaive": _seminaive,
+        "indexed": _indexed,
+    }[method]
+    _metrics.metrics.inc("datalog.evaluations")
+    with _trace.tracer.span(
+        "evaluate", engine=method, goal=program.goal, rules=len(program.rules)
+    ) as span:
+        iterations = engine(
+            program, database, universe, constants, stage_snapshots, profile
         )
-    elif method == "seminaive":
-        iterations = _seminaive(
-            program, database, universe, constants, stage_snapshots
-        )
-    else:
-        iterations = _indexed(
-            program, database, universe, constants, stage_snapshots
-        )
+        span.annotate(iterations=iterations)
 
     return FixpointResult(
         relations=_snapshot(database, program.idb_predicates),
         goal=program.goal,
         stages=tuple(stage_snapshots) if collect_stages else None,
         iterations=iterations,
+        profile=None if profile is None else profile.build(method),
     )
+
+
+def _record_round(
+    engine: str,
+    delta_sizes: Mapping[str, int],
+    rule_firings: Iterable[int],
+    bindings_enumerated: int,
+    tuples_produced: int,
+    profile: _ProfileBuilder | None,
+) -> None:
+    """Feed one round into the metrics registry and the profile.
+
+    Runs once per fixpoint round (never per binding); when metrics are
+    disabled the calls hit the no-op singleton.
+    """
+    firings = (
+        rule_firings if isinstance(rule_firings, list) else list(rule_firings)
+    )
+    m = _metrics.metrics
+    m.inc("datalog.rounds")
+    m.inc("datalog.rule_firings", sum(firings))
+    m.inc("datalog.delta_tuples", sum(delta_sizes.values()))
+    m.inc("datalog.bindings_enumerated", bindings_enumerated)
+    m.inc("datalog.tuples_produced", tuples_produced)
+    if profile is not None:
+        profile.end_round(
+            delta_sizes, firings, bindings_enumerated, tuples_produced
+        )
 
 
 def _naive(
@@ -418,21 +613,76 @@ def _naive(
     universe: list,
     constants: Mapping[str, Element],
     stage_snapshots: list[dict[str, frozenset]] | None,
+    profile: _ProfileBuilder | None = None,
 ) -> int:
     """Literal iteration of Theta; mutates ``database``; returns rounds."""
+    tracer = _trace.tracer
     iterations = 0
     while True:
-        derived = _apply_all_rules(program, database, universe, constants)
+        if profile is not None:
+            profile.start_round()
+        with tracer.span("iteration", engine="naive", round=iterations + 1):
+            per_rule, bindings = _apply_rules_detailed(
+                program, database, universe, constants
+            )
         iterations += 1
+        # Per-rule firings (distinct heads new this round) and per-IDB
+        # delta sizes, both against the pre-merge database.
+        rule_firings = [
+            len(heads - database[rule.head.predicate])
+            for rule, heads in zip(program.rules, per_rule)
+        ]
+        derived: dict[str, set] = {p: set() for p in program.idb_predicates}
+        for rule, heads in zip(program.rules, per_rule):
+            derived[rule.head.predicate] |= heads
         changed = False
+        delta_sizes: dict[str, int] = {}
         for predicate, tuples in derived.items():
-            if not tuples <= database[predicate]:
+            fresh = tuples - database[predicate]
+            delta_sizes[predicate] = len(fresh)
+            if fresh:
                 changed = True
             database[predicate] = database[predicate] | tuples
+        _record_round(
+            "naive", delta_sizes, rule_firings, bindings, bindings, profile
+        )
         if stage_snapshots is not None:
             stage_snapshots.append(_snapshot(database, program.idb_predicates))
         if not changed:
             return iterations
+
+
+def _round_one_from_detail(
+    program: Program,
+    database: Database,
+    per_rule: list[set],
+    bindings: int,
+    profile: _ProfileBuilder | None,
+    engine: str,
+) -> dict[str, set]:
+    """Merge round 1's per-rule derivations; returns the first delta."""
+    idb = program.idb_predicates
+    rule_firings = [
+        len(heads - database[rule.head.predicate])
+        for rule, heads in zip(program.rules, per_rule)
+    ]
+    derived: dict[str, set] = {p: set() for p in idb}
+    for rule, heads in zip(program.rules, per_rule):
+        derived[rule.head.predicate] |= heads
+    delta: dict[str, set] = {}
+    for predicate, tuples in derived.items():
+        fresh = tuples - database[predicate]
+        database[predicate] |= fresh
+        delta[predicate] = fresh
+    _record_round(
+        engine,
+        {p: len(rows) for p, rows in delta.items()},
+        rule_firings,
+        bindings,
+        bindings,
+        profile,
+    )
+    return delta
 
 
 def _seminaive(
@@ -441,50 +691,81 @@ def _seminaive(
     universe: list,
     constants: Mapping[str, Element],
     stage_snapshots: list[dict[str, frozenset]] | None = None,
+    profile: _ProfileBuilder | None = None,
 ) -> int:
     """Delta-driven evaluation; mutates ``database``; returns iterations."""
+    tracer = _trace.tracer
     idb = program.idb_predicates
     # Initial round: every rule against the EDB-only database.
-    delta: dict[str, set] = {p: set() for p in idb}
-    derived = _apply_all_rules(program, database, universe, constants)
-    for predicate, tuples in derived.items():
-        fresh = tuples - database[predicate]
-        database[predicate] |= fresh
-        delta[predicate] = fresh
+    if profile is not None:
+        profile.start_round()
+    with tracer.span("iteration", engine="seminaive", round=1):
+        per_rule, bindings = _apply_rules_detailed(
+            program, database, universe, constants
+        )
+    delta = _round_one_from_detail(
+        program, database, per_rule, bindings, profile, "seminaive"
+    )
     iterations = 1
     if stage_snapshots is not None:
         stage_snapshots.append(_snapshot(database, idb))
 
     while any(delta.values()):
+        if profile is not None:
+            profile.start_round()
         new_delta: dict[str, set] = {p: set() for p in idb}
-        for rule in program.rules:
-            atoms = rule.body_atoms()
-            idb_positions = [
-                index
-                for index, atom in enumerate(atoms)
-                if atom.predicate in idb
-            ]
-            if not idb_positions:
-                continue  # EDB-only rules contribute nothing after round 1
-            for position in idb_positions:
-                predicate = atoms[position].predicate
-                if not delta[predicate]:
+        rule_firings: list[int] = []
+        bindings = 0
+        with tracer.span(
+            "iteration", engine="seminaive", round=iterations + 1
+        ):
+            for rule_index, rule in enumerate(program.rules):
+                atoms = rule.body_atoms()
+                idb_positions = [
+                    index
+                    for index, atom in enumerate(atoms)
+                    if atom.predicate in idb
+                ]
+                if not idb_positions:
+                    # EDB-only rules contribute nothing after round 1.
+                    rule_firings.append(0)
                     continue
-                for binding in _rule_bindings(
-                    rule,
-                    database,
-                    universe,
-                    constants,
-                    delta_index=position,
-                    delta=delta[predicate],
-                ):
-                    head = _head_tuple(rule, binding, constants)
-                    if head not in database[rule.head.predicate]:
-                        new_delta[rule.head.predicate].add(head)
+                existing = database[rule.head.predicate]
+                fired: set = set()
+                with tracer.span(
+                    "rule", rule=rule_index, head=rule.head.predicate
+                ) as span:
+                    for position in idb_positions:
+                        predicate = atoms[position].predicate
+                        if not delta[predicate]:
+                            continue
+                        for binding in _rule_bindings(
+                            rule,
+                            database,
+                            universe,
+                            constants,
+                            delta_index=position,
+                            delta=delta[predicate],
+                        ):
+                            bindings += 1
+                            head = _head_tuple(rule, binding, constants)
+                            if head not in existing:
+                                fired.add(head)
+                    span.annotate(fired=len(fired))
+                new_delta[rule.head.predicate] |= fired
+                rule_firings.append(len(fired))
         for predicate, tuples in new_delta.items():
             database[predicate] |= tuples
         delta = new_delta
         iterations += 1
+        _record_round(
+            "seminaive",
+            {p: len(rows) for p, rows in delta.items()},
+            rule_firings,
+            bindings,
+            bindings,
+            profile,
+        )
         if stage_snapshots is not None:
             stage_snapshots.append(_snapshot(database, idb))
     return iterations
@@ -622,6 +903,14 @@ def _run_plan(
                             break
                     else:
                         new_bindings.append(extended)
+            # Aggregate index telemetry: one call per atom op, never per
+            # probe, so the disabled path stays flat.
+            m = _metrics.metrics
+            m.inc(
+                "index.delta_probes" if is_delta else "index.probes",
+                len(bindings),
+            )
+            m.inc("index.bindings_extended", len(new_bindings))
             bindings = new_bindings
         elif kind == "bind":
             __, slot, (from_slot, value) = op
@@ -674,6 +963,7 @@ def _indexed(
     universe: list,
     constants: Mapping[str, Element],
     stage_snapshots: list[dict[str, frozenset]] | None = None,
+    profile: _ProfileBuilder | None = None,
 ) -> int:
     """Index-backed semi-naive evaluation; mutates ``database``.
 
@@ -681,7 +971,14 @@ def _indexed(
     every rule to the EDB-only store, later rounds re-derive only
     through the delta-specialised plans, and the iteration count is the
     number of rounds until the delta empties.
+
+    Observability discipline: the per-head/per-binding loops stay free
+    of instrumentation; only when ``collect_profile`` is requested does
+    the counting variant of the loop run, so the disabled path executes
+    the pre-instrumentation inner loops plus a handful of per-round
+    no-op metric calls.
     """
+    tracer = _trace.tracer
     idb = program.idb_predicates
     store = IndexedDatabase(database)
     full_plans = [
@@ -696,40 +993,95 @@ def _indexed(
     ]
 
     # Initial round: every rule against the EDB-only store.
+    if profile is not None:
+        profile.start_round()
+    produced = 0
+    per_rule: list[set] = []
+    with tracer.span("iteration", engine="indexed", round=1):
+        for rule, compiled in zip(program.rules, full_plans):
+            if profile is None:
+                heads = set(_plan_heads(compiled, store, universe))
+            else:
+                heads = set()
+                for head in _plan_heads(compiled, store, universe):
+                    heads.add(head)
+                    produced += 1
+            per_rule.append(heads)
+    rule_firings = [
+        len(heads - store.rows(rule.head.predicate))
+        for rule, heads in zip(program.rules, per_rule)
+    ]
     derived: dict[str, set] = {p: set() for p in idb}
-    for rule, compiled in zip(program.rules, full_plans):
-        derived[rule.head.predicate].update(
-            _plan_heads(compiled, store, universe)
-        )
+    for rule, heads in zip(program.rules, per_rule):
+        derived[rule.head.predicate] |= heads
     delta: dict[str, set] = {}
     for predicate, tuples in derived.items():
         delta[predicate] = store.merge(predicate, tuples)
     iterations = 1
+    _record_round(
+        "indexed",
+        {p: len(rows) for p, rows in delta.items()},
+        rule_firings,
+        produced,
+        produced,
+        profile,
+    )
     if stage_snapshots is not None:
         stage_snapshots.append(store.snapshot(idb))
 
     while any(delta.values()):
+        if profile is not None:
+            profile.start_round()
         new_derived: dict[str, set] = {p: set() for p in idb}
-        for rule, compiled_deltas in zip(program.rules, delta_plans):
-            existing = store.rows(rule.head.predicate)
-            target = new_derived[rule.head.predicate]
-            for compiled in compiled_deltas:
-                delta_index = compiled.plan.delta_atom_index
-                assert delta_index is not None
-                predicate = rule.body_atoms()[delta_index].predicate
-                rows = delta[predicate]
-                if not rows:
-                    continue
-                for head in _plan_heads(
-                    compiled, store, universe, delta_rows=rows
-                ):
-                    if head not in existing:
-                        target.add(head)
+        rule_firings = []
+        produced = 0
+        with tracer.span(
+            "iteration", engine="indexed", round=iterations + 1
+        ):
+            for rule_index, (rule, compiled_deltas) in enumerate(
+                zip(program.rules, delta_plans)
+            ):
+                existing = store.rows(rule.head.predicate)
+                fired: set = set()
+                with tracer.span(
+                    "rule", rule=rule_index, head=rule.head.predicate
+                ) as span:
+                    for compiled in compiled_deltas:
+                        delta_index = compiled.plan.delta_atom_index
+                        assert delta_index is not None
+                        predicate = rule.body_atoms()[delta_index].predicate
+                        rows = delta[predicate]
+                        if not rows:
+                            continue
+                        if profile is None:
+                            for head in _plan_heads(
+                                compiled, store, universe, delta_rows=rows
+                            ):
+                                if head not in existing:
+                                    fired.add(head)
+                        else:
+                            for head in _plan_heads(
+                                compiled, store, universe, delta_rows=rows
+                            ):
+                                produced += 1
+                                if head not in existing:
+                                    fired.add(head)
+                    span.annotate(fired=len(fired))
+                new_derived[rule.head.predicate] |= fired
+                rule_firings.append(len(fired))
         delta = {
             predicate: store.merge(predicate, tuples)
             for predicate, tuples in new_derived.items()
         }
         iterations += 1
+        _record_round(
+            "indexed",
+            {p: len(rows) for p, rows in delta.items()},
+            rule_firings,
+            produced,
+            produced,
+            profile,
+        )
         if stage_snapshots is not None:
             stage_snapshots.append(store.snapshot(idb))
 

@@ -25,6 +25,8 @@ from __future__ import annotations
 
 from typing import Hashable, Iterable, Iterator, Mapping
 
+from repro.obs import metrics as _metrics
+
 Element = Hashable
 Row = tuple
 PositionSignature = tuple[int, ...]
@@ -92,13 +94,23 @@ class RelationIndex:
         if index is None:
             index = hash_index(self._rows, positions)
             self._indexes[positions] = index
+            m = _metrics.metrics
+            m.inc("index.builds")
+            m.inc("index.rows_indexed", len(self._rows))
         return index
 
     def matching(
         self, positions: PositionSignature, key: tuple
     ) -> Iterable[Row]:
-        """Rows whose projection onto ``positions`` equals ``key``."""
-        return self.index_for(positions).get(key, ())
+        """Rows whose projection onto ``positions`` equals ``key``.
+
+        Counts an exact ``index.hits`` / ``index.misses`` per lookup
+        (the compiled-plan executor bypasses this method and reports
+        aggregate ``index.probes`` instead).
+        """
+        rows = self.index_for(positions).get(key, ())
+        _metrics.metrics.inc("index.hits" if rows else "index.misses")
+        return rows
 
     def add(self, row: Row) -> bool:
         """Insert one row; returns whether it was new.
@@ -118,6 +130,16 @@ class RelationIndex:
     def add_all(self, rows: Iterable[Row]) -> set[Row]:
         """Insert many rows; returns the subset that was actually new."""
         fresh = {row for row in rows if self.add(row)}
+        if fresh:
+            # Aggregate maintenance telemetry (one call per merge, not
+            # per row): every fresh row was appended into every
+            # already-materialised index.
+            m = _metrics.metrics
+            m.inc("index.rows_added", len(fresh))
+            m.inc(
+                "index.incremental_updates",
+                len(fresh) * len(self._indexes),
+            )
         return fresh
 
 

@@ -315,3 +315,27 @@ def rooted_star_homeomorphism_program(
     body.append(Atom(q_predicate_name(k + 1, 0), (s, *targets, w)))
     rules.append(Rule(goal_head, body))
     return Program(rules, goal="Goal")
+
+
+def library_programs() -> dict[str, Program]:
+    """The named catalogue of the paper's concrete programs.
+
+    One entry per program the reproduction ships, keyed by the names the
+    CLI accepts (``repro explain NAME``, test parametrisation, bench
+    rows).  Freshly constructed on every call -- callers may mutate
+    nothing, but plans and compiled forms are theirs to cache.
+    """
+    return {
+        "transitive-closure": transitive_closure_program(),
+        "avoiding-path": avoiding_path_program(),
+        "path-systems": path_systems_program(),
+        "two-disjoint-from-source": two_disjoint_paths_from_source_program(),
+        "q-1-1": q_program(1, 1),
+        "q-2-0": q_program(2, 0),
+        "q-2-1": q_program(2, 1),
+        "q-2-1-displayed": q_program_as_displayed(2, 1),
+        "q-2-0-reversed": q_program(2, 0, reverse=True),
+        "star-2": rooted_star_homeomorphism_program(2),
+        "star-1-loop": rooted_star_homeomorphism_program(1, self_loop=True),
+        "star-0-loop": rooted_star_homeomorphism_program(0, self_loop=True),
+    }

@@ -12,6 +12,9 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Hashable, Mapping
 
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
+
 Node = Hashable
 
 
@@ -80,30 +83,42 @@ def max_flow(
     ensure(sink)
 
     value = 0
-    while True:
-        # BFS for a shortest augmenting path.
-        parents: dict[Node, Node] = {source: source}
-        frontier = deque([source])
-        while frontier and sink not in parents:
-            node = frontier.popleft()
-            for nxt, cap in residual[node].items():
-                if cap > 0 and nxt not in parents:
-                    parents[nxt] = node
-                    frontier.append(nxt)
-        if sink not in parents:
-            break
-        # Find the bottleneck and augment.
-        path = [sink]
-        while parents[path[-1]] != path[-1]:
-            path.append(parents[path[-1]])
-        path.reverse()
-        bottleneck = min(
-            residual[u][v] for u, v in zip(path, path[1:])
-        )
-        for u, v in zip(path, path[1:]):
-            residual[u][v] -= bottleneck
-            residual[v][u] += bottleneck
-        value += bottleneck
+    m = _metrics.metrics
+    with _trace.tracer.span(
+        "maxflow", nodes=len(residual), edges=len(capacities)
+    ) as span:
+        augmenting_paths = 0
+        while True:
+            # BFS for a shortest augmenting path.
+            parents: dict[Node, Node] = {source: source}
+            frontier = deque([source])
+            while frontier and sink not in parents:
+                node = frontier.popleft()
+                for nxt, cap in residual[node].items():
+                    if cap > 0 and nxt not in parents:
+                        parents[nxt] = node
+                        frontier.append(nxt)
+            m.inc("flow.bfs_runs")
+            m.inc("flow.bfs_visits", len(parents))
+            if sink not in parents:
+                break
+            # Find the bottleneck and augment.
+            path = [sink]
+            while parents[path[-1]] != path[-1]:
+                path.append(parents[path[-1]])
+            path.reverse()
+            bottleneck = min(
+                residual[u][v] for u, v in zip(path, path[1:])
+            )
+            for u, v in zip(path, path[1:]):
+                residual[u][v] -= bottleneck
+                residual[v][u] += bottleneck
+            value += bottleneck
+            augmenting_paths += 1
+            m.inc("flow.augmenting_paths")
+            m.inc("flow.augmented_units", bottleneck)
+            m.observe("flow.augmenting_path_length", len(path) - 1)
+        span.annotate(value=value, augmenting_paths=augmenting_paths)
 
     # Positive flow: capacity minus residual on original edges.
     flow: dict[tuple, int] = {}

@@ -25,6 +25,8 @@ from __future__ import annotations
 import itertools
 from typing import Hashable
 
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.structures.homomorphism import (
     is_partial_homomorphism,
     is_partial_one_to_one_homomorphism,
@@ -127,21 +129,36 @@ def paper_win_algorithm(
     # Player I can force a dead configuration within m moves.
     win: dict[Configuration, bool] = {c: False for c in alive}
     bound = (max(len(a_elements), len(b_elements)) + 1) ** (2 * k)
-    for __ in range(bound):
-        changed = False
-        for configuration in alive:
-            if win[configuration]:
-                continue
-            for pebble, action in player_one_moves(configuration):
-                replies = apply_move(configuration, pebble, action)
-                if all(
-                    reply not in alive or win[reply] for reply in replies
-                ):
-                    win[configuration] = True
-                    changed = True
-                    break
-        if not changed:
-            break
+    m = _metrics.metrics
+    m.inc("game.win_runs")
+    m.inc("game.configurations", len(alive))
+    with _trace.tracer.span(
+        "win-algorithm", k=k, configurations=len(alive), injective=injective
+    ) as run_span:
+        rounds = 0
+        for __ in range(bound):
+            rounds += 1
+            eliminated = 0
+            with _trace.tracer.span("round", round=rounds) as round_span:
+                for configuration in alive:
+                    if win[configuration]:
+                        continue
+                    for pebble, action in player_one_moves(configuration):
+                        replies = apply_move(configuration, pebble, action)
+                        if all(
+                            reply not in alive or win[reply]
+                            for reply in replies
+                        ):
+                            win[configuration] = True
+                            eliminated += 1
+                            break
+                round_span.annotate(eliminated=eliminated)
+            m.inc("game.rounds")
+            m.inc("game.configurations_eliminated", eliminated)
+            m.observe("game.eliminated_per_round", eliminated)
+            if not eliminated:
+                break
+        run_span.annotate(rounds=rounds)
 
     initial = _initial(k)
     player_one_wins = initial not in alive or win[initial]

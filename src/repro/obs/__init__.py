@@ -1,0 +1,55 @@
+"""Observability for the reproduction: tracing, metrics, and EXPLAIN.
+
+Zero-dependency instrumentation shared by every execution layer -- the
+three Datalog fixpoint engines, the algebra engine, the index layer, the
+pebble-game solver of Proposition 5.3, and the max-flow loop:
+
+* :mod:`repro.obs.trace` -- a hierarchical span tracer with wall-time,
+  nesting, and JSONL export (``repro ... --trace run.jsonl``);
+* :mod:`repro.obs.metrics` -- a registry of named counters / gauges /
+  histograms with ``snapshot()`` / ``reset()`` and a near-zero-cost
+  disabled path (``repro ... --stats``);
+* :mod:`repro.obs.explain` -- pretty-printed compiled rule plans
+  (``repro explain``).
+
+Both sinks default to module-level no-op singletons; instrumented code
+calls them unconditionally and pays one attribute load when collection
+is off.  Enable around a region of interest::
+
+    from repro.obs import enable_metrics, get_metrics, enable_tracing
+
+    registry = enable_metrics()
+    tracer = enable_tracing()
+    ...           # run engines
+    registry.snapshot()
+    tracer.write_jsonl("run.jsonl")
+"""
+
+from repro.obs.explain import explain_program, explain_rule
+from repro.obs.metrics import (
+    MetricsRegistry,
+    disable_metrics,
+    enable_metrics,
+    get_metrics,
+)
+from repro.obs.trace import (
+    SpanTracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    load_span_tree,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "SpanTracer",
+    "disable_metrics",
+    "disable_tracing",
+    "enable_metrics",
+    "enable_tracing",
+    "explain_program",
+    "explain_rule",
+    "get_metrics",
+    "get_tracer",
+    "load_span_tree",
+]

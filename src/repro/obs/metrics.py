@@ -1,0 +1,184 @@
+"""A zero-dependency metrics registry: named counters, gauges, histograms.
+
+The reproduction's objects are all iterative computations (fixpoint
+rounds, pebble-game eliminations, augmenting-path loops), and the
+counters here are the ones their complexity analyses talk about: rule
+firings, bindings enumerated, tuples materialised, index probes.  The
+registry is deliberately tiny -- ``inc`` / ``gauge`` / ``observe`` plus
+``snapshot()`` / ``reset()`` -- so it can sit inside every engine
+without pulling in a dependency.
+
+Cost discipline
+---------------
+
+Instrumented modules never check "is metrics collection on?".  They call
+``metrics.inc(...)`` unconditionally, where ``metrics`` is this module's
+mutable global: a :class:`MetricsRegistry` while collection is enabled,
+and the :data:`NOOP` singleton (whose methods are empty) otherwise.  Hot
+code therefore pays exactly one attribute load plus one no-op call per
+instrumentation point when disabled -- and instrumentation points are
+placed per *round* or per *operator*, never per binding, so the disabled
+path is within noise of uninstrumented code (pinned by
+``tests/test_obs.py``).
+
+Callers must read the global late (``from repro.obs import metrics`` and
+then ``metrics.metrics.inc``, or via :func:`get_metrics`); binding the
+object itself at import time would freeze the enabled/disabled state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class HistogramSummary:
+    """Aggregate view of one histogram's observations."""
+
+    count: int
+    total: float
+    minimum: float
+    maximum: float
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Named counters, gauges, and histograms with snapshot/reset.
+
+    Counter and gauge names are plain dotted strings
+    (``"datalog.rule_firings"``); nothing is pre-registered, the first
+    touch creates the series.
+    """
+
+    __slots__ = ("_counters", "_gauges", "_histograms")
+
+    #: Real registries collect; the NOOP singleton advertises False.
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: dict[str, int] = {}
+        self._gauges: dict[str, float] = {}
+        self._histograms: dict[str, list[float]] = {}
+
+    # -- writes ----------------------------------------------------------
+
+    def inc(self, name: str, value: int = 1) -> None:
+        """Add ``value`` to the counter ``name`` (creating it at 0)."""
+        self._counters[name] = self._counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set the gauge ``name`` to its latest ``value``."""
+        self._gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation into the histogram ``name``."""
+        self._histograms.setdefault(name, []).append(value)
+
+    # -- reads -----------------------------------------------------------
+
+    def counter(self, name: str) -> int:
+        return self._counters.get(name, 0)
+
+    def snapshot(self) -> dict:
+        """A plain-dict copy of every series (JSON-serialisable).
+
+        Histograms are summarised (count / total / min / max / mean), so
+        a snapshot's size is bounded by the number of series, not the
+        number of observations.
+        """
+        return {
+            "counters": dict(self._counters),
+            "gauges": dict(self._gauges),
+            "histograms": {
+                name: {
+                    "count": len(values),
+                    "total": sum(values),
+                    "min": min(values),
+                    "max": max(values),
+                    "mean": sum(values) / len(values),
+                }
+                for name, values in self._histograms.items()
+                if values
+            },
+        }
+
+    def histogram(self, name: str) -> HistogramSummary | None:
+        values = self._histograms.get(name)
+        if not values:
+            return None
+        return HistogramSummary(
+            count=len(values),
+            total=sum(values),
+            minimum=min(values),
+            maximum=max(values),
+        )
+
+    def reset(self) -> None:
+        """Drop every series; the registry stays enabled."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+
+class _NoopMetrics:
+    """The disabled path: every write is an empty method.
+
+    A singleton (:data:`NOOP`); instrumented code holds no reference to
+    it directly, it only ever reaches it through the module global.
+    """
+
+    __slots__ = ()
+
+    enabled = False
+
+    def inc(self, name: str, value: int = 1) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+    def counter(self, name: str) -> int:
+        return 0
+
+    def histogram(self, name: str) -> None:
+        return None
+
+    def snapshot(self) -> dict:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def reset(self) -> None:
+        pass
+
+
+#: The module-level no-op singleton.
+NOOP = _NoopMetrics()
+
+#: The active sink.  Instrumented modules read this attribute at call
+#: time (never ``from ... import metrics`` the object itself).
+metrics: MetricsRegistry | _NoopMetrics = NOOP
+
+
+def enable_metrics(registry: MetricsRegistry | None = None) -> MetricsRegistry:
+    """Route instrumentation into ``registry`` (a fresh one by default)."""
+    global metrics
+    if registry is None:
+        registry = MetricsRegistry()
+    metrics = registry
+    return registry
+
+
+def disable_metrics() -> None:
+    """Restore the no-op sink (collected data in old registries survives)."""
+    global metrics
+    metrics = NOOP
+
+
+def get_metrics() -> MetricsRegistry | _NoopMetrics:
+    """The active sink; prefer this in non-hot code for readability."""
+    return metrics

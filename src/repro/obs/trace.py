@@ -1,0 +1,250 @@
+"""A hierarchical span tracer with wall-time and JSONL export.
+
+Spans model the nesting of the reproduction's iterative computations::
+
+    evaluate                       (one fixpoint run)
+      iteration round=1            (one application of Theta)
+      iteration round=2
+      ...
+
+Each span records a kind, free-form attributes, a start/end wall-clock
+pair (``time.perf_counter``), its depth, and its parent's id -- enough
+to reconstruct the tree from the flat JSONL file.
+
+Like the metrics registry (:mod:`repro.obs.metrics`), tracing is off by
+default through a module-level no-op singleton: instrumented code calls
+``trace.tracer.span(...)`` unconditionally and the disabled object hands
+back a shared, reusable null context manager.  Spans are opened per
+round / per solver call, never per tuple, so the disabled cost is a few
+no-op calls per fixpoint round.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Iterator, TextIO
+
+
+@dataclass
+class Span:
+    """One completed (or still-open) span."""
+
+    span_id: int
+    parent_id: int | None
+    depth: int
+    kind: str
+    attributes: dict
+    start: float
+    end: float | None = None
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock seconds (0.0 while the span is still open)."""
+        return 0.0 if self.end is None else self.end - self.start
+
+    def to_dict(self) -> dict:
+        record = {
+            "span": self.span_id,
+            "parent": self.parent_id,
+            "depth": self.depth,
+            "kind": self.kind,
+            "start": self.start,
+            "end": self.end,
+            "duration_ms": round(self.duration * 1000.0, 6),
+        }
+        record.update(self.attributes)
+        return record
+
+
+class _SpanContext:
+    """Context manager closing one span on exit."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: SpanTracer, span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    @property
+    def span(self) -> Span:
+        return self._span
+
+    def annotate(self, **attributes) -> None:
+        """Attach attributes discovered while the span is open."""
+        self._span.attributes.update(attributes)
+
+    def __enter__(self) -> "_SpanContext":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._tracer._close(self._span)
+
+
+class SpanTracer:
+    """Collects a forest of spans; exports them as one JSON object/line."""
+
+    def __init__(self) -> None:
+        self._spans: list[Span] = []
+        self._stack: list[Span] = []
+        self._next_id = 0
+
+    enabled = True
+
+    def span(self, kind: str, **attributes) -> _SpanContext:
+        """Open a span nested under the innermost open span."""
+        parent = self._stack[-1] if self._stack else None
+        span = Span(
+            span_id=self._next_id,
+            parent_id=None if parent is None else parent.span_id,
+            depth=len(self._stack),
+            kind=kind,
+            attributes=dict(attributes),
+            start=time.perf_counter(),
+        )
+        self._next_id += 1
+        self._spans.append(span)
+        self._stack.append(span)
+        return _SpanContext(self, span)
+
+    def _close(self, span: Span) -> None:
+        span.end = time.perf_counter()
+        # Exceptions can unwind several spans at once; pop to this one.
+        while self._stack and self._stack[-1] is not span:
+            self._stack.pop()
+        if self._stack:
+            self._stack.pop()
+
+    @property
+    def spans(self) -> tuple[Span, ...]:
+        """Every span opened so far, in opening order."""
+        return tuple(self._spans)
+
+    def reset(self) -> None:
+        self._spans.clear()
+        self._stack.clear()
+        self._next_id = 0
+
+    # -- export ----------------------------------------------------------
+
+    def export_jsonl(self, stream: TextIO) -> int:
+        """Write one JSON object per span; returns the span count."""
+        for span in self._spans:
+            stream.write(json.dumps(span.to_dict(), default=repr))
+            stream.write("\n")
+        return len(self._spans)
+
+    def write_jsonl(self, path: str) -> int:
+        with open(path, "w", encoding="utf-8") as handle:
+            return self.export_jsonl(handle)
+
+
+class _NoopSpanContext:
+    """Shared null context manager returned by the disabled tracer."""
+
+    __slots__ = ()
+
+    span = None
+
+    def annotate(self, **attributes) -> None:
+        pass
+
+    def __enter__(self) -> "_NoopSpanContext":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+
+class _NoopTracer:
+    __slots__ = ()
+
+    enabled = False
+    spans: tuple = ()
+
+    _CONTEXT = _NoopSpanContext()
+
+    def span(self, kind: str, **attributes) -> _NoopSpanContext:
+        return self._CONTEXT
+
+    def reset(self) -> None:
+        pass
+
+    def export_jsonl(self, stream: TextIO) -> int:
+        return 0
+
+    def write_jsonl(self, path: str) -> int:
+        return 0
+
+
+#: The module-level no-op singleton.
+NOOP = _NoopTracer()
+
+#: The active tracer; instrumented modules read this attribute late.
+tracer: SpanTracer | _NoopTracer = NOOP
+
+
+def enable_tracing(instance: SpanTracer | None = None) -> SpanTracer:
+    """Route spans into ``instance`` (a fresh tracer by default)."""
+    global tracer
+    if instance is None:
+        instance = SpanTracer()
+    tracer = instance
+    return instance
+
+
+def disable_tracing() -> None:
+    global tracer
+    tracer = NOOP
+
+
+def get_tracer() -> SpanTracer | _NoopTracer:
+    return tracer
+
+
+# ---------------------------------------------------------------------------
+# JSONL round-trip: reconstruct the span tree from an exported file.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SpanNode:
+    """One node of a reconstructed span tree."""
+
+    record: dict
+    children: list["SpanNode"] = field(default_factory=list)
+
+    @property
+    def kind(self) -> str:
+        return self.record["kind"]
+
+    def walk(self) -> Iterator["SpanNode"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+def load_span_tree(lines) -> list[SpanNode]:
+    """Parse JSONL lines back into the forest of root spans.
+
+    Accepts any iterable of strings (an open file, ``read().splitlines()``,
+    a list); blank lines are ignored.  Raises ``json.JSONDecodeError`` on
+    malformed input and ``KeyError`` if a record lacks the span fields --
+    the CI smoke uses this as the "trace file parses" check.
+    """
+    nodes: dict[int, SpanNode] = {}
+    roots: list[SpanNode] = []
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        node = SpanNode(record)
+        nodes[record["span"]] = node
+        parent_id = record["parent"]
+        if parent_id is None:
+            roots.append(node)
+        else:
+            nodes[parent_id].children.append(node)
+    return roots

@@ -236,6 +236,152 @@ class TestReduceDot:
         assert "color=red" in content  # routed satisfiable paths
 
 
+class TestObservabilityFlags:
+    def test_stats_prints_profile_and_counters(
+        self, capsys, program_file, path_graph_file
+    ):
+        assert main(["run", program_file, path_graph_file, "--stats"]) == 0
+        captured = capsys.readouterr()
+        assert "6 tuples" in captured.out
+        err = captured.err
+        assert "== profile (indexed engine) ==" in err
+        assert "per-rule firings" in err
+        assert "per-iteration deltas" in err
+        assert "== stats ==" in err
+        assert "datalog.rounds" in err
+        assert "index.probes" in err
+
+    @pytest.mark.parametrize(
+        "engine", ["naive", "seminaive", "indexed", "algebra"]
+    )
+    def test_stats_per_engine(
+        self, capsys, program_file, path_graph_file, engine
+    ):
+        assert main([
+            "run", program_file, path_graph_file,
+            "--engine", engine, "--stats",
+        ]) == 0
+        err = capsys.readouterr().err
+        assert "per-rule firings" in err
+        assert "S(x, y) :- E(x, y)." in err
+
+    def test_trace_writes_parseable_jsonl(
+        self, capsys, tmp_path, program_file, path_graph_file
+    ):
+        from repro.obs.trace import load_span_tree
+
+        trace_file = tmp_path / "trace.jsonl"
+        assert main([
+            "run", program_file, path_graph_file, "--trace", str(trace_file),
+        ]) == 0
+        assert "wrote" in capsys.readouterr().err
+        with open(trace_file, encoding="utf-8") as handle:
+            roots = load_span_tree(handle)
+        assert [root.kind for root in roots] == ["evaluate"]
+        kinds = {node.kind for node in roots[0].walk()}
+        assert {"evaluate", "iteration", "rule"} <= kinds
+
+    def test_stats_disabled_leaves_stderr_quiet(
+        self, capsys, program_file, path_graph_file
+    ):
+        assert main(["run", program_file, path_graph_file]) == 0
+        assert capsys.readouterr().err == ""
+
+    def test_run_accepts_library_program_names(
+        self, capsys, path_graph_file
+    ):
+        assert main([
+            "run", "transitive-closure", path_graph_file,
+        ]) == 0
+        assert "6 tuples" in capsys.readouterr().out
+
+
+class TestExplainCommand:
+    def test_library_program(self, capsys):
+        assert main(["explain", "transitive-closure"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("EXPLAIN transitive-closure: goal S")
+        assert "full plan (round 1):" in out
+        assert "delta plan (dS at body atom" in out
+
+    def test_program_file(self, capsys, program_file):
+        assert main(["explain", program_file]) == 0
+        assert "scan  E(x, y)" in capsys.readouterr().out
+
+    def test_list_names(self, capsys):
+        assert main(["explain", "--list"]) == 0
+        names = capsys.readouterr().out.split()
+        assert "transitive-closure" in names
+        assert "q-2-1" in names
+
+    def test_every_library_name_renders(self, capsys):
+        assert main(["explain", "--list"]) == 0
+        for name in capsys.readouterr().out.split():
+            assert main(["explain", name]) == 0, name
+            assert f"EXPLAIN {name}" in capsys.readouterr().out
+
+
+class TestErrorContract:
+    """Every user-input failure: exit code 2, one ``repro: error:`` line."""
+
+    def _assert_error(self, capsys, argv, needle):
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        error_lines = [
+            line for line in err.splitlines()
+            if line.startswith("repro: error: ")
+        ]
+        assert len(error_lines) == 1
+        assert needle in error_lines[0]
+
+    def test_unknown_program_name(self, capsys, path_graph_file):
+        self._assert_error(
+            capsys,
+            ["run", "no-such-program", path_graph_file],
+            "unknown program 'no-such-program'",
+        )
+
+    def test_unknown_engine(self, capsys, program_file, path_graph_file):
+        self._assert_error(
+            capsys,
+            ["run", program_file, path_graph_file, "--engine", "warp"],
+            "unknown engine 'warp'",
+        )
+
+    def test_missing_graph_file(self, capsys, program_file, tmp_path):
+        self._assert_error(
+            capsys,
+            ["run", program_file, str(tmp_path / "missing.graph")],
+            "cannot read",
+        )
+
+    def test_malformed_graph(self, capsys, program_file, tmp_path):
+        bad = tmp_path / "bad.graph"
+        bad.write_text("this is not a graph line\n")
+        self._assert_error(
+            capsys, ["run", program_file, str(bad)], "expected",
+        )
+
+    def test_malformed_assignment(self, capsys, tmp_path):
+        pattern = tmp_path / "p.graph"
+        pattern.write_text("edge u v\n")
+        graph = tmp_path / "g.graph"
+        graph.write_text("edge a b\n")
+        self._assert_error(
+            capsys,
+            ["homeo", str(pattern), str(graph), "--assign", "nonsense"],
+            "malformed assignment",
+        )
+
+    def test_explain_unknown_program(self, capsys):
+        self._assert_error(
+            capsys, ["explain", "no-such-program"], "unknown program",
+        )
+
+    def test_explain_without_program(self, capsys):
+        self._assert_error(capsys, ["explain"], "use --list")
+
+
 class TestCertificate:
     def test_h1_certificate(self, capsys):
         assert main([

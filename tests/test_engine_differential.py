@@ -106,6 +106,7 @@ def _assert_engines_agree(program, structure, extra_edb=None):
             extra_edb=extra_edb,
             method=method,
             collect_stages=True,
+            collect_profile=True,
         )
         for method in METHODS
     }
@@ -115,6 +116,13 @@ def _assert_engines_agree(program, structure, extra_edb=None):
         assert result.goal_relation == reference.goal_relation, method
         assert result.stages == reference.stages, method
         assert result.iterations == reference.iterations, method
+        # The semantic half of the profile -- per-round delta sizes and
+        # per-rule firings (distinct new head tuples), not timings or
+        # binding counts -- is an engine-independent observable.
+        assert (
+            result.profile.semantic_view()
+            == reference.profile.semantic_view()
+        ), method
     return reference
 
 
@@ -127,9 +135,13 @@ def test_random_pairs_all_engines_agree():
         program = _random_program(rng)
         structure = _random_structure(rng)
         reference = _assert_engines_agree(program, structure)
-        if pair % 8 == 0:  # algebra engine: fixpoint equality only
-            algebra = evaluate_algebra(program, structure)
+        if pair % 8 == 0:  # algebra engine: fixpoint + semantic profile
+            algebra = evaluate_algebra(program, structure, collect_profile=True)
             assert algebra.relations == reference.relations, pair
+            assert (
+                algebra.profile.semantic_view()
+                == reference.profile.semantic_view()
+            ), pair
             algebra_checked += 1
     assert algebra_checked >= 30
 
