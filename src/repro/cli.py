@@ -4,7 +4,10 @@ Subcommands
 -----------
 
 * ``repro run PROGRAM GRAPH`` -- evaluate a Datalog(!=) program file on
-  a graph file and print the goal relation (or check one tuple).
+  a graph file and print the goal relation (or check one tuple).  With
+  ``--bind`` / ``--magic`` the query is goal-directed: only answers
+  matching the binding are printed, and the magic-sets rewrite derives
+  only the facts the binding demands.
 * ``repro game A B K`` -- decide the existential K-pebble game on two
   graph files, optionally extracting a separating L^K sentence.
 * ``repro classify PATTERN`` -- the FHW/Kolaitis-Vardi dichotomy row for
@@ -17,7 +20,9 @@ Subcommands
 * ``repro certificate K`` -- build a Theorem 6.6/6.7 certificate and
   simulate adversarial play against the proof's Player II strategy.
 * ``repro explain PROGRAM`` -- pretty-print the compiled rule plans the
-  indexed engine executes (library program name or program file).
+  indexed engine executes (library program name or program file);
+  ``--magic ADORNMENT`` shows the adorned and magic (demand) rules of
+  the goal-directed rewrite first.
 
 Observability: every subcommand accepts ``--stats`` (counter table +
 evaluation profile on stderr) and ``--trace FILE.jsonl`` (hierarchical
@@ -85,6 +90,36 @@ def _load_program_or_library(path_or_name: str, goal: str | None):
 ENGINES = ("indexed", "seminaive", "naive", "algebra")
 
 
+def _goal_binding(program, structure, entries: Sequence[str]):
+    """Turn ``--bind`` entries into a goal atom + expanded structure.
+
+    One entry per goal-argument position: a node name (bound) or ``_``
+    (free).  Bound nodes become fresh ``__g{i}`` constants the returned
+    structure interprets, so the binding survives the magic rewrite as
+    ordinary Datalog(!=) constants.
+    """
+    from repro.datalog.ast import Atom, Constant, Variable
+
+    arity = program.arity(program.goal)
+    if len(entries) != arity:
+        raise CliError(
+            f"--bind needs {arity} entries for {program.goal}/{arity} "
+            f"(node name, or _ for a free position); got {len(entries)}"
+        )
+    assignment: dict[str, str] = {}
+    terms = []
+    for position, entry in enumerate(entries):
+        if entry == "_":
+            terms.append(Variable(f"x{position + 1}"))
+            continue
+        if entry not in structure.universe:
+            raise CliError(f"--bind node {entry!r} is not in the graph")
+        name = f"__g{position + 1}"
+        assignment[name] = entry
+        terms.append(Constant(name))
+    return Atom(program.goal, terms), structure.with_constants(assignment)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     if args.engine not in ENGINES:
         raise CliError(
@@ -94,6 +129,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     __, program = _load_program_or_library(args.program, args.goal)
     graph = load_digraph(args.graph)
     profiled = bool(getattr(args, "stats", False))
+    if args.bind is not None or args.magic:
+        return _run_goal_directed(args, program, graph, profiled)
     if args.engine == "algebra":
         from repro.datalog.algebra_engine import evaluate_algebra
 
@@ -117,6 +154,54 @@ def _cmd_run(args: argparse.Namespace) -> int:
     rows = sorted(result.goal_relation, key=repr)
     print(f"% {program.goal}: {len(rows)} tuples "
           f"({result.iterations} fixpoint rounds)")
+    for row in rows:
+        print("\t".join(str(x) for x in row))
+    return 0
+
+
+def _run_goal_directed(
+    args: argparse.Namespace, program, graph, profiled: bool
+) -> int:
+    """``run`` with ``--bind`` and/or ``--magic``: the query() path.
+
+    ``--check`` composes: the checked tuple becomes an all-bound
+    binding, so with ``--magic`` the engine derives only the demanded
+    facts before answering.
+    """
+    from repro.datalog.evaluation import query
+
+    structure = graph.to_structure()
+    if args.bind is not None and args.check is not None:
+        raise CliError("--bind and --check are mutually exclusive; "
+                       "--check already binds every position")
+    entries: Sequence[str]
+    if args.bind is not None:
+        entries = args.bind
+    elif args.check is not None:
+        entries = args.check
+    else:
+        # --magic alone: all positions free (adornment f...f).
+        entries = ["_"] * program.arity(program.goal)
+    goal_atom, structure = _goal_binding(program, structure, entries)
+    outcome = query(
+        program,
+        structure,
+        goal_atom,
+        engine=args.engine,
+        magic=bool(args.magic),
+        collect_profile=profiled,
+    )
+    if outcome.result.profile is not None:
+        _print_profile(outcome.result.profile)
+    mode = "magic" if outcome.magic else "direct"
+    if args.check is not None:
+        verdict = outcome.holds
+        print(f"{program.goal}{tuple(args.check)!r}: {verdict} "
+              f"({mode}, {outcome.derived_tuples} tuples derived)")
+        return 0 if verdict else 1
+    rows = sorted(outcome.answers, key=repr)
+    print(f"% {program.goal} matching {goal_atom}: {len(rows)} answers "
+          f"({mode}, {outcome.derived_tuples} tuples derived)")
     for row in rows:
         print("\t".join(str(x) for x in row))
     return 0
@@ -335,7 +420,7 @@ def _cmd_certificate(args: argparse.Namespace) -> int:
 
 def _cmd_explain(args: argparse.Namespace) -> int:
     from repro.datalog.library import library_programs
-    from repro.obs.explain import explain_program
+    from repro.obs.explain import explain_magic, explain_program
 
     if args.list:
         for name in sorted(library_programs()):
@@ -347,6 +432,19 @@ def _cmd_explain(args: argparse.Namespace) -> int:
             "use --list to see library names"
         )
     name, program = _load_program_or_library(args.program, args.goal)
+    if args.magic is not None:
+        from repro.datalog.magic import (
+            goal_atom_from_adornment,
+            magic_rewrite,
+        )
+
+        try:
+            goal_atom = goal_atom_from_adornment(program, args.magic)
+            rewrite = magic_rewrite(program, goal_atom)
+        except ValueError as exc:
+            raise CliError(str(exc))
+        print(explain_magic(rewrite, name=name))
+        return 0
     print(explain_program(program, name=name))
     return 0
 
@@ -446,6 +544,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine", default="indexed",
         help=f"evaluation engine ({', '.join(ENGINES)})",
     )
+    run.add_argument(
+        "--bind", nargs="+", metavar="NODE",
+        help="goal binding, one entry per goal argument (node name, or "
+        "_ for a free position); prints only the matching answers",
+    )
+    run.add_argument(
+        "--magic", action="store_true",
+        help="evaluate goal-directedly via the magic-sets rewrite "
+        "(derives only the facts the binding demands; combine with "
+        "--bind or --check)",
+    )
     run.set_defaults(func=_cmd_run)
 
     game = sub.add_parser(
@@ -530,6 +639,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="library program name or program file",
     )
     explain.add_argument("--goal", help="override the goal predicate")
+    explain.add_argument(
+        "--magic", metavar="ADORNMENT",
+        help="show the magic-sets rewrite for a goal adornment "
+        "(e.g. bf: first argument bound, second free) before the plans",
+    )
     explain.add_argument(
         "--list", action="store_true", help="list library program names"
     )

@@ -18,6 +18,10 @@ Public API
 * :mod:`repro.datalog.indexing` / :mod:`repro.datalog.planner` -- the
   hash-index layer and the greedy join-order planner behind the default
   engine.
+* :func:`query` / :func:`magic_rewrite` -- goal-directed evaluation: a
+  goal binding (constants at bound positions) is pushed through the
+  magic-sets rewrite of :mod:`repro.datalog.magic`, so only demanded
+  facts are derived; answers match direct evaluation exactly.
 * :mod:`repro.datalog.library` -- every concrete program in the paper.
 * :mod:`repro.datalog.homeo` -- generated programs for Theorems 6.1 / 6.2.
 """
@@ -34,10 +38,13 @@ from repro.datalog.ast import (
 from repro.datalog.algebra_engine import evaluate_algebra
 from repro.datalog.evaluation import (
     FixpointResult,
+    QueryResult,
     boolean_query,
     evaluate,
+    query,
     stages,
 )
+from repro.datalog.magic import MagicRewrite, magic_rewrite
 from repro.datalog.parser import ParseError, parse_program, parse_rule
 from repro.datalog.validation import ProgramAnalysis, analyze_program
 
@@ -54,6 +61,10 @@ __all__ = [
     "ParseError",
     "evaluate",
     "evaluate_algebra",
+    "query",
+    "QueryResult",
+    "magic_rewrite",
+    "MagicRewrite",
     "stages",
     "boolean_query",
     "FixpointResult",

@@ -1116,6 +1116,140 @@ def stages(
     return result.stages
 
 
+#: Engines accepted by :func:`query` -- :data:`METHODS` plus the
+#: algebra engine of :mod:`repro.datalog.algebra_engine`.
+QUERY_ENGINES = METHODS + ("algebra",)
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Goal-directed query outcome (see :func:`query`).
+
+    Attributes
+    ----------
+    answers:
+        The goal tuples (full arity) consistent with the goal atom's
+        binding -- identical with and without the magic rewrite.
+    goal_atom:
+        The binding queried.
+    magic:
+        Whether the magic-sets rewrite ran.
+    result:
+        The underlying :class:`FixpointResult` (of the rewritten program
+        when ``magic`` is true).
+    rewrite:
+        The :class:`repro.datalog.magic.MagicRewrite`, or ``None`` for
+        direct evaluation.
+    """
+
+    answers: frozenset
+    goal_atom: Atom
+    magic: bool
+    result: FixpointResult
+    rewrite: object | None = None
+
+    @property
+    def holds(self) -> bool:
+        """Whether any goal tuple matches the binding."""
+        return bool(self.answers)
+
+    @property
+    def derived_tuples(self) -> int:
+        """Total tuples the run derived, across every IDB predicate.
+
+        For a magic run this counts adorned and magic tuples -- the
+        work actually done -- which the bench harness compares against
+        the full fixpoint's count.
+        """
+        return sum(len(rows) for rows in self.result.relations.values())
+
+
+def query(
+    program: Program,
+    structure: Structure,
+    goal_atom: Atom,
+    extra_edb: Mapping[str, Iterable[tuple]] | None = None,
+    engine: str = "indexed",
+    magic: bool = True,
+    collect_profile: bool = False,
+) -> QueryResult:
+    """Evaluate one goal binding, goal-directedly by default.
+
+    ``goal_atom`` is an atom over an IDB predicate (normally the goal)
+    whose arguments mix :class:`Constant` (bound -- the structure must
+    interpret the name) and :class:`Variable` (free); repeated variables
+    require equal values.  With ``magic=True`` (default) the program is
+    first rewritten by :func:`repro.datalog.magic.magic_rewrite`, so
+    evaluation touches only the facts the binding demands; with
+    ``magic=False`` the full fixpoint is computed and filtered.  The
+    ``answers`` are identical either way -- the property-based
+    equivalence harness pins this for all engines.
+
+    ``engine`` is one of :data:`QUERY_ENGINES` (``"algebra"`` routes to
+    :func:`repro.datalog.algebra_engine.evaluate_algebra`).
+    """
+    from repro.datalog.magic import goal_matches, magic_rewrite
+
+    if engine not in QUERY_ENGINES:
+        raise ValueError(
+            f"unknown query engine {engine!r} "
+            f"(choose from {', '.join(QUERY_ENGINES)})"
+        )
+    if goal_atom.predicate not in program.idb_predicates:
+        raise ValueError(
+            f"goal atom predicate {goal_atom.predicate!r} is not an IDB "
+            "predicate of the program"
+        )
+    missing = {
+        term.name
+        for term in goal_atom.args
+        if isinstance(term, Constant)
+    } - set(structure.constants)
+    if missing:
+        raise ValueError(
+            f"goal atom mentions constants the structure does not "
+            f"interpret: {sorted(missing)}"
+        )
+    rewrite = magic_rewrite(program, goal_atom) if magic else None
+    target = program if rewrite is None else rewrite.program
+    with _trace.tracer.span(
+        "query",
+        goal=str(goal_atom),
+        engine=engine,
+        magic=magic,
+    ):
+        if engine == "algebra":
+            from repro.datalog.algebra_engine import evaluate_algebra
+
+            result = evaluate_algebra(
+                target,
+                structure,
+                extra_edb=extra_edb,
+                collect_profile=collect_profile,
+            )
+        else:
+            result = evaluate(
+                target,
+                structure,
+                extra_edb=extra_edb,
+                method=engine,
+                collect_profile=collect_profile,
+            )
+    constants = dict(structure.constants)
+    answers = frozenset(
+        row
+        for row in result.goal_relation
+        if goal_matches(row, goal_atom, constants)
+    )
+    return QueryResult(
+        answers=answers,
+        goal_atom=goal_atom,
+        magic=magic,
+        result=result,
+        rewrite=rewrite,
+    )
+
+
 def boolean_query(
     program: Program,
     structure: Structure,

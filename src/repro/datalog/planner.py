@@ -24,7 +24,7 @@ occurrence is scheduled *first*, so each round's work is driven by the
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Union
+from typing import Iterable, Union
 
 from repro.datalog.ast import (
     Atom,
@@ -192,12 +192,27 @@ def _schedule_atom(
     state.bound.update(atom.variables())
 
 
-def plan_rule(rule: Rule, delta_atom_index: int | None = None) -> RulePlan:
+def plan_rule(
+    rule: Rule,
+    delta_atom_index: int | None = None,
+    *,
+    bound_variables: Iterable[Variable] = (),
+) -> RulePlan:
     """Plan one rule body; see the module docstring for the strategy.
 
     ``delta_atom_index`` (an index into ``rule.body_atoms()``) produces
     the semi-naive specialisation in which that occurrence is scheduled
     first and marked ``is_delta``.
+
+    ``bound_variables`` seeds the planner with variables already bound
+    *before* the body runs.  The magic-sets rewrite uses this as its
+    sideways-information-passing order: planning a rule with the
+    adornment's bound head variables pre-bound yields the greedy atom
+    order, and each ``AtomStep.bound_positions`` is exactly the atom's
+    adornment at that point.  Plans built with a non-empty
+    ``bound_variables`` describe an *order* only -- they must not be fed
+    to the indexed engine's compiler, which allocates slots on first
+    binding.
     """
     atoms: list[tuple[int, int, Atom]] = []  # (atom_index, body_index, atom)
     pending: dict[int, Union[Equality, Inequality]] = {}
@@ -216,8 +231,9 @@ def plan_rule(rule: Rule, delta_atom_index: int | None = None) -> RulePlan:
             f"with {len(atoms)} atoms"
         )
 
-    state = _PlannerState()
-    # Constant-vs-constant constraints are ready before anything runs.
+    state = _PlannerState(bound=set(bound_variables))
+    # Constant-vs-constant constraints (and, with pre-bound variables,
+    # anything they determine) are ready before the first atom runs.
     _flush_ready_constraints(state, pending)
 
     unscheduled = list(atoms)

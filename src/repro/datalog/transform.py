@@ -82,19 +82,50 @@ def merge_programs(first: Program, second: Program, goal: str) -> Program:
     return Program(first.rules + second.rules, goal=goal)
 
 
-def reachable_predicates(program: Program) -> frozenset[str]:
-    """IDB predicates on which the goal (transitively) depends."""
+def reachable_predicates(
+    program: Program, include_edb: bool = False
+) -> frozenset[str]:
+    """Predicates on which the goal (transitively) depends.
+
+    By default only IDB predicates are returned (a head-only predicate
+    that never feeds the goal is *not* reachable, even though it looks
+    like a seed fact).  With ``include_edb=True`` the reachable EDB
+    predicates join the set -- the EDBs a goal-directed evaluation
+    actually has to read.  Historically every EDB mentioned anywhere in
+    the program was treated as required, so junk rules over
+    uninterpreted EDB predicates made :func:`repro.datalog.evaluate`
+    refuse goal queries that never touch them; the magic rewrite and
+    :func:`required_edb_predicates` use the reachable set instead.
+    """
     reached = {program.goal}
+    edb: set[str] = set()
     frontier = [program.goal]
     while frontier:
         predicate = frontier.pop()
         for rule in program.rules_for(predicate):
             for atom in rule.body_atoms():
                 name = atom.predicate
-                if name in program.idb_predicates and name not in reached:
-                    reached.add(name)
-                    frontier.append(name)
+                if name in program.idb_predicates:
+                    if name not in reached:
+                        reached.add(name)
+                        frontier.append(name)
+                else:
+                    edb.add(name)
+    if include_edb:
+        reached |= edb
     return frozenset(reached)
+
+
+def required_edb_predicates(program: Program) -> frozenset[str]:
+    """The EDB predicates a goal evaluation must actually read.
+
+    A strict subset of :attr:`Program.edb_predicates` whenever the
+    program carries goal-unreachable rules over other EDBs; evaluating
+    :func:`prune_unreachable` output requires exactly these.
+    """
+    return reachable_predicates(program, include_edb=True) - (
+        program.idb_predicates
+    )
 
 
 def prune_unreachable(program: Program) -> Program:

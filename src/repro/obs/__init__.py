@@ -25,7 +25,7 @@ is off.  Enable around a region of interest::
     tracer.write_jsonl("run.jsonl")
 """
 
-from repro.obs.explain import explain_program, explain_rule
+from repro.obs.explain import explain_magic, explain_program, explain_rule
 from repro.obs.metrics import (
     MetricsRegistry,
     disable_metrics,
@@ -47,6 +47,7 @@ __all__ = [
     "disable_tracing",
     "enable_metrics",
     "enable_tracing",
+    "explain_magic",
     "explain_program",
     "explain_rule",
     "get_metrics",

@@ -122,3 +122,31 @@ def explain_program(program: Program, name: str | None = None) -> str:
         for rule in program.rules
     ]
     return "\n".join(header) + "\n\n".join(blocks)
+
+
+def explain_magic(rewrite, name: str | None = None) -> str:
+    """EXPLAIN output for a magic-sets rewrite.
+
+    ``rewrite`` is a :class:`repro.datalog.magic.MagicRewrite`.  Shows
+    the adornment analysis first -- the goal binding, the adorned rules
+    in their sideways-information-passing order, and the demand (magic)
+    rules including the seed fact -- then the ordinary EXPLAIN of the
+    rewritten program, i.e. the plans the engines actually run.
+    """
+    title = f"EXPLAIN MAGIC {name}" if name else "EXPLAIN MAGIC"
+    lines = [
+        f"{title}: goal atom {rewrite.goal_atom} "
+        f"(adornment {rewrite.adornment})",
+        f"  rewritten goal: {rewrite.adorned_goal}",
+        "",
+        f"magic (demand) rules, seed first "
+        f"[{len(rewrite.magic_rules)}]:",
+    ]
+    lines += [f"  {rule}" for rule in rewrite.magic_rules]
+    lines += [
+        "",
+        f"adorned rules, guarded [{len(rewrite.adorned_rules)}]:",
+    ]
+    lines += [f"  {rule}" for rule in rewrite.adorned_rules]
+    lines += ["", explain_program(rewrite.program, name="rewritten program")]
+    return "\n".join(lines)

@@ -49,6 +49,90 @@ class TestRun:
         ]) == 1
 
 
+class TestGoalDirectedRun:
+    """``run --bind`` / ``--magic``: the goal-directed query path."""
+
+    def test_bind_filters_answers(self, capsys, program_file, path_graph_file):
+        assert main([
+            "run", program_file, path_graph_file, "--bind", "a", "d",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "1 answers (direct" in out
+        assert "a\td" in out
+
+    def test_magic_derives_fewer_tuples(
+        self, capsys, program_file, long_path_file
+    ):
+        assert main([
+            "run", program_file, long_path_file,
+            "--bind", "u1", "u6", "--magic",
+        ]) == 0
+        magic_out = capsys.readouterr().out
+        assert main([
+            "run", program_file, long_path_file, "--bind", "u1", "u6",
+        ]) == 0
+        direct_out = capsys.readouterr().out
+
+        def derived(text):
+            return int(text.splitlines()[0].rsplit("(", 1)[1].split()[1])
+
+        assert "u1\tu6" in magic_out
+        assert derived(magic_out) < derived(direct_out)
+
+    def test_bind_free_positions(self, capsys, program_file, path_graph_file):
+        assert main([
+            "run", program_file, path_graph_file,
+            "--bind", "a", "_", "--magic",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "3 answers" in out
+        assert "a\tb" in out and "a\td" in out
+
+    @pytest.mark.parametrize(
+        "engine", ["naive", "seminaive", "indexed", "algebra"]
+    )
+    def test_check_with_magic_per_engine(
+        self, program_file, path_graph_file, engine
+    ):
+        assert main([
+            "run", program_file, path_graph_file,
+            "--engine", engine, "--magic", "--check", "a", "c",
+        ]) == 0
+        assert main([
+            "run", program_file, path_graph_file,
+            "--engine", engine, "--magic", "--check", "c", "a",
+        ]) == 1
+
+    def test_magic_alone_prints_full_relation(
+        self, capsys, program_file, path_graph_file
+    ):
+        assert main([
+            "run", program_file, path_graph_file, "--magic",
+        ]) == 0
+        assert "6 answers (magic" in capsys.readouterr().out
+
+    def test_bind_arity_mismatch(self, capsys, program_file, path_graph_file):
+        assert main([
+            "run", program_file, path_graph_file, "--bind", "a",
+        ]) == 2
+        assert "--bind needs 2 entries" in capsys.readouterr().err
+
+    def test_bind_unknown_node(self, capsys, program_file, path_graph_file):
+        assert main([
+            "run", program_file, path_graph_file, "--bind", "a", "zz",
+        ]) == 2
+        assert "not in the graph" in capsys.readouterr().err
+
+    def test_bind_and_check_conflict(
+        self, capsys, program_file, path_graph_file
+    ):
+        assert main([
+            "run", program_file, path_graph_file,
+            "--bind", "a", "d", "--check", "a", "d",
+        ]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+
 class TestGame:
     def test_player_two_wins(self, capsys, path_graph_file, long_path_file):
         assert main(["game", path_graph_file, long_path_file, "2"]) == 0
@@ -319,6 +403,21 @@ class TestExplainCommand:
         for name in capsys.readouterr().out.split():
             assert main(["explain", name]) == 0, name
             assert f"EXPLAIN {name}" in capsys.readouterr().out
+
+    def test_magic_adornment(self, capsys):
+        assert main(["explain", "transitive-closure", "--magic", "bf"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith(
+            "EXPLAIN MAGIC transitive-closure: goal atom S($g1, f2)"
+        )
+        assert "magic (demand) rules, seed first" in out
+        assert "m__S__bf($g1)." in out
+        assert "adorned rules, guarded" in out
+        assert "EXPLAIN rewritten program: goal S__bf" in out
+
+    def test_magic_bad_adornment(self, capsys):
+        assert main(["explain", "transitive-closure", "--magic", "bbb"]) == 2
+        assert "adornment" in capsys.readouterr().err
 
 
 class TestErrorContract:

@@ -15,6 +15,7 @@ from repro.datalog.transform import (
     reachable_predicates,
     rename_predicates,
     rename_variables_apart,
+    required_edb_predicates,
 )
 from repro.graphs.generators import random_digraph
 
@@ -95,6 +96,74 @@ class TestPrune:
     def test_idempotent(self):
         program = prune_unreachable(q_program(3, 0))
         assert prune_unreachable(program) == program
+
+    def test_head_only_predicate_is_unreachable(self):
+        """A predicate that only ever appears in heads (a fact-like
+        stub) must not count as reachable just because it has rules."""
+        program = parse_program(
+            """
+            S(x, y) :- E(x, y).
+            Stub(x, x) :- E(x, x).
+            """,
+            goal="S",
+        )
+        assert reachable_predicates(program) == {"S"}
+        pruned = prune_unreachable(program)
+        assert pruned.idb_predicates == {"S"}
+
+    def test_include_edb_reports_goal_relevant_edbs_only(self):
+        program = parse_program(
+            """
+            S(x, y) :- E(x, y).
+            Junk(x) :- F(x, x).
+            """,
+            goal="S",
+        )
+        assert reachable_predicates(program) == {"S"}
+        assert reachable_predicates(program, include_edb=True) == {"S", "E"}
+        assert required_edb_predicates(program) == {"E"}
+        assert program.edb_predicates == {"E", "F"}
+
+    def test_empty_edb_program(self):
+        """A fact-only program has no required EDBs; pruning keeps the
+        goal facts and evaluation still works."""
+        program = parse_program(
+            """
+            S($a, $b).
+            Stub($a).
+            """,
+            goal="S",
+        )
+        assert required_edb_predicates(program) == set()
+        pruned = prune_unreachable(program)
+        assert pruned.idb_predicates == {"S"}
+        from repro.graphs.generators import path_graph
+
+        structure = path_graph(2).to_structure().with_constants(
+            {"a": "v0", "b": "v1"}
+        )
+        assert evaluate(pruned, structure).goal_relation == {("v0", "v1")}
+
+    def test_pruning_unlocks_direct_evaluation(self, structure):
+        """The regression the magic harness exposed: junk rules over an
+        EDB the structure does not interpret make ``evaluate`` refuse;
+        pruning first (or querying goal-directedly) must fix it."""
+        program = parse_program(
+            """
+            S(x, y) :- E(x, y).
+            S(x, y) :- E(x, z), S(z, y).
+            Junk(x) :- F(x, x).
+            """,
+            goal="S",
+        )
+        with pytest.raises(ValueError, match="F"):
+            evaluate(program, structure)
+        pruned = prune_unreachable(program)
+        assert "F" not in pruned.edb_predicates
+        reference = evaluate(
+            transitive_closure_program(), structure
+        ).goal_relation
+        assert evaluate(pruned, structure).goal_relation == reference
 
 
 class TestRenameVariablesApart:

@@ -1,0 +1,256 @@
+"""Unit tests for adornments, the magic-sets rewrite, and query().
+
+The equivalence corpora (``tests/test_engine_random_programs.py``,
+``tests/test_magic_metamorphic.py``) pin correctness statistically;
+this file pins the *shape* of the rewrite on the textbook case, the
+validation errors, and the goal-directed query API.
+"""
+
+import pytest
+
+from repro.datalog import (
+    Atom,
+    Constant,
+    Program,
+    Rule,
+    Variable,
+    evaluate,
+    magic_rewrite,
+    parse_program,
+    query,
+)
+from repro.datalog.library import (
+    goal_bound_library,
+    goal_bound_transitive_closure,
+    transitive_closure_program,
+)
+from repro.datalog.magic import (
+    goal_adornment,
+    goal_atom_from_adornment,
+    goal_matches,
+)
+from repro.graphs.generators import path_graph, random_digraph
+
+
+@pytest.fixture
+def tc_bound():
+    """TC with src/dst bound to the ends of a 5-path."""
+    program, goal_atom = goal_bound_transitive_closure()
+    structure = path_graph(5).to_structure().with_constants(
+        {"src": "v0", "dst": "v4"}
+    )
+    return program, structure, goal_atom
+
+
+class TestAdornment:
+    def test_goal_adornment(self):
+        atom = Atom("T", (Constant("a"), Variable("y"), Constant("w")))
+        assert goal_adornment(atom) == "bfb"
+
+    def test_from_adornment_shape(self):
+        program = transitive_closure_program()
+        atom = goal_atom_from_adornment(program, "bf")
+        assert atom == Atom("S", (Constant("g1"), Variable("f2")))
+        assert goal_adornment(atom) == "bf"
+
+    def test_from_adornment_rejects_bad_pattern(self):
+        program = transitive_closure_program()
+        with pytest.raises(ValueError, match="adornment"):
+            goal_atom_from_adornment(program, "bbb")
+        with pytest.raises(ValueError, match="adornment"):
+            goal_atom_from_adornment(program, "bx")
+
+    def test_from_adornment_rejects_edb(self):
+        program = transitive_closure_program()
+        with pytest.raises(ValueError, match="IDB"):
+            goal_atom_from_adornment(program, "bb", predicate="E")
+
+
+class TestRewriteShape:
+    def test_textbook_transitive_closure(self):
+        """S($src, $dst): the classical bb magic program."""
+        program, goal_atom = goal_bound_transitive_closure()
+        rewrite = magic_rewrite(program, goal_atom)
+        assert rewrite.adornment == "bb"
+        assert rewrite.adorned_goal == "S__bb"
+        assert rewrite.seed == Rule(
+            Atom("m__S__bb", (Constant("src"), Constant("dst")))
+        )
+        # One magic rule per IDB body occurrence (the recursive S atom),
+        # one adorned rule per original rule.
+        assert len(rewrite.adorned_rules) == 2
+        assert len(rewrite.magic_rules) == 2  # seed + recursive demand
+        assert rewrite.program.idb_predicates == {"S__bb", "m__S__bb"}
+        assert rewrite.program.edb_predicates == {"E"}
+        # Every adorned rule is guarded by its magic atom first.
+        for rule in rewrite.adorned_rules:
+            first = rule.body[0]
+            assert isinstance(first, Atom)
+            assert first.predicate == "m__S__bb"
+
+    def test_free_positions_make_smaller_magic_predicates(self):
+        program = transitive_closure_program()
+        rewrite = magic_rewrite(
+            program, Atom("S", (Constant("g"), Variable("y")))
+        )
+        assert rewrite.adorned_goal == "S__bf"
+        assert rewrite.program.arity("m__S__bf") == 1
+
+    def test_all_free_goal_gets_nullary_magic(self):
+        program = transitive_closure_program()
+        rewrite = magic_rewrite(
+            program, Atom("S", (Variable("x"), Variable("y")))
+        )
+        assert rewrite.program.arity("m__S__ff") == 0
+        assert rewrite.seed == Rule(Atom("m__S__ff", ()))
+
+    def test_separator_widens_on_collision(self):
+        program = parse_program(
+            """
+            Q__x(a, b) :- E(a, b).
+            Q__x(a, b) :- E(a, c), Q__x(c, b).
+            """,
+            goal="Q__x",
+        )
+        rewrite = magic_rewrite(
+            program, Atom("Q__x", (Constant("g"), Variable("y")))
+        )
+        assert "___" in rewrite.adorned_goal
+        assert rewrite.adorned_goal.startswith("Q__x___")
+
+    def test_rejects_edb_goal_atom(self):
+        program = transitive_closure_program()
+        with pytest.raises(ValueError, match="IDB"):
+            magic_rewrite(program, Atom("E", (Constant("a"), Variable("y"))))
+
+    def test_rejects_arity_mismatch(self):
+        program = transitive_closure_program()
+        with pytest.raises(ValueError, match="arity"):
+            magic_rewrite(program, Atom("S", (Constant("a"),)))
+
+    def test_output_is_plain_datalog_neq(self):
+        """The rewrite of every goal-bound library program re-parses as
+        an ordinary Program -- all four engines can run it unchanged."""
+        for name, (program, goal_atom) in goal_bound_library().items():
+            rewrite = magic_rewrite(program, goal_atom)
+            rebuilt = Program(rewrite.program.rules, goal=rewrite.program.goal)
+            assert rebuilt == rewrite.program, name
+
+
+class TestGoalMatches:
+    def test_constant_positions_filter(self):
+        atom = Atom("S", (Constant("src"), Variable("y")))
+        constants = {"src": "a"}
+        assert goal_matches(("a", "b"), atom, constants)
+        assert not goal_matches(("b", "b"), atom, constants)
+
+    def test_repeated_variables_require_equality(self):
+        atom = Atom("S", (Variable("x"), Variable("x")))
+        assert goal_matches(("a", "a"), atom, {})
+        assert not goal_matches(("a", "b"), atom, {})
+
+
+class TestQuery:
+    def test_answers_and_work_reduction(self, tc_bound):
+        program, structure, goal_atom = tc_bound
+        magic = query(program, structure, goal_atom, magic=True)
+        direct = query(program, structure, goal_atom, magic=False)
+        assert magic.answers == direct.answers == {("v0", "v4")}
+        assert magic.holds and direct.holds
+        assert magic.derived_tuples < direct.derived_tuples
+        assert magic.rewrite is not None and direct.rewrite is None
+
+    def test_diagonal_binding(self):
+        """A repeated free variable selects the diagonal: cycles."""
+        program = transitive_closure_program()
+        structure = random_digraph(5, 0.4, seed=2, loops=True).to_structure()
+        x = Variable("x")
+        outcome = query(program, structure, Atom("S", (x, x)), magic=True)
+        full = evaluate(program, structure).goal_relation
+        assert outcome.answers == {row for row in full if row[0] == row[1]}
+
+    def test_unknown_engine_rejected(self, tc_bound):
+        program, structure, goal_atom = tc_bound
+        with pytest.raises(ValueError, match="engine"):
+            query(program, structure, goal_atom, engine="warp")
+
+    def test_uninterpreted_constant_rejected(self, tc_bound):
+        program, structure, __ = tc_bound
+        with pytest.raises(ValueError, match="does not\n?.*interpret"):
+            query(
+                program,
+                structure,
+                Atom("S", (Constant("nowhere"), Variable("y"))),
+            )
+
+    def test_non_idb_goal_atom_rejected(self, tc_bound):
+        program, structure, __ = tc_bound
+        with pytest.raises(ValueError, match="IDB"):
+            query(program, structure, Atom("E", (Variable("x"), Variable("y"))))
+
+    def test_extra_edb_passthrough(self):
+        """Theorem 6.1's layered style: an EDB fed in as a relation."""
+        layered = Program(
+            [
+                Rule(
+                    Atom("D", (Variable("x"), Variable("y"))),
+                    [Atom("T", (Variable("x"), Variable("y")))],
+                ),
+                Rule(
+                    Atom("D", (Variable("x"), Variable("y"))),
+                    [
+                        Atom("D", (Variable("x"), Variable("z"))),
+                        Atom("T", (Variable("z"), Variable("y"))),
+                    ],
+                ),
+            ],
+            goal="D",
+        )
+        structure = path_graph(4).to_structure().with_constants({"s": "v0"})
+        t_relation = {("v0", "v1"), ("v1", "v2"), ("v2", "v3")}
+        goal_atom = Atom("D", (Constant("s"), Variable("y")))
+        magic = query(
+            layered, structure, goal_atom,
+            extra_edb={"T": t_relation}, magic=True,
+        )
+        direct = query(
+            layered, structure, goal_atom,
+            extra_edb={"T": t_relation}, magic=False,
+        )
+        assert magic.answers == direct.answers
+        assert magic.answers == {("v0", "v1"), ("v0", "v2"), ("v0", "v3")}
+
+    def test_junk_edb_rules_only_break_direct_evaluation(self):
+        """A goal-unreachable rule over an EDB the structure does not
+        interpret: full evaluation refuses, the magic rewrite visits
+        only goal-reachable rules and answers anyway."""
+        program = parse_program(
+            """
+            S(x, y) :- E(x, y).
+            S(x, y) :- E(x, z), S(z, y).
+            Junk(x) :- F(x, x).
+            """,
+            goal="S",
+        )
+        structure = path_graph(3).to_structure().with_constants(
+            {"src": "v0", "dst": "v2"}
+        )
+        goal_atom = Atom("S", (Constant("src"), Constant("dst")))
+        with pytest.raises(ValueError, match="F"):
+            evaluate(program, structure)
+        outcome = query(program, structure, goal_atom, magic=True)
+        assert outcome.answers == {("v0", "v2")}
+
+    def test_rewrite_metrics(self, tc_bound):
+        from repro.obs import metrics as _metrics
+
+        program, structure, goal_atom = tc_bound
+        registry = _metrics.enable_metrics(_metrics.MetricsRegistry())
+        try:
+            query(program, structure, goal_atom, magic=True)
+        finally:
+            _metrics.disable_metrics()
+        counters = registry.snapshot()["counters"]
+        assert counters["magic.rewrites"] == 1
+        assert counters["magic.adorned_rules"] == 2
+        assert counters["magic.magic_rules"] == 2
