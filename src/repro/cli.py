@@ -23,6 +23,12 @@ Subcommands
   indexed engine executes (library program name or program file);
   ``--magic ADORNMENT`` shows the adorned and magic (demand) rules of
   the goal-directed rewrite first.
+* ``repro maintain PROGRAM GRAPH`` -- incremental view maintenance:
+  run the fixpoint once, then replay EDB updates (``--insert`` /
+  ``--delete`` / ``--script FILE``) through an
+  :class:`~repro.datalog.incremental.IncrementalSession`, reporting
+  per-update rounds, delta sizes, and wall time; ``--verify``
+  cross-checks every step against a from-scratch evaluation.
 
 Observability: every subcommand accepts ``--stats`` (counter table +
 evaluation profile on stderr) and ``--trace FILE.jsonl`` (hierarchical
@@ -449,6 +455,79 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_maintain(args: argparse.Namespace) -> int:
+    from repro.datalog.incremental import (
+        IncrementalSession,
+        Update,
+        parse_update_script,
+    )
+
+    __, program = _load_program_or_library(args.program, args.goal)
+    graph = load_digraph(args.graph)
+    updates: list[Update] = []
+    if args.script:
+        with open(args.script, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        try:
+            updates.extend(parse_update_script(text))
+        except ValueError as exc:
+            raise CliError(f"{args.script}: {exc}")
+    # Command-line updates run after the script: all inserts, then all
+    # deletes (argparse cannot preserve interleaving; use --script for
+    # an ordered sequence).
+    for entry in args.insert or []:
+        updates.append(Update("insert", entry[0], tuple(entry[1:])))
+    for entry in args.delete or []:
+        updates.append(Update("delete", entry[0], tuple(entry[1:])))
+    if not updates:
+        raise CliError(
+            "maintain needs at least one update "
+            "(--insert, --delete, or --script)"
+        )
+    session = IncrementalSession(program, graph.to_structure())
+    initial = session.initial_result
+    print(
+        f"% initial fixpoint: {len(initial.goal_relation)} "
+        f"{program.goal} tuples ({initial.iterations} rounds)"
+    )
+    failures = 0
+    for number, update in enumerate(updates, start=1):
+        try:
+            result = session.apply(update)
+        except ValueError as exc:
+            raise CliError(f"update {number} ({update}): {exc}")
+        summary = result.to_dict()
+        line = (
+            f"[{number:>3}] {update}: applied={len(result.applied)} "
+            f"rounds={result.rounds} "
+            f"delta_touched={result.delta_tuples_touched} "
+            f"net_idb={result.net_change:+d} "
+            f"wall_ms={summary['wall_ms']}"
+        )
+        if result.kind == "delete":
+            line += (
+                f" overdeleted={summary['overdeleted']} "
+                f"rederived={summary['rederived']}"
+            )
+        print(line)
+        if args.verify:
+            full = session.reevaluate()
+            ok = session.relations == {
+                predicate: frozenset(full.relations[predicate])
+                for predicate in program.idb_predicates
+            }
+            failures += not ok
+            print(f"      verify: {'OK' if ok else 'MISMATCH'}")
+    rows = sorted(session.goal_relation, key=repr)
+    print(
+        f"% final {program.goal}: {len(rows)} tuples after "
+        f"{session.update_count} updates"
+    )
+    for row in rows:
+        print("\t".join(str(x) for x in row))
+    return 0 if failures == 0 else 1
+
+
 # ---------------------------------------------------------------------------
 # Observability plumbing (--stats / --trace, shared by every subcommand)
 # ---------------------------------------------------------------------------
@@ -648,6 +727,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--list", action="store_true", help="list library program names"
     )
     explain.set_defaults(func=_cmd_explain)
+
+    maintain = sub.add_parser(
+        "maintain", parents=[common],
+        help="keep a program's fixpoint live under EDB updates",
+    )
+    maintain.add_argument(
+        "program",
+        help="program file (%% goal: directive) or library program name",
+    )
+    maintain.add_argument("graph", help="graph file (the initial EDB)")
+    maintain.add_argument("--goal", help="override the goal predicate")
+    maintain.add_argument(
+        "--insert", nargs="+", action="append", metavar="PRED/NODE",
+        help="insert one EDB fact: predicate name followed by its "
+        "arguments (repeatable)",
+    )
+    maintain.add_argument(
+        "--delete", nargs="+", action="append", metavar="PRED/NODE",
+        help="delete one EDB fact: predicate name followed by its "
+        "arguments (repeatable)",
+    )
+    maintain.add_argument(
+        "--script", metavar="FILE",
+        help="update script: one 'insert|delete PRED node...' per line "
+        "(%%/# comments), applied in order before any --insert/--delete",
+    )
+    maintain.add_argument(
+        "--verify", action="store_true",
+        help="after every update, cross-check the maintained view "
+        "against a from-scratch evaluation (exit 1 on mismatch)",
+    )
+    maintain.set_defaults(func=_cmd_maintain)
 
     return parser
 

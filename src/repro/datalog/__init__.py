@@ -22,6 +22,10 @@ Public API
   goal binding (constants at bound positions) is pushed through the
   magic-sets rewrite of :mod:`repro.datalog.magic`, so only demanded
   facts are derived; answers match direct evaluation exactly.
+* :class:`IncrementalSession` -- incremental view maintenance: keep a
+  fixpoint live under EDB updates (semi-naive delta continuation for
+  insertions, Delete/Rederive for deletions, derivation counts from
+  :mod:`repro.datalog.provenance`).
 * :mod:`repro.datalog.library` -- every concrete program in the paper.
 * :mod:`repro.datalog.homeo` -- generated programs for Theorems 6.1 / 6.2.
 """
@@ -44,8 +48,20 @@ from repro.datalog.evaluation import (
     query,
     stages,
 )
+from repro.datalog.incremental import (
+    IncrementalSession,
+    MaintenanceResult,
+    Update,
+    parse_update_script,
+)
 from repro.datalog.magic import MagicRewrite, magic_rewrite
-from repro.datalog.parser import ParseError, parse_program, parse_rule
+from repro.datalog.parser import (
+    DatalogSyntaxError,
+    ParseError,
+    parse_program,
+    parse_rule,
+)
+from repro.datalog.provenance import SupportTable
 from repro.datalog.validation import ProgramAnalysis, analyze_program
 
 __all__ = [
@@ -59,6 +75,12 @@ __all__ = [
     "parse_program",
     "parse_rule",
     "ParseError",
+    "DatalogSyntaxError",
+    "IncrementalSession",
+    "MaintenanceResult",
+    "Update",
+    "parse_update_script",
+    "SupportTable",
     "evaluate",
     "evaluate_algebra",
     "query",

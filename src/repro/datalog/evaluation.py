@@ -794,12 +794,18 @@ class _CompiledPlan:
     * ``("bind", slot, source)`` -- equality assigning a fresh slot;
     * ``("eq" | "neq", left_source, right_source)`` -- filters;
     * ``("enum", slot)`` -- universe sweep into a fresh slot.
+
+    ``slots`` records the Variable -> slot assignment the compilation
+    produced; the incremental-maintenance layer
+    (:mod:`repro.datalog.incremental`) uses it to recover the ground
+    body-atom rows of each satisfying binding (derivation supports).
     """
 
     plan: RulePlan
     ops: tuple[tuple, ...]
     slot_count: int
     head: tuple  # per head position: (from_slot, slot_or_value)
+    slots: tuple[tuple[Variable, int], ...] = ()
 
 
 def _compile_plan(
@@ -864,7 +870,9 @@ def _compile_plan(
             ops.append(("enum", slots[step.variable]))
 
     head = tuple(source_of(term) for term in plan.rule.head.args)
-    return _CompiledPlan(plan, tuple(ops), len(slots), head)
+    return _CompiledPlan(
+        plan, tuple(ops), len(slots), head, tuple(slots.items())
+    )
 
 
 def _run_plan(

@@ -1,0 +1,712 @@
+"""Incremental view maintenance: keeping a fixpoint live under updates.
+
+Every engine in :mod:`repro.datalog.evaluation` recomputes the least
+fixpoint from scratch.  An :class:`IncrementalSession` instead runs the
+initial fixpoint *once* (via the indexed engine) and then maintains the
+materialised IDB relations as the EDB changes, with work proportional
+to the delta rather than to the database:
+
+* **insertions** (:meth:`IncrementalSession.insert_facts`) resume the
+  semi-naive delta iteration: the new EDB rows seed the delta, the
+  already-compiled delta plans of :mod:`repro.datalog.planner` drive
+  the continuation, and the hash indexes of
+  :mod:`repro.datalog.indexing` are extended in place
+  (:meth:`~repro.datalog.indexing.RelationIndex.add_rows`);
+* **deletions** (:meth:`IncrementalSession.delete_facts`) run
+  Delete/Rederive (DRed).  Phase 1 *over-deletes*: iterating the same
+  delta plans against the pre-deletion database finds every tuple with
+  some derivation through a deleted tuple, discarding the matching
+  supports from the :class:`~repro.datalog.provenance.SupportTable`.
+  Phase 2 *rederives*: tuples whose derivation count stayed positive
+  have an immediate alternative derivation from the surviving database
+  -- they re-enter as an insertion delta and the continuation restores
+  everything reachable from them.
+
+Correctness rests on two classical facts.  Over-deletion
+over-approximates the set of tuples that leave the fixpoint, so the
+surviving database is contained in the new fixpoint; and because the
+support table is exact (see :mod:`repro.datalog.provenance`), the
+rederive seed is precisely the set of over-deleted tuples that are
+one-step derivable from the survivors, so the subsequent insertion
+propagation converges to the new fixpoint.  The differential corpus in
+``tests/test_incremental_differential.py`` pins the end-to-end
+property: after every update the session equals a from-scratch
+``evaluate()`` on the mutated database, for every engine.
+
+The universe of the session's structure is fixed: updates may only
+mention existing elements (the paper's semantics ranges variables over
+the universe, so admitting new elements would silently change every
+universe-enumerated relation).
+
+Observability: updates open ``incremental.insert`` /
+``incremental.delete`` spans, propagation rounds feed the usual
+``datalog.*`` round counters plus ``incremental.delta_tuples_touched``,
+and each :class:`MaintenanceResult` can carry a per-round
+:class:`~repro.datalog.evaluation.EvaluationProfile` mirroring
+``FixpointResult.profile``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
+
+from repro.datalog.ast import Constant, Program
+from repro.datalog.evaluation import (
+    EvaluationProfile,
+    FixpointResult,
+    _compile_plan,
+    _database_from_structure,
+    _profile_builder,
+    _record_round,
+    _run_plan,
+    evaluate,
+)
+from repro.datalog.indexing import IndexedDatabase
+from repro.datalog.planner import plan_rule
+from repro.datalog.provenance import SupportTable, support_key
+from repro.structures.structure import Structure
+
+Row = tuple
+
+#: Source descriptors ``(from_slot, slot_or_value)`` per argument
+#: position, mirroring ``_CompiledPlan.head``.
+_Sources = tuple[tuple[bool, object], ...]
+
+
+def _ground(sources: _Sources, binding: list) -> Row:
+    """The ground row a slot binding assigns to one atom's arguments."""
+    return tuple(
+        binding[value] if from_slot else value for from_slot, value in sources
+    )
+
+
+@dataclass(frozen=True)
+class _PlanExec:
+    """One compiled plan plus the extractors provenance needs.
+
+    ``body_sources[i]`` grounds the ``i``-th relational body atom (in
+    body order, the canonical support order) from a slot binding.
+    """
+
+    compiled: object  # _CompiledPlan
+    head_predicate: str
+    head_sources: _Sources
+    body_sources: tuple[_Sources, ...]
+
+
+def _plan_exec(rule, compiled, constants) -> _PlanExec:
+    slots = dict(compiled.slots)
+
+    def sources(atom) -> _Sources:
+        out = []
+        for term in atom.args:
+            if isinstance(term, Constant):
+                out.append((False, constants[term.name]))
+            else:
+                out.append((True, slots[term]))
+        return tuple(out)
+
+    return _PlanExec(
+        compiled=compiled,
+        head_predicate=rule.head.predicate,
+        head_sources=compiled.head,
+        body_sources=tuple(sources(atom) for atom in rule.body_atoms()),
+    )
+
+
+@dataclass(frozen=True)
+class Update:
+    """One scripted EDB update (see :func:`parse_update_script`)."""
+
+    kind: str  # "insert" | "delete"
+    predicate: str
+    row: Row
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(x) for x in self.row)
+        return f"{self.kind} {self.predicate}({inner})"
+
+
+def parse_update_script(text: str) -> tuple[Update, ...]:
+    """Parse an update script: one update per line.
+
+    Lines are ``insert PRED node...`` / ``delete PRED node...`` (``+`` /
+    ``-`` are accepted as aliases); blank lines and ``%`` / ``#``
+    comments are skipped.  Raises ``ValueError`` with the line number on
+    malformed lines.
+    """
+    kinds = {"insert": "insert", "+": "insert", "delete": "delete", "-": "delete"}
+    updates: list[Update] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("%")[0].split("#")[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        kind = kinds.get(parts[0].lower())
+        if kind is None or len(parts) < 2:
+            raise ValueError(
+                f"line {lineno}: expected 'insert|delete PREDICATE "
+                f"[node ...]', got {raw.strip()!r}"
+            )
+        updates.append(Update(kind, parts[1], tuple(parts[2:])))
+    return tuple(updates)
+
+
+@dataclass(frozen=True)
+class MaintenanceResult:
+    """The outcome of one :class:`IncrementalSession` update.
+
+    Mirrors :class:`~repro.datalog.evaluation.FixpointResult` where the
+    notions coincide: ``profile`` (when requested) is the same
+    per-round :class:`EvaluationProfile` the engines produce, so the
+    differential harness can compare semantic views, and the per-
+    predicate row sets let tests audit exactly what moved.
+
+    Attributes
+    ----------
+    kind:
+        ``"insert"`` or ``"delete"``.
+    predicate / requested / applied:
+        The updated EDB predicate, the rows asked for, and the subset
+        that actually changed the EDB (already-present inserts and
+        already-absent deletes are no-ops).
+    idb_added / idb_removed:
+        Net IDB change: tuples that entered / left the materialised
+        view (per predicate, only non-empty entries).
+    overdeleted / rederived:
+        Deletion bookkeeping: what DRed phase 1 provisionally removed
+        and what phase 2 restored (``rederived <= overdeleted``;
+        ``idb_removed == overdeleted - rederived``).  Empty for inserts.
+    rounds:
+        Delta rounds run (over-deletion plus rederivation for deletes).
+    delta_tuples_touched:
+        Total delta tuples fed through the compiled plans -- the
+        "work proportional to the delta" observable, also exported as
+        the ``incremental.delta_tuples_touched`` counter.
+    wall_seconds:
+        Wall-clock time of the whole update.
+    profile:
+        Per-round profile when requested (``collect_profile=True``).
+    """
+
+    kind: str
+    predicate: str
+    requested: frozenset
+    applied: frozenset
+    idb_added: Mapping[str, frozenset]
+    idb_removed: Mapping[str, frozenset]
+    overdeleted: Mapping[str, frozenset]
+    rederived: Mapping[str, frozenset]
+    rounds: int
+    delta_tuples_touched: int
+    wall_seconds: float
+    profile: EvaluationProfile | None = None
+
+    @property
+    def net_change(self) -> int:
+        """Signed IDB tuple count: additions minus removals."""
+        return sum(len(rows) for rows in self.idb_added.values()) - sum(
+            len(rows) for rows in self.idb_removed.values()
+        )
+
+    def semantic_view(self) -> tuple | None:
+        """The engine-independent per-round view (None without profile)."""
+        return None if self.profile is None else self.profile.semantic_view()
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable summary (CLI / benchmark rows)."""
+        return {
+            "kind": self.kind,
+            "predicate": self.predicate,
+            "applied": len(self.applied),
+            "idb_added": {p: len(r) for p, r in self.idb_added.items()},
+            "idb_removed": {p: len(r) for p, r in self.idb_removed.items()},
+            "overdeleted": sum(len(r) for r in self.overdeleted.values()),
+            "rederived": sum(len(r) for r in self.rederived.values()),
+            "rounds": self.rounds,
+            "delta_tuples_touched": self.delta_tuples_touched,
+            "wall_ms": round(self.wall_seconds * 1000, 3),
+        }
+
+
+class IncrementalSession:
+    """A live materialised view of one program on one structure.
+
+    Parameters
+    ----------
+    program:
+        The Datalog(!=) program whose fixpoint is kept materialised.
+    structure:
+        Interprets the EDB (unless overridden) and every constant; its
+        universe is the fixed domain of the session.
+    extra_edb:
+        Optional EDB overrides, exactly as in :func:`evaluate`.
+
+    Construction runs the initial fixpoint once with the indexed engine
+    and one support-enumeration pass (the provenance baseline); both
+    are one-time costs amortised over the update stream.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        structure: Structure,
+        extra_edb: Mapping[str, Iterable[Row]] | None = None,
+    ) -> None:
+        self._program = program
+        self._structure = structure
+        database, self._constants = _database_from_structure(
+            program, structure, extra_edb
+        )
+        self._universe = list(structure.universe)
+        self._universe_set = structure.universe
+
+        self._initial = evaluate(
+            program, structure, extra_edb=extra_edb, method="indexed"
+        )
+        for predicate in program.idb_predicates:
+            database[predicate] = set(self._initial.relations[predicate])
+        self._store = IndexedDatabase(database)
+
+        # Compile once: a full plan per rule (the provenance baseline
+        # pass) and one delta plan per body-atom occurrence -- unlike
+        # the from-scratch engines, EDB occurrences get delta plans too,
+        # because here the EDB itself is what changes.
+        self._full: list[_PlanExec] = []
+        self._delta: list[tuple[tuple[str, _PlanExec], ...]] = []
+        for rule in program.rules:
+            compiled = _compile_plan(plan_rule(rule), self._constants)
+            self._full.append(_plan_exec(rule, compiled, self._constants))
+            per_rule = []
+            for atom_index, atom in enumerate(rule.body_atoms()):
+                delta_plan = _compile_plan(
+                    plan_rule(rule, delta_atom_index=atom_index),
+                    self._constants,
+                )
+                per_rule.append(
+                    (atom.predicate, _plan_exec(rule, delta_plan, self._constants))
+                )
+            self._delta.append(tuple(per_rule))
+
+        self._supports = SupportTable()
+        self._seed_supports()
+        self._update_count = 0
+
+    # -- accessors --------------------------------------------------------
+
+    @property
+    def program(self) -> Program:
+        return self._program
+
+    @property
+    def structure(self) -> Structure:
+        """The structure the session was built on (original EDB)."""
+        return self._structure
+
+    @property
+    def initial_result(self) -> FixpointResult:
+        """The from-scratch fixpoint computed at construction."""
+        return self._initial
+
+    @property
+    def update_count(self) -> int:
+        """Updates applied so far."""
+        return self._update_count
+
+    @property
+    def relations(self) -> dict[str, frozenset]:
+        """The current IDB interpretation (the maintained view)."""
+        return {
+            predicate: frozenset(self._store.rows(predicate))
+            for predicate in self._program.idb_predicates
+        }
+
+    @property
+    def goal_relation(self) -> frozenset:
+        return frozenset(self._store.rows(self._program.goal))
+
+    def holds(self, arguments: tuple = ()) -> bool:
+        """Whether the goal relation currently contains ``arguments``."""
+        return tuple(arguments) in self._store.rows(self._program.goal)
+
+    def derivation_count(self, predicate: str, row: Row) -> int:
+        """Immediate derivations of an IDB tuple (provenance view)."""
+        return self._supports.count(predicate, tuple(row))
+
+    def current_extra_edb(self) -> dict[str, frozenset]:
+        """The current EDB, in :func:`evaluate`'s ``extra_edb`` shape."""
+        return {
+            predicate: frozenset(self._store.rows(predicate))
+            for predicate in self._program.edb_predicates
+        }
+
+    def reevaluate(self, method: str = "indexed", **kwargs) -> FixpointResult:
+        """From-scratch evaluation on the session's *current* EDB.
+
+        The differential harness (and ``repro maintain --verify``)
+        compares this against :attr:`relations` after every update.
+        """
+        return evaluate(
+            self._program,
+            self._structure,
+            extra_edb=self.current_extra_edb(),
+            method=method,
+            **kwargs,
+        )
+
+    # -- construction helpers ---------------------------------------------
+
+    def _seed_supports(self) -> None:
+        """The provenance baseline: every derivation within the fixpoint."""
+        for rule_index, execu in enumerate(self._full):
+            for binding in _run_plan(
+                execu.compiled, self._store, self._universe
+            ):
+                self._supports.add(
+                    execu.head_predicate,
+                    _ground(execu.head_sources, binding),
+                    support_key(
+                        rule_index,
+                        (_ground(s, binding) for s in execu.body_sources),
+                    ),
+                )
+
+    def _check_edb_rows(self, predicate: str, rows: Iterable) -> set[Row]:
+        if predicate not in self._program.edb_predicates:
+            raise ValueError(
+                f"{predicate!r} is not an EDB predicate of the program; "
+                "only extensional facts can be inserted or deleted"
+            )
+        arity = self._program.arity(predicate)
+        checked: set[Row] = set()
+        for row in rows:
+            t = tuple(row)
+            if len(t) != arity:
+                raise ValueError(
+                    f"row {t} has arity {len(t)}, but {predicate!r} has "
+                    f"arity {arity}"
+                )
+            bad = [x for x in t if x not in self._universe_set]
+            if bad:
+                raise ValueError(
+                    f"row {t} mentions elements outside the (fixed) "
+                    f"universe: {bad}"
+                )
+            checked.add(t)
+        return checked
+
+    # -- the delta engine --------------------------------------------------
+
+    def _propagate(
+        self, delta: dict[str, set], profile
+    ) -> tuple[dict[str, set], int, int]:
+        """Semi-naive continuation from an already-merged ``delta``.
+
+        ``delta`` rows must already be present in the store (EDB rows
+        just inserted, or rederived IDB tuples just restored), matching
+        the indexed engine's merge-then-join discipline.  Returns the
+        per-predicate IDB rows newly added, the number of rounds, and
+        the number of delta tuples fed through the plans.  New supports
+        are recorded for every enumerated derivation -- including those
+        of already-present heads, which is what keeps the provenance
+        exact for later deletions.
+        """
+        tracer = _trace.tracer
+        idb = self._program.idb_predicates
+        added: dict[str, set] = {p: set() for p in idb}
+        rounds = 0
+        touched = 0
+        while any(delta.values()):
+            rounds += 1
+            touched += sum(len(rows) for rows in delta.values())
+            if profile is not None:
+                profile.start_round()
+            new_delta: dict[str, set] = {p: set() for p in idb}
+            rule_firings: list[int] = []
+            bindings_enumerated = 0
+            with tracer.span(
+                "iteration", engine="incremental", round=rounds
+            ):
+                for rule_index, plans in enumerate(self._delta):
+                    fired: set = set()
+                    head_predicate = None
+                    for predicate, execu in plans:
+                        rows = delta.get(predicate)
+                        if not rows:
+                            continue
+                        head_predicate = execu.head_predicate
+                        existing = self._store.rows(head_predicate)
+                        for binding in _run_plan(
+                            execu.compiled,
+                            self._store,
+                            self._universe,
+                            delta_rows=rows,
+                        ):
+                            bindings_enumerated += 1
+                            head = _ground(execu.head_sources, binding)
+                            self._supports.add(
+                                head_predicate,
+                                head,
+                                support_key(
+                                    rule_index,
+                                    (
+                                        _ground(s, binding)
+                                        for s in execu.body_sources
+                                    ),
+                                ),
+                            )
+                            if head not in existing:
+                                fired.add(head)
+                    rule_firings.append(len(fired))
+                    if head_predicate is not None:
+                        new_delta[head_predicate] |= fired
+            merged: dict[str, set] = {}
+            for predicate, rows in new_delta.items():
+                fresh = self._store.relation(predicate).add_rows(rows)
+                added[predicate] |= fresh
+                merged[predicate] = fresh
+            _record_round(
+                "incremental",
+                {p: len(rows) for p, rows in merged.items()},
+                rule_firings,
+                bindings_enumerated,
+                bindings_enumerated,
+                profile,
+            )
+            delta = merged
+        return added, rounds, touched
+
+    # -- updates -----------------------------------------------------------
+
+    def insert_facts(
+        self,
+        predicate: str,
+        rows: Iterable,
+        collect_profile: bool = False,
+    ) -> MaintenanceResult:
+        """Add EDB rows and restore the fixpoint by delta continuation.
+
+        Work is driven entirely by the new rows: they seed the delta,
+        every round joins only the delta against the incrementally
+        maintained indexes, and iteration stops when the delta empties.
+        """
+        requested = self._check_edb_rows(predicate, rows)
+        start = time.perf_counter()
+        m = _metrics.metrics
+        m.inc("incremental.inserts")
+        profile = _profile_builder(self._program) if collect_profile else None
+        with _trace.tracer.span(
+            "incremental.insert", predicate=predicate, rows=len(requested)
+        ) as span:
+            fresh = self._store.relation(predicate).add_rows(requested)
+            added, rounds, touched = self._propagate(
+                {predicate: set(fresh)}, profile
+            )
+            m.inc("incremental.delta_tuples_touched", touched)
+            span.annotate(
+                applied=len(fresh),
+                rounds=rounds,
+                new_tuples=sum(len(r) for r in added.values()),
+            )
+        self._update_count += 1
+        return MaintenanceResult(
+            kind="insert",
+            predicate=predicate,
+            requested=frozenset(requested),
+            applied=frozenset(fresh),
+            idb_added={
+                p: frozenset(r) for p, r in added.items() if r
+            },
+            idb_removed={},
+            overdeleted={},
+            rederived={},
+            rounds=rounds,
+            delta_tuples_touched=touched,
+            wall_seconds=time.perf_counter() - start,
+            profile=None if profile is None else profile.build("incremental-insert"),
+        )
+
+    def delete_facts(
+        self,
+        predicate: str,
+        rows: Iterable,
+        collect_profile: bool = False,
+    ) -> MaintenanceResult:
+        """Remove EDB rows and restore the fixpoint by Delete/Rederive.
+
+        Phase 1 (over-delete) runs the delta plans against the
+        *pre-deletion* database: every derivation that mentions a
+        deleted tuple is enumerated, its support discarded, and its
+        head provisionally marked.  Phase 2 (rederive) restores the
+        marked tuples whose derivation count stayed positive -- by the
+        provenance invariant, exactly the ones still one-step derivable
+        from the survivors -- and lets the insertion continuation
+        propagate from them.
+        """
+        requested = self._check_edb_rows(predicate, rows)
+        start = time.perf_counter()
+        m = _metrics.metrics
+        m.inc("incremental.deletes")
+        tracer = _trace.tracer
+        idb = self._program.idb_predicates
+        profile = _profile_builder(self._program) if collect_profile else None
+        with tracer.span(
+            "incremental.delete", predicate=predicate, rows=len(requested)
+        ) as span:
+            present = requested & self._store.rows(predicate)
+
+            # Phase 1: over-delete.  Joins run on the old database (the
+            # deleted rows and marked tuples are removed only after the
+            # loop), so every derivation through a deleted tuple is
+            # enumerated and its support discarded exactly once per
+            # mention -- idempotently.
+            overdeleted: dict[str, set] = {p: set() for p in idb}
+            delta: dict[str, set] = {predicate: set(present)}
+            rounds = 0
+            touched = 0
+            while any(delta.values()):
+                rounds += 1
+                touched += sum(len(r) for r in delta.values())
+                if profile is not None:
+                    profile.start_round()
+                new_delta: dict[str, set] = {p: set() for p in idb}
+                rule_firings: list[int] = []
+                bindings_enumerated = 0
+                with tracer.span(
+                    "iteration", engine="incremental-overdelete", round=rounds
+                ):
+                    for rule_index, plans in enumerate(self._delta):
+                        fired: set = set()
+                        head_predicate = None
+                        for dpred, execu in plans:
+                            drows = delta.get(dpred)
+                            if not drows:
+                                continue
+                            head_predicate = execu.head_predicate
+                            marked = overdeleted[head_predicate]
+                            for binding in _run_plan(
+                                execu.compiled,
+                                self._store,
+                                self._universe,
+                                delta_rows=drows,
+                            ):
+                                bindings_enumerated += 1
+                                head = _ground(execu.head_sources, binding)
+                                self._supports.discard(
+                                    head_predicate,
+                                    head,
+                                    support_key(
+                                        rule_index,
+                                        (
+                                            _ground(s, binding)
+                                            for s in execu.body_sources
+                                        ),
+                                    ),
+                                )
+                                if head not in marked:
+                                    fired.add(head)
+                        rule_firings.append(len(fired))
+                        if head_predicate is not None:
+                            new_delta[head_predicate] |= fired
+                for p, r in new_delta.items():
+                    overdeleted[p] |= r
+                _record_round(
+                    "incremental",
+                    {p: len(r) for p, r in new_delta.items()},
+                    rule_firings,
+                    bindings_enumerated,
+                    bindings_enumerated,
+                    profile,
+                )
+                delta = new_delta
+
+            # Physically retract: the deleted EDB rows plus everything
+            # over-deleted, shrinking the indexes in place.
+            self._store.relation(predicate).remove_rows(present)
+            for p, r in overdeleted.items():
+                if r:
+                    self._store.relation(p).remove_rows(r)
+
+            # Phase 2: rederive.  Supports mentioning any removed tuple
+            # are gone, so a positive count is an alternative derivation
+            # from the survivors.
+            seed = {
+                p: {
+                    row
+                    for row in r
+                    if self._supports.supported(p, row)
+                }
+                for p, r in overdeleted.items()
+            }
+            for p, r in seed.items():
+                if r:
+                    self._store.relation(p).add_rows(r)
+            added, re_rounds, re_touched = self._propagate(
+                {p: set(r) for p, r in seed.items()}, profile
+            )
+            rederived = {
+                p: seed[p] | added.get(p, set()) for p in idb
+            }
+            removed = {
+                p: overdeleted[p] - rederived[p] for p in idb
+            }
+            for p, r in removed.items():
+                for row in r:
+                    self._supports.drop_row(p, row)
+            rounds += re_rounds
+            touched += re_touched
+            m.inc("incremental.delta_tuples_touched", touched)
+            span.annotate(
+                applied=len(present),
+                rounds=rounds,
+                overdeleted=sum(len(r) for r in overdeleted.values()),
+                rederived=sum(len(r) for r in rederived.values()),
+            )
+        self._update_count += 1
+        return MaintenanceResult(
+            kind="delete",
+            predicate=predicate,
+            requested=frozenset(requested),
+            applied=frozenset(present),
+            idb_added={},
+            idb_removed={
+                p: frozenset(r) for p, r in removed.items() if r
+            },
+            overdeleted={
+                p: frozenset(r) for p, r in overdeleted.items() if r
+            },
+            rederived={
+                p: frozenset(r) for p, r in rederived.items() if r
+            },
+            rounds=rounds,
+            delta_tuples_touched=touched,
+            wall_seconds=time.perf_counter() - start,
+            profile=None if profile is None else profile.build("incremental-delete"),
+        )
+
+    def apply(
+        self, update: Update, collect_profile: bool = False
+    ) -> MaintenanceResult:
+        """Apply one scripted :class:`Update`."""
+        method = (
+            self.insert_facts if update.kind == "insert" else self.delete_facts
+        )
+        return method(
+            update.predicate, [update.row], collect_profile=collect_profile
+        )
+
+    def apply_script(
+        self,
+        updates: Iterable[Update],
+        collect_profile: bool = False,
+    ) -> list[MaintenanceResult]:
+        """Replay a sequence of updates; returns one result per update."""
+        return [
+            self.apply(update, collect_profile=collect_profile)
+            for update in updates
+        ]

@@ -52,12 +52,14 @@ class RelationIndex:
 
     An index for a position signature is built on first use
     (:meth:`matching` / :meth:`index_for`) and from then on updated in
-    place by :meth:`add` / :meth:`add_all` -- the point of the class:
-    fixpoint engines merge small deltas every round, and rebuilding
-    indexes over a large relation per round is where the avoidable
-    quadratic factor lives.
+    place by :meth:`add` / :meth:`add_rows` and :meth:`remove` /
+    :meth:`remove_rows` -- the point of the class: fixpoint engines
+    merge small deltas every round (and the incremental-maintenance
+    layer additionally retracts them), and rebuilding indexes over a
+    large relation per churn step is where the avoidable quadratic
+    factor lives.
 
-    All mutation must go through :meth:`add` / :meth:`add_all`; mutating
+    All mutation must go through the add/remove methods; mutating
     :attr:`rows` directly would silently desynchronise the indexes.
     """
 
@@ -142,6 +144,43 @@ class RelationIndex:
             )
         return fresh
 
+    #: Alias pairing with :meth:`remove_rows` -- the maintenance API the
+    #: incremental-view layer (:mod:`repro.datalog.incremental`) uses.
+    add_rows = add_all
+
+    def remove(self, row: Row) -> bool:
+        """Delete one row; returns whether it was present.
+
+        Every already-built index is shrunk in place (the row is removed
+        from its bucket under each position signature; emptied buckets
+        are dropped), so lookups stay consistent without any rebuild --
+        the mirror image of :meth:`add`.
+        """
+        if row not in self._rows:
+            return False
+        self._rows.discard(row)
+        for positions, index in self._indexes.items():
+            key = tuple(row[i] for i in positions)
+            bucket = index.get(key)
+            if bucket is None:  # pragma: no cover - add/remove keep sync
+                continue
+            bucket.remove(row)
+            if not bucket:
+                del index[key]
+        return True
+
+    def remove_rows(self, rows: Iterable[Row]) -> set[Row]:
+        """Delete many rows; returns the subset actually removed."""
+        gone = {row for row in rows if self.remove(row)}
+        if gone:
+            m = _metrics.metrics
+            m.inc("index.rows_removed", len(gone))
+            m.inc(
+                "index.incremental_updates",
+                len(gone) * len(self._indexes),
+            )
+        return gone
+
 
 class IndexedDatabase:
     """A database whose relations carry incrementally-maintained indexes.
@@ -182,6 +221,12 @@ class IndexedDatabase:
     def merge(self, name: str, rows: Iterable[Row]) -> set[Row]:
         """Union ``rows`` into ``name``; returns the genuinely new rows."""
         return self.relation(name).add_all(rows)
+
+    def remove(self, name: str, rows: Iterable[Row]) -> set[Row]:
+        """Delete ``rows`` from ``name``; returns the rows actually
+        removed (empty when the relation is absent)."""
+        index = self._relations.get(name)
+        return index.remove_rows(rows) if index is not None else set()
 
     def snapshot(self, names: Iterable[str]) -> dict[str, frozenset]:
         """Frozen copies of the named relations (for stage tracking)."""

@@ -13,6 +13,12 @@ Grammar::
 Comments run from ``%`` or ``#`` to end of line.  ``!=`` may also be
 written as the Unicode ``≠``.  Nullary atoms are written ``P()``.
 
+Malformed input raises :class:`DatalogSyntaxError` (alias
+:data:`ParseError`), which pinpoints the offending token: 1-based line
+and column, the token text, and a caret excerpt of the source line --
+so a typo in rule 40 of a multi-rule source is located, not just
+reported.
+
 Example
 -------
 >>> program = parse_program('''
@@ -43,8 +49,56 @@ from repro.datalog.ast import (
 )
 
 
-class ParseError(Exception):
-    """Raised on malformed program text, with line/column context."""
+class DatalogSyntaxError(Exception):
+    """Malformed program text, located precisely.
+
+    Beyond the human-readable message (which always names the offending
+    token and its position, plus a caret excerpt of the source line),
+    the error carries structured fields so tools can report or recover
+    programmatically:
+
+    ``reason``
+        The bare diagnosis, without location decoration.
+    ``line`` / ``column``
+        1-based position of the offending token (``None`` only for
+        errors at end of input on an empty source).
+    ``token``
+        The offending token's text (``None`` at end of input).
+    ``source_line``
+        The raw source line the error points into, when available.
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        *,
+        line: int | None = None,
+        column: int | None = None,
+        token: str | None = None,
+        source_line: str | None = None,
+    ) -> None:
+        self.reason = reason
+        self.line = line
+        self.column = column
+        self.token = token
+        self.source_line = source_line
+        super().__init__(self._render())
+
+    def _render(self) -> str:
+        message = self.reason
+        if self.token is not None:
+            message += f": found {self.token!r}"
+        if self.line is not None:
+            message += f" at line {self.line}, column {self.column}"
+        if self.source_line is not None and self.column is not None:
+            stripped = self.source_line.rstrip()
+            caret = " " * (self.column - 1) + "^"
+            message += f"\n  {stripped}\n  {caret}"
+        return message
+
+
+#: Backwards-compatible alias -- earlier releases raised ``ParseError``.
+ParseError = DatalogSyntaxError
 
 
 @dataclass(frozen=True)
@@ -74,7 +128,7 @@ _TOKEN_RE = re.compile(
 )
 
 
-def _tokenize(text: str) -> Iterator[_Token]:
+def _tokenize(text: str, lines: list[str]) -> Iterator[_Token]:
     line = 1
     line_start = 0
     for match in _TOKEN_RE.finditer(text):
@@ -88,16 +142,62 @@ def _tokenize(text: str) -> Iterator[_Token]:
                 line_start = match.start() + value.rfind("\n") + 1
             continue
         if kind == "error":
-            raise ParseError(
-                f"unexpected character {value!r} at line {line}, column {column}"
+            raise DatalogSyntaxError(
+                "unexpected character",
+                line=line,
+                column=column,
+                token=value,
+                source_line=lines[line - 1] if line <= len(lines) else None,
             )
         yield _Token(kind, value, line, column)
 
 
+#: Human-readable names for token kinds, used in diagnostics.
+_KIND_NAMES = {
+    "arrow": "':-'",
+    "neq": "'!='",
+    "eq": "'='",
+    "lparen": "'('",
+    "rparen": "')'",
+    "comma": "','",
+    "dot": "'.'",
+    "constant": "a constant",
+    "ident": "an identifier",
+}
+
+
 class _Parser:
     def __init__(self, text: str) -> None:
-        self._tokens = list(_tokenize(text))
+        self._lines = text.splitlines()
+        self._tokens = list(_tokenize(text, self._lines))
         self._position = 0
+
+    def _source_line(self, line: int | None) -> str | None:
+        if line is None or not 1 <= line <= len(self._lines):
+            return None
+        return self._lines[line - 1]
+
+    def _error(self, reason: str, token: _Token | None) -> DatalogSyntaxError:
+        """A located syntax error at ``token`` (or at end of input)."""
+        if token is None:
+            last = self._tokens[-1] if self._tokens else None
+            line = last.line if last is not None else None
+            column = (
+                last.column + len(last.text) if last is not None else None
+            )
+            return DatalogSyntaxError(
+                f"{reason} (unexpected end of input)",
+                line=line,
+                column=column,
+                source_line=self._source_line(line),
+            )
+        return DatalogSyntaxError(
+            reason,
+            line=token.line,
+            column=token.column,
+            token=token.text,
+            source_line=self._source_line(token.line),
+        )
 
     def _peek(self) -> _Token | None:
         if self._position < len(self._tokens):
@@ -107,14 +207,15 @@ class _Parser:
     def _next(self, expected: str | None = None) -> _Token:
         token = self._peek()
         if token is None:
-            raise ParseError(
-                f"unexpected end of input"
-                + (f" (expected {expected})" if expected else "")
+            what = (
+                _KIND_NAMES.get(expected, expected)
+                if expected
+                else "more input"
             )
+            raise self._error(f"expected {what}", None)
         if expected is not None and token.kind != expected:
-            raise ParseError(
-                f"expected {expected} but found {token.text!r} at line "
-                f"{token.line}, column {token.column}"
+            raise self._error(
+                f"expected {_KIND_NAMES.get(expected, expected)}", token
             )
         self._position += 1
         return token
@@ -146,7 +247,7 @@ class _Parser:
     def _parse_literal(self) -> BodyLiteral:
         token = self._peek()
         if token is None:
-            raise ParseError("unexpected end of input inside a rule body")
+            raise self._error("expected a body literal", None)
         if token.kind == "ident":
             after = (
                 self._tokens[self._position + 1]
@@ -161,10 +262,7 @@ class _Parser:
             return Equality(term, self._parse_term())
         if comparator.kind == "neq":
             return Inequality(term, self._parse_term())
-        raise ParseError(
-            f"expected '=', '!=' or an atom at line {comparator.line}, "
-            f"column {comparator.column}"
-        )
+        raise self._error("expected '=', '!=' or an atom", comparator)
 
     def _parse_atom(self) -> Atom:
         name = self._next("ident")
@@ -185,18 +283,16 @@ class _Parser:
             return Variable(token.text)
         if token.kind == "constant":
             return Constant(token.text[1:])
-        raise ParseError(
-            f"expected a term but found {token.text!r} at line {token.line}, "
-            f"column {token.column}"
-        )
+        raise self._error("expected a term (variable or $constant)", token)
 
 
 def parse_rule(text: str) -> Rule:
     """Parse a single rule, e.g. ``"S(x, y) :- E(x, y)."``."""
     parser = _Parser(text)
     rule = parser.parse_rule()
-    if parser._peek() is not None:
-        raise ParseError("trailing input after the rule")
+    trailing = parser._peek()
+    if trailing is not None:
+        raise parser._error("trailing input after the rule", trailing)
     return rule
 
 

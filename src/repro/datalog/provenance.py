@@ -1,0 +1,124 @@
+"""Per-tuple derivation bookkeeping for incremental view maintenance.
+
+The Delete/Rederive algorithm of :mod:`repro.datalog.incremental` needs
+to answer, for every IDB tuple, one question cheaply: *after these
+tuples disappear, does an alternative immediate derivation remain?*
+This module maintains the material for that answer.
+
+A **support** of an IDB tuple ``t`` is one immediate derivation of it:
+a rule index together with the ground rows matched at the rule's
+relational body atoms, in body order.  Two satisfying bindings that
+differ only in universe-enumerated (head-only / constraint-only)
+variables collapse to the same support -- a support's validity depends
+only on its body rows being present, because the universe of the input
+structure never changes and equality/inequality constraints over a
+fixed row assignment are decided once and for all.  Rules without body
+atoms yield the empty support ``(rule, ())``, which never mentions a
+database tuple and therefore survives every deletion -- facts stay
+derivable, as they must.
+
+:class:`SupportTable` stores, per predicate and per tuple, the *set* of
+supports.  Sets rather than bare counts are the load-bearing choice:
+delta joins legitimately enumerate one derivation several times (once
+per delta-atom occurrence it contains), and set insertion/removal is
+idempotent, so the maintenance code needs no old-vs-new relation
+versioning discipline to keep counts exact.  The *derivation count* of
+a tuple is the size of its support set.
+
+The table is exact provenance, not an approximation, so the
+delete-path invariant holds: after over-deletion has discarded every
+support that mentions a deleted tuple, ``count(pred, row) > 0`` holds
+exactly for the tuples with an immediate derivation from the surviving
+database -- the Delete/Rederive "rederive" seed, found in time
+proportional to the over-deleted set instead of a full re-evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+Row = tuple
+
+#: One immediate derivation: ``(rule_index, ground body-atom rows)``.
+SupportKey = tuple[int, tuple[Row, ...]]
+
+
+def support_key(rule_index: int, body_rows: Iterable[Row]) -> SupportKey:
+    """The canonical support for one satisfying binding of one rule."""
+    return (rule_index, tuple(body_rows))
+
+
+class SupportTable:
+    """Supports (immediate derivations) of every IDB tuple.
+
+    The table is maintained by :class:`~repro.datalog.incremental.IncrementalSession`:
+    populated by a full enumeration pass after the initial fixpoint,
+    grown by insertion propagation, shrunk by over-deletion.  All
+    operations are idempotent, so re-enumerating a derivation (which
+    semi-naive delta joins do whenever a derivation contains several
+    delta tuples) never skews the counts.
+    """
+
+    __slots__ = ("_supports",)
+
+    def __init__(self) -> None:
+        self._supports: dict[str, dict[Row, set[SupportKey]]] = {}
+
+    def add(self, predicate: str, row: Row, key: SupportKey) -> bool:
+        """Record one derivation of ``row``; returns whether it was new."""
+        rows = self._supports.setdefault(predicate, {})
+        keys = rows.get(row)
+        if keys is None:
+            rows[row] = {key}
+            return True
+        if key in keys:
+            return False
+        keys.add(key)
+        return True
+
+    def discard(self, predicate: str, row: Row, key: SupportKey) -> bool:
+        """Forget one derivation of ``row``; returns whether it existed."""
+        keys = self._supports.get(predicate, {}).get(row)
+        if keys is None or key not in keys:
+            return False
+        keys.discard(key)
+        return True
+
+    def count(self, predicate: str, row: Row) -> int:
+        """Number of known immediate derivations of ``row``."""
+        keys = self._supports.get(predicate, {}).get(row)
+        return 0 if keys is None else len(keys)
+
+    def supported(self, predicate: str, row: Row) -> bool:
+        """Whether at least one immediate derivation remains."""
+        return self.count(predicate, row) > 0
+
+    def supports(self, predicate: str, row: Row) -> frozenset[SupportKey]:
+        """The current support set of ``row`` (a frozen copy)."""
+        keys = self._supports.get(predicate, {}).get(row)
+        return frozenset(() if keys is None else keys)
+
+    def drop_row(self, predicate: str, row: Row) -> None:
+        """Forget every derivation of ``row`` (tuple left the database)."""
+        rows = self._supports.get(predicate)
+        if rows is not None:
+            rows.pop(row, None)
+
+    def counts(self, predicate: str) -> dict[Row, int]:
+        """Derivation count of every tracked tuple of ``predicate``."""
+        return {
+            row: len(keys)
+            for row, keys in self._supports.get(predicate, {}).items()
+            if keys
+        }
+
+    def predicates(self) -> Iterator[str]:
+        return iter(self._supports)
+
+    def total_supports(self) -> int:
+        """Number of stored derivations, across every predicate."""
+        return sum(
+            len(keys)
+            for rows in self._supports.values()
+            for keys in rows.values()
+        )

@@ -495,3 +495,107 @@ class TestCertificate:
             "--simulate", "2", "--rounds", "50",
         ]) == 0
         assert "H3" in capsys.readouterr().out
+
+
+class TestMaintain:
+    @pytest.fixture
+    def script_file(self, tmp_path):
+        path = tmp_path / "updates.txt"
+        path.write_text(
+            "% grow, then cut the only route through b\n"
+            "insert E d a\n"
+            "delete E a b\n"
+        )
+        return str(path)
+
+    def test_inline_insert_and_delete(self, capsys, path_graph_file):
+        assert main([
+            "maintain", "transitive-closure", path_graph_file,
+            "--insert", "E", "d", "a", "--delete", "E", "a", "b",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "initial fixpoint: 6 S tuples" in out
+        assert "insert E(d, a)" in out
+        assert "delete E(a, b)" in out
+        assert "overdeleted=" in out and "rederived=" in out
+
+    def test_script_replay_with_verify(
+        self, capsys, path_graph_file, script_file
+    ):
+        assert main([
+            "maintain", "transitive-closure", path_graph_file,
+            "--script", script_file, "--verify",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert out.count("verify: OK") == 2
+        assert "MISMATCH" not in out
+
+    def test_final_relation_matches_scratch(
+        self, capsys, program_file, path_graph_file
+    ):
+        # After inserting d->a the path graph becomes a 4-cycle: the
+        # closure is all 16 pairs.
+        assert main([
+            "maintain", program_file, path_graph_file,
+            "--insert", "E", "d", "a",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "final S: 16 tuples" in out
+
+    def test_no_updates_is_an_error(self, capsys, path_graph_file):
+        assert main([
+            "maintain", "transitive-closure", path_graph_file,
+        ]) == 2
+        assert "at least one update" in capsys.readouterr().err
+
+    def test_non_edb_update_is_an_error(self, capsys, path_graph_file):
+        assert main([
+            "maintain", "transitive-closure", path_graph_file,
+            "--insert", "S", "a", "b",
+        ]) == 2
+        assert "not an EDB predicate" in capsys.readouterr().err
+
+    def test_unknown_node_is_an_error(self, capsys, path_graph_file):
+        assert main([
+            "maintain", "transitive-closure", path_graph_file,
+            "--delete", "E", "a", "zz",
+        ]) == 2
+        assert "universe" in capsys.readouterr().err
+
+    def test_malformed_script_is_located(self, capsys, tmp_path,
+                                         path_graph_file):
+        script = tmp_path / "bad.txt"
+        script.write_text("insert E a b\nfrobnicate E a b\n")
+        assert main([
+            "maintain", "transitive-closure", path_graph_file,
+            "--script", str(script),
+        ]) == 2
+        assert "line 2" in capsys.readouterr().err
+
+    def test_stats_exposes_incremental_counters(
+        self, capsys, path_graph_file
+    ):
+        assert main([
+            "maintain", "transitive-closure", path_graph_file,
+            "--insert", "E", "d", "a", "--stats",
+        ]) == 0
+        err = capsys.readouterr().err
+        assert "incremental.inserts" in err
+        assert "incremental.delta_tuples_touched" in err
+
+    def test_trace_records_update_spans(self, capsys, tmp_path,
+                                        path_graph_file):
+        import json
+
+        trace_file = tmp_path / "trace.jsonl"
+        assert main([
+            "maintain", "transitive-closure", path_graph_file,
+            "--insert", "E", "d", "a", "--delete", "E", "a", "b",
+            "--trace", str(trace_file),
+        ]) == 0
+        kinds = [
+            json.loads(line)["kind"]
+            for line in trace_file.read_text().splitlines()
+        ]
+        assert "incremental.insert" in kinds
+        assert "incremental.delete" in kinds

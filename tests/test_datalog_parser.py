@@ -115,3 +115,67 @@ class TestParser:
     def test_error_mentions_location(self):
         with pytest.raises(ParseError, match="line"):
             parse_program("S(x) :-\n E(x, ).", goal="S")
+
+
+class TestSyntaxErrorDiagnostics:
+    """DatalogSyntaxError carries structured location: line, column,
+    offending token, and a caret excerpt of the source line."""
+
+    def test_alias_is_the_same_class(self):
+        from repro.datalog.parser import DatalogSyntaxError
+
+        assert ParseError is DatalogSyntaxError
+
+    def test_missing_dot_in_multi_rule_source_points_at_next_rule(self):
+        # The classic opaque case: a forgotten dot only surfaces when
+        # the *next* rule's head is read -- the error must say where.
+        source = (
+            "S(x, y) :- E(x, y).\n"
+            "S(x, z) :- E(x, y), S(y, z)\n"
+            "R(x) :- E(x, x).\n"
+        )
+        with pytest.raises(ParseError) as excinfo:
+            parse_program(source, goal="S")
+        error = excinfo.value
+        assert error.line == 3
+        assert error.column == 1
+        assert error.token == "R"
+        assert error.source_line == "R(x) :- E(x, x)."
+        assert "line 3, column 1" in str(error)
+        assert "^" in str(error)
+
+    def test_stray_comma_reports_term_expectation(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_program("S(x) :- E(x, y), , R(y).", goal="S")
+        error = excinfo.value
+        assert (error.line, error.column) == (1, 18)
+        assert error.token == ","
+        assert "expected a term" in error.reason
+
+    def test_garbage_character_is_located(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_program("S(x, y) :- E(x, @y).", goal="S")
+        error = excinfo.value
+        assert error.reason == "unexpected character"
+        assert (error.line, error.column) == (1, 17)
+        assert error.token == "@"
+
+    def test_end_of_input_points_past_last_token(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_rule("S(x, y)")
+        error = excinfo.value
+        assert "end of input" in str(error)
+        assert error.token is None
+        assert (error.line, error.column) == (1, 8)
+
+    def test_caret_column_aligns_with_token(self):
+        source = "S(x) :- E(x, y), x ! y."
+        with pytest.raises(ParseError) as excinfo:
+            parse_program(source, goal="S")
+        error = excinfo.value
+        message = str(error)
+        excerpt = message.splitlines()[-2:]
+        assert excerpt[0].strip() == source
+        caret_column = len(excerpt[1]) - 2  # "  " prefix, 1-based
+        assert caret_column == error.column
+        assert source[error.column - 1] == error.token

@@ -1,0 +1,272 @@
+"""Unit tests for incremental view maintenance and its provenance layer."""
+
+import pytest
+
+from repro.datalog.incremental import (
+    IncrementalSession,
+    Update,
+    parse_update_script,
+)
+from repro.datalog.library import transitive_closure_program
+from repro.datalog.parser import parse_program
+from repro.datalog.provenance import SupportTable, support_key
+from repro.graphs.digraph import DiGraph
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
+
+
+def _session(edges, nodes="abcd"):
+    graph = DiGraph(nodes=nodes, edges=edges)
+    return IncrementalSession(
+        transitive_closure_program(), graph.to_structure()
+    )
+
+
+def _expected(session):
+    full = session.reevaluate()
+    return {
+        predicate: frozenset(full.relations[predicate])
+        for predicate in session.program.idb_predicates
+    }
+
+
+class TestSupportTable:
+    def test_add_is_idempotent(self):
+        table = SupportTable()
+        key = support_key(0, [("a", "b")])
+        assert table.add("S", ("a", "b"), key) is True
+        assert table.add("S", ("a", "b"), key) is False
+        assert table.count("S", ("a", "b")) == 1
+
+    def test_distinct_supports_accumulate(self):
+        table = SupportTable()
+        table.add("S", ("a", "c"), support_key(0, [("a", "c")]))
+        table.add("S", ("a", "c"), support_key(1, [("a", "b"), ("b", "c")]))
+        assert table.count("S", ("a", "c")) == 2
+        assert len(table.supports("S", ("a", "c"))) == 2
+
+    def test_discard_is_idempotent(self):
+        table = SupportTable()
+        key = support_key(0, [("a", "b")])
+        table.add("S", ("a", "b"), key)
+        assert table.discard("S", ("a", "b"), key) is True
+        assert table.discard("S", ("a", "b"), key) is False
+        assert not table.supported("S", ("a", "b"))
+
+    def test_drop_row_forgets_everything(self):
+        table = SupportTable()
+        table.add("S", ("a", "b"), support_key(0, [("a", "b")]))
+        table.drop_row("S", ("a", "b"))
+        assert table.count("S", ("a", "b")) == 0
+        assert table.total_supports() == 0
+
+    def test_counts_reports_only_live_rows(self):
+        table = SupportTable()
+        key = support_key(0, [("a", "b")])
+        table.add("S", ("a", "b"), key)
+        table.add("S", ("b", "c"), support_key(0, [("b", "c")]))
+        table.discard("S", ("a", "b"), key)
+        assert table.counts("S") == {("b", "c"): 1}
+
+    def test_empty_body_support_mentions_no_tuple(self):
+        key = support_key(3, [])
+        assert key == (3, ())
+
+
+class TestSessionBasics:
+    def test_initial_fixpoint_matches_evaluate(self):
+        session = _session([("a", "b"), ("b", "c")])
+        assert session.relations == _expected(session)
+        assert session.goal_relation == frozenset(
+            {("a", "b"), ("a", "c"), ("b", "c")}
+        )
+
+    def test_insert_extends_closure(self):
+        session = _session([("a", "b"), ("b", "c")])
+        result = session.insert_facts("E", [("c", "d")])
+        assert result.kind == "insert"
+        assert result.applied == frozenset({("c", "d")})
+        assert session.holds(("a", "d"))
+        assert session.relations == _expected(session)
+
+    def test_duplicate_insert_is_a_noop(self):
+        session = _session([("a", "b")])
+        result = session.insert_facts("E", [("a", "b")])
+        assert result.applied == frozenset()
+        assert result.idb_added == {}
+        assert result.rounds == 0
+
+    def test_delete_with_alternative_path_keeps_closure(self):
+        # a->c directly and via b: deleting the shortcut changes nothing
+        # semantically, and DRed rederives everything it over-deleted.
+        session = _session([("a", "b"), ("b", "c"), ("a", "c")])
+        before = session.relations
+        result = session.delete_facts("E", [("a", "c")])
+        assert session.relations == before
+        assert result.idb_removed == {}
+        assert result.overdeleted == result.rederived != {}
+
+    def test_delete_without_alternative_shrinks_closure(self):
+        session = _session([("a", "b"), ("b", "c")])
+        result = session.delete_facts("E", [("b", "c")])
+        assert not session.holds(("a", "c"))
+        assert ("b", "c") in result.idb_removed["S"]
+        assert session.relations == _expected(session)
+
+    def test_absent_delete_is_a_noop(self):
+        session = _session([("a", "b")])
+        result = session.delete_facts("E", [("c", "d")])
+        assert result.applied == frozenset()
+        assert result.idb_removed == {}
+
+    def test_rederived_is_contained_in_overdeleted(self):
+        session = _session(
+            [("a", "b"), ("b", "c"), ("c", "d"), ("a", "c")]
+        )
+        result = session.delete_facts("E", [("a", "c")])
+        for predicate, rows in result.rederived.items():
+            assert rows <= result.overdeleted[predicate]
+
+    def test_derivation_counts_track_distinct_paths(self):
+        session = _session([("a", "b"), ("b", "c"), ("a", "c")])
+        # a->c: one base derivation (edge) + one via b.
+        assert session.derivation_count("S", ("a", "c")) == 2
+        session.delete_facts("E", [("a", "c")])
+        assert session.derivation_count("S", ("a", "c")) == 1
+
+    def test_update_count_and_net_change(self):
+        session = _session([("a", "b")])
+        grown = session.insert_facts("E", [("b", "c")])
+        shrunk = session.delete_facts("E", [("b", "c")])
+        assert session.update_count == 2
+        assert grown.net_change == 2  # (b,c) and (a,c)
+        assert shrunk.net_change == -2
+
+    def test_profile_mirrors_fixpoint_profile(self):
+        session = _session([("a", "b"), ("b", "c")])
+        result = session.insert_facts(
+            "E", [("c", "d")], collect_profile=True
+        )
+        assert result.profile is not None
+        assert result.profile.engine == "incremental-insert"
+        assert len(result.profile.iterations) == result.rounds
+        assert result.semantic_view() is not None
+
+    def test_to_dict_is_json_shaped(self):
+        session = _session([("a", "b")])
+        summary = session.insert_facts("E", [("b", "c")]).to_dict()
+        assert summary["kind"] == "insert"
+        assert summary["applied"] == 1
+        assert isinstance(summary["wall_ms"], float)
+
+
+class TestValidation:
+    def test_idb_predicate_rejected(self):
+        session = _session([("a", "b")])
+        with pytest.raises(ValueError, match="not an EDB predicate"):
+            session.insert_facts("S", [("a", "b")])
+
+    def test_arity_mismatch_rejected(self):
+        session = _session([("a", "b")])
+        with pytest.raises(ValueError, match="arity"):
+            session.insert_facts("E", [("a", "b", "c")])
+
+    def test_unknown_element_rejected(self):
+        session = _session([("a", "b")])
+        with pytest.raises(ValueError, match="universe"):
+            session.insert_facts("E", [("a", "zz")])
+
+    def test_delete_validates_too(self):
+        session = _session([("a", "b")])
+        with pytest.raises(ValueError, match="universe"):
+            session.delete_facts("E", [("zz", "a")])
+
+
+class TestCyclicSupports:
+    """Mutually supporting rules: the case bare counters get wrong."""
+
+    PROGRAM = parse_program(
+        """
+        P(x, y) :- Q(x, y).
+        Q(x, y) :- P(x, y).
+        P(x, y) :- E(x, y).
+        """,
+        goal="P",
+    )
+
+    def test_cycle_dies_with_its_edge(self):
+        # P and Q support each other; only the E-rule grounds them.
+        # Deleting the edge must empty both, despite the mutual
+        # supports each tuple still counts for the other.
+        graph = DiGraph(nodes="ab", edges=[("a", "b")])
+        session = IncrementalSession(self.PROGRAM, graph.to_structure())
+        assert session.holds(("a", "b"))
+        session.delete_facts("E", [("a", "b")])
+        assert session.relations == {"P": frozenset(), "Q": frozenset()}
+
+    def test_every_edge_deletion_matches_scratch(self):
+        graph = DiGraph(
+            nodes="abc", edges=[("a", "b"), ("b", "c"), ("a", "c")]
+        )
+        session = IncrementalSession(self.PROGRAM, graph.to_structure())
+        for edge in [("a", "c"), ("a", "b"), ("b", "c")]:
+            session.delete_facts("E", [edge])
+            full = session.reevaluate()
+            assert session.relations == {
+                p: frozenset(full.relations[p])
+                for p in self.PROGRAM.idb_predicates
+            }
+
+
+class TestUpdateScripts:
+    def test_parse_all_forms(self):
+        updates = parse_update_script(
+            "% header comment\n"
+            "insert E a b\n"
+            "+ E b c   % trailing comment\n"
+            "delete E a b\n"
+            "- E b c\n"
+            "\n"
+            "# done\n"
+        )
+        assert [u.kind for u in updates] == [
+            "insert", "insert", "delete", "delete",
+        ]
+        assert updates[0] == Update("insert", "E", ("a", "b"))
+
+    def test_malformed_line_is_located(self):
+        with pytest.raises(ValueError, match="line 2"):
+            parse_update_script("insert E a b\nfrobnicate E a b\n")
+
+    def test_missing_predicate_rejected(self):
+        with pytest.raises(ValueError, match="line 1"):
+            parse_update_script("insert\n")
+
+    def test_apply_script_replays_in_order(self):
+        session = _session([("a", "b")])
+        results = session.apply_script(
+            parse_update_script("insert E b c\ndelete E a b\n")
+        )
+        assert [r.kind for r in results] == ["insert", "delete"]
+        assert session.relations == _expected(session)
+        assert session.goal_relation == frozenset({("b", "c")})
+
+
+class TestObservability:
+    def test_spans_and_counters_recorded(self):
+        _metrics.enable_metrics()
+        _trace.enable_tracing()
+        try:
+            session = _session([("a", "b"), ("b", "c")])
+            session.insert_facts("E", [("c", "d")])
+            session.delete_facts("E", [("a", "b")])
+            kinds = [span.kind for span in _trace.tracer.spans]
+            assert "incremental.insert" in kinds
+            assert "incremental.delete" in kinds
+            counters = _metrics.metrics.snapshot()["counters"]
+            assert counters["incremental.inserts"] == 1
+            assert counters["incremental.deletes"] == 1
+            assert counters["incremental.delta_tuples_touched"] > 0
+        finally:
+            _metrics.disable_metrics()
+            _trace.disable_tracing()

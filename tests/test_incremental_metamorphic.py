@@ -1,0 +1,157 @@
+"""Metamorphic properties of incremental maintenance.
+
+Two relations between update sequences must hold regardless of the
+program or data, so they make good oracles without a reference
+implementation:
+
+* **order-insensitivity** -- inserts commute (the fixpoint is a
+  function of the final EDB), so every permutation of an insert batch,
+  and any batching of it, lands in the same semantic view;
+* **round-trip** -- inserting rows and then deleting the same rows
+  (and vice versa for rows already present) returns the session to the
+  seed database's semantic view, including its provenance counts.
+"""
+
+import itertools
+import random
+
+from repro.datalog.incremental import IncrementalSession
+from repro.datalog.library import transitive_closure_program
+
+from tests.test_engine_differential import (
+    _random_program,
+    _random_structure,
+)
+
+
+def _view(session):
+    return session.relations
+
+
+def _fresh_rows(rng, structure, count):
+    nodes = sorted(structure.universe)
+    present = set(structure.relation("E"))
+    fresh = []
+    for __ in range(200):
+        row = (rng.choice(nodes), rng.choice(nodes))
+        if row not in present and row not in fresh:
+            fresh.append(row)
+        if len(fresh) == count:
+            break
+    return fresh
+
+
+class TestInsertOrderInsensitivity:
+    def test_all_permutations_of_a_batch_agree(self):
+        rng = random.Random(17)
+        program = transitive_closure_program()
+        structure = _random_structure(rng)
+        rows = _fresh_rows(rng, structure, 3)
+        reference = None
+        for permutation in itertools.permutations(rows):
+            session = IncrementalSession(program, structure)
+            for row in permutation:
+                session.insert_facts("E", [row])
+            if reference is None:
+                reference = _view(session)
+            else:
+                assert _view(session) == reference, permutation
+
+    def test_one_batch_equals_singleton_sequence(self):
+        rng = random.Random(23)
+        for __ in range(15):
+            program = _random_program(rng)
+            structure = _random_structure(rng)
+            rows = _fresh_rows(rng, structure, rng.randint(2, 4))
+            batched = IncrementalSession(program, structure)
+            batched.insert_facts("E", rows)
+            one_by_one = IncrementalSession(program, structure)
+            for row in rows:
+                one_by_one.insert_facts("E", [row])
+            assert _view(batched) == _view(one_by_one)
+
+    def test_random_permutations_of_random_programs(self):
+        rng = random.Random(29)
+        for __ in range(20):
+            program = _random_program(rng)
+            structure = _random_structure(rng)
+            rows = _fresh_rows(rng, structure, 4)
+            views = set()
+            for __ in range(3):
+                shuffled = rows[:]
+                rng.shuffle(shuffled)
+                session = IncrementalSession(program, structure)
+                for row in shuffled:
+                    session.insert_facts("E", [row])
+                views.add(
+                    tuple(sorted(
+                        (p, tuple(sorted(r, key=repr)))
+                        for p, r in _view(session).items()
+                    ))
+                )
+            assert len(views) == 1
+
+
+class TestInsertDeleteRoundTrip:
+    def test_insert_then_delete_returns_to_seed(self):
+        rng = random.Random(31)
+        for __ in range(20):
+            program = _random_program(rng)
+            structure = _random_structure(rng)
+            session = IncrementalSession(program, structure)
+            seed_view = _view(session)
+            seed_edb = session.current_extra_edb()
+            rows = _fresh_rows(rng, structure, rng.randint(1, 3))
+            session.insert_facts("E", rows)
+            session.delete_facts("E", rows)
+            assert _view(session) == seed_view
+            assert session.current_extra_edb() == seed_edb
+
+    def test_delete_then_reinsert_returns_to_seed(self):
+        rng = random.Random(37)
+        for __ in range(20):
+            program = _random_program(rng)
+            structure = _random_structure(rng)
+            present = sorted(structure.relation("E"))
+            if not present:
+                continue
+            session = IncrementalSession(program, structure)
+            seed_view = _view(session)
+            rows = rng.sample(present, min(len(present), 2))
+            session.delete_facts("E", rows)
+            session.insert_facts("E", rows)
+            assert _view(session) == seed_view
+
+    def test_round_trip_preserves_provenance_counts(self):
+        """After the round trip the support table matches a fresh
+        session's -- the view is equal *and* so are its derivation
+        counts, so later deletions behave identically too."""
+        rng = random.Random(41)
+        program = transitive_closure_program()
+        structure = _random_structure(rng)
+        session = IncrementalSession(program, structure)
+        rows = _fresh_rows(rng, structure, 2)
+        session.insert_facts("E", rows)
+        session.delete_facts("E", rows)
+        fresh = IncrementalSession(program, structure)
+        for predicate, relation in session.relations.items():
+            for row in relation:
+                assert session.derivation_count(predicate, row) == \
+                    fresh.derivation_count(predicate, row)
+
+    def test_interleaved_round_trips_compose(self):
+        """Several overlapping insert/delete round trips, ending where
+        we started."""
+        rng = random.Random(43)
+        program = transitive_closure_program()
+        structure = _random_structure(rng)
+        session = IncrementalSession(program, structure)
+        seed_view = _view(session)
+        batch_a = _fresh_rows(rng, structure, 2)
+        batch_b = [row for row in _fresh_rows(rng, structure, 4)
+                   if row not in batch_a][:2]
+        session.insert_facts("E", batch_a)
+        session.insert_facts("E", batch_b)
+        session.delete_facts("E", batch_a)
+        session.delete_facts("E", batch_b)
+        assert _view(session) == seed_view

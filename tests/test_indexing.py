@@ -87,6 +87,90 @@ class TestRelationIndex:
                 k: sorted(v) for k, v in rebuilt.items()
             }
 
+    def test_remove_reports_presence(self):
+        relation = RelationIndex(ROWS)
+        assert relation.remove(("a", "b")) is True
+        assert relation.remove(("a", "b")) is False
+        assert relation.remove(("z", "z")) is False
+        assert len(relation) == 3
+
+    def test_remove_maintains_built_indexes(self):
+        relation = RelationIndex(ROWS)
+        relation.index_for((0,))
+        relation.index_for((1,))
+        relation.remove(("a", "b"))
+        assert set(relation.matching((0,), ("a",))) == {("a", "c")}
+        assert set(relation.matching((1,), ("b",))) == {("b", "b")}
+
+    def test_remove_drops_emptied_buckets(self):
+        relation = RelationIndex(ROWS)
+        index = relation.index_for((0,))
+        relation.remove(("c", "a"))
+        assert ("c",) not in index
+        assert list(relation.matching((0,), ("c",))) == []
+
+    def test_remove_rows_returns_removed_subset(self):
+        relation = RelationIndex(ROWS)
+        gone = relation.remove_rows([("a", "b"), ("z", "z"), ("b", "b")])
+        assert gone == {("a", "b"), ("b", "b")}
+        assert relation.rows == {("a", "c"), ("c", "a")}
+
+    def test_add_rows_is_the_maintenance_alias(self):
+        relation = RelationIndex()
+        assert relation.add_rows([("x", "y")]) == {("x", "y")}
+        assert RelationIndex.add_rows is RelationIndex.add_all
+
+    def test_incremental_equals_rebuild_under_mixed_churn(self):
+        """Property: indexes stay consistent with a from-scratch
+        rebuild under interleaved adds, removes, and lazy index
+        materialisation -- including re-adding removed rows."""
+        rng = random.Random(47)
+        relation = RelationIndex()
+        signatures = [(), (0,), (1,), (0, 1), (1, 0)]
+        ever_seen: set = set()
+        for __ in range(60):
+            if rng.random() < 0.35:
+                relation.index_for(rng.choice(signatures))
+            action = rng.random()
+            if action < 0.55 or not relation.rows:
+                fresh = relation.add_rows(
+                    (rng.randrange(4), rng.randrange(4))
+                    for __ in range(rng.randint(1, 4))
+                )
+                ever_seen |= fresh
+            elif action < 0.85:
+                victims = rng.sample(
+                    sorted(relation.rows),
+                    min(len(relation.rows), rng.randint(1, 3)),
+                )
+                assert relation.remove_rows(victims) == set(victims)
+            else:  # re-add rows that have been through a remove before
+                relation.add_rows(
+                    rng.sample(sorted(ever_seen),
+                               min(len(ever_seen), 2))
+                )
+            for positions in relation.signatures:
+                rebuilt = hash_index(relation.rows, positions)
+                live = relation.index_for(positions)
+                assert {k: sorted(v) for k, v in live.items()} == {
+                    k: sorted(v) for k, v in rebuilt.items()
+                }
+
+    def test_churned_index_answers_like_a_fresh_one(self):
+        """After churn, lookups through a signature built *before* the
+        churn equal lookups through one built after."""
+        rng = random.Random(53)
+        early = RelationIndex()
+        early.index_for((0,))
+        rows = [(rng.randrange(3), rng.randrange(3)) for __ in range(20)]
+        early.add_rows(rows)
+        early.remove_rows(rng.sample(rows, 8))
+        late = RelationIndex(early.rows)
+        for key in range(3):
+            assert sorted(early.matching((0,), (key,))) == sorted(
+                late.matching((0,), (key,))
+            )
+
 
 class TestIndexedDatabase:
     def test_adopts_initial_relations(self):
@@ -128,3 +212,19 @@ class TestIndexedDatabase:
     def test_iteration_lists_relations(self):
         store = IndexedDatabase({"E": ROWS, "P": set()})
         assert sorted(store) == ["E", "P"]
+
+    def test_remove_returns_removed_rows(self):
+        store = IndexedDatabase({"P": {(1,), (2,)}})
+        assert store.remove("P", [(1,), (3,)]) == {(1,)}
+        assert store.rows("P") == {(2,)}
+
+    def test_remove_from_absent_relation_is_empty(self):
+        assert IndexedDatabase().remove("nope", [(1,)]) == set()
+
+    def test_remove_keeps_indexes_current(self):
+        store = IndexedDatabase({"P": {(1, 2), (1, 3)}})
+        assert set(store.relation("P").matching((0,), (1,))) == {
+            (1, 2), (1, 3),
+        }
+        store.remove("P", [(1, 2)])
+        assert set(store.relation("P").matching((0,), (1,))) == {(1, 3)}
