@@ -1,0 +1,264 @@
+"""E19 -- resource-guard overhead and checkpoint/resume cost.
+
+Regenerates: on the engine sweep's acceptance instances (transitive
+closure and ``q_program(2, 1)`` on the seed-7, density-0.25 random
+digraph at n=12), running the indexed engine under a generous
+never-tripping :class:`~repro.guard.ResourceBudget` (plus a live
+cancellation token) must cost at most **5%** wall-clock over the
+unguarded run -- the guard is one boundary check per round plus a
+strided tick in the join loops, so governance is cheap enough to leave
+on.  The benchmark also prices the checkpoint path: per-round
+``checkpoint_sink`` emission, and an interrupt-at-half-way + resume
+pair whose combined result must equal the uninterrupted fixpoint
+(correctness is asserted; the split's wall cost is reported).
+
+Also runnable as a script (CI smoke)::
+
+    PYTHONPATH=src python benchmarks/bench_guard.py --quick --json out.json
+
+which runs the same comparison on smaller instances (the 5% bar is
+only enforced at full size -- quick instances finish in microseconds,
+where timer noise dwarfs the guard -- equality always is) and writes
+shared-schema rows.
+"""
+
+from _harness import record, timed_row
+from repro.datalog.evaluation import evaluate
+from repro.datalog.library import q_program, transitive_closure_program
+from repro.graphs.generators import random_digraph
+from repro.guard import (
+    BudgetExceeded,
+    CancellationToken,
+    ResourceBudget,
+)
+
+#: Node counts for the acceptance instances (the bench_theorem61 family).
+FULL_NODES = 12
+QUICK_NODES = 8
+
+#: The acceptance bar: guarded-but-never-tripped wall clock over
+#: unguarded wall clock on the full-size instances.
+OVERHEAD_BAR = 1.05
+
+#: Best-of repeats per timing row; the guard costs a few percent at
+#: most, so the comparison needs stable minima.
+REPEATS = 9
+
+#: A budget that is checked in full every round but can never trip.
+GENEROUS = ResourceBudget(
+    wall_seconds=3600.0,
+    max_iterations=10**9,
+    max_tuples=10**12,
+    max_rule_firings=10**12,
+)
+
+PROGRAMS = {
+    "transitive-closure": transitive_closure_program,
+    "q-2-1": lambda: q_program(2, 1),
+}
+
+
+def _structure(nodes):
+    return random_digraph(nodes, 0.25, seed=7).to_structure()
+
+
+def _overhead_rows(name, program, structure, params, repeats=REPEATS):
+    """(unguarded_row, guarded_row, ratio) for one instance.
+
+    The ratio is measured *interleaved* -- plain and guarded runs
+    alternate, best-of each -- so machine drift (thermal, scheduler)
+    lands on both sides instead of biasing whichever block ran second.
+    """
+    import time
+
+    token = CancellationToken()
+
+    def plain():
+        return evaluate(program, structure, method="indexed")
+
+    def guarded_run():
+        return evaluate(
+            program, structure, method="indexed",
+            budget=GENEROUS, cancellation=token,
+        )
+
+    plain()  # warm-up
+    plain_times, guarded_times = [], []
+    unguarded = guarded = None
+    for __ in range(repeats):
+        start = time.perf_counter()
+        unguarded = plain()
+        plain_times.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        guarded = guarded_run()
+        guarded_times.append(time.perf_counter() - start)
+    assert guarded.relations == unguarded.relations
+    assert guarded.iterations == unguarded.iterations
+    ratio = min(guarded_times) / max(min(plain_times), 1e-9)
+    # Schema rows (with counters) for the artifact; one clean run each.
+    __, unguarded_row = timed_row(
+        name, plain, engine="indexed", params=params
+    )
+    __, guarded_row = timed_row(
+        name, guarded_run, engine="indexed-guarded", params=params
+    )
+    unguarded_row["wall_ms"] = round(min(plain_times) * 1000, 3)
+    guarded_row["wall_ms"] = round(min(guarded_times) * 1000, 3)
+    guarded_row["params"]["overhead_ratio"] = round(ratio, 4)
+    return unguarded_row, guarded_row, ratio
+
+
+def _checkpoint_rows(name, program, structure, params, repeats=3):
+    """Per-round sink emission, and interrupt-at-half + resume."""
+    full = evaluate(program, structure, method="indexed")
+    sink: list = []
+
+    def with_sink():
+        sink.clear()
+        return evaluate(
+            program, structure, method="indexed",
+            checkpoint_sink=sink.append,
+        )
+
+    sunk, sink_row = timed_row(
+        name, with_sink, engine="indexed-checkpointing",
+        params=params, repeats=repeats,
+    )
+    assert sunk.relations == full.relations
+    assert len(sink) == full.iterations
+    cutoff = max(1, full.iterations // 2)
+
+    def interrupted_then_resumed():
+        try:
+            evaluate(
+                program, structure, method="indexed",
+                budget=ResourceBudget(max_iterations=cutoff),
+            )
+        except BudgetExceeded as exc:
+            return evaluate(
+                program, structure, method="indexed",
+                resume_from=exc.checkpoint,
+            )
+        raise AssertionError("cutoff did not trip")
+
+    resumed, resume_row = timed_row(
+        name, interrupted_then_resumed, engine="indexed-kill-resume",
+        params={**params, "cutoff": cutoff}, repeats=repeats,
+    )
+    assert resumed.relations == full.relations
+    assert resumed.iterations == full.iterations
+    return sink_row, resume_row
+
+
+def bench_guard_overhead_tc(benchmark):
+    """Transitive closure at n=12: the never-tripping guard is <= 5%."""
+    program = transitive_closure_program()
+    structure = _structure(FULL_NODES)
+    params = {"nodes": FULL_NODES}
+    __, guarded_row, ratio = _overhead_rows(
+        "tc", program, structure, params
+    )
+    assert ratio <= OVERHEAD_BAR, (
+        f"guard overhead {ratio:.3f}x exceeds {OVERHEAD_BAR}x on tc"
+    )
+    benchmark.pedantic(
+        lambda: evaluate(
+            program, structure, method="indexed", budget=GENEROUS
+        ),
+        rounds=1, iterations=1,
+    )
+    record(
+        benchmark, experiment="E19", **params,
+        overhead_ratio=guarded_row["params"]["overhead_ratio"],
+    )
+
+
+def bench_guard_overhead_q21(benchmark):
+    """q-2-1 at n=12: the never-tripping guard is <= 5%."""
+    program = q_program(2, 1)
+    structure = _structure(FULL_NODES)
+    params = {"k": 2, "l": 1, "nodes": FULL_NODES}
+    __, guarded_row, ratio = _overhead_rows(
+        "q-2-1", program, structure, params
+    )
+    assert ratio <= OVERHEAD_BAR, (
+        f"guard overhead {ratio:.3f}x exceeds {OVERHEAD_BAR}x on q-2-1"
+    )
+    benchmark.pedantic(
+        lambda: evaluate(
+            program, structure, method="indexed", budget=GENEROUS
+        ),
+        rounds=1, iterations=1,
+    )
+    record(
+        benchmark, experiment="E19", **params,
+        overhead_ratio=guarded_row["params"]["overhead_ratio"],
+    )
+
+
+def bench_guard_checkpoint_resume_tc(benchmark):
+    """Checkpoint emission and kill-at-half + resume stay correct."""
+    program = transitive_closure_program()
+    structure = _structure(FULL_NODES)
+    params = {"nodes": FULL_NODES}
+    sink_row, resume_row = _checkpoint_rows(
+        "tc", program, structure, params
+    )
+    benchmark.pedantic(
+        lambda: evaluate(program, structure, method="indexed"),
+        rounds=1, iterations=1,
+    )
+    record(
+        benchmark, experiment="E19", **params,
+        checkpointing_ms=sink_row["wall_ms"],
+        kill_resume_ms=resume_row["wall_ms"],
+    )
+
+
+def main(argv=None):
+    """CI smoke: guarded-but-never-tripped equals unguarded on every
+    instance, checkpoint/kill/resume reproduce the fixpoint, and (at
+    full size only) the overhead ratio stays under the 5% bar; with
+    ``--json PATH`` writes shared-schema rows for the artifact."""
+    import argparse
+
+    from _harness import write_rows
+
+    parser = argparse.ArgumentParser(description=main.__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help=f"small instances (n={QUICK_NODES}); no wall-clock bar",
+    )
+    parser.add_argument("--json", metavar="PATH")
+    args = parser.parse_args(argv)
+    nodes = QUICK_NODES if args.quick else FULL_NODES
+    structure = _structure(nodes)
+    rows = []
+    print(f"{'instance':<20} {'plain_ms':>9} {'guarded_ms':>11} "
+          f"{'ratio':>7} {'ckpt_ms':>8} {'resume_ms':>10}")
+    for name, factory in PROGRAMS.items():
+        program = factory()
+        params = {"nodes": nodes}
+        unguarded_row, guarded_row, ratio = _overhead_rows(
+            name, program, structure, params
+        )
+        sink_row, resume_row = _checkpoint_rows(
+            name, program, structure, params
+        )
+        rows += [unguarded_row, guarded_row, sink_row, resume_row]
+        print(f"{name:<20} {unguarded_row['wall_ms']:>9} "
+              f"{guarded_row['wall_ms']:>11} {ratio:>7.3f} "
+              f"{sink_row['wall_ms']:>8} {resume_row['wall_ms']:>10}")
+        if not args.quick:
+            assert ratio <= OVERHEAD_BAR, (
+                f"guard overhead {ratio:.3f}x exceeds {OVERHEAD_BAR}x "
+                f"on {name}"
+            )
+    if args.json:
+        write_rows(args.json, rows)
+        print(f"wrote {len(rows)} rows to {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -34,8 +34,20 @@ Observability: every subcommand accepts ``--stats`` (counter table +
 evaluation profile on stderr) and ``--trace FILE.jsonl`` (hierarchical
 span export); see :mod:`repro.obs`.
 
-Errors (missing files, unknown program/engine names, malformed input)
-exit with code 2 and a one-line ``repro: error: ...`` message.
+Resource governance: ``run`` and ``maintain`` accept ``--timeout``,
+``--max-iterations``, and ``--max-tuples`` (see :mod:`repro.guard`).
+A tripped budget prints a partial-result summary -- which limit
+tripped, rounds completed, tuples derived, plus the sound
+under-approximation of the goal relation computed so far -- and exits
+with code **3** (distinct from input errors).  ``run --checkpoint
+FILE`` saves the engine state at the trip so ``run --resume FILE``
+can finish the fixpoint later; ``maintain --checkpoint/--resume`` do
+the same for a replayed update script (abort rolls the session back
+to the last fully-applied update, and resume skips that prefix).
+
+Errors (missing files, unknown program/engine names, malformed input,
+mismatched checkpoints) exit with code 2 and a one-line
+``repro: error: ...`` message.
 """
 
 from __future__ import annotations
@@ -57,6 +69,41 @@ from repro.io import (
 
 class CliError(Exception):
     """A user-input problem: reported as one line, exit code 2."""
+
+
+#: Exit code for a tripped resource budget (partial results printed).
+EXIT_BUDGET = 3
+
+
+def _budget_from_args(args: argparse.Namespace):
+    """The :class:`~repro.guard.ResourceBudget` the flags describe (or None)."""
+    wall = getattr(args, "timeout", None)
+    iterations = getattr(args, "max_iterations", None)
+    tuples = getattr(args, "max_tuples", None)
+    if wall is None and iterations is None and tuples is None:
+        return None
+    from repro.guard import ResourceBudget
+
+    try:
+        return ResourceBudget(
+            wall_seconds=wall,
+            max_iterations=iterations,
+            max_tuples=tuples,
+        )
+    except ValueError as exc:
+        raise CliError(str(exc))
+
+
+def _print_budget_trip(exc) -> None:
+    """The exit-3 partial-result summary (stderr)."""
+    spent = exc.spent
+    print(
+        f"repro: budget exhausted: {exc.reason} limit {exc.limit} "
+        f"(completed {spent.get('iterations', 0)} rounds, derived "
+        f"{spent.get('tuples', 0)} tuples in "
+        f"{spent.get('wall_seconds', 0.0):.3f}s)",
+        file=sys.stderr,
+    )
 
 
 def _parse_assignment(pairs: Sequence[str]) -> dict[str, str]:
@@ -127,6 +174,8 @@ def _goal_binding(program, structure, entries: Sequence[str]):
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.guard import RESUMABLE_ENGINES, BudgetExceeded, Checkpoint
+
     if args.engine not in ENGINES:
         raise CliError(
             f"unknown engine {args.engine!r} "
@@ -135,21 +184,73 @@ def _cmd_run(args: argparse.Namespace) -> int:
     __, program = _load_program_or_library(args.program, args.goal)
     graph = load_digraph(args.graph)
     profiled = bool(getattr(args, "stats", False))
+    budget = _budget_from_args(args)
     if args.bind is not None or args.magic:
-        return _run_goal_directed(args, program, graph, profiled)
-    if args.engine == "algebra":
-        from repro.datalog.algebra_engine import evaluate_algebra
+        if args.checkpoint or args.resume:
+            raise CliError(
+                "--checkpoint/--resume do not combine with --bind/--magic "
+                "(the goal-directed rewrite evaluates a different program); "
+                "bound runs still honour the budget flags"
+            )
+        return _run_goal_directed(args, program, graph, profiled, budget)
+    if args.resume is not None and args.engine not in RESUMABLE_ENGINES:
+        raise CliError(
+            f"--resume needs a resumable engine "
+            f"({', '.join(RESUMABLE_ENGINES)}); got {args.engine!r}"
+        )
+    if args.checkpoint is not None and args.engine == "algebra":
+        raise CliError(
+            "the algebra engine does not produce checkpoints; "
+            "use --engine indexed or seminaive with --checkpoint"
+        )
+    resume_from = None
+    if args.resume is not None:
+        resume_from = Checkpoint.load(args.resume)
+    try:
+        if args.engine == "algebra":
+            from repro.datalog.algebra_engine import evaluate_algebra
 
-        result = evaluate_algebra(
-            program, graph.to_structure(), collect_profile=profiled
+            result = evaluate_algebra(
+                program,
+                graph.to_structure(),
+                collect_profile=profiled,
+                budget=budget,
+            )
+        else:
+            result = evaluate(
+                program,
+                graph.to_structure(),
+                method=args.engine,
+                collect_profile=profiled,
+                budget=budget,
+                resume_from=resume_from,
+            )
+    except BudgetExceeded as exc:
+        _print_budget_trip(exc)
+        if args.checkpoint is not None and exc.checkpoint is not None:
+            exc.checkpoint.save(args.checkpoint)
+            print(
+                f"repro: wrote checkpoint (round "
+                f"{exc.checkpoint.iteration}) to {args.checkpoint}; "
+                f"finish with: repro run ... --resume {args.checkpoint}",
+                file=sys.stderr,
+            )
+        elif args.checkpoint is not None:
+            print(
+                "repro: no checkpoint written (the budget tripped before "
+                "the first completed round)",
+                file=sys.stderr,
+            )
+        partial = exc.partial
+        rows = sorted(partial.goal_relation, key=repr)
+        print(
+            f"% PARTIAL {program.goal}: {len(rows)} tuples so far "
+            f"({partial.iterations} completed rounds; sound "
+            f"under-approximation)"
         )
-    else:
-        result = evaluate(
-            program,
-            graph.to_structure(),
-            method=args.engine,
-            collect_profile=profiled,
-        )
+        for row in rows:
+            print("\t".join(str(x) for x in row))
+        return EXIT_BUDGET
     if result.profile is not None:
         _print_profile(result.profile)
     if args.check is not None:
@@ -158,23 +259,31 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"{program.goal}{tuple_!r}: {verdict}")
         return 0 if verdict else 1
     rows = sorted(result.goal_relation, key=repr)
+    resumed = "" if resume_from is None else (
+        f", resumed from round {resume_from.iteration}"
+    )
     print(f"% {program.goal}: {len(rows)} tuples "
-          f"({result.iterations} fixpoint rounds)")
+          f"({result.iterations} fixpoint rounds{resumed})")
     for row in rows:
         print("\t".join(str(x) for x in row))
     return 0
 
 
 def _run_goal_directed(
-    args: argparse.Namespace, program, graph, profiled: bool
+    args: argparse.Namespace, program, graph, profiled: bool, budget=None
 ) -> int:
     """``run`` with ``--bind`` and/or ``--magic``: the query() path.
 
     ``--check`` composes: the checked tuple becomes an all-bound
     binding, so with ``--magic`` the engine derives only the demanded
-    facts before answering.
+    facts before answering.  A tripped budget exits 3 with the usual
+    summary, but raw partial rows are not printed: the partial belongs
+    to the (possibly magic-rewritten) program and has not passed
+    through :func:`~repro.datalog.evaluation.query`'s answer
+    extraction and binding filter.
     """
     from repro.datalog.evaluation import query
+    from repro.guard import BudgetExceeded
 
     structure = graph.to_structure()
     if args.bind is not None and args.check is not None:
@@ -189,14 +298,19 @@ def _run_goal_directed(
         # --magic alone: all positions free (adornment f...f).
         entries = ["_"] * program.arity(program.goal)
     goal_atom, structure = _goal_binding(program, structure, entries)
-    outcome = query(
-        program,
-        structure,
-        goal_atom,
-        engine=args.engine,
-        magic=bool(args.magic),
-        collect_profile=profiled,
-    )
+    try:
+        outcome = query(
+            program,
+            structure,
+            goal_atom,
+            engine=args.engine,
+            magic=bool(args.magic),
+            collect_profile=profiled,
+            budget=budget,
+        )
+    except BudgetExceeded as exc:
+        _print_budget_trip(exc)
+        return EXIT_BUDGET
     if outcome.result.profile is not None:
         _print_profile(outcome.result.profile)
     mode = "magic" if outcome.magic else "direct"
@@ -461,6 +575,11 @@ def _cmd_maintain(args: argparse.Namespace) -> int:
         Update,
         parse_update_script,
     )
+    from repro.guard import (
+        MaintenanceAborted,
+        MaintenanceCheckpoint,
+        program_fingerprint,
+    )
 
     __, program = _load_program_or_library(args.program, args.goal)
     graph = load_digraph(args.graph)
@@ -484,16 +603,64 @@ def _cmd_maintain(args: argparse.Namespace) -> int:
             "maintain needs at least one update "
             "(--insert, --delete, or --script)"
         )
-    session = IncrementalSession(program, graph.to_structure())
-    initial = session.initial_result
-    print(
-        f"% initial fixpoint: {len(initial.goal_relation)} "
-        f"{program.goal} tuples ({initial.iterations} rounds)"
+    program_fp = program_fingerprint(program)
+    applied_offset = 0
+    resume_edb = None
+    if args.resume is not None:
+        ckpt = MaintenanceCheckpoint.load(args.resume)
+        ckpt.validate(program_fp)
+        applied_offset = ckpt.updates_applied
+        resume_edb = ckpt.edb
+        if applied_offset >= len(updates):
+            raise CliError(
+                f"checkpoint {args.resume!r} already covers all "
+                f"{len(updates)} updates ({applied_offset} applied)"
+            )
+    session = IncrementalSession(
+        program,
+        graph.to_structure(),
+        extra_edb=resume_edb,
+        budget=_budget_from_args(args),
     )
+    initial = session.initial_result
+    if args.resume is not None:
+        print(
+            f"% resumed from {args.resume}: {applied_offset} updates "
+            f"already applied, EDB restored "
+            f"({len(initial.goal_relation)} {program.goal} tuples)"
+        )
+    else:
+        print(
+            f"% initial fixpoint: {len(initial.goal_relation)} "
+            f"{program.goal} tuples ({initial.iterations} rounds)"
+        )
     failures = 0
-    for number, update in enumerate(updates, start=1):
+    for number, update in enumerate(
+        updates[applied_offset:], start=applied_offset + 1
+    ):
         try:
             result = session.apply(update)
+        except MaintenanceAborted as exc:
+            print(
+                f"[{number:>3}] {update}: ABORTED ({exc.reason} limit "
+                f"{exc.limit}) and rolled back; "
+                f"{number - 1}/{len(updates)} updates applied",
+                file=sys.stderr,
+            )
+            if args.checkpoint is not None:
+                MaintenanceCheckpoint(
+                    program_fingerprint=program_fp,
+                    goal=program.goal,
+                    edb=session.current_extra_edb(),
+                    updates_applied=number - 1,
+                ).save(args.checkpoint)
+                print(
+                    f"repro: wrote maintenance checkpoint to "
+                    f"{args.checkpoint}; finish with: repro maintain ... "
+                    f"--resume {args.checkpoint}",
+                    file=sys.stderr,
+                )
+            return EXIT_BUDGET
         except ValueError as exc:
             raise CliError(f"update {number} ({update}): {exc}")
         summary = result.to_dict()
@@ -521,7 +688,7 @@ def _cmd_maintain(args: argparse.Namespace) -> int:
     rows = sorted(session.goal_relation, key=repr)
     print(
         f"% final {program.goal}: {len(rows)} tuples after "
-        f"{session.update_count} updates"
+        f"{applied_offset + session.update_count} updates"
     )
     for row in rows:
         print("\t".join(str(x) for x in row))
@@ -604,10 +771,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", metavar="FILE.jsonl",
         help="record hierarchical spans and write them as JSONL",
     )
+    # Resource-budget flags shared by `run` and `maintain` (repro.guard):
+    # a tripped limit reports partial results and exits 3.
+    budget = argparse.ArgumentParser(add_help=False)
+    budget.add_argument(
+        "--timeout", type=float, metavar="SECONDS",
+        help="wall-clock budget; checked at round boundaries and "
+        "(coarsely) inside long rounds",
+    )
+    budget.add_argument(
+        "--max-iterations", type=int, metavar="N",
+        help="fixpoint-round budget",
+    )
+    budget.add_argument(
+        "--max-tuples", type=int, metavar="N",
+        help="derived-tuple budget (counted at round boundaries)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     run = sub.add_parser(
-        "run", parents=[common], help="evaluate a Datalog(!=) program"
+        "run", parents=[common, budget],
+        help="evaluate a Datalog(!=) program",
     )
     run.add_argument(
         "program",
@@ -633,6 +817,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="evaluate goal-directedly via the magic-sets rewrite "
         "(derives only the facts the binding demands; combine with "
         "--bind or --check)",
+    )
+    run.add_argument(
+        "--checkpoint", metavar="FILE",
+        help="if the budget trips, save the engine state at the last "
+        "completed round so --resume can finish the fixpoint",
+    )
+    run.add_argument(
+        "--resume", metavar="FILE",
+        help="resume a checkpointed fixpoint (indexed/seminaive "
+        "engines; the program and graph must match the checkpoint)",
     )
     run.set_defaults(func=_cmd_run)
 
@@ -729,7 +923,7 @@ def build_parser() -> argparse.ArgumentParser:
     explain.set_defaults(func=_cmd_explain)
 
     maintain = sub.add_parser(
-        "maintain", parents=[common],
+        "maintain", parents=[common, budget],
         help="keep a program's fixpoint live under EDB updates",
     )
     maintain.add_argument(
@@ -758,6 +952,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="after every update, cross-check the maintained view "
         "against a from-scratch evaluation (exit 1 on mismatch)",
     )
+    maintain.add_argument(
+        "--checkpoint", metavar="FILE",
+        help="if the budget aborts the replay, save the EDB after the "
+        "last fully-applied update so --resume can continue the script",
+    )
+    maintain.add_argument(
+        "--resume", metavar="FILE",
+        help="resume an aborted replay: restore the checkpointed EDB "
+        "and skip the already-applied prefix of the updates",
+    )
     maintain.set_defaults(func=_cmd_maintain)
 
     return parser
@@ -781,6 +985,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         _metrics.enable_metrics()
     if trace_path:
         _trace.enable_tracing()
+    from repro.guard import BudgetExceeded, CheckpointMismatch, MaintenanceAborted
     from repro.io.cnf_format import DimacsError
     from repro.io.graph_format import GraphFormatError
     from repro.io.program_format import ProgramFormatError
@@ -790,6 +995,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     except CliError as exc:
         print(f"repro: error: {exc}", file=sys.stderr)
         return 2
+    except CheckpointMismatch as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
     except (FileNotFoundError, IsADirectoryError) as exc:
         filename = getattr(exc, "filename", None) or exc
         print(f"repro: error: cannot read {filename}", file=sys.stderr)
@@ -797,6 +1005,15 @@ def main(argv: Sequence[str] | None = None) -> int:
     except (DimacsError, GraphFormatError, ProgramFormatError) as exc:
         print(f"repro: error: {exc}", file=sys.stderr)
         return 2
+    except BudgetExceeded as exc:
+        # Backstop: subcommands normally handle trips themselves (with
+        # partial output); any stray trip still maps to the exit-3
+        # contract rather than a traceback.
+        _print_budget_trip(exc)
+        return EXIT_BUDGET
+    except MaintenanceAborted as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return EXIT_BUDGET
     finally:
         if stats:
             _print_stats(_metrics.metrics.snapshot())

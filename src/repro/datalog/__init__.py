@@ -26,6 +26,13 @@ Public API
   fixpoint live under EDB updates (semi-naive delta continuation for
   insertions, Delete/Rederive for deletions, derivation counts from
   :mod:`repro.datalog.provenance`).
+* :mod:`repro.guard` -- resource-governed evaluation: every engine
+  accepts a :class:`~repro.guard.ResourceBudget` / cancellation token;
+  exhaustion raises :class:`~repro.guard.BudgetExceeded` carrying a
+  :class:`PartialFixpointResult` (a sound under-approximation, by
+  monotonicity) and, for the resumable engines, a
+  :class:`~repro.guard.Checkpoint` that ``evaluate(...,
+  resume_from=...)`` finishes deterministically.
 * :mod:`repro.datalog.library` -- every concrete program in the paper.
 * :mod:`repro.datalog.homeo` -- generated programs for Theorems 6.1 / 6.2.
 """
@@ -42,6 +49,7 @@ from repro.datalog.ast import (
 from repro.datalog.algebra_engine import evaluate_algebra
 from repro.datalog.evaluation import (
     FixpointResult,
+    PartialFixpointResult,
     QueryResult,
     boolean_query,
     evaluate,
@@ -90,6 +98,7 @@ __all__ = [
     "stages",
     "boolean_query",
     "FixpointResult",
+    "PartialFixpointResult",
     "analyze_program",
     "ProgramAnalysis",
 ]

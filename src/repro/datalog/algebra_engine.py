@@ -37,13 +37,22 @@ from repro.datalog.ast import (
 )
 from repro.datalog.evaluation import (
     FixpointResult,
+    PartialFixpointResult,
+    _budget_error,
     _database_from_structure,
     _profile_builder,
     _record_round,
 )
 from repro.datalog.indexing import IndexedDatabase
+from repro.guard import (
+    CancellationToken,
+    EvaluationGuard,
+    GuardTrip,
+    ResourceBudget,
+)
 from repro.obs import metrics as _metrics
 from repro.obs import trace as _trace
+from repro.testing import faults as _faults
 from repro.relalg.expressions import (
     Base,
     Condition,
@@ -267,12 +276,27 @@ def _per_rule_round(
     return rule_firings, derived
 
 
+def _round_heads(
+    compiled_rules: Iterable[CompiledRule],
+    structure: Structure,
+    overlay: Mapping[str, frozenset],
+) -> list[set]:
+    """One full-round derivation, per rule (the ``rule`` fault site)."""
+    per_rule: list[set] = []
+    for compiled in compiled_rules:
+        _faults.faults.hit("rule")
+        per_rule.append(_head_tuples(compiled, structure, overlay))
+    return per_rule
+
+
 def evaluate_algebra(
     program: Program,
     structure: Structure,
     extra_edb: Mapping[str, Iterable[tuple]] | None = None,
     method: str = "naive",
     collect_profile: bool = False,
+    budget: ResourceBudget | None = None,
+    cancellation: CancellationToken | None = None,
 ) -> FixpointResult:
     """Least fixpoint via iteration of the compiled algebra.
 
@@ -282,6 +306,12 @@ def evaluate_algebra(
     ``collect_profile`` populates :attr:`FixpointResult.profile`; its
     semantic parts (delta sizes, rule firings) match the binding
     engines'.
+
+    ``budget`` / ``cancellation`` are checked at round boundaries (the
+    algebra engine has no inner tick site); on exhaustion
+    :class:`repro.guard.BudgetExceeded` carries the usual sound partial
+    result.  Checkpoints are not emitted -- resume a bounded run under
+    the semi-naive or indexed binding engine instead.
     """
     if method not in ("naive", "seminaive"):
         raise ValueError(f"unknown evaluation method {method!r}")
@@ -294,6 +324,9 @@ def evaluate_algebra(
     store = IndexedDatabase(database)
     compiled_rules = compile_program(program)
     profile = _profile_builder(program) if collect_profile else None
+    guard: EvaluationGuard | None = None
+    if budget is not None or cancellation is not None:
+        guard = EvaluationGuard(budget, cancellation).start()
     _metrics.metrics.inc("datalog.evaluations")
 
     iterations = 0
@@ -301,50 +334,72 @@ def evaluate_algebra(
     with _trace.tracer.span(
         "evaluate", engine=engine, goal=program.goal, rules=len(program.rules)
     ) as span:
-        if method == "naive":
-            idb = program.idb_predicates
-            tracer = _trace.tracer
-            while True:
-                iterations += 1
-                if profile is not None:
-                    profile.start_round()
-                with tracer.span(
-                    "iteration", engine=engine, round=iterations
-                ):
-                    overlay = {name: store.rows(name) for name in store}
-                    # Derive a full round against the pre-round overlay
-                    # before merging, so each round is one application
-                    # of Theta.
-                    per_rule = [
-                        _head_tuples(compiled, structure, overlay)
-                        for compiled in compiled_rules
-                    ]
-                rule_firings, derived_by_head = _per_rule_round(
-                    program, store, per_rule
+        try:
+            if method == "naive":
+                tracer = _trace.tracer
+                while True:
+                    if guard is not None:
+                        guard.check_boundary()
+                    iterations += 1
+                    if profile is not None:
+                        profile.start_round()
+                    with tracer.span(
+                        "iteration", engine=engine, round=iterations
+                    ):
+                        overlay = {name: store.rows(name) for name in store}
+                        # Derive a full round against the pre-round overlay
+                        # before merging, so each round is one application
+                        # of Theta.
+                        per_rule = _round_heads(
+                            compiled_rules, structure, overlay
+                        )
+                    rule_firings, derived_by_head = _per_rule_round(
+                        program, store, per_rule
+                    )
+                    changed = False
+                    delta_sizes: dict[str, int] = {}
+                    for predicate, rows in derived_by_head.items():
+                        fresh = store.merge(predicate, rows)
+                        delta_sizes[predicate] = len(fresh)
+                        if fresh:
+                            changed = True
+                    produced = sum(len(heads) for heads in per_rule)
+                    _record_round(
+                        engine,
+                        delta_sizes,
+                        rule_firings,
+                        produced,
+                        produced,
+                        profile,
+                        guard,
+                    )
+                    if not changed:
+                        break
+            else:
+                iterations = _seminaive_algebra(
+                    program, structure, store, compiled_rules, profile, guard
                 )
-                changed = False
-                delta_sizes: dict[str, int] = {}
-                for predicate, rows in derived_by_head.items():
-                    fresh = store.merge(predicate, rows)
-                    delta_sizes[predicate] = len(fresh)
-                    if fresh:
-                        changed = True
-                produced = sum(len(heads) for heads in per_rule)
-                _record_round(
-                    engine,
-                    delta_sizes,
-                    rule_firings,
-                    produced,
-                    produced,
-                    profile,
-                )
-                if not changed:
-                    break
-        else:
-            iterations = _seminaive_algebra(
-                program, structure, store, compiled_rules, profile
+            span.annotate(iterations=iterations)
+        except GuardTrip as trip:
+            # Trips fire at boundaries only, so the store holds exactly
+            # the last completed round's state (a sound
+            # under-approximation by monotonicity).
+            completed = guard.rounds if guard is not None else iterations
+            partial = PartialFixpointResult(
+                relations={
+                    p: frozenset(store.rows(p))
+                    for p in program.idb_predicates
+                },
+                goal=program.goal,
+                stages=None,
+                iterations=completed,
+                profile=None if profile is None else profile.build(engine),
+                reason=trip.reason,
+                limit=trip.limit,
+                spent=dict(trip.spent),
             )
-        span.annotate(iterations=iterations)
+            span.annotate(interrupted=trip.reason)
+            raise _budget_error(trip, partial, None) from None
 
     return FixpointResult(
         relations={
@@ -363,6 +418,7 @@ def _seminaive_algebra(
     store: IndexedDatabase,
     compiled_rules: tuple[CompiledRule, ...],
     profile=None,
+    guard: EvaluationGuard | None = None,
 ) -> int:
     """Delta-driven iteration of the compiled algebra."""
     tracer = _trace.tracer
@@ -373,14 +429,13 @@ def _seminaive_algebra(
     ]
 
     # Round one: every rule against the initial (EDB-only) database.
+    if guard is not None:
+        guard.check_boundary()
     if profile is not None:
         profile.start_round()
     with tracer.span("iteration", engine="algebra-seminaive", round=1):
         overlay = {name: store.rows(name) for name in store}
-        per_rule = [
-            _head_tuples(compiled, structure, overlay)
-            for compiled in compiled_rules
-        ]
+        per_rule = _round_heads(compiled_rules, structure, overlay)
     rule_firings, derived_by_head = _per_rule_round(program, store, per_rule)
     delta = {
         predicate: store.merge(predicate, rows)
@@ -394,10 +449,13 @@ def _seminaive_algebra(
         produced,
         produced,
         profile,
+        guard,
     )
     iterations = 1
 
     while any(delta.values()):
+        if guard is not None:
+            guard.check_boundary()
         iterations += 1
         if profile is not None:
             profile.start_round()
@@ -409,6 +467,7 @@ def _seminaive_algebra(
                 overlay[_DELTA + predicate] = rows
             per_rule = [set() for __ in program.rules]
             for rule_index, variants in delta_rules:
+                _faults.faults.hit("rule")
                 for compiled in variants:
                     per_rule[rule_index] |= _head_tuples(
                         compiled, structure, overlay
@@ -426,5 +485,6 @@ def _seminaive_algebra(
             produced,
             produced,
             profile,
+            guard,
         )
     return iterations

@@ -32,10 +32,23 @@ from __future__ import annotations
 import itertools
 import time
 from dataclasses import dataclass, field
-from typing import Hashable, Iterable, Iterator, Mapping
+from typing import Callable, Hashable, Iterable, Iterator, Mapping
 
+from repro.guard import (
+    BudgetExceeded,
+    CancellationToken,
+    Checkpoint,
+    EvaluationCancelled,
+    EvaluationGuard,
+    GuardTrip,
+    RESUMABLE_ENGINES,
+    ResourceBudget,
+    edb_fingerprint,
+    program_fingerprint,
+)
 from repro.obs import metrics as _metrics
 from repro.obs import trace as _trace
+from repro.testing import faults as _faults
 
 from repro.datalog.ast import (
     Atom,
@@ -219,6 +232,49 @@ class FixpointResult:
     def holds(self, arguments: tuple = ()) -> bool:
         """Whether the goal relation contains ``arguments``."""
         return tuple(arguments) in self.goal_relation
+
+
+@dataclass(frozen=True)
+class PartialFixpointResult(FixpointResult):
+    """The state of an interrupted fixpoint run, at a round boundary.
+
+    Datalog(!=) is monotone, so ``relations`` is a **sound
+    under-approximation** of the true least fixpoint: every tuple in it
+    is in the full answer (no wrong positives), the run simply stopped
+    before deriving the rest.  Shape-compatible with
+    :class:`FixpointResult` -- ``stages`` and ``profile`` cover the
+    completed rounds -- plus the trip diagnosis.  Delivered as the
+    ``partial`` attribute of :class:`repro.guard.BudgetExceeded`.
+    """
+
+    reason: str = ""
+    limit: object = None
+    spent: Mapping = field(default_factory=dict)
+
+
+class _EngineInterrupt(Exception):
+    """Internal: an engine caught :class:`GuardTrip` at a clean boundary.
+
+    The engine guarantees ``database`` reflects the last *completed*
+    round when this propagates; ``delta`` is that round's delta (the
+    exact semi-naive resume state) and ``iterations`` the rounds done.
+    """
+
+    def __init__(self, trip: GuardTrip, iterations: int, delta: dict) -> None:
+        self.trip = trip
+        self.iterations = iterations
+        self.delta = delta
+        super().__init__(str(trip))
+
+
+def _budget_error(
+    trip: GuardTrip,
+    partial: PartialFixpointResult,
+    checkpoint: Checkpoint | None = None,
+) -> BudgetExceeded:
+    """The public exception for a trip (cancellation gets its subclass)."""
+    cls = EvaluationCancelled if trip.reason == "cancelled" else BudgetExceeded
+    return cls(trip.reason, trip.limit, trip.spent, partial, checkpoint)
 
 
 def _resolve(term: Term, binding: Binding, constants: Mapping[str, Element]):
@@ -490,6 +546,7 @@ def _apply_rules_detailed(
     per_rule: list[set] = []
     bindings_enumerated = 0
     for rule_index, rule in enumerate(program.rules):
+        _faults.faults.hit("rule")
         with tracer.span(
             "rule", rule=rule_index, head=rule.head.predicate
         ) as span:
@@ -517,6 +574,10 @@ def evaluate(
     method: str = "indexed",
     collect_stages: bool = False,
     collect_profile: bool = False,
+    budget: ResourceBudget | None = None,
+    cancellation: CancellationToken | None = None,
+    resume_from: Checkpoint | None = None,
+    checkpoint_sink: Callable[[Checkpoint], None] | None = None,
 ) -> FixpointResult:
     """Compute the least fixpoint ``pi^infty`` of a program on a structure.
 
@@ -543,18 +604,95 @@ def evaluate(
         When true, populate :attr:`FixpointResult.profile` with the
         per-iteration :class:`EvaluationProfile`.  The semantic parts
         (delta sizes, rule firings) are engine-independent.
+    budget:
+        Optional :class:`repro.guard.ResourceBudget`.  When a limit
+        trips, :class:`repro.guard.BudgetExceeded` is raised carrying a
+        :class:`PartialFixpointResult` (the sound under-approximation at
+        the last completed round) and, when the state is resumable, a
+        :class:`repro.guard.Checkpoint`.
+    cancellation:
+        Optional :class:`repro.guard.CancellationToken`; cooperative --
+        checked at round boundaries and inside the indexed engine's join
+        loops.  Raises :class:`repro.guard.EvaluationCancelled`.
+    resume_from:
+        A :class:`repro.guard.Checkpoint` from an earlier interrupted
+        run of the *same* program on the *same* database (fingerprints
+        verified, :class:`repro.guard.CheckpointMismatch` otherwise).
+        Evaluation restarts mid-fixpoint and the final result --
+        semantic profile view and stage sequence included -- is
+        identical to an uninterrupted run.  Only the semi-naive and
+        indexed engines accept resumption (naive checkpoints *are*
+        semi-naive state and resume under either).
+    checkpoint_sink:
+        Optional callable receiving a :class:`repro.guard.Checkpoint`
+        after every completed round (on-demand checkpointing).
     """
     if method not in METHODS:
         raise ValueError(f"unknown evaluation method {method!r}")
     database, constants = _database_from_structure(program, structure, extra_edb)
     universe = list(structure.universe)
+    edb_relations = {p: database[p] for p in program.edb_predicates}
     for predicate in program.idb_predicates:
         database.setdefault(predicate, set())
+
+    # Fingerprints bind checkpoints to (program, EDB); computed lazily so
+    # guarded-but-never-tripped runs without checkpointing pay nothing.
+    fingerprints: tuple[str, str] | None = None
+
+    def _fps() -> tuple[str, str]:
+        nonlocal fingerprints
+        if fingerprints is None:
+            fingerprints = (
+                program_fingerprint(program),
+                edb_fingerprint(edb_relations, universe, constants),
+            )
+        return fingerprints
+
+    if resume_from is not None:
+        if method not in RESUMABLE_ENGINES:
+            raise ValueError(
+                f"resume_from requires an engine in {RESUMABLE_ENGINES}, "
+                f"not {method!r}"
+            )
+        resume_from.validate(*_fps())
+        for predicate in program.idb_predicates:
+            database[predicate] = set(resume_from.relations.get(predicate, ()))
 
     stage_snapshots: list[dict[str, frozenset]] | None = (
         [] if collect_stages else None
     )
+    if stage_snapshots is not None and resume_from is not None:
+        if resume_from.stages is None:
+            raise ValueError(
+                "collect_stages=True but the checkpoint carries no stage "
+                "history; take checkpoints from a run with "
+                "collect_stages=True"
+            )
+        stage_snapshots.extend(resume_from.stages)
     profile = _profile_builder(program) if collect_profile else None
+    if profile is not None and resume_from is not None:
+        if resume_from.profile_rounds is None:
+            raise ValueError(
+                "collect_profile=True but the checkpoint carries no "
+                "profile history; take checkpoints from a run with "
+                "collect_profile=True"
+            )
+        profile.iterations.extend(resume_from.profile_rounds)
+
+    guard: EvaluationGuard | None = None
+    if budget is not None or cancellation is not None:
+        guard = EvaluationGuard(budget, cancellation).start()
+
+    emit: Callable | None = None
+    if checkpoint_sink is not None:
+
+        def emit(iteration: int, delta: Mapping, relations: Mapping) -> None:
+            checkpoint_sink(
+                _build_checkpoint(
+                    method, program, _fps(), iteration, relations, delta,
+                    stage_snapshots, profile,
+                )
+            )
 
     engine = {
         "naive": _naive,
@@ -565,9 +703,38 @@ def evaluate(
     with _trace.tracer.span(
         "evaluate", engine=method, goal=program.goal, rules=len(program.rules)
     ) as span:
-        iterations = engine(
-            program, database, universe, constants, stage_snapshots, profile
-        )
+        try:
+            iterations = engine(
+                program,
+                database,
+                universe,
+                constants,
+                stage_snapshots,
+                profile,
+                guard=guard,
+                checkpoint=emit,
+                resume=resume_from,
+            )
+        except _EngineInterrupt as interrupt:
+            relations = _snapshot(database, program.idb_predicates)
+            partial = PartialFixpointResult(
+                relations=relations,
+                goal=program.goal,
+                stages=tuple(stage_snapshots) if collect_stages else None,
+                iterations=interrupt.iterations,
+                profile=None if profile is None else profile.build(method),
+                reason=interrupt.trip.reason,
+                limit=interrupt.trip.limit,
+                spent=dict(interrupt.trip.spent),
+            )
+            checkpoint = None
+            if interrupt.iterations > 0:
+                checkpoint = _build_checkpoint(
+                    method, program, _fps(), interrupt.iterations,
+                    relations, interrupt.delta, stage_snapshots, profile,
+                )
+            span.annotate(interrupted=interrupt.trip.reason)
+            raise _budget_error(interrupt.trip, partial, checkpoint) from None
         span.annotate(iterations=iterations)
 
     return FixpointResult(
@@ -579,6 +746,33 @@ def evaluate(
     )
 
 
+def _build_checkpoint(
+    method: str,
+    program: Program,
+    fps: tuple[str, str],
+    iteration: int,
+    relations: Mapping[str, Iterable[tuple]],
+    delta: Mapping[str, Iterable[tuple]],
+    stage_snapshots: list | None,
+    profile: _ProfileBuilder | None,
+) -> Checkpoint:
+    """Package one round boundary's state as a checkpoint."""
+    program_fp, edb_fp = fps
+    return Checkpoint(
+        engine=method,
+        goal=program.goal,
+        program_fingerprint=program_fp,
+        edb_fingerprint=edb_fp,
+        iteration=iteration,
+        relations={p: frozenset(rows) for p, rows in relations.items()},
+        delta={p: frozenset(rows) for p, rows in delta.items()},
+        stages=None if stage_snapshots is None else tuple(stage_snapshots),
+        profile_rounds=(
+            None if profile is None else tuple(profile.iterations)
+        ),
+    )
+
+
 def _record_round(
     engine: str,
     delta_sizes: Mapping[str, int],
@@ -586,12 +780,17 @@ def _record_round(
     bindings_enumerated: int,
     tuples_produced: int,
     profile: _ProfileBuilder | None,
+    guard: EvaluationGuard | None = None,
 ) -> None:
-    """Feed one round into the metrics registry and the profile.
+    """Feed one round into the metrics registry, profile, and guard.
 
     Runs once per fixpoint round (never per binding); when metrics are
-    disabled the calls hit the no-op singleton.
+    disabled the calls hit the no-op singleton.  This is also the
+    ``round`` fault site and where a guard accounts the round's semantic
+    counters (limits are *checked* separately, at the top of the next
+    round, so a run that converges exactly at a limit completes).
     """
+    _faults.faults.hit("round")
     firings = (
         rule_firings if isinstance(rule_firings, list) else list(rule_firings)
     )
@@ -601,6 +800,8 @@ def _record_round(
     m.inc("datalog.delta_tuples", sum(delta_sizes.values()))
     m.inc("datalog.bindings_enumerated", bindings_enumerated)
     m.inc("datalog.tuples_produced", tuples_produced)
+    if guard is not None:
+        guard.account_round(sum(delta_sizes.values()), sum(firings))
     if profile is not None:
         profile.end_round(
             delta_sizes, firings, bindings_enumerated, tuples_produced
@@ -614,42 +815,69 @@ def _naive(
     constants: Mapping[str, Element],
     stage_snapshots: list[dict[str, frozenset]] | None,
     profile: _ProfileBuilder | None = None,
+    guard: EvaluationGuard | None = None,
+    checkpoint: Callable | None = None,
+    resume: Checkpoint | None = None,
 ) -> int:
-    """Literal iteration of Theta; mutates ``database``; returns rounds."""
+    """Literal iteration of Theta; mutates ``database``; returns rounds.
+
+    ``resume`` is rejected upstream (naive recomputes the full operator
+    each round, so there is no saved delta to continue from), but naive
+    runs *emit* checkpoints: the fresh-tuple sets it computes per round
+    are exactly the semi-naive delta, so its checkpoints resume under
+    the semi-naive/indexed engines.
+    """
     tracer = _trace.tracer
+    idb = program.idb_predicates
     iterations = 0
-    while True:
-        if profile is not None:
-            profile.start_round()
-        with tracer.span("iteration", engine="naive", round=iterations + 1):
-            per_rule, bindings = _apply_rules_detailed(
-                program, database, universe, constants
+    delta: dict[str, set] = {}
+    try:
+        while True:
+            if guard is not None:
+                guard.check_boundary()
+            if profile is not None:
+                profile.start_round()
+            with tracer.span(
+                "iteration", engine="naive", round=iterations + 1
+            ):
+                per_rule, bindings = _apply_rules_detailed(
+                    program, database, universe, constants
+                )
+            iterations += 1
+            # Per-rule firings (distinct heads new this round) and per-IDB
+            # delta sizes, both against the pre-merge database.
+            rule_firings = [
+                len(heads - database[rule.head.predicate])
+                for rule, heads in zip(program.rules, per_rule)
+            ]
+            derived: dict[str, set] = {p: set() for p in idb}
+            for rule, heads in zip(program.rules, per_rule):
+                derived[rule.head.predicate] |= heads
+            changed = False
+            delta = {}
+            for predicate, tuples in derived.items():
+                fresh = tuples - database[predicate]
+                delta[predicate] = fresh
+                if fresh:
+                    changed = True
+                database[predicate] = database[predicate] | tuples
+            _record_round(
+                "naive",
+                {p: len(rows) for p, rows in delta.items()},
+                rule_firings,
+                bindings,
+                bindings,
+                profile,
+                guard,
             )
-        iterations += 1
-        # Per-rule firings (distinct heads new this round) and per-IDB
-        # delta sizes, both against the pre-merge database.
-        rule_firings = [
-            len(heads - database[rule.head.predicate])
-            for rule, heads in zip(program.rules, per_rule)
-        ]
-        derived: dict[str, set] = {p: set() for p in program.idb_predicates}
-        for rule, heads in zip(program.rules, per_rule):
-            derived[rule.head.predicate] |= heads
-        changed = False
-        delta_sizes: dict[str, int] = {}
-        for predicate, tuples in derived.items():
-            fresh = tuples - database[predicate]
-            delta_sizes[predicate] = len(fresh)
-            if fresh:
-                changed = True
-            database[predicate] = database[predicate] | tuples
-        _record_round(
-            "naive", delta_sizes, rule_firings, bindings, bindings, profile
-        )
-        if stage_snapshots is not None:
-            stage_snapshots.append(_snapshot(database, program.idb_predicates))
-        if not changed:
-            return iterations
+            if stage_snapshots is not None:
+                stage_snapshots.append(_snapshot(database, idb))
+            if checkpoint is not None:
+                checkpoint(iterations, delta, _snapshot(database, idb))
+            if not changed:
+                return iterations
+    except GuardTrip as trip:
+        raise _EngineInterrupt(trip, iterations, delta) from None
 
 
 def _round_one_from_detail(
@@ -659,6 +887,7 @@ def _round_one_from_detail(
     bindings: int,
     profile: _ProfileBuilder | None,
     engine: str,
+    guard: EvaluationGuard | None = None,
 ) -> dict[str, set]:
     """Merge round 1's per-rule derivations; returns the first delta."""
     idb = program.idb_predicates
@@ -681,6 +910,7 @@ def _round_one_from_detail(
         bindings,
         bindings,
         profile,
+        guard,
     )
     return delta
 
@@ -692,83 +922,115 @@ def _seminaive(
     constants: Mapping[str, Element],
     stage_snapshots: list[dict[str, frozenset]] | None = None,
     profile: _ProfileBuilder | None = None,
+    guard: EvaluationGuard | None = None,
+    checkpoint: Callable | None = None,
+    resume: Checkpoint | None = None,
 ) -> int:
-    """Delta-driven evaluation; mutates ``database``; returns iterations."""
+    """Delta-driven evaluation; mutates ``database``; returns iterations.
+
+    The loop state at a round boundary is exactly ``(database, delta,
+    iterations)`` -- what a :class:`repro.guard.Checkpoint` carries --
+    so ``resume`` skips the bootstrap and re-enters the while loop as if
+    the interrupted run had never stopped.  Database mutation happens
+    only at boundaries (the merge after the per-rule loop), so a
+    :class:`GuardTrip` or injected crash mid-round leaves the last
+    completed round's state intact.
+    """
     tracer = _trace.tracer
     idb = program.idb_predicates
-    # Initial round: every rule against the EDB-only database.
-    if profile is not None:
-        profile.start_round()
-    with tracer.span("iteration", engine="seminaive", round=1):
-        per_rule, bindings = _apply_rules_detailed(
-            program, database, universe, constants
-        )
-    delta = _round_one_from_detail(
-        program, database, per_rule, bindings, profile, "seminaive"
-    )
-    iterations = 1
-    if stage_snapshots is not None:
-        stage_snapshots.append(_snapshot(database, idb))
+    iterations = 0
+    delta: dict[str, set] = {}
+    try:
+        if resume is not None:
+            iterations = resume.iteration
+            delta = {p: set(resume.delta.get(p, ())) for p in idb}
+        else:
+            if guard is not None:
+                guard.check_boundary()
+            # Initial round: every rule against the EDB-only database.
+            if profile is not None:
+                profile.start_round()
+            with tracer.span("iteration", engine="seminaive", round=1):
+                per_rule, bindings = _apply_rules_detailed(
+                    program, database, universe, constants
+                )
+            delta = _round_one_from_detail(
+                program, database, per_rule, bindings, profile, "seminaive",
+                guard,
+            )
+            iterations = 1
+            if stage_snapshots is not None:
+                stage_snapshots.append(_snapshot(database, idb))
+            if checkpoint is not None:
+                checkpoint(iterations, delta, _snapshot(database, idb))
 
-    while any(delta.values()):
-        if profile is not None:
-            profile.start_round()
-        new_delta: dict[str, set] = {p: set() for p in idb}
-        rule_firings: list[int] = []
-        bindings = 0
-        with tracer.span(
-            "iteration", engine="seminaive", round=iterations + 1
-        ):
-            for rule_index, rule in enumerate(program.rules):
-                atoms = rule.body_atoms()
-                idb_positions = [
-                    index
-                    for index, atom in enumerate(atoms)
-                    if atom.predicate in idb
-                ]
-                if not idb_positions:
-                    # EDB-only rules contribute nothing after round 1.
-                    rule_firings.append(0)
-                    continue
-                existing = database[rule.head.predicate]
-                fired: set = set()
-                with tracer.span(
-                    "rule", rule=rule_index, head=rule.head.predicate
-                ) as span:
-                    for position in idb_positions:
-                        predicate = atoms[position].predicate
-                        if not delta[predicate]:
-                            continue
-                        for binding in _rule_bindings(
-                            rule,
-                            database,
-                            universe,
-                            constants,
-                            delta_index=position,
-                            delta=delta[predicate],
-                        ):
-                            bindings += 1
-                            head = _head_tuple(rule, binding, constants)
-                            if head not in existing:
-                                fired.add(head)
-                    span.annotate(fired=len(fired))
-                new_delta[rule.head.predicate] |= fired
-                rule_firings.append(len(fired))
-        for predicate, tuples in new_delta.items():
-            database[predicate] |= tuples
-        delta = new_delta
-        iterations += 1
-        _record_round(
-            "seminaive",
-            {p: len(rows) for p, rows in delta.items()},
-            rule_firings,
-            bindings,
-            bindings,
-            profile,
-        )
-        if stage_snapshots is not None:
-            stage_snapshots.append(_snapshot(database, idb))
-    return iterations
+        while any(delta.values()):
+            if guard is not None:
+                guard.check_boundary()
+            if profile is not None:
+                profile.start_round()
+            new_delta: dict[str, set] = {p: set() for p in idb}
+            rule_firings: list[int] = []
+            bindings = 0
+            with tracer.span(
+                "iteration", engine="seminaive", round=iterations + 1
+            ):
+                for rule_index, rule in enumerate(program.rules):
+                    _faults.faults.hit("rule")
+                    atoms = rule.body_atoms()
+                    idb_positions = [
+                        index
+                        for index, atom in enumerate(atoms)
+                        if atom.predicate in idb
+                    ]
+                    if not idb_positions:
+                        # EDB-only rules contribute nothing after round 1.
+                        rule_firings.append(0)
+                        continue
+                    existing = database[rule.head.predicate]
+                    fired: set = set()
+                    with tracer.span(
+                        "rule", rule=rule_index, head=rule.head.predicate
+                    ) as span:
+                        for position in idb_positions:
+                            predicate = atoms[position].predicate
+                            if not delta[predicate]:
+                                continue
+                            for binding in _rule_bindings(
+                                rule,
+                                database,
+                                universe,
+                                constants,
+                                delta_index=position,
+                                delta=delta[predicate],
+                            ):
+                                bindings += 1
+                                head = _head_tuple(rule, binding, constants)
+                                if head not in existing:
+                                    fired.add(head)
+                        span.annotate(fired=len(fired))
+                    new_delta[rule.head.predicate] |= fired
+                    rule_firings.append(len(fired))
+            for predicate, tuples in new_delta.items():
+                database[predicate] |= tuples
+            delta = new_delta
+            iterations += 1
+            _record_round(
+                "seminaive",
+                {p: len(rows) for p, rows in delta.items()},
+                rule_firings,
+                bindings,
+                bindings,
+                profile,
+                guard,
+            )
+            if stage_snapshots is not None:
+                stage_snapshots.append(_snapshot(database, idb))
+            if checkpoint is not None:
+                checkpoint(iterations, delta, _snapshot(database, idb))
+        return iterations
+    except GuardTrip as trip:
+        raise _EngineInterrupt(trip, iterations, delta) from None
 
 
 # ---------------------------------------------------------------------------
@@ -880,17 +1142,28 @@ def _run_plan(
     store: IndexedDatabase,
     universe: list,
     delta_rows: Iterable[tuple] | None = None,
+    guard: EvaluationGuard | None = None,
 ) -> Iterator[list]:
     """All satisfying slot bindings for a compiled plan.
 
     ``delta_rows`` feeds the plan's ``is_delta`` atom op (present
     exactly when the plan was built with a ``delta_atom_index``).
+
+    ``guard`` receives one :meth:`~repro.guard.EvaluationGuard.tick` per
+    atom op, weighted by the binding batch it probes with -- a cheap
+    in-round pulse (stride-checked deadline/cancellation inside the
+    guard) so a single enormous round cannot outlive its deadline by a
+    whole round's length.  Kept per *operator*, never per binding, like
+    the index telemetry below.
     """
     bindings: list[list] = [[None] * compiled.slot_count]
     for op in compiled.ops:
         kind = op[0]
         if kind == "atom":
             __, predicate, is_delta, positions, key_sources, writes, checks = op
+            _faults.faults.hit("probe")
+            if guard is not None:
+                guard.tick(len(bindings))
             if is_delta:
                 # Deltas are per-round and small: a one-shot index.
                 lookup = hash_index(delta_rows or (), positions).get
@@ -955,10 +1228,11 @@ def _plan_heads(
     store: IndexedDatabase,
     universe: list,
     delta_rows: Iterable[tuple] | None = None,
+    guard: EvaluationGuard | None = None,
 ) -> Iterator[tuple]:
     """Head tuples derived by one compiled plan."""
     head = compiled.head
-    for binding in _run_plan(compiled, store, universe, delta_rows):
+    for binding in _run_plan(compiled, store, universe, delta_rows, guard):
         yield tuple(
             binding[value] if from_slot else value
             for from_slot, value in head
@@ -972,13 +1246,20 @@ def _indexed(
     constants: Mapping[str, Element],
     stage_snapshots: list[dict[str, frozenset]] | None = None,
     profile: _ProfileBuilder | None = None,
+    guard: EvaluationGuard | None = None,
+    checkpoint: Callable | None = None,
+    resume: Checkpoint | None = None,
 ) -> int:
     """Index-backed semi-naive evaluation; mutates ``database``.
 
     Round-for-round identical to :func:`_seminaive`: round 1 applies
     every rule to the EDB-only store, later rounds re-derive only
     through the delta-specialised plans, and the iteration count is the
-    number of rounds until the delta empties.
+    number of rounds until the delta empties.  ``resume`` seeds the
+    store from checkpointed relations (the caller already merged them
+    into ``database``) and re-enters the delta loop directly; the store
+    mutates only at round boundaries, so trips and crashes mid-round
+    cannot expose a half-merged state.
 
     Observability discipline: the per-head/per-binding loops stay free
     of instrumentation; only when ``collect_profile`` is requested does
@@ -989,9 +1270,6 @@ def _indexed(
     tracer = _trace.tracer
     idb = program.idb_predicates
     store = IndexedDatabase(database)
-    full_plans = [
-        _compile_plan(plan_rule(rule), constants) for rule in program.rules
-    ]
     delta_plans = [
         tuple(
             _compile_plan(plan, constants)
@@ -1000,98 +1278,141 @@ def _indexed(
         for rule in program.rules
     ]
 
-    # Initial round: every rule against the EDB-only store.
-    if profile is not None:
-        profile.start_round()
-    produced = 0
-    per_rule: list[set] = []
-    with tracer.span("iteration", engine="indexed", round=1):
-        for rule, compiled in zip(program.rules, full_plans):
-            if profile is None:
-                heads = set(_plan_heads(compiled, store, universe))
-            else:
-                heads = set()
-                for head in _plan_heads(compiled, store, universe):
-                    heads.add(head)
-                    produced += 1
-            per_rule.append(heads)
-    rule_firings = [
-        len(heads - store.rows(rule.head.predicate))
-        for rule, heads in zip(program.rules, per_rule)
-    ]
-    derived: dict[str, set] = {p: set() for p in idb}
-    for rule, heads in zip(program.rules, per_rule):
-        derived[rule.head.predicate] |= heads
+    iterations = 0
     delta: dict[str, set] = {}
-    for predicate, tuples in derived.items():
-        delta[predicate] = store.merge(predicate, tuples)
-    iterations = 1
-    _record_round(
-        "indexed",
-        {p: len(rows) for p, rows in delta.items()},
-        rule_firings,
-        produced,
-        produced,
-        profile,
-    )
-    if stage_snapshots is not None:
-        stage_snapshots.append(store.snapshot(idb))
+    try:
+        if resume is not None:
+            iterations = resume.iteration
+            delta = {p: set(resume.delta.get(p, ())) for p in idb}
+        else:
+            if guard is not None:
+                guard.check_boundary()
+            full_plans = [
+                _compile_plan(plan_rule(rule), constants)
+                for rule in program.rules
+            ]
+            # Initial round: every rule against the EDB-only store.
+            if profile is not None:
+                profile.start_round()
+            produced = 0
+            per_rule: list[set] = []
+            with tracer.span("iteration", engine="indexed", round=1):
+                for rule, compiled in zip(program.rules, full_plans):
+                    _faults.faults.hit("rule")
+                    if profile is None:
+                        heads = set(
+                            _plan_heads(compiled, store, universe, guard=guard)
+                        )
+                    else:
+                        heads = set()
+                        for head in _plan_heads(
+                            compiled, store, universe, guard=guard
+                        ):
+                            heads.add(head)
+                            produced += 1
+                    per_rule.append(heads)
+            rule_firings = [
+                len(heads - store.rows(rule.head.predicate))
+                for rule, heads in zip(program.rules, per_rule)
+            ]
+            derived: dict[str, set] = {p: set() for p in idb}
+            for rule, heads in zip(program.rules, per_rule):
+                derived[rule.head.predicate] |= heads
+            delta = {}
+            for predicate, tuples in derived.items():
+                delta[predicate] = store.merge(predicate, tuples)
+            iterations = 1
+            _record_round(
+                "indexed",
+                {p: len(rows) for p, rows in delta.items()},
+                rule_firings,
+                produced,
+                produced,
+                profile,
+                guard,
+            )
+            if stage_snapshots is not None:
+                stage_snapshots.append(store.snapshot(idb))
+            if checkpoint is not None:
+                checkpoint(iterations, delta, store.snapshot(idb))
 
-    while any(delta.values()):
-        if profile is not None:
-            profile.start_round()
-        new_derived: dict[str, set] = {p: set() for p in idb}
-        rule_firings = []
-        produced = 0
-        with tracer.span(
-            "iteration", engine="indexed", round=iterations + 1
-        ):
-            for rule_index, (rule, compiled_deltas) in enumerate(
-                zip(program.rules, delta_plans)
+        while any(delta.values()):
+            if guard is not None:
+                guard.check_boundary()
+            if profile is not None:
+                profile.start_round()
+            new_derived: dict[str, set] = {p: set() for p in idb}
+            rule_firings = []
+            produced = 0
+            with tracer.span(
+                "iteration", engine="indexed", round=iterations + 1
             ):
-                existing = store.rows(rule.head.predicate)
-                fired: set = set()
-                with tracer.span(
-                    "rule", rule=rule_index, head=rule.head.predicate
-                ) as span:
-                    for compiled in compiled_deltas:
-                        delta_index = compiled.plan.delta_atom_index
-                        assert delta_index is not None
-                        predicate = rule.body_atoms()[delta_index].predicate
-                        rows = delta[predicate]
-                        if not rows:
-                            continue
-                        if profile is None:
-                            for head in _plan_heads(
-                                compiled, store, universe, delta_rows=rows
-                            ):
-                                if head not in existing:
-                                    fired.add(head)
-                        else:
-                            for head in _plan_heads(
-                                compiled, store, universe, delta_rows=rows
-                            ):
-                                produced += 1
-                                if head not in existing:
-                                    fired.add(head)
-                    span.annotate(fired=len(fired))
-                new_derived[rule.head.predicate] |= fired
-                rule_firings.append(len(fired))
-        delta = {
-            predicate: store.merge(predicate, tuples)
-            for predicate, tuples in new_derived.items()
-        }
-        iterations += 1
-        _record_round(
-            "indexed",
-            {p: len(rows) for p, rows in delta.items()},
-            rule_firings,
-            produced,
-            produced,
-            profile,
-        )
-        if stage_snapshots is not None:
-            stage_snapshots.append(store.snapshot(idb))
+                for rule_index, (rule, compiled_deltas) in enumerate(
+                    zip(program.rules, delta_plans)
+                ):
+                    _faults.faults.hit("rule")
+                    existing = store.rows(rule.head.predicate)
+                    fired: set = set()
+                    with tracer.span(
+                        "rule", rule=rule_index, head=rule.head.predicate
+                    ) as span:
+                        for compiled in compiled_deltas:
+                            delta_index = compiled.plan.delta_atom_index
+                            assert delta_index is not None
+                            predicate = rule.body_atoms()[
+                                delta_index
+                            ].predicate
+                            rows = delta[predicate]
+                            if not rows:
+                                continue
+                            if profile is None:
+                                for head in _plan_heads(
+                                    compiled,
+                                    store,
+                                    universe,
+                                    delta_rows=rows,
+                                    guard=guard,
+                                ):
+                                    if head not in existing:
+                                        fired.add(head)
+                            else:
+                                for head in _plan_heads(
+                                    compiled,
+                                    store,
+                                    universe,
+                                    delta_rows=rows,
+                                    guard=guard,
+                                ):
+                                    produced += 1
+                                    if head not in existing:
+                                        fired.add(head)
+                        span.annotate(fired=len(fired))
+                    new_derived[rule.head.predicate] |= fired
+                    rule_firings.append(len(fired))
+            delta = {
+                predicate: store.merge(predicate, tuples)
+                for predicate, tuples in new_derived.items()
+            }
+            iterations += 1
+            _record_round(
+                "indexed",
+                {p: len(rows) for p, rows in delta.items()},
+                rule_firings,
+                produced,
+                produced,
+                profile,
+                guard,
+            )
+            if stage_snapshots is not None:
+                stage_snapshots.append(store.snapshot(idb))
+            if checkpoint is not None:
+                checkpoint(iterations, delta, store.snapshot(idb))
+    except GuardTrip as trip:
+        # Store state is at the last completed boundary; surface it in
+        # the caller's database before reporting the interrupt.
+        for predicate in idb:
+            database[predicate] = store.rows(predicate)
+        raise _EngineInterrupt(trip, iterations, delta) from None
 
     # The store adopted copies of the database's row sets; write the
     # final interpretations back so the caller's snapshot sees them.
@@ -1180,6 +1501,8 @@ def query(
     engine: str = "indexed",
     magic: bool = True,
     collect_profile: bool = False,
+    budget: ResourceBudget | None = None,
+    cancellation: CancellationToken | None = None,
 ) -> QueryResult:
     """Evaluate one goal binding, goal-directedly by default.
 
@@ -1195,6 +1518,11 @@ def query(
 
     ``engine`` is one of :data:`QUERY_ENGINES` (``"algebra"`` routes to
     :func:`repro.datalog.algebra_engine.evaluate_algebra`).
+
+    ``budget`` / ``cancellation`` guard the underlying fixpoint exactly
+    as in :func:`evaluate`; on exhaustion the raised
+    :class:`repro.guard.BudgetExceeded` carries the partial fixpoint of
+    the program actually run (the magic rewrite when ``magic=True``).
     """
     from repro.datalog.magic import goal_matches, magic_rewrite
 
@@ -1234,6 +1562,8 @@ def query(
                 structure,
                 extra_edb=extra_edb,
                 collect_profile=collect_profile,
+                budget=budget,
+                cancellation=cancellation,
             )
         else:
             result = evaluate(
@@ -1242,6 +1572,8 @@ def query(
                 extra_edb=extra_edb,
                 method=engine,
                 collect_profile=collect_profile,
+                budget=budget,
+                cancellation=cancellation,
             )
     constants = dict(structure.constants)
     answers = frozenset(

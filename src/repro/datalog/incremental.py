@@ -52,8 +52,16 @@ import time
 from dataclasses import dataclass
 from typing import Iterable, Mapping
 
+from repro.guard import (
+    CancellationToken,
+    EvaluationGuard,
+    GuardTrip,
+    MaintenanceAborted,
+    ResourceBudget,
+)
 from repro.obs import metrics as _metrics
 from repro.obs import trace as _trace
+from repro.testing import faults as _faults
 
 from repro.datalog.ast import Constant, Program
 from repro.datalog.evaluation import (
@@ -246,6 +254,23 @@ class IncrementalSession:
         universe is the fixed domain of the session.
     extra_edb:
         Optional EDB overrides, exactly as in :func:`evaluate`.
+    budget / cancellation:
+        Optional resource governance for the *update stream*: one
+        :class:`~repro.guard.EvaluationGuard` is shared across every
+        ``insert_facts`` / ``delete_facts`` call (counters accumulate,
+        the wall-clock deadline runs from construction), so a scripted
+        replay as a whole is bounded.  A tripped update raises
+        :class:`~repro.guard.MaintenanceAborted` after **rolling the
+        session back** to the state before that update -- the view,
+        indexes, and provenance are as if the update was never
+        attempted, so a ``--verify`` re-evaluation still matches.
+    transactional:
+        Force the per-update snapshot/rollback on (``True``) or off
+        (``False``).  The default (``None``) enables it exactly when
+        the session is governed (budget/cancellation given) or a fault
+        plan is armed -- ungoverned sessions keep the zero-copy fast
+        path, governed ones trade an O(database) snapshot per update
+        for crash consistency.
 
     Construction runs the initial fixpoint once with the indexed engine
     and one support-enumeration pass (the provenance baseline); both
@@ -257,9 +282,16 @@ class IncrementalSession:
         program: Program,
         structure: Structure,
         extra_edb: Mapping[str, Iterable[Row]] | None = None,
+        budget: ResourceBudget | None = None,
+        cancellation: CancellationToken | None = None,
+        transactional: bool | None = None,
     ) -> None:
         self._program = program
         self._structure = structure
+        self._guard: EvaluationGuard | None = None
+        if budget is not None or cancellation is not None:
+            self._guard = EvaluationGuard(budget, cancellation).start()
+        self._transactional = transactional
         database, self._constants = _database_from_structure(
             program, structure, extra_edb
         )
@@ -400,6 +432,34 @@ class IncrementalSession:
             checked.add(t)
         return checked
 
+    # -- transactions ------------------------------------------------------
+
+    def _snapshot_state(self) -> tuple | None:
+        """Copy (store rows, supports) when this update must be atomic.
+
+        Provenance supports are recorded per *binding* mid-round (that
+        is what keeps them exact), so round-boundary discipline alone
+        cannot make an aborted update invisible -- only restoring a
+        pre-update copy can.
+        """
+        wanted = self._transactional
+        if wanted is None:
+            wanted = (
+                self._guard is not None
+                or _faults.faults is not _faults.NOOP
+            )
+        if not wanted:
+            return None
+        rows = {name: set(self._store.rows(name)) for name in self._store}
+        return rows, self._supports.clone()
+
+    def _rollback(self, snapshot: tuple) -> None:
+        """Restore the pre-update state (fresh store, cloned supports)."""
+        rows, supports = snapshot
+        self._store = IndexedDatabase(rows)
+        self._supports = supports
+        _metrics.metrics.inc("incremental.rollbacks")
+
     # -- the delta engine --------------------------------------------------
 
     def _propagate(
@@ -417,11 +477,14 @@ class IncrementalSession:
         exact for later deletions.
         """
         tracer = _trace.tracer
+        guard = self._guard
         idb = self._program.idb_predicates
         added: dict[str, set] = {p: set() for p in idb}
         rounds = 0
         touched = 0
         while any(delta.values()):
+            if guard is not None:
+                guard.check_boundary()
             rounds += 1
             touched += sum(len(rows) for rows in delta.values())
             if profile is not None:
@@ -433,6 +496,7 @@ class IncrementalSession:
                 "iteration", engine="incremental", round=rounds
             ):
                 for rule_index, plans in enumerate(self._delta):
+                    _faults.faults.hit("rule")
                     fired: set = set()
                     head_predicate = None
                     for predicate, execu in plans:
@@ -446,6 +510,7 @@ class IncrementalSession:
                             self._store,
                             self._universe,
                             delta_rows=rows,
+                            guard=guard,
                         ):
                             bindings_enumerated += 1
                             head = _ground(execu.head_sources, binding)
@@ -477,6 +542,7 @@ class IncrementalSession:
                 bindings_enumerated,
                 bindings_enumerated,
                 profile,
+                guard,
             )
             delta = merged
         return added, rounds, touched
@@ -494,25 +560,46 @@ class IncrementalSession:
         Work is driven entirely by the new rows: they seed the delta,
         every round joins only the delta against the incrementally
         maintained indexes, and iteration stops when the delta empties.
+
+        Atomic when the session is transactional (see the class
+        docstring): a budget trip mid-propagation rolls the whole
+        insert back and raises
+        :class:`~repro.guard.MaintenanceAborted`; any other exception
+        escaping the update (e.g. an injected crash) also restores the
+        pre-update state before propagating.
         """
         requested = self._check_edb_rows(predicate, rows)
         start = time.perf_counter()
         m = _metrics.metrics
         m.inc("incremental.inserts")
         profile = _profile_builder(self._program) if collect_profile else None
-        with _trace.tracer.span(
-            "incremental.insert", predicate=predicate, rows=len(requested)
-        ) as span:
-            fresh = self._store.relation(predicate).add_rows(requested)
-            added, rounds, touched = self._propagate(
-                {predicate: set(fresh)}, profile
-            )
-            m.inc("incremental.delta_tuples_touched", touched)
-            span.annotate(
-                applied=len(fresh),
-                rounds=rounds,
-                new_tuples=sum(len(r) for r in added.values()),
-            )
+        snapshot = self._snapshot_state()
+        update = f"insert {predicate} ({len(requested)} rows)"
+        try:
+            with _trace.tracer.span(
+                "incremental.insert", predicate=predicate, rows=len(requested)
+            ) as span:
+                if self._guard is not None:
+                    self._guard.check_boundary()
+                fresh = self._store.relation(predicate).add_rows(requested)
+                added, rounds, touched = self._propagate(
+                    {predicate: set(fresh)}, profile
+                )
+                m.inc("incremental.delta_tuples_touched", touched)
+                span.annotate(
+                    applied=len(fresh),
+                    rounds=rounds,
+                    new_tuples=sum(len(r) for r in added.values()),
+                )
+        except GuardTrip as trip:
+            self._rollback(snapshot)
+            raise MaintenanceAborted(
+                update, trip.reason, trip.limit, trip.spent
+            ) from None
+        except BaseException:
+            if snapshot is not None:
+                self._rollback(snapshot)
+            raise
         self._update_count += 1
         return MaintenanceResult(
             kind="insert",
@@ -553,120 +640,140 @@ class IncrementalSession:
         m = _metrics.metrics
         m.inc("incremental.deletes")
         tracer = _trace.tracer
+        guard = self._guard
         idb = self._program.idb_predicates
         profile = _profile_builder(self._program) if collect_profile else None
-        with tracer.span(
-            "incremental.delete", predicate=predicate, rows=len(requested)
-        ) as span:
-            present = requested & self._store.rows(predicate)
+        snapshot = self._snapshot_state()
+        update = f"delete {predicate} ({len(requested)} rows)"
+        try:
+            with tracer.span(
+                  "incremental.delete", predicate=predicate, rows=len(requested)
+            ) as span:
+                if guard is not None:
+                    guard.check_boundary()
+                present = requested & self._store.rows(predicate)
 
-            # Phase 1: over-delete.  Joins run on the old database (the
-            # deleted rows and marked tuples are removed only after the
-            # loop), so every derivation through a deleted tuple is
-            # enumerated and its support discarded exactly once per
-            # mention -- idempotently.
-            overdeleted: dict[str, set] = {p: set() for p in idb}
-            delta: dict[str, set] = {predicate: set(present)}
-            rounds = 0
-            touched = 0
-            while any(delta.values()):
-                rounds += 1
-                touched += sum(len(r) for r in delta.values())
-                if profile is not None:
-                    profile.start_round()
-                new_delta: dict[str, set] = {p: set() for p in idb}
-                rule_firings: list[int] = []
-                bindings_enumerated = 0
-                with tracer.span(
-                    "iteration", engine="incremental-overdelete", round=rounds
-                ):
-                    for rule_index, plans in enumerate(self._delta):
-                        fired: set = set()
-                        head_predicate = None
-                        for dpred, execu in plans:
-                            drows = delta.get(dpred)
-                            if not drows:
-                                continue
-                            head_predicate = execu.head_predicate
-                            marked = overdeleted[head_predicate]
-                            for binding in _run_plan(
-                                execu.compiled,
-                                self._store,
-                                self._universe,
-                                delta_rows=drows,
-                            ):
-                                bindings_enumerated += 1
-                                head = _ground(execu.head_sources, binding)
-                                self._supports.discard(
-                                    head_predicate,
-                                    head,
-                                    support_key(
-                                        rule_index,
-                                        (
-                                            _ground(s, binding)
-                                            for s in execu.body_sources
+                # Phase 1: over-delete.  Joins run on the old database (the
+                # deleted rows and marked tuples are removed only after the
+                # loop), so every derivation through a deleted tuple is
+                # enumerated and its support discarded exactly once per
+                # mention -- idempotently.
+                overdeleted: dict[str, set] = {p: set() for p in idb}
+                delta: dict[str, set] = {predicate: set(present)}
+                rounds = 0
+                touched = 0
+                while any(delta.values()):
+                    if guard is not None:
+                        guard.check_boundary()
+                    rounds += 1
+                    touched += sum(len(r) for r in delta.values())
+                    if profile is not None:
+                        profile.start_round()
+                    new_delta: dict[str, set] = {p: set() for p in idb}
+                    rule_firings: list[int] = []
+                    bindings_enumerated = 0
+                    with tracer.span(
+                        "iteration", engine="incremental-overdelete", round=rounds
+                    ):
+                        for rule_index, plans in enumerate(self._delta):
+                            _faults.faults.hit("rule")
+                            fired: set = set()
+                            head_predicate = None
+                            for dpred, execu in plans:
+                                drows = delta.get(dpred)
+                                if not drows:
+                                    continue
+                                head_predicate = execu.head_predicate
+                                marked = overdeleted[head_predicate]
+                                for binding in _run_plan(
+                                    execu.compiled,
+                                    self._store,
+                                    self._universe,
+                                    delta_rows=drows,
+                                    guard=guard,
+                                ):
+                                    bindings_enumerated += 1
+                                    head = _ground(execu.head_sources, binding)
+                                    self._supports.discard(
+                                        head_predicate,
+                                        head,
+                                        support_key(
+                                            rule_index,
+                                            (
+                                                _ground(s, binding)
+                                                for s in execu.body_sources
+                                            ),
                                         ),
-                                    ),
-                                )
-                                if head not in marked:
-                                    fired.add(head)
-                        rule_firings.append(len(fired))
-                        if head_predicate is not None:
-                            new_delta[head_predicate] |= fired
-                for p, r in new_delta.items():
-                    overdeleted[p] |= r
-                _record_round(
-                    "incremental",
-                    {p: len(r) for p, r in new_delta.items()},
-                    rule_firings,
-                    bindings_enumerated,
-                    bindings_enumerated,
-                    profile,
-                )
-                delta = new_delta
+                                    )
+                                    if head not in marked:
+                                        fired.add(head)
+                            rule_firings.append(len(fired))
+                            if head_predicate is not None:
+                                new_delta[head_predicate] |= fired
+                    for p, r in new_delta.items():
+                        overdeleted[p] |= r
+                    _record_round(
+                        "incremental",
+                        {p: len(r) for p, r in new_delta.items()},
+                        rule_firings,
+                        bindings_enumerated,
+                        bindings_enumerated,
+                        profile,
+                        guard,
+                    )
+                    delta = new_delta
 
-            # Physically retract: the deleted EDB rows plus everything
-            # over-deleted, shrinking the indexes in place.
-            self._store.relation(predicate).remove_rows(present)
-            for p, r in overdeleted.items():
-                if r:
-                    self._store.relation(p).remove_rows(r)
+                # Physically retract: the deleted EDB rows plus everything
+                # over-deleted, shrinking the indexes in place.
+                self._store.relation(predicate).remove_rows(present)
+                for p, r in overdeleted.items():
+                    if r:
+                        self._store.relation(p).remove_rows(r)
 
-            # Phase 2: rederive.  Supports mentioning any removed tuple
-            # are gone, so a positive count is an alternative derivation
-            # from the survivors.
-            seed = {
-                p: {
-                    row
-                    for row in r
-                    if self._supports.supported(p, row)
+                # Phase 2: rederive.  Supports mentioning any removed tuple
+                # are gone, so a positive count is an alternative derivation
+                # from the survivors.
+                seed = {
+                    p: {
+                        row
+                        for row in r
+                        if self._supports.supported(p, row)
+                    }
+                    for p, r in overdeleted.items()
                 }
-                for p, r in overdeleted.items()
-            }
-            for p, r in seed.items():
-                if r:
-                    self._store.relation(p).add_rows(r)
-            added, re_rounds, re_touched = self._propagate(
-                {p: set(r) for p, r in seed.items()}, profile
-            )
-            rederived = {
-                p: seed[p] | added.get(p, set()) for p in idb
-            }
-            removed = {
-                p: overdeleted[p] - rederived[p] for p in idb
-            }
-            for p, r in removed.items():
-                for row in r:
-                    self._supports.drop_row(p, row)
-            rounds += re_rounds
-            touched += re_touched
-            m.inc("incremental.delta_tuples_touched", touched)
-            span.annotate(
-                applied=len(present),
-                rounds=rounds,
-                overdeleted=sum(len(r) for r in overdeleted.values()),
-                rederived=sum(len(r) for r in rederived.values()),
-            )
+                for p, r in seed.items():
+                    if r:
+                        self._store.relation(p).add_rows(r)
+                added, re_rounds, re_touched = self._propagate(
+                    {p: set(r) for p, r in seed.items()}, profile
+                )
+                rederived = {
+                    p: seed[p] | added.get(p, set()) for p in idb
+                }
+                removed = {
+                    p: overdeleted[p] - rederived[p] for p in idb
+                }
+                for p, r in removed.items():
+                    for row in r:
+                        self._supports.drop_row(p, row)
+                rounds += re_rounds
+                touched += re_touched
+                m.inc("incremental.delta_tuples_touched", touched)
+                span.annotate(
+                    applied=len(present),
+                    rounds=rounds,
+                    overdeleted=sum(len(r) for r in overdeleted.values()),
+                    rederived=sum(len(r) for r in rederived.values()),
+                )
+        except GuardTrip as trip:
+            self._rollback(snapshot)
+            raise MaintenanceAborted(
+                update, trip.reason, trip.limit, trip.spent
+            ) from None
+        except BaseException:
+            if snapshot is not None:
+                self._rollback(snapshot)
+            raise
         self._update_count += 1
         return MaintenanceResult(
             kind="delete",

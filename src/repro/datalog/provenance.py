@@ -104,6 +104,21 @@ class SupportTable:
         if rows is not None:
             rows.pop(row, None)
 
+    def clone(self) -> "SupportTable":
+        """An independent deep copy (two levels of dict plus set copies).
+
+        The transactional update path of
+        :class:`~repro.datalog.incremental.IncrementalSession` snapshots
+        the table before mutating it mid-round, so an aborted update can
+        restore exact provenance by swapping the clone back in.
+        """
+        copy = SupportTable()
+        copy._supports = {
+            predicate: {row: set(keys) for row, keys in rows.items()}
+            for predicate, rows in self._supports.items()
+        }
+        return copy
+
     def counts(self, predicate: str) -> dict[Row, int]:
         """Derivation count of every tracked tuple of ``predicate``."""
         return {

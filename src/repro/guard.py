@@ -1,0 +1,508 @@
+"""Resource-governed evaluation: budgets, cancellation, checkpoints.
+
+Every engine in the stack runs to fixpoint unconditionally, and
+Datalog's worst case is genuinely expensive -- a single adversarial
+``Q_{k,l}`` instance can pin a worker with no deadline, no partial
+answer, and no way to resume after a crash.  This module is the
+governance layer the engines thread through their round loops:
+
+* :class:`ResourceBudget` -- declarative limits (wall-clock seconds,
+  fixpoint rounds, derived tuples, rule firings) plus a cooperative
+  :class:`CancellationToken`;
+* :class:`EvaluationGuard` -- the per-run enforcement object.  Engines
+  call :meth:`~EvaluationGuard.check_boundary` between rounds and
+  :meth:`~EvaluationGuard.tick` from the compiled-plan join loops (a
+  cheap stride-checked counter, so deadlines and cancellation are
+  noticed mid-round, not only when a round completes);
+* :class:`BudgetExceeded` -- raised on exhaustion, carrying a
+  ``partial`` :class:`~repro.datalog.evaluation.PartialFixpointResult`.
+  Datalog(!=) is *monotone* (Kolaitis-Vardi Section 2): every stage of
+  the fixpoint iteration is contained in the least fixpoint, so the
+  state at the last completed round boundary is a sound
+  under-approximation of the true answer -- a bounded run returns
+  *part of the truth*, never a wrong answer;
+* :class:`Checkpoint` -- serializable semi-naive engine state (IDB
+  relations, current delta, iteration number) fingerprinted against the
+  program and EDB, written on budget exhaustion or on demand and
+  accepted back by ``evaluate(..., resume_from=...)``;
+* :class:`MaintenanceCheckpoint` -- the analogous state of an
+  :class:`~repro.datalog.incremental.IncrementalSession` replay (the
+  current EDB plus the count of fully-applied updates; the session's
+  IDB view is a pure function of those).
+
+Observability: the guard feeds ``guard.*`` counters into
+:mod:`repro.obs.metrics` (``guard.boundary_checks``, ``guard.ticks``,
+``guard.trips``, ``guard.checkpoints``) through the usual late-bound
+no-op discipline, so an unguarded run pays nothing and a guarded,
+never-tripped run pays one check per round plus one stride test per
+join batch.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Iterable, Mapping
+
+from repro.obs import metrics as _metrics
+
+Row = tuple
+Element = Hashable
+
+#: Sites the deadline/cancellation tick runs between, per stride.
+_TICK_STRIDE = 1024
+
+
+class CancellationToken:
+    """A cooperative cancel flag shared between a caller and a run.
+
+    The caller keeps a reference and calls :meth:`cancel` (e.g. from a
+    signal handler or another thread); the guarded evaluation notices at
+    the next round boundary or tick stride and aborts with
+    :class:`EvaluationCancelled` -- carrying the usual sound partial
+    result.  Cancellation is sticky: once cancelled, always cancelled.
+    """
+
+    __slots__ = ("_cancelled",)
+
+    def __init__(self) -> None:
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self._cancelled else "live"
+        return f"CancellationToken({state})"
+
+
+@dataclass(frozen=True)
+class ResourceBudget:
+    """Declarative resource limits for one evaluation (``None`` = unlimited).
+
+    Attributes
+    ----------
+    wall_seconds:
+        Wall-clock deadline, measured from :meth:`EvaluationGuard.start`.
+    max_iterations:
+        Maximum fixpoint rounds; the run trips when a further round
+        would start after this many completed (a run that *converges*
+        in exactly ``max_iterations`` rounds finishes normally).
+    max_tuples:
+        Maximum newly derived IDB tuples, summed over all predicates.
+    max_rule_firings:
+        Maximum distinct-new-head rule firings, summed over the run.
+    """
+
+    wall_seconds: float | None = None
+    max_iterations: int | None = None
+    max_tuples: int | None = None
+    max_rule_firings: int | None = None
+
+    def __post_init__(self) -> None:
+        for name in (
+            "wall_seconds",
+            "max_iterations",
+            "max_tuples",
+            "max_rule_firings",
+        ):
+            value = getattr(self, name)
+            if value is not None and value < 0:
+                raise ValueError(f"{name} must be non-negative, got {value}")
+
+    @property
+    def unlimited(self) -> bool:
+        """Whether no limit is set (the guard still serves cancellation)."""
+        return (
+            self.wall_seconds is None
+            and self.max_iterations is None
+            and self.max_tuples is None
+            and self.max_rule_firings is None
+        )
+
+
+class GuardTrip(Exception):
+    """Internal control-flow signal: a limit tripped (or cancellation).
+
+    Engines catch this at their round loop, snapshot the last completed
+    boundary, and surface :class:`BudgetExceeded` to callers; user code
+    should never see a bare ``GuardTrip``.
+    """
+
+    def __init__(self, reason: str, limit, spent: dict) -> None:
+        self.reason = reason
+        self.limit = limit
+        self.spent = spent
+        super().__init__(f"{reason} (limit {limit}, spent {spent})")
+
+
+class EvaluationGuard:
+    """Run-state enforcement of one :class:`ResourceBudget` / token pair.
+
+    One guard governs one run -- or, for ``repro maintain``, one whole
+    update replay (counters accumulate across updates).  Engines call:
+
+    * :meth:`start` once, before the first round (idempotent, so a
+      shared guard keeps its original deadline);
+    * :meth:`account_round` after each completed round;
+    * :meth:`check_boundary` before starting a further round;
+    * :meth:`tick` from inner join loops (stride-checked deadline and
+      cancellation only -- tuple/round limits are boundary properties).
+    """
+
+    __slots__ = (
+        "budget",
+        "token",
+        "rounds",
+        "tuples",
+        "rule_firings",
+        "_deadline",
+        "_started_at",
+        "_ticks",
+    )
+
+    def __init__(
+        self,
+        budget: ResourceBudget | None = None,
+        token: CancellationToken | None = None,
+    ) -> None:
+        self.budget = budget or ResourceBudget()
+        self.token = token
+        self.rounds = 0
+        self.tuples = 0
+        self.rule_firings = 0
+        self._deadline: float | None = None
+        self._started_at: float | None = None
+        self._ticks = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "EvaluationGuard":
+        """Arm the wall-clock deadline (first call wins)."""
+        if self._started_at is None:
+            self._started_at = time.perf_counter()
+            if self.budget.wall_seconds is not None:
+                self._deadline = self._started_at + self.budget.wall_seconds
+        return self
+
+    def spent(self) -> dict:
+        """What the guarded run has consumed so far (JSON-friendly)."""
+        elapsed = (
+            0.0
+            if self._started_at is None
+            else time.perf_counter() - self._started_at
+        )
+        return {
+            "iterations": self.rounds,
+            "tuples": self.tuples,
+            "rule_firings": self.rule_firings,
+            "wall_seconds": round(elapsed, 6),
+        }
+
+    # -- accounting and checks --------------------------------------------
+
+    def account_round(self, new_tuples: int, rule_firings: int) -> None:
+        """Record one completed fixpoint round's semantic counters."""
+        self.rounds += 1
+        self.tuples += new_tuples
+        self.rule_firings += rule_firings
+
+    def _trip(self, reason: str, limit) -> None:
+        _metrics.metrics.inc("guard.trips")
+        raise GuardTrip(reason, limit, self.spent())
+
+    def check_boundary(self) -> None:
+        """Full limit check between rounds; raises :class:`GuardTrip`.
+
+        Called when the engine is about to start a *further* round, so a
+        run that converges exactly at a limit completes normally.
+        """
+        _metrics.metrics.inc("guard.boundary_checks")
+        if self.token is not None and self.token.cancelled:
+            self._trip("cancelled", None)
+        budget = self.budget
+        if self._deadline is not None and time.perf_counter() >= self._deadline:
+            self._trip("wall_seconds", budget.wall_seconds)
+        if (
+            budget.max_iterations is not None
+            and self.rounds >= budget.max_iterations
+        ):
+            self._trip("max_iterations", budget.max_iterations)
+        if budget.max_tuples is not None and self.tuples >= budget.max_tuples:
+            self._trip("max_tuples", budget.max_tuples)
+        if (
+            budget.max_rule_firings is not None
+            and self.rule_firings >= budget.max_rule_firings
+        ):
+            self._trip("max_rule_firings", budget.max_rule_firings)
+
+    def tick(self, count: int = 1) -> None:
+        """Cheap in-round pulse: every ``_TICK_STRIDE`` accumulated ticks,
+        test the deadline and the cancellation token (only -- tuple and
+        iteration limits stay boundary-exact)."""
+        self._ticks += count
+        if self._ticks < _TICK_STRIDE:
+            return
+        self._ticks = 0
+        _metrics.metrics.inc("guard.ticks")
+        if self.token is not None and self.token.cancelled:
+            self._trip("cancelled", None)
+        if self._deadline is not None and time.perf_counter() >= self._deadline:
+            self._trip("wall_seconds", self.budget.wall_seconds)
+
+
+class BudgetExceeded(Exception):
+    """A guarded evaluation ran out of budget (or was cancelled).
+
+    Attributes
+    ----------
+    reason:
+        Which limit tripped: ``"wall_seconds"``, ``"max_iterations"``,
+        ``"max_tuples"``, ``"max_rule_firings"``, or ``"cancelled"``.
+    limit:
+        The limit's configured value (``None`` for cancellation).
+    spent:
+        The :meth:`EvaluationGuard.spent` snapshot at the trip.
+    partial:
+        A :class:`~repro.datalog.evaluation.PartialFixpointResult`: the
+        sound monotone under-approximation computed up to the last
+        completed round boundary, with the same profile/stages shape as
+        a full run.
+    checkpoint:
+        A :class:`Checkpoint` of the same boundary when the interrupted
+        engine supports resumption (semi-naive / indexed / naive
+        emission; ``None`` for the algebra engine), or ``None``.
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        limit,
+        spent: Mapping,
+        partial,
+        checkpoint: "Checkpoint | None" = None,
+    ) -> None:
+        self.reason = reason
+        self.limit = limit
+        self.spent = dict(spent)
+        self.partial = partial
+        self.checkpoint = checkpoint
+        rounds = self.spent.get("iterations", 0)
+        tuples = self.spent.get("tuples", 0)
+        limit_text = "" if limit is None else f" (limit {limit})"
+        super().__init__(
+            f"evaluation stopped by {reason}{limit_text} after "
+            f"{rounds} rounds, {tuples} tuples derived; "
+            f"partial result is a sound under-approximation"
+        )
+
+
+class EvaluationCancelled(BudgetExceeded):
+    """The cooperative :class:`CancellationToken` was triggered."""
+
+
+class MaintenanceAborted(Exception):
+    """A guarded :class:`~repro.datalog.incremental.IncrementalSession`
+    update tripped its budget (or was cancelled) and was **rolled back**.
+
+    The session is left exactly as it was before the aborted update --
+    no half-applied Delete/Rederive -- so ``--verify`` passes and the
+    replay can be resumed from the same point later.
+    """
+
+    def __init__(
+        self, update, reason: str, limit, spent: Mapping
+    ) -> None:
+        self.update = update
+        self.reason = reason
+        self.limit = limit
+        self.spent = dict(spent)
+        super().__init__(
+            f"update {update} aborted by {reason} and rolled back "
+            f"(session unchanged; spent {self.spent})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Fingerprints: binding a checkpoint to its program and EDB.
+# ---------------------------------------------------------------------------
+
+
+class CheckpointMismatch(ValueError):
+    """A checkpoint was offered to a different program or database.
+
+    Resuming semi-naive state against the wrong rules or the wrong EDB
+    would silently converge to a *wrong* fixpoint -- the one failure
+    mode a sound under-approximation story cannot absorb -- so the
+    fingerprints are verified before any state is adopted.
+    """
+
+
+def _digest(parts: Iterable[str]) -> str:
+    h = hashlib.sha256()
+    for part in parts:
+        h.update(part.encode("utf-8", "backslashreplace"))
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+def program_fingerprint(program) -> str:
+    """A deterministic digest of a program's rules and goal."""
+    return _digest(
+        ["program", program.goal]
+        + [str(rule) for rule in program.rules]
+    )
+
+
+def edb_fingerprint(
+    edb: Mapping[str, Iterable[Row]],
+    universe: Iterable[Element],
+    constants: Mapping[str, Element],
+) -> str:
+    """A deterministic digest of the extensional database.
+
+    Covers the EDB relations, the universe, and the constant
+    interpretation -- everything outside the checkpoint that the
+    resumed fixpoint depends on.  Rows and elements are digested by
+    ``repr``, which is stable for the hashable element types the
+    structures use (strings, numbers, tuples).
+    """
+    parts = ["edb"]
+    for name in sorted(edb):
+        parts.append(f"relation {name}")
+        parts.extend(sorted(repr(tuple(row)) for row in edb[name]))
+    parts.append("universe")
+    parts.extend(sorted(repr(x) for x in universe))
+    parts.append("constants")
+    parts.extend(
+        f"{name}={constants[name]!r}" for name in sorted(constants)
+    )
+    return _digest(parts)
+
+
+# ---------------------------------------------------------------------------
+# Checkpoints.
+# ---------------------------------------------------------------------------
+
+#: Engines whose checkpoints carry resumable semi-naive state.
+RESUMABLE_ENGINES = ("seminaive", "indexed")
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """Serializable fixpoint-engine state at a round boundary.
+
+    The semi-naive iteration is a pure function of ``(database after
+    round r, delta of round r)``: resuming from a checkpoint at round
+    ``r`` replays rounds ``r+1, r+2, ...`` exactly as the uninterrupted
+    run would have -- same deltas, same rule firings, same stages (the
+    determinism the kill-at-every-round suite pins).  ``stages`` and
+    ``profile_rounds`` carry the history of rounds ``1..r`` when the
+    interrupted run collected them, so a resumed run's stage sequence
+    and profile are *bit-identical* to an uninterrupted run's, not
+    merely a suffix.
+    """
+
+    engine: str
+    goal: str
+    program_fingerprint: str
+    edb_fingerprint: str
+    iteration: int
+    relations: Mapping[str, frozenset]
+    delta: Mapping[str, frozenset]
+    stages: tuple | None = None
+    profile_rounds: tuple | None = None
+    version: int = 1
+
+    def validate(self, program_fp: str, edb_fp: str) -> None:
+        """Reject resumption against a different program or EDB."""
+        if self.program_fingerprint != program_fp:
+            raise CheckpointMismatch(
+                "checkpoint was taken for a different program "
+                f"(checkpoint {self.program_fingerprint[:12]}..., "
+                f"offered {program_fp[:12]}...); resuming would compute "
+                "a wrong fixpoint"
+            )
+        if self.edb_fingerprint != edb_fp:
+            raise CheckpointMismatch(
+                "checkpoint was taken for a different extensional "
+                f"database (checkpoint {self.edb_fingerprint[:12]}..., "
+                f"offered {edb_fp[:12]}...); resuming would compute a "
+                "wrong fixpoint"
+            )
+
+    def save(self, path: str) -> None:
+        _metrics.metrics.inc("guard.checkpoints_saved")
+        with open(path, "wb") as handle:
+            pickle.dump(self, handle, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def load(cls, path: str) -> "Checkpoint":
+        with open(path, "rb") as handle:
+            try:
+                loaded = pickle.load(handle)
+            except (pickle.UnpicklingError, EOFError, AttributeError,
+                    ImportError, IndexError) as exc:
+                raise CheckpointMismatch(
+                    f"{path!r} is not a readable checkpoint: {exc}"
+                ) from None
+        if not isinstance(loaded, cls):
+            raise CheckpointMismatch(
+                f"{path!r} does not contain a {cls.__name__} "
+                f"(found {type(loaded).__name__})"
+            )
+        return loaded
+
+
+@dataclass(frozen=True)
+class MaintenanceCheckpoint:
+    """Resumable state of an incremental-maintenance replay.
+
+    An :class:`~repro.datalog.incremental.IncrementalSession`'s view is
+    a pure function of ``(program, current EDB)``, so the replay state
+    is just the EDB after the last *fully applied* update plus how many
+    updates were applied: resume rebuilds the session on the saved EDB
+    and skips the already-applied prefix of the script.
+    """
+
+    program_fingerprint: str
+    goal: str
+    edb: Mapping[str, frozenset]
+    updates_applied: int
+    version: int = 1
+
+    def validate(self, program_fp: str) -> None:
+        if self.program_fingerprint != program_fp:
+            raise CheckpointMismatch(
+                "maintenance checkpoint was taken for a different "
+                f"program (checkpoint {self.program_fingerprint[:12]}..., "
+                f"offered {program_fp[:12]}...)"
+            )
+
+    def save(self, path: str) -> None:
+        _metrics.metrics.inc("guard.checkpoints_saved")
+        with open(path, "wb") as handle:
+            pickle.dump(self, handle, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def load(cls, path: str) -> "MaintenanceCheckpoint":
+        with open(path, "rb") as handle:
+            try:
+                loaded = pickle.load(handle)
+            except (pickle.UnpicklingError, EOFError, AttributeError,
+                    ImportError, IndexError) as exc:
+                raise CheckpointMismatch(
+                    f"{path!r} is not a readable checkpoint: {exc}"
+                ) from None
+        if not isinstance(loaded, cls):
+            raise CheckpointMismatch(
+                f"{path!r} does not contain a {cls.__name__} "
+                f"(found {type(loaded).__name__})"
+            )
+        return loaded

@@ -1,0 +1,27 @@
+"""Test-support instrumentation that ships with the library.
+
+:mod:`repro.testing.faults` is the deterministic fault-injection
+harness the robustness suites drive: it lets a test raise a controlled
+:class:`~repro.testing.faults.InjectedFault` at exactly the Nth rule
+firing, index probe, or round boundary of an evaluation, so
+crash-consistency properties (checkpoint/resume determinism, session
+rollback) can be pinned without monkeypatching engine internals.
+"""
+
+from repro.testing.faults import (
+    FaultPlan,
+    InjectedFault,
+    census,
+    disable_faults,
+    fault_sites,
+    inject,
+)
+
+__all__ = [
+    "FaultPlan",
+    "InjectedFault",
+    "census",
+    "disable_faults",
+    "fault_sites",
+    "inject",
+]

@@ -1,0 +1,169 @@
+"""Deterministic fault injection for the evaluation stack.
+
+The robustness suites need to kill an evaluation at an *exact* point --
+the Nth round boundary, the Nth rule processed, the Nth index probe --
+and then assert that checkpoints, rollback, and resume leave no trace
+of the crash.  Monkeypatching engine internals for that is brittle (the
+suites would break on every refactor), so the engines carry three
+permanent, feather-weight fault sites instead:
+
+``round``
+    hit once per completed fixpoint round (in ``_record_round``, which
+    every engine already funnels through);
+``rule``
+    hit once per rule processed inside a round (all four engines plus
+    the incremental propagation loop);
+``probe``
+    hit once per atom-scan operator executed in the compiled-plan
+    interpreter (``_run_plan``).
+
+Cost discipline mirrors :mod:`repro.obs.metrics`: instrumented code
+calls ``faults.hit("round")`` unconditionally through this module's
+mutable global, which is the :data:`NOOP` singleton (an empty method)
+unless a test has armed a :class:`FaultPlan` via :func:`inject`.  The
+disabled path is one attribute load plus one no-op call per site, and
+sites are per round / per rule / per operator -- never per binding.
+
+Determinism: a plan is a plain ``(site, occurrence)`` pair -- "raise at
+the Nth hit of this site".  Given the same program, database, and
+engine, hit N is always the same physical point, so a trial is exactly
+reproducible from its parameters; the seeded suites derive
+``occurrence`` from a :class:`random.Random` seed and record it in the
+failure message.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+#: The three permanent fault sites compiled into the engines.
+_SITES = ("round", "rule", "probe")
+
+
+def fault_sites() -> tuple[str, ...]:
+    """The site names engines expose (stable, part of the test API)."""
+    return _SITES
+
+
+class InjectedFault(RuntimeError):
+    """The controlled failure a :class:`FaultPlan` raises.
+
+    Deliberately *not* a subclass of any engine exception: production
+    code must treat it as an unknown crash (roll back, re-raise), and a
+    test that sees it escape knows the abort path it exercised.
+    """
+
+    def __init__(self, site: str, occurrence: int) -> None:
+        self.site = site
+        self.occurrence = occurrence
+        super().__init__(
+            f"injected fault at {site} hit #{occurrence}"
+        )
+
+
+class FaultPlan:
+    """Raise :class:`InjectedFault` at the Nth hit of one site.
+
+    ``occurrence`` is 1-based: ``FaultPlan("round", 1)`` fires at the
+    first round boundary.  Hits of other sites are counted too (exposed
+    via :meth:`hits`) so a test can first *measure* how many rule/probe
+    hits a run produces, then schedule faults inside that range.
+    """
+
+    __slots__ = ("site", "occurrence", "_counts")
+
+    def __init__(self, site: str, occurrence: int) -> None:
+        if site not in _SITES:
+            raise ValueError(
+                f"unknown fault site {site!r}; expected one of {_SITES}"
+            )
+        if occurrence < 1:
+            raise ValueError(
+                f"occurrence is 1-based, got {occurrence}"
+            )
+        self.site = site
+        self.occurrence = occurrence
+        self._counts = dict.fromkeys(_SITES, 0)
+
+    def hit(self, site: str) -> None:
+        count = self._counts[site] + 1
+        self._counts[site] = count
+        if site == self.site and count == self.occurrence:
+            raise InjectedFault(site, count)
+
+    def hits(self, site: str) -> int:
+        """How many times ``site`` has been hit under this plan."""
+        return self._counts[site]
+
+
+class _CountingPlan(FaultPlan):
+    """A plan that never fires -- used to census a run's hit counts."""
+
+    def __init__(self) -> None:
+        super().__init__(_SITES[0], 1)
+
+    def hit(self, site: str) -> None:
+        self._counts[site] += 1
+
+
+class _NoopFaults:
+    """The disabled path: hits vanish.  A singleton (:data:`NOOP`)."""
+
+    __slots__ = ()
+
+    def hit(self, site: str) -> None:
+        pass
+
+
+#: The module-level no-op singleton.
+NOOP = _NoopFaults()
+
+#: The active plan.  Instrumented modules read this attribute at call
+#: time (``from repro.testing import faults`` then ``faults.faults.hit``);
+#: binding the object itself at import time would freeze the state.
+faults: FaultPlan | _NoopFaults = NOOP
+
+
+def disable_faults() -> None:
+    """Disarm any active plan (restore the no-op singleton)."""
+    global faults
+    faults = NOOP
+
+
+@contextmanager
+def inject(site: str, at: int) -> Iterator[FaultPlan]:
+    """Arm ``FaultPlan(site, at)`` for the duration of the block.
+
+    Always disarms on exit -- including when the injected fault (or
+    anything else) propagates -- so one test cannot leak a live plan
+    into the next.  Plans do not nest; arming inside an armed block is
+    a test bug and raises ``RuntimeError``.
+    """
+    global faults
+    if faults is not NOOP:
+        raise RuntimeError("fault plans do not nest")
+    plan = FaultPlan(site, at)
+    faults = plan
+    try:
+        yield plan
+    finally:
+        faults = NOOP
+
+
+@contextmanager
+def census() -> Iterator[FaultPlan]:
+    """Count site hits for a run without ever firing.
+
+    Usage: run the workload under ``with census() as c:`` and read
+    ``c.hits("rule")`` afterwards to learn the schedulable range.
+    """
+    global faults
+    if faults is not NOOP:
+        raise RuntimeError("fault plans do not nest")
+    plan = _CountingPlan()
+    faults = plan
+    try:
+        yield plan
+    finally:
+        faults = NOOP

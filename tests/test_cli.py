@@ -599,3 +599,190 @@ class TestMaintain:
         ]
         assert "incremental.insert" in kinds
         assert "incremental.delete" in kinds
+
+
+class TestResourceGovernance:
+    """``--timeout`` / ``--max-iterations`` / ``--max-tuples`` and the
+    exit-3 partial-result contract (see repro.guard)."""
+
+    def test_budget_trip_exits_3_with_summary(
+        self, capsys, program_file, path_graph_file
+    ):
+        assert main([
+            "run", program_file, path_graph_file, "--max-iterations", "1",
+        ]) == 3
+        captured = capsys.readouterr()
+        assert "budget exhausted: max_iterations limit 1" in captured.err
+        assert "completed 1 rounds" in captured.err
+        assert "derived" in captured.err
+        assert "PARTIAL" in captured.out
+        assert "sound under-approximation" in captured.out
+
+    def test_partial_rows_are_a_subset(
+        self, capsys, program_file, path_graph_file
+    ):
+        assert main(["run", program_file, path_graph_file]) == 0
+        full = set(capsys.readouterr().out.splitlines()[1:])
+        assert main([
+            "run", program_file, path_graph_file, "--max-tuples", "2",
+        ]) == 3
+        partial_out = capsys.readouterr().out
+        partial = set(partial_out.splitlines()[1:])
+        assert partial and partial < full
+
+    def test_generous_budget_exits_0(self, capsys, program_file,
+                                     path_graph_file):
+        assert main([
+            "run", program_file, path_graph_file,
+            "--timeout", "600", "--max-iterations", "100000",
+        ]) == 0
+
+    def test_budget_trip_per_engine(self, capsys, program_file,
+                                    path_graph_file):
+        for engine in ("indexed", "seminaive", "naive", "algebra"):
+            assert main([
+                "run", program_file, path_graph_file,
+                "--engine", engine, "--max-iterations", "1",
+            ]) == 3, engine
+            capsys.readouterr()
+
+    def test_goal_directed_budget_trip(self, capsys, program_file,
+                                       path_graph_file):
+        assert main([
+            "run", program_file, path_graph_file,
+            "--bind", "a", "_", "--magic", "--max-iterations", "1",
+        ]) == 3
+        assert "budget exhausted" in capsys.readouterr().err
+
+    def test_negative_budget_rejected(self, capsys, program_file,
+                                      path_graph_file):
+        assert main([
+            "run", program_file, path_graph_file, "--max-tuples", "-5",
+        ]) == 2
+        assert "non-negative" in capsys.readouterr().err
+
+
+class TestCheckpointResume:
+    """``run --checkpoint`` / ``--resume`` and the maintain analogues."""
+
+    def test_checkpoint_then_resume_completes(
+        self, capsys, tmp_path, program_file, path_graph_file
+    ):
+        ck = str(tmp_path / "ck.pkl")
+        assert main([
+            "run", program_file, path_graph_file,
+            "--max-iterations", "1", "--checkpoint", ck,
+        ]) == 3
+        assert "wrote checkpoint" in capsys.readouterr().err
+        assert main([
+            "run", program_file, path_graph_file, "--resume", ck,
+        ]) == 0
+        resumed_out = capsys.readouterr().out
+        assert "resumed from round 1" in resumed_out
+        assert main(["run", program_file, path_graph_file]) == 0
+        full_out = capsys.readouterr().out
+        assert (
+            sorted(resumed_out.splitlines()[1:])
+            == sorted(full_out.splitlines()[1:])
+        )
+
+    def test_resume_against_wrong_graph_exits_2(
+        self, capsys, tmp_path, program_file, path_graph_file,
+        long_path_file,
+    ):
+        ck = str(tmp_path / "ck.pkl")
+        assert main([
+            "run", program_file, path_graph_file,
+            "--max-iterations", "1", "--checkpoint", ck,
+        ]) == 3
+        capsys.readouterr()
+        assert main([
+            "run", program_file, long_path_file, "--resume", ck,
+        ]) == 2
+        assert "different extensional database" in capsys.readouterr().err
+
+    def test_corrupt_checkpoint_exits_2(self, capsys, tmp_path,
+                                        program_file, path_graph_file):
+        bad = tmp_path / "bad.pkl"
+        bad.write_bytes(b"garbage")
+        assert main([
+            "run", program_file, path_graph_file, "--resume", str(bad),
+        ]) == 2
+        assert "not a readable checkpoint" in capsys.readouterr().err
+
+    def test_resume_refuses_algebra_and_goal_directed(
+        self, capsys, tmp_path, program_file, path_graph_file
+    ):
+        ck = str(tmp_path / "ck.pkl")
+        assert main([
+            "run", program_file, path_graph_file,
+            "--max-iterations", "1", "--checkpoint", ck,
+        ]) == 3
+        capsys.readouterr()
+        assert main([
+            "run", program_file, path_graph_file,
+            "--engine", "algebra", "--resume", ck,
+        ]) == 2
+        assert "resumable engine" in capsys.readouterr().err
+        assert main([
+            "run", program_file, path_graph_file,
+            "--bind", "a", "_", "--resume", ck,
+        ]) == 2
+        assert "--bind/--magic" in capsys.readouterr().err
+
+    def test_maintain_abort_checkpoint_resume(
+        self, capsys, tmp_path, program_file, path_graph_file
+    ):
+        script = tmp_path / "updates.txt"
+        script.write_text(
+            "insert E d a\ndelete E a b\ninsert E a c\n"
+        )
+        ck = str(tmp_path / "maint.pkl")
+        # Reference: ungoverned replay of the whole script.
+        assert main([
+            "maintain", program_file, str(path_graph_file),
+            "--script", str(script), "--verify",
+        ]) == 0
+        reference_out = capsys.readouterr().out
+        reference_final = reference_out.split("% final", 1)[1]
+        # Governed replay aborts mid-script with a rolled-back session.
+        assert main([
+            "maintain", program_file, str(path_graph_file),
+            "--script", str(script), "--max-iterations", "12",
+            "--checkpoint", ck,
+        ]) == 3
+        err = capsys.readouterr().err
+        assert "ABORTED" in err
+        assert "rolled back" in err
+        assert "wrote maintenance checkpoint" in err
+        # Resume finishes the remaining updates; --verify passes and the
+        # final relation matches the uninterrupted replay.
+        assert main([
+            "maintain", program_file, str(path_graph_file),
+            "--script", str(script), "--resume", ck, "--verify",
+        ]) == 0
+        resumed_out = capsys.readouterr().out
+        assert "resumed from" in resumed_out
+        assert resumed_out.split("% final", 1)[1] == reference_final
+
+    def test_maintain_resume_wrong_program_exits_2(
+        self, capsys, tmp_path, program_file, path_graph_file
+    ):
+        from repro.datalog.library import avoiding_path_program
+
+        script = tmp_path / "updates.txt"
+        script.write_text("insert E d a\ndelete E a b\n")
+        ck = str(tmp_path / "maint.pkl")
+        assert main([
+            "maintain", program_file, path_graph_file,
+            "--script", str(script), "--max-iterations", "12",
+            "--checkpoint", ck,
+        ]) == 3
+        capsys.readouterr()
+        other = tmp_path / "other.dl"
+        other.write_text(dump_program(avoiding_path_program()))
+        assert main([
+            "maintain", str(other), path_graph_file,
+            "--script", str(script), "--resume", ck,
+        ]) == 2
+        assert "different program" in capsys.readouterr().err

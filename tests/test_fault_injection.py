@@ -1,0 +1,209 @@
+"""Deterministic fault injection: crash consistency of every engine.
+
+:mod:`repro.testing.faults` arms a :class:`FaultPlan` that raises
+:class:`InjectedFault` at exactly the Nth rule firing, index probe, or
+round boundary.  Because the engines mutate their database only at
+round boundaries, a fault *anywhere* must leave observable state at
+the last completed boundary -- which is precisely what checkpoints
+capture and what the incremental session's rollback restores.  The
+suites here kill evaluations at every site the census finds (200+
+seeded trials) and pin:
+
+* the fault surfaces as ``InjectedFault`` -- never a corrupted result;
+* a per-round ``checkpoint_sink`` plus ``resume_from`` recovers the
+  exact uninterrupted run (kill-at-every-round determinism);
+* an :class:`IncrementalSession` hit mid-update rolls back to the
+  pre-update view (see also ``tests/test_guard_incremental.py``).
+"""
+
+import random
+
+import pytest
+
+from repro.datalog import evaluate, evaluate_algebra
+from repro.datalog.evaluation import METHODS
+from repro.datalog.incremental import IncrementalSession
+from repro.datalog.library import library_programs
+from repro.graphs.generators import path_graph, random_digraph
+from repro.testing import (
+    FaultPlan,
+    InjectedFault,
+    census,
+    fault_sites,
+    inject,
+)
+from repro.testing import faults as _faults
+
+pytestmark = pytest.mark.fault_injection
+
+TC = library_programs()["transitive-closure"]
+
+GRAPH_PROGRAMS = {
+    name: program
+    for name, program in library_programs().items()
+    if name != "path-systems"
+}
+
+
+class TestHarness:
+    def test_sites(self):
+        assert fault_sites() == ("round", "rule", "probe")
+
+    def test_plan_validates(self):
+        with pytest.raises(ValueError):
+            FaultPlan("nonsense", 1)
+        with pytest.raises(ValueError):
+            FaultPlan("rule", 0)
+
+    def test_inject_fires_and_disarms(self):
+        structure = path_graph(5).to_structure()
+        with pytest.raises(InjectedFault) as info:
+            with inject("rule", 3):
+                evaluate(TC, structure)
+        assert info.value.site == "rule"
+        assert info.value.occurrence == 3
+        assert _faults.faults is _faults.NOOP
+        # Disarmed: the same evaluation now completes.
+        assert evaluate(TC, structure).iterations > 0
+
+    def test_plans_do_not_nest(self):
+        with inject("rule", 1):
+            with pytest.raises(RuntimeError, match="nest"):
+                with inject("probe", 1):
+                    pass  # pragma: no cover
+
+    def test_census_counts_without_firing(self):
+        structure = path_graph(5).to_structure()
+        with census() as counts:
+            evaluate(TC, structure)
+        assert counts.hits("round") > 0
+        assert counts.hits("rule") > 0
+        assert counts.hits("probe") > 0
+
+    def test_beyond_last_occurrence_never_fires(self):
+        structure = path_graph(5).to_structure()
+        with census() as counts:
+            full = evaluate(TC, structure)
+        with inject("rule", counts.hits("rule") + 1):
+            again = evaluate(TC, structure)
+        assert again.relations == full.relations
+
+
+def _evaluate_any(method, program, structure):
+    if method == "algebra":
+        return evaluate_algebra(program, structure)
+    return evaluate(program, structure, method=method)
+
+
+class TestKillEverySite:
+    """200+ seeded trials: kill every engine at every site occurrence
+    (subsampled for the dense probe site) and require a clean
+    ``InjectedFault`` and a repeatable subsequent run."""
+
+    def test_trial_floor(self):
+        rng = random.Random(1045)
+        trials = 0
+        engines = tuple(METHODS) + ("algebra",)
+        for case in range(6):
+            program = GRAPH_PROGRAMS[
+                rng.choice(sorted(GRAPH_PROGRAMS))
+            ]
+            structure = random_digraph(
+                5, rng.uniform(0.25, 0.45), seed=rng.randrange(10**6)
+            ).to_structure()
+            for method in engines:
+                full = _evaluate_any(method, program, structure)
+                with census() as counts:
+                    _evaluate_any(method, program, structure)
+                for site in fault_sites():
+                    total = counts.hits(site)
+                    occurrences = range(1, total + 1)
+                    if total > 6:  # subsample dense sites, ends included
+                        occurrences = sorted(
+                            {1, total, *rng.sample(range(1, total + 1), 4)}
+                        )
+                    for occurrence in occurrences:
+                        with pytest.raises(InjectedFault):
+                            with inject(site, occurrence):
+                                _evaluate_any(method, program, structure)
+                        trials += 1
+                # After any number of kills the engine still computes
+                # the exact fixpoint.
+                again = _evaluate_any(method, program, structure)
+                assert again.relations == full.relations, (method, case)
+        assert trials >= 200, trials
+
+
+@pytest.mark.parametrize("name", sorted(GRAPH_PROGRAMS))
+def test_kill_at_every_round_then_resume(name):
+    """For every library program: kill at every round boundary; the last
+    checkpoint_sink emission resumes to the bit-identical full run."""
+    program = GRAPH_PROGRAMS[name]
+    structure = random_digraph(5, 0.35, seed=23, loops=True).to_structure()
+    full = evaluate(
+        program, structure, method="indexed", collect_stages=True
+    )
+    with census() as counts:
+        evaluate(program, structure, method="indexed")
+    for boundary in range(2, counts.hits("round") + 1):
+        sink: list = []
+        with pytest.raises(InjectedFault):
+            with inject("round", boundary):
+                evaluate(
+                    program, structure, method="indexed",
+                    collect_stages=True, checkpoint_sink=sink.append,
+                )
+        if not sink:  # killed before the first completed round
+            continue
+        resumed = evaluate(
+            program, structure, method="indexed",
+            collect_stages=True, resume_from=sink[-1],
+        )
+        assert resumed.relations == full.relations, (name, boundary)
+        assert resumed.iterations == full.iterations, (name, boundary)
+        # Stage history before the cut is carried by the checkpoint, so
+        # the resumed stage sequence is the *full* one, not a suffix.
+        assert resumed.stages == full.stages, (name, boundary)
+
+
+class TestSessionFaults:
+    """Faults inside IncrementalSession updates roll back cleanly."""
+
+    def _session(self):
+        return IncrementalSession(TC, path_graph(6).to_structure())
+
+    def test_insert_fault_rolls_back(self):
+        session = self._session()
+        before = session.relations
+        with pytest.raises(InjectedFault):
+            with inject("rule", 2):
+                session.insert_facts("E", [("v5", "v0")])
+        assert session.relations == before
+        # The session remains fully usable.
+        session.insert_facts("E", [("v5", "v0")])
+        full = session.reevaluate()
+        assert session.relations == {
+            p: frozenset(full.relations[p]) for p in session.relations
+        }
+
+    def test_delete_fault_rolls_back(self):
+        session = self._session()
+        before = session.relations
+        supports_before = session._supports.total_supports()
+        with pytest.raises(InjectedFault):
+            with inject("rule", 1):
+                session.delete_facts("E", [("v0", "v1")])
+        assert session.relations == before
+        assert session._supports.total_supports() == supports_before
+        session.delete_facts("E", [("v0", "v1")])
+        full = session.reevaluate()
+        assert session.relations == {
+            p: frozenset(full.relations[p]) for p in session.relations
+        }
+
+    def test_update_count_untouched_by_fault(self):
+        session = self._session()
+        with pytest.raises(InjectedFault):
+            with inject("rule", 1):
+                session.insert_facts("E", [("v5", "v0")])
+        assert session.update_count == 0

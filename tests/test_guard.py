@@ -1,0 +1,283 @@
+"""Resource-governed evaluation: budgets and cancellation per engine.
+
+The contract under test (see :mod:`repro.guard`): a guarded run either
+completes normally -- converging within its budget yields exactly the
+unguarded result -- or raises :class:`BudgetExceeded` whose ``partial``
+is a *sound under-approximation* of the least fixpoint (monotonicity:
+every stage of the fixpoint iteration is contained in the fixpoint).
+The soundness half is pinned differentially: for a seeded corpus of
+random (program, structure) pairs and every round cutoff, the partial
+relations are contained in the full run's relations.
+"""
+
+import random
+
+import pytest
+
+from repro.datalog import evaluate, evaluate_algebra
+from repro.datalog.evaluation import METHODS, PartialFixpointResult
+from repro.datalog.library import (
+    q_program,
+    transitive_closure_program,
+)
+from repro.graphs.generators import path_graph, random_digraph
+from repro.guard import (
+    BudgetExceeded,
+    CancellationToken,
+    EvaluationCancelled,
+    ResourceBudget,
+)
+from tests.test_engine_differential import _random_program, _random_structure
+
+TC = transitive_closure_program()
+ALL_ENGINES = tuple(METHODS) + ("algebra",)
+
+
+def _evaluate(method, program, structure, **kwargs):
+    if method == "algebra":
+        return evaluate_algebra(program, structure, **kwargs)
+    return evaluate(program, structure, method=method, **kwargs)
+
+
+class TestBudgetValidation:
+    def test_negative_limits_rejected(self):
+        for field in (
+            "wall_seconds",
+            "max_iterations",
+            "max_tuples",
+            "max_rule_firings",
+        ):
+            with pytest.raises(ValueError, match=field):
+                ResourceBudget(**{field: -1})
+
+    def test_unlimited(self):
+        assert ResourceBudget().unlimited
+        assert not ResourceBudget(max_iterations=3).unlimited
+
+
+@pytest.mark.parametrize("method", ALL_ENGINES)
+class TestLimitsPerEngine:
+    """Every engine honours every limit kind and the exactness rule."""
+
+    STRUCTURE = path_graph(8).to_structure()
+
+    def test_iteration_limit_trips(self, method):
+        with pytest.raises(BudgetExceeded) as info:
+            _evaluate(
+                method, TC, self.STRUCTURE,
+                budget=ResourceBudget(max_iterations=2),
+            )
+        exc = info.value
+        assert exc.reason == "max_iterations"
+        assert exc.limit == 2
+        assert isinstance(exc.partial, PartialFixpointResult)
+        assert exc.partial.iterations == 2
+        assert exc.spent["iterations"] == 2
+
+    def test_exact_convergence_completes(self, method):
+        full = _evaluate(method, TC, self.STRUCTURE)
+        result = _evaluate(
+            method, TC, self.STRUCTURE,
+            budget=ResourceBudget(max_iterations=full.iterations),
+        )
+        assert result.relations == full.relations
+        assert not isinstance(result, PartialFixpointResult)
+
+    def test_tuple_limit_trips(self, method):
+        with pytest.raises(BudgetExceeded) as info:
+            _evaluate(
+                method, TC, self.STRUCTURE,
+                budget=ResourceBudget(max_tuples=3),
+            )
+        exc = info.value
+        assert exc.reason == "max_tuples"
+        assert exc.spent["tuples"] >= 3
+
+    def test_rule_firing_limit_trips(self, method):
+        with pytest.raises(BudgetExceeded) as info:
+            _evaluate(
+                method, TC, self.STRUCTURE,
+                budget=ResourceBudget(max_rule_firings=1),
+            )
+        assert info.value.reason == "max_rule_firings"
+
+    def test_expired_deadline_trips(self, method):
+        with pytest.raises(BudgetExceeded) as info:
+            _evaluate(
+                method, TC, self.STRUCTURE,
+                budget=ResourceBudget(wall_seconds=0.0),
+            )
+        exc = info.value
+        assert exc.reason == "wall_seconds"
+        assert exc.partial.iterations == 0
+        assert exc.partial.goal_relation == frozenset()
+
+    def test_pre_cancelled_token(self, method):
+        token = CancellationToken()
+        token.cancel()
+        with pytest.raises(EvaluationCancelled) as info:
+            _evaluate(method, TC, self.STRUCTURE, cancellation=token)
+        exc = info.value
+        assert exc.reason == "cancelled"
+        assert exc.limit is None
+        assert exc.partial.iterations == 0
+
+    def test_generous_budget_is_invisible(self, method):
+        full = _evaluate(method, TC, self.STRUCTURE)
+        guarded = _evaluate(
+            method, TC, self.STRUCTURE,
+            budget=ResourceBudget(
+                wall_seconds=600, max_iterations=10**6, max_tuples=10**9
+            ),
+            cancellation=CancellationToken(),
+        )
+        assert guarded.relations == full.relations
+        assert guarded.iterations == full.iterations
+
+
+class TestPartialShape:
+    """The partial result mirrors a full result's observables."""
+
+    STRUCTURE = path_graph(7).to_structure()
+
+    def test_partial_stages_prefix(self):
+        full = evaluate(TC, self.STRUCTURE, collect_stages=True)
+        with pytest.raises(BudgetExceeded) as info:
+            evaluate(
+                TC, self.STRUCTURE, collect_stages=True,
+                budget=ResourceBudget(max_iterations=3),
+            )
+        partial = info.value.partial
+        assert partial.stages == full.stages[:3]
+
+    def test_partial_profile_prefix(self):
+        full = evaluate(TC, self.STRUCTURE, collect_profile=True)
+        with pytest.raises(BudgetExceeded) as info:
+            evaluate(
+                TC, self.STRUCTURE, collect_profile=True,
+                budget=ResourceBudget(max_iterations=3),
+            )
+        partial = info.value.partial
+        full_view = full.profile.semantic_view()
+        partial_view = partial.profile.semantic_view()
+        assert partial_view == full_view[:3]
+
+    def test_partial_carries_trip_metadata(self):
+        with pytest.raises(BudgetExceeded) as info:
+            evaluate(
+                TC, self.STRUCTURE,
+                budget=ResourceBudget(max_iterations=1),
+            )
+        partial = info.value.partial
+        assert partial.reason == "max_iterations"
+        assert partial.limit == 1
+        assert partial.spent == info.value.spent
+
+
+class TestMidRoundCancellation:
+    """The tick path notices cancellation inside a long round."""
+
+    def test_cancel_via_sneaky_token(self):
+        # A token that flips itself after N `cancelled` reads: the guard
+        # polls it at boundaries and (strided) inside the join loops, so
+        # the flip lands mid-run without threads.
+        class FlippingToken(CancellationToken):
+            def __init__(self, after):
+                super().__init__()
+                self.reads = 0
+                self.after = after
+
+            @property
+            def cancelled(self):
+                self.reads += 1
+                if self.reads >= self.after:
+                    self.cancel()
+                return self._cancelled
+
+        structure = random_digraph(12, 0.4, seed=7).to_structure()
+        full = evaluate(q_program(2, 1), structure)
+        token = FlippingToken(after=3)
+        with pytest.raises(EvaluationCancelled) as info:
+            evaluate(q_program(2, 1), structure, cancellation=token)
+        partial = info.value.partial
+        for predicate, rows in partial.relations.items():
+            assert rows <= full.relations[predicate]
+
+
+class TestPartialSoundness:
+    """Differential acceptance: partials are sound under-approximations.
+
+    For a seeded corpus of random (program, structure) pairs, every
+    engine, and every iteration cutoff, the partial relations must be
+    contained in the unguarded fixpoint -- and the cutoff at the exact
+    iteration count must reproduce it.
+    """
+
+    def test_seeded_corpus(self):
+        rng = random.Random(520)
+        checked = 0
+        for __ in range(40):
+            program = _random_program(rng)
+            structure = _random_structure(rng)
+            full = evaluate(program, structure)
+            for method in ALL_ENGINES:
+                reference = _evaluate(method, program, structure)
+                assert reference.relations == full.relations
+                for cutoff in range(full.iterations):
+                    try:
+                        _evaluate(
+                            method, program, structure,
+                            budget=ResourceBudget(max_iterations=cutoff),
+                        )
+                    except BudgetExceeded as exc:
+                        partial = exc.partial
+                        assert partial.iterations == cutoff, (method, cutoff)
+                        for predicate, rows in partial.relations.items():
+                            assert rows <= full.relations[predicate], (
+                                method, cutoff, predicate,
+                            )
+                        checked += 1
+                    else:
+                        pytest.fail(f"{method} ignored cutoff {cutoff}")
+        assert checked >= 200  # the acceptance floor
+
+    def test_tuple_budget_soundness(self):
+        rng = random.Random(521)
+        for __ in range(12):
+            program = _random_program(rng)
+            structure = _random_structure(rng)
+            full = evaluate(program, structure)
+            total = sum(len(rows) for rows in full.relations.values())
+            for limit in (1, max(1, total // 2)):
+                try:
+                    evaluate(
+                        program, structure,
+                        budget=ResourceBudget(max_tuples=limit),
+                    )
+                except BudgetExceeded as exc:
+                    for predicate, rows in exc.partial.relations.items():
+                        assert rows <= full.relations[predicate]
+
+
+class TestQueryBudget:
+    """query() (goal-directed path) forwards the budget."""
+
+    def test_magic_query_trips(self):
+        from repro.datalog.ast import Atom, Variable
+        from repro.datalog.evaluation import query
+
+        structure = path_graph(9).to_structure()
+        goal = Atom("S", (Variable("x"), Variable("y")))
+        with pytest.raises(BudgetExceeded):
+            query(
+                TC, structure, goal, magic=True,
+                budget=ResourceBudget(max_iterations=1),
+            )
+
+    def test_algebra_partial_has_no_checkpoint(self):
+        with pytest.raises(BudgetExceeded) as info:
+            evaluate_algebra(
+                TC, path_graph(6).to_structure(),
+                budget=ResourceBudget(max_iterations=1),
+            )
+        assert info.value.checkpoint is None

@@ -1,0 +1,227 @@
+"""Checkpoint/resume: serialisation safety and resume determinism.
+
+Two properties carry the tentpole:
+
+* **safety** -- a checkpoint is fingerprinted against (program, EDB);
+  offering it to a different program, a different database, or a
+  corrupt file is rejected with :class:`CheckpointMismatch` *before*
+  any state is adopted (resuming semi-naive state against the wrong
+  rules would silently converge to a wrong fixpoint);
+* **determinism** -- for every round cutoff ``r`` of every program in
+  the corpus, interrupting at ``r`` and resuming reproduces the
+  uninterrupted run *bit-identically*: same relations, same iteration
+  count, same stage sequence, same semantic profile.
+"""
+
+import pickle
+import random
+
+import pytest
+
+from repro.datalog import evaluate
+from repro.datalog.library import library_programs
+from repro.graphs.generators import path_graph, random_digraph
+from repro.guard import (
+    RESUMABLE_ENGINES,
+    BudgetExceeded,
+    Checkpoint,
+    CheckpointMismatch,
+    ResourceBudget,
+    edb_fingerprint,
+    program_fingerprint,
+)
+from tests.test_engine_differential import _random_program, _random_structure
+
+TC = library_programs()["transitive-closure"]
+
+
+def _trip(program, structure, cutoff, method="indexed", **kwargs):
+    """The BudgetExceeded from interrupting at round ``cutoff``."""
+    with pytest.raises(BudgetExceeded) as info:
+        evaluate(
+            program, structure, method=method,
+            budget=ResourceBudget(max_iterations=cutoff), **kwargs,
+        )
+    return info.value
+
+
+class TestRoundTrip:
+    STRUCTURE = path_graph(8).to_structure()
+
+    def test_pickle_round_trip(self, tmp_path):
+        exc = _trip(TC, self.STRUCTURE, 3)
+        path = str(tmp_path / "ck.pkl")
+        exc.checkpoint.save(path)
+        loaded = Checkpoint.load(path)
+        assert loaded == exc.checkpoint
+        assert loaded.iteration == 3
+        assert loaded.engine == "indexed"
+
+    def test_loaded_checkpoint_resumes(self, tmp_path):
+        exc = _trip(TC, self.STRUCTURE, 2)
+        path = str(tmp_path / "ck.pkl")
+        exc.checkpoint.save(path)
+        full = evaluate(TC, self.STRUCTURE)
+        resumed = evaluate(
+            TC, self.STRUCTURE, resume_from=Checkpoint.load(path)
+        )
+        assert resumed.relations == full.relations
+        assert resumed.iterations == full.iterations
+
+    def test_corrupt_file_rejected(self, tmp_path):
+        path = tmp_path / "garbage.pkl"
+        path.write_bytes(b"this is not a pickle")
+        with pytest.raises(CheckpointMismatch, match="not a readable"):
+            Checkpoint.load(str(path))
+
+    def test_wrong_payload_type_rejected(self, tmp_path):
+        path = tmp_path / "wrong.pkl"
+        path.write_bytes(pickle.dumps({"not": "a checkpoint"}))
+        with pytest.raises(CheckpointMismatch, match="does not contain"):
+            Checkpoint.load(str(path))
+
+
+class TestFingerprintSafety:
+    STRUCTURE = path_graph(6).to_structure()
+
+    def test_different_program_rejected(self):
+        checkpoint = _trip(TC, self.STRUCTURE, 2).checkpoint
+        other = library_programs()["avoiding-path"]
+        with pytest.raises(CheckpointMismatch, match="different program"):
+            evaluate(other, self.STRUCTURE, resume_from=checkpoint)
+
+    def test_different_database_rejected(self):
+        checkpoint = _trip(TC, self.STRUCTURE, 2).checkpoint
+        other = random_digraph(6, 0.4, seed=3).to_structure()
+        with pytest.raises(
+            CheckpointMismatch, match="different extensional database"
+        ):
+            evaluate(TC, other, resume_from=checkpoint)
+
+    def test_validate_is_order_sensitive_free(self):
+        # The EDB fingerprint is canonical: row order cannot matter.
+        structure = self.STRUCTURE
+        edb = {"E": list(structure.relation("E"))}
+        fp1 = edb_fingerprint(
+            edb, structure.universe, structure.constants
+        )
+        fp2 = edb_fingerprint(
+            {"E": list(reversed(edb["E"]))},
+            structure.universe,
+            structure.constants,
+        )
+        assert fp1 == fp2
+
+    def test_program_fingerprint_sensitive_to_rules(self):
+        assert program_fingerprint(TC) != program_fingerprint(
+            library_programs()["avoiding-path"]
+        )
+
+    def test_non_resumable_engine_rejected(self):
+        checkpoint = _trip(TC, self.STRUCTURE, 2).checkpoint
+        with pytest.raises(ValueError, match="resum"):
+            evaluate(TC, self.STRUCTURE, method="naive",
+                     resume_from=checkpoint)
+
+
+GRAPH_PROGRAMS = {
+    name: program
+    for name, program in library_programs().items()
+    if name != "path-systems"  # non-graph vocabulary
+}
+
+
+@pytest.mark.parametrize("name", sorted(GRAPH_PROGRAMS))
+def test_resume_determinism_every_round(name):
+    """Kill at every round boundary, resume, demand bit-identical runs
+    -- for every library program and both resumable engines."""
+    program = GRAPH_PROGRAMS[name]
+    structure = random_digraph(5, 0.35, seed=11, loops=True).to_structure()
+    for method in RESUMABLE_ENGINES:
+        full = evaluate(
+            program, structure, method=method,
+            collect_stages=True, collect_profile=True,
+        )
+        for cutoff in range(1, full.iterations):
+            exc = _trip(
+                program, structure, cutoff, method=method,
+                collect_stages=True, collect_profile=True,
+            )
+            assert exc.checkpoint is not None
+            assert exc.checkpoint.iteration == cutoff
+            resumed = evaluate(
+                program, structure, method=method,
+                collect_stages=True, collect_profile=True,
+                resume_from=exc.checkpoint,
+            )
+            key = (name, method, cutoff)
+            assert resumed.relations == full.relations, key
+            assert resumed.iterations == full.iterations, key
+            assert resumed.stages == full.stages, key
+            assert (
+                resumed.profile.semantic_view()
+                == full.profile.semantic_view()
+            ), key
+
+
+def test_cross_engine_resume():
+    """Checkpoints carry *semantic* state: a checkpoint cut under one
+    resumable engine finishes correctly under the other (and one cut by
+    the naive engine's per-round emission resumes under both)."""
+    structure = path_graph(9).to_structure()
+    full = evaluate(TC, structure)
+    for source in ("indexed", "seminaive", "naive"):
+        sink: list = []
+        try:
+            evaluate(
+                TC, structure, method=source,
+                budget=ResourceBudget(max_iterations=3),
+                checkpoint_sink=sink.append,
+            )
+        except BudgetExceeded:
+            pass
+        assert sink, source
+        checkpoint = sink[-1]
+        for target in RESUMABLE_ENGINES:
+            resumed = evaluate(
+                TC, structure, method=target, resume_from=checkpoint
+            )
+            assert resumed.relations == full.relations, (source, target)
+            assert resumed.iterations == full.iterations, (source, target)
+
+
+def test_checkpoint_sink_every_round():
+    """checkpoint_sink observes every completed round, in order."""
+    structure = path_graph(7).to_structure()
+    sink: list = []
+    full = evaluate(TC, structure, checkpoint_sink=sink.append)
+    assert [ck.iteration for ck in sink] == list(range(1, full.iterations + 1))
+    # Any of them resumes to the same fixpoint.
+    for checkpoint in (sink[0], sink[len(sink) // 2], sink[-1]):
+        resumed = evaluate(TC, structure, resume_from=checkpoint)
+        assert resumed.relations == full.relations
+
+
+def test_resume_determinism_random_corpus():
+    """Seeded random programs: resume reproduces relations and rounds."""
+    rng = random.Random(77)
+    for __ in range(15):
+        program = _random_program(rng)
+        structure = _random_structure(rng)
+        full = evaluate(program, structure, collect_stages=True)
+        for cutoff in range(1, full.iterations):
+            exc = _trip(program, structure, cutoff, collect_stages=True)
+            resumed = evaluate(
+                program, structure, collect_stages=True,
+                resume_from=exc.checkpoint,
+            )
+            assert resumed.relations == full.relations
+            assert resumed.stages == full.stages
+
+
+def test_zero_round_trip_has_no_checkpoint():
+    """A budget that trips before any completed round carries no
+    checkpoint (there is no boundary state to resume from)."""
+    exc = _trip(TC, path_graph(5).to_structure(), 0)
+    assert exc.checkpoint is None
+    assert exc.partial.iterations == 0

@@ -1,0 +1,184 @@
+"""Resource-governed incremental maintenance: abort means rollback.
+
+A budgeted :class:`IncrementalSession` shares one guard across its
+whole update stream.  When a limit trips mid-update the session raises
+:class:`MaintenanceAborted` *after rolling back* -- the maintained
+view, the EDB, and the provenance table are restored to the state
+before the aborted update, so a subsequent ``reevaluate()`` comparison
+(the CLI's ``--verify``) passes and the replay can resume later from
+a :class:`MaintenanceCheckpoint`.
+"""
+
+import pytest
+
+from repro.datalog.incremental import IncrementalSession, parse_update_script
+from repro.datalog.library import transitive_closure_program
+from repro.graphs.generators import path_graph
+from repro.guard import (
+    CancellationToken,
+    MaintenanceAborted,
+    MaintenanceCheckpoint,
+    CheckpointMismatch,
+    ResourceBudget,
+    program_fingerprint,
+)
+
+TC = transitive_closure_program()
+STRUCTURE = path_graph(8).to_structure()
+
+SCRIPT = parse_update_script(
+    """
+    insert E v7 v0
+    delete E v0 v1
+    insert E v1 v5
+    delete E v5 v6
+    """
+)
+
+
+def _verified(session) -> bool:
+    full = session.reevaluate()
+    return session.relations == {
+        predicate: frozenset(full.relations[predicate])
+        for predicate in session.relations
+    }
+
+
+class TestAbortRollsBack:
+    def test_budget_abort_leaves_view_intact(self):
+        session = IncrementalSession(
+            TC, STRUCTURE, budget=ResourceBudget(max_iterations=2)
+        )
+        before = session.relations
+        with pytest.raises(MaintenanceAborted) as info:
+            session.insert_facts("E", [("v7", "v0")])
+        exc = info.value
+        assert exc.reason == "max_iterations"
+        assert "insert E" in exc.update
+        assert session.relations == before
+        assert session.update_count == 0
+        assert _verified(session)
+
+    def test_delete_abort_restores_provenance(self):
+        session = IncrementalSession(
+            TC, STRUCTURE, budget=ResourceBudget(max_iterations=1)
+        )
+        supports = session._supports.total_supports()
+        with pytest.raises(MaintenanceAborted):
+            session.delete_facts("E", [("v0", "v1")])
+        assert session._supports.total_supports() == supports
+        assert _verified(session)
+
+    def test_cancellation_aborts(self):
+        token = CancellationToken()
+        session = IncrementalSession(TC, STRUCTURE, cancellation=token)
+        token.cancel()
+        with pytest.raises(MaintenanceAborted) as info:
+            session.insert_facts("E", [("v7", "v0")])
+        assert info.value.reason == "cancelled"
+        assert _verified(session)
+
+    def test_budget_spans_the_update_stream(self):
+        """The guard accumulates across updates: a stream stops at the
+        cumulative limit, not per update."""
+        generous = IncrementalSession(TC, STRUCTURE)
+        rounds = [generous.apply(update).rounds for update in SCRIPT]
+        cumulative = sum(rounds[:2])  # enough for two updates only
+        session = IncrementalSession(
+            TC, STRUCTURE, budget=ResourceBudget(max_iterations=cumulative)
+        )
+        applied = 0
+        with pytest.raises(MaintenanceAborted):
+            for update in SCRIPT:
+                session.apply(update)
+                applied += 1
+        assert 0 < applied < len(SCRIPT)
+        assert _verified(session)
+
+
+class TestMidScriptAbortAndResume:
+    """The CLI story end-to-end at the library level: abort a script
+    replay, checkpoint the applied prefix, resume on a fresh session."""
+
+    def test_checkpointed_resume_matches_full_replay(self):
+        reference = IncrementalSession(TC, STRUCTURE)
+        for update in SCRIPT:
+            reference.apply(update)
+
+        session = IncrementalSession(
+            TC, STRUCTURE, budget=ResourceBudget(max_iterations=14)
+        )
+        applied = 0
+        try:
+            for update in SCRIPT:
+                session.apply(update)
+                applied += 1
+        except MaintenanceAborted:
+            pass
+        assert 0 < applied < len(SCRIPT)
+        assert _verified(session)  # rollback left a consistent prefix
+
+        checkpoint = MaintenanceCheckpoint(
+            program_fingerprint=program_fingerprint(TC),
+            goal=TC.goal,
+            edb=session.current_extra_edb(),
+            updates_applied=applied,
+        )
+        resumed = IncrementalSession(
+            TC, STRUCTURE, extra_edb=checkpoint.edb
+        )
+        for update in SCRIPT[checkpoint.updates_applied:]:
+            resumed.apply(update)
+        assert resumed.relations == reference.relations
+        assert resumed.goal_relation == reference.goal_relation
+
+    def test_maintenance_checkpoint_round_trip(self, tmp_path):
+        checkpoint = MaintenanceCheckpoint(
+            program_fingerprint=program_fingerprint(TC),
+            goal=TC.goal,
+            edb={"E": frozenset({("v0", "v1")})},
+            updates_applied=2,
+        )
+        path = str(tmp_path / "maint.pkl")
+        checkpoint.save(path)
+        loaded = MaintenanceCheckpoint.load(path)
+        assert loaded == checkpoint
+        loaded.validate(program_fingerprint(TC))
+
+    def test_maintenance_checkpoint_wrong_program(self):
+        from repro.datalog.library import avoiding_path_program
+
+        checkpoint = MaintenanceCheckpoint(
+            program_fingerprint=program_fingerprint(TC),
+            goal=TC.goal,
+            edb={},
+            updates_applied=0,
+        )
+        with pytest.raises(CheckpointMismatch, match="different program"):
+            checkpoint.validate(
+                program_fingerprint(avoiding_path_program())
+            )
+
+
+class TestUngovernedFastPath:
+    """Without a guard (and with no fault plan armed) the session takes
+    no snapshots -- the ungoverned hot path stays untouched."""
+
+    def test_no_snapshot_without_guard(self, monkeypatch):
+        session = IncrementalSession(TC, STRUCTURE)
+        taken = []
+        original = IncrementalSession._snapshot_state
+
+        def spy(self):
+            state = original(self)
+            taken.append(state)
+            return state
+
+        monkeypatch.setattr(IncrementalSession, "_snapshot_state", spy)
+        session.insert_facts("E", [("v7", "v0")])
+        assert taken == [None]
+
+    def test_transactional_opt_in_without_budget(self):
+        session = IncrementalSession(TC, STRUCTURE, transactional=True)
+        state = session._snapshot_state()
+        assert state is not None

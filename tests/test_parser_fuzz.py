@@ -1,0 +1,162 @@
+"""Parser fuzz smoke: malformed text fails *diagnostically*, never raw.
+
+A seeded stream of mutations over valid program texts -- token noise,
+character edits, truncations, paren imbalance, garbage injection --
+must leave :func:`parse_program` in one of exactly three states:
+
+* a successful parse (many mutations are harmless),
+* :class:`DatalogSyntaxError` carrying a 1-based line/column and a
+  non-empty reason (the located-diagnosis contract of the parser), or
+* a plain ``ValueError`` with a non-empty message (the *semantic*
+  validation layer: arity clashes, missing goal, ...).
+
+What must never escape: ``IndexError``, ``KeyError``, ``TypeError``,
+``AttributeError``, ``UnboundLocalError``, ``RecursionError`` -- the
+raw internal failures a lexer/parser leaks when it indexes past the
+token stream instead of diagnosing.
+"""
+
+import random
+
+import pytest
+
+from repro.datalog.library import library_programs
+from repro.datalog.parser import DatalogSyntaxError, parse_program
+from repro.io import dump_program
+
+#: Seeded mutation trials; the acceptance bar is "about 200".
+TRIALS = 240
+
+_NOISE_TOKENS = [
+    ":-", "<-", "!=", "=", "(", ")", ",", ".", "%", "#",
+    "P", "E", "xyz", "x", "1", "_", "≠", "@", "\\", '"', "\n", "\t", " ",
+]
+
+
+def _seed_texts() -> list[tuple[str, str]]:
+    """(text, goal) pairs: every library program's printed form."""
+    return [
+        (dump_program(program), program.goal)
+        for program in library_programs().values()
+    ]
+
+
+def _mutate(rng: random.Random, text: str) -> str:
+    kind = rng.randrange(6)
+    if kind == 0 and text:  # truncate mid-stream
+        return text[: rng.randrange(len(text))]
+    if kind == 1 and text:  # delete a character span
+        start = rng.randrange(len(text))
+        return text[:start] + text[start + rng.randint(1, 4):]
+    if kind == 2:  # inject a noise token
+        position = rng.randrange(len(text) + 1)
+        return text[:position] + rng.choice(_NOISE_TOKENS) + text[position:]
+    if kind == 3 and text:  # replace a character
+        position = rng.randrange(len(text))
+        return (
+            text[:position]
+            + rng.choice("().,:-!=%#abz19 \n")
+            + text[position + 1:]
+        )
+    if kind == 4:  # shuffle whitespace-split tokens of one line
+        lines = text.splitlines()
+        if lines:
+            index = rng.randrange(len(lines))
+            parts = lines[index].split()
+            rng.shuffle(parts)
+            lines[index] = " ".join(parts)
+            return "\n".join(lines)
+        return text
+    # duplicate a random slice (unbalances parens, repeats rule heads)
+    if text:
+        start = rng.randrange(len(text))
+        end = min(len(text), start + rng.randint(1, 10))
+        return text[:start] + text[start:end] * 2 + text[end:]
+    return text
+
+
+_RAW_FAILURES = (
+    IndexError,
+    KeyError,
+    TypeError,
+    AttributeError,
+    UnboundLocalError,
+    RecursionError,
+)
+
+
+def _try_parse(text: str, goal: str) -> None:
+    """The contract one fuzz case must satisfy."""
+    try:
+        parse_program(text, goal)
+    except DatalogSyntaxError as exc:
+        assert str(exc), "diagnosis must be non-empty"
+        assert exc.reason
+        if text.strip():
+            assert exc.line is not None and exc.line >= 1, text
+            assert exc.column is not None and exc.column >= 1, text
+    except _RAW_FAILURES as exc:  # pragma: no cover - the failure mode
+        pytest.fail(
+            f"raw {type(exc).__name__} escaped the parser for "
+            f"{text[:80]!r}: {exc}"
+        )
+    except ValueError as exc:
+        # Semantic validation (arity clash, missing goal, ...): allowed,
+        # but it must carry a message, and DatalogSyntaxError is not a
+        # ValueError -- location-free syntax failures cannot hide here.
+        assert str(exc)
+
+
+def test_seeded_mutation_stream():
+    rng = random.Random(60606)
+    seeds = _seed_texts()
+    syntax_errors = 0
+    for trial in range(TRIALS):
+        text, goal = seeds[trial % len(seeds)]
+        mutated = text
+        for __ in range(rng.randint(1, 3)):
+            mutated = _mutate(rng, mutated)
+        try:
+            parse_program(mutated, goal)
+        except DatalogSyntaxError:
+            syntax_errors += 1
+        except Exception:
+            pass
+        _try_parse(mutated, goal)
+    # The stream must actually exercise the diagnosis path.
+    assert syntax_errors >= 40, syntax_errors
+
+
+def test_pure_noise_stream():
+    """Programs made of nothing but noise tokens."""
+    rng = random.Random(60607)
+    for __ in range(60):
+        text = "".join(
+            rng.choice(_NOISE_TOKENS) for __ in range(rng.randint(1, 30))
+        )
+        _try_parse(text, "P")
+
+
+def test_truncation_at_every_position():
+    """Every prefix of a real program either parses or diagnoses."""
+    text = dump_program(library_programs()["transitive-closure"])
+    goal = library_programs()["transitive-closure"].goal
+    for cut in range(len(text)):
+        _try_parse(text[:cut], goal)
+
+
+def test_empty_and_whitespace_inputs():
+    for text in ("", " ", "\n\n", "\t", "% only a comment\n"):
+        try:
+            parse_program(text, "P")
+        except (DatalogSyntaxError, ValueError) as exc:
+            assert str(exc)
+
+
+def test_diagnosis_points_at_offending_token():
+    with pytest.raises(DatalogSyntaxError) as info:
+        parse_program("P(x) :- E(x, y))).", "P")
+    exc = info.value
+    assert exc.line == 1
+    assert exc.column is not None
+    assert exc.token is not None
