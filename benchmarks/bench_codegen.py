@@ -1,0 +1,207 @@
+"""E20 -- the codegen engine: generated Python vs. the plan interpreter.
+
+Regenerates: on the Q_{k,l} engine-sweep instances (the
+``bench_theorem61`` sweep, largest last) and on transitive closure over
+a sparse random digraph, the codegen engine -- the same rule plans
+compiled to specialized Python functions (:mod:`repro.datalog.codegen`)
+instead of interpreted op-by-op -- must produce identical relations and
+iteration counts to the indexed engine and beat it by at least 2x on
+the largest instance of each family.  That factor is pure dispatch and
+binding-copy overhead: both engines run the same plans over the same
+incrementally-maintained indexes, so the delta is what emitting the
+loops as source buys.
+
+Also runnable as a script (CI smoke)::
+
+    PYTHONPATH=src python benchmarks/bench_codegen.py --quick --json out.json
+
+which runs the same comparison on smaller instances (equality always
+enforced; the speedup bar only at full size) and writes shared-schema
+rows.
+"""
+
+import pytest
+
+from _harness import record, timed_row
+from repro.datalog.evaluation import evaluate
+from repro.datalog.library import q_program, transitive_closure_program
+from repro.graphs.generators import random_digraph
+
+#: Mirrors bench_theorem61.QKL_SWEEP; the last entry is the largest.
+QKL_SWEEP = [(1, 1, 14), (2, 0, 12), (2, 1, 12)]
+QKL_LARGEST = QKL_SWEEP[-1]
+
+#: Transitive closure instances: (nodes, edge probability); sparse, so
+#: the fixpoint runs many rounds of small deltas -- the regime where
+#: per-tuple dispatch overhead dominates.  The last entry is enforced.
+TC_SWEEP = [(40, 0.08), (80, 0.05)]
+TC_LARGEST = TC_SWEEP[-1]
+
+#: The acceptance bar on the largest instance of each family.
+SPEEDUP_BAR = 2.0
+
+
+def _compare(name, program, structure, params, repeats=2):
+    """Timed indexed-vs-codegen rows plus the equality checks."""
+    indexed, indexed_row = timed_row(
+        name,
+        lambda: evaluate(program, structure, method="indexed"),
+        engine="indexed",
+        params=params,
+        repeats=repeats,
+    )
+    codegen, codegen_row = timed_row(
+        name,
+        lambda: evaluate(program, structure, method="codegen"),
+        engine="codegen",
+        params=params,
+        repeats=repeats,
+    )
+    assert codegen.relations == indexed.relations, name
+    assert codegen.iterations == indexed.iterations, name
+    return indexed_row, codegen_row
+
+
+@pytest.mark.parametrize("k,l,n", QKL_SWEEP)
+def bench_codegen_vs_indexed_qkl(benchmark, k, l, n):
+    """Codegen vs. indexed on the Q_{k,l} programs; >= 2x at the top."""
+    program = q_program(k, l)
+    structure = random_digraph(n, 0.25, seed=7).to_structure()
+    params = {"k": k, "l": l, "nodes": n}
+    indexed_row, codegen_row = _compare(
+        f"q-{k}-{l}", program, structure, params
+    )
+    benchmark.pedantic(
+        lambda: evaluate(program, structure, method="codegen"),
+        rounds=1,
+        iterations=1,
+    )
+    speedup = indexed_row["wall_ms"] / codegen_row["wall_ms"]
+    record(
+        benchmark,
+        experiment="E20",
+        **params,
+        indexed_ms=indexed_row["wall_ms"],
+        codegen_ms=codegen_row["wall_ms"],
+        counters=codegen_row["counters"],
+        speedup=round(speedup, 2),
+    )
+    if (k, l, n) == QKL_LARGEST:
+        assert speedup >= SPEEDUP_BAR, (
+            f"codegen only {speedup:.2f}x faster than the indexed "
+            f"engine on Q_{k}_{l} (n={n}); generated code should buy "
+            f">= {SPEEDUP_BAR}x"
+        )
+
+
+@pytest.mark.parametrize("n,p", TC_SWEEP)
+def bench_codegen_vs_indexed_tc(benchmark, n, p):
+    """Codegen vs. indexed on transitive closure; >= 2x at the top."""
+    program = transitive_closure_program()
+    structure = random_digraph(n, p, seed=3).to_structure()
+    params = {"nodes": n, "p": p}
+    indexed_row, codegen_row = _compare("tc", program, structure, params)
+    benchmark.pedantic(
+        lambda: evaluate(program, structure, method="codegen"),
+        rounds=1,
+        iterations=1,
+    )
+    speedup = indexed_row["wall_ms"] / codegen_row["wall_ms"]
+    record(
+        benchmark,
+        experiment="E20",
+        **params,
+        indexed_ms=indexed_row["wall_ms"],
+        codegen_ms=codegen_row["wall_ms"],
+        counters=codegen_row["counters"],
+        speedup=round(speedup, 2),
+    )
+    if (n, p) == TC_LARGEST:
+        assert speedup >= SPEEDUP_BAR, (
+            f"codegen only {speedup:.2f}x faster than the indexed "
+            f"engine on TC (n={n}, p={p}); generated code should buy "
+            f">= {SPEEDUP_BAR}x"
+        )
+
+
+def main(argv=None):
+    """CI smoke: codegen == indexed relations/iterations; prints a
+    comparison table and, with ``--json PATH``, writes shared-schema
+    rows for the artifact.  The >= 2x speedup bar applies at full size
+    only (``--quick`` instances are too small for wall-clock bars)."""
+    import argparse
+    import sys
+
+    from _harness import write_rows
+
+    parser = argparse.ArgumentParser(description=main.__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller instances, no speedup bar (CI smoke)",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH",
+        help="also write the timing rows as a JSON array",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        qkl = [(2, 1, 9)]
+        tc = [(30, 0.08)]
+    else:
+        qkl = [QKL_LARGEST]
+        tc = [TC_LARGEST]
+    cases = [
+        (
+            f"q-{k}-{l}",
+            q_program(k, l),
+            random_digraph(n, 0.25, seed=7).to_structure(),
+            {"k": k, "l": l, "nodes": n},
+        )
+        for k, l, n in qkl
+    ] + [
+        (
+            "tc",
+            transitive_closure_program(),
+            random_digraph(n, p, seed=3).to_structure(),
+            {"nodes": n, "p": p},
+        )
+        for n, p in tc
+    ]
+
+    rows = []
+    failures = 0
+    print(f"{'case':<12} {'indexed':>12} {'codegen':>12} {'speedup':>8}")
+    for name, program, structure, params in cases:
+        try:
+            indexed_row, codegen_row = _compare(
+                name, program, structure, params
+            )
+        except AssertionError as exc:
+            print(f"{name:<12} FAILED: {exc}", file=sys.stderr)
+            failures += 1
+            continue
+        rows += [indexed_row, codegen_row]
+        speedup = indexed_row["wall_ms"] / codegen_row["wall_ms"]
+        print(
+            f"{name:<12} {indexed_row['wall_ms']:>10.1f}ms "
+            f"{codegen_row['wall_ms']:>10.1f}ms {speedup:>7.1f}x"
+        )
+        if not args.quick and speedup < SPEEDUP_BAR:
+            print(
+                f"{name}: speedup {speedup:.2f}x below the "
+                f"{SPEEDUP_BAR}x bar", file=sys.stderr,
+            )
+            failures += 1
+    if args.json:
+        write_rows(args.json, rows)
+        print(f"wrote {len(rows)} rows to {args.json}")
+    if failures:
+        print(f"{failures} failure(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

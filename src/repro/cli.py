@@ -21,8 +21,10 @@ Subcommands
   simulate adversarial play against the proof's Player II strategy.
 * ``repro explain PROGRAM`` -- pretty-print the compiled rule plans the
   indexed engine executes (library program name or program file);
-  ``--magic ADORNMENT`` shows the adorned and magic (demand) rules of
-  the goal-directed rewrite first.
+  ``--engine codegen`` prints the specialized Python source the codegen
+  engine generates from those plans instead; ``--magic ADORNMENT``
+  shows the adorned and magic (demand) rules of the goal-directed
+  rewrite first.
 * ``repro maintain PROGRAM GRAPH`` -- incremental view maintenance:
   run the fixpoint once, then replay EDB updates (``--insert`` /
   ``--delete`` / ``--script FILE``) through an
@@ -140,7 +142,7 @@ def _load_program_or_library(path_or_name: str, goal: str | None):
     )
 
 
-ENGINES = ("indexed", "seminaive", "naive", "algebra")
+ENGINES = ("indexed", "codegen", "seminaive", "naive", "algebra")
 
 
 def _goal_binding(program, structure, entries: Sequence[str]):
@@ -540,7 +542,11 @@ def _cmd_certificate(args: argparse.Namespace) -> int:
 
 def _cmd_explain(args: argparse.Namespace) -> int:
     from repro.datalog.library import library_programs
-    from repro.obs.explain import explain_magic, explain_program
+    from repro.obs.explain import (
+        explain_codegen,
+        explain_magic,
+        explain_program,
+    )
 
     if args.list:
         for name in sorted(library_programs()):
@@ -563,7 +569,15 @@ def _cmd_explain(args: argparse.Namespace) -> int:
             rewrite = magic_rewrite(program, goal_atom)
         except ValueError as exc:
             raise CliError(str(exc))
-        print(explain_magic(rewrite, name=name))
+        if args.engine == "codegen":
+            print(explain_codegen(
+                rewrite.program, name=f"{name} (magic rewrite)"
+            ))
+        else:
+            print(explain_magic(rewrite, name=name))
+        return 0
+    if args.engine == "codegen":
+        print(explain_codegen(program, name=name))
         return 0
     print(explain_program(program, name=name))
     return 0
@@ -912,6 +926,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="library program name or program file",
     )
     explain.add_argument("--goal", help="override the goal predicate")
+    explain.add_argument(
+        "--engine", choices=("indexed", "codegen"), default="indexed",
+        help="indexed: the compiled rule plans (default); "
+        "codegen: the specialized Python source generated from them",
+    )
     explain.add_argument(
         "--magic", metavar="ADORNMENT",
         help="show the magic-sets rewrite for a goal adornment "

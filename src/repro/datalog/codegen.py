@@ -1,0 +1,417 @@
+"""Rule plans compiled to specialized Python functions (the codegen engine).
+
+The indexed engine executes a :class:`~repro.datalog.planner.RulePlan`
+through an interpreter (``_run_plan`` in :mod:`repro.datalog.evaluation`):
+a loop over op tuples that copies a binding list per extension.  On the
+paper's case-study workloads -- Q_{k,l} stage programs, transitive
+closure, the w-avoiding path library -- that per-op dispatch and
+per-binding list copy is the dominant constant factor.  This module
+removes it by *emitting the plan as Python source*: one specialized
+function per plan in which
+
+* every atom step becomes a ``for`` loop over an index bucket
+  (``RelationIndex.index_for``), a full-relation scan, or -- for the
+  delta occurrence -- the per-round delta set;
+* constraints and ``!=`` guards become inline ``if``/``continue``
+  statements at the exact nesting depth the planner scheduled them;
+* bindings become plain local variables ``s0, s1, ...`` (the same
+  first-bind slot numbering the interpreter's ``_compile_plan`` uses, so
+  the two executors are comparable binding-for-binding).
+
+Rendering (:func:`render_plan`) is a pure function of the plan: the
+source text is deterministic -- byte-identical across runs and across
+processes for the same (program, rule) -- and never embeds run-specific
+values.  Everything run-specific (index buckets, constant
+interpretations, the fault-injection module) enters through keyword-only
+parameters whose defaults are evaluated at ``exec`` time
+(:func:`bind_plan`), so the generated body reads them as fast locals and
+a single code object (cached per source text in :data:`_CODE_CACHE`, so
+``compile()`` runs once per distinct plan shape) serves every database.
+
+Binding an index bucket getter once per run is sound because
+:class:`~repro.datalog.indexing.RelationIndex` maintains every
+materialised index *in place* as deltas merge: the dict identity is
+stable for the whole fixpoint, only its buckets grow.
+
+Instrumentation discipline (mirrors the interpreter's):
+
+* ``faults.hit("probe")`` -- one hit per atom op per invocation, hoisted
+  to the function prologue (the generated loops stay branch-free); the
+  census/kill suites measure codegen's own counts, so scheduling stays
+  exact;
+* ``guard.tick(1)`` -- once per row of the *outermost* loop, giving the
+  guard its strided mid-round deadline/cancellation pulse without
+  per-binding overhead.
+
+The functions return ``(fired, produced)``: the set of head tuples not
+already in ``existing`` and the number of satisfying bindings -- exactly
+what the engine loop in :mod:`repro.datalog.evaluation` needs to keep
+the semantic profile view identical to the other engines.  The test-only
+``mode="bindings"`` variant returns the full slot tuples instead, which
+``tests/test_codegen.py`` compares against the interpreter op-by-op.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from types import CodeType
+from typing import Callable, Hashable, Mapping
+
+from repro.testing import faults as _faults
+
+from repro.datalog.ast import (
+    Atom,
+    Constant,
+    Equality,
+    Program,
+    Rule,
+    Term,
+    Variable,
+)
+from repro.datalog.indexing import IndexedDatabase
+from repro.datalog.planner import (
+    AtomStep,
+    ConstraintStep,
+    EnumerateStep,
+    RulePlan,
+    plan_program_rules,
+    plan_rule,
+)
+
+Element = Hashable
+
+#: Compiled code objects keyed by source text.  Source is a pure
+#: function of the plan, so hits are exact; the cap only bounds memory
+#: under adversarial corpora (the fuzz suites generate thousands of
+#: distinct programs) -- a clear-and-refill on overflow keeps the
+#: common case (re-evaluating the same program) a single compile.
+_CODE_CACHE: dict[str, CodeType] = {}
+_CODE_CACHE_LIMIT = 4096
+
+
+@dataclass(frozen=True)
+class PlanSource:
+    """One plan rendered to source, plus what its parameters need.
+
+    ``externals`` lists the keyword-only parameters of the generated
+    function in order, each with a spec :func:`bind_plan` resolves:
+
+    * ``("faults",)`` -- the :mod:`repro.testing.faults` module;
+    * ``("const", name)`` -- the structure's interpretation of ``$name``;
+    * ``("index", predicate, positions)`` -- the ``.get`` of the
+      relation's index on ``positions``;
+    * ``("rows", predicate)`` -- the relation's live row set.
+
+    ``slots`` records the Variable -> local ``s<i>`` assignment, in the
+    same first-bind order as the interpreter's ``_CompiledPlan.slots``.
+    """
+
+    plan: RulePlan
+    name: str
+    source: str
+    externals: tuple[tuple[str, tuple], ...]
+    slots: tuple[tuple[Variable, int], ...]
+    mode: str
+
+
+def render_plan(
+    plan: RulePlan, *, name: str = "_codegen_plan", mode: str = "heads"
+) -> PlanSource:
+    """Render one plan as deterministic Python source.
+
+    ``mode="heads"`` (the engine's) collects new head tuples;
+    ``mode="bindings"`` (the differential-test probe) collects the full
+    slot tuple of every satisfying binding instead.
+    """
+    if mode not in ("heads", "bindings"):
+        raise ValueError(f"unknown render mode {mode!r}")
+    rule = plan.rule
+    slots: dict[Variable, int] = {}
+    externals: dict[str, tuple] = {}
+    const_params: dict[str, str] = {}
+    index_params: dict[tuple[str, tuple[int, ...]], str] = {}
+    scan_params: dict[str, str] = {}
+
+    def const_param(cname: str) -> str:
+        param = const_params.get(cname)
+        if param is None:
+            param = f"_c{len(const_params)}"
+            const_params[cname] = param
+            externals[param] = ("const", cname)
+        return param
+
+    def term_src(term: Term) -> str:
+        if isinstance(term, Constant):
+            return const_param(term.name)
+        return f"s{slots[term]}"
+
+    empty_result = "_fired, _produced" if mode == "heads" else "_out, _produced"
+    body: list[str] = []
+    depth = 0
+    atom_ops = 0
+    rows_seen = 0
+    tick_emitted = False
+
+    def emit(line: str) -> None:
+        body.append("    " * (1 + depth) + line)
+
+    def emit_tick() -> None:
+        nonlocal tick_emitted
+        if not tick_emitted:
+            emit("if _tick is not None:")
+            emit("    _tick(1)")
+            tick_emitted = True
+
+    for step in plan.steps:
+        if isinstance(step, AtomStep):
+            atom = step.atom
+            atom_ops += 1
+            row = f"_r{rows_seen}"
+            rows_seen += 1
+            shown = f"{atom.predicate}({', '.join(map(str, atom.args))})"
+            if step.is_delta:
+                emit(f"for {row} in _delta:  # delta scan d{shown}")
+            elif step.bound_positions:
+                key = (atom.predicate, step.bound_positions)
+                param = index_params.get(key)
+                if param is None:
+                    param = f"_ix{len(index_params)}"
+                    index_params[key] = param
+                    externals[param] = ("index",) + key
+                parts = [term_src(atom.args[i]) for i in step.bound_positions]
+                key_src = "(" + ", ".join(parts) + ",)" if len(parts) == 1 \
+                    else "(" + ", ".join(parts) + ")"
+                via = list(step.bound_positions)
+                emit(f"for {row} in {param}({key_src}, _E):"
+                     f"  # probe {shown} via {via}")
+            else:
+                param = scan_params.get(atom.predicate)
+                if param is None:
+                    param = f"_sc{len(scan_params)}"
+                    scan_params[atom.predicate] = param
+                    externals[param] = ("rows", atom.predicate)
+                emit(f"for {row} in {param}:  # scan {shown}")
+            depth += 1
+            emit_tick()
+            if step.is_delta and step.bound_positions:
+                # A delta occurrence runs first, so only constants can
+                # be bound on it -- filtered per row, no one-shot index.
+                for position in step.bound_positions:
+                    emit(f"if {row}[{position}] != "
+                         f"{term_src(atom.args[position])}:")
+                    emit("    continue")
+            bound = set(step.bound_positions)
+            for position, term in enumerate(atom.args):
+                if position in bound:
+                    continue
+                # An unbound position is always a Variable; a slot can
+                # already exist only via a repeat within this atom.
+                if term in slots:
+                    emit(f"if {row}[{position}] != s{slots[term]}:")
+                    emit("    continue")
+                else:
+                    slots[term] = len(slots)
+                    emit(f"s{slots[term]} = {row}[{position}]")
+        elif isinstance(step, ConstraintStep):
+            literal = step.literal
+            if step.binds is not None:
+                other = (
+                    literal.right
+                    if step.binds == literal.left
+                    else literal.left
+                )
+                source = term_src(other)
+                slots[step.binds] = len(slots)
+                emit(f"s{slots[step.binds]} = {source}  # bind {literal}")
+            else:
+                reject = "!=" if isinstance(literal, Equality) else "=="
+                cond = (
+                    f"{term_src(literal.left)} {reject} "
+                    f"{term_src(literal.right)}"
+                )
+                emit(f"if {cond}:  # filter {literal}")
+                # Inside a loop a failed filter skips the row; before
+                # any loop (constant-only constraints) it ends the plan.
+                emit("    continue" if depth else
+                     f"    return {empty_result}")
+        else:  # EnumerateStep
+            slots[step.variable] = len(slots)
+            emit(f"for s{slots[step.variable]} in _universe:"
+                 f"  # enumerate {step.variable}")
+            depth += 1
+            emit_tick()
+
+    emit("_produced += 1")
+    if mode == "heads":
+        parts = [term_src(term) for term in rule.head.args]
+        head_src = "(" + ", ".join(parts) + ",)" if len(parts) == 1 \
+            else "(" + ", ".join(parts) + ")"
+        emit(f"_h = {head_src}")
+        emit("if _h not in _existing:")
+        emit("    _fired.add(_h)")
+    else:
+        parts = [f"s{i}" for i in range(len(slots))]
+        out_src = "(" + ", ".join(parts) + ",)" if len(parts) == 1 \
+            else "(" + ", ".join(parts) + ")"
+        emit(f"_out.append({out_src})")
+
+    if atom_ops:
+        externals["_flt"] = ("faults",)
+    kwonly = "".join(f", {p}={p}" for p in externals)
+    star = f", *{kwonly}" if externals else ""
+    kind = "delta" if plan.delta_atom_index is not None else "full"
+    prologue = [
+        f"# {kind} plan ({mode}) for rule: {rule}",
+        "# slots: " + (", ".join(
+            f"s{slot}={variable}" for variable, slot in slots.items()
+        ) or "(none)"),
+        f"def {name}(_delta, _existing, _universe, _tick=None{star}):",
+    ]
+    if atom_ops:
+        prologue.append("    _hit = _flt.faults.hit")
+        prologue.extend(['    _hit("probe")'] * atom_ops)
+    if index_params:
+        prologue.append("    _E = ()")
+    if mode == "heads":
+        prologue.append("    _fired = set()")
+    else:
+        prologue.append("    _out = []")
+    prologue.append("    _produced = 0")
+    source = "\n".join(prologue + body + [f"    return {empty_result}", ""])
+    return PlanSource(
+        plan=plan,
+        name=name,
+        source=source,
+        externals=tuple(externals.items()),
+        slots=tuple(slots.items()),
+        mode=mode,
+    )
+
+
+def _compiled_code(source: str, name: str) -> CodeType:
+    code = _CODE_CACHE.get(source)
+    if code is None:
+        if len(_CODE_CACHE) >= _CODE_CACHE_LIMIT:
+            _CODE_CACHE.clear()
+        code = compile(source, f"<codegen:{name}>", "exec")
+        _CODE_CACHE[source] = code
+    return code
+
+
+def _constant_value(name: str, constants: Mapping[str, Element]) -> Element:
+    try:
+        return constants[name]
+    except KeyError:
+        raise ValueError(
+            f"program mentions constant ${name} but the structure "
+            "does not interpret it"
+        ) from None
+
+
+def bind_plan(
+    plan_source: PlanSource,
+    store: IndexedDatabase,
+    constants: Mapping[str, Element],
+) -> Callable:
+    """Materialise one rendered plan against a store.
+
+    Resolves every external (index ``.get``, live row set, constant
+    value, faults module) and ``exec``s the cached code object with them
+    as the def-time defaults of the keyword-only parameters.  The
+    returned callable is ``fn(delta_rows, existing, universe, tick)``.
+    """
+    namespace: dict[str, object] = {}
+    for param, spec in plan_source.externals:
+        kind = spec[0]
+        if kind == "index":
+            namespace[param] = store.relation(spec[1]).index_for(spec[2]).get
+        elif kind == "rows":
+            namespace[param] = store.relation(spec[1]).rows
+        elif kind == "const":
+            namespace[param] = _constant_value(spec[1], constants)
+        else:  # "faults"
+            namespace[param] = _faults
+    exec(_compiled_code(plan_source.source, plan_source.name), namespace)
+    return namespace[plan_source.name]  # type: ignore[return-value]
+
+
+# ---------------------------------------------------------------------------
+# Program-level entry points (what the engine and EXPLAIN consume).
+# ---------------------------------------------------------------------------
+
+
+def _full_name(rule_index: int) -> str:
+    return f"_codegen_r{rule_index}_full"
+
+
+def _delta_name(rule_index: int, atom_index: int) -> str:
+    return f"_codegen_r{rule_index}_d{atom_index}"
+
+
+def rule_sources(
+    program: Program,
+) -> list[tuple[PlanSource, tuple[tuple[str, PlanSource], ...]]]:
+    """Per rule: the full plan's source and every delta plan's, rendered.
+
+    Each delta entry carries the delta occurrence's predicate (what the
+    engine keys the per-round delta sets by).  Pure rendering -- no
+    store, no constants -- so EXPLAIN can show exactly what a run would
+    execute without evaluating anything.
+    """
+    idb = program.idb_predicates
+    sources = []
+    for rule_index, rule in enumerate(program.rules):
+        full = render_plan(plan_rule(rule), name=_full_name(rule_index))
+        deltas = []
+        for plan in plan_program_rules(rule, idb):
+            atom_index = plan.delta_atom_index
+            predicate = rule.body_atoms()[atom_index].predicate
+            deltas.append((
+                predicate,
+                render_plan(plan, name=_delta_name(rule_index, atom_index)),
+            ))
+        sources.append((full, tuple(deltas)))
+    return sources
+
+
+def bind_full_functions(
+    program: Program,
+    store: IndexedDatabase,
+    constants: Mapping[str, Element],
+) -> list[Callable]:
+    """One bound round-1 function per rule, in rule order."""
+    return [
+        bind_plan(
+            render_plan(plan_rule(rule), name=_full_name(rule_index)),
+            store,
+            constants,
+        )
+        for rule_index, rule in enumerate(program.rules)
+    ]
+
+
+def bind_delta_functions(
+    program: Program,
+    store: IndexedDatabase,
+    constants: Mapping[str, Element],
+) -> list[tuple[tuple[str, Callable], ...]]:
+    """Per rule: ``(delta predicate, bound function)`` per occurrence.
+
+    EDB-only rules get an empty tuple (nothing to re-derive after
+    round 1), matching :func:`~repro.datalog.planner.plan_program_rules`.
+    """
+    idb = program.idb_predicates
+    compiled = []
+    for rule_index, rule in enumerate(program.rules):
+        bound = []
+        for plan in plan_program_rules(rule, idb):
+            atom_index = plan.delta_atom_index
+            source = render_plan(
+                plan, name=_delta_name(rule_index, atom_index)
+            )
+            bound.append((
+                rule.body_atoms()[atom_index].predicate,
+                bind_plan(source, store, constants),
+            ))
+        compiled.append(tuple(bound))
+    return compiled

@@ -1,7 +1,7 @@
 """Bottom-up fixpoint evaluation of Datalog(!=) programs.
 
-Three engines are provided and cross-validated against each other in
-the test suite (plus a fourth, algebra-backed one in
+Four engines are provided and cross-validated against each other in
+the test suite (plus a fifth, algebra-backed one in
 :mod:`repro.datalog.algebra_engine`):
 
 * **naive** -- iterate the paper's operator ``Theta`` from the empty
@@ -14,9 +14,13 @@ the test suite (plus a fourth, algebra-backed one in
   per-relation hash indexes (:mod:`repro.datalog.indexing`, built lazily
   per position signature, maintained incrementally as deltas merge) and
   greedily reordered rule bodies (:mod:`repro.datalog.planner`, delta
-  occurrence first, constraints as early as their variables are bound).
+  occurrence first, constraints as early as their variables are bound);
+* **codegen** -- the same plans *compiled to specialized Python
+  functions* (:mod:`repro.datalog.codegen`): nested loops over index
+  buckets with constraints inlined as ``if`` statements, eliminating
+  the interpreter's per-op dispatch and per-binding list copies.
 
-All three engines produce identical relations, goal answers, iteration
+All four engines produce identical relations, goal answers, iteration
 counts, and per-round stage snapshots -- the rounds of each engine are
 the same sequence ``Theta^1 <= Theta^2 <= ...`` of Section 2, so the
 Theorem 3.6 stage translations are engine-independent.
@@ -60,6 +64,7 @@ from repro.datalog.ast import (
     Term,
     Variable,
 )
+from repro.datalog.codegen import bind_delta_functions, bind_full_functions
 from repro.datalog.indexing import IndexedDatabase, hash_index
 from repro.datalog.planner import (
     AtomStep,
@@ -76,7 +81,7 @@ Database = dict[str, set]
 Binding = dict[Variable, Element]
 
 #: The engines accepted by :func:`evaluate`'s ``method`` parameter.
-METHODS = ("indexed", "seminaive", "naive")
+METHODS = ("indexed", "seminaive", "naive", "codegen")
 
 
 @dataclass(frozen=True)
@@ -594,7 +599,8 @@ def evaluate(
         Theorem 6.1 does ("consider the following program in which T is
         viewed as an EDB predicate").
     method:
-        ``"indexed"`` (default), ``"seminaive"``, or ``"naive"``.
+        ``"indexed"`` (default), ``"seminaive"``, ``"naive"``, or
+        ``"codegen"``.
     collect_stages:
         When true, record the cumulative stage relations after every
         round.  Rounds coincide across the engines, so the recorded
@@ -620,9 +626,10 @@ def evaluate(
         verified, :class:`repro.guard.CheckpointMismatch` otherwise).
         Evaluation restarts mid-fixpoint and the final result --
         semantic profile view and stage sequence included -- is
-        identical to an uninterrupted run.  Only the semi-naive and
-        indexed engines accept resumption (naive checkpoints *are*
-        semi-naive state and resume under either).
+        identical to an uninterrupted run.  Only the semi-naive,
+        indexed, and codegen engines accept resumption (naive
+        checkpoints *are* semi-naive state and resume under any of
+        them).
     checkpoint_sink:
         Optional callable receiving a :class:`repro.guard.Checkpoint`
         after every completed round (on-demand checkpointing).
@@ -698,6 +705,7 @@ def evaluate(
         "naive": _naive,
         "seminaive": _seminaive,
         "indexed": _indexed,
+        "codegen": _codegen,
     }[method]
     _metrics.metrics.inc("datalog.evaluations")
     with _trace.tracer.span(
@@ -1416,6 +1424,145 @@ def _indexed(
 
     # The store adopted copies of the database's row sets; write the
     # final interpretations back so the caller's snapshot sees them.
+    for predicate in idb:
+        database[predicate] = store.rows(predicate)
+    return iterations
+
+
+def _codegen(
+    program: Program,
+    database: Database,
+    universe: list,
+    constants: Mapping[str, Element],
+    stage_snapshots: list[dict[str, frozenset]] | None = None,
+    profile: _ProfileBuilder | None = None,
+    guard: EvaluationGuard | None = None,
+    checkpoint: Callable | None = None,
+    resume: Checkpoint | None = None,
+) -> int:
+    """Generated-code semi-naive evaluation; mutates ``database``.
+
+    The same round structure as :func:`_indexed` -- round 1 applies
+    every rule's full plan to the EDB-only store, later rounds only the
+    delta-specialised plans -- but each plan runs as a specialized
+    Python function emitted by :mod:`repro.datalog.codegen` instead of
+    through the op interpreter.  The functions read the store's
+    incrementally-maintained index buckets directly (bound once, before
+    round 1: bucket dicts are updated in place as deltas merge), return
+    ``(fired, produced)``, and tick the guard once per outermost-loop
+    row, so checkpoints, trips, spans, and the semantic profile view are
+    indistinguishable from the other engines'.
+    """
+    tracer = _trace.tracer
+    idb = program.idb_predicates
+    store = IndexedDatabase(database)
+    tick = None if guard is None else guard.tick
+    delta_functions = bind_delta_functions(program, store, constants)
+
+    iterations = 0
+    delta: dict[str, set] = {}
+    try:
+        if resume is not None:
+            iterations = resume.iteration
+            delta = {p: set(resume.delta.get(p, ())) for p in idb}
+        else:
+            if guard is not None:
+                guard.check_boundary()
+            full_functions = bind_full_functions(program, store, constants)
+            # Initial round: every rule against the EDB-only store.
+            if profile is not None:
+                profile.start_round()
+            produced = 0
+            per_rule: list[set] = []
+            with tracer.span("iteration", engine="codegen", round=1):
+                for rule, function in zip(program.rules, full_functions):
+                    _faults.faults.hit("rule")
+                    fired, fn_produced = function(
+                        (), store.rows(rule.head.predicate), universe, tick
+                    )
+                    produced += fn_produced
+                    per_rule.append(fired)
+            # The functions already exclude pre-round rows, so each
+            # fired set is exactly the rule's distinct-new head count.
+            rule_firings = [len(fired) for fired in per_rule]
+            derived: dict[str, set] = {p: set() for p in idb}
+            for rule, fired in zip(program.rules, per_rule):
+                derived[rule.head.predicate] |= fired
+            delta = {}
+            for predicate, tuples in derived.items():
+                delta[predicate] = store.merge(predicate, tuples)
+            iterations = 1
+            _record_round(
+                "codegen",
+                {p: len(rows) for p, rows in delta.items()},
+                rule_firings,
+                produced,
+                produced,
+                profile,
+                guard,
+            )
+            if stage_snapshots is not None:
+                stage_snapshots.append(store.snapshot(idb))
+            if checkpoint is not None:
+                checkpoint(iterations, delta, store.snapshot(idb))
+
+        while any(delta.values()):
+            if guard is not None:
+                guard.check_boundary()
+            if profile is not None:
+                profile.start_round()
+            new_derived = {p: set() for p in idb}
+            rule_firings = []
+            produced = 0
+            with tracer.span(
+                "iteration", engine="codegen", round=iterations + 1
+            ):
+                for rule_index, (rule, functions) in enumerate(
+                    zip(program.rules, delta_functions)
+                ):
+                    _faults.faults.hit("rule")
+                    existing = store.rows(rule.head.predicate)
+                    fired: set = set()
+                    with tracer.span(
+                        "rule", rule=rule_index, head=rule.head.predicate
+                    ) as span:
+                        for predicate, function in functions:
+                            rows = delta[predicate]
+                            if not rows:
+                                continue
+                            fn_fired, fn_produced = function(
+                                rows, existing, universe, tick
+                            )
+                            fired |= fn_fired
+                            produced += fn_produced
+                        span.annotate(fired=len(fired))
+                    new_derived[rule.head.predicate] |= fired
+                    rule_firings.append(len(fired))
+            delta = {
+                predicate: store.merge(predicate, tuples)
+                for predicate, tuples in new_derived.items()
+            }
+            iterations += 1
+            _record_round(
+                "codegen",
+                {p: len(rows) for p, rows in delta.items()},
+                rule_firings,
+                produced,
+                produced,
+                profile,
+                guard,
+            )
+            if stage_snapshots is not None:
+                stage_snapshots.append(store.snapshot(idb))
+            if checkpoint is not None:
+                checkpoint(iterations, delta, store.snapshot(idb))
+    except GuardTrip as trip:
+        # Store state is at the last completed boundary; surface it in
+        # the caller's database before reporting the interrupt.
+        for predicate in idb:
+            database[predicate] = store.rows(predicate)
+        raise _EngineInterrupt(trip, iterations, delta) from None
+
     for predicate in idb:
         database[predicate] = store.rows(predicate)
     return iterations

@@ -276,8 +276,8 @@ class BudgetExceeded(Exception):
         a full run.
     checkpoint:
         A :class:`Checkpoint` of the same boundary when the interrupted
-        engine supports resumption (semi-naive / indexed / naive
-        emission; ``None`` for the algebra engine), or ``None``.
+        engine supports resumption (semi-naive / indexed / codegen /
+        naive emission; ``None`` for the algebra engine), or ``None``.
     """
 
     def __init__(
@@ -391,7 +391,7 @@ def edb_fingerprint(
 # ---------------------------------------------------------------------------
 
 #: Engines whose checkpoints carry resumable semi-naive state.
-RESUMABLE_ENGINES = ("seminaive", "indexed")
+RESUMABLE_ENGINES = ("seminaive", "indexed", "codegen")
 
 
 @dataclass(frozen=True)

@@ -124,6 +124,40 @@ def explain_program(program: Program, name: str | None = None) -> str:
     return "\n".join(header) + "\n\n".join(blocks)
 
 
+def explain_codegen(program: Program, name: str | None = None) -> str:
+    """The specialized Python source the codegen engine generates.
+
+    This is what ``repro explain --engine codegen`` prints: per rule,
+    the round-1 (full-plan) function and every delta-specialised
+    function, exactly as :mod:`repro.datalog.codegen` renders them for
+    execution -- same slot numbering, same index parameters, same
+    source bytes (rendering is deterministic).
+    """
+    from repro.datalog.codegen import rule_sources
+
+    title = f"EXPLAIN CODEGEN {name}" if name else "EXPLAIN CODEGEN"
+    lines = [
+        f"{title}: goal {program.goal}, {len(program.rules)} rules, "
+        f"IDB {{{', '.join(sorted(program.idb_predicates))}}}, "
+        f"EDB {{{', '.join(sorted(program.edb_predicates))}}}",
+        "",
+    ]
+    for rule_index, (full, deltas) in enumerate(rule_sources(program)):
+        lines.append(f"rule {rule_index}: {program.rules[rule_index]}")
+        lines.append("")
+        lines.append(full.source.rstrip("\n"))
+        if not deltas:
+            lines.append("")
+            lines.append(
+                "# delta functions: none (EDB-only body; round 1 only)"
+            )
+        for __, source in deltas:
+            lines.append("")
+            lines.append(source.source.rstrip("\n"))
+        lines.append("")
+    return "\n".join(lines).rstrip("\n") + "\n"
+
+
 def explain_magic(rewrite, name: str | None = None) -> str:
     """EXPLAIN output for a magic-sets rewrite.
 

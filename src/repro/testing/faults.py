@@ -11,11 +11,13 @@ permanent, feather-weight fault sites instead:
     hit once per completed fixpoint round (in ``_record_round``, which
     every engine already funnels through);
 ``rule``
-    hit once per rule processed inside a round (all four engines plus
-    the incremental propagation loop);
+    hit once per rule processed inside a round (every fixpoint engine
+    -- codegen included -- plus the incremental propagation loop);
 ``probe``
     hit once per atom-scan operator executed in the compiled-plan
-    interpreter (``_run_plan``).
+    interpreter (``_run_plan``); the codegen engine hoists the same
+    hits into each generated function's prologue, one per atom op per
+    invocation, so probe schedules stay engine-portable.
 
 Cost discipline mirrors :mod:`repro.obs.metrics`: instrumented code
 calls ``faults.hit("round")`` unconditionally through this module's

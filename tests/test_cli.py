@@ -89,7 +89,7 @@ class TestGoalDirectedRun:
         assert "a\tb" in out and "a\td" in out
 
     @pytest.mark.parametrize(
-        "engine", ["naive", "seminaive", "indexed", "algebra"]
+        "engine", ["naive", "seminaive", "indexed", "codegen", "algebra"]
     )
     def test_check_with_magic_per_engine(
         self, program_file, path_graph_file, engine
@@ -249,7 +249,9 @@ class TestEngineOption:
         ]) == 0
         assert "6 tuples" in capsys.readouterr().out
 
-    @pytest.mark.parametrize("engine", ["naive", "seminaive", "indexed"])
+    @pytest.mark.parametrize(
+        "engine", ["naive", "seminaive", "indexed", "codegen"]
+    )
     def test_transitive_closure_per_engine(
         self, capsys, program_file, path_graph_file, engine
     ):
@@ -260,7 +262,9 @@ class TestEngineOption:
         assert "6 tuples" in out
         assert "a\td" in out
 
-    @pytest.mark.parametrize("engine", ["naive", "seminaive", "indexed"])
+    @pytest.mark.parametrize(
+        "engine", ["naive", "seminaive", "indexed", "codegen"]
+    )
     def test_avoiding_path_per_engine(
         self, capsys, avoiding_file, path_graph_file, engine
     ):
@@ -274,7 +278,7 @@ class TestEngineOption:
         self, capsys, avoiding_file, path_graph_file
     ):
         outputs = set()
-        for engine in ["naive", "seminaive", "indexed", "algebra"]:
+        for engine in ["naive", "seminaive", "indexed", "codegen", "algebra"]:
             assert main([
                 "run", avoiding_file, path_graph_file, "--engine", engine,
             ]) == 0
@@ -289,7 +293,7 @@ class TestEngineOption:
         assert args.engine == "indexed"
 
     def test_check_tuple_per_engine(self, program_file, path_graph_file):
-        for engine in ["naive", "seminaive", "indexed"]:
+        for engine in ["naive", "seminaive", "indexed", "codegen"]:
             assert main([
                 "run", program_file, path_graph_file,
                 "--engine", engine, "--check", "a", "c",
@@ -336,7 +340,7 @@ class TestObservabilityFlags:
         assert "index.probes" in err
 
     @pytest.mark.parametrize(
-        "engine", ["naive", "seminaive", "indexed", "algebra"]
+        "engine", ["naive", "seminaive", "indexed", "codegen", "algebra"]
     )
     def test_stats_per_engine(
         self, capsys, program_file, path_graph_file, engine
@@ -418,6 +422,36 @@ class TestExplainCommand:
     def test_magic_bad_adornment(self, capsys):
         assert main(["explain", "transitive-closure", "--magic", "bbb"]) == 2
         assert "adornment" in capsys.readouterr().err
+
+    def test_codegen_engine_prints_generated_source(self, capsys):
+        assert main([
+            "explain", "transitive-closure", "--engine", "codegen",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("EXPLAIN CODEGEN transitive-closure: goal S")
+        # Round-1 and delta-specialised functions for the recursive rule.
+        assert "def _codegen_r1_full(" in out
+        assert "def _codegen_r1_d1(" in out
+        assert "for _r0 in _delta:" in out
+        # The printed source is exactly what a run executes: it compiles.
+        compile(
+            "\n".join(
+                line for line in out.splitlines()
+                if not line.startswith(("EXPLAIN", "rule "))
+            ),
+            "<explain>", "exec",
+        )
+
+    def test_codegen_engine_composes_with_magic(self, capsys):
+        assert main([
+            "explain", "transitive-closure", "--magic", "bf",
+            "--engine", "codegen",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith(
+            "EXPLAIN CODEGEN transitive-closure (magic rewrite)"
+        )
+        assert "def _codegen_r0_full(" in out
 
 
 class TestErrorContract:
@@ -639,7 +673,7 @@ class TestResourceGovernance:
 
     def test_budget_trip_per_engine(self, capsys, program_file,
                                     path_graph_file):
-        for engine in ("indexed", "seminaive", "naive", "algebra"):
+        for engine in ("indexed", "codegen", "seminaive", "naive", "algebra"):
             assert main([
                 "run", program_file, path_graph_file,
                 "--engine", engine, "--max-iterations", "1",

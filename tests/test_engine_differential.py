@@ -1,9 +1,10 @@
-"""Differential testing of the three binding engines.
+"""Differential testing of the five engines.
 
-The naive, semi-naive, and indexed engines must be observationally
+The naive, semi-naive, indexed, and codegen engines (every entry of
+:data:`repro.datalog.evaluation.METHODS`) must be observationally
 identical: same final relations, same goal relation, same per-round
-stage sequence ``Theta^1 <= Theta^2 <= ...``, same iteration count.
-This harness checks the property on
+stage sequence ``Theta^1 <= Theta^2 <= ...``, same iteration count,
+same semantic profile view.  This harness checks the property on
 
 * a seeded stream of random (program, structure) pairs -- plain
   ``random``, no hypothesis, so the corpus is reproducible and its size
@@ -11,8 +12,9 @@ This harness checks the property on
 * every concrete program of :mod:`repro.datalog.library` on structure
   families fitting its vocabulary.
 
-The algebra engine has no stage/iteration contract of its own beyond
-fixpoint equality, so it joins the comparison on relations only.
+The algebra engine -- the fifth -- has no stage/iteration contract of
+its own beyond fixpoint equality, so it joins the comparison on
+relations and the semantic profile view only.
 """
 
 import itertools

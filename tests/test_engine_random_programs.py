@@ -80,8 +80,9 @@ def test_all_engines_agree(program, seed):
     naive = evaluate(program, structure, method="naive").relations
     semi = evaluate(program, structure, method="seminaive").relations
     indexed = evaluate(program, structure, method="indexed").relations
+    codegen = evaluate(program, structure, method="codegen").relations
     algebra = evaluate_algebra(program, structure).relations
-    assert naive == semi == indexed == algebra
+    assert naive == semi == indexed == codegen == algebra
 
 
 @settings(max_examples=25, deadline=None)

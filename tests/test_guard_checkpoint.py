@@ -165,12 +165,12 @@ def test_resume_determinism_every_round(name):
 
 
 def test_cross_engine_resume():
-    """Checkpoints carry *semantic* state: a checkpoint cut under one
-    resumable engine finishes correctly under the other (and one cut by
-    the naive engine's per-round emission resumes under both)."""
+    """Checkpoints carry *semantic* state: a checkpoint cut under any
+    resumable engine finishes correctly under every other (and one cut
+    by the naive engine's per-round emission resumes under all)."""
     structure = path_graph(9).to_structure()
     full = evaluate(TC, structure)
-    for source in ("indexed", "seminaive", "naive"):
+    for source in ("indexed", "seminaive", "naive", "codegen"):
         sink: list = []
         try:
             evaluate(
