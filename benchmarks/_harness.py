@@ -1,7 +1,7 @@
 """Shared helpers for the benchmark harness.
 
 Every ``bench_*`` module regenerates one experiment row of DESIGN.md's
-index (E1-E15).  Benchmarks assert the *shape* of the paper's result
+index (E1-E21).  Benchmarks assert the *shape* of the paper's result
 (who wins, which deciders agree, which dichotomy side a pattern falls
 on) and time the reproducing computation; absolute numbers are ours,
 the shape is the paper's.
@@ -10,24 +10,33 @@ Run with::
 
     pytest benchmarks/ --benchmark-only
 
-Row schema
-----------
+Row and artifact schema
+-----------------------
 
 Scripted benchmark runs (``main(--json PATH)``) and the pytest
-``extra_info`` payloads both speak one schema per row::
+``extra_info`` payloads both speak one row schema, and ``write_rows``
+wraps the rows in the versioned ``BENCH_<name>.json`` document of
+:mod:`repro.obs.bench` (schema version, bench name, machine info)::
 
     {"name": str, "params": dict, "engine": str | None,
-     "wall_ms": float, "counters": {metric: int}}
+     "wall_ms": float, "counters": {metric: int},
+     "analyze": dict | None}
 
 ``counters`` is a :mod:`repro.obs` registry snapshot taken around the
 timed call, so a bench row records not just *how long* but *how much
-work* (rounds, rule firings, index probes) the run did.
+work* (rounds, rule firings, index probes) the run did; ``analyze`` is
+an optional EXPLAIN ANALYZE summary
+(:meth:`repro.obs.analyze.PlanProfile.summary`).  ``repro bench
+report`` renders the artifacts and ``repro bench compare`` gates on
+them (the CI perf gate).
 """
 
 import json
 import time
 
 from repro.obs import metrics as _metrics
+from repro.obs.analyze import PlanProfile
+from repro.obs.bench import make_document
 
 
 def record(benchmark, **info):
@@ -57,12 +66,15 @@ def measure(benchmark, fn):
     return result
 
 
-def timed_row(name, fn, *, engine=None, params=None, repeats=1):
+def timed_row(name, fn, *, engine=None, params=None, repeats=1, analyze=None):
     """Best-of-``repeats`` timing of ``fn`` as a schema row.
 
     Returns ``(result, row)``: the last call's return value and the
     shared-schema dict (wall_ms is the minimum over repeats; counters
     come from the final repeat, so they describe one clean run).
+    ``analyze`` embeds an EXPLAIN ANALYZE summary in the row: pass a
+    :class:`~repro.obs.analyze.PlanProfile` or an already-summarised
+    dict.
     """
     registry = _metrics.MetricsRegistry()
     times = []
@@ -76,18 +88,28 @@ def timed_row(name, fn, *, engine=None, params=None, repeats=1):
             times.append(time.perf_counter() - start)
     finally:
         _metrics.disable_metrics()
+    if isinstance(analyze, PlanProfile):
+        analyze = analyze.summary()
     row = {
         "name": name,
         "params": dict(params or {}),
         "engine": engine,
         "wall_ms": round(min(times) * 1000, 3),
         "counters": registry.snapshot()["counters"],
+        "analyze": analyze,
     }
     return result, row
 
 
-def write_rows(path, rows):
-    """Write schema rows as a JSON array (the CI bench artifact)."""
+def write_rows(path, rows, bench=""):
+    """Write rows as a versioned bench document (the CI bench artifact).
+
+    ``bench`` names the emitting script (``"codegen"`` for
+    ``bench_codegen.py``); the document embeds it together with the
+    schema version and machine info so ``repro bench compare`` can
+    align artifacts from different runs.
+    """
     with open(path, "w", encoding="utf-8") as handle:
-        json.dump(list(rows), handle, indent=2, sort_keys=True)
+        json.dump(make_document(bench, rows), handle, indent=2,
+                  sort_keys=True)
         handle.write("\n")

@@ -195,7 +195,7 @@ def main(argv=None):
             )
             failures += 1
     if args.json:
-        write_rows(args.json, rows)
+        write_rows(args.json, rows, bench="codegen")
         print(f"wrote {len(rows)} rows to {args.json}")
     if failures:
         print(f"{failures} failure(s)", file=sys.stderr)

@@ -204,7 +204,7 @@ def main(argv=None):
                 line += "  MISMATCH"
             print(line)
     if args.json:
-        write_rows(args.json, rows)
+        write_rows(args.json, rows, bench="datalog_programs")
         print(f"wrote {len(rows)} rows to {args.json}")
     if failures:
         print(f"{failures} engine mismatch(es)", file=sys.stderr)

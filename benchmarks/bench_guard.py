@@ -255,7 +255,7 @@ def main(argv=None):
                 f"on {name}"
             )
     if args.json:
-        write_rows(args.json, rows)
+        write_rows(args.json, rows, bench="guard")
         print(f"wrote {len(rows)} rows to {args.json}")
     return 0
 

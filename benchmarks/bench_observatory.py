@@ -1,0 +1,295 @@
+"""E21 -- the observability stack observes itself: analyze, profile, gate.
+
+Regenerates three claims about ``repro.obs`` v2 on the Q_{2,1}
+engine-sweep instance (the largest default of ``bench_codegen``):
+
+1. **EXPLAIN ANALYZE is free when off and exact when on.**  The
+   never-enabled analyze path must cost <= 5% of the indexed engine's
+   runtime (bounded as an instrumentation budget: counted ``is not
+   None`` branch tests x the measured cost of one such test, the same
+   robust phrasing as ``tests/test_obs.py``), the codegen engine's
+   disabled source must be byte-identical to uninstrumented code, and
+   the enabled counts must agree binding-for-binding between the
+   indexed and codegen engines.
+
+2. **The profiler is deterministic.**  Profiling the same exported
+   trace twice yields identical tables.
+
+3. **The regression gate trips.**  ``repro.obs.bench.compare`` must
+   pass on two identical documents and fail on a synthetic 2x
+   slowdown -- the self-test that the CI perf gate is live.
+
+Also runnable as a script (CI smoke)::
+
+    PYTHONPATH=src python benchmarks/bench_observatory.py --quick --json out.json
+"""
+
+import io
+import time
+
+import pytest
+
+from _harness import record, timed_row, write_rows
+from repro.datalog.evaluation import evaluate
+from repro.datalog.library import q_program
+from repro.datalog.codegen import render_plan, rule_sources
+from repro.graphs.generators import random_digraph
+from repro.obs import enable_tracing, disable_tracing
+from repro.obs.bench import compare, make_document, parse_document
+from repro.obs.profile import profile_jsonl
+
+#: The largest default Q_{2,1} instance (mirrors bench_codegen).
+QKL_LARGEST = (2, 1, 12)
+QKL_QUICK = (2, 1, 9)
+
+#: The acceptance bar for the never-enabled analyze path.
+OVERHEAD_BAR = 0.05
+
+#: Conservative per-check cost estimate is *measured*, not assumed; this
+#: is only the loop size used to measure it.
+_CALIBRATION_LOOPS = 100_000
+
+
+def _instance(quick=False):
+    k, l, n = QKL_QUICK if quick else QKL_LARGEST
+    program = q_program(k, l)
+    structure = random_digraph(n, 0.25, seed=7).to_structure()
+    return program, structure, {"k": k, "l": l, "nodes": n}
+
+
+def _is_not_none_cost():
+    """Measured seconds per ``x is not None`` test (the disabled branch)."""
+    sentinel = None
+    start = time.perf_counter()
+    acc = 0
+    for __ in range(_CALIBRATION_LOOPS):
+        if sentinel is not None:
+            acc += 1
+    return (time.perf_counter() - start) / _CALIBRATION_LOOPS
+
+
+def _analyze_branch_count(profile):
+    """Branch tests the disabled analyze path would perform for this run.
+
+    From an *enabled* run's PlanProfile: every plan invocation performs
+    two ``node_stats is not None`` tests per plan node in the
+    interpreter, and every (round x rule) adds a handful of
+    ``analyze is not None`` checks in the engine loop.  Over-counts the
+    disabled path (which skips the per-invocation wall-clock reads), so
+    the bound is conservative.
+    """
+    tests = 0
+    for rule in profile.rules:
+        for plan in rule.plans:
+            tests += plan.invocations * 2 * max(len(plan.nodes), 1)
+    tests += profile.rounds * len(profile.rules) * 6
+    return tests
+
+
+def check_disabled_analyze_overhead(program, structure):
+    """(budget_seconds, runtime_seconds) for the <= 5% assertion."""
+    run = lambda: evaluate(program, structure, method="indexed")
+    run()  # warm caches
+    runtime = min(
+        _timed(run) for __ in range(3)
+    )
+    analyzed = evaluate(
+        program, structure, method="indexed", collect_analyze=True
+    )
+    tests = _analyze_branch_count(analyzed.profile.plans)
+    budget = tests * _is_not_none_cost()
+    return budget, runtime
+
+
+def check_codegen_disabled_source_is_clean(program):
+    """Disabled codegen source must carry zero analyze instrumentation."""
+    for full, deltas in rule_sources(program):
+        sources = [full.source] + [source.source for __, source in deltas]
+        for source in sources:
+            assert "_an" not in source and "_i0" not in source, (
+                "disabled codegen source contains analyze instrumentation"
+            )
+
+
+def check_counts_agree(program, structure):
+    """Indexed and codegen analyze counts must agree node-for-node."""
+    indexed = evaluate(
+        program, structure, method="indexed", collect_analyze=True
+    )
+    codegen = evaluate(
+        program, structure, method="codegen", collect_analyze=True
+    )
+    assert indexed.relations == codegen.relations
+    iview = indexed.profile.plans.counts_view()
+    cview = codegen.profile.plans.counts_view()
+    assert iview == cview, "analyze counts diverge between plan engines"
+    return indexed.profile.plans, codegen.profile.plans
+
+
+def check_profile_determinism(program, structure):
+    """Same trace -> same profile table, twice."""
+    tracer = enable_tracing()
+    try:
+        evaluate(program, structure, method="indexed")
+    finally:
+        disable_tracing()
+    buffer = io.StringIO()
+    tracer.export_jsonl(buffer)
+    lines = buffer.getvalue().splitlines()
+    first = profile_jsonl(lines)
+    second = profile_jsonl(lines)
+    assert first == second, "profiling the same trace twice diverged"
+    assert first.rows, "profile of a traced run is empty"
+    return first
+
+
+def check_gate_self_test(rows):
+    """Identical docs pass the gate; a 2x slowdown trips it."""
+    baseline = parse_document(make_document("observatory", rows))
+    identical = compare(baseline, baseline, threshold=1.25, mode="wall")
+    assert identical.ok, "gate failed on two identical documents"
+    slowed = [dict(row, wall_ms=row["wall_ms"] * 2.0) for row in rows]
+    regressed = compare(
+        baseline,
+        parse_document(make_document("observatory", slowed)),
+        threshold=1.25,
+        mode="wall",
+    )
+    assert not regressed.ok, "gate missed a synthetic 2x slowdown"
+    assert len(regressed.regressions) == len(rows)
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def bench_disabled_analyze_overhead(benchmark):
+    """Never-enabled analyze budget <= 5% of the Q_{2,1} runtime."""
+    program, structure, params = _instance()
+    budget, runtime = check_disabled_analyze_overhead(program, structure)
+    check_codegen_disabled_source_is_clean(program)
+    benchmark.pedantic(
+        lambda: evaluate(program, structure, method="indexed"),
+        rounds=1,
+        iterations=1,
+    )
+    record(
+        benchmark,
+        experiment="E21",
+        **params,
+        budget_us=round(budget * 1e6, 1),
+        runtime_ms=round(runtime * 1e3, 1),
+    )
+    assert budget < OVERHEAD_BAR * runtime, (
+        f"analyze branch budget ~{budget * 1e6:.0f}us exceeds "
+        f"{OVERHEAD_BAR:.0%} of the {runtime * 1e3:.1f}ms workload"
+    )
+
+
+def bench_analyze_counts_agree(benchmark):
+    """Enabled analyze: indexed == codegen counts on Q_{2,1}."""
+    program, structure, params = _instance()
+    plans, __ = check_counts_agree(program, structure)
+    benchmark.pedantic(
+        lambda: evaluate(
+            program, structure, method="codegen", collect_analyze=True
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record(
+        benchmark,
+        experiment="E21",
+        **params,
+        rows_processed=plans.total_rows_processed,
+        rounds=plans.rounds,
+    )
+
+
+def main(argv=None):
+    """CI smoke: analyze parity + overhead budget + profiler determinism
+    + the regression-gate self-test, with shared-schema rows."""
+    import argparse
+    import sys
+
+    parser = argparse.ArgumentParser(description=main.__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller instance (CI smoke)",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH",
+        help="also write the timing rows as a bench document",
+    )
+    args = parser.parse_args(argv)
+
+    program, structure, params = _instance(quick=args.quick)
+    failures = 0
+
+    plans, __ = check_counts_agree(program, structure)
+    print(
+        f"analyze parity OK: {plans.total_rows_processed} rows processed, "
+        f"{plans.rounds} rounds"
+    )
+
+    budget, runtime = check_disabled_analyze_overhead(program, structure)
+    print(
+        f"disabled-analyze budget ~{budget * 1e6:.0f}us vs "
+        f"{runtime * 1e3:.1f}ms runtime"
+    )
+    if budget >= OVERHEAD_BAR * runtime:
+        print(
+            f"overhead budget exceeds {OVERHEAD_BAR:.0%}", file=sys.stderr
+        )
+        failures += 1
+    try:
+        check_codegen_disabled_source_is_clean(program)
+    except AssertionError as exc:
+        print(f"codegen source check FAILED: {exc}", file=sys.stderr)
+        failures += 1
+
+    profile = check_profile_determinism(program, structure)
+    print(
+        f"profiler OK: {profile.span_count} spans, "
+        f"{len(profile.rows)} deterministic rows"
+    )
+
+    rows = []
+    for engine in ("indexed", "codegen"):
+        result, row = timed_row(
+            f"q-{params['k']}-{params['l']}",
+            lambda engine=engine: evaluate(
+                program, structure, method=engine
+            ),
+            engine=engine,
+            params=params,
+            repeats=2,
+        )
+        analyzed = evaluate(
+            program, structure, method=engine, collect_analyze=True
+        )
+        row["analyze"] = analyzed.profile.plans.summary()
+        rows.append(row)
+        print(f"{engine:<8} {row['wall_ms']:>10.1f}ms")
+
+    try:
+        check_gate_self_test(rows)
+        print("regression gate OK: trips on 2x, passes on identical")
+    except AssertionError as exc:
+        print(f"gate self-test FAILED: {exc}", file=sys.stderr)
+        failures += 1
+
+    if args.json:
+        write_rows(args.json, rows, bench="observatory")
+        print(f"wrote {len(rows)} rows to {args.json}")
+    if failures:
+        print(f"{failures} failure(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

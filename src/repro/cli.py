@@ -24,7 +24,18 @@ Subcommands
   ``--engine codegen`` prints the specialized Python source the codegen
   engine generates from those plans instead; ``--magic ADORNMENT``
   shows the adorned and magic (demand) rules of the goal-directed
-  rewrite first.
+  rewrite first; ``repro explain PROGRAM GRAPH --analyze`` *runs* the
+  program and prints the plans annotated with actual per-node
+  cardinalities (EXPLAIN ANALYZE), flagging each rule's hottest node.
+* ``repro profile run PROGRAM GRAPH`` / ``repro profile --from
+  FILE.jsonl`` -- the deterministic span profiler: a flamegraph-style
+  inclusive/exclusive wall-time table keyed by span kind and rule,
+  from a live run or from any previously exported ``--trace`` file
+  (fixpoint runs, incremental maintenance, governed runs).
+* ``repro bench report FILE...`` / ``repro bench compare OLD NEW`` --
+  the bench observatory: render ``BENCH_<name>.json`` artifacts and
+  gate on per-row regressions (``compare`` exits 1 when a row exceeds
+  ``--threshold``; the CI perf gate).
 * ``repro maintain PROGRAM GRAPH`` -- incremental view maintenance:
   run the fixpoint once, then replay EDB updates (``--insert`` /
   ``--delete`` / ``--script FILE``) through an
@@ -33,8 +44,13 @@ Subcommands
   cross-checks every step against a from-scratch evaluation.
 
 Observability: every subcommand accepts ``--stats`` (counter table +
-evaluation profile on stderr) and ``--trace FILE.jsonl`` (hierarchical
-span export); see :mod:`repro.obs`.
+evaluation profile on stderr), ``--stats-json FILE`` (the snapshot as
+JSON), and ``--trace FILE.jsonl`` (hierarchical span export); ``run``
+additionally accepts ``--analyze`` / ``--analyze-json FILE`` (EXPLAIN
+ANALYZE for the plan engines); see :mod:`repro.obs`.  Export
+destinations are validated up front: an unwritable ``--trace`` /
+``--stats-json`` / ``--analyze-json`` path is a one-line exit-2 error,
+never a traceback after the work already ran.
 
 Resource governance: ``run`` and ``maintain`` accept ``--timeout``,
 ``--max-iterations``, and ``--max-tuples`` (see :mod:`repro.guard`).
@@ -55,11 +71,13 @@ mismatched checkpoints) exit with code 2 and a one-line
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from typing import Sequence
 
 from repro.cnf.sat import satisfying_assignment
-from repro.datalog.evaluation import evaluate
+from repro.datalog.evaluation import ANALYZE_ENGINES, evaluate
 from repro.graphs.digraph import DiGraph
 from repro.io import (
     dump_digraph,
@@ -106,6 +124,22 @@ def _print_budget_trip(exc) -> None:
         f"{spent.get('wall_seconds', 0.0):.3f}s)",
         file=sys.stderr,
     )
+
+
+def _ensure_writable(path: str, flag: str) -> None:
+    """Fail fast when an export destination cannot be written.
+
+    Checked *before* the subcommand runs, so ``--trace`` /
+    ``--stats-json`` / ``--analyze-json`` pointed at an unwritable path
+    is a one-line exit-2 error up front, not a traceback after minutes
+    of evaluation already happened.
+    """
+    try:
+        handle = open(path, "a", encoding="utf-8")
+    except OSError as exc:
+        reason = exc.strerror or exc.__class__.__name__
+        raise CliError(f"cannot write {flag} file {path!r}: {reason}")
+    handle.close()
 
 
 def _parse_assignment(pairs: Sequence[str]) -> dict[str, str]:
@@ -186,6 +220,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     __, program = _load_program_or_library(args.program, args.goal)
     graph = load_digraph(args.graph)
     profiled = bool(getattr(args, "stats", False))
+    analyze = bool(args.analyze) or bool(args.analyze_json)
+    if analyze and args.engine not in ANALYZE_ENGINES:
+        raise CliError(
+            f"--analyze requires a plan engine "
+            f"({', '.join(ANALYZE_ENGINES)}); got {args.engine!r}"
+        )
     budget = _budget_from_args(args)
     if args.bind is not None or args.magic:
         if args.checkpoint or args.resume:
@@ -194,7 +234,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 "(the goal-directed rewrite evaluates a different program); "
                 "bound runs still honour the budget flags"
             )
-        return _run_goal_directed(args, program, graph, profiled, budget)
+        return _run_goal_directed(
+            args, program, graph, profiled, budget, analyze
+        )
     if args.resume is not None and args.engine not in RESUMABLE_ENGINES:
         raise CliError(
             f"--resume needs a resumable engine "
@@ -224,6 +266,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 graph.to_structure(),
                 method=args.engine,
                 collect_profile=profiled,
+                collect_analyze=analyze,
                 budget=budget,
                 resume_from=resume_from,
             )
@@ -252,9 +295,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
         for row in rows:
             print("\t".join(str(x) for x in row))
+        _emit_analyze(args, partial.profile)
         return EXIT_BUDGET
-    if result.profile is not None:
+    if profiled and result.profile is not None:
         _print_profile(result.profile)
+    _emit_analyze(args, result.profile)
     if args.check is not None:
         tuple_ = tuple(args.check)
         verdict = result.holds(tuple_)
@@ -272,7 +317,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _run_goal_directed(
-    args: argparse.Namespace, program, graph, profiled: bool, budget=None
+    args: argparse.Namespace,
+    program,
+    graph,
+    profiled: bool,
+    budget=None,
+    analyze: bool = False,
 ) -> int:
     """``run`` with ``--bind`` and/or ``--magic``: the query() path.
 
@@ -308,13 +358,15 @@ def _run_goal_directed(
             engine=args.engine,
             magic=bool(args.magic),
             collect_profile=profiled,
+            collect_analyze=analyze,
             budget=budget,
         )
     except BudgetExceeded as exc:
         _print_budget_trip(exc)
         return EXIT_BUDGET
-    if outcome.result.profile is not None:
+    if profiled and outcome.result.profile is not None:
         _print_profile(outcome.result.profile)
+    _emit_analyze(args, outcome.result.profile)
     mode = "magic" if outcome.magic else "direct"
     if args.check is not None:
         verdict = outcome.holds
@@ -558,6 +610,33 @@ def _cmd_explain(args: argparse.Namespace) -> int:
             "use --list to see library names"
         )
     name, program = _load_program_or_library(args.program, args.goal)
+    if args.analyze or args.graph is not None:
+        if args.magic is not None:
+            raise CliError(
+                "--analyze does not combine with --magic; use "
+                "`repro run --magic --analyze` for goal-directed counts"
+            )
+        if args.graph is None:
+            raise CliError(
+                "explain --analyze needs a graph file to run the "
+                "program on (repro explain PROGRAM GRAPH --analyze)"
+            )
+        if not args.analyze:
+            raise CliError(
+                "explain got a graph; add --analyze to run the program "
+                "and annotate the plans with actual cardinalities"
+            )
+        from repro.obs.analyze import render_plan_profile
+
+        graph = load_digraph(args.graph)
+        result = evaluate(
+            program,
+            graph.to_structure(),
+            method=args.engine,
+            collect_analyze=True,
+        )
+        print(render_plan_profile(result.profile.plans, name=name), end="")
+        return 0
     if args.magic is not None:
         from repro.datalog.magic import (
             goal_atom_from_adornment,
@@ -581,6 +660,105 @@ def _cmd_explain(args: argparse.Namespace) -> int:
         return 0
     print(explain_program(program, name=name))
     return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """``repro profile``: the deterministic span profiler.
+
+    ``profile run PROGRAM GRAPH`` traces one evaluation (honouring the
+    budget flags, so governed runs profile too) and prints the
+    inclusive/exclusive table; ``profile --from FILE.jsonl`` profiles
+    any previously exported ``--trace`` file (fixpoint runs,
+    incremental maintenance, anything that emits spans).
+    """
+    from repro.obs import trace as _trace
+    from repro.obs.profile import (
+        profile_jsonl,
+        profile_spans,
+        render_profile,
+    )
+
+    if getattr(args, "profile_command", None) == "run":
+        from repro.guard import BudgetExceeded
+
+        if args.engine not in ENGINES:
+            raise CliError(
+                f"unknown engine {args.engine!r} "
+                f"(choose from {', '.join(ENGINES)})"
+            )
+        name, program = _load_program_or_library(args.program, args.goal)
+        graph = load_digraph(args.graph)
+        budget = _budget_from_args(args)
+        # Reuse the global tracer when --trace already enabled it (the
+        # spans then both profile *and* export); otherwise trace just
+        # for the duration of this run.
+        already_tracing = _trace.tracer.enabled
+        tracer = _trace.tracer if already_tracing else _trace.enable_tracing()
+        code = 0
+        try:
+            if args.engine == "algebra":
+                from repro.datalog.algebra_engine import evaluate_algebra
+
+                evaluate_algebra(
+                    program, graph.to_structure(), budget=budget
+                )
+            else:
+                evaluate(
+                    program,
+                    graph.to_structure(),
+                    method=args.engine,
+                    budget=budget,
+                )
+        except BudgetExceeded as exc:
+            _print_budget_trip(exc)
+            code = EXIT_BUDGET
+        finally:
+            if not already_tracing:
+                _trace.disable_tracing()
+        print(render_profile(profile_spans(tracer.spans), name=name), end="")
+        return code
+    from_file = getattr(args, "from_file", None)
+    if not from_file:
+        raise CliError(
+            "profile needs either `profile run PROGRAM GRAPH` (live run) "
+            "or `profile --from FILE.jsonl` (exported trace)"
+        )
+    with open(from_file, "r", encoding="utf-8") as handle:
+        profile = profile_jsonl(handle)
+    print(render_profile(profile, name=from_file), end="")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """``repro bench``: render and gate ``BENCH_<name>.json`` artifacts."""
+    from repro.obs.bench import (
+        compare,
+        load_document,
+        render_compare,
+        render_report,
+    )
+
+    def _load(path):
+        try:
+            return load_document(path)
+        except json.JSONDecodeError as exc:
+            raise CliError(f"{path}: not valid JSON ({exc})")
+        except ValueError as exc:
+            raise CliError(str(exc))
+
+    if args.bench_command == "report":
+        print(render_report([_load(path) for path in args.files]), end="")
+        return 0
+    old = _load(args.old)
+    new = _load(args.new)
+    try:
+        report = compare(
+            old, new, threshold=args.threshold, mode=args.mode
+        )
+    except ValueError as exc:
+        raise CliError(str(exc))
+    print(render_compare(report), end="")
+    return 0 if report.ok else 1
 
 
 def _cmd_maintain(args: argparse.Namespace) -> int:
@@ -714,6 +892,26 @@ def _cmd_maintain(args: argparse.Namespace) -> int:
 # ---------------------------------------------------------------------------
 
 
+def _emit_analyze(args: argparse.Namespace, profile) -> None:
+    """``run --analyze`` / ``--analyze-json`` output from a profile.
+
+    No-ops when the run collected no plan statistics (analyze not
+    requested, or a budget tripped before any plan ran).
+    """
+    plans = getattr(profile, "plans", None) if profile is not None else None
+    if plans is None:
+        return
+    if getattr(args, "analyze", False):
+        from repro.obs.analyze import render_plan_profile
+
+        print(render_plan_profile(plans), file=sys.stderr, end="")
+    path = getattr(args, "analyze_json", None)
+    if path:
+        with open(path, "w", encoding="utf-8") as handle:
+            plans.write_json(handle)
+        print(f"repro: wrote EXPLAIN ANALYZE to {path}", file=sys.stderr)
+
+
 def _print_profile(profile) -> None:
     """The per-rule / per-iteration tables behind ``run --stats``."""
     err = sys.stderr
@@ -759,7 +957,8 @@ def _print_stats(snapshot: dict) -> None:
         h = histograms[name]
         print(
             f"  {name} (histogram): count={h['count']} mean={h['mean']:.2f} "
-            f"min={h['min']} max={h['max']}",
+            f"min={h['min']} max={h['max']} "
+            f"p50={h['p50']:g} p95={h['p95']:g} p99={h['p99']:g}",
             file=err,
         )
 
@@ -780,6 +979,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats", action="store_true",
         help="print a metrics counter table (and, for `run`, the "
         "evaluation profile) on stderr",
+    )
+    common.add_argument(
+        "--stats-json", metavar="FILE", dest="stats_json",
+        help="write the metrics snapshot (counters, gauges, histogram "
+        "quantiles) as JSON",
     )
     common.add_argument(
         "--trace", metavar="FILE.jsonl",
@@ -820,6 +1024,16 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--engine", default="indexed",
         help=f"evaluation engine ({', '.join(ENGINES)})",
+    )
+    run.add_argument(
+        "--analyze", action="store_true",
+        help="print EXPLAIN ANALYZE (per-plan-node actual cardinalities) "
+        f"on stderr after the run; plan engines only "
+        f"({', '.join(ANALYZE_ENGINES)})",
+    )
+    run.add_argument(
+        "--analyze-json", metavar="FILE", dest="analyze_json",
+        help="write the EXPLAIN ANALYZE plan statistics as JSON",
     )
     run.add_argument(
         "--bind", nargs="+", metavar="NODE",
@@ -925,7 +1139,16 @@ def build_parser() -> argparse.ArgumentParser:
         "program", nargs="?",
         help="library program name or program file",
     )
+    explain.add_argument(
+        "graph", nargs="?",
+        help="graph file to run the program on (with --analyze)",
+    )
     explain.add_argument("--goal", help="override the goal predicate")
+    explain.add_argument(
+        "--analyze", action="store_true",
+        help="run the program on GRAPH and annotate every plan node "
+        "with actual rows in/out, flagging each rule's hottest node",
+    )
     explain.add_argument(
         "--engine", choices=("indexed", "codegen"), default="indexed",
         help="indexed: the compiled rule plans (default); "
@@ -940,6 +1163,67 @@ def build_parser() -> argparse.ArgumentParser:
         "--list", action="store_true", help="list library program names"
     )
     explain.set_defaults(func=_cmd_explain)
+
+    profile = sub.add_parser(
+        "profile", parents=[common],
+        help="deterministic span profiler "
+        "(inclusive/exclusive time per span kind and rule)",
+    )
+    profile.add_argument(
+        "--from", dest="from_file", metavar="FILE.jsonl",
+        help="profile a previously exported --trace file "
+        "instead of a live run",
+    )
+    profile.set_defaults(func=_cmd_profile)
+    profile_sub = profile.add_subparsers(dest="profile_command")
+    profile_run = profile_sub.add_parser(
+        "run", parents=[common, budget],
+        help="trace one evaluation and profile its spans",
+    )
+    profile_run.add_argument(
+        "program",
+        help="program file (%% goal: directive) or library program name",
+    )
+    profile_run.add_argument("graph", help="graph file")
+    profile_run.add_argument("--goal", help="override the goal predicate")
+    profile_run.add_argument(
+        "--engine", default="indexed",
+        help=f"evaluation engine ({', '.join(ENGINES)})",
+    )
+    profile_run.set_defaults(func=_cmd_profile)
+
+    bench = sub.add_parser(
+        "bench", parents=[common],
+        help="bench observatory: render and gate BENCH_<name>.json "
+        "artifacts",
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    bench_report = bench_sub.add_parser(
+        "report", help="render one or more bench artifacts as a table"
+    )
+    bench_report.add_argument(
+        "files", nargs="+", metavar="FILE.json",
+        help="BENCH_<name>.json artifacts (schema 1 or 2)",
+    )
+    bench_report.set_defaults(func=_cmd_bench)
+    bench_compare = bench_sub.add_parser(
+        "compare",
+        help="compare two bench artifacts row-for-row; exit 1 when a "
+        "row regresses past --threshold (the CI perf gate)",
+    )
+    bench_compare.add_argument("old", help="baseline artifact")
+    bench_compare.add_argument("new", help="candidate artifact")
+    bench_compare.add_argument(
+        "--threshold", type=float, default=1.25, metavar="RATIO",
+        help="new/old ratio above which a row regresses (default 1.25)",
+    )
+    bench_compare.add_argument(
+        "--mode", choices=("wall", "counters"), default="wall",
+        help="wall: compare wall-clock (same-machine before/after); "
+        "counters: compare work counters (machine-independent; what "
+        "CI gates on)",
+    )
+    bench_compare.set_defaults(func=_cmd_bench)
 
     maintain = sub.add_parser(
         "maintain", parents=[common, budget],
@@ -986,35 +1270,26 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv: Sequence[str] | None = None) -> int:
-    """Entry point; returns the process exit code.
+def _dispatch(args: argparse.Namespace) -> int:
+    """Run the selected subcommand, mapping failures to exit codes.
 
     All user-input failures (missing files, unknown program / engine
-    names, malformed programs or graphs) funnel through one path: a
-    single ``repro: error: ...`` line on stderr and exit code 2.
+    names, malformed programs or graphs, unwritable output paths)
+    funnel through one path: a single ``repro: error: ...`` line on
+    stderr and exit code 2.
     """
-    from repro.obs import metrics as _metrics
-    from repro.obs import trace as _trace
-
-    parser = build_parser()
-    args = parser.parse_args(argv)
-    stats = bool(getattr(args, "stats", False))
-    trace_path = getattr(args, "trace", None)
-    if stats:
-        _metrics.enable_metrics()
-    if trace_path:
-        _trace.enable_tracing()
-    from repro.guard import BudgetExceeded, CheckpointMismatch, MaintenanceAborted
+    from repro.guard import (
+        BudgetExceeded,
+        CheckpointMismatch,
+        MaintenanceAborted,
+    )
     from repro.io.cnf_format import DimacsError
     from repro.io.graph_format import GraphFormatError
     from repro.io.program_format import ProgramFormatError
 
     try:
         return args.func(args)
-    except CliError as exc:
-        print(f"repro: error: {exc}", file=sys.stderr)
-        return 2
-    except CheckpointMismatch as exc:
+    except (CliError, CheckpointMismatch) as exc:
         print(f"repro: error: {exc}", file=sys.stderr)
         return 2
     except (FileNotFoundError, IsADirectoryError) as exc:
@@ -1022,6 +1297,19 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"repro: error: cannot read {filename}", file=sys.stderr)
         return 2
     except (DimacsError, GraphFormatError, ProgramFormatError) as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Downstream closed the pipe (e.g. `repro explain ... | head`):
+        # not an error on our side.  Redirect stdout to devnull so the
+        # interpreter's exit-time flush doesn't raise again, and exit
+        # with the conventional SIGPIPE status.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 128 + 13
+    except OSError as exc:
+        # Any other I/O failure (unwritable output, disk full): one
+        # line, exit 2, never a traceback.
         print(f"repro: error: {exc}", file=sys.stderr)
         return 2
     except BudgetExceeded as exc:
@@ -1033,18 +1321,78 @@ def main(argv: Sequence[str] | None = None) -> int:
     except MaintenanceAborted as exc:
         print(f"repro: {exc}", file=sys.stderr)
         return EXIT_BUDGET
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code.
+
+    Export destinations (``--trace``, ``--stats-json``,
+    ``--analyze-json``) are validated before the subcommand runs, and
+    the end-of-run exports themselves are guarded: a path that becomes
+    unwritable mid-run still produces a one-line ``repro: error:``
+    diagnostic and exit code 2, never a traceback.
+    """
+    from repro.obs import metrics as _metrics
+    from repro.obs import trace as _trace
+
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    stats = bool(getattr(args, "stats", False))
+    stats_json = getattr(args, "stats_json", None)
+    trace_path = getattr(args, "trace", None)
+    try:
+        for flag, path in (
+            ("--trace", trace_path),
+            ("--stats-json", stats_json),
+            ("--analyze-json", getattr(args, "analyze_json", None)),
+        ):
+            if path:
+                _ensure_writable(path, flag)
+    except CliError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+    if stats or stats_json:
+        _metrics.enable_metrics()
+    if trace_path:
+        _trace.enable_tracing()
+    export_failures: list[str] = []
+    try:
+        code = _dispatch(args)
     finally:
-        if stats:
-            _print_stats(_metrics.metrics.snapshot())
+        if stats or stats_json:
+            snapshot = _metrics.metrics.snapshot()
             _metrics.disable_metrics()
+            if stats:
+                _print_stats(snapshot)
+            if stats_json:
+                try:
+                    with open(stats_json, "w", encoding="utf-8") as handle:
+                        json.dump(snapshot, handle, indent=2, sort_keys=True)
+                        handle.write("\n")
+                except OSError as exc:
+                    export_failures.append(
+                        f"cannot write --stats-json file "
+                        f"{stats_json!r}: {exc}"
+                    )
         if trace_path:
-            _trace.tracer.write_jsonl(trace_path)
-            print(
-                f"repro: wrote {len(_trace.tracer.spans)} spans "
-                f"to {trace_path}",
-                file=sys.stderr,
-            )
+            span_count = len(_trace.tracer.spans)
+            try:
+                _trace.tracer.write_jsonl(trace_path)
+            except OSError as exc:
+                export_failures.append(
+                    f"cannot write --trace file {trace_path!r}: {exc}"
+                )
+            else:
+                print(
+                    f"repro: wrote {span_count} spans to {trace_path}",
+                    file=sys.stderr,
+                )
             _trace.disable_tracing()
+    for failure in export_failures:
+        print(f"repro: error: {failure}", file=sys.stderr)
+    if export_failures and code == 0:
+        code = 2
+    return code
 
 
 if __name__ == "__main__":

@@ -115,13 +115,27 @@ class PlanSource:
 
 
 def render_plan(
-    plan: RulePlan, *, name: str = "_codegen_plan", mode: str = "heads"
+    plan: RulePlan,
+    *,
+    name: str = "_codegen_plan",
+    mode: str = "heads",
+    analyze: bool = False,
 ) -> PlanSource:
     """Render one plan as deterministic Python source.
 
     ``mode="heads"`` (the engine's) collects new head tuples;
     ``mode="bindings"`` (the differential-test probe) collects the full
     slot tuple of every satisfying binding instead.
+
+    ``analyze=True`` renders the EXPLAIN ANALYZE variant: the function
+    takes a fifth positional parameter ``_an`` (a flat
+    ``[rows_in, rows_out, ...]`` list with two slots per plan step, the
+    same layout the interpreter's ``_run_plan`` fills) and counts, per
+    step, the bindings that reached it and the bindings that survived
+    it, flushing the counters into ``_an`` on return.  With
+    ``analyze=False`` -- the default -- the emitted source is
+    byte-identical to the uninstrumented plan, so the disabled path
+    costs nothing and the two variants cache as distinct code objects.
     """
     if mode not in ("heads", "bindings"):
         raise ValueError(f"unknown render mode {mode!r}")
@@ -162,13 +176,28 @@ def render_plan(
             emit("    _tick(1)")
             tick_emitted = True
 
-    for step in plan.steps:
+    def flush_lines() -> list[str]:
+        # The analyze epilogue: add this invocation's per-step counters
+        # into the caller's flat [rows_in, rows_out, ...] list.  A
+        # zero-step plan (constant-only body) has nothing to flush --
+        # emitting the bare `if` would be a syntax error.
+        if not plan.steps:
+            return []
+        lines = ["if _an is not None:"]
+        for k in range(len(plan.steps)):
+            lines.append(f"    _an[{2 * k}] += _i{k}")
+            lines.append(f"    _an[{2 * k + 1}] += _o{k}")
+        return lines
+
+    for step_index, step in enumerate(plan.steps):
         if isinstance(step, AtomStep):
             atom = step.atom
             atom_ops += 1
             row = f"_r{rows_seen}"
             rows_seen += 1
             shown = f"{atom.predicate}({', '.join(map(str, atom.args))})"
+            if analyze:
+                emit(f"_i{step_index} += 1")
             if step.is_delta:
                 emit(f"for {row} in _delta:  # delta scan d{shown}")
             elif step.bound_positions:
@@ -212,8 +241,12 @@ def render_plan(
                 else:
                     slots[term] = len(slots)
                     emit(f"s{slots[term]} = {row}[{position}]")
+            if analyze:
+                emit(f"_o{step_index} += 1")
         elif isinstance(step, ConstraintStep):
             literal = step.literal
+            if analyze:
+                emit(f"_i{step_index} += 1")
             if step.binds is not None:
                 other = (
                     literal.right
@@ -232,14 +265,25 @@ def render_plan(
                 emit(f"if {cond}:  # filter {literal}")
                 # Inside a loop a failed filter skips the row; before
                 # any loop (constant-only constraints) it ends the plan.
-                emit("    continue" if depth else
-                     f"    return {empty_result}")
+                if depth:
+                    emit("    continue")
+                else:
+                    if analyze:
+                        for line in flush_lines():
+                            emit("    " + line)
+                    emit(f"    return {empty_result}")
+            if analyze:
+                emit(f"_o{step_index} += 1")
         else:  # EnumerateStep
             slots[step.variable] = len(slots)
+            if analyze:
+                emit(f"_i{step_index} += 1")
             emit(f"for s{slots[step.variable]} in _universe:"
                  f"  # enumerate {step.variable}")
             depth += 1
             emit_tick()
+            if analyze:
+                emit(f"_o{step_index} += 1")
 
     emit("_produced += 1")
     if mode == "heads":
@@ -260,12 +304,14 @@ def render_plan(
     kwonly = "".join(f", {p}={p}" for p in externals)
     star = f", *{kwonly}" if externals else ""
     kind = "delta" if plan.delta_atom_index is not None else "full"
+    an_param = ", _an=None" if analyze else ""
     prologue = [
         f"# {kind} plan ({mode}) for rule: {rule}",
         "# slots: " + (", ".join(
             f"s{slot}={variable}" for variable, slot in slots.items()
         ) or "(none)"),
-        f"def {name}(_delta, _existing, _universe, _tick=None{star}):",
+        f"def {name}(_delta, _existing, _universe, _tick=None"
+        f"{an_param}{star}):",
     ]
     if atom_ops:
         prologue.append("    _hit = _flt.faults.hit")
@@ -277,7 +323,15 @@ def render_plan(
     else:
         prologue.append("    _out = []")
     prologue.append("    _produced = 0")
-    source = "\n".join(prologue + body + [f"    return {empty_result}", ""])
+    epilogue = []
+    if analyze:
+        prologue.extend(
+            f"    _i{k} = _o{k} = 0" for k in range(len(plan.steps))
+        )
+        epilogue.extend("    " + line for line in flush_lines())
+    source = "\n".join(
+        prologue + body + epilogue + [f"    return {empty_result}", ""]
+    )
     return PlanSource(
         plan=plan,
         name=name,
@@ -378,11 +432,15 @@ def bind_full_functions(
     program: Program,
     store: IndexedDatabase,
     constants: Mapping[str, Element],
+    *,
+    analyze: bool = False,
 ) -> list[Callable]:
     """One bound round-1 function per rule, in rule order."""
     return [
         bind_plan(
-            render_plan(plan_rule(rule), name=_full_name(rule_index)),
+            render_plan(
+                plan_rule(rule), name=_full_name(rule_index), analyze=analyze
+            ),
             store,
             constants,
         )
@@ -394,6 +452,8 @@ def bind_delta_functions(
     program: Program,
     store: IndexedDatabase,
     constants: Mapping[str, Element],
+    *,
+    analyze: bool = False,
 ) -> list[tuple[tuple[str, Callable], ...]]:
     """Per rule: ``(delta predicate, bound function)`` per occurrence.
 
@@ -407,7 +467,9 @@ def bind_delta_functions(
         for plan in plan_program_rules(rule, idb):
             atom_index = plan.delta_atom_index
             source = render_plan(
-                plan, name=_delta_name(rule_index, atom_index)
+                plan,
+                name=_delta_name(rule_index, atom_index),
+                analyze=analyze,
             )
             bound.append((
                 rule.body_atoms()[atom_index].predicate,

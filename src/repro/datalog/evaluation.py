@@ -52,6 +52,12 @@ from repro.guard import (
 )
 from repro.obs import metrics as _metrics
 from repro.obs import trace as _trace
+from repro.obs.analyze import (
+    PlanProfile,
+    PlanStats,
+    RuleStats,
+    merge_node_counts,
+)
 from repro.testing import faults as _faults
 
 from repro.datalog.ast import (
@@ -71,6 +77,7 @@ from repro.datalog.planner import (
     ConstraintStep,
     EnumerateStep,
     RulePlan,
+    describe_step,
     plan_program_rules,
     plan_rule,
 )
@@ -123,6 +130,10 @@ class EvaluationProfile:
     engine: str
     rule_labels: tuple[str, ...]
     iterations: tuple[IterationProfile, ...]
+    #: EXPLAIN ANALYZE: per-plan-node runtime statistics, populated by
+    #: ``evaluate(..., collect_analyze=True)`` on the plan engines
+    #: (indexed / codegen); None otherwise.
+    plans: PlanProfile | None = None
 
     def semantic_view(self) -> tuple:
         """The engine-independent part, for differential assertions."""
@@ -158,6 +169,7 @@ class EvaluationProfile:
                 }
                 for iteration in self.iterations
             ],
+            "plans": None if self.plans is None else self.plans.to_dict(),
         }
 
 
@@ -190,16 +202,135 @@ class _ProfileBuilder:
             )
         )
 
-    def build(self, engine: str) -> EvaluationProfile:
+    def build(
+        self, engine: str, plans: PlanProfile | None = None
+    ) -> EvaluationProfile:
         return EvaluationProfile(
             engine=engine,
             rule_labels=self.rule_labels,
             iterations=tuple(self.iterations),
+            plans=plans,
         )
 
 
 def _profile_builder(program: Program) -> _ProfileBuilder:
     return _ProfileBuilder(tuple(str(rule) for rule in program.rules))
+
+
+#: Engines that execute compiled rule plans and therefore support
+#: ``collect_analyze`` (per-plan-node EXPLAIN ANALYZE statistics).
+ANALYZE_ENGINES = ("indexed", "codegen")
+
+
+@dataclass
+class _PlanCounters:
+    """Flat ``[rows_in, rows_out, ...]`` accumulator for one plan.
+
+    Two slots per plan step, in step order -- the layout both plan
+    executors write (the interpreter's ``node_stats`` parameter and the
+    generated functions' ``_an`` parameter), so their counts are
+    comparable element-for-element.
+    """
+
+    kind: str  # "full" | "delta"
+    delta_predicate: str | None
+    descriptors: tuple[tuple[str, str], ...]
+    counts: list[int]
+    invocations: int = 0
+
+    def stats(self) -> PlanStats:
+        return PlanStats(
+            kind=self.kind,
+            delta_predicate=self.delta_predicate,
+            invocations=self.invocations,
+            nodes=merge_node_counts(self.descriptors, self.counts),
+        )
+
+
+class _AnalyzeBuilder:
+    """Mutable per-rule / per-plan-node accumulator behind
+    ``collect_analyze``.
+
+    Holds, for every rule, the full (round 1) plan's counters and one
+    counter block per delta-specialised plan (in
+    :func:`~repro.datalog.planner.plan_program_rules` order), plus the
+    rule's accumulated wall time and firing count.  Both plan engines
+    feed the same structure, so :meth:`build` yields
+    :class:`~repro.obs.analyze.PlanProfile` objects whose
+    ``counts_view()`` agrees across them.
+    """
+
+    __slots__ = ("full", "deltas", "wall", "fired", "labels", "heads")
+
+    def __init__(self, program: Program) -> None:
+        idb = program.idb_predicates
+        self.full: list[_PlanCounters] = []
+        self.deltas: list[tuple[_PlanCounters, ...]] = []
+        for rule in program.rules:
+            full_plan = plan_rule(rule)
+            self.full.append(
+                _PlanCounters(
+                    kind="full",
+                    delta_predicate=None,
+                    descriptors=tuple(
+                        describe_step(step) for step in full_plan.steps
+                    ),
+                    counts=[0] * (2 * len(full_plan.steps)),
+                )
+            )
+            blocks = []
+            for plan in plan_program_rules(rule, idb):
+                predicate = rule.body_atoms()[plan.delta_atom_index].predicate
+                blocks.append(
+                    _PlanCounters(
+                        kind="delta",
+                        delta_predicate=predicate,
+                        descriptors=tuple(
+                            describe_step(step) for step in plan.steps
+                        ),
+                        counts=[0] * (2 * len(plan.steps)),
+                    )
+                )
+            self.deltas.append(tuple(blocks))
+        self.wall = [0.0] * len(program.rules)
+        self.fired = [0] * len(program.rules)
+        self.labels = tuple(str(rule) for rule in program.rules)
+        self.heads = tuple(rule.head.predicate for rule in program.rules)
+
+    def full_counts(self, rule_index: int) -> list[int]:
+        block = self.full[rule_index]
+        block.invocations += 1
+        return block.counts
+
+    def delta_counts(self, rule_index: int, plan_position: int) -> list[int]:
+        block = self.deltas[rule_index][plan_position]
+        block.invocations += 1
+        return block.counts
+
+    def add_wall(self, rule_index: int, seconds: float) -> None:
+        self.wall[rule_index] += seconds
+
+    def add_firings(self, rule_firings: Iterable[int]) -> None:
+        for rule_index, count in enumerate(rule_firings):
+            self.fired[rule_index] += count
+
+    def build(self, engine: str, rounds: int) -> PlanProfile:
+        rules = []
+        for rule_index, full in enumerate(self.full):
+            plans = (full.stats(),) + tuple(
+                block.stats() for block in self.deltas[rule_index]
+            )
+            rules.append(
+                RuleStats(
+                    index=rule_index,
+                    label=self.labels[rule_index],
+                    head=self.heads[rule_index],
+                    wall_seconds=self.wall[rule_index],
+                    fired=self.fired[rule_index],
+                    plans=plans,
+                )
+            )
+        return PlanProfile(engine=engine, rounds=rounds, rules=tuple(rules))
 
 
 @dataclass(frozen=True)
@@ -579,6 +710,7 @@ def evaluate(
     method: str = "indexed",
     collect_stages: bool = False,
     collect_profile: bool = False,
+    collect_analyze: bool = False,
     budget: ResourceBudget | None = None,
     cancellation: CancellationToken | None = None,
     resume_from: Checkpoint | None = None,
@@ -610,6 +742,16 @@ def evaluate(
         When true, populate :attr:`FixpointResult.profile` with the
         per-iteration :class:`EvaluationProfile`.  The semantic parts
         (delta sizes, rule firings) are engine-independent.
+    collect_analyze:
+        When true (plan engines only -- :data:`ANALYZE_ENGINES`),
+        additionally collect EXPLAIN ANALYZE statistics: per-plan-node
+        rows in/out, per-plan invocation counts, per-rule wall time and
+        firings, attached as ``result.profile.plans`` (a
+        :class:`repro.obs.analyze.PlanProfile`; implies
+        ``collect_profile``).  The counts are plan-level semantics, so
+        the indexed and codegen engines report identical numbers.  On a
+        resumed run the statistics cover the resumed rounds only
+        (analyze state is not checkpointed).
     budget:
         Optional :class:`repro.guard.ResourceBudget`.  When a limit
         trips, :class:`repro.guard.BudgetExceeded` is raised carrying a
@@ -636,6 +778,13 @@ def evaluate(
     """
     if method not in METHODS:
         raise ValueError(f"unknown evaluation method {method!r}")
+    if collect_analyze:
+        if method not in ANALYZE_ENGINES:
+            raise ValueError(
+                "collect_analyze requires a plan-based engine "
+                f"({', '.join(ANALYZE_ENGINES)}), not {method!r}"
+            )
+        collect_profile = True
     database, constants = _database_from_structure(program, structure, extra_edb)
     universe = list(structure.universe)
     edb_relations = {p: database[p] for p in program.edb_predicates}
@@ -677,6 +826,7 @@ def evaluate(
             )
         stage_snapshots.extend(resume_from.stages)
     profile = _profile_builder(program) if collect_profile else None
+    analyze = _AnalyzeBuilder(program) if collect_analyze else None
     if profile is not None and resume_from is not None:
         if resume_from.profile_rounds is None:
             raise ValueError(
@@ -722,6 +872,7 @@ def evaluate(
                 guard=guard,
                 checkpoint=emit,
                 resume=resume_from,
+                analyze=analyze,
             )
         except _EngineInterrupt as interrupt:
             relations = _snapshot(database, program.idb_predicates)
@@ -730,7 +881,11 @@ def evaluate(
                 goal=program.goal,
                 stages=tuple(stage_snapshots) if collect_stages else None,
                 iterations=interrupt.iterations,
-                profile=None if profile is None else profile.build(method),
+                profile=None if profile is None else profile.build(
+                    method,
+                    None if analyze is None
+                    else analyze.build(method, interrupt.iterations),
+                ),
                 reason=interrupt.trip.reason,
                 limit=interrupt.trip.limit,
                 spent=dict(interrupt.trip.spent),
@@ -750,7 +905,10 @@ def evaluate(
         goal=program.goal,
         stages=tuple(stage_snapshots) if collect_stages else None,
         iterations=iterations,
-        profile=None if profile is None else profile.build(method),
+        profile=None if profile is None else profile.build(
+            method,
+            None if analyze is None else analyze.build(method, iterations),
+        ),
     )
 
 
@@ -826,6 +984,7 @@ def _naive(
     guard: EvaluationGuard | None = None,
     checkpoint: Callable | None = None,
     resume: Checkpoint | None = None,
+    analyze: _AnalyzeBuilder | None = None,
 ) -> int:
     """Literal iteration of Theta; mutates ``database``; returns rounds.
 
@@ -933,6 +1092,7 @@ def _seminaive(
     guard: EvaluationGuard | None = None,
     checkpoint: Callable | None = None,
     resume: Checkpoint | None = None,
+    analyze: _AnalyzeBuilder | None = None,
 ) -> int:
     """Delta-driven evaluation; mutates ``database``; returns iterations.
 
@@ -1151,6 +1311,7 @@ def _run_plan(
     universe: list,
     delta_rows: Iterable[tuple] | None = None,
     guard: EvaluationGuard | None = None,
+    node_stats: list[int] | None = None,
 ) -> Iterator[list]:
     """All satisfying slot bindings for a compiled plan.
 
@@ -1163,10 +1324,19 @@ def _run_plan(
     guard) so a single enormous round cannot outlive its deadline by a
     whole round's length.  Kept per *operator*, never per binding, like
     the index telemetry below.
+
+    ``node_stats`` (EXPLAIN ANALYZE, ``collect_analyze=True``) is a
+    flat ``[rows_in, rows_out, ...]`` list with two slots per op, in op
+    order, accumulated across invocations.  Rows in/out are batch
+    lengths taken around each op -- one pair of additions per *op*, so
+    the never-enabled path costs one ``is not None`` test per op, not
+    per binding.
     """
     bindings: list[list] = [[None] * compiled.slot_count]
-    for op in compiled.ops:
+    for op_index, op in enumerate(compiled.ops):
         kind = op[0]
+        if node_stats is not None:
+            node_stats[2 * op_index] += len(bindings)
         if kind == "atom":
             __, predicate, is_delta, positions, key_sources, writes, checks = op
             _faults.faults.hit("probe")
@@ -1226,6 +1396,8 @@ def _run_plan(
                 )
                 is wanted
             ]
+        if node_stats is not None:
+            node_stats[2 * op_index + 1] += len(bindings)
         if not bindings:
             return iter(())
     return iter(bindings)
@@ -1237,10 +1409,13 @@ def _plan_heads(
     universe: list,
     delta_rows: Iterable[tuple] | None = None,
     guard: EvaluationGuard | None = None,
+    node_stats: list[int] | None = None,
 ) -> Iterator[tuple]:
     """Head tuples derived by one compiled plan."""
     head = compiled.head
-    for binding in _run_plan(compiled, store, universe, delta_rows, guard):
+    for binding in _run_plan(
+        compiled, store, universe, delta_rows, guard, node_stats
+    ):
         yield tuple(
             binding[value] if from_slot else value
             for from_slot, value in head
@@ -1257,6 +1432,7 @@ def _indexed(
     guard: EvaluationGuard | None = None,
     checkpoint: Callable | None = None,
     resume: Checkpoint | None = None,
+    analyze: _AnalyzeBuilder | None = None,
 ) -> int:
     """Index-backed semi-naive evaluation; mutates ``database``.
 
@@ -1305,24 +1481,38 @@ def _indexed(
             produced = 0
             per_rule: list[set] = []
             with tracer.span("iteration", engine="indexed", round=1):
-                for rule, compiled in zip(program.rules, full_plans):
+                for rule_index, (rule, compiled) in enumerate(
+                    zip(program.rules, full_plans)
+                ):
                     _faults.faults.hit("rule")
                     if profile is None:
                         heads = set(
                             _plan_heads(compiled, store, universe, guard=guard)
                         )
                     else:
+                        node_stats = None
+                        if analyze is not None:
+                            node_stats = analyze.full_counts(rule_index)
+                            rule_start = time.perf_counter()
                         heads = set()
                         for head in _plan_heads(
-                            compiled, store, universe, guard=guard
+                            compiled, store, universe, guard=guard,
+                            node_stats=node_stats,
                         ):
                             heads.add(head)
                             produced += 1
+                        if analyze is not None:
+                            analyze.add_wall(
+                                rule_index,
+                                time.perf_counter() - rule_start,
+                            )
                     per_rule.append(heads)
             rule_firings = [
                 len(heads - store.rows(rule.head.predicate))
                 for rule, heads in zip(program.rules, per_rule)
             ]
+            if analyze is not None:
+                analyze.add_firings(rule_firings)
             derived: dict[str, set] = {p: set() for p in idb}
             for rule, heads in zip(program.rules, per_rule):
                 derived[rule.head.predicate] |= heads
@@ -1361,10 +1551,12 @@ def _indexed(
                     _faults.faults.hit("rule")
                     existing = store.rows(rule.head.predicate)
                     fired: set = set()
+                    if analyze is not None:
+                        rule_start = time.perf_counter()
                     with tracer.span(
                         "rule", rule=rule_index, head=rule.head.predicate
                     ) as span:
-                        for compiled in compiled_deltas:
+                        for plan_pos, compiled in enumerate(compiled_deltas):
                             delta_index = compiled.plan.delta_atom_index
                             assert delta_index is not None
                             predicate = rule.body_atoms()[
@@ -1384,19 +1576,31 @@ def _indexed(
                                     if head not in existing:
                                         fired.add(head)
                             else:
+                                node_stats = None
+                                if analyze is not None:
+                                    node_stats = analyze.delta_counts(
+                                        rule_index, plan_pos
+                                    )
                                 for head in _plan_heads(
                                     compiled,
                                     store,
                                     universe,
                                     delta_rows=rows,
                                     guard=guard,
+                                    node_stats=node_stats,
                                 ):
                                     produced += 1
                                     if head not in existing:
                                         fired.add(head)
                         span.annotate(fired=len(fired))
+                    if analyze is not None:
+                        analyze.add_wall(
+                            rule_index, time.perf_counter() - rule_start
+                        )
                     new_derived[rule.head.predicate] |= fired
                     rule_firings.append(len(fired))
+            if analyze is not None:
+                analyze.add_firings(rule_firings)
             delta = {
                 predicate: store.merge(predicate, tuples)
                 for predicate, tuples in new_derived.items()
@@ -1439,6 +1643,7 @@ def _codegen(
     guard: EvaluationGuard | None = None,
     checkpoint: Callable | None = None,
     resume: Checkpoint | None = None,
+    analyze: _AnalyzeBuilder | None = None,
 ) -> int:
     """Generated-code semi-naive evaluation; mutates ``database``.
 
@@ -1457,7 +1662,9 @@ def _codegen(
     idb = program.idb_predicates
     store = IndexedDatabase(database)
     tick = None if guard is None else guard.tick
-    delta_functions = bind_delta_functions(program, store, constants)
+    delta_functions = bind_delta_functions(
+        program, store, constants, analyze=analyze is not None
+    )
 
     iterations = 0
     delta: dict[str, set] = {}
@@ -1468,23 +1675,40 @@ def _codegen(
         else:
             if guard is not None:
                 guard.check_boundary()
-            full_functions = bind_full_functions(program, store, constants)
+            full_functions = bind_full_functions(
+                program, store, constants, analyze=analyze is not None
+            )
             # Initial round: every rule against the EDB-only store.
             if profile is not None:
                 profile.start_round()
             produced = 0
             per_rule: list[set] = []
             with tracer.span("iteration", engine="codegen", round=1):
-                for rule, function in zip(program.rules, full_functions):
+                for rule_index, (rule, function) in enumerate(
+                    zip(program.rules, full_functions)
+                ):
                     _faults.faults.hit("rule")
-                    fired, fn_produced = function(
-                        (), store.rows(rule.head.predicate), universe, tick
-                    )
+                    if analyze is None:
+                        fired, fn_produced = function(
+                            (), store.rows(rule.head.predicate), universe,
+                            tick,
+                        )
+                    else:
+                        rule_start = time.perf_counter()
+                        fired, fn_produced = function(
+                            (), store.rows(rule.head.predicate), universe,
+                            tick, analyze.full_counts(rule_index),
+                        )
+                        analyze.add_wall(
+                            rule_index, time.perf_counter() - rule_start
+                        )
                     produced += fn_produced
                     per_rule.append(fired)
             # The functions already exclude pre-round rows, so each
             # fired set is exactly the rule's distinct-new head count.
             rule_firings = [len(fired) for fired in per_rule]
+            if analyze is not None:
+                analyze.add_firings(rule_firings)
             derived: dict[str, set] = {p: set() for p in idb}
             for rule, fired in zip(program.rules, per_rule):
                 derived[rule.head.predicate] |= fired
@@ -1523,21 +1747,39 @@ def _codegen(
                     _faults.faults.hit("rule")
                     existing = store.rows(rule.head.predicate)
                     fired: set = set()
+                    if analyze is not None:
+                        rule_start = time.perf_counter()
                     with tracer.span(
                         "rule", rule=rule_index, head=rule.head.predicate
                     ) as span:
-                        for predicate, function in functions:
+                        for plan_pos, (predicate, function) in enumerate(
+                            functions
+                        ):
                             rows = delta[predicate]
                             if not rows:
                                 continue
-                            fn_fired, fn_produced = function(
-                                rows, existing, universe, tick
-                            )
+                            if analyze is None:
+                                fn_fired, fn_produced = function(
+                                    rows, existing, universe, tick
+                                )
+                            else:
+                                fn_fired, fn_produced = function(
+                                    rows, existing, universe, tick,
+                                    analyze.delta_counts(
+                                        rule_index, plan_pos
+                                    ),
+                                )
                             fired |= fn_fired
                             produced += fn_produced
                         span.annotate(fired=len(fired))
+                    if analyze is not None:
+                        analyze.add_wall(
+                            rule_index, time.perf_counter() - rule_start
+                        )
                     new_derived[rule.head.predicate] |= fired
                     rule_firings.append(len(fired))
+            if analyze is not None:
+                analyze.add_firings(rule_firings)
             delta = {
                 predicate: store.merge(predicate, tuples)
                 for predicate, tuples in new_derived.items()
@@ -1648,6 +1890,7 @@ def query(
     engine: str = "indexed",
     magic: bool = True,
     collect_profile: bool = False,
+    collect_analyze: bool = False,
     budget: ResourceBudget | None = None,
     cancellation: CancellationToken | None = None,
 ) -> QueryResult:
@@ -1665,6 +1908,9 @@ def query(
 
     ``engine`` is one of :data:`QUERY_ENGINES` (``"algebra"`` routes to
     :func:`repro.datalog.algebra_engine.evaluate_algebra`).
+    ``collect_analyze`` attaches EXPLAIN ANALYZE plan statistics to the
+    underlying fixpoint's profile exactly as in :func:`evaluate`
+    (plan engines only).
 
     ``budget`` / ``cancellation`` guard the underlying fixpoint exactly
     as in :func:`evaluate`; on exhaustion the raised
@@ -1704,6 +1950,11 @@ def query(
         if engine == "algebra":
             from repro.datalog.algebra_engine import evaluate_algebra
 
+            if collect_analyze:
+                raise ValueError(
+                    "collect_analyze requires a plan-based engine "
+                    f"({', '.join(ANALYZE_ENGINES)}), not 'algebra'"
+                )
             result = evaluate_algebra(
                 target,
                 structure,
@@ -1719,6 +1970,7 @@ def query(
                 extra_edb=extra_edb,
                 method=engine,
                 collect_profile=collect_profile,
+                collect_analyze=collect_analyze,
                 budget=budget,
                 cancellation=cancellation,
             )

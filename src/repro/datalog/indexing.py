@@ -181,6 +181,24 @@ class RelationIndex:
             )
         return gone
 
+    def census(self) -> dict:
+        """Size summary of the relation and its materialised indexes.
+
+        Deterministic (signatures sorted) and cheap -- bucket *counts*,
+        not contents -- so bench rows and EXPLAIN ANALYZE surfaces can
+        embed it without copying row data.
+        """
+        return {
+            "rows": len(self._rows),
+            "indexes": [
+                {
+                    "positions": list(signature),
+                    "buckets": len(self._indexes[signature]),
+                }
+                for signature in sorted(self._indexes)
+            ],
+        }
+
 
 class IndexedDatabase:
     """A database whose relations carry incrementally-maintained indexes.
@@ -231,3 +249,10 @@ class IndexedDatabase:
     def snapshot(self, names: Iterable[str]) -> dict[str, frozenset]:
         """Frozen copies of the named relations (for stage tracking)."""
         return {name: frozenset(self.rows(name)) for name in names}
+
+    def census(self) -> dict[str, dict]:
+        """Per-relation :meth:`RelationIndex.census`, name-sorted."""
+        return {
+            name: self._relations[name].census()
+            for name in sorted(self._relations)
+        }

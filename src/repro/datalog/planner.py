@@ -271,6 +271,44 @@ def plan_rule(
     return RulePlan(rule, tuple(state.steps), delta_atom_index)
 
 
+def describe_step(step: PlanStep) -> tuple[str, str]:
+    """``(kind, label)`` for one plan step -- the EXPLAIN ANALYZE node
+    vocabulary (see :mod:`repro.obs.analyze`).
+
+    Kinds: ``delta`` (the semi-naive delta occurrence), ``probe``
+    (hash-index lookup), ``scan`` (full-relation scan), ``bind`` /
+    ``filter`` (constraints), ``enumerate`` (universe sweep).  Labels
+    are deterministic functions of the step, identical however the plan
+    is later executed, so the two plan engines aggregate runtime counts
+    under the same node names.
+    """
+    if isinstance(step, AtomStep):
+        atom = step.atom
+        rendered = f"{atom.predicate}({', '.join(str(a) for a in atom.args)})"
+        keys = ", ".join(
+            f"[{position}]={atom.args[position]}"
+            for position in step.bound_positions
+        )
+        if step.is_delta:
+            label = f"delta d{rendered}"
+            if keys:
+                label += f" where {keys}"
+            return "delta", label
+        if step.bound_positions:
+            return "probe", f"probe {rendered} via {keys}"
+        return "scan", f"scan {rendered}"
+    if isinstance(step, ConstraintStep):
+        literal = step.literal
+        if step.binds is not None:
+            other = (
+                literal.right if step.binds == literal.left else literal.left
+            )
+            return "bind", f"bind {step.binds} := {other}"
+        return "filter", f"filter {literal}"
+    assert isinstance(step, EnumerateStep)
+    return "enumerate", f"enumerate {step.variable} in universe"
+
+
 def plan_program_rules(rule: Rule, idb_predicates: frozenset[str]):
     """All semi-naive plans for a rule: one per IDB body-atom occurrence.
 

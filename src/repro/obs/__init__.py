@@ -7,10 +7,20 @@ pebble-game solver of Proposition 5.3, and the max-flow loop:
 * :mod:`repro.obs.trace` -- a hierarchical span tracer with wall-time,
   nesting, and JSONL export (``repro ... --trace run.jsonl``);
 * :mod:`repro.obs.metrics` -- a registry of named counters / gauges /
-  histograms with ``snapshot()`` / ``reset()`` and a near-zero-cost
-  disabled path (``repro ... --stats``);
+  histograms (with p50/p95/p99 quantiles) with ``snapshot()`` /
+  ``reset()`` and a near-zero-cost disabled path (``repro ... --stats``);
 * :mod:`repro.obs.explain` -- pretty-printed compiled rule plans
-  (``repro explain``).
+  (``repro explain``);
+* :mod:`repro.obs.analyze` -- EXPLAIN ANALYZE: per-plan-node actual
+  cardinalities from a real run, collected by
+  ``evaluate(..., collect_analyze=True)`` on the plan engines
+  (``repro explain PROGRAM GRAPH --analyze``, ``repro run --analyze``);
+* :mod:`repro.obs.profile` -- the deterministic span profiler:
+  inclusive/exclusive wall-time tables per span kind and rule
+  (``repro profile``);
+* :mod:`repro.obs.bench` -- the bench observatory: versioned
+  ``BENCH_<name>.json`` artifacts and the regression gate
+  (``repro bench report`` / ``repro bench compare``).
 
 Both sinks default to module-level no-op singletons; instrumented code
 calls them unconditionally and pays one attribute load when collection
@@ -25,12 +35,33 @@ is off.  Enable around a region of interest::
     tracer.write_jsonl("run.jsonl")
 """
 
+from repro.obs.analyze import (
+    NodeStats,
+    PlanProfile,
+    PlanStats,
+    RuleStats,
+    render_plan_profile,
+)
+from repro.obs.bench import (
+    BenchDocument,
+    CompareReport,
+    compare,
+    load_document,
+    make_document,
+)
 from repro.obs.explain import explain_magic, explain_program, explain_rule
 from repro.obs.metrics import (
     MetricsRegistry,
     disable_metrics,
     enable_metrics,
     get_metrics,
+)
+from repro.obs.profile import (
+    SpanProfile,
+    profile_jsonl,
+    profile_records,
+    profile_spans,
+    render_profile,
 )
 from repro.obs.trace import (
     SpanTracer,
@@ -41,8 +72,16 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "BenchDocument",
+    "CompareReport",
     "MetricsRegistry",
+    "NodeStats",
+    "PlanProfile",
+    "PlanStats",
+    "RuleStats",
+    "SpanProfile",
     "SpanTracer",
+    "compare",
     "disable_metrics",
     "disable_tracing",
     "enable_metrics",
@@ -52,5 +91,12 @@ __all__ = [
     "explain_rule",
     "get_metrics",
     "get_tracer",
+    "load_document",
     "load_span_tree",
+    "make_document",
+    "profile_jsonl",
+    "profile_records",
+    "profile_spans",
+    "render_plan_profile",
+    "render_profile",
 ]

@@ -1,0 +1,306 @@
+"""EXPLAIN ANALYZE: per-plan-node runtime statistics for plan engines.
+
+EXPLAIN (:mod:`repro.obs.explain`) shows the *static* plan the indexed
+and codegen engines execute; this module holds the *runtime* side: how
+many bindings actually arrived at each plan step, how many survived it,
+how often each plan ran, and how long each rule took -- the
+actual-vs-planned cardinality comparison that PostgreSQL's
+``EXPLAIN ANALYZE`` popularised, collected by
+``evaluate(..., collect_analyze=True)`` and surfaced as
+``FixpointResult.profile.plans``.
+
+The numbers are *semantic at the plan level*: both plan executors (the
+op interpreter of :mod:`repro.datalog.evaluation` and the generated
+functions of :mod:`repro.datalog.codegen`) run the same
+:class:`~repro.datalog.planner.RulePlan` steps over the same store, so
+every count here -- rows in, rows out, invocations -- agrees
+binding-for-binding between them (pinned by ``tests/test_analyze.py``);
+only ``wall_seconds`` is engine- and run-specific.
+
+Node vocabulary (``NodeStats.kind``):
+
+* ``probe``     -- hash-index lookup on the step's bound positions;
+* ``scan``      -- full-relation scan (no positions bound);
+* ``delta``     -- the semi-naive delta occurrence;
+* ``filter``    -- an equality/inequality discarding bindings
+  (``rejected`` = rows_in - rows_out: the guard rejections);
+* ``bind``      -- an equality assigning a fresh variable (never
+  rejects: rows_out == rows_in);
+* ``enumerate`` -- a universe sweep (rows_out == rows_in x |universe|).
+
+This module is pure data + rendering; collection lives in the engines.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Iterable, TextIO
+
+
+@dataclass(frozen=True)
+class NodeStats:
+    """One plan step's aggregate runtime counts over a whole run.
+
+    ``rows_in`` counts the bindings that arrived at the step (for an
+    atom step this is also the number of index probes it issued);
+    ``rows_out`` counts the bindings that survived it.
+    """
+
+    kind: str
+    label: str
+    rows_in: int
+    rows_out: int
+
+    @property
+    def rejected(self) -> int:
+        """Bindings the step discarded (0 for producing steps)."""
+        return max(self.rows_in - self.rows_out, 0)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "label": self.label,
+            "rows_in": self.rows_in,
+            "rows_out": self.rows_out,
+        }
+
+
+@dataclass(frozen=True)
+class PlanStats:
+    """One (full or delta-specialised) plan's node statistics."""
+
+    kind: str  # "full" | "delta"
+    delta_predicate: str | None
+    invocations: int
+    nodes: tuple[NodeStats, ...]
+
+    @property
+    def produced(self) -> int:
+        """Satisfying bindings the plan yielded (last node's rows out).
+
+        A plan with no steps (constant-only rule body) yields one
+        binding per invocation.
+        """
+        if not self.nodes:
+            return self.invocations
+        return self.nodes[-1].rows_out
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "delta_predicate": self.delta_predicate,
+            "invocations": self.invocations,
+            "produced": self.produced,
+            "nodes": [node.to_dict() for node in self.nodes],
+        }
+
+
+@dataclass(frozen=True)
+class RuleStats:
+    """One rule's runtime statistics across every plan variant."""
+
+    index: int
+    label: str
+    head: str
+    wall_seconds: float
+    fired: int
+    plans: tuple[PlanStats, ...]
+
+    @property
+    def produced(self) -> int:
+        """Satisfying bindings across all of the rule's plans."""
+        return sum(plan.produced for plan in self.plans)
+
+    @property
+    def rows_processed(self) -> int:
+        """Total bindings that entered any node -- the rule's join work."""
+        return sum(
+            node.rows_in for plan in self.plans for node in plan.nodes
+        )
+
+    def hottest(self) -> tuple[int, int] | None:
+        """``(plan_index, node_index)`` of the busiest node, or None.
+
+        "Busiest" is most rows in (ties: most rows out, then first in
+        plan order -- deterministic).
+        """
+        best: tuple[int, int] | None = None
+        best_score = (-1, -1)
+        for plan_index, plan in enumerate(self.plans):
+            for node_index, node in enumerate(plan.nodes):
+                score = (node.rows_in, node.rows_out)
+                if score > best_score:
+                    best_score = score
+                    best = (plan_index, node_index)
+        return best
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.index,
+            "label": self.label,
+            "head": self.head,
+            "wall_ms": round(self.wall_seconds * 1000.0, 6),
+            "fired": self.fired,
+            "produced": self.produced,
+            "rows_processed": self.rows_processed,
+            "plans": [plan.to_dict() for plan in self.plans],
+        }
+
+
+@dataclass(frozen=True)
+class PlanProfile:
+    """EXPLAIN ANALYZE for one fixpoint run (all rules, all plans).
+
+    ``counts_view()`` strips the engine/run-specific parts (wall time)
+    so the differential suite can assert the indexed and codegen
+    engines agree node-for-node.
+    """
+
+    engine: str
+    rounds: int
+    rules: tuple[RuleStats, ...]
+
+    @property
+    def total_rows_processed(self) -> int:
+        return sum(rule.rows_processed for rule in self.rules)
+
+    def counts_view(self) -> tuple:
+        """The engine-independent part, for differential assertions."""
+        return tuple(
+            (
+                rule.index,
+                rule.fired,
+                tuple(
+                    (
+                        plan.kind,
+                        plan.delta_predicate,
+                        plan.invocations,
+                        tuple(
+                            (node.kind, node.label, node.rows_in,
+                             node.rows_out)
+                            for node in plan.nodes
+                        ),
+                    )
+                    for plan in rule.plans
+                ),
+            )
+            for rule in self.rules
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "engine": self.engine,
+            "rounds": self.rounds,
+            "total_rows_processed": self.total_rows_processed,
+            "rules": [rule.to_dict() for rule in self.rules],
+        }
+
+    def summary(self) -> dict:
+        """The compact form bench rows embed (one entry per rule)."""
+        return {
+            "engine": self.engine,
+            "rounds": self.rounds,
+            "total_rows_processed": self.total_rows_processed,
+            "rules": [
+                {
+                    "rule": rule.index,
+                    "head": rule.head,
+                    "wall_ms": round(rule.wall_seconds * 1000.0, 3),
+                    "fired": rule.fired,
+                    "rows_processed": rule.rows_processed,
+                    "hottest": _hottest_label(rule),
+                }
+                for rule in self.rules
+            ],
+        }
+
+    def write_json(self, stream: TextIO) -> None:
+        json.dump(self.to_dict(), stream, indent=2, sort_keys=True)
+        stream.write("\n")
+
+
+def _hottest_label(rule: RuleStats) -> str | None:
+    position = rule.hottest()
+    if position is None:
+        return None
+    plan_index, node_index = position
+    return rule.plans[plan_index].nodes[node_index].label
+
+
+# ---------------------------------------------------------------------------
+# Rendering: the annotated-plan text behind `repro explain --analyze`.
+# ---------------------------------------------------------------------------
+
+
+def render_plan_profile(
+    profile: PlanProfile, name: str | None = None
+) -> str:
+    """The EXPLAIN ANALYZE text: plans annotated with actual counts.
+
+    One block per rule -- each plan's steps with actual rows in/out
+    (and rejections for filters), the per-plan invocation count, and a
+    ``<-- hottest`` marker on the rule's busiest node.
+    """
+    title = f"EXPLAIN ANALYZE {name}" if name else "EXPLAIN ANALYZE"
+    lines = [
+        f"{title}: engine {profile.engine}, {profile.rounds} rounds, "
+        f"{len(profile.rules)} rules, "
+        f"{profile.total_rows_processed} rows processed",
+        "",
+    ]
+    for rule in profile.rules:
+        lines.append(f"rule {rule.index}: {rule.label}")
+        lines.append(
+            f"  wall {rule.wall_seconds * 1000.0:.2f}ms, "
+            f"fired {rule.fired}, produced {rule.produced}, "
+            f"rows processed {rule.rows_processed}"
+        )
+        hottest = rule.hottest()
+        for plan_index, plan in enumerate(rule.plans):
+            if plan.kind == "delta":
+                header = (
+                    f"  delta plan (d{plan.delta_predicate}): "
+                    f"{plan.invocations} invocations"
+                )
+            else:
+                header = f"  full plan (round 1): {plan.invocations} invocations"
+            lines.append(header)
+            if not plan.nodes:
+                lines.append(
+                    "     (no steps: constant-only body; "
+                    f"produced {plan.produced})"
+                )
+            for node_index, node in enumerate(plan.nodes):
+                actual = f"rows in={node.rows_in} out={node.rows_out}"
+                if node.kind == "filter":
+                    actual += f" rejected={node.rejected}"
+                marker = (
+                    "  <-- hottest"
+                    if hottest == (plan_index, node_index)
+                    else ""
+                )
+                lines.append(
+                    f"    {node_index + 1:>2}. {node.label:<44} "
+                    f"{actual}{marker}"
+                )
+        lines.append("")
+    return "\n".join(lines).rstrip("\n") + "\n"
+
+
+def merge_node_counts(
+    kinds_labels: Iterable[tuple[str, str]], counts: Iterable[int]
+) -> tuple[NodeStats, ...]:
+    """Zip ``(kind, label)`` descriptors with a flat [in, out, ...] list."""
+    counts = list(counts)
+    nodes = []
+    for index, (kind, label) in enumerate(kinds_labels):
+        nodes.append(
+            NodeStats(
+                kind=kind,
+                label=label,
+                rows_in=counts[2 * index],
+                rows_out=counts[2 * index + 1],
+            )
+        )
+    return tuple(nodes)

@@ -1,0 +1,306 @@
+"""The bench observatory: canonical bench rows, reports, and regression gates.
+
+Every ``benchmarks/bench_*.py`` script emits its timing rows through
+:func:`make_document` (via the harness's ``write_rows``), producing one
+versioned ``BENCH_<name>.json`` artifact::
+
+    {"schema": 2,
+     "bench": "codegen",
+     "machine": {"python": ..., "implementation": ..., "platform": ...,
+                 "machine": ..., "cpu_count": ...},
+     "rows": [{"name": ..., "params": {...}, "engine": ...,
+               "wall_ms": ..., "counters": {...}, "analyze": ...}, ...]}
+
+A row is keyed by ``(name, engine, params)`` -- :func:`row_key` -- so
+two documents from different runs align row-for-row.  ``counters`` is a
+metrics-registry snapshot of the timed call and ``analyze`` an optional
+EXPLAIN ANALYZE summary (:meth:`repro.obs.analyze.PlanProfile.summary`),
+so an artifact records not just *how long* but *how much work* each run
+did.
+
+:func:`compare` is the regression gate behind ``repro bench compare``:
+
+* ``mode="wall"`` compares wall-clock per row -- right for two runs on
+  the *same* machine (a before/after measurement);
+* ``mode="counters"`` compares the work counters -- machine-independent
+  (deterministic programs do identical work everywhere), so it is what
+  CI runs against the checked-in seed baseline.
+
+A row regresses when its new/old ratio exceeds ``threshold``; the CLI
+exits non-zero if any row does.  Schema-1 artifacts (the bare row list
+PR 2's harness wrote) still load, as schema 0-of-1 documents with no
+machine info.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+#: Version of the BENCH_<name>.json document format.
+SCHEMA_VERSION = 2
+
+#: The canonical per-row key set (pinned in CI).
+ROW_KEYS = frozenset(
+    {"name", "params", "engine", "wall_ms", "counters", "analyze"}
+)
+
+
+def machine_info() -> dict:
+    """The host fingerprint embedded in every bench document."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": sys.platform,
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def normalize_row(row: Mapping) -> dict:
+    """A canonical-schema copy of one row (fills optional fields)."""
+    return {
+        "name": row["name"],
+        "params": dict(row.get("params") or {}),
+        "engine": row.get("engine"),
+        "wall_ms": row["wall_ms"],
+        "counters": dict(row.get("counters") or {}),
+        "analyze": row.get("analyze"),
+    }
+
+
+def make_document(bench: str, rows: Iterable[Mapping]) -> dict:
+    """The versioned artifact for one bench script's rows."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "bench": bench,
+        "machine": machine_info(),
+        "rows": [normalize_row(row) for row in rows],
+    }
+
+
+@dataclass(frozen=True)
+class BenchDocument:
+    """One loaded ``BENCH_<name>.json`` artifact (any schema version)."""
+
+    schema: int
+    bench: str
+    machine: dict
+    rows: tuple[dict, ...]
+    path: str | None = None
+
+    @property
+    def label(self) -> str:
+        return self.path or self.bench or "<bench>"
+
+
+def parse_document(doc, path: str | None = None) -> BenchDocument:
+    """Normalise a parsed JSON value into a :class:`BenchDocument`.
+
+    Accepts the schema-2 document shape or the schema-1 bare row list.
+    """
+    if isinstance(doc, list):
+        return BenchDocument(
+            schema=1,
+            bench="",
+            machine={},
+            rows=tuple(normalize_row(row) for row in doc),
+            path=path,
+        )
+    if not isinstance(doc, dict) or "rows" not in doc:
+        raise ValueError(
+            f"{path or 'bench document'}: neither a schema-{SCHEMA_VERSION} "
+            "bench document nor a bare row list"
+        )
+    return BenchDocument(
+        schema=int(doc.get("schema", 1)),
+        bench=str(doc.get("bench", "")),
+        machine=dict(doc.get("machine") or {}),
+        rows=tuple(normalize_row(row) for row in doc["rows"]),
+        path=path,
+    )
+
+
+def load_document(path: str) -> BenchDocument:
+    """Load and normalise one artifact from disk."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_document(json.load(handle), path=path)
+
+
+def row_key(row: Mapping) -> str:
+    """The identity two runs align rows by: name, engine, params."""
+    params = json.dumps(row.get("params") or {}, sort_keys=True)
+    return f"{row['name']}|{row.get('engine') or '-'}|{params}"
+
+
+# ---------------------------------------------------------------------------
+# Comparison: the regression gate.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RowComparison:
+    """One aligned row pair's verdict."""
+
+    key: str
+    metric: str
+    old_value: float
+    new_value: float
+    ratio: float
+    regressed: bool
+
+
+@dataclass(frozen=True)
+class CompareReport:
+    """Everything ``repro bench compare`` prints and gates on."""
+
+    mode: str
+    threshold: float
+    rows: tuple[RowComparison, ...]
+    missing: tuple[str, ...] = field(default=())
+    added: tuple[str, ...] = field(default=())
+
+    @property
+    def regressions(self) -> tuple[RowComparison, ...]:
+        return tuple(row for row in self.rows if row.regressed)
+
+    @property
+    def ok(self) -> bool:
+        """The gate: no per-row regression and no vanished rows."""
+        return not self.regressions and not self.missing
+
+
+def _ratio(old: float, new: float) -> float:
+    if old <= 0.0:
+        return 1.0 if new <= 0.0 else float("inf")
+    return new / old
+
+
+def _counters_worst(old: Mapping, new: Mapping) -> tuple[str, float, float]:
+    """The counter with the worst new/old ratio (ties: name order)."""
+    worst = ("counters", 0.0, 0.0)
+    worst_ratio = -1.0
+    for name in sorted(set(old) | set(new)):
+        old_value = float(old.get(name, 0))
+        new_value = float(new.get(name, 0))
+        ratio = _ratio(old_value, new_value)
+        if ratio > worst_ratio:
+            worst_ratio = ratio
+            worst = (f"counters.{name}", old_value, new_value)
+    return worst
+
+
+def compare(
+    old: BenchDocument,
+    new: BenchDocument,
+    *,
+    threshold: float = 1.25,
+    mode: str = "wall",
+) -> CompareReport:
+    """Align two documents row-for-row and flag regressions.
+
+    ``threshold`` is the new/old ratio above which a row regresses
+    (1.25 = new may be at most 25% worse).  Rows only in ``old`` are
+    reported as ``missing`` (and fail the gate: a vanished row usually
+    means a bench silently stopped covering a case); rows only in
+    ``new`` are informational.
+    """
+    if mode not in ("wall", "counters"):
+        raise ValueError(f"unknown compare mode {mode!r}")
+    if threshold <= 0.0:
+        raise ValueError("threshold must be positive")
+    old_rows = {row_key(row): row for row in old.rows}
+    new_rows = {row_key(row): row for row in new.rows}
+    comparisons = []
+    for key in sorted(old_rows):
+        if key not in new_rows:
+            continue
+        old_row, new_row = old_rows[key], new_rows[key]
+        if mode == "wall":
+            metric = "wall_ms"
+            old_value = float(old_row["wall_ms"])
+            new_value = float(new_row["wall_ms"])
+        else:
+            metric, old_value, new_value = _counters_worst(
+                old_row["counters"], new_row["counters"]
+            )
+        ratio = _ratio(old_value, new_value)
+        comparisons.append(
+            RowComparison(
+                key=key,
+                metric=metric,
+                old_value=old_value,
+                new_value=new_value,
+                ratio=ratio,
+                regressed=ratio > threshold,
+            )
+        )
+    return CompareReport(
+        mode=mode,
+        threshold=threshold,
+        rows=tuple(comparisons),
+        missing=tuple(sorted(set(old_rows) - set(new_rows))),
+        added=tuple(sorted(set(new_rows) - set(old_rows))),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Rendering: `repro bench report` and `repro bench compare` text output.
+# ---------------------------------------------------------------------------
+
+
+def render_report(documents: Iterable[BenchDocument]) -> str:
+    """A row table across one or more loaded artifacts."""
+    lines = []
+    for document in documents:
+        host = document.machine.get("python")
+        suffix = f" (python {host})" if host else ""
+        lines.append(
+            f"{document.label}: schema {document.schema}, "
+            f"{len(document.rows)} rows{suffix}"
+        )
+        lines.append(
+            f"  {'row':<44} {'wall ms':>10} {'counters':>9} {'analyze':>8}"
+        )
+        for row in document.rows:
+            analyze = row.get("analyze")
+            hot = "-"
+            if analyze:
+                hot = f"{analyze.get('total_rows_processed', '-')}"
+            lines.append(
+                f"  {row_key(row):<44} {row['wall_ms']:>10.3f} "
+                f"{len(row['counters']):>9} {hot:>8}"
+            )
+        lines.append("")
+    return "\n".join(lines).rstrip("\n") + "\n"
+
+
+def render_compare(report: CompareReport) -> str:
+    """The comparison table plus the verdict line."""
+    lines = [
+        f"bench compare: mode={report.mode} threshold={report.threshold:g}",
+        f"  {'row':<44} {'old':>12} {'new':>12} {'ratio':>7}  verdict",
+    ]
+    for row in report.rows:
+        verdict = "REGRESSED" if row.regressed else "ok"
+        lines.append(
+            f"  {row.key:<44} {row.old_value:>12.3f} {row.new_value:>12.3f} "
+            f"{row.ratio:>6.2f}x  {verdict} [{row.metric}]"
+        )
+    for key in report.missing:
+        lines.append(f"  {key:<44} MISSING from new run")
+    for key in report.added:
+        lines.append(f"  {key:<44} new row (not in baseline)")
+    regressed = len(report.regressions)
+    if report.ok:
+        lines.append(f"OK: {len(report.rows)} rows within threshold")
+    else:
+        lines.append(
+            f"FAIL: {regressed} regression(s), "
+            f"{len(report.missing)} missing row(s)"
+        )
+    return "\n".join(lines) + "\n"

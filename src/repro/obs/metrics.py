@@ -28,17 +28,32 @@ object itself at import time would freeze the enabled/disabled state.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
+
+
+def _quantile(ordered: list[float], q: float) -> float:
+    """Nearest-rank quantile of a non-empty ascending-sorted list."""
+    rank = math.ceil(q * len(ordered)) - 1
+    return ordered[min(len(ordered) - 1, max(0, rank))]
 
 
 @dataclass(frozen=True)
 class HistogramSummary:
-    """Aggregate view of one histogram's observations."""
+    """Aggregate view of one histogram's observations.
+
+    Quantiles are nearest-rank over the recorded values -- exact and
+    deterministic (no interpolation), so equal observation sequences
+    produce byte-identical summaries.
+    """
 
     count: int
     total: float
     minimum: float
     maximum: float
+    p50: float = 0.0
+    p95: float = 0.0
+    p99: float = 0.0
 
     @property
     def mean(self) -> float:
@@ -85,35 +100,51 @@ class MetricsRegistry:
     def snapshot(self) -> dict:
         """A plain-dict copy of every series (JSON-serialisable).
 
-        Histograms are summarised (count / total / min / max / mean), so
-        a snapshot's size is bounded by the number of series, not the
-        number of observations.
+        Histograms are summarised (count / total / min / max / mean /
+        p50 / p95 / p99), so a snapshot's size is bounded by the number
+        of series, not the number of observations.  Every mapping is
+        name-sorted, so two runs recording the same series diff cleanly
+        as JSON regardless of first-touch order.
         """
+        histograms = {}
+        for name in sorted(self._histograms):
+            values = self._histograms[name]
+            if not values:
+                continue
+            ordered = sorted(values)
+            histograms[name] = {
+                "count": len(values),
+                "total": sum(values),
+                "min": ordered[0],
+                "max": ordered[-1],
+                "mean": sum(values) / len(values),
+                "p50": _quantile(ordered, 0.50),
+                "p95": _quantile(ordered, 0.95),
+                "p99": _quantile(ordered, 0.99),
+            }
         return {
-            "counters": dict(self._counters),
-            "gauges": dict(self._gauges),
-            "histograms": {
-                name: {
-                    "count": len(values),
-                    "total": sum(values),
-                    "min": min(values),
-                    "max": max(values),
-                    "mean": sum(values) / len(values),
-                }
-                for name, values in self._histograms.items()
-                if values
+            "counters": {
+                name: self._counters[name] for name in sorted(self._counters)
             },
+            "gauges": {
+                name: self._gauges[name] for name in sorted(self._gauges)
+            },
+            "histograms": histograms,
         }
 
     def histogram(self, name: str) -> HistogramSummary | None:
         values = self._histograms.get(name)
         if not values:
             return None
+        ordered = sorted(values)
         return HistogramSummary(
             count=len(values),
             total=sum(values),
-            minimum=min(values),
-            maximum=max(values),
+            minimum=ordered[0],
+            maximum=ordered[-1],
+            p50=_quantile(ordered, 0.50),
+            p95=_quantile(ordered, 0.95),
+            p99=_quantile(ordered, 0.99),
         )
 
     def reset(self) -> None:

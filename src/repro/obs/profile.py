@@ -1,0 +1,188 @@
+"""Deterministic span-tree profiler: inclusive/exclusive time tables.
+
+The span tracer (:mod:`repro.obs.trace`) records a forest -- evaluate >
+iteration > rule, query > evaluate, incremental.insert > iteration, and
+so on.  This module folds that forest into the flamegraph-style summary
+a human actually reads: for every ``(kind, detail)`` group, how many
+spans ran, how much wall time they covered *including* their children
+(inclusive), and how much was spent in their own frames only
+(exclusive).  Exclusive time is inclusive minus the direct children's
+inclusive time, clamped at zero (children overlapping their parent by
+clock jitter must not go negative), so summing exclusive time over all
+rows recovers total traced time exactly once.
+
+Determinism: grouping, keying, and ordering are pure functions of the
+span records -- rows sort by descending inclusive time with
+``(kind, detail)`` as the tie-break -- so profiling the same JSONL file
+twice yields identical tables, and two runs of a deterministic program
+differ only in the time columns (pinned by ``tests/test_profile.py``).
+
+Grouping vocabulary (``_row_detail``): rule spans group per rule
+(``rule 3 (tc)``), engine-tagged spans (evaluate / iteration) per
+engine, incremental updates per predicate, queries per goal.  The input
+can be live :class:`~repro.obs.trace.Span` objects
+(:func:`profile_spans`), exported dict records
+(:func:`profile_records`), or a JSONL file (:func:`profile_jsonl`,
+which reuses the hardened ``load_span_tree`` and therefore tolerates a
+torn final line).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Iterable, Sequence, TextIO
+
+from repro.obs.trace import Span, load_span_tree
+
+
+@dataclass(frozen=True)
+class ProfileRow:
+    """One ``(kind, detail)`` group's aggregate times."""
+
+    kind: str
+    detail: str
+    count: int
+    inclusive_seconds: float
+    exclusive_seconds: float
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "detail": self.detail,
+            "count": self.count,
+            "inclusive_ms": round(self.inclusive_seconds * 1000.0, 6),
+            "exclusive_ms": round(self.exclusive_seconds * 1000.0, 6),
+        }
+
+
+@dataclass(frozen=True)
+class SpanProfile:
+    """The profiler's output: rows plus the traced total.
+
+    ``total_seconds`` is the sum of the *root* spans' durations -- the
+    wall time the trace actually covers -- so a row's share of it is a
+    meaningful percentage even when the tree is deep.
+    """
+
+    rows: tuple[ProfileRow, ...]
+    total_seconds: float
+    span_count: int
+
+    def to_dict(self) -> dict:
+        return {
+            "total_ms": round(self.total_seconds * 1000.0, 6),
+            "spans": self.span_count,
+            "rows": [row.to_dict() for row in self.rows],
+        }
+
+    def write_json(self, stream: TextIO) -> None:
+        json.dump(self.to_dict(), stream, indent=2, sort_keys=True)
+        stream.write("\n")
+
+
+def _row_detail(kind: str, record: dict) -> str:
+    """The grouping detail for one span record (deterministic)."""
+    if "rule" in record and "head" in record:
+        return f"rule {record['rule']} ({record['head']})"
+    if "engine" in record:
+        return str(record["engine"])
+    if "predicate" in record:
+        return str(record["predicate"])
+    if "goal" in record:
+        return str(record["goal"])
+    return ""
+
+
+def profile_records(records: Iterable[dict]) -> SpanProfile:
+    """Profile exported span dicts (the ``Span.to_dict`` shape).
+
+    Open spans (``end`` null -- the trace was cut mid-run) count with
+    zero duration rather than being dropped, so their appearance in the
+    count column still flags them.
+    """
+    durations: dict[int, float] = {}
+    child_sums: dict[int, float] = {}
+    kept: list[dict] = []
+    total = 0.0
+    for record in records:
+        span_id = record["span"]
+        end = record.get("end")
+        duration = 0.0 if end is None else end - record["start"]
+        durations[span_id] = duration
+        kept.append(record)
+        parent_id = record.get("parent")
+        if parent_id is None:
+            total += duration
+        else:
+            child_sums[parent_id] = child_sums.get(parent_id, 0.0) + duration
+
+    groups: dict[tuple[str, str], list[float]] = {}
+    for record in kept:
+        kind = record["kind"]
+        key = (kind, _row_detail(kind, record))
+        duration = durations[record["span"]]
+        exclusive = max(duration - child_sums.get(record["span"], 0.0), 0.0)
+        bucket = groups.setdefault(key, [0, 0.0, 0.0])
+        bucket[0] += 1
+        bucket[1] += duration
+        bucket[2] += exclusive
+
+    rows = [
+        ProfileRow(
+            kind=kind,
+            detail=detail,
+            count=int(count),
+            inclusive_seconds=inclusive,
+            exclusive_seconds=exclusive,
+        )
+        for (kind, detail), (count, inclusive, exclusive) in groups.items()
+    ]
+    rows.sort(key=lambda row: (-row.inclusive_seconds, row.kind, row.detail))
+    return SpanProfile(
+        rows=tuple(rows), total_seconds=total, span_count=len(kept)
+    )
+
+
+def profile_spans(spans: Sequence[Span]) -> SpanProfile:
+    """Profile live spans straight from a :class:`SpanTracer`."""
+    return profile_records(span.to_dict() for span in spans)
+
+
+def profile_jsonl(lines) -> SpanProfile:
+    """Profile an exported JSONL trace (any iterable of lines).
+
+    Goes through :func:`repro.obs.trace.load_span_tree`, so a torn
+    final line -- a run killed mid-export -- is skipped with a warning
+    rather than failing the profile.
+    """
+    records = [
+        node.record
+        for root in load_span_tree(lines)
+        for node in root.walk()
+    ]
+    return profile_records(records)
+
+
+def render_profile(profile: SpanProfile, name: str | None = None) -> str:
+    """The profiler's text table (what ``repro profile`` prints)."""
+    title = f"PROFILE {name}" if name else "PROFILE"
+    lines = [
+        f"{title}: {profile.span_count} spans, "
+        f"{profile.total_seconds * 1000.0:.2f}ms traced",
+        "",
+        f"{'kind':<22} {'detail':<28} {'count':>7} "
+        f"{'incl ms':>10} {'excl ms':>10} {'excl %':>7}",
+    ]
+    total = profile.total_seconds
+    for row in profile.rows:
+        share = (
+            100.0 * row.exclusive_seconds / total if total > 0.0 else 0.0
+        )
+        lines.append(
+            f"{row.kind:<22} {row.detail:<28} {row.count:>7} "
+            f"{row.inclusive_seconds * 1000.0:>10.3f} "
+            f"{row.exclusive_seconds * 1000.0:>10.3f} "
+            f"{share:>6.1f}%"
+        )
+    return "\n".join(lines) + "\n"

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import json
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Iterator, TextIO
 
@@ -232,14 +233,33 @@ def load_span_tree(lines) -> list[SpanNode]:
     a list); blank lines are ignored.  Raises ``json.JSONDecodeError`` on
     malformed input and ``KeyError`` if a record lacks the span fields --
     the CI smoke uses this as the "trace file parses" check.
+
+    Exception: a malformed *final* line is skipped with a
+    ``RuntimeWarning`` instead of raising.  A process killed mid-export
+    (crash, timeout, ``kill -9``) tears exactly the line it was writing,
+    and the completed spans before it are still worth reading; anything
+    malformed *before* the end is genuine corruption and still raises.
     """
+    entries = [line.strip() for line in lines]
+    while entries and not entries[-1]:
+        entries.pop()
     nodes: dict[int, SpanNode] = {}
     roots: list[SpanNode] = []
-    for line in lines:
-        line = line.strip()
+    for position, line in enumerate(entries):
         if not line:
             continue
-        record = json.loads(line)
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            if position == len(entries) - 1:
+                warnings.warn(
+                    "skipping torn final JSONL line "
+                    "(trace export was interrupted)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                break
+            raise
         node = SpanNode(record)
         nodes[record["span"]] = node
         parent_id = record["parent"]

@@ -1,0 +1,253 @@
+"""EXPLAIN ANALYZE: plan-node statistics from the plan engines.
+
+The differential core of the suite: the interpreter
+(:mod:`repro.datalog.evaluation`) and the generated functions
+(:mod:`repro.datalog.codegen`) run the same
+:class:`~repro.datalog.planner.RulePlan` steps, so every count --
+rows in, rows out, invocations, firings -- must agree
+binding-for-binding between them.  Wall time is the only
+engine-specific field, and ``counts_view()`` strips it.
+"""
+
+import pytest
+
+from repro.datalog.codegen import rule_sources
+from repro.datalog.evaluation import ANALYZE_ENGINES, evaluate, query
+from repro.datalog.library import (
+    library_programs,
+    q_program,
+    transitive_closure_program,
+)
+from repro.graphs.generators import path_graph, random_digraph
+from repro.obs import metrics as metrics_module
+from repro.obs.analyze import render_plan_profile
+
+
+@pytest.fixture(autouse=True)
+def _metrics_restored():
+    yield
+    metrics_module.disable_metrics()
+
+
+def _corpus():
+    """(label, program, structure) pairs the differential suite sweeps.
+
+    Every graph-EDB library program (``path-systems`` wants an
+    Axiom/Rule EDB a digraph cannot interpret, so it sits this out).
+    """
+    cases = []
+    for name, program in sorted(library_programs().items()):
+        if set(program.edb_predicates) != {"E"}:
+            continue
+        cases.append((name, program, random_digraph(7, 0.3, seed=3)))
+    cases.append(("q21", q_program(2, 1), random_digraph(8, 0.25, seed=5)))
+    cases.append(("tc-path", transitive_closure_program(), path_graph(6)))
+    return cases
+
+
+class TestCollection:
+    def test_off_by_default(self):
+        result = evaluate(
+            transitive_closure_program(),
+            path_graph(4).to_structure(),
+            method="indexed",
+            collect_profile=True,
+        )
+        assert result.profile is not None
+        assert result.profile.plans is None
+
+    def test_analyze_forces_a_profile(self):
+        result = evaluate(
+            transitive_closure_program(),
+            path_graph(4).to_structure(),
+            method="indexed",
+            collect_analyze=True,
+        )
+        plans = result.profile.plans
+        assert plans is not None
+        assert plans.engine == "indexed"
+        assert plans.rounds == result.iterations
+        assert plans.total_rows_processed > 0
+
+    @pytest.mark.parametrize("engine", ["naive", "seminaive"])
+    def test_non_plan_engines_reject_analyze(self, engine):
+        with pytest.raises(ValueError, match="plan"):
+            evaluate(
+                transitive_closure_program(),
+                path_graph(4).to_structure(),
+                method=engine,
+                collect_analyze=True,
+            )
+
+    def test_analyze_does_not_change_the_result(self):
+        program = q_program(2, 1)
+        structure = random_digraph(8, 0.25, seed=5).to_structure()
+        for engine in ANALYZE_ENGINES:
+            plain = evaluate(program, structure, method=engine)
+            analyzed = evaluate(
+                program, structure, method=engine, collect_analyze=True
+            )
+            assert plain.relations == analyzed.relations
+            assert plain.iterations == analyzed.iterations
+
+    def test_firings_match_the_profile(self):
+        result = evaluate(
+            transitive_closure_program(),
+            path_graph(5).to_structure(),
+            method="indexed",
+            collect_profile=True,
+            collect_analyze=True,
+        )
+        profile = result.profile
+        for rule_stats, fired in zip(
+            profile.plans.rules, profile.total_rule_firings()
+        ):
+            assert rule_stats.fired == fired
+
+
+class TestDifferential:
+    """Indexed and codegen agree node-for-node on the whole corpus."""
+
+    @pytest.mark.parametrize(
+        "label,program,graph",
+        _corpus(),
+        ids=[label for label, __, __ in _corpus()],
+    )
+    def test_counts_agree_binding_for_binding(self, label, program, graph):
+        structure = graph.to_structure()
+        views = {}
+        relations = {}
+        for engine in ANALYZE_ENGINES:
+            result = evaluate(
+                program, structure, method=engine, collect_analyze=True
+            )
+            views[engine] = result.profile.plans.counts_view()
+            relations[engine] = result.relations
+        assert relations["indexed"] == relations["codegen"]
+        assert views["indexed"] == views["codegen"]
+
+    def test_goal_directed_analyze_agrees_too(self):
+        from repro.datalog.ast import Atom, Constant, Variable
+
+        program = transitive_closure_program()
+        structure = path_graph(6).to_structure().with_constants(
+            {"__g1": "v0"}
+        )
+        goal = Atom(program.goal, (Constant("__g1"), Variable("y")))
+        views = {}
+        for engine in ANALYZE_ENGINES:
+            outcome = query(
+                program,
+                structure,
+                goal,
+                engine=engine,
+                magic=True,
+                collect_analyze=True,
+            )
+            plans = outcome.result.profile.plans
+            assert plans is not None and plans.total_rows_processed > 0
+            views[engine] = plans.counts_view()
+        assert views["indexed"] == views["codegen"]
+
+    def test_query_rejects_analyze_on_algebra(self):
+        from repro.datalog.ast import Atom, Variable
+
+        program = transitive_closure_program()
+        goal = Atom(program.goal, (Variable("x"), Variable("y")))
+        with pytest.raises(ValueError, match="algebra"):
+            query(
+                program,
+                path_graph(4).to_structure(),
+                goal,
+                engine="algebra",
+                collect_analyze=True,
+            )
+
+
+class TestMetricsCrossCheck:
+    """Analyze counts and the index-layer counters describe one truth.
+
+    Indexed engine only: the codegen engine's generated functions read
+    the store's raw dictionaries directly (that is the point of
+    codegen) and therefore never pass through the index-layer counter
+    sites -- its analyze counts, pinned equal to the indexed engine's
+    by :class:`TestDifferential`, are the observability there.
+    """
+
+    def test_counts_match_index_counters(self):
+        program = transitive_closure_program()
+        structure = path_graph(6).to_structure()
+        registry = metrics_module.enable_metrics(
+            metrics_module.MetricsRegistry()
+        )
+        try:
+            result = evaluate(
+                program,
+                structure,
+                method="indexed",
+                collect_analyze=True,
+            )
+        finally:
+            metrics_module.disable_metrics()
+        counters = registry.snapshot()["counters"]
+        probes = delta_probes = extended = 0
+        for rule in result.profile.plans.rules:
+            for plan in rule.plans:
+                for node in plan.nodes:
+                    if node.kind in ("probe", "scan"):
+                        probes += node.rows_in
+                        extended += node.rows_out
+                    elif node.kind == "delta":
+                        delta_probes += node.rows_in
+                        extended += node.rows_out
+        assert probes == counters["index.probes"]
+        assert delta_probes == counters["index.delta_probes"]
+        assert extended == counters["index.bindings_extended"]
+
+
+class TestCodegenHygiene:
+    def test_disabled_source_is_byte_identical(self):
+        """analyze=False must not leave any instrumentation behind."""
+        for full, deltas in rule_sources(q_program(2, 1)):
+            for source in [full.source] + [
+                delta.source for __, delta in deltas
+            ]:
+                assert "_an" not in source
+                assert "_i0" not in source
+
+
+class TestRendering:
+    def test_render_marks_the_hottest_node(self):
+        result = evaluate(
+            transitive_closure_program(),
+            path_graph(6).to_structure(),
+            method="indexed",
+            collect_analyze=True,
+        )
+        text = render_plan_profile(result.profile.plans, name="tc")
+        assert text.startswith("EXPLAIN ANALYZE tc:")
+        assert "<-- hottest" in text
+        assert "rows in=" in text
+        assert "delta plan (dS)" in text
+
+    def test_json_shapes_round_trip(self):
+        import io
+        import json
+
+        result = evaluate(
+            transitive_closure_program(),
+            path_graph(5).to_structure(),
+            method="codegen",
+            collect_analyze=True,
+        )
+        plans = result.profile.plans
+        stream = io.StringIO()
+        plans.write_json(stream)
+        loaded = json.loads(stream.getvalue())
+        assert loaded["engine"] == "codegen"
+        assert loaded["total_rows_processed"] == plans.total_rows_processed
+        summary = plans.summary()
+        assert {row["rule"] for row in summary["rules"]} == {
+            rule.index for rule in plans.rules
+        }
+        assert all("hottest" in row for row in summary["rules"])

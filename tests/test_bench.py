@@ -1,0 +1,165 @@
+"""The bench observatory: documents, row alignment, the regression gate."""
+
+import json
+
+import pytest
+
+from repro.obs.bench import (
+    ROW_KEYS,
+    SCHEMA_VERSION,
+    compare,
+    load_document,
+    machine_info,
+    make_document,
+    normalize_row,
+    parse_document,
+    render_compare,
+    render_report,
+    row_key,
+)
+
+
+def _row(name="tc", engine="indexed", wall=10.0, counters=None, **params):
+    return {
+        "name": name,
+        "params": params,
+        "engine": engine,
+        "wall_ms": wall,
+        "counters": counters if counters is not None else {"rounds": 5},
+        "analyze": None,
+    }
+
+
+class TestDocuments:
+    def test_make_document_shape(self):
+        doc = make_document("codegen", [_row(n=10)])
+        assert doc["schema"] == SCHEMA_VERSION
+        assert doc["bench"] == "codegen"
+        assert set(doc["machine"]) == set(machine_info())
+        assert set(doc["rows"][0]) == ROW_KEYS
+
+    def test_normalize_fills_optional_fields(self):
+        bare = {"name": "tc", "wall_ms": 1.0}
+        row = normalize_row(bare)
+        assert set(row) == ROW_KEYS
+        assert row["params"] == {} and row["counters"] == {}
+        assert row["engine"] is None and row["analyze"] is None
+
+    def test_parse_accepts_schema_1_bare_lists(self):
+        legacy = [
+            {"name": "tc", "params": {}, "engine": None, "wall_ms": 2.0,
+             "counters": {}},
+        ]
+        document = parse_document(legacy, path="old.json")
+        assert document.schema == 1
+        assert document.machine == {}
+        assert set(document.rows[0]) == ROW_KEYS
+        assert document.label == "old.json"
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError, match="bench document"):
+            parse_document({"not": "a document"})
+        with pytest.raises(ValueError, match="bad.json"):
+            parse_document("a string", path="bad.json")
+
+    def test_load_document_round_trip(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        path.write_text(json.dumps(make_document("x", [_row()])))
+        document = load_document(str(path))
+        assert document.schema == SCHEMA_VERSION
+        assert document.bench == "x"
+        assert document.path == str(path)
+
+    def test_row_key_is_stable_under_param_order(self):
+        a = _row(k=2, l=1)
+        b = dict(a, params={"l": 1, "k": 2})
+        assert row_key(a) == row_key(b)
+        assert row_key(_row(engine="codegen")) != row_key(a)
+
+
+class TestCompareGate:
+    def _docs(self, old_rows, new_rows):
+        return (
+            parse_document(make_document("g", old_rows)),
+            parse_document(make_document("g", new_rows)),
+        )
+
+    def test_identical_documents_pass(self):
+        old, new = self._docs([_row()], [_row()])
+        report = compare(old, new)
+        assert report.ok
+        assert not report.regressions and not report.missing
+
+    def test_synthetic_2x_slowdown_trips_wall_mode(self):
+        old, new = self._docs([_row(wall=10.0)], [_row(wall=20.0)])
+        report = compare(old, new, threshold=1.25, mode="wall")
+        assert not report.ok
+        (regression,) = report.regressions
+        assert regression.metric == "wall_ms"
+        assert regression.ratio == pytest.approx(2.0)
+
+    def test_within_threshold_passes(self):
+        old, new = self._docs([_row(wall=10.0)], [_row(wall=12.0)])
+        assert compare(old, new, threshold=1.25).ok
+
+    def test_counters_mode_is_wall_blind(self):
+        # Twice the wall time but identical work: counters mode passes.
+        old, new = self._docs(
+            [_row(wall=10.0, counters={"probes": 100})],
+            [_row(wall=20.0, counters={"probes": 100})],
+        )
+        assert compare(old, new, mode="counters").ok
+
+    def test_counters_mode_trips_on_extra_work(self):
+        old, new = self._docs(
+            [_row(counters={"probes": 100, "rounds": 5})],
+            [_row(counters={"probes": 260, "rounds": 5})],
+        )
+        report = compare(old, new, mode="counters")
+        assert not report.ok
+        (regression,) = report.regressions
+        assert regression.metric == "counters.probes"
+        assert regression.ratio == pytest.approx(2.6)
+
+    def test_new_counter_from_zero_is_infinite_ratio(self):
+        old, new = self._docs(
+            [_row(counters={})], [_row(counters={"probes": 1})]
+        )
+        report = compare(old, new, mode="counters")
+        assert not report.ok
+
+    def test_missing_rows_fail_the_gate(self):
+        old, new = self._docs([_row(), _row(name="other")], [_row()])
+        report = compare(old, new)
+        assert not report.ok
+        assert len(report.missing) == 1 and not report.regressions
+
+    def test_added_rows_are_informational(self):
+        old, new = self._docs([_row()], [_row(), _row(name="extra")])
+        report = compare(old, new)
+        assert report.ok
+        assert len(report.added) == 1
+
+    def test_parameter_validation(self):
+        old, new = self._docs([_row()], [_row()])
+        with pytest.raises(ValueError, match="mode"):
+            compare(old, new, mode="vibes")
+        with pytest.raises(ValueError, match="threshold"):
+            compare(old, new, threshold=0.0)
+
+
+class TestRendering:
+    def test_report_lists_rows(self):
+        document = parse_document(make_document("codegen", [_row(n=12)]))
+        text = render_report([document])
+        assert "schema 2" in text
+        assert "tc|indexed|" in text
+
+    def test_compare_verdict_lines(self):
+        old = parse_document(make_document("g", [_row(wall=10.0)]))
+        new = parse_document(make_document("g", [_row(wall=40.0)]))
+        text = render_compare(compare(old, new))
+        assert "REGRESSED" in text
+        assert text.rstrip().endswith("1 regression(s), 0 missing row(s)")
+        ok_text = render_compare(compare(old, old))
+        assert "OK: 1 rows within threshold" in ok_text

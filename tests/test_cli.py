@@ -820,3 +820,271 @@ class TestCheckpointResume:
             "--script", str(script), "--resume", ck,
         ]) == 2
         assert "different program" in capsys.readouterr().err
+
+
+class TestExplainAnalyze:
+    """``repro explain PROGRAM GRAPH --analyze`` and ``run --analyze``."""
+
+    def test_explain_analyze_annotates_the_plans(
+        self, capsys, program_file, path_graph_file
+    ):
+        assert main([
+            "explain", program_file, path_graph_file, "--analyze",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("EXPLAIN ANALYZE")
+        assert "rows in=" in out
+        assert "<-- hottest" in out
+
+    def test_explain_analyze_codegen_engine(
+        self, capsys, program_file, path_graph_file
+    ):
+        assert main([
+            "explain", program_file, path_graph_file,
+            "--analyze", "--engine", "codegen",
+        ]) == 0
+        assert "engine codegen" in capsys.readouterr().out
+
+    def test_graph_without_analyze_is_an_error(
+        self, capsys, program_file, path_graph_file
+    ):
+        assert main(["explain", program_file, path_graph_file]) == 2
+        assert "add --analyze" in capsys.readouterr().err
+
+    def test_analyze_without_graph_is_an_error(self, capsys, program_file):
+        assert main(["explain", program_file, "--analyze"]) == 2
+        assert "needs a graph" in capsys.readouterr().err
+
+    def test_analyze_does_not_combine_with_magic(
+        self, capsys, program_file, path_graph_file
+    ):
+        assert main([
+            "explain", program_file, path_graph_file,
+            "--analyze", "--magic", "bf",
+        ]) == 2
+        assert "--magic" in capsys.readouterr().err
+
+    def test_run_analyze_prints_on_stderr(
+        self, capsys, program_file, path_graph_file
+    ):
+        assert main([
+            "run", program_file, path_graph_file, "--analyze",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "EXPLAIN ANALYZE" in captured.err
+        assert "EXPLAIN ANALYZE" not in captured.out  # stdout stays clean
+        assert "tuples" in captured.out
+
+    def test_run_analyze_json_artifact(
+        self, capsys, tmp_path, program_file, path_graph_file
+    ):
+        import json as json_module
+
+        out = tmp_path / "analyze.json"
+        assert main([
+            "run", program_file, path_graph_file,
+            "--engine", "codegen", "--analyze-json", str(out),
+        ]) == 0
+        capsys.readouterr()
+        document = json_module.loads(out.read_text())
+        assert document["engine"] == "codegen"
+        assert document["total_rows_processed"] > 0
+
+    def test_run_analyze_rejects_set_engines(
+        self, capsys, program_file, path_graph_file
+    ):
+        assert main([
+            "run", program_file, path_graph_file,
+            "--analyze", "--engine", "naive",
+        ]) == 2
+        assert "plan engine" in capsys.readouterr().err
+
+    def test_goal_directed_run_analyze(
+        self, capsys, program_file, path_graph_file
+    ):
+        assert main([
+            "run", program_file, path_graph_file,
+            "--bind", "a", "_", "--magic", "--analyze",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "EXPLAIN ANALYZE" in captured.err
+        assert "answers (magic" in captured.out
+
+
+class TestProfileCommand:
+    def test_profile_run_prints_the_table(
+        self, capsys, program_file, path_graph_file
+    ):
+        assert main(["profile", "run", program_file, path_graph_file]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("PROFILE")
+        assert "excl %" in out
+        assert "evaluate" in out and "iteration" in out
+
+    def test_profile_from_exported_trace(
+        self, capsys, tmp_path, program_file, path_graph_file
+    ):
+        trace = tmp_path / "run.jsonl"
+        assert main([
+            "run", program_file, path_graph_file, "--trace", str(trace),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["profile", "--from", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("PROFILE")
+        assert "rule" in out
+
+    def test_profile_from_maintenance_trace(
+        self, capsys, tmp_path, program_file, path_graph_file
+    ):
+        trace = tmp_path / "maintain.jsonl"
+        assert main([
+            "maintain", program_file, path_graph_file,
+            "--insert", "E", "d", "a", "--trace", str(trace),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["profile", "--from", str(trace)]) == 0
+        assert "incremental" in capsys.readouterr().out
+
+    def test_profile_without_source_is_an_error(self, capsys):
+        assert main(["profile"]) == 2
+        assert "profile needs" in capsys.readouterr().err
+
+    def test_profile_missing_trace_file_exits_2(self, capsys, tmp_path):
+        missing = str(tmp_path / "nope.jsonl")
+        assert main(["profile", "--from", missing]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_profile_run_honours_the_budget(
+        self, capsys, program_file, long_path_file
+    ):
+        assert main([
+            "profile", "run", program_file, long_path_file,
+            "--max-iterations", "2",
+        ]) == 3
+        captured = capsys.readouterr()
+        assert "budget exhausted" in captured.err
+        # The spans collected before the trip still profile.
+        assert "PROFILE" in captured.out
+
+
+class TestBenchCommand:
+    def _document(self, tmp_path, name, wall):
+        import json as json_module
+
+        from repro.obs.bench import make_document
+
+        row = {
+            "name": "tc", "params": {"n": 4}, "engine": "indexed",
+            "wall_ms": wall, "counters": {"rounds": 4}, "analyze": None,
+        }
+        path = tmp_path / name
+        path.write_text(json_module.dumps(make_document("cli", [row])))
+        return str(path)
+
+    def test_report_renders_rows(self, capsys, tmp_path):
+        path = self._document(tmp_path, "BENCH_a.json", 5.0)
+        assert main(["bench", "report", path]) == 0
+        out = capsys.readouterr().out
+        assert "schema 2" in out
+        assert "tc|indexed|" in out
+
+    def test_compare_identical_exits_0(self, capsys, tmp_path):
+        path = self._document(tmp_path, "BENCH_a.json", 5.0)
+        assert main(["bench", "compare", path, path]) == 0
+        assert "OK:" in capsys.readouterr().out
+
+    def test_compare_synthetic_2x_regression_exits_1(
+        self, capsys, tmp_path
+    ):
+        old = self._document(tmp_path, "old.json", 5.0)
+        new = self._document(tmp_path, "new.json", 10.0)
+        assert main(["bench", "compare", old, new]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out
+        assert "FAIL: 1 regression(s)" in out
+
+    def test_compare_counters_mode_ignores_wall(self, capsys, tmp_path):
+        old = self._document(tmp_path, "old.json", 5.0)
+        new = self._document(tmp_path, "new.json", 10.0)
+        assert main([
+            "bench", "compare", old, new, "--mode", "counters",
+        ]) == 0
+        assert "OK:" in capsys.readouterr().out
+
+    def test_compare_threshold_is_tunable(self, capsys, tmp_path):
+        old = self._document(tmp_path, "old.json", 5.0)
+        new = self._document(tmp_path, "new.json", 10.0)
+        assert main([
+            "bench", "compare", old, new, "--threshold", "3.0",
+        ]) == 0
+        capsys.readouterr()
+
+    def test_garbage_artifact_exits_2(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json at all")
+        assert main(["bench", "report", str(bad)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+
+class TestExportErrorContract:
+    """Unwritable --trace/--stats-json/--analyze-json: one line, exit 2."""
+
+    def test_unwritable_trace_fails_before_running(
+        self, capsys, program_file, path_graph_file, tmp_path
+    ):
+        bad = str(tmp_path / "no" / "such" / "dir" / "t.jsonl")
+        assert main([
+            "run", program_file, path_graph_file, "--trace", bad,
+        ]) == 2
+        captured = capsys.readouterr()
+        assert "repro: error: cannot write --trace" in captured.err
+        assert "Traceback" not in captured.err
+        # Validated up front: the evaluation never ran.
+        assert "tuples" not in captured.out
+
+    def test_unwritable_stats_json_exits_2(
+        self, capsys, program_file, path_graph_file, tmp_path
+    ):
+        assert main([
+            "run", program_file, path_graph_file,
+            "--stats-json", str(tmp_path),  # a directory is unwritable
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "cannot write --stats-json" in err
+        assert "Traceback" not in err
+
+    def test_unwritable_analyze_json_exits_2(
+        self, capsys, program_file, path_graph_file, tmp_path
+    ):
+        bad = str(tmp_path / "missing" / "analyze.json")
+        assert main([
+            "run", program_file, path_graph_file, "--analyze-json", bad,
+        ]) == 2
+        assert "cannot write --analyze-json" in capsys.readouterr().err
+
+    def test_stats_json_writes_the_snapshot(
+        self, capsys, tmp_path, program_file, path_graph_file
+    ):
+        import json as json_module
+
+        out = tmp_path / "stats.json"
+        assert main([
+            "run", program_file, path_graph_file,
+            "--stats-json", str(out),
+        ]) == 0
+        capsys.readouterr()
+        snapshot = json_module.loads(out.read_text())
+        assert snapshot["counters"]["datalog.rounds"] > 0
+
+    def test_stats_histogram_line_has_quantiles(self, capsys):
+        from repro.cli import _print_stats
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        for value in (1, 2, 3, 10):
+            registry.observe("flow.augmenting_path_length", value)
+        _print_stats(registry.snapshot())
+        err = capsys.readouterr().err
+        assert "histogram" in err
+        assert "p50=2" in err and "p95=10" in err and "p99=10" in err

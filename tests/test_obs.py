@@ -52,10 +52,38 @@ class TestMetricsRegistry:
         assert snapshot["gauges"] == {"a.level": 7.0}
         assert snapshot["histograms"]["a.sizes"] == {
             "count": 3, "total": 6, "min": 1, "max": 3, "mean": 2.0,
+            "p50": 2, "p95": 3, "p99": 3,
         }
         summary = registry.histogram("a.sizes")
         assert (summary.count, summary.mean) == (3, 2.0)
+        assert (summary.p50, summary.p95, summary.p99) == (2, 3, 3)
         assert registry.histogram("a.unknown") is None
+
+    def test_quantiles_are_nearest_rank(self):
+        registry = MetricsRegistry()
+        for value in range(1, 101):
+            registry.observe("latency", value)
+        summary = registry.histogram("latency")
+        assert summary.p50 == 50
+        assert summary.p95 == 95
+        assert summary.p99 == 99
+        # A single observation is every quantile at once.
+        registry.observe("one", 7)
+        single = registry.histogram("one")
+        assert (single.p50, single.p95, single.p99) == (7, 7, 7)
+
+    def test_snapshot_ordering_is_deterministic(self):
+        registry = MetricsRegistry()
+        for name in ("z.last", "a.first", "m.middle"):
+            registry.inc(name)
+            registry.gauge(name + ".g", 1.0)
+            registry.observe(name + ".h", 1)
+        snapshot = registry.snapshot()
+        assert list(snapshot["counters"]) == sorted(snapshot["counters"])
+        assert list(snapshot["gauges"]) == sorted(snapshot["gauges"])
+        assert list(snapshot["histograms"]) == sorted(
+            snapshot["histograms"]
+        )
 
     def test_snapshot_is_json_serialisable_copy(self):
         registry = MetricsRegistry()
@@ -159,9 +187,30 @@ class TestSpanTracer:
             "run", "iteration", "iteration",
         ]
 
-    def test_load_span_tree_rejects_malformed_lines(self):
+    def test_load_span_tree_rejects_malformed_interior_lines(self):
+        # Corruption *before* the end is genuine and still raises.
+        good = '{"span": 1, "parent": null, "kind": "after"}'
         with pytest.raises(json.JSONDecodeError):
-            load_span_tree(['{"span": 0, "parent": null', ""])
+            load_span_tree(['{"span": 0, "parent": null', good])
+
+    def test_load_span_tree_skips_torn_final_line(self):
+        # A process killed mid-export tears exactly the last line; the
+        # completed spans before it must still load (with a warning).
+        tracer = SpanTracer()
+        with tracer.span("run", goal="S"):
+            with tracer.span("iteration", round=1):
+                pass
+        stream = io.StringIO()
+        tracer.export_jsonl(stream)
+        lines = stream.getvalue().splitlines()
+        torn = lines[:-1] + [lines[-1][: len(lines[-1]) // 2]]
+        with pytest.warns(RuntimeWarning, match="torn final JSONL line"):
+            roots = load_span_tree(torn)
+        assert len(roots) == 1
+        assert [node.kind for node in roots[0].walk()] == ["run"]
+        # Trailing blank lines do not shield an interior torn line.
+        with pytest.warns(RuntimeWarning):
+            assert load_span_tree(torn + ["", ""]) == roots
 
     def test_write_jsonl_and_reset(self, tmp_path):
         tracer = trace_module.enable_tracing()

@@ -1,0 +1,179 @@
+"""Observation must not perturb the observed: on/off parity, all engines.
+
+For every engine, the result of a run with every sink enabled
+(metrics + tracing + analyze where supported) must be *identical* --
+relations, iteration count, maintenance deltas -- to the same run with
+observability fully off.  Plus the overhead smoke: the never-enabled
+analyze path's instrumentation budget stays under 5% of the runtime,
+phrased as counted branch sites x measured per-test cost (robust on a
+noisy CI box, same technique as ``tests/test_obs.py``).
+"""
+
+import time
+
+import pytest
+
+from repro.datalog.algebra_engine import evaluate_algebra
+from repro.datalog.evaluation import ANALYZE_ENGINES, evaluate
+from repro.datalog.incremental import IncrementalSession, Update
+from repro.datalog.library import q_program, transitive_closure_program
+from repro.graphs.generators import path_graph, random_digraph
+from repro.obs import metrics as metrics_module
+from repro.obs import trace as trace_module
+
+PLAN_AND_SET_ENGINES = ("indexed", "codegen", "seminaive", "naive")
+ALL_ENGINES = PLAN_AND_SET_ENGINES + ("algebra",)
+
+
+@pytest.fixture(autouse=True)
+def _obs_globals_restored():
+    yield
+    metrics_module.disable_metrics()
+    trace_module.disable_tracing()
+
+
+def _observed(fn):
+    """Run ``fn`` with every obs sink live; sinks restored after."""
+    metrics_module.enable_metrics(metrics_module.MetricsRegistry())
+    trace_module.enable_tracing()
+    try:
+        return fn()
+    finally:
+        metrics_module.disable_metrics()
+        trace_module.disable_tracing()
+
+
+def _evaluate_with(engine, program, structure, **kwargs):
+    if engine == "algebra":
+        return evaluate_algebra(program, structure, **kwargs)
+    return evaluate(program, structure, method=engine, **kwargs)
+
+
+class TestFixpointParity:
+    @pytest.mark.parametrize("engine", ALL_ENGINES)
+    def test_all_sinks_on_equals_off(self, engine):
+        program = q_program(2, 1)
+        structure = random_digraph(7, 0.3, seed=11).to_structure()
+        plain = _evaluate_with(engine, program, structure)
+        observed = _observed(
+            lambda: _evaluate_with(engine, program, structure)
+        )
+        assert plain.relations == observed.relations
+        assert plain.goal_relation == observed.goal_relation
+        assert plain.iterations == observed.iterations
+
+    @pytest.mark.parametrize("engine", ANALYZE_ENGINES)
+    def test_analyze_on_equals_off(self, engine):
+        program = q_program(2, 1)
+        structure = random_digraph(7, 0.3, seed=11).to_structure()
+        plain = _evaluate_with(engine, program, structure)
+        analyzed = _observed(
+            lambda: _evaluate_with(
+                engine, program, structure, collect_analyze=True
+            )
+        )
+        assert plain.relations == analyzed.relations
+        assert plain.iterations == analyzed.iterations
+        assert analyzed.profile.plans is not None
+
+
+class TestMaintenanceParity:
+    def _replay(self):
+        session = IncrementalSession(
+            transitive_closure_program(), path_graph(5).to_structure()
+        )
+        results = [
+            session.apply(Update("insert", "E", ("v4", "v0"))),
+            session.apply(Update("delete", "E", ("v1", "v2"))),
+        ]
+        return session, results
+
+    def test_maintenance_results_agree_on_and_off(self):
+        plain_session, plain_results = self._replay()
+        observed_session, observed_results = _observed(self._replay)
+        assert plain_session.relations == observed_session.relations
+        for plain, observed in zip(plain_results, observed_results):
+            assert plain.kind == observed.kind
+            assert plain.applied == observed.applied
+            assert plain.rounds == observed.rounds
+            assert plain.net_change == observed.net_change
+            assert (
+                plain.delta_tuples_touched == observed.delta_tuples_touched
+            )
+
+
+class TestGovernedParity:
+    def test_budget_trip_point_is_observation_independent(self):
+        from repro.guard import BudgetExceeded, ResourceBudget
+
+        program = transitive_closure_program()
+        structure = path_graph(7).to_structure()
+
+        def tripped():
+            with pytest.raises(BudgetExceeded) as info:
+                evaluate(
+                    program,
+                    structure,
+                    method="indexed",
+                    budget=ResourceBudget(max_iterations=3),
+                )
+            return (
+                info.value.reason,
+                info.value.spent.get("iterations"),
+                frozenset(info.value.partial.goal_relation),
+            )
+
+        assert tripped() == _observed(tripped)
+
+
+class TestDisabledAnalyzeOverhead:
+    """The <= 5% smoke for the never-enabled analyze path.
+
+    Counts the ``is not None`` branch tests the disabled path performs
+    (two per plan node per invocation in the executors, a few per
+    round x rule in the engine loops) from an *enabled* run's profile,
+    multiplies by the measured cost of one such test, and requires the
+    product under 5% of the measured runtime -- a deterministic bound
+    that cannot flake on machine noise the way a paired timing can.
+    """
+
+    OVERHEAD_BAR = 0.05
+
+    @staticmethod
+    def _branch_cost():
+        sentinel = None
+        loops = 50_000
+        start = time.perf_counter()
+        acc = 0
+        for __ in range(loops):
+            if sentinel is not None:
+                acc += 1
+        return (time.perf_counter() - start) / loops
+
+    @pytest.mark.parametrize("engine", ANALYZE_ENGINES)
+    def test_disabled_analyze_budget_is_under_five_percent(self, engine):
+        program = q_program(2, 1)
+        structure = random_digraph(8, 0.25, seed=5).to_structure()
+        run = lambda: _evaluate_with(engine, program, structure)
+        run()  # warm plan / code caches
+        times = []
+        for __ in range(3):
+            start = time.perf_counter()
+            run()
+            times.append(time.perf_counter() - start)
+        runtime = min(times)
+        profile = _evaluate_with(
+            engine, program, structure, collect_analyze=True
+        ).profile.plans
+        branch_tests = 0
+        for rule in profile.rules:
+            for plan in rule.plans:
+                branch_tests += plan.invocations * 2 * max(
+                    len(plan.nodes), 1
+                )
+        branch_tests += profile.rounds * len(profile.rules) * 6
+        budget = branch_tests * self._branch_cost()
+        assert budget < self.OVERHEAD_BAR * runtime, (
+            f"{engine}: disabled-analyze budget {budget * 1e6:.0f}us "
+            f"exceeds {self.OVERHEAD_BAR:.0%} of {runtime * 1e3:.1f}ms"
+        )

@@ -1,0 +1,221 @@
+"""The deterministic span profiler (:mod:`repro.obs.profile`)."""
+
+import io
+
+import pytest
+
+from repro.datalog.evaluation import evaluate
+from repro.datalog.incremental import IncrementalSession, Update
+from repro.datalog.library import transitive_closure_program
+from repro.graphs.generators import path_graph
+from repro.obs import trace as trace_module
+from repro.obs.profile import (
+    profile_jsonl,
+    profile_records,
+    profile_spans,
+    render_profile,
+)
+
+
+@pytest.fixture(autouse=True)
+def _tracing_restored():
+    yield
+    trace_module.disable_tracing()
+
+
+def _record(span, parent, kind, start, end, **attrs):
+    record = {
+        "span": span,
+        "parent": parent,
+        "depth": 0 if parent is None else 1,
+        "kind": kind,
+        "start": start,
+        "end": end,
+    }
+    record.update(attrs)
+    return record
+
+
+class TestProfileRecords:
+    def test_inclusive_exclusive_arithmetic(self):
+        records = [
+            _record(0, None, "evaluate", 0.0, 1.0, engine="indexed"),
+            _record(1, 0, "iteration", 0.1, 0.4, engine="indexed"),
+            _record(2, 0, "iteration", 0.5, 0.9, engine="indexed"),
+        ]
+        profile = profile_records(records)
+        assert profile.span_count == 3
+        assert profile.total_seconds == pytest.approx(1.0)
+        by_kind = {row.kind: row for row in profile.rows}
+        evaluate_row = by_kind["evaluate"]
+        iteration_row = by_kind["iteration"]
+        assert evaluate_row.count == 1
+        assert evaluate_row.inclusive_seconds == pytest.approx(1.0)
+        # Exclusive = inclusive minus the direct children (0.3 + 0.4).
+        assert evaluate_row.exclusive_seconds == pytest.approx(0.3)
+        assert iteration_row.count == 2
+        assert iteration_row.inclusive_seconds == pytest.approx(0.7)
+        assert iteration_row.exclusive_seconds == pytest.approx(0.7)
+        # Exclusive time over all rows recovers the total exactly once.
+        assert sum(
+            row.exclusive_seconds for row in profile.rows
+        ) == pytest.approx(profile.total_seconds)
+
+    def test_rows_sort_by_inclusive_then_key(self):
+        records = [
+            _record(0, None, "b", 0.0, 0.5),
+            _record(1, None, "a", 1.0, 1.5),
+            _record(2, None, "c", 2.0, 3.0),
+        ]
+        profile = profile_records(records)
+        assert [(row.kind, row.inclusive_seconds) for row in profile.rows] == [
+            ("c", pytest.approx(1.0)),
+            ("a", pytest.approx(0.5)),
+            ("b", pytest.approx(0.5)),
+        ]
+
+    def test_open_span_counts_with_zero_duration(self):
+        records = [
+            _record(0, None, "evaluate", 0.0, 1.0),
+            _record(1, 0, "iteration", 0.5, None),
+        ]
+        profile = profile_records(records)
+        by_kind = {row.kind: row for row in profile.rows}
+        assert by_kind["iteration"].count == 1
+        assert by_kind["iteration"].inclusive_seconds == 0.0
+
+    def test_clock_jitter_never_goes_negative(self):
+        # A child nominally longer than its parent (clock granularity).
+        records = [
+            _record(0, None, "evaluate", 0.0, 0.1),
+            _record(1, 0, "iteration", 0.0, 0.2),
+        ]
+        profile = profile_records(records)
+        by_kind = {row.kind: row for row in profile.rows}
+        assert by_kind["evaluate"].exclusive_seconds == 0.0
+
+    def test_rule_spans_group_per_rule(self):
+        records = [
+            _record(0, None, "rule", 0.0, 1.0, rule=0, head="S"),
+            _record(1, None, "rule", 1.0, 2.0, rule=0, head="S"),
+            _record(2, None, "rule", 2.0, 3.0, rule=1, head="S"),
+        ]
+        profile = profile_records(records)
+        details = {row.detail: row.count for row in profile.rows}
+        assert details == {"rule 0 (S)": 2, "rule 1 (S)": 1}
+
+
+class TestDeterminism:
+    def _traced_lines(self):
+        tracer = trace_module.enable_tracing()
+        try:
+            evaluate(
+                transitive_closure_program(),
+                path_graph(5).to_structure(),
+                method="indexed",
+            )
+        finally:
+            trace_module.disable_tracing()
+        stream = io.StringIO()
+        tracer.export_jsonl(stream)
+        return stream.getvalue().splitlines()
+
+    def test_same_trace_profiles_identically(self):
+        lines = self._traced_lines()
+        first = profile_jsonl(lines)
+        second = profile_jsonl(lines)
+        assert first == second
+        assert first.rows
+
+    def test_two_runs_differ_only_in_time_columns(self):
+        shape_a = [
+            (row.kind, row.detail, row.count)
+            for row in profile_jsonl(self._traced_lines()).rows
+        ]
+        shape_b = [
+            (row.kind, row.detail, row.count)
+            for row in profile_jsonl(self._traced_lines()).rows
+        ]
+        assert sorted(shape_a) == sorted(shape_b)
+
+    def test_torn_final_line_is_tolerated(self):
+        lines = self._traced_lines()
+        torn = lines[:-1] + [lines[-1][:10]]
+        with pytest.warns(RuntimeWarning):
+            profile = profile_jsonl(torn)
+        assert profile.span_count == len(lines) - 1
+
+
+class TestLiveSources:
+    def test_profiles_a_fixpoint_run(self):
+        tracer = trace_module.enable_tracing()
+        try:
+            evaluate(
+                transitive_closure_program(),
+                path_graph(5).to_structure(),
+                method="indexed",
+            )
+        finally:
+            trace_module.disable_tracing()
+        profile = profile_spans(tracer.spans)
+        kinds = {row.kind for row in profile.rows}
+        assert {"evaluate", "iteration", "rule"} <= kinds
+        details = {row.detail for row in profile.rows if row.kind == "rule"}
+        assert any(detail.startswith("rule ") for detail in details)
+
+    def test_profiles_incremental_maintenance(self):
+        tracer = trace_module.enable_tracing()
+        try:
+            session = IncrementalSession(
+                transitive_closure_program(),
+                path_graph(4).to_structure(),
+            )
+            session.apply(Update("insert", "E", ("v3", "v0")))
+            session.apply(Update("delete", "E", ("v0", "v1")))
+        finally:
+            trace_module.disable_tracing()
+        profile = profile_spans(tracer.spans)
+        kinds = {row.kind for row in profile.rows}
+        assert any("incremental" in kind for kind in kinds), kinds
+
+    def test_profiles_a_governed_run(self):
+        from repro.guard import BudgetExceeded, ResourceBudget
+
+        tracer = trace_module.enable_tracing()
+        try:
+            with pytest.raises(BudgetExceeded):
+                evaluate(
+                    transitive_closure_program(),
+                    path_graph(6).to_structure(),
+                    method="indexed",
+                    budget=ResourceBudget(max_iterations=2),
+                )
+        finally:
+            trace_module.disable_tracing()
+        profile = profile_spans(tracer.spans)
+        assert profile.span_count > 0
+        # The interrupted run leaves open spans; they still appear.
+        assert any(row.count for row in profile.rows)
+
+
+class TestRendering:
+    def test_render_contains_the_table(self):
+        records = [_record(0, None, "evaluate", 0.0, 1.0, engine="indexed")]
+        text = render_profile(profile_records(records), name="tc")
+        assert text.startswith("PROFILE tc: 1 spans")
+        assert "excl %" in text
+        assert "evaluate" in text
+
+    def test_to_dict_round_trips(self):
+        import json
+
+        records = [
+            _record(0, None, "evaluate", 0.0, 1.0, engine="indexed"),
+            _record(1, 0, "iteration", 0.0, 0.5, engine="indexed"),
+        ]
+        profile = profile_records(records)
+        stream = io.StringIO()
+        profile.write_json(stream)
+        loaded = json.loads(stream.getvalue())
+        assert loaded["spans"] == 2
+        assert len(loaded["rows"]) == 2
