@@ -1,0 +1,314 @@
+"""E22 -- the parallel engine: sharded fixpoint rounds vs codegen.
+
+Regenerates: on a *wide* random EDB -- a dense digraph under the
+Q_{2,1} program, whose six-atom rule bodies make the per-delta-row
+join work dwarf the per-round merge -- and on transitive closure over
+mid-size random digraphs, the parallel engine
+(:mod:`repro.datalog.parallel`) must produce relations and iteration
+counts identical to the codegen engine in both its configurations
+(inline ``workers=1`` and a 4-worker pool), and its parallelisation
+must actually be worth having:
+
+* **inline overhead**: ``workers=1`` runs the same compiled rule
+  functions with no processes; on the largest wide instance it must
+  stay within 15% of the codegen engine's wall clock;
+* **load balance**: in the 4-worker pool run, the busiest worker's
+  share of total worker-busy seconds (from the
+  ``parallel.worker_seconds.<i>`` histograms) must not exceed 45% --
+  the machine-independent bound certifying the hash partitioning
+  spreads the round's work well enough for a >= 1.6x speedup on real
+  hardware (perfect balance would be 25%);
+* **speedup**: wall-clock ``codegen / parallel(4)`` >= 1.6x on the
+  largest wide instance -- asserted only when ``os.cpu_count() >= 4``,
+  because on fewer cores the pool merely timeshares and a wall-clock
+  bar would measure the scheduler, not the engine.  The CI perf gate
+  therefore runs ``repro bench compare --mode counters`` against the
+  checked-in baseline: counters (rounds, shards, merge tuples) are
+  bit-deterministic on any box, wall clock is not.
+
+Also runnable as a script (CI smoke)::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py --quick --json out.json
+
+which runs the same three-way comparison on smaller instances
+(equality always enforced; the timing bars only at full size) and
+writes shared-schema rows.
+"""
+
+import os
+import time
+
+import pytest
+
+from _harness import record, timed_row
+from repro.datalog.evaluation import evaluate
+from repro.datalog.library import q_program, transitive_closure_program
+from repro.graphs.generators import random_digraph
+from repro.obs import metrics as metrics_module
+
+#: The wide family: Q_{2,1} over dense random digraphs (nodes, edge
+#: probability).  The last entry is the enforced instance.
+WIDE_SWEEP = [(12, 0.3), (14, 0.25)]
+WIDE_LARGEST = WIDE_SWEEP[-1]
+
+#: Transitive closure instances; unenforced context rows showing the
+#: regime where cheap per-row joins make sharding a harder sell.
+TC_SWEEP = [(80, 0.2), (120, 0.2)]
+
+POOL_WORKERS = 4
+SPEEDUP_BAR = 1.6
+OVERHEAD_BAR = 0.15
+BALANCE_BAR = 0.45
+
+
+def _worker_busy_seconds(program, structure, trials=3):
+    """Per-worker busy-seconds totals of a 4-worker pool run.
+
+    Best-of-``trials`` by busiest-worker share: the unit assignment is
+    deterministic, so the minimum share across trials is the
+    partitioning's structural balance with scheduler-preemption spikes
+    (a worker descheduled mid-unit books the stall as busy time)
+    filtered out.
+    """
+    best = None
+    for __ in range(trials):
+        registry = metrics_module.MetricsRegistry()
+        metrics_module.enable_metrics(registry)
+        try:
+            evaluate(
+                program, structure, method="parallel", workers=POOL_WORKERS
+            )
+        finally:
+            metrics_module.disable_metrics()
+        histograms = registry.snapshot()["histograms"]
+        busy = [
+            histograms.get(f"parallel.worker_seconds.{index}", {}).get(
+                "total", 0.0
+            )
+            for index in range(POOL_WORKERS)
+        ]
+        share = max(busy) / max(sum(busy), 1e-12)
+        if best is None or share < best[0]:
+            best = (share, busy)
+    return best[1]
+
+
+def _paired_overhead(program, structure, trials=5):
+    """Inline-vs-codegen overhead from interleaved min-of-``trials``.
+
+    Timing the two engines in alternation (rather than in two separate
+    blocks) means a background-load burst lands in both samples, and
+    taking each engine's minimum discards the disturbed runs -- the
+    same flake-proofing stance as the counters-mode CI gate, applied
+    to the one wall-clock ratio this bench must enforce locally.
+    """
+    samples = {"codegen": [], "parallel": []}
+    for __ in range(trials):
+        for engine, kwargs in (
+            ("codegen", {"method": "codegen"}),
+            ("parallel", {"method": "parallel", "workers": 1}),
+        ):
+            start = time.perf_counter()
+            evaluate(program, structure, **kwargs)
+            samples[engine].append(time.perf_counter() - start)
+    return min(samples["parallel"]) / min(samples["codegen"]) - 1
+
+
+def _compare(name, program, structure, params, repeats=2):
+    """Timed codegen / parallel(1) / parallel(4) rows + equality checks."""
+    codegen, codegen_row = timed_row(
+        name,
+        lambda: evaluate(program, structure, method="codegen"),
+        engine="codegen",
+        params=params,
+        repeats=repeats,
+    )
+    rows = {"codegen": codegen_row}
+    for workers in (1, POOL_WORKERS):
+        result, row = timed_row(
+            name,
+            lambda: evaluate(
+                program, structure, method="parallel", workers=workers
+            ),
+            engine=f"parallel-{workers}",
+            params={**params, "workers": workers},
+            repeats=repeats,
+        )
+        assert result.relations == codegen.relations, (name, workers)
+        assert result.iterations == codegen.iterations, (name, workers)
+        rows[f"parallel-{workers}"] = row
+    return rows
+
+
+def _enforce_bars(name, rows, busy, overhead):
+    """The E22 acceptance bars (full-size instances only)."""
+    assert overhead <= OVERHEAD_BAR, (
+        f"{name}: inline parallel engine is {overhead:.0%} slower than "
+        f"codegen; the workers=1 path must stay within "
+        f"{OVERHEAD_BAR:.0%}"
+    )
+    total = sum(busy)
+    assert total > 0, f"{name}: pool run recorded no worker busy time"
+    share = max(busy) / total
+    assert share <= BALANCE_BAR, (
+        f"{name}: busiest worker holds {share:.0%} of the pool's busy "
+        f"seconds (bound {BALANCE_BAR:.0%}); the hash partitioning is "
+        f"not spreading the round's work"
+    )
+    if (os.cpu_count() or 1) >= POOL_WORKERS:
+        speedup = rows["codegen"]["wall_ms"] / rows["parallel-4"]["wall_ms"]
+        assert speedup >= SPEEDUP_BAR, (
+            f"{name}: parallel(4) only {speedup:.2f}x vs codegen on "
+            f"{os.cpu_count()} cores; the bar is {SPEEDUP_BAR}x"
+        )
+
+
+@pytest.mark.parametrize("n,p", WIDE_SWEEP)
+def bench_parallel_wide(benchmark, n, p):
+    """Three-way comparison on the wide Q_{2,1} family; bars at the top."""
+    program = q_program(2, 1)
+    structure = random_digraph(n, p, seed=7).to_structure()
+    params = {"k": 2, "l": 1, "nodes": n, "p": p}
+    rows = _compare(f"wide-q-2-1-{n}", program, structure, params)
+    busy = _worker_busy_seconds(program, structure)
+    benchmark.pedantic(
+        lambda: evaluate(
+            program, structure, method="parallel", workers=POOL_WORKERS
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record(
+        benchmark,
+        experiment="E22",
+        **params,
+        codegen_ms=rows["codegen"]["wall_ms"],
+        parallel1_ms=rows["parallel-1"]["wall_ms"],
+        parallel4_ms=rows["parallel-4"]["wall_ms"],
+        counters=rows["parallel-4"]["counters"],
+        busiest_worker_share=round(max(busy) / max(sum(busy), 1e-12), 3),
+    )
+    if (n, p) == WIDE_LARGEST:
+        overhead = _paired_overhead(program, structure)
+        _enforce_bars(f"wide-q-2-1-{n}", rows, busy, overhead)
+
+
+@pytest.mark.parametrize("n,p", TC_SWEEP)
+def bench_parallel_tc(benchmark, n, p):
+    """Context rows: transitive closure, merge-dominated regime."""
+    program = transitive_closure_program()
+    structure = random_digraph(n, p, seed=3).to_structure()
+    params = {"nodes": n, "p": p}
+    rows = _compare(f"tc-{n}", program, structure, params)
+    benchmark.pedantic(
+        lambda: evaluate(
+            program, structure, method="parallel", workers=POOL_WORKERS
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record(
+        benchmark,
+        experiment="E22",
+        **params,
+        codegen_ms=rows["codegen"]["wall_ms"],
+        parallel1_ms=rows["parallel-1"]["wall_ms"],
+        parallel4_ms=rows["parallel-4"]["wall_ms"],
+        counters=rows["parallel-4"]["counters"],
+    )
+
+
+def main(argv=None):
+    """CI smoke: parallel == codegen relations/iterations in both
+    configurations; prints a three-way table and, with ``--json PATH``,
+    writes shared-schema rows.  The timing bars (inline overhead,
+    worker balance, cpu-gated speedup) apply at full size only."""
+    import argparse
+    import sys
+
+    from _harness import write_rows
+    from repro.datalog.parallel import shutdown_workers
+
+    parser = argparse.ArgumentParser(description=main.__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller instances, no timing bars (CI smoke)",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH",
+        help="also write the timing rows as a JSON array",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        wide = [(9, 0.3)]
+        tc = [(40, 0.2)]
+    else:
+        wide = [WIDE_LARGEST]
+        tc = [TC_SWEEP[-1]]
+    cases = [
+        (
+            f"wide-q-2-1-{n}",
+            q_program(2, 1),
+            random_digraph(n, p, seed=7).to_structure(),
+            {"k": 2, "l": 1, "nodes": n, "p": p},
+            True,
+        )
+        for n, p in wide
+    ] + [
+        (
+            f"tc-{n}",
+            transitive_closure_program(),
+            random_digraph(n, p, seed=3).to_structure(),
+            {"nodes": n, "p": p},
+            False,
+        )
+        for n, p in tc
+    ]
+
+    rows = []
+    failures = 0
+    print(
+        f"{'case':<16} {'codegen':>12} {'parallel-1':>12} "
+        f"{'parallel-4':>12} {'balance':>8}"
+    )
+    for name, program, structure, params, enforced in cases:
+        try:
+            case_rows = _compare(name, program, structure, params)
+            busy = _worker_busy_seconds(program, structure)
+        except AssertionError as exc:
+            print(f"{name:<16} FAILED: {exc}", file=sys.stderr)
+            failures += 1
+            continue
+        rows += [
+            case_rows["codegen"],
+            case_rows["parallel-1"],
+            case_rows["parallel-4"],
+        ]
+        share = max(busy) / max(sum(busy), 1e-12)
+        print(
+            f"{name:<16} {case_rows['codegen']['wall_ms']:>10.1f}ms "
+            f"{case_rows['parallel-1']['wall_ms']:>10.1f}ms "
+            f"{case_rows['parallel-4']['wall_ms']:>10.1f}ms "
+            f"{share:>7.0%}"
+        )
+        if enforced and not args.quick:
+            try:
+                overhead = _paired_overhead(program, structure)
+                _enforce_bars(name, case_rows, busy, overhead)
+            except AssertionError as exc:
+                print(f"{name}: {exc}", file=sys.stderr)
+                failures += 1
+    shutdown_workers()
+    if args.json:
+        write_rows(args.json, rows, bench="parallel")
+        print(f"wrote {len(rows)} rows to {args.json}")
+    if failures:
+        print(f"{failures} failure(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -176,7 +176,7 @@ def _load_program_or_library(path_or_name: str, goal: str | None):
     )
 
 
-ENGINES = ("indexed", "codegen", "seminaive", "naive", "algebra")
+ENGINES = ("indexed", "codegen", "seminaive", "naive", "parallel", "algebra")
 
 
 def _goal_binding(program, structure, entries: Sequence[str]):
@@ -226,8 +226,24 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"--analyze requires a plan engine "
             f"({', '.join(ANALYZE_ENGINES)}); got {args.engine!r}"
         )
+    workers = getattr(args, "workers", 1)
+    shards = getattr(args, "shards", None)
+    if workers < 1:
+        raise CliError(f"--workers must be >= 1, got {workers}")
+    if shards is not None and shards < 1:
+        raise CliError(f"--shards must be >= 1, got {shards}")
+    if args.engine != "parallel" and (workers != 1 or shards is not None):
+        raise CliError(
+            "--workers/--shards apply only to --engine parallel; "
+            f"got --engine {args.engine}"
+        )
     budget = _budget_from_args(args)
     if args.bind is not None or args.magic:
+        if workers != 1 or shards is not None:
+            raise CliError(
+                "--workers/--shards do not combine with --bind/--magic "
+                "(goal-directed queries run single-process)"
+            )
         if args.checkpoint or args.resume:
             raise CliError(
                 "--checkpoint/--resume do not combine with --bind/--magic "
@@ -269,6 +285,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 collect_analyze=analyze,
                 budget=budget,
                 resume_from=resume_from,
+                workers=workers,
+                shards=shards,
             )
     except BudgetExceeded as exc:
         _print_budget_trip(exc)
@@ -1045,6 +1063,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="evaluate goal-directedly via the magic-sets rewrite "
         "(derives only the facts the binding demands; combine with "
         "--bind or --check)",
+    )
+    run.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker processes for --engine parallel (default 1 = "
+        "inline, no processes)",
+    )
+    run.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="delta hash-partition count for --engine parallel "
+        "(default: --workers; any value yields the same fixpoint)",
     )
     run.add_argument(
         "--checkpoint", metavar="FILE",

@@ -13,7 +13,9 @@ Public API
 * :func:`parse_program` -- text syntax (``Head(x, y) :- E(x, z), z != y.``).
 * :func:`evaluate` / :func:`stages` / :func:`boolean_query` -- the fixpoint
   engines (indexed semi-naive by default; plain semi-naive and naive for
-  cross-validation) and the paper's stage sequence
+  cross-validation, generated-code via ``method="codegen"``, and a
+  sharded multiprocess pool via ``method="parallel", workers=N`` --
+  see :mod:`repro.datalog.parallel`) and the paper's stage sequence
   ``Theta^1 <= Theta^2 <= ...``.
 * :mod:`repro.datalog.indexing` / :mod:`repro.datalog.planner` -- the
   hash-index layer and the greedy join-order planner behind the default

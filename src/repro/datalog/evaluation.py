@@ -1,7 +1,7 @@
 """Bottom-up fixpoint evaluation of Datalog(!=) programs.
 
-Four engines are provided and cross-validated against each other in
-the test suite (plus a fifth, algebra-backed one in
+Five engines are provided and cross-validated against each other in
+the test suite (plus a sixth, algebra-backed one in
 :mod:`repro.datalog.algebra_engine`):
 
 * **naive** -- iterate the paper's operator ``Theta`` from the empty
@@ -18,9 +18,15 @@ the test suite (plus a fifth, algebra-backed one in
 * **codegen** -- the same plans *compiled to specialized Python
   functions* (:mod:`repro.datalog.codegen`): nested loops over index
   buckets with constraints inlined as ``if`` statements, eliminating
-  the interpreter's per-op dispatch and per-binding list copies.
+  the interpreter's per-op dispatch and per-binding list copies;
+* **parallel** -- the codegen rounds sharded across a persistent
+  ``multiprocessing`` worker pool (:mod:`repro.datalog.parallel`):
+  each round's delta is hash-partitioned by the planner's first join
+  key, rule-plan x shard units fan out to the workers, and shard
+  deltas merge at a round barrier (``evaluate(..., method="parallel",
+  workers=N)``; ``workers=1`` runs inline at codegen speed).
 
-All four engines produce identical relations, goal answers, iteration
+All these engines produce identical relations, goal answers, iteration
 counts, and per-round stage snapshots -- the rounds of each engine are
 the same sequence ``Theta^1 <= Theta^2 <= ...`` of Section 2, so the
 Theorem 3.6 stage translations are engine-independent.
@@ -88,7 +94,7 @@ Database = dict[str, set]
 Binding = dict[Variable, Element]
 
 #: The engines accepted by :func:`evaluate`'s ``method`` parameter.
-METHODS = ("indexed", "seminaive", "naive", "codegen")
+METHODS = ("indexed", "seminaive", "naive", "codegen", "parallel")
 
 
 @dataclass(frozen=True)
@@ -715,6 +721,8 @@ def evaluate(
     cancellation: CancellationToken | None = None,
     resume_from: Checkpoint | None = None,
     checkpoint_sink: Callable[[Checkpoint], None] | None = None,
+    workers: int = 1,
+    shards: int | None = None,
 ) -> FixpointResult:
     """Compute the least fixpoint ``pi^infty`` of a program on a structure.
 
@@ -731,8 +739,8 @@ def evaluate(
         Theorem 6.1 does ("consider the following program in which T is
         viewed as an EDB predicate").
     method:
-        ``"indexed"`` (default), ``"seminaive"``, ``"naive"``, or
-        ``"codegen"``.
+        ``"indexed"`` (default), ``"seminaive"``, ``"naive"``,
+        ``"codegen"``, or ``"parallel"``.
     collect_stages:
         When true, record the cumulative stage relations after every
         round.  Rounds coincide across the engines, so the recorded
@@ -769,15 +777,32 @@ def evaluate(
         Evaluation restarts mid-fixpoint and the final result --
         semantic profile view and stage sequence included -- is
         identical to an uninterrupted run.  Only the semi-naive,
-        indexed, and codegen engines accept resumption (naive
+        indexed, codegen, and parallel engines accept resumption (naive
         checkpoints *are* semi-naive state and resume under any of
         them).
     checkpoint_sink:
         Optional callable receiving a :class:`repro.guard.Checkpoint`
         after every completed round (on-demand checkpointing).
+    workers:
+        Worker-process count for ``method="parallel"`` (default 1 =
+        inline, no processes).  Rejected for every other engine.
+    shards:
+        Hash-partition count per delta relation for
+        ``method="parallel"`` (default: ``workers``).  Any value yields
+        the same fixpoint -- shard merges are set unions -- which the
+        metamorphic shard-invariance suite pins.
     """
     if method not in METHODS:
         raise ValueError(f"unknown evaluation method {method!r}")
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if shards is not None and shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    if method != "parallel" and (workers != 1 or shards is not None):
+        raise ValueError(
+            "workers/shards apply only to method='parallel', "
+            f"not {method!r}"
+        )
     if collect_analyze:
         if method not in ANALYZE_ENGINES:
             raise ValueError(
@@ -851,12 +876,23 @@ def evaluate(
                 )
             )
 
-    engine = {
-        "naive": _naive,
-        "seminaive": _seminaive,
-        "indexed": _indexed,
-        "codegen": _codegen,
-    }[method]
+    if method == "parallel":
+        # Imported lazily: repro.datalog.parallel imports back into this
+        # module for the shared round plumbing.
+        import functools
+
+        from repro.datalog.parallel import parallel_engine
+
+        engine = functools.partial(
+            parallel_engine, workers=workers, shards=shards
+        )
+    else:
+        engine = {
+            "naive": _naive,
+            "seminaive": _seminaive,
+            "indexed": _indexed,
+            "codegen": _codegen,
+        }[method]
     _metrics.metrics.inc("datalog.evaluations")
     with _trace.tracer.span(
         "evaluate", engine=method, goal=program.goal, rules=len(program.rules)

@@ -1,0 +1,814 @@
+"""Parallel sharded semi-naive evaluation (the ``parallel`` engine).
+
+Semi-naive rounds are embarrassingly parallel: within one round every
+(rule, delta-occurrence) plan is independent, and each plan's work is
+driven by an outer loop over the previous round's delta rows -- so any
+partition of those rows splits the round's satisfying bindings exactly,
+and the union of the per-shard ``fired`` sets is precisely what a
+single-process round derives.  This module exploits that:
+
+* the coordinator hash-partitions each round's delta by the *planner's
+  first join key* (:func:`shard_key_positions`: the delta-atom columns
+  feeding the first index probe, so rows sharing a shard share probe
+  locality) using a process-independent CRC32 (:func:`partition_rows`;
+  builtin ``hash`` is per-process randomized for strings and would
+  break shard determinism across the pool);
+* rule-plan x shard work units fan out to a persistent
+  ``multiprocessing`` worker pool (forked once per worker count, reused
+  across evaluations; see :func:`shutdown_workers`).  Workers rebuild
+  an :class:`~repro.datalog.indexing.IndexedDatabase` from the
+  broadcast EDB + accumulated-IDB snapshot at ``init`` and reuse the
+  codegen-compiled rule functions (:mod:`repro.datalog.codegen`), so a
+  shard evaluates exactly as a codegen round restricted to its rows;
+* shard deltas are merged and deduped at a round barrier in the
+  coordinator, then broadcast back so every worker's store advances to
+  the same barrier before the next round.
+
+Parity contract (pinned by ``tests/test_parallel.py``): relations, goal
+answers, iteration counts, stage snapshots, and the semantic profile
+view (per-round delta sizes + per-rule distinct-new-head firings) are
+identical to the indexed/codegen engines' -- the ``fired`` sets the
+codegen functions return already exclude the pre-round relation, and
+worker stores sit exactly at the barrier when they run, so the per-rule
+union over shards *is* the rule's distinct-new head set.
+
+Governance and failure semantics:
+
+* the :class:`~repro.guard.EvaluationGuard` lives in the coordinator:
+  ``check_boundary`` at every barrier, a ``tick`` pulse per collected
+  work unit in pool mode (per outer delta row inline), and a checkpoint
+  emitted after every round -- the engine is in
+  :data:`~repro.guard.RESUMABLE_ENGINES`;
+* a worker death (real, or injected through the ``kill_worker`` fault
+  site -- see :mod:`repro.testing.faults`) is detected at the barrier:
+  the round's results never arrive, the coordinator raises
+  :class:`WorkerDied`, and because shard results merge only *after* all
+  units return, the database is untouched since the last barrier --
+  resuming from the last emitted checkpoint is bit-identical to an
+  uninterrupted run (``tests/test_parallel_faults.py``);
+* ``workers=1`` runs inline (no processes, no serialization): the
+  codegen loop with optional in-process sharding, so the degenerate
+  configuration costs within a few percent of the codegen engine
+  (E22's overhead gate) and the 240-pair differential corpus exercises
+  the engine cheaply.
+
+Metrics (all through :mod:`repro.obs.metrics`, no-ops when disabled):
+``parallel.rounds``, ``parallel.shards`` (non-empty units dispatched),
+``parallel.merge_tuples`` (deduped delta tuples merged at barriers),
+``parallel.worker_seconds`` plus ``parallel.worker_seconds.<i>``
+(per-unit wall time histograms, aggregate and per worker).
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import multiprocessing
+import queue as _queue_module
+import time
+import traceback
+import zlib
+from typing import Callable, Iterable, Mapping
+
+from repro.guard import GuardTrip
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
+from repro.testing import faults as _faults
+
+from repro.datalog.ast import Program, Variable
+from repro.datalog.codegen import bind_delta_functions, bind_full_functions
+from repro.datalog.indexing import IndexedDatabase
+from repro.datalog.planner import RulePlan, plan_program_rules
+
+
+class WorkerDied(RuntimeError):
+    """A pool worker died before returning its round's results.
+
+    Raised at the round barrier by the coordinator; merges happen only
+    after every unit returns, so the database (and the last emitted
+    checkpoint) still describe the previous barrier -- resume from
+    there is bit-identical to an unkilled run.
+    """
+
+    def __init__(self, worker: int, round_index: int) -> None:
+        self.worker = worker
+        self.round_index = round_index
+        super().__init__(
+            f"parallel worker {worker} died during round {round_index}; "
+            f"state is at the round-{round_index - 1} barrier"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Deterministic hash partitioning.
+# ---------------------------------------------------------------------------
+
+
+def shard_key_positions(plan: RulePlan) -> tuple[int, ...]:
+    """The delta-atom argument positions feeding the plan's first join.
+
+    The planner schedules the delta occurrence first; the next atom
+    step's bound positions are the first join's lookup key, and the
+    variables behind them map back onto columns of the delta atom.
+    Rows agreeing on those columns drive the same index buckets, so
+    sharding by them keeps each worker's probes local.  Plans with no
+    such join (single-atom bodies, joins only through enumerated
+    variables) fall back to the whole row.  Any choice is *correct* --
+    shard results merge by set union -- which the shard-count
+    invariance suite pins.
+    """
+    atom_steps = plan.atom_steps()
+    delta_step = next(step for step in atom_steps if step.is_delta)
+    delta_vars = {
+        term for term in delta_step.atom.args if isinstance(term, Variable)
+    }
+    for step in atom_steps:
+        if step.is_delta:
+            continue
+        key_vars = {
+            term
+            for position in step.bound_positions
+            for term in (step.atom.args[position],)
+            if isinstance(term, Variable) and term in delta_vars
+        }
+        if key_vars:
+            return tuple(
+                position
+                for position, term in enumerate(delta_step.atom.args)
+                if isinstance(term, Variable) and term in key_vars
+            )
+    return tuple(range(len(delta_step.atom.args)))
+
+
+def partition_rows(
+    rows: Iterable[tuple],
+    shards: int,
+    key_positions: tuple[int, ...],
+) -> list[set]:
+    """Partition ``rows`` into ``shards`` buckets by join-key hash.
+
+    Process-independent (CRC32 over ``repr``, never builtin ``hash``,
+    which is salted per process for strings) and total: every row lands
+    in exactly one bucket and the union of buckets round-trips -- the
+    properties ``tests/test_parallel.py`` pins under seeded churn.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    if shards == 1:
+        return [set(rows)]
+    buckets: list[set] = [set() for __ in range(shards)]
+    for row in rows:
+        key = tuple(row[i] for i in key_positions) if key_positions else row
+        buckets[zlib.crc32(repr(key).encode("utf-8")) % shards].add(row)
+    return buckets
+
+
+def _shard_positions(program: Program) -> list[tuple[tuple[int, ...], ...]]:
+    """Per rule, per delta plan (in codegen binding order): shard key."""
+    idb = program.idb_predicates
+    return [
+        tuple(
+            shard_key_positions(plan)
+            for plan in plan_program_rules(rule, idb)
+        )
+        for rule in program.rules
+    ]
+
+
+# ---------------------------------------------------------------------------
+# The worker process.
+# ---------------------------------------------------------------------------
+
+
+def _worker_main(worker_index: int, tasks, results) -> None:
+    """Worker loop: init -> (merge | full | delta)* -> shutdown.
+
+    Forked children inherit the parent's mutable observability and
+    fault-injection globals, so the first act is to silence them: a
+    worker must never fire an injected fault (the ``kill_worker`` site
+    belongs to the coordinator) and never double-count metrics.  Each
+    ``init`` rebuilds the store and rebinds the codegen functions for a
+    new evaluation; message order per worker queue is FIFO, so a round's
+    units always see the store at the barrier the preceding ``merge``
+    established.
+    """
+    _faults.disable_faults()
+    _metrics.disable_metrics()
+    _trace.disable_tracing()
+    store = None
+    universe: list = []
+    heads: tuple[str, ...] = ()
+    full_functions: list = []
+    delta_functions: list = []
+    while True:
+        message = tasks.get()
+        kind = message[0]
+        if kind == "shutdown":
+            break
+        try:
+            if kind == "init":
+                __, __, program, relations, universe, constants = message
+                store = IndexedDatabase(relations)
+                heads = tuple(rule.head.predicate for rule in program.rules)
+                full_functions = bind_full_functions(
+                    program, store, constants
+                )
+                delta_functions = bind_delta_functions(
+                    program, store, constants
+                )
+            elif kind == "merge":
+                __, payload = message
+                for predicate, rows in payload.items():
+                    store.merge(predicate, rows)
+            elif kind == "full":
+                __, epoch, unit, rule_index = message
+                start = time.perf_counter()
+                fired, produced = full_functions[rule_index](
+                    (), store.rows(heads[rule_index]), universe, None
+                )
+                results.put((
+                    "result", epoch, worker_index, unit, rule_index,
+                    fired, produced, time.perf_counter() - start,
+                ))
+            elif kind == "delta":
+                __, epoch, unit, rule_index, plan_pos, rows = message
+                __, function = delta_functions[rule_index][plan_pos]
+                start = time.perf_counter()
+                fired, produced = function(
+                    rows, store.rows(heads[rule_index]), universe, None
+                )
+                results.put((
+                    "result", epoch, worker_index, unit, rule_index,
+                    fired, produced, time.perf_counter() - start,
+                ))
+        except Exception:  # pragma: no cover - worker-crash diagnostics
+            results.put((
+                "error", message[1] if len(message) > 1 else -1,
+                worker_index, traceback.format_exc(),
+            ))
+
+
+class _WorkerPool:
+    """A persistent fork pool: one task queue per worker, one shared
+    result queue, epoch-tagged results so an interrupted evaluation's
+    stragglers cannot leak into the next one."""
+
+    def __init__(self, workers: int) -> None:
+        if "fork" in multiprocessing.get_all_start_methods():
+            context = multiprocessing.get_context("fork")
+        else:  # pragma: no cover - non-POSIX fallback
+            context = multiprocessing.get_context()
+        self.workers = workers
+        self.broken = False
+        self._epochs = itertools.count(1)
+        self.tasks = [context.Queue() for __ in range(workers)]
+        self.results = context.Queue()
+        self.processes = [
+            context.Process(
+                target=_worker_main,
+                args=(index, self.tasks[index], self.results),
+                daemon=True,
+            )
+            for index in range(workers)
+        ]
+        for process in self.processes:
+            process.start()
+
+    def next_epoch(self) -> int:
+        return next(self._epochs)
+
+    def alive(self, worker: int) -> bool:
+        return self.processes[worker].is_alive()
+
+    def send(self, worker: int, message: tuple) -> None:
+        self.tasks[worker].put(message)
+
+    def broadcast(self, message: tuple) -> None:
+        for task_queue in self.tasks:
+            task_queue.put(message)
+
+    def kill(self, worker: int) -> None:
+        """SIGKILL one worker (the ``kill_worker`` site's translation)."""
+        process = self.processes[worker]
+        process.kill()
+        process.join(timeout=5)
+
+    def shutdown(self) -> None:
+        for process, task_queue in zip(self.processes, self.tasks):
+            if process.is_alive():
+                try:
+                    task_queue.put(("shutdown",))
+                except Exception:  # pragma: no cover - teardown races
+                    pass
+        for process in self.processes:
+            process.join(timeout=2)
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=2)
+        for task_queue in self.tasks + [self.results]:
+            task_queue.cancel_join_thread()
+            task_queue.close()
+
+
+_pools: dict[int, _WorkerPool] = {}
+
+
+def _acquire_pool(workers: int) -> _WorkerPool:
+    pool = _pools.get(workers)
+    if pool is not None and (
+        pool.broken or not all(pool.alive(w) for w in range(pool.workers))
+    ):
+        pool.shutdown()
+        del _pools[workers]
+        pool = None
+    if pool is None:
+        pool = _WorkerPool(workers)
+        _pools[workers] = pool
+    return pool
+
+
+def shutdown_workers() -> None:
+    """Terminate every cached worker pool (idempotent; atexit-hooked)."""
+    for pool in list(_pools.values()):
+        pool.shutdown()
+    _pools.clear()
+
+
+atexit.register(shutdown_workers)
+
+
+# ---------------------------------------------------------------------------
+# The engine.
+# ---------------------------------------------------------------------------
+
+#: Result-queue poll interval while waiting out a round's units; each
+#: timeout re-checks liveness of every worker with outstanding work.
+_POLL_SECONDS = 0.05
+
+
+def parallel_engine(
+    program: Program,
+    database: dict,
+    universe: list,
+    constants: Mapping,
+    stage_snapshots: list | None = None,
+    profile=None,
+    guard=None,
+    checkpoint: Callable | None = None,
+    resume=None,
+    analyze=None,
+    workers: int = 1,
+    shards: int | None = None,
+) -> int:
+    """Sharded semi-naive fixpoint; mutates ``database``; returns rounds.
+
+    Same signature contract as the engines in
+    :mod:`repro.datalog.evaluation` plus ``workers`` / ``shards``
+    (``shards`` defaults to ``workers``).  ``workers=1`` evaluates
+    inline; ``workers>=2`` fans units to the persistent pool.
+    """
+    from repro.datalog.evaluation import _EngineInterrupt
+
+    if analyze is not None:
+        raise ValueError(
+            "the parallel engine does not collect analyze statistics"
+        )
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    shard_count = workers if shards is None else shards
+    if shard_count < 1:
+        raise ValueError(f"shards must be >= 1, got {shard_count}")
+    if workers == 1:
+        return _run_inline(
+            program, database, universe, constants, stage_snapshots,
+            profile, guard, checkpoint, resume, shard_count,
+        )
+    return _run_pool(
+        program, database, universe, constants, stage_snapshots,
+        profile, guard, checkpoint, resume, workers, shard_count,
+        _EngineInterrupt,
+    )
+
+
+def _snapshot(database: dict, idb) -> dict[str, frozenset]:
+    return {p: frozenset(database.get(p, ())) for p in idb}
+
+
+def _merge_round(
+    program: Program,
+    per_rule_fired: list[set],
+    merge: Callable[[str, set], set],
+) -> tuple[dict[str, set], list[int]]:
+    """Union per-rule fired sets into the store; returns (delta, firings).
+
+    ``fired`` sets already exclude the pre-round relation (the codegen
+    functions subtract ``existing``), so their sizes *are* the semantic
+    per-rule distinct-new-head firings and their per-predicate union is
+    the round's delta.
+    """
+    rule_firings = [len(fired) for fired in per_rule_fired]
+    derived: dict[str, set] = {p: set() for p in program.idb_predicates}
+    for rule, fired in zip(program.rules, per_rule_fired):
+        derived[rule.head.predicate] |= fired
+    delta = {
+        predicate: merge(predicate, tuples)
+        for predicate, tuples in derived.items()
+    }
+    return delta, rule_firings
+
+
+def _run_inline(
+    program: Program,
+    database: dict,
+    universe: list,
+    constants: Mapping,
+    stage_snapshots: list | None,
+    profile,
+    guard,
+    checkpoint: Callable | None,
+    resume,
+    shard_count: int,
+) -> int:
+    """Single-process mode: the codegen round loop, optionally sharded.
+
+    With ``shards=1`` (the default for one worker) partitioning
+    short-circuits entirely, so the only cost over the codegen engine
+    is this module's round bookkeeping -- the <= 15% E22 overhead gate.
+    """
+    from repro.datalog.evaluation import _EngineInterrupt, _record_round
+
+    tracer = _trace.tracer
+    m = _metrics.metrics
+    idb = program.idb_predicates
+    store = IndexedDatabase(database)
+    tick = None if guard is None else guard.tick
+    delta_functions = bind_delta_functions(program, store, constants)
+    positions = _shard_positions(program) if shard_count > 1 else None
+    m.gauge("parallel.workers", 1)
+
+    iterations = 0
+    delta: dict[str, set] = {}
+    try:
+        if resume is not None:
+            iterations = resume.iteration
+            delta = {p: set(resume.delta.get(p, ())) for p in idb}
+        else:
+            if guard is not None:
+                guard.check_boundary()
+            full_functions = bind_full_functions(program, store, constants)
+            if profile is not None:
+                profile.start_round()
+            produced = 0
+            per_rule: list[set] = []
+            with tracer.span("iteration", engine="parallel", round=1):
+                for rule_index, (rule, function) in enumerate(
+                    zip(program.rules, full_functions)
+                ):
+                    _faults.faults.hit("rule")
+                    with tracer.span(
+                        "rule", rule=rule_index, head=rule.head.predicate
+                    ) as span:
+                        fired, fn_produced = function(
+                            (), store.rows(rule.head.predicate), universe,
+                            tick,
+                        )
+                        span.annotate(fired=len(fired))
+                    produced += fn_produced
+                    per_rule.append(fired)
+            delta, rule_firings = _merge_round(
+                program, per_rule, store.merge
+            )
+            iterations = 1
+            m.inc("parallel.rounds")
+            m.inc("parallel.shards", len(program.rules))
+            m.inc(
+                "parallel.merge_tuples",
+                sum(len(rows) for rows in delta.values()),
+            )
+            _record_round(
+                "parallel",
+                {p: len(rows) for p, rows in delta.items()},
+                rule_firings,
+                produced,
+                produced,
+                profile,
+                guard,
+            )
+            if stage_snapshots is not None:
+                stage_snapshots.append(store.snapshot(idb))
+            if checkpoint is not None:
+                checkpoint(iterations, delta, store.snapshot(idb))
+
+        while any(delta.values()):
+            if guard is not None:
+                guard.check_boundary()
+            if profile is not None:
+                profile.start_round()
+            per_rule = [set() for __ in program.rules]
+            produced = 0
+            units = 0
+            with tracer.span(
+                "iteration", engine="parallel", round=iterations + 1
+            ):
+                for rule_index, (rule, functions) in enumerate(
+                    zip(program.rules, delta_functions)
+                ):
+                    _faults.faults.hit("rule")
+                    existing = store.rows(rule.head.predicate)
+                    fired = per_rule[rule_index]
+                    with tracer.span(
+                        "rule", rule=rule_index, head=rule.head.predicate
+                    ) as span:
+                        for plan_pos, (predicate, function) in enumerate(
+                            functions
+                        ):
+                            rows = delta[predicate]
+                            if not rows:
+                                continue
+                            if shard_count == 1:
+                                buckets = (rows,)
+                            else:
+                                buckets = partition_rows(
+                                    rows, shard_count,
+                                    positions[rule_index][plan_pos],
+                                )
+                            for bucket in buckets:
+                                if not bucket:
+                                    continue
+                                start = time.perf_counter()
+                                fn_fired, fn_produced = function(
+                                    bucket, existing, universe, tick
+                                )
+                                m.observe(
+                                    "parallel.worker_seconds",
+                                    time.perf_counter() - start,
+                                )
+                                fired |= fn_fired
+                                produced += fn_produced
+                                units += 1
+                        span.annotate(fired=len(fired))
+            delta, rule_firings = _merge_round(
+                program, per_rule, store.merge
+            )
+            iterations += 1
+            m.inc("parallel.rounds")
+            m.inc("parallel.shards", units)
+            m.inc(
+                "parallel.merge_tuples",
+                sum(len(rows) for rows in delta.values()),
+            )
+            _record_round(
+                "parallel",
+                {p: len(rows) for p, rows in delta.items()},
+                rule_firings,
+                produced,
+                produced,
+                profile,
+                guard,
+            )
+            if stage_snapshots is not None:
+                stage_snapshots.append(store.snapshot(idb))
+            if checkpoint is not None:
+                checkpoint(iterations, delta, store.snapshot(idb))
+    except GuardTrip as trip:
+        for predicate in idb:
+            database[predicate] = store.rows(predicate)
+        raise _EngineInterrupt(trip, iterations, delta) from None
+
+    for predicate in idb:
+        database[predicate] = store.rows(predicate)
+    return iterations
+
+
+def _run_pool(
+    program: Program,
+    database: dict,
+    universe: list,
+    constants: Mapping,
+    stage_snapshots: list | None,
+    profile,
+    guard,
+    checkpoint: Callable | None,
+    resume,
+    workers: int,
+    shard_count: int,
+    interrupt_type,
+) -> int:
+    """Pool mode: fan rule x shard units out, barrier-merge each round.
+
+    The coordinator keeps the authoritative database as the plain
+    ``dict[str, set]`` it was handed (no indexes needed -- joins happen
+    in the workers); workers advance in lockstep through broadcast
+    ``merge`` messages, so at every dispatch their stores equal the
+    coordinator's barrier state.
+    """
+    from repro.datalog.evaluation import _record_round
+
+    tracer = _trace.tracer
+    m = _metrics.metrics
+    idb = program.idb_predicates
+    positions = _shard_positions(program)
+    pool = _acquire_pool(workers)
+    epoch = pool.next_epoch()
+    m.gauge("parallel.workers", workers)
+
+    pool.broadcast((
+        "init",
+        epoch,
+        program,
+        {name: set(rows) for name, rows in database.items()},
+        list(universe),
+        dict(constants),
+    ))
+    order = bind_order(program)
+
+    unit_ids = itertools.count()
+    next_worker = itertools.count()
+
+    def _hit_kill_sites(round_index: int) -> None:
+        # One ``kill_worker`` hit per live worker per dispatched round,
+        # in worker order -- the deterministic schedule the fault suite
+        # enumerates.  An injected fault here is translated into a real
+        # SIGKILL; the round is then dispatched normally and the death
+        # surfaces through the collection path below.
+        for worker in range(pool.workers):
+            if not pool.alive(worker):
+                continue
+            try:
+                _faults.faults.hit("kill_worker")
+            except _faults.InjectedFault:
+                pool.broken = True
+                pool.kill(worker)
+
+    def _collect(outstanding: dict, round_index: int) -> tuple[
+        list[set], int
+    ]:
+        per_rule = [set() for __ in program.rules]
+        produced = 0
+        while outstanding:
+            try:
+                message = pool.results.get(timeout=_POLL_SECONDS)
+            except _queue_module.Empty:
+                for unit, worker in outstanding.items():
+                    if not pool.alive(worker):
+                        pool.broken = True
+                        raise WorkerDied(worker, round_index)
+                continue
+            if message[0] == "error":
+                # Never skipped by the epoch filter: a failure anywhere
+                # in the pool (this run or a straggler) poisons it.
+                pool.broken = True
+                raise RuntimeError(
+                    f"parallel worker {message[2]} failed:\n{message[3]}"
+                )
+            if message[1] != epoch:
+                continue  # straggler from an interrupted earlier run
+            __, __, worker, unit, rule_index, fired, fn_produced, secs = (
+                message
+            )
+            outstanding.pop(unit, None)
+            per_rule[rule_index] |= fired
+            produced += fn_produced
+            m.observe("parallel.worker_seconds", secs)
+            m.observe(f"parallel.worker_seconds.{worker}", secs)
+            if guard is not None:
+                guard.tick(1)
+        return per_rule, produced
+
+    def _merge_rows(predicate: str, tuples: set) -> set:
+        fresh = tuples - database[predicate]
+        database[predicate] |= fresh
+        return fresh
+
+    iterations = 0
+    delta: dict[str, set] = {}
+    try:
+        if resume is not None:
+            iterations = resume.iteration
+            delta = {p: set(resume.delta.get(p, ())) for p in idb}
+        else:
+            if guard is not None:
+                guard.check_boundary()
+            if profile is not None:
+                profile.start_round()
+            with tracer.span(
+                "iteration", engine="parallel", round=1
+            ) as span:
+                _hit_kill_sites(1)
+                outstanding: dict[int, int] = {}
+                for rule_index in range(len(program.rules)):
+                    _faults.faults.hit("rule")
+                    unit = next(unit_ids)
+                    worker = next(next_worker) % workers
+                    outstanding[unit] = worker
+                    pool.send(worker, ("full", epoch, unit, rule_index))
+                units = len(outstanding)
+                per_rule, produced = _collect(outstanding, 1)
+                span.annotate(units=units, workers=workers)
+            delta, rule_firings = _merge_round(
+                program, per_rule, _merge_rows
+            )
+            merged = {p: rows for p, rows in delta.items() if rows}
+            if merged:
+                pool.broadcast(("merge", merged))
+            iterations = 1
+            m.inc("parallel.rounds")
+            m.inc("parallel.shards", units)
+            m.inc(
+                "parallel.merge_tuples",
+                sum(len(rows) for rows in delta.values()),
+            )
+            _record_round(
+                "parallel",
+                {p: len(rows) for p, rows in delta.items()},
+                rule_firings,
+                produced,
+                produced,
+                profile,
+                guard,
+            )
+            if stage_snapshots is not None:
+                stage_snapshots.append(_snapshot(database, idb))
+            if checkpoint is not None:
+                checkpoint(iterations, delta, _snapshot(database, idb))
+
+        while any(delta.values()):
+            if guard is not None:
+                guard.check_boundary()
+            if profile is not None:
+                profile.start_round()
+            with tracer.span(
+                "iteration", engine="parallel", round=iterations + 1
+            ) as span:
+                _hit_kill_sites(iterations + 1)
+                outstanding = {}
+                for rule_index, functions in enumerate(order):
+                    _faults.faults.hit("rule")
+                    for plan_pos, predicate in functions:
+                        rows = delta[predicate]
+                        if not rows:
+                            continue
+                        buckets = partition_rows(
+                            rows, shard_count,
+                            positions[rule_index][plan_pos],
+                        )
+                        for bucket in buckets:
+                            if not bucket:
+                                continue
+                            unit = next(unit_ids)
+                            worker = next(next_worker) % workers
+                            outstanding[unit] = worker
+                            pool.send(worker, (
+                                "delta", epoch, unit, rule_index,
+                                plan_pos, bucket,
+                            ))
+                units = len(outstanding)
+                per_rule, produced = _collect(outstanding, iterations + 1)
+                span.annotate(units=units, workers=workers)
+            delta, rule_firings = _merge_round(
+                program, per_rule, _merge_rows
+            )
+            merged = {p: rows for p, rows in delta.items() if rows}
+            if merged:
+                pool.broadcast(("merge", merged))
+            iterations += 1
+            m.inc("parallel.rounds")
+            m.inc("parallel.shards", units)
+            m.inc(
+                "parallel.merge_tuples",
+                sum(len(rows) for rows in delta.values()),
+            )
+            _record_round(
+                "parallel",
+                {p: len(rows) for p, rows in delta.items()},
+                rule_firings,
+                produced,
+                produced,
+                profile,
+                guard,
+            )
+            if stage_snapshots is not None:
+                stage_snapshots.append(_snapshot(database, idb))
+            if checkpoint is not None:
+                checkpoint(iterations, delta, _snapshot(database, idb))
+    except GuardTrip as trip:
+        raise interrupt_type(trip, iterations, delta) from None
+
+    return iterations
+
+
+def bind_order(program: Program) -> list[tuple[tuple[int, str], ...]]:
+    """Per rule: ``(plan_pos, delta predicate)`` in codegen binding
+    order -- the coordinator's unit schedule must match the workers'
+    ``bind_delta_functions`` indexing exactly."""
+    idb = program.idb_predicates
+    order = []
+    for rule in program.rules:
+        entries = []
+        for plan_pos, plan in enumerate(plan_program_rules(rule, idb)):
+            atom_index = plan.delta_atom_index
+            entries.append(
+                (plan_pos, rule.body_atoms()[atom_index].predicate)
+            )
+        order.append(tuple(entries))
+    return order

@@ -391,7 +391,7 @@ def edb_fingerprint(
 # ---------------------------------------------------------------------------
 
 #: Engines whose checkpoints carry resumable semi-naive state.
-RESUMABLE_ENGINES = ("seminaive", "indexed", "codegen")
+RESUMABLE_ENGINES = ("seminaive", "indexed", "codegen", "parallel")
 
 
 @dataclass(frozen=True)

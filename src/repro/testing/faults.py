@@ -4,7 +4,7 @@ The robustness suites need to kill an evaluation at an *exact* point --
 the Nth round boundary, the Nth rule processed, the Nth index probe --
 and then assert that checkpoints, rollback, and resume leave no trace
 of the crash.  Monkeypatching engine internals for that is brittle (the
-suites would break on every refactor), so the engines carry three
+suites would break on every refactor), so the engines carry four
 permanent, feather-weight fault sites instead:
 
 ``round``
@@ -17,7 +17,19 @@ permanent, feather-weight fault sites instead:
     hit once per atom-scan operator executed in the compiled-plan
     interpreter (``_run_plan``); the codegen engine hoists the same
     hits into each generated function's prologue, one per atom op per
-    invocation, so probe schedules stay engine-portable.
+    invocation, so probe schedules stay engine-portable;
+``kill_worker``
+    hit by the parallel engine's *coordinator*, once per live worker
+    process at the top of every round it dispatches (pool mode only --
+    never inline, never inside a worker).  Unlike the other sites the
+    engine *catches* the injected fault and translates it into a real
+    ``SIGKILL`` of that worker, so what the test observes is not the
+    injection but the production death-detection path: the round's
+    results never arrive, the coordinator raises
+    :class:`repro.datalog.parallel.WorkerDied`, and the database is
+    still at the last barrier.  Hit ``n`` (1-based) maps to round
+    ``(n - 1) // W + 1``, worker ``(n - 1) % W`` for a ``W``-worker
+    pool, so kill-at-every-(round, worker) schedules enumerate exactly.
 
 Cost discipline mirrors :mod:`repro.obs.metrics`: instrumented code
 calls ``faults.hit("round")`` unconditionally through this module's
@@ -39,8 +51,8 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Iterator
 
-#: The three permanent fault sites compiled into the engines.
-_SITES = ("round", "rule", "probe")
+#: The four permanent fault sites compiled into the engines.
+_SITES = ("round", "rule", "probe", "kill_worker")
 
 
 def fault_sites() -> tuple[str, ...]:

@@ -1,10 +1,13 @@
-"""Differential testing of the five engines.
+"""Differential testing of the six engines.
 
-The naive, semi-naive, indexed, and codegen engines (every entry of
-:data:`repro.datalog.evaluation.METHODS`) must be observationally
-identical: same final relations, same goal relation, same per-round
-stage sequence ``Theta^1 <= Theta^2 <= ...``, same iteration count,
-same semantic profile view.  This harness checks the property on
+The naive, semi-naive, indexed, codegen, and parallel engines (every
+entry of :data:`repro.datalog.evaluation.METHODS`; parallel runs here
+in its inline ``workers=1`` configuration -- the multi-worker pool is
+differentially pinned by ``tests/test_parallel.py``) must be
+observationally identical: same final relations, same goal relation,
+same per-round stage sequence ``Theta^1 <= Theta^2 <= ...``, same
+iteration count, same semantic profile view.  This harness checks the
+property on
 
 * a seeded stream of random (program, structure) pairs -- plain
   ``random``, no hypothesis, so the corpus is reproducible and its size
@@ -12,7 +15,7 @@ same semantic profile view.  This harness checks the property on
 * every concrete program of :mod:`repro.datalog.library` on structure
   families fitting its vocabulary.
 
-The algebra engine -- the fifth -- has no stage/iteration contract of
+The algebra engine -- the sixth -- has no stage/iteration contract of
 its own beyond fixpoint equality, so it joins the comparison on
 relations and the semantic profile view only.
 """

@@ -47,7 +47,7 @@ GRAPH_PROGRAMS = {
 
 class TestHarness:
     def test_sites(self):
-        assert fault_sites() == ("round", "rule", "probe")
+        assert fault_sites() == ("round", "rule", "probe", "kill_worker")
 
     def test_plan_validates(self):
         with pytest.raises(ValueError):

@@ -17,12 +17,22 @@ from repro.datalog.algebra_engine import evaluate_algebra
 from repro.datalog.evaluation import ANALYZE_ENGINES, evaluate
 from repro.datalog.incremental import IncrementalSession, Update
 from repro.datalog.library import q_program, transitive_closure_program
+from repro.datalog.parallel import shutdown_workers
 from repro.graphs.generators import path_graph, random_digraph
 from repro.obs import metrics as metrics_module
 from repro.obs import trace as trace_module
 
-PLAN_AND_SET_ENGINES = ("indexed", "codegen", "seminaive", "naive")
+PLAN_AND_SET_ENGINES = ("indexed", "codegen", "seminaive", "naive", "parallel")
 ALL_ENGINES = PLAN_AND_SET_ENGINES + ("algebra",)
+
+#: The parallel engine joins the on/off parity matrix in both its
+#: configurations.  Its *performance* claims (pool speedup, inline
+#: overhead vs codegen) are deliberately NOT asserted against
+#: wall-clock here or anywhere in tier-1: timing comparisons for it
+#: live in ``benchmarks/bench_parallel.py`` behind the counters-mode
+#: regression gate (``repro bench compare --mode counters``), which is
+#: machine-independent and cannot flake on a loaded CI runner.
+PARALLEL_POOL_WORKERS = 2
 
 
 @pytest.fixture(autouse=True)
@@ -30,6 +40,12 @@ def _obs_globals_restored():
     yield
     metrics_module.disable_metrics()
     trace_module.disable_tracing()
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _pools_torn_down():
+    yield
+    shutdown_workers()
 
 
 def _observed(fn):
@@ -58,6 +74,25 @@ class TestFixpointParity:
         observed = _observed(
             lambda: _evaluate_with(engine, program, structure)
         )
+        assert plain.relations == observed.relations
+        assert plain.goal_relation == observed.goal_relation
+        assert plain.iterations == observed.iterations
+
+    def test_parallel_pool_all_sinks_on_equals_off(self):
+        """The matrix row above runs parallel inline (workers=1); the
+        pool configuration must show the same on/off parity -- workers
+        run observation-dark, so every sink effect happens coordinator-
+        side and switching sinks on cannot change what merges."""
+        program = q_program(2, 1)
+        structure = random_digraph(7, 0.3, seed=11).to_structure()
+        run = lambda: evaluate(
+            program,
+            structure,
+            method="parallel",
+            workers=PARALLEL_POOL_WORKERS,
+        )
+        plain = run()
+        observed = _observed(run)
         assert plain.relations == observed.relations
         assert plain.goal_relation == observed.goal_relation
         assert plain.iterations == observed.iterations

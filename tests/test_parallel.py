@@ -1,0 +1,425 @@
+"""Differential + property harness for the parallel sharded engine.
+
+Pins :mod:`repro.datalog.parallel` against the indexed engine on every
+observable the engines share -- final relations, goal relation, stage
+sequence, iteration count, and the semantic profile view -- across
+
+* a 200+-pair seeded random (program, structure) corpus (the same
+  generator family as ``tests/test_engine_differential.py``), at
+  ``workers`` in {1, 2, 4};
+* every graph-vocabulary library program plus path-systems, at the
+  same three worker counts;
+* a metamorphic shard-count invariance sweep: the fixpoint is a pure
+  function of (program, EDB), never of how deltas were partitioned.
+
+Plus stdlib-only property tests for the hash partitioner (every row in
+exactly one shard, unions round-trip, process-independent determinism)
+in the style of the churn suites in ``tests/test_indexing.py``, and
+counter-based (never wall-clock) observability checks for the
+``parallel.*`` metrics, so nothing here can flake on a loaded runner.
+"""
+
+import random
+
+import pytest
+
+from repro.datalog import evaluate
+from repro.datalog.ast import (
+    Atom,
+    Equality,
+    Inequality,
+    Program,
+    Rule,
+    Variable,
+)
+from repro.datalog.library import (
+    avoiding_path_program,
+    path_systems_program,
+    q_program,
+    q_program_as_displayed,
+    rooted_star_homeomorphism_program,
+    transitive_closure_program,
+    two_disjoint_paths_from_source_program,
+)
+from repro.datalog.parallel import (
+    partition_rows,
+    shard_key_positions,
+    shutdown_workers,
+)
+from repro.datalog.planner import plan_program_rules
+from repro.graphs.generators import path_graph, random_digraph
+from repro.obs import metrics as metrics_module
+from repro.structures import Structure, Vocabulary
+
+#: Seeded random (program, structure) pairs; acceptance bar is >= 200.
+PAIR_COUNT = 210
+
+#: Every differential assertion runs at each of these pool sizes
+#: (1 = inline, no processes; 2 and 4 = the multiprocessing pool).
+WORKER_COUNTS = (1, 2, 4)
+
+_VARIABLES = tuple(Variable(name) for name in ("x", "y", "z", "u"))
+_PREDICATES = {"E": (2, True), "P": (2, False), "R": (1, False)}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _pools_torn_down():
+    yield
+    shutdown_workers()
+
+
+def _random_atom(rng, predicates):
+    name = rng.choice(predicates)
+    arity, __ = _PREDICATES[name]
+    return Atom(name, tuple(rng.choice(_VARIABLES) for __ in range(arity)))
+
+
+def _random_rule(rng):
+    head_name = rng.choice(["P", "P", "R"])
+    arity, __ = _PREDICATES[head_name]
+    head = Atom(
+        head_name, tuple(rng.choice(_VARIABLES) for __ in range(arity))
+    )
+    body = []
+    for __ in range(rng.randint(1, 3)):
+        body.append(_random_atom(rng, ["E", "E", "P", "R"]))
+    for __ in range(rng.randint(0, 2)):
+        left, right = rng.choice(_VARIABLES), rng.choice(_VARIABLES)
+        constraint = Inequality if rng.random() < 0.8 else Equality
+        body.append(constraint(left, right))
+    rng.shuffle(body)
+    return Rule(head, body)
+
+
+def _random_program(rng):
+    rules = [_random_rule(rng) for __ in range(rng.randint(1, 3))]
+    rules.append(
+        Rule(
+            Atom("P", (_VARIABLES[0], _VARIABLES[1])),
+            [Atom("E", (_VARIABLES[0], _VARIABLES[1]))],
+        )
+    )
+    rules.append(
+        Rule(
+            Atom("R", (_VARIABLES[1],)),
+            [Atom("E", (_VARIABLES[0], _VARIABLES[1]))],
+        )
+    )
+    return Program(rules, goal="P")
+
+
+def _random_structure(rng):
+    nodes = rng.randint(3, 5)
+    return random_digraph(
+        nodes, rng.uniform(0.15, 0.5), rng.randrange(10**6)
+    ).to_structure()
+
+
+def _indexed_reference(program, structure):
+    return evaluate(
+        program,
+        structure,
+        method="indexed",
+        collect_stages=True,
+        collect_profile=True,
+    )
+
+
+def _assert_parallel_matches(
+    program, structure, reference, workers, shards=None
+):
+    result = evaluate(
+        program,
+        structure,
+        method="parallel",
+        collect_stages=True,
+        collect_profile=True,
+        workers=workers,
+        shards=shards,
+    )
+    label = f"workers={workers} shards={shards}"
+    assert result.relations == reference.relations, label
+    assert result.goal_relation == reference.goal_relation, label
+    assert result.stages == reference.stages, label
+    assert result.iterations == reference.iterations, label
+    assert (
+        result.profile.semantic_view()
+        == reference.profile.semantic_view()
+    ), label
+    return result
+
+
+class TestDifferentialCorpus:
+    def test_random_corpus_matches_indexed_at_1_2_4_workers(self):
+        """The acceptance corpus: 200+ seeded pairs, every observable
+        equal to the indexed engine's, at each pool size."""
+        rng = random.Random(20260808)
+        for pair in range(PAIR_COUNT):
+            program = _random_program(rng)
+            structure = _random_structure(rng)
+            reference = _indexed_reference(program, structure)
+            for workers in WORKER_COUNTS:
+                _assert_parallel_matches(
+                    program, structure, reference, workers
+                )
+
+    def test_head_only_variables_corpus(self):
+        """Universe-ranged head variables exercise the enumeration path
+        of the generated functions under sharding."""
+        rng = random.Random(17)
+        for __ in range(25):
+            free = rng.choice([v for v in _VARIABLES[2:]])
+            head = Atom("P", (_VARIABLES[0], free))
+            body = [Atom("E", (_VARIABLES[0], _VARIABLES[1]))]
+            if rng.random() < 0.5:
+                body.append(Inequality(free, _VARIABLES[0]))
+            program = Program([Rule(head, body)], goal="P")
+            structure = _random_structure(rng)
+            reference = _indexed_reference(program, structure)
+            for workers in WORKER_COUNTS:
+                _assert_parallel_matches(
+                    program, structure, reference, workers
+                )
+
+
+GRAPH_LIBRARY_PROGRAMS = {
+    "transitive-closure": transitive_closure_program(),
+    "avoiding-path": avoiding_path_program(),
+    "two-disjoint-from-source": two_disjoint_paths_from_source_program(),
+    "q-1-1": q_program(1, 1),
+    "q-2-0": q_program(2, 0),
+    "q-2-1": q_program(2, 1),
+    "q-2-1-displayed": q_program_as_displayed(2, 1),
+    "q-2-0-reversed": q_program(2, 0, reverse=True),
+    "star-2": rooted_star_homeomorphism_program(2),
+    "star-1-loop": rooted_star_homeomorphism_program(1, self_loop=True),
+    "star-0-loop": rooted_star_homeomorphism_program(0, self_loop=True),
+}
+
+
+class TestLibraryPrograms:
+    @pytest.mark.parametrize("name", sorted(GRAPH_LIBRARY_PROGRAMS))
+    def test_library_program_matches_indexed(self, name):
+        program = GRAPH_LIBRARY_PROGRAMS[name]
+        structures = [
+            path_graph(5).to_structure(),
+            random_digraph(5, 0.35, seed=1, loops=True).to_structure(),
+            random_digraph(6, 0.25, seed=4).to_structure(),
+        ]
+        for structure in structures:
+            reference = _indexed_reference(program, structure)
+            for workers in WORKER_COUNTS:
+                _assert_parallel_matches(
+                    program, structure, reference, workers
+                )
+
+    def test_path_systems_matches_indexed(self):
+        rng = random.Random(5)
+        nodes = list(range(10))
+        voc = Vocabulary({"Axiom": 1, "Rule": 3})
+        for __ in range(3):
+            axioms = rng.sample(nodes, 2)
+            rules = [
+                tuple(rng.choice(nodes) for __ in range(3))
+                for __ in range(12)
+            ]
+            structure = Structure(
+                voc, nodes, {"Axiom": [(a,) for a in axioms], "Rule": rules}
+            )
+            program = path_systems_program()
+            reference = _indexed_reference(program, structure)
+            for workers in WORKER_COUNTS:
+                _assert_parallel_matches(
+                    program, structure, reference, workers
+                )
+
+
+class TestShardInvariance:
+    """Metamorphic: the fixpoint never depends on the partition count.
+
+    Shard merges are set unions, so any hash partition of the delta
+    yields the same rounds -- varying ``shards`` independently of
+    ``workers`` must change nothing, including the stage sequence and
+    the semantic profile."""
+
+    def test_shard_count_sweep(self):
+        program = q_program(2, 1)
+        structure = random_digraph(7, 0.3, seed=23).to_structure()
+        reference = _indexed_reference(program, structure)
+        for workers, shards in [
+            (1, 2), (1, 5), (2, 1), (2, 3), (2, 7), (4, 2), (4, 9),
+        ]:
+            _assert_parallel_matches(
+                program, structure, reference, workers, shards
+            )
+
+    def test_shard_sweep_on_random_programs(self):
+        rng = random.Random(404)
+        for __ in range(12):
+            program = _random_program(rng)
+            structure = _random_structure(rng)
+            reference = _indexed_reference(program, structure)
+            for shards in (1, 2, 4, 5):
+                _assert_parallel_matches(
+                    program, structure, reference, 2, shards
+                )
+
+
+class TestPartitioner:
+    """Stdlib property loop for :func:`partition_rows` (churn-style,
+    like ``tests/test_indexing.py``)."""
+
+    def _random_relation(self, rng):
+        arity = rng.randint(1, 3)
+        size = rng.randint(0, 60)
+        universe = [f"n{i}" for i in range(rng.randint(1, 12))]
+        return {
+            tuple(rng.choice(universe) for __ in range(arity))
+            for __ in range(size)
+        }
+
+    def test_every_row_in_exactly_one_shard_and_union_round_trips(self):
+        rng = random.Random(8080)
+        for trial in range(200):
+            rows = self._random_relation(rng)
+            arity = len(next(iter(rows))) if rows else 1
+            shards = rng.randint(1, 8)
+            positions = tuple(
+                sorted(
+                    rng.sample(range(arity), rng.randint(0, arity))
+                )
+            )
+            buckets = partition_rows(rows, shards, positions)
+            assert len(buckets) == shards, trial
+            # Exactly one shard per row: the union has the original
+            # size and bucket sizes sum to it (no loss, no duplicate).
+            union = set().union(*buckets) if buckets else set()
+            assert union == set(rows), trial
+            assert sum(len(b) for b in buckets) == len(rows), trial
+
+    def test_rows_sharing_the_key_share_the_shard(self):
+        rng = random.Random(99)
+        for __ in range(50):
+            rows = self._random_relation(rng)
+            if not rows:
+                continue
+            arity = len(next(iter(rows)))
+            positions = (0,) if arity >= 1 else ()
+            buckets = partition_rows(rows, 4, positions)
+            shard_of = {}
+            for index, bucket in enumerate(buckets):
+                for row in bucket:
+                    key = tuple(row[i] for i in positions)
+                    assert shard_of.setdefault(key, index) == index
+
+    def test_partition_is_deterministic_across_calls(self):
+        rng = random.Random(3)
+        rows = self._random_relation(rng)
+        first = partition_rows(rows, 5, (0,))
+        second = partition_rows(sorted(rows), 5, (0,))
+        assert first == second
+
+    def test_single_shard_short_circuits(self):
+        rows = {("a", "b"), ("c", "d")}
+        assert partition_rows(rows, 1, ()) == [rows]
+
+    def test_invalid_shard_count_rejected(self):
+        with pytest.raises(ValueError):
+            partition_rows(set(), 0, ())
+
+
+class TestShardKeyPositions:
+    def test_tc_recursive_rule_keys_on_the_join_column(self):
+        """S(x,y) :- E(x,z), S(z,y): the delta occurrence of S joins E
+        on z = S's first argument, so the shard key is position 0."""
+        program = transitive_closure_program()
+        recursive = program.rules[1]
+        plans = plan_program_rules(recursive, program.idb_predicates)
+        assert len(plans) == 1
+        assert shard_key_positions(plans[0]) == (0,)
+
+    def test_keys_are_valid_positions_for_every_library_plan(self):
+        for program in GRAPH_LIBRARY_PROGRAMS.values():
+            for rule in program.rules:
+                for plan in plan_program_rules(
+                    rule, program.idb_predicates
+                ):
+                    delta_atom = rule.body_atoms()[plan.delta_atom_index]
+                    positions = shard_key_positions(plan)
+                    assert positions, (rule, plan.delta_atom_index)
+                    assert all(
+                        0 <= p < len(delta_atom.args) for p in positions
+                    )
+
+
+class TestObservability:
+    """Counter-based checks only -- wall-clock comparisons for this
+    engine live behind the bench harness's counters-mode gate
+    (``repro bench compare --mode counters``), never in tier-1, so a
+    loaded CI runner cannot flake them."""
+
+    def _counters(self, workers):
+        registry = metrics_module.MetricsRegistry()
+        metrics_module.enable_metrics(registry)
+        try:
+            evaluate(
+                transitive_closure_program(),
+                path_graph(6).to_structure(),
+                method="parallel",
+                workers=workers,
+            )
+        finally:
+            metrics_module.disable_metrics()
+        return registry.snapshot()
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_parallel_counters_emitted(self, workers):
+        snapshot = self._counters(workers)
+        counters = snapshot["counters"]
+        assert counters["parallel.rounds"] == counters["datalog.rounds"]
+        assert counters["parallel.shards"] > 0
+        # Merge tuples are deduped deltas: exactly the derived tuples.
+        assert (
+            counters["parallel.merge_tuples"]
+            == counters["datalog.delta_tuples"]
+        )
+        assert snapshot["gauges"]["parallel.workers"] == workers
+
+    def test_pool_mode_reports_per_worker_timings(self):
+        snapshot = self._counters(2)
+        histograms = snapshot["histograms"]
+        assert "parallel.worker_seconds" in histograms
+        per_worker = [
+            name
+            for name in histograms
+            if name.startswith("parallel.worker_seconds.")
+        ]
+        assert per_worker, sorted(histograms)
+
+
+class TestValidation:
+    def test_workers_rejected_for_other_engines(self):
+        program = transitive_closure_program()
+        structure = path_graph(3).to_structure()
+        with pytest.raises(ValueError):
+            evaluate(program, structure, method="indexed", workers=2)
+        with pytest.raises(ValueError):
+            evaluate(program, structure, method="codegen", shards=2)
+
+    def test_nonpositive_counts_rejected(self):
+        program = transitive_closure_program()
+        structure = path_graph(3).to_structure()
+        with pytest.raises(ValueError):
+            evaluate(program, structure, method="parallel", workers=0)
+        with pytest.raises(ValueError):
+            evaluate(
+                program, structure, method="parallel", workers=2, shards=0
+            )
+
+    def test_analyze_rejected(self):
+        program = transitive_closure_program()
+        structure = path_graph(3).to_structure()
+        with pytest.raises(ValueError):
+            evaluate(
+                program, structure, method="parallel", collect_analyze=True
+            )

@@ -1,0 +1,255 @@
+"""Worker-kill robustness of the parallel engine (fault_injection).
+
+Extends the deterministic fault harness to the ``kill_worker`` site:
+the coordinator hits it once per live worker at the top of every
+dispatched round, and translates an injected fault into a *real*
+``SIGKILL`` of that worker -- so what these trials exercise is the
+production death-detection path, not the injection plumbing.  The
+contract pinned here, for every (round, worker) pair the census
+enumerates:
+
+* the death surfaces as :class:`repro.datalog.parallel.WorkerDied`
+  (never a hang, never a corrupted result);
+* shard results merge only after the whole round returns, so the
+  database -- and the last ``checkpoint_sink`` emission -- still
+  describe the previous barrier;
+* resuming from that checkpoint is *bit-identical* to an unkilled
+  run: relations, goal, iteration count, stage sequence, and semantic
+  profile view (and the resume may run under a different worker count
+  or a different engine entirely).
+
+Also covered: the standard round/rule sites keep working on the
+parallel engine (inline and pool), and a poisoned pool is rebuilt
+transparently on the next evaluation.
+"""
+
+import random
+
+import pytest
+
+from repro.datalog import evaluate
+from repro.datalog.evaluation import METHODS
+from repro.datalog.library import library_programs
+from repro.datalog.parallel import WorkerDied, shutdown_workers
+from repro.graphs.generators import path_graph, random_digraph
+from repro.testing import InjectedFault, census, inject
+
+pytestmark = pytest.mark.fault_injection
+
+#: Pool size for the kill sweeps (every worker of every round is shot).
+WORKERS = 2
+
+GRAPH_PROGRAMS = {
+    name: program
+    for name, program in library_programs().items()
+    if name != "path-systems"
+}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _pools_torn_down():
+    yield
+    shutdown_workers()
+
+
+def _full_run(program, structure, workers=WORKERS):
+    return evaluate(
+        program,
+        structure,
+        method="parallel",
+        workers=workers,
+        collect_stages=True,
+        collect_profile=True,
+    )
+
+
+class TestKillEveryRoundAndWorker:
+    @pytest.mark.parametrize("name", sorted(GRAPH_PROGRAMS))
+    def test_kill_every_worker_at_every_round_then_resume(self, name):
+        """The headline sweep: for every (round r, worker w) hit the
+        census enumerates, kill w at r and resume bit-identically."""
+        program = GRAPH_PROGRAMS[name]
+        structure = random_digraph(
+            5, 0.35, seed=23, loops=True
+        ).to_structure()
+        full = _full_run(program, structure)
+        with census() as counts:
+            evaluate(program, structure, method="parallel", workers=WORKERS)
+        kill_sites = counts.hits("kill_worker")
+        assert kill_sites >= WORKERS  # at least round 1, every worker
+        killed = 0
+        for occurrence in range(1, kill_sites + 1):
+            round_index = (occurrence - 1) // WORKERS + 1
+            worker = (occurrence - 1) % WORKERS
+            sink: list = []
+            with inject("kill_worker", occurrence):
+                try:
+                    evaluate(
+                        program, structure, method="parallel",
+                        workers=WORKERS, collect_stages=True,
+                        collect_profile=True,
+                        checkpoint_sink=sink.append,
+                    )
+                    # The killed worker drew no unit before the
+                    # fixpoint converged; the run completing unharmed
+                    # is the correct outcome -- but it must still be
+                    # the right fixpoint.
+                    continue
+                except WorkerDied as exc:
+                    died = exc  # the as-name is unbound after the block
+                    killed += 1
+                    assert died.worker == worker, (occurrence,)
+                    assert died.round_index >= round_index, (occurrence,)
+            # The last emission describes the barrier before the death.
+            assert len(sink) == died.round_index - 1, (name, occurrence)
+            if not sink:
+                continue  # died in round 1: nothing to resume from
+            resumed = evaluate(
+                program, structure, method="parallel", workers=WORKERS,
+                collect_stages=True, collect_profile=True,
+                resume_from=sink[-1],
+            )
+            assert resumed.relations == full.relations, (name, occurrence)
+            assert resumed.goal_relation == full.goal_relation
+            assert resumed.iterations == full.iterations, (name, occurrence)
+            assert resumed.stages == full.stages, (name, occurrence)
+            assert (
+                resumed.profile.semantic_view()
+                == full.profile.semantic_view()
+            ), (name, occurrence)
+        assert killed > 0, name
+
+    def test_resume_under_different_worker_count_and_engine(self):
+        """A kill survivor's checkpoint is engine- and pool-portable."""
+        program = GRAPH_PROGRAMS["transitive-closure"]
+        structure = path_graph(9).to_structure()
+        full = _full_run(program, structure)
+        sink: list = []
+        with inject("kill_worker", 2 * WORKERS + 1):  # round 3, worker 0
+            with pytest.raises(WorkerDied):
+                evaluate(
+                    program, structure, method="parallel",
+                    workers=WORKERS, collect_stages=True,
+                    collect_profile=True, checkpoint_sink=sink.append,
+                )
+        assert sink
+        for method, workers in [
+            ("parallel", 4),
+            ("parallel", 1),
+            ("indexed", 1),
+            ("codegen", 1),
+        ]:
+            resumed = evaluate(
+                program, structure, method=method, workers=workers,
+                collect_stages=True, collect_profile=True,
+                resume_from=sink[-1],
+            )
+            assert resumed.relations == full.relations, (method, workers)
+            assert resumed.iterations == full.iterations, (method, workers)
+            assert resumed.stages == full.stages, (method, workers)
+            assert (
+                resumed.profile.semantic_view()
+                == full.profile.semantic_view()
+            ), (method, workers)
+
+    def test_seeded_random_kill_trials(self):
+        """Random programs, random kill occurrences: 40 seeded trials."""
+        rng = random.Random(20260808)
+        for trial in range(40):
+            nodes = rng.randint(4, 6)
+            structure = random_digraph(
+                nodes, rng.uniform(0.2, 0.5), rng.randrange(10**6)
+            ).to_structure()
+            program = GRAPH_PROGRAMS[
+                rng.choice(sorted(GRAPH_PROGRAMS))
+            ]
+            full = _full_run(program, structure)
+            with census() as counts:
+                evaluate(
+                    program, structure, method="parallel", workers=WORKERS
+                )
+            sites = counts.hits("kill_worker")
+            occurrence = rng.randint(1, sites)
+            sink: list = []
+            try:
+                with inject("kill_worker", occurrence):
+                    evaluate(
+                        program, structure, method="parallel",
+                        workers=WORKERS, collect_stages=True,
+                        checkpoint_sink=sink.append,
+                    )
+                continue  # worker never drew a unit; run completed
+            except WorkerDied:
+                pass
+            if not sink:
+                continue
+            resumed = evaluate(
+                program, structure, method="parallel", workers=WORKERS,
+                collect_stages=True, resume_from=sink[-1],
+            )
+            assert resumed.relations == full.relations, trial
+            assert resumed.iterations == full.iterations, trial
+            assert resumed.stages == full.stages, trial
+
+
+class TestStandardSitesStillFire:
+    """The pre-existing sites stay engine-portable on parallel."""
+
+    def test_round_site_fires_inline_and_pool(self):
+        program = GRAPH_PROGRAMS["transitive-closure"]
+        structure = path_graph(6).to_structure()
+        for workers in (1, WORKERS):
+            with pytest.raises(InjectedFault):
+                with inject("round", 2):
+                    evaluate(
+                        program, structure, method="parallel",
+                        workers=workers,
+                    )
+            # The crash leaves no residue: the next run is clean.
+            result = evaluate(
+                program, structure, method="parallel", workers=workers
+            )
+            reference = evaluate(program, structure, method="indexed")
+            assert result.relations == reference.relations
+
+    def test_rule_site_fires_inline_and_pool(self):
+        program = GRAPH_PROGRAMS["transitive-closure"]
+        structure = path_graph(6).to_structure()
+        for workers in (1, WORKERS):
+            with pytest.raises(InjectedFault):
+                with inject("rule", 3):
+                    evaluate(
+                        program, structure, method="parallel",
+                        workers=workers,
+                    )
+
+    def test_kill_worker_site_never_fires_inline(self):
+        """workers=1 has no pool, so an armed kill_worker plan must be
+        inert and the run must complete normally."""
+        program = GRAPH_PROGRAMS["transitive-closure"]
+        structure = path_graph(6).to_structure()
+        with inject("kill_worker", 1) as plan:
+            result = evaluate(
+                program, structure, method="parallel", workers=1
+            )
+        assert plan.hits("kill_worker") == 0
+        reference = evaluate(program, structure, method="indexed")
+        assert result.relations == reference.relations
+
+
+class TestPoolRecovery:
+    def test_broken_pool_is_rebuilt_for_the_next_evaluation(self):
+        program = GRAPH_PROGRAMS["transitive-closure"]
+        structure = path_graph(8).to_structure()
+        reference = evaluate(program, structure, method="indexed")
+        with inject("kill_worker", 1):
+            with pytest.raises(WorkerDied):
+                evaluate(
+                    program, structure, method="parallel", workers=WORKERS
+                )
+        # No explicit cleanup: the next call detects the poisoned pool,
+        # tears it down, and forks a fresh one.
+        result = evaluate(
+            program, structure, method="parallel", workers=WORKERS
+        )
+        assert result.relations == reference.relations
