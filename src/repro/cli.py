@@ -42,6 +42,15 @@ Subcommands
   :class:`~repro.datalog.incremental.IncrementalSession`, reporting
   per-update rounds, delta sizes, and wall time; ``--verify``
   cross-checks every step against a from-scratch evaluation.
+* ``repro serve PROGRAM GRAPH`` -- the concurrent query/update
+  service: many clients multiplex over one shared live view
+  (newline-delimited JSON protocol; see :mod:`repro.serve`).  Reads
+  are snapshot-consistent, updates are serialised through a single
+  writer task and bump a view epoch, ``subscribe`` pushes per-epoch
+  deltas, and ``--checkpoint FILE --checkpoint-every N`` makes the
+  view durable (``--resume`` restarts from the last checkpoint).
+  Per-tenant query budgets: the shared budget flags set the default,
+  ``--tenant NAME=WALL[:TUPLES]`` overrides per tenant.
 
 Observability: every subcommand accepts ``--stats`` (counter table +
 evaluation profile on stderr), ``--stats-json FILE`` (the snapshot as
@@ -905,6 +914,101 @@ def _cmd_maintain(args: argparse.Namespace) -> int:
     return 0 if failures == 0 else 1
 
 
+def _parse_tenant_budgets(entries: Sequence[str] | None) -> dict:
+    """``--tenant NAME=WALL[:TUPLES]`` entries -> per-tenant budgets."""
+    from repro.guard import ResourceBudget
+
+    budgets = {}
+    for entry in entries or []:
+        name, sep, spec = entry.partition("=")
+        if not sep or not name or not spec:
+            raise CliError(
+                f"malformed --tenant {entry!r}; use NAME=WALL_SECONDS "
+                "or NAME=WALL_SECONDS:MAX_TUPLES"
+            )
+        wall_text, _, tuples_text = spec.partition(":")
+        try:
+            wall = float(wall_text) if wall_text else None
+            tuples = int(tuples_text) if tuples_text else None
+            budgets[name] = ResourceBudget(
+                wall_seconds=wall, max_tuples=tuples
+            )
+        except ValueError as exc:
+            raise CliError(f"malformed --tenant {entry!r}: {exc}")
+    return budgets
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve.server import SERVE_ENGINES, ReproServer, run_server
+    from repro.serve.view import LiveView
+
+    if args.engine not in SERVE_ENGINES:
+        raise CliError(
+            f"unknown serve engine {args.engine!r} "
+            f"(choose from {', '.join(SERVE_ENGINES)}; the server is "
+            "single-process, so 'parallel' is not offered)"
+        )
+    if args.checkpoint_every < 0:
+        raise CliError(
+            f"--checkpoint-every must be >= 0, got {args.checkpoint_every}"
+        )
+    if args.checkpoint_every > 0 and not args.checkpoint:
+        raise CliError("--checkpoint-every needs --checkpoint FILE")
+    if args.resume and not args.checkpoint:
+        raise CliError("--resume needs --checkpoint FILE (the file to load)")
+    __, program = _load_program_or_library(args.program, args.goal)
+    graph = load_digraph(args.graph)
+    structure = graph.to_structure()
+    if args.resume:
+        if not os.path.exists(args.checkpoint):
+            raise CliError(
+                f"--resume: checkpoint file {args.checkpoint!r} does not "
+                "exist"
+            )
+        view = LiveView.resume(program, structure, args.checkpoint)
+        print(
+            f"% resumed from {args.checkpoint}: epoch {view.epoch}, "
+            f"{len(view.snapshot.goal_rows)} {program.goal} tuples"
+        )
+    else:
+        view = LiveView(program, structure)
+        print(
+            f"% initial fixpoint: {len(view.snapshot.goal_rows)} "
+            f"{program.goal} tuples"
+        )
+    server = ReproServer(
+        view,
+        host=args.host,
+        port=args.port,
+        engine=args.engine,
+        default_budget=_budget_from_args(args),
+        tenant_budgets=_parse_tenant_budgets(args.tenant),
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+    )
+
+    async def _serve() -> int:
+        await server.start()
+        # The one line scripted clients (tests, CI smoke, the kill
+        # drill) parse to learn the bound port -- keep it stable.
+        print(
+            f"repro: serving {program.goal} on "
+            f"{server.host}:{server.port}",
+            flush=True,
+        )
+        await server.serve_until_stopped()
+        return 0
+
+    try:
+        code = asyncio.run(_serve())
+    except KeyboardInterrupt:
+        code = 0
+    print(f"repro: serve stopped at epoch {server.view.epoch}")
+    return code
+
+
 # ---------------------------------------------------------------------------
 # Observability plumbing (--stats / --trace, shared by every subcommand)
 # ---------------------------------------------------------------------------
@@ -987,9 +1091,14 @@ def _print_stats(snapshot: dict) -> None:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro._version import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Kolaitis-Vardi (PODS 1990) reproduction toolbox",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     # Observability flags shared by every subcommand (parents= plumbing).
     common = argparse.ArgumentParser(add_help=False)
@@ -1294,6 +1403,52 @@ def build_parser() -> argparse.ArgumentParser:
         "and skip the already-applied prefix of the updates",
     )
     maintain.set_defaults(func=_cmd_maintain)
+
+    serve = sub.add_parser(
+        "serve", parents=[common, budget],
+        help="serve a live materialized view to concurrent clients",
+    )
+    serve.add_argument(
+        "program",
+        help="program file (%% goal: directive) or library program name",
+    )
+    serve.add_argument("graph", help="graph file (the initial EDB)")
+    serve.add_argument("--goal", help="override the goal predicate")
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default %(default)s)"
+    )
+    serve.add_argument(
+        "--port", type=int, default=0, metavar="N",
+        help="TCP port (default 0 = pick a free port; the bound port is "
+        "printed on the 'repro: serving ...' line)",
+    )
+    serve.add_argument(
+        "--engine", default="indexed",
+        help="engine for magic (demand-driven) queries; the server is "
+        "single-process, so 'parallel' is excluded",
+    )
+    serve.add_argument(
+        "--tenant", action="append", metavar="NAME=WALL[:TUPLES]",
+        help="per-tenant query budget override (repeatable); unnamed "
+        "tenants get the budget flags' limits",
+    )
+    serve.add_argument(
+        "--checkpoint", metavar="FILE",
+        help="durable checkpoint file (written atomically; also what "
+        "--resume loads)",
+    )
+    serve.add_argument(
+        "--checkpoint-every", type=int, default=0, metavar="N",
+        dest="checkpoint_every",
+        help="checkpoint after every N applied updates (0 = never; "
+        "needs --checkpoint)",
+    )
+    serve.add_argument(
+        "--resume", action="store_true",
+        help="restore the view from --checkpoint FILE before serving "
+        "(same program required; serves a bit-identical view)",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     return parser
 

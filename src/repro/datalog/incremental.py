@@ -48,7 +48,9 @@ and each :class:`MaintenanceResult` can carry a per-round
 
 from __future__ import annotations
 
+import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterable, Mapping
 
@@ -328,6 +330,7 @@ class IncrementalSession:
         self._supports = SupportTable()
         self._seed_supports()
         self._update_count = 0
+        self._writer_lock = threading.Lock()
 
     # -- accessors --------------------------------------------------------
 
@@ -431,6 +434,34 @@ class IncrementalSession:
                 )
             checked.add(t)
         return checked
+
+    # -- the single-writer contract ----------------------------------------
+
+    @contextmanager
+    def _exclusive_writer(self, kind: str, predicate: str):
+        """Enforce one update at a time (the contract servers rely on).
+
+        The session's store, indexes, and provenance are mutated
+        mid-update with no internal synchronisation, so a second
+        ``apply`` racing the first -- from another thread, or
+        reentrantly from a callback inside the same thread -- would
+        corrupt the support table silently.  A non-blocking lock makes
+        the misuse loud instead: the overlapping call raises
+        ``RuntimeError`` immediately and the in-flight update is
+        untouched.  ``repro serve`` routes every update through one
+        writer task and leans on this check as its backstop.
+        """
+        if not self._writer_lock.acquire(blocking=False):
+            raise RuntimeError(
+                f"IncrementalSession is single-writer: {kind} "
+                f"{predicate!r} was requested while another update is "
+                "still being applied (concurrent or reentrant apply); "
+                "serialise updates through one writer"
+            )
+        try:
+            yield
+        finally:
+            self._writer_lock.release()
 
     # -- transactions ------------------------------------------------------
 
@@ -567,7 +598,20 @@ class IncrementalSession:
         :class:`~repro.guard.MaintenanceAborted`; any other exception
         escaping the update (e.g. an injected crash) also restores the
         pre-update state before propagating.
+
+        Updates are **single-writer**: an overlapping call (from
+        another thread, or reentrantly) raises ``RuntimeError`` and
+        leaves the in-flight update untouched.
         """
+        with self._exclusive_writer("insert", predicate):
+            return self._insert_facts(predicate, rows, collect_profile)
+
+    def _insert_facts(
+        self,
+        predicate: str,
+        rows: Iterable,
+        collect_profile: bool = False,
+    ) -> MaintenanceResult:
         requested = self._check_edb_rows(predicate, rows)
         start = time.perf_counter()
         m = _metrics.metrics
@@ -634,7 +678,19 @@ class IncrementalSession:
         provenance invariant, exactly the ones still one-step derivable
         from the survivors -- and lets the insertion continuation
         propagate from them.
+
+        Single-writer exactly as :meth:`insert_facts`: an overlapping
+        call raises ``RuntimeError``.
         """
+        with self._exclusive_writer("delete", predicate):
+            return self._delete_facts(predicate, rows, collect_profile)
+
+    def _delete_facts(
+        self,
+        predicate: str,
+        rows: Iterable,
+        collect_profile: bool = False,
+    ) -> MaintenanceResult:
         requested = self._check_edb_rows(predicate, rows)
         start = time.perf_counter()
         m = _metrics.metrics

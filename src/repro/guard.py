@@ -41,7 +41,9 @@ join batch.
 from __future__ import annotations
 
 import hashlib
+import os
 import pickle
+import tempfile
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Hashable, Iterable, Mapping
@@ -386,6 +388,34 @@ def edb_fingerprint(
     return _digest(parts)
 
 
+def _atomic_pickle_dump(obj, path: str) -> None:
+    """Write ``pickle(obj)`` to ``path`` atomically.
+
+    The bytes go to a temporary file in the same directory, are
+    fsynced, and only then renamed over ``path`` (``os.replace``) -- so
+    a crash at *any* instant leaves either the previous checkpoint or
+    the new one, never a torn file.  This is what lets ``repro serve``
+    SIGKILL itself mid-stream and still trust whatever checkpoint file
+    exists on restart.
+    """
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            pickle.dump(obj, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
 # ---------------------------------------------------------------------------
 # Checkpoints.
 # ---------------------------------------------------------------------------
@@ -439,8 +469,7 @@ class Checkpoint:
 
     def save(self, path: str) -> None:
         _metrics.metrics.inc("guard.checkpoints_saved")
-        with open(path, "wb") as handle:
-            pickle.dump(self, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        _atomic_pickle_dump(self, path)
 
     @classmethod
     def load(cls, path: str) -> "Checkpoint":
@@ -487,8 +516,7 @@ class MaintenanceCheckpoint:
 
     def save(self, path: str) -> None:
         _metrics.metrics.inc("guard.checkpoints_saved")
-        with open(path, "wb") as handle:
-            pickle.dump(self, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        _atomic_pickle_dump(self, path)
 
     @classmethod
     def load(cls, path: str) -> "MaintenanceCheckpoint":

@@ -6,8 +6,8 @@ versioned ``BENCH_<name>.json`` artifact::
 
     {"schema": 2,
      "bench": "codegen",
-     "machine": {"python": ..., "implementation": ..., "platform": ...,
-                 "machine": ..., "cpu_count": ...},
+     "machine": {"version": ..., "python": ..., "implementation": ...,
+                 "platform": ..., "machine": ..., "cpu_count": ...},
      "rows": [{"name": ..., "params": {...}, "engine": ...,
                "wall_ms": ..., "counters": {...}, "analyze": ...}, ...]}
 
@@ -41,6 +41,8 @@ import sys
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
+from repro._version import __version__
+
 #: Version of the BENCH_<name>.json document format.
 SCHEMA_VERSION = 2
 
@@ -53,6 +55,7 @@ ROW_KEYS = frozenset(
 def machine_info() -> dict:
     """The host fingerprint embedded in every bench document."""
     return {
+        "version": __version__,
         "python": platform.python_version(),
         "implementation": platform.python_implementation(),
         "platform": sys.platform,

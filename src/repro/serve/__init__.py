@@ -1,0 +1,50 @@
+"""``repro.serve``: a concurrent query/update service over live views.
+
+The serve subsystem turns the incremental-maintenance machinery of
+:mod:`repro.datalog.incremental` into a long-running server: many
+clients multiplex over **one** shared materialised view, reads are
+snapshot-consistent (pinned to an epoch), writes are serialised
+through a single writer task, and the view checkpoints durably so a
+killed server resumes where it left off.
+
+Layers
+------
+
+:mod:`repro.serve.protocol`
+    The newline-delimited JSON wire contract (verbs, validation,
+    structured errors) -- pure data plumbing.
+:mod:`repro.serve.view`
+    :class:`LiveView` / :class:`ViewSnapshot`: epochs, pinned-snapshot
+    query paths (view filter vs magic-sets re-derivation), and
+    checkpoint/resume built on
+    :class:`~repro.guard.MaintenanceCheckpoint`.
+:mod:`repro.serve.server`
+    :class:`ReproServer`: the asyncio event loop -- writer task,
+    per-connection outboxes, subscriptions, per-tenant budgets,
+    latency stats, checkpoint cadence and the ``kill_server`` drill.
+:mod:`repro.serve.client`
+    :class:`ServeClient`: a blocking reference client (tests, the E23
+    load generator, CI smoke).
+
+Entry point: ``repro serve PROG GRAPH --port N`` (see
+:mod:`repro.cli`).
+"""
+
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.protocol import PROTOCOL_VERSION, ProtocolError
+from repro.serve.server import SERVE_ENGINES, ReproServer, ServeStats, run_server
+from repro.serve.view import LiveView, ViewSnapshot, filter_rows
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "SERVE_ENGINES",
+    "LiveView",
+    "ProtocolError",
+    "ReproServer",
+    "ServeClient",
+    "ServeError",
+    "ServeStats",
+    "ViewSnapshot",
+    "filter_rows",
+    "run_server",
+]

@@ -1,0 +1,161 @@
+"""A small synchronous client for the ``repro serve`` protocol.
+
+Used by the test suite, the E23 load generator, and the CI smoke
+script; applications can use it as-is or as a reference for the wire
+contract.  One :class:`ServeClient` is one connection: requests are
+issued serially, responses are matched by arrival order (the protocol
+guarantees request order), and push events that arrive between
+responses are buffered on :attr:`events` for the caller to inspect.
+
+The client is deliberately dependency-free (sockets and
+:mod:`json` only) so a script can talk to a server without importing
+the evaluation stack.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+
+class ServeError(RuntimeError):
+    """A structured error response (``ok: false``) from the server."""
+
+    def __init__(self, code: str, message: str) -> None:
+        self.code = code
+        super().__init__(f"{code}: {message}")
+
+
+class ServeClient:
+    """One blocking connection to a ``repro serve`` server.
+
+    Parameters
+    ----------
+    host / port:
+        The server address.
+    tenant:
+        Optional tenant name stamped on every request (selects the
+        server-side :class:`~repro.guard.ResourceBudget`).
+    timeout:
+        Socket timeout in seconds for connect and each read.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        tenant: str | None = None,
+        timeout: float = 30.0,
+    ) -> None:
+        self.tenant = tenant
+        self.events: list[dict] = []
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._reader = self._sock.makefile("r", encoding="utf-8")
+        self._next_id = 0
+
+    # -- plumbing ----------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def request(self, op: str, **fields) -> dict:
+        """Send one request, return its response (raises on ``ok: false``).
+
+        Push events arriving before the response are buffered on
+        :attr:`events`.
+        """
+        self._next_id += 1
+        message: dict = {"op": op, "id": self._next_id}
+        if self.tenant is not None:
+            message["tenant"] = self.tenant
+        message.update(fields)
+        self._sock.sendall((json.dumps(message) + "\n").encode("utf-8"))
+        response = self._read_response()
+        if not response.get("ok"):
+            error = response.get("error") or {}
+            raise ServeError(
+                error.get("code", "internal"),
+                error.get("message", "unknown error"),
+            )
+        return response
+
+    def _read_response(self) -> dict:
+        while True:
+            line = self._reader.readline()
+            if not line:
+                raise ConnectionError("server closed the connection")
+            message = json.loads(line)
+            if "event" in message:
+                self.events.append(message)
+                continue
+            return message
+
+    def drain_events(self, count: int) -> list[dict]:
+        """Block until ``count`` events are buffered; pop and return them.
+
+        Call after an operation known to trigger pushes (an update on a
+        subscribed predicate): events may arrive before or after the
+        triggering response, so this reads lines until enough are in.
+        """
+        while len(self.events) < count:
+            line = self._reader.readline()
+            if not line:
+                raise ConnectionError("server closed the connection")
+            message = json.loads(line)
+            if "event" not in message:
+                raise RuntimeError(
+                    f"expected a push event, got response {message!r}"
+                )
+            self.events.append(message)
+        drained, self.events = (
+            self.events[:count],
+            self.events[count:],
+        )
+        return drained
+
+    # -- verbs -------------------------------------------------------------
+
+    def ping(self) -> dict:
+        return self.request("ping")
+
+    def query(
+        self,
+        bind: list | None = None,
+        magic: bool = False,
+    ) -> dict:
+        fields: dict = {"magic": magic}
+        if bind is not None:
+            fields["bind"] = bind
+        return self.request("query", **fields)
+
+    def insert(self, predicate: str, *rows: list) -> dict:
+        return self.request(
+            "insert", predicate=predicate, rows=[list(r) for r in rows]
+        )
+
+    def delete(self, predicate: str, *rows: list) -> dict:
+        return self.request(
+            "delete", predicate=predicate, rows=[list(r) for r in rows]
+        )
+
+    def subscribe(self, predicate: str | None = None) -> dict:
+        fields = {} if predicate is None else {"predicate": predicate}
+        return self.request("subscribe", **fields)
+
+    def unsubscribe(self) -> dict:
+        return self.request("unsubscribe")
+
+    def stats(self) -> dict:
+        return self.request("stats")
+
+    def shutdown(self) -> dict:
+        return self.request("shutdown")

@@ -1,0 +1,463 @@
+"""The ``repro serve`` asyncio server: many clients, one live view.
+
+Architecture (one process, one event loop):
+
+* **One writer task.**  Every ``insert``/``delete`` from every
+  connection is enqueued as ``(update, future)`` on a single
+  ``asyncio.Queue``; the writer task is the *only* caller of
+  :meth:`LiveView.apply`, so updates are totally ordered -- the order
+  the writer dequeues them is the serial schedule the differential
+  suite replays.  The :class:`IncrementalSession` single-writer lock
+  stays as a backstop: if a second applier ever appears it raises
+  instead of corrupting provenance.
+* **Per-connection outbox.**  Each connection owns an outbox queue
+  drained by a sender task, so responses and push events from
+  different server tasks never interleave mid-line and every client
+  sees its responses in request order.
+* **Snapshot reads.**  A query pins ``view.snapshot`` once and answers
+  entirely from it; updates landing meanwhile bump the epoch but can
+  never tear the answer.  The response's ``epoch`` field names the
+  snapshot the answer is true at.
+* **Subscriptions.**  After the writer applies an update it pushes one
+  ``delta`` event per matching subscription (predicate defaults to the
+  goal), carrying the epoch and the IDB rows that entered/left.
+* **Tenant budgets.**  ``budget_for(tenant)`` picks the
+  :class:`~repro.guard.ResourceBudget` applied to evaluation-backed
+  (magic) queries; a trip surfaces as the structured
+  ``budget_exceeded`` error and the connection lives on.
+* **Checkpoint cadence + kill drill.**  Every ``checkpoint_every``
+  applied updates the writer durably checkpoints the view (atomic
+  rename), then probes the ``kill_server`` fault site.  An armed
+  :class:`~repro.testing.faults.FaultPlan` turns the probe into a real
+  ``SIGKILL`` of the whole process -- after the checkpoint is durable,
+  before anything else happens -- so the fault census enumerates
+  exactly the crash-restart boundaries ``--resume`` must survive.
+
+Evaluation work (initial fixpoint, maintenance, magic queries) runs
+inline on the event loop: the server trades request-level parallelism
+for the determinism the differential suite and the counters-mode bench
+gate rely on.  Concurrency here means *interleaving* many clients'
+requests, not computing two answers at once.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+
+from repro._version import __version__
+from repro.datalog.incremental import Update
+from repro.guard import BudgetExceeded, MaintenanceAborted, ResourceBudget
+from repro.obs import metrics as _metrics
+from repro.obs.metrics import _quantile
+from repro.testing import faults as _faults
+from repro.testing.faults import InjectedFault
+
+from repro.serve import protocol
+from repro.serve.view import LiveView
+
+#: Engines a server will evaluate magic queries with ("parallel" is
+#: excluded on purpose: the server is a single process by design).
+SERVE_ENGINES = ("indexed", "codegen", "seminaive", "naive", "algebra")
+
+
+@dataclass
+class ServeStats:
+    """Mutable per-server counters and latency histograms.
+
+    ``observe(verb, seconds)`` records one handled request;
+    :meth:`summary` renders the ``stats`` response payload with
+    nearest-rank p50/p95/p99 per verb (exact, deterministic -- the
+    same quantile rule as :mod:`repro.obs.metrics`).
+    """
+
+    started_at: float = field(default_factory=time.monotonic)
+    latencies: dict[str, list[float]] = field(default_factory=dict)
+    tenants: dict[str, int] = field(default_factory=dict)
+    connections_total: int = 0
+    checkpoints_written: int = 0
+    budget_trips: int = 0
+    errors: int = 0
+
+    def observe(self, verb: str, seconds: float, tenant: str | None) -> None:
+        self.latencies.setdefault(verb, []).append(seconds)
+        if tenant is not None:
+            self.tenants[tenant] = self.tenants.get(tenant, 0) + 1
+        _metrics.metrics.inc(f"serve.requests.{verb}")
+
+    def summary(self) -> dict:
+        verbs = {}
+        for verb in sorted(self.latencies):
+            ordered = sorted(self.latencies[verb])
+            verbs[verb] = {
+                "count": len(ordered),
+                "p50_ms": round(_quantile(ordered, 0.50) * 1000, 3),
+                "p95_ms": round(_quantile(ordered, 0.95) * 1000, 3),
+                "p99_ms": round(_quantile(ordered, 0.99) * 1000, 3),
+            }
+        return {
+            "uptime_seconds": round(time.monotonic() - self.started_at, 3),
+            "connections_total": self.connections_total,
+            "checkpoints_written": self.checkpoints_written,
+            "budget_trips": self.budget_trips,
+            "errors": self.errors,
+            "verbs": verbs,
+            "tenants": dict(sorted(self.tenants.items())),
+        }
+
+
+class _Connection:
+    """One client: reader state, outbox queue, subscriptions."""
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        self.writer = writer
+        self.outbox: asyncio.Queue = asyncio.Queue()
+        self.subscriptions: set[str] = set()
+        self.closed = False
+
+    def send(self, message: dict) -> None:
+        if not self.closed:
+            self.outbox.put_nowait(protocol.encode(message))
+
+
+class ReproServer:
+    """The serve subsystem's engine room (CLI-independent, test-driven).
+
+    Parameters
+    ----------
+    view:
+        The shared :class:`LiveView` (fresh or resumed).
+    host / port:
+        Bind address; ``port=0`` asks the OS for a free port --
+        :attr:`port` reports the bound one after :meth:`start`.
+    engine:
+        Evaluation engine for magic queries (one of
+        :data:`SERVE_ENGINES`).
+    default_budget / tenant_budgets:
+        The :class:`~repro.guard.ResourceBudget` for unnamed tenants
+        and per-tenant overrides (name -> budget).
+    checkpoint_path / checkpoint_every:
+        When both set, the writer checkpoints the view after every
+        ``checkpoint_every`` applied updates (and probes the
+        ``kill_server`` fault site right after each durable write).
+    """
+
+    def __init__(
+        self,
+        view: LiveView,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        engine: str = "indexed",
+        default_budget: ResourceBudget | None = None,
+        tenant_budgets: dict[str, ResourceBudget] | None = None,
+        checkpoint_path: str | None = None,
+        checkpoint_every: int = 0,
+    ) -> None:
+        if engine not in SERVE_ENGINES:
+            raise ValueError(
+                f"unknown serve engine {engine!r} "
+                f"(choose from {', '.join(SERVE_ENGINES)})"
+            )
+        if checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0")
+        self.view = view
+        self.host = host
+        self.port = port
+        self.engine = engine
+        self.default_budget = default_budget
+        self.tenant_budgets = dict(tenant_budgets or {})
+        self.checkpoint_path = checkpoint_path
+        self.checkpoint_every = checkpoint_every
+        self.stats = ServeStats()
+        self._server: asyncio.AbstractServer | None = None
+        self._connections: set[_Connection] = set()
+        self._write_queue: asyncio.Queue = asyncio.Queue()
+        self._writer_task: asyncio.Task | None = None
+        self._stopping = asyncio.Event()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind, start the writer task, start accepting clients."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._writer_task = asyncio.create_task(self._writer_loop())
+
+    async def serve_until_stopped(self) -> None:
+        """Run until a ``shutdown`` request (or :meth:`stop`) lands."""
+        await self._stopping.wait()
+        await self.stop()
+
+    async def stop(self) -> None:
+        self._stopping.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._writer_task is not None:
+            self._writer_task.cancel()
+            try:
+                await self._writer_task
+            except asyncio.CancelledError:
+                pass
+        for connection in list(self._connections):
+            connection.closed = True
+            try:
+                connection.writer.close()
+            except Exception:
+                pass
+
+    # -- the single writer -------------------------------------------------
+
+    async def _writer_loop(self) -> None:
+        """The only task that mutates the view.
+
+        Dequeue order *is* the serial schedule: the epoch in each
+        update response is this loop's sequence number for it.
+        """
+        while True:
+            update, future = await self._write_queue.get()
+            if future.cancelled():
+                continue
+            try:
+                result, snapshot = self.view.apply(update)
+            except Exception as exc:  # surfaced per-request, loop lives on
+                future.set_result(("error", exc))
+                continue
+            future.set_result(("ok", (result, snapshot)))
+            self._push_deltas(result, snapshot)
+            self._maybe_checkpoint()
+
+    def _push_deltas(self, result, snapshot) -> None:
+        """One ``delta`` event per matching subscription per epoch bump."""
+        for connection in list(self._connections):
+            for predicate in sorted(connection.subscriptions):
+                connection.send(
+                    protocol.delta_event(
+                        snapshot.epoch,
+                        predicate,
+                        result.idb_added.get(predicate, ()),
+                        result.idb_removed.get(predicate, ()),
+                    )
+                )
+
+    def _maybe_checkpoint(self) -> None:
+        if not self.checkpoint_path or self.checkpoint_every <= 0:
+            return
+        if self.view.epoch % self.checkpoint_every != 0:
+            return
+        self.view.checkpoint(self.checkpoint_path)
+        self.stats.checkpoints_written += 1
+        _metrics.metrics.inc("serve.checkpoints_written")
+        try:
+            # The kill drill: an armed plan fires here, after the
+            # rename made the checkpoint durable.  Translate the
+            # injected fault into a real SIGKILL -- no atexit, no
+            # flushing, the genuine article -- so the restart drill
+            # proves --resume needs nothing but the checkpoint file.
+            _faults.faults.hit("kill_server")
+        except InjectedFault:
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    # -- per-connection plumbing -------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        connection = _Connection(writer)
+        self._connections.add(connection)
+        self.stats.connections_total += 1
+        sender = asyncio.create_task(self._sender_loop(connection))
+        try:
+            while not self._stopping.is_set():
+                line = await reader.readline()
+                if not line:
+                    break
+                await self._handle_line(connection, line)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            connection.closed = True
+            self._connections.discard(connection)
+            connection.outbox.put_nowait(None)  # sender sentinel
+            try:
+                await sender
+            except asyncio.CancelledError:
+                # Loop teardown cancelled the sender before it saw the
+                # sentinel; the connection is going away either way.
+                pass
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    async def _sender_loop(self, connection: _Connection) -> None:
+        """Drain the outbox: the single point that writes this socket."""
+        writer = connection.writer
+        while True:
+            payload = await connection.outbox.get()
+            if payload is None:
+                break
+            try:
+                writer.write(payload)
+                await writer.drain()
+            except (ConnectionResetError, BrokenPipeError):
+                connection.closed = True
+                break
+
+    # -- request dispatch --------------------------------------------------
+
+    async def _handle_line(self, connection: _Connection, line: bytes) -> None:
+        started = time.perf_counter()
+        request_id = None
+        tenant = None
+        verb = "?"
+        try:
+            request = protocol.parse_request(line.decode("utf-8", "replace"))
+            request_id = request["id"]
+            tenant = request["tenant"]
+            verb = request["op"]
+            response = await self._dispatch(connection, request)
+        except protocol.ProtocolError as exc:
+            self.stats.errors += 1
+            response = protocol.error_response(request_id, exc.code, str(exc))
+        except BudgetExceeded as exc:
+            self.stats.budget_trips += 1
+            response = protocol.error_response(
+                request_id,
+                "budget_exceeded",
+                f"query exceeded its tenant budget: {exc.reason} "
+                f"(limit {exc.limit}, spent {exc.spent})",
+            )
+        except Exception as exc:  # keep serving: one bad request != one less client
+            self.stats.errors += 1
+            response = protocol.error_response(
+                request_id, "internal", f"{type(exc).__name__}: {exc}"
+            )
+        self.stats.observe(verb, time.perf_counter() - started, tenant)
+        connection.send(response)
+
+    async def _dispatch(self, connection: _Connection, request: dict) -> dict:
+        op = request["op"]
+        request_id = request["id"]
+        if op == "ping":
+            return protocol.ok_response(
+                "ping", request_id, epoch=self.view.epoch
+            )
+        if op == "query":
+            return self._handle_query(request)
+        if op in ("insert", "delete"):
+            return await self._handle_update(request)
+        if op == "subscribe":
+            predicate = request["predicate"] or self.view.goal
+            if predicate not in self.view.program.idb_predicates:
+                raise protocol.ProtocolError(
+                    "bad_request",
+                    f"{predicate!r} is not an IDB predicate; "
+                    "subscriptions cover derived relations",
+                )
+            connection.subscriptions.add(predicate)
+            return protocol.ok_response(
+                "subscribe",
+                request_id,
+                predicate=predicate,
+                epoch=self.view.epoch,
+            )
+        if op == "unsubscribe":
+            connection.subscriptions.clear()
+            return protocol.ok_response("unsubscribe", request_id)
+        if op == "stats":
+            return protocol.ok_response(
+                "stats",
+                request_id,
+                version=__version__,
+                protocol=protocol.PROTOCOL_VERSION,
+                goal=self.view.goal,
+                engine=self.engine,
+                epoch=self.view.epoch,
+                clients=len(self._connections),
+                subscriptions=sum(
+                    len(c.subscriptions) for c in self._connections
+                ),
+                **self.stats.summary(),
+            )
+        if op == "shutdown":
+            self._stopping.set()
+            return protocol.ok_response("shutdown", request_id)
+        raise protocol.ProtocolError("unknown_op", f"unknown op {op!r}")
+
+    def budget_for(self, tenant: str | None) -> ResourceBudget | None:
+        if tenant is not None and tenant in self.tenant_budgets:
+            return self.tenant_budgets[tenant]
+        return self.default_budget
+
+    def _handle_query(self, request: dict) -> dict:
+        snapshot = self.view.snapshot  # pinned: updates cannot tear this
+        bind = request["bind"]
+        try:
+            if request["magic"]:
+                result = self.view.query_magic(
+                    snapshot,
+                    bind,
+                    engine=self.engine,
+                    budget=self.budget_for(request["tenant"]),
+                )
+                rows = result.answers
+            else:
+                rows = self.view.query_view(snapshot, bind)
+        except ValueError as exc:
+            raise protocol.ProtocolError("bad_request", str(exc)) from None
+        return protocol.ok_response(
+            "query",
+            request["id"],
+            epoch=snapshot.epoch,
+            goal=snapshot.goal,
+            magic=request["magic"],
+            rows=protocol.rows_payload(rows),
+        )
+
+    async def _handle_update(self, request: dict) -> dict:
+        op = request["op"]
+        predicate = request["predicate"]
+        applied = 0
+        epoch = self.view.epoch
+        for row in request["rows"]:
+            future: asyncio.Future = asyncio.get_running_loop().create_future()
+            await self._write_queue.put(
+                (Update(op, predicate, row), future)
+            )
+            status, payload = await future
+            if status == "error":
+                exc = payload
+                if isinstance(exc, MaintenanceAborted):
+                    raise protocol.ProtocolError(
+                        "maintenance_aborted",
+                        f"update rolled back: {exc.reason} "
+                        f"(limit {exc.limit})",
+                    )
+                if isinstance(exc, ValueError):
+                    raise protocol.ProtocolError(
+                        "bad_request", str(exc)
+                    ) from None
+                raise exc
+            result, snapshot = payload
+            applied += len(result.applied)
+            epoch = snapshot.epoch
+        return protocol.ok_response(
+            op,
+            request["id"],
+            predicate=predicate,
+            requested=len(request["rows"]),
+            applied=applied,
+            epoch=epoch,
+        )
+
+
+async def run_server(server: ReproServer) -> None:
+    """Start a server and run it until shutdown (the CLI's entry)."""
+    await server.start()
+    await server.serve_until_stopped()

@@ -1,0 +1,278 @@
+"""The shared live view ``repro serve`` multiplexes clients over.
+
+:class:`LiveView` wraps one
+:class:`~repro.datalog.incremental.IncrementalSession` and adds the
+three things a concurrent server needs on top of incremental
+maintenance:
+
+**Epochs and snapshots.**  Every applied update bumps a monotonically
+increasing *epoch*, and after each bump the view publishes an immutable
+:class:`ViewSnapshot` -- the IDB relations and the EDB as frozensets.
+Reads run against a pinned snapshot, never against the mutating
+session, so a query observes one epoch in its entirety no matter how
+many updates land while it computes (snapshot consistency).  Because
+the session's relations are rebuilt as fresh ``frozenset``s per
+snapshot, an old snapshot stays valid forever; pinning is just holding
+a reference.
+
+**Two query paths.**  A *view query* answers a goal binding by
+filtering the materialised goal relation of the pinned snapshot --
+O(answers), no evaluation.  A *magic query* re-derives only what the
+binding demands: it builds the bound goal atom (bound positions become
+fresh ``__g{i}`` constants, exactly like ``repro run --bind``), runs
+the magic-sets rewrite against the snapshot's EDB, and returns the
+same rows the filter would -- the classical demand-driven trade-off,
+now per-request.  Magic queries accept a per-call
+:class:`~repro.guard.ResourceBudget`, which is how per-tenant limits
+reach the evaluator.
+
+**Checkpoint / resume.**  A live view is a pure function of
+``(program, current EDB)``, so its durable state *is* a
+:class:`~repro.guard.MaintenanceCheckpoint`: the fingerprinted EDB
+plus ``updates_applied`` (the epoch).  :meth:`LiveView.checkpoint`
+writes one (atomically -- see ``repro.guard._atomic_pickle_dump``) and
+:meth:`LiveView.resume` rebuilds a view that serves a bit-identical
+snapshot at the checkpointed epoch.  ``repro serve --resume`` and the
+kill/restart fault drill both go through this pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.datalog.ast import Atom, Constant, Program, Variable
+from repro.datalog.evaluation import (
+    QUERY_ENGINES,
+    QueryResult,
+    query as _query,
+)
+from repro.datalog.incremental import (
+    IncrementalSession,
+    MaintenanceResult,
+    Update,
+)
+from repro.guard import (
+    MaintenanceCheckpoint,
+    ResourceBudget,
+    program_fingerprint,
+)
+from repro.structures.structure import Structure
+
+Row = tuple
+
+
+@dataclass(frozen=True)
+class ViewSnapshot:
+    """One immutable epoch of the live view.
+
+    ``relations`` is the full IDB interpretation and ``edb`` the EDB in
+    ``evaluate``'s ``extra_edb`` shape, both as frozensets -- a query
+    pinned to this snapshot can never observe a later update.
+    """
+
+    epoch: int
+    goal: str
+    relations: Mapping[str, frozenset]
+    edb: Mapping[str, frozenset]
+
+    @property
+    def goal_rows(self) -> frozenset:
+        return self.relations[self.goal]
+
+
+def filter_rows(
+    rows: Iterable[Row], bind: Sequence[str | None] | None
+) -> list[Row]:
+    """The rows matching a positional binding (``None`` = free)."""
+    if bind is None:
+        return list(rows)
+    return [
+        row
+        for row in rows
+        if all(b is None or x == b for x, b in zip(row, bind))
+    ]
+
+
+class LiveView:
+    """One program's materialised view, shared by every connection.
+
+    The view itself is *not* thread-safe for writes -- that is the
+    point: the server routes all updates through one writer task, and
+    the underlying session's single-writer lock turns any violation
+    into a loud ``RuntimeError``.  Reads need no coordination at all
+    because they only touch immutable snapshots.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        structure: Structure,
+        extra_edb: Mapping[str, Iterable[Row]] | None = None,
+        epoch: int = 0,
+    ) -> None:
+        self._program = program
+        self._structure = structure
+        self._session = IncrementalSession(
+            program, structure, extra_edb=extra_edb
+        )
+        self._program_fp = program_fingerprint(program)
+        self._epoch = epoch
+        self._snapshot = self._take_snapshot()
+
+    # -- accessors --------------------------------------------------------
+
+    @property
+    def program(self) -> Program:
+        return self._program
+
+    @property
+    def structure(self) -> Structure:
+        return self._structure
+
+    @property
+    def epoch(self) -> int:
+        """Updates applied over the lifetime of the view (resume-aware)."""
+        return self._epoch
+
+    @property
+    def snapshot(self) -> ViewSnapshot:
+        """The current epoch's snapshot (pin by keeping the reference)."""
+        return self._snapshot
+
+    @property
+    def goal(self) -> str:
+        return self._program.goal
+
+    @property
+    def goal_arity(self) -> int:
+        return self._program.arity(self._program.goal)
+
+    def _take_snapshot(self) -> ViewSnapshot:
+        return ViewSnapshot(
+            epoch=self._epoch,
+            goal=self._program.goal,
+            relations=self._session.relations,
+            edb=self._session.current_extra_edb(),
+        )
+
+    # -- writes (single-writer: the server's writer task only) ------------
+
+    def apply(self, update: Update) -> tuple[MaintenanceResult, ViewSnapshot]:
+        """Apply one update, bump the epoch, publish a new snapshot.
+
+        Raises exactly what the session raises (``ValueError`` for
+        malformed updates, :class:`~repro.guard.MaintenanceAborted`
+        for budget trips) -- on any failure the epoch does not move and
+        the previous snapshot stays current.
+        """
+        result = self._session.apply(update)
+        self._epoch += 1
+        self._snapshot = self._take_snapshot()
+        return result, self._snapshot
+
+    # -- reads (any task, against a pinned snapshot) -----------------------
+
+    def check_bind(self, bind: Sequence[str | None] | None) -> None:
+        """Validate a positional binding; raises ``ValueError``."""
+        if bind is None:
+            return
+        arity = self.goal_arity
+        if len(bind) != arity:
+            raise ValueError(
+                f"'bind' needs {arity} entries for "
+                f"{self.goal}/{arity}, got {len(bind)}"
+            )
+        universe = self._structure.universe
+        for entry in bind:
+            if entry is not None and entry not in universe:
+                raise ValueError(
+                    f"'bind' node {entry!r} is not in the graph"
+                )
+
+    def query_view(
+        self,
+        snapshot: ViewSnapshot,
+        bind: Sequence[str | None] | None = None,
+    ) -> list[Row]:
+        """Filter the materialised goal relation of a pinned snapshot."""
+        self.check_bind(bind)
+        return filter_rows(snapshot.goal_rows, bind)
+
+    def query_magic(
+        self,
+        snapshot: ViewSnapshot,
+        bind: Sequence[str | None] | None = None,
+        engine: str = "indexed",
+        budget: ResourceBudget | None = None,
+    ) -> QueryResult:
+        """Demand-driven evaluation of a bound goal on a pinned snapshot.
+
+        Bound positions become fresh constants interpreted by an
+        expanded structure (the magic rewrite sees ordinary constants);
+        the evaluation reads the *snapshot's* EDB, so the answer is
+        consistent with ``query_view`` at the same epoch.  A
+        :class:`~repro.guard.BudgetExceeded` from a tripped tenant
+        budget propagates to the caller.
+        """
+        self.check_bind(bind)
+        if engine not in QUERY_ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r} "
+                f"(choose from {', '.join(QUERY_ENGINES)})"
+            )
+        assignment: dict[str, str] = {}
+        terms = []
+        for position in range(self.goal_arity):
+            entry = None if bind is None else bind[position]
+            if entry is None:
+                terms.append(Variable(f"x{position + 1}"))
+            else:
+                name = f"__g{position + 1}"
+                assignment[name] = entry
+                terms.append(Constant(name))
+        structure = (
+            self._structure.with_constants(assignment)
+            if assignment
+            else self._structure
+        )
+        return _query(
+            self._program,
+            structure,
+            Atom(self.goal, terms),
+            extra_edb=snapshot.edb,
+            engine=engine,
+            magic=True,
+            budget=budget,
+        )
+
+    # -- durability --------------------------------------------------------
+
+    def checkpoint(self, path: str) -> MaintenanceCheckpoint:
+        """Durably record the current epoch (atomic write-then-rename)."""
+        ckpt = MaintenanceCheckpoint(
+            program_fingerprint=self._program_fp,
+            goal=self._program.goal,
+            edb=self._snapshot.edb,
+            updates_applied=self._epoch,
+        )
+        ckpt.save(path)
+        return ckpt
+
+    @classmethod
+    def resume(
+        cls, program: Program, structure: Structure, path: str
+    ) -> "LiveView":
+        """Rebuild a view from a checkpoint: same EDB, same epoch.
+
+        Raises :class:`~repro.guard.CheckpointMismatch` when the file
+        is unreadable, truncated, or was taken for a different program.
+        """
+        ckpt = MaintenanceCheckpoint.load(path)
+        ckpt.validate(program_fingerprint(program))
+        return cls(
+            program,
+            structure,
+            extra_edb=ckpt.edb,
+            epoch=ckpt.updates_applied,
+        )

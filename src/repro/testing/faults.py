@@ -30,6 +30,17 @@ permanent, feather-weight fault sites instead:
     still at the last barrier.  Hit ``n`` (1-based) maps to round
     ``(n - 1) // W + 1``, worker ``(n - 1) % W`` for a ``W``-worker
     pool, so kill-at-every-(round, worker) schedules enumerate exactly.
+``kill_server``
+    hit by ``repro serve``'s writer task once per durably written
+    checkpoint -- immediately *after* the atomic rename, so the hit
+    marks a crash-consistent boundary.  Like ``kill_worker`` the server
+    catches the injected fault and translates it into a real
+    ``SIGKILL`` of its own process: what the kill/resume drill observes
+    is the production crash-restart path (``repro serve --resume``
+    restoring the view from the last checkpoint), not the injection.
+    Hit ``n`` is the ``n``-th checkpoint the serve session writes, so a
+    census of a scripted update stream enumerates every checkpoint
+    boundary exactly.
 
 Cost discipline mirrors :mod:`repro.obs.metrics`: instrumented code
 calls ``faults.hit("round")`` unconditionally through this module's
@@ -51,8 +62,8 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Iterator
 
-#: The four permanent fault sites compiled into the engines.
-_SITES = ("round", "rule", "probe", "kill_worker")
+#: The five permanent fault sites compiled into the engines.
+_SITES = ("round", "rule", "probe", "kill_worker", "kill_server")
 
 
 def fault_sites() -> tuple[str, ...]:

@@ -1,0 +1,66 @@
+"""Shared harness for the ``repro serve`` test suites.
+
+:func:`running_server` runs a :class:`~repro.serve.server.ReproServer`
+on its own event loop in a daemon thread and yields it with the bound
+port filled in; connect with :class:`~repro.serve.client.ServeClient`.
+The thread owns the loop exclusively, so test code never touches
+asyncio directly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from contextlib import contextmanager
+
+from repro.datalog.library import transitive_closure_program
+from repro.graphs.digraph import DiGraph
+from repro.serve.client import ServeClient
+from repro.serve.server import ReproServer
+from repro.serve.view import LiveView
+
+
+def tc_view(edges, nodes="abcd") -> LiveView:
+    """A transitive-closure live view over a small named-node graph."""
+    graph = DiGraph(nodes=nodes, edges=edges)
+    return LiveView(transitive_closure_program(), graph.to_structure())
+
+
+@contextmanager
+def running_server(view: LiveView, **kwargs):
+    """Start a server in a background thread; stop it on exit."""
+    server = ReproServer(view, port=0, **kwargs)
+    loop = asyncio.new_event_loop()
+    ready = threading.Event()
+
+    async def _run() -> None:
+        await server.start()
+        ready.set()
+        await server.serve_until_stopped()
+
+    def _thread_main() -> None:
+        try:
+            loop.run_until_complete(_run())
+        finally:
+            loop.close()
+
+    thread = threading.Thread(target=_thread_main, daemon=True)
+    thread.start()
+    if not ready.wait(timeout=10):
+        raise RuntimeError("server did not start within 10s")
+    try:
+        yield server
+    finally:
+        if not server._stopping.is_set():
+            try:
+                with ServeClient("127.0.0.1", server.port, timeout=5) as c:
+                    c.shutdown()
+            except OSError:
+                pass
+        thread.join(timeout=10)
+
+
+def connect(server: ReproServer, tenant: str | None = None) -> ServeClient:
+    return ServeClient(
+        "127.0.0.1", server.port, tenant=tenant, timeout=30.0
+    )

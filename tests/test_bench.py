@@ -38,6 +38,13 @@ class TestDocuments:
         assert set(doc["machine"]) == set(machine_info())
         assert set(doc["rows"][0]) == ROW_KEYS
 
+    def test_machine_info_records_the_toolbox_version(self):
+        from repro._version import __version__
+
+        machine = machine_info()
+        assert machine["version"] == __version__
+        assert list(machine)[0] == "version"
+
     def test_normalize_fills_optional_fields(self):
         bare = {"name": "tc", "wall_ms": 1.0}
         row = normalize_row(bare)

@@ -1088,3 +1088,14 @@ class TestExportErrorContract:
         err = capsys.readouterr().err
         assert "histogram" in err
         assert "p50=2" in err and "p95=10" in err and "p99=10" in err
+
+
+class TestVersionFlag:
+    def test_version_prints_and_exits_zero(self, capsys):
+        from repro._version import __version__
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {__version__}"

@@ -47,7 +47,9 @@ GRAPH_PROGRAMS = {
 
 class TestHarness:
     def test_sites(self):
-        assert fault_sites() == ("round", "rule", "probe", "kill_worker")
+        assert fault_sites() == (
+            "round", "rule", "probe", "kill_worker", "kill_server"
+        )
 
     def test_plan_validates(self):
         with pytest.raises(ValueError):

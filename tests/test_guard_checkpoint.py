@@ -13,6 +13,7 @@ Two properties carry the tentpole:
   count, same stage sequence, same semantic profile.
 """
 
+import os
 import pickle
 import random
 
@@ -79,6 +80,71 @@ class TestRoundTrip:
         path.write_bytes(pickle.dumps({"not": "a checkpoint"}))
         with pytest.raises(CheckpointMismatch, match="does not contain"):
             Checkpoint.load(str(path))
+
+
+class TestAtomicWrites:
+    """Checkpoint saves are write-temp/fsync/rename: a reader never
+    observes a half-written file, and torn bytes are rejected loudly."""
+
+    def test_truncated_checkpoint_rejected_at_every_length(self, tmp_path):
+        exc = _trip(TC, path_graph(8).to_structure(), 3)
+        path = tmp_path / "ck.pkl"
+        exc.checkpoint.save(str(path))
+        payload = path.read_bytes()
+        torn = tmp_path / "torn.pkl"
+        # Every proper prefix must raise CheckpointMismatch -- the
+        # contract a crash mid-write would otherwise violate.
+        for cut in range(len(payload)):
+            torn.write_bytes(payload[:cut])
+            with pytest.raises(CheckpointMismatch):
+                Checkpoint.load(str(torn))
+
+    def test_truncated_maintenance_checkpoint_rejected(self, tmp_path):
+        from repro.guard import MaintenanceCheckpoint
+
+        ckpt = MaintenanceCheckpoint(
+            program_fingerprint=program_fingerprint(TC),
+            goal=TC.goal,
+            edb={"E": frozenset({("a", "b")})},
+            updates_applied=3,
+        )
+        path = tmp_path / "mc.pkl"
+        ckpt.save(str(path))
+        payload = path.read_bytes()
+        torn = tmp_path / "torn.pkl"
+        for cut in range(0, len(payload), 7):
+            torn.write_bytes(payload[:cut])
+            with pytest.raises(CheckpointMismatch):
+                MaintenanceCheckpoint.load(str(torn))
+
+    def test_save_replaces_not_appends(self, tmp_path):
+        """An existing (stale) file is atomically replaced, so a save
+        over garbage leaves a fully valid checkpoint."""
+        path = tmp_path / "ck.pkl"
+        path.write_bytes(b"stale garbage from a previous life" * 100)
+        exc = _trip(TC, path_graph(8).to_structure(), 2)
+        exc.checkpoint.save(str(path))
+        assert Checkpoint.load(str(path)) == exc.checkpoint
+
+    def test_save_leaves_no_temp_files(self, tmp_path):
+        exc = _trip(TC, path_graph(8).to_structure(), 2)
+        exc.checkpoint.save(str(tmp_path / "ck.pkl"))
+        leftovers = [
+            name for name in os.listdir(tmp_path) if name != "ck.pkl"
+        ]
+        assert leftovers == []
+
+    def test_failed_pickle_cleans_up_and_keeps_the_old_file(self, tmp_path):
+        from repro.guard import _atomic_pickle_dump
+
+        path = tmp_path / "ck.pkl"
+        exc = _trip(TC, path_graph(8).to_structure(), 2)
+        exc.checkpoint.save(str(path))
+        before = path.read_bytes()
+        with pytest.raises(Exception):
+            _atomic_pickle_dump(lambda: None, str(path))  # unpicklable
+        assert path.read_bytes() == before
+        assert os.listdir(tmp_path) == ["ck.pkl"]
 
 
 class TestFingerprintSafety:

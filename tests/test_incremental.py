@@ -270,3 +270,79 @@ class TestObservability:
         finally:
             _metrics.disable_metrics()
             _trace.disable_tracing()
+
+
+class TestSingleWriterContract:
+    """Updates are single-writer: an overlapping ``apply`` -- from a
+    second thread or reentrantly from inside the first -- must raise a
+    clear ``RuntimeError`` and leave the in-flight update untouched.
+    ``repro serve`` routes every update through one writer task and
+    relies on this check as its backstop."""
+
+    def test_overlap_raises_runtime_error(self):
+        session = _session([("a", "b"), ("b", "c")])
+        with session._exclusive_writer("insert", "E"):
+            with pytest.raises(RuntimeError, match="single-writer"):
+                session.insert_facts("E", [("c", "d")])
+            with pytest.raises(RuntimeError, match="single-writer"):
+                session.delete_facts("E", [("a", "b")])
+        # The lock is released afterwards: normal updates proceed.
+        session.insert_facts("E", [("c", "d")])
+        assert session.relations == _expected(session)
+
+    def test_concurrent_apply_from_second_thread(self, monkeypatch):
+        import threading
+
+        session = _session([("a", "b"), ("b", "c")])
+        inside = threading.Event()
+        release = threading.Event()
+        original = session._insert_facts
+
+        def slow_insert(predicate, rows, collect_profile=False):
+            inside.set()
+            assert release.wait(timeout=10)
+            return original(predicate, rows, collect_profile)
+
+        monkeypatch.setattr(session, "_insert_facts", slow_insert)
+        first_result = {}
+
+        def first_writer():
+            first_result["value"] = session.insert_facts("E", [("c", "d")])
+
+        thread = threading.Thread(target=first_writer)
+        thread.start()
+        try:
+            assert inside.wait(timeout=10)
+            # The first update is mid-apply on the other thread: a
+            # second apply must be rejected immediately, not queued.
+            with pytest.raises(RuntimeError, match="single-writer"):
+                session.insert_facts("E", [("d", "a")])
+            with pytest.raises(RuntimeError, match="concurrent or reentrant"):
+                session.apply(Update("delete", "E", ("a", "b")))
+        finally:
+            release.set()
+            thread.join(timeout=10)
+        # The in-flight update completed untouched by the rejections.
+        assert len(first_result["value"].applied) == 1
+        assert session.update_count == 1
+        assert session.relations == _expected(session)
+
+    def test_reentrant_apply_raises(self, monkeypatch):
+        session = _session([("a", "b"), ("b", "c")])
+        original = session._insert_facts
+        reentrant_error = {}
+
+        def reentering_insert(predicate, rows, collect_profile=False):
+            with pytest.raises(RuntimeError, match="single-writer") as info:
+                session.delete_facts("E", [("a", "b")])
+            reentrant_error["value"] = info.value
+            return original(predicate, rows, collect_profile)
+
+        monkeypatch.setattr(session, "_insert_facts", reentering_insert)
+        session.insert_facts("E", [("c", "d")])
+        assert "serialise updates through one writer" in str(
+            reentrant_error["value"]
+        )
+        # The outer update itself was unaffected.
+        assert session.update_count == 1
+        assert session.relations == _expected(session)

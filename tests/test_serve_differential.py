@@ -1,0 +1,171 @@
+"""Serial-equivalence differential suite for ``repro serve``.
+
+The server's concurrency claim is that interleaving many clients over
+one live view is *observationally equivalent to a serial schedule*:
+every update response names the epoch at which the single writer
+applied it, every query response names the epoch its pinned snapshot
+answered at, and replaying the updates serially in epoch order must
+reproduce every response byte-for-byte.
+
+Each seeded trial spins up a real server, unleashes three concurrent
+client threads running randomised scripts (inserts, deletes, view
+queries, magic queries -- every client issues both query flavours),
+then reconstructs the serial schedule from the epochs in the update
+responses and replays it with from-scratch ``evaluate()`` calls:
+
+* the update epochs must form exactly ``1..N`` with no gaps or
+  duplicates (the single-writer total order);
+* each query's answer rows must equal the goal relation of the
+  serially replayed EDB *at that query's epoch*, filtered by the
+  binding -- for the view path and the magic path alike.
+
+One trial is one interleaving; ``TRIALS`` seeds make the suite a
+differential corpus in the spirit of
+``test_incremental_differential.py``.
+"""
+
+import random
+import threading
+
+import pytest
+
+from repro.datalog.evaluation import evaluate
+from repro.datalog.library import transitive_closure_program
+from repro.graphs.digraph import DiGraph
+from repro.serve.view import filter_rows
+
+from tests.serve_utils import connect, running_server, tc_view
+
+PROGRAM = transitive_closure_program()
+NODES = "abcde"
+ALL_PAIRS = [(x, y) for x in NODES for y in NODES]
+CLIENTS = 3
+TRIALS = 100
+
+
+def _closure(edges) -> frozenset:
+    """The goal relation of the EDB state ``edges`` (ground truth)."""
+    structure = DiGraph(nodes=NODES, edges=[]).to_structure()
+    result = evaluate(
+        PROGRAM, structure, extra_edb={"E": frozenset(edges)}
+    )
+    return frozenset(result.relations[PROGRAM.goal])
+
+
+def _client_script(rng: random.Random) -> list[tuple]:
+    """A randomised op list; always ends with both query flavours."""
+    script: list[tuple] = []
+    for _ in range(rng.randint(2, 4)):
+        op = rng.choice(["insert", "delete", "query", "magic"])
+        if op in ("insert", "delete"):
+            script.append((op, rng.choice(ALL_PAIRS)))
+        else:
+            bind = rng.choice(
+                [
+                    None,
+                    [rng.choice(NODES), None],
+                    [None, rng.choice(NODES)],
+                    [rng.choice(NODES), rng.choice(NODES)],
+                ]
+            )
+            script.append((op, bind))
+    # Guarantee every trial exercises both paths at a late epoch.
+    script.append(("query", None))
+    script.append(("magic", [rng.choice(NODES), None]))
+    return script
+
+
+def _run_trial(seed: int) -> None:
+    rng = random.Random(seed)
+    initial_edges = rng.sample(ALL_PAIRS, k=rng.randint(2, 6))
+    view = tc_view(initial_edges, nodes=NODES)
+    transcripts: dict[int, list] = {}
+    errors: list[BaseException] = []
+
+    with running_server(view) as server:
+
+        def run_client(cid: int) -> None:
+            crng = random.Random(seed * 1009 + cid)
+            out = []
+            try:
+                with connect(server) as client:
+                    for op, payload in _client_script(crng):
+                        if op in ("insert", "delete"):
+                            verb = (
+                                client.insert
+                                if op == "insert"
+                                else client.delete
+                            )
+                            out.append(
+                                (op, payload, verb("E", list(payload)))
+                            )
+                        else:
+                            out.append(
+                                (
+                                    "query",
+                                    payload,
+                                    client.query(
+                                        bind=payload, magic=op == "magic"
+                                    ),
+                                )
+                            )
+            except BaseException as exc:  # surfaced after join
+                errors.append(exc)
+            transcripts[cid] = out
+
+        threads = [
+            threading.Thread(target=run_client, args=(cid,))
+            for cid in range(CLIENTS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+    assert not errors, errors
+
+    # Reconstruct the serial schedule from the update-response epochs.
+    updates_by_epoch: dict[int, tuple] = {}
+    queries: list[tuple] = []
+    for out in transcripts.values():
+        for op, payload, response in out:
+            if op == "query":
+                queries.append((payload, response))
+            else:
+                epoch = response["epoch"]
+                assert epoch not in updates_by_epoch, (
+                    f"two updates claim epoch {epoch}: the writer did "
+                    "not serialise them"
+                )
+                updates_by_epoch[epoch] = (op, payload, response)
+    total = len(updates_by_epoch)
+    assert sorted(updates_by_epoch) == list(range(1, total + 1)), (
+        "update epochs have gaps: not a total order"
+    )
+
+    # Serial replay: the EDB after each epoch, then the closure.
+    edb = set(initial_edges)
+    closures = {0: _closure(edb)}
+    for epoch in range(1, total + 1):
+        op, row, response = updates_by_epoch[epoch]
+        applied = row not in edb if op == "insert" else row in edb
+        assert response["applied"] == int(applied), (
+            f"epoch {epoch}: server applied {response['applied']} rows, "
+            f"serial replay applied {int(applied)}"
+        )
+        (edb.add if op == "insert" else edb.discard)(row)
+        closures[epoch] = _closure(edb)
+
+    # Every query must match the serial state at its pinned epoch.
+    for bind, response in queries:
+        expected = sorted(
+            [list(row) for row in filter_rows(closures[response["epoch"]], bind)]
+        )
+        assert response["rows"] == expected, (
+            f"query bind={bind} magic={response['magic']} at epoch "
+            f"{response['epoch']} diverged from the serial schedule"
+        )
+
+
+@pytest.mark.parametrize("seed", range(TRIALS))
+def test_interleaved_clients_match_serial_schedule(seed):
+    _run_trial(seed)

@@ -1,0 +1,182 @@
+"""Crash-restart durability drill for ``repro serve`` (fault harness).
+
+The ``kill_server`` fault site sits in the server's writer task,
+probed once per durably written checkpoint -- *after* the atomic
+rename.  The drill:
+
+1. a fault census over a scripted run counts the checkpoint
+   boundaries the workload produces (one per applied update at
+   ``--checkpoint-every 1``);
+2. for **every** boundary ``k``, a fresh server subprocess is armed
+   with ``FaultPlan("kill_server", k)`` and driven with the same
+   script.  The injected fault is translated into a real ``SIGKILL``
+   of the server process (no atexit, no flushing), which the driver
+   observes as ``returncode == -SIGKILL``;
+3. a second subprocess restarts with ``--resume`` and must serve a
+   **bit-identical** view at epoch ``k``: the goal relation equals a
+   serial replay of the first ``k`` updates, computed from scratch.
+
+Because the kill lands immediately after the checkpoint's
+``os.replace``, every drill iteration also witnesses the atomicity of
+the checkpoint write: a torn file would fail ``--resume`` loudly with
+``CheckpointMismatch`` rather than resume quietly wrong.
+
+Run with ``-m fault_injection`` (deselected from the default suite,
+like the other fault drills).
+"""
+
+import os
+import re
+import signal
+import subprocess
+import sys
+
+import pytest
+
+from repro.datalog.evaluation import evaluate
+from repro.datalog.library import transitive_closure_program
+from repro.graphs.digraph import DiGraph
+from repro.serve.client import ServeClient
+from repro.testing.faults import census
+
+from tests.serve_utils import connect, running_server, tc_view
+
+pytestmark = pytest.mark.fault_injection
+
+REPO_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+NODES = "abcde"
+EDGES = [("a", "b"), ("b", "c"), ("c", "d")]
+SCRIPT = [
+    ("insert", ("d", "e")),
+    ("insert", ("e", "a")),
+    ("delete", ("a", "b")),
+    ("insert", ("b", "d")),
+]
+
+
+def _serial_goal_rows(prefix: int) -> list[list[str]]:
+    """Ground truth: the goal relation after the first ``prefix`` updates."""
+    edb = set(EDGES)
+    for kind, row in SCRIPT[:prefix]:
+        (edb.add if kind == "insert" else edb.discard)(row)
+    structure = DiGraph(nodes=NODES, edges=[]).to_structure()
+    program = transitive_closure_program()
+    result = evaluate(program, structure, extra_edb={"E": frozenset(edb)})
+    return sorted([list(r) for r in result.relations[program.goal]])
+
+
+def _write_graph(tmp_path) -> str:
+    lines = [f"edge {a} {b}" for a, b in EDGES]
+    lines += [f"node {n}" for n in NODES]
+    path = tmp_path / "drill.graph"
+    path.write_text("\n".join(lines) + "\n")
+    return str(path)
+
+
+def _spawn_server(graph: str, ckpt: str, *extra, arm: int | None = None):
+    """Start a serve subprocess; returns (process, bound port).
+
+    ``arm`` pre-arms ``FaultPlan("kill_server", arm)`` inside the
+    child before the CLI runs -- the injected fault becomes a real
+    SIGKILL of that process.
+    """
+    serve_args = [
+        "serve", "transitive-closure", graph, "--port", "0",
+        "--checkpoint", ckpt, *extra,
+    ]
+    if arm is None:
+        argv = [sys.executable, "-u", "-m", "repro.cli", *serve_args]
+    else:
+        boot = (
+            "import sys\n"
+            "import repro.testing.faults as faults\n"
+            f"faults.faults = faults.FaultPlan('kill_server', {arm})\n"
+            "from repro.cli import main\n"
+            f"sys.exit(main({serve_args!r}))\n"
+        )
+        argv = [sys.executable, "-u", "-c", boot]
+    env = dict(os.environ, PYTHONPATH=REPO_SRC)
+    process = subprocess.Popen(
+        argv, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        env=env, text=True,
+    )
+    port = None
+    for line in process.stdout:
+        match = re.search(r"serving \S+ on \S+:(\d+)", line)
+        if match:
+            port = int(match.group(1))
+            break
+    if port is None:
+        process.kill()
+        raise RuntimeError("server subprocess never printed its port")
+    return process, port
+
+
+def test_census_enumerates_every_checkpoint_boundary(tmp_path):
+    """The schedulable range: one kill_server hit per written checkpoint."""
+    ckpt = str(tmp_path / "census.ckpt")
+    with census() as counts:
+        view = tc_view(EDGES, nodes=NODES)
+        with running_server(
+            view, checkpoint_path=ckpt, checkpoint_every=1
+        ) as server:
+            with connect(server) as client:
+                for kind, row in SCRIPT:
+                    getattr(client, kind)("E", list(row))
+    assert counts.hits("kill_server") == len(SCRIPT)
+
+
+def test_unarmed_probe_is_free(tmp_path):
+    """Without a plan the probe is the no-op singleton: nothing fires."""
+    ckpt = str(tmp_path / "noop.ckpt")
+    view = tc_view(EDGES, nodes=NODES)
+    with running_server(
+        view, checkpoint_path=ckpt, checkpoint_every=1
+    ) as server:
+        with connect(server) as client:
+            for kind, row in SCRIPT:
+                getattr(client, kind)("E", list(row))
+            assert client.stats()["checkpoints_written"] == len(SCRIPT)
+    assert os.path.exists(ckpt)
+
+
+@pytest.mark.parametrize("boundary", range(1, len(SCRIPT) + 1))
+def test_sigkill_at_every_boundary_resumes_bit_identical(tmp_path, boundary):
+    graph = _write_graph(tmp_path)
+    ckpt = str(tmp_path / f"kill{boundary}.ckpt")
+
+    # Phase 1: armed server; drive the script until the kill lands.
+    process, port = _spawn_server(
+        graph, ckpt, "--checkpoint-every", "1", arm=boundary
+    )
+    delivered = 0
+    try:
+        client = ServeClient("127.0.0.1", port, timeout=30)
+        try:
+            for kind, row in SCRIPT:
+                getattr(client, kind)("E", list(row))
+                delivered += 1
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            client.close()
+    finally:
+        returncode = process.wait(timeout=30)
+    # A real SIGKILL, not a clean exit and not a Python traceback.
+    assert returncode == -signal.SIGKILL
+    # The kill fires in the writer task between durably checkpointing
+    # update `boundary` and flushing its response, so the client saw
+    # exactly the responses of the prior updates.
+    assert delivered == boundary - 1
+
+    # Phase 2: --resume must serve the serial-prefix view at epoch k.
+    process2, port2 = _spawn_server(graph, ckpt, "--resume")
+    try:
+        with ServeClient("127.0.0.1", port2, timeout=30) as client:
+            assert client.ping()["epoch"] == boundary
+            response = client.query()
+            assert response["epoch"] == boundary
+            assert response["rows"] == _serial_goal_rows(boundary)
+            client.shutdown()
+    finally:
+        assert process2.wait(timeout=30) == 0
