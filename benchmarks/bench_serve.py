@@ -21,6 +21,21 @@ mixed query/update workload correctly and fast enough to be a service:
   as ratio 1.0 in the gate (wall-clock on shared CI is informational,
   never enforced).
 
+E24 prices durability (``serve/wal.py``) on the same workloads:
+
+* ``serve-wal-scripted``: the scripted row with a write-ahead log
+  (``fsync=always``) and checkpoint-rotation enabled -- its counters
+  (``serve.wal.appends``/``serve.wal.rotations`` on top of the E23
+  set) are bit-deterministic and gated like the E23 anchor;
+* ``serve-wal-recovery``: times :func:`repro.serve.wal.recover`
+  (checkpoint load + WAL suffix replay) over the files the scripted
+  run left behind -- the crash-restart cost, also counters-gated;
+* ``serve-wal-load-{off,interval,always}``: the mixed load row with
+  each fsync policy, reporting sustained qps next to the WAL-less
+  baseline.  The **durability overhead bar**: in full mode the
+  default ``interval`` policy must cost <= 15% of baseline qps
+  (asserted; quick/CI runs on shared machines report it only).
+
 Correctness is enforced on every row: after the workload drains, the
 served view must equal a from-scratch evaluation of the final EDB
 (the serial-equivalence property the differential suite pins, here
@@ -33,7 +48,9 @@ Also runnable as a script (CI smoke)::
 
 import asyncio
 import json
+import os
 import random
+import tempfile
 import threading
 import time
 
@@ -46,6 +63,7 @@ from repro.graphs.generators import random_digraph
 from repro.serve.client import ServeClient
 from repro.serve.server import ReproServer
 from repro.serve.view import LiveView
+from repro.serve.wal import WriteAheadLog, recover
 
 #: (nodes, edge probability) of the seeded workload graph.
 FULL_GRAPH = (30, 0.12)
@@ -56,13 +74,15 @@ FULL_LOAD = [(2, 150), (6, 100)]
 QUICK_LOAD = [(3, 40)]
 
 SCRIPT_UPDATES = 12  # update count in the deterministic scripted row
+WAL_CHECKPOINT_EVERY = 5  # two rotations + a replayable suffix of 2
+WAL_OVERHEAD_BAR = 0.15  # interval-fsync qps cost vs no WAL (full mode)
 
 
 class _ServerThread:
     """A server on its own event loop in a daemon thread (bench-local)."""
 
-    def __init__(self, view: LiveView) -> None:
-        self.server = ReproServer(view, port=0)
+    def __init__(self, view: LiveView, **server_kwargs) -> None:
+        self.server = ReproServer(view, port=0, **server_kwargs)
         self._ready = threading.Event()
         self._loop = asyncio.new_event_loop()
         self._thread = threading.Thread(target=self._run, daemon=True)
@@ -241,6 +261,116 @@ def _load_row(nodes: int, p: float, clients: int, per_client: int) -> dict:
     }
 
 
+def _wal_scripted_row(nodes: int, p: float, workdir: str) -> dict:
+    """E24 anchor: the deterministic script with durability fully on."""
+    structure = _structure(nodes, p)
+    ckpt = os.path.join(workdir, "wal-scripted.ckpt")
+    wal_path = os.path.join(workdir, "wal-scripted.wal")
+
+    def run() -> None:
+        view = LiveView(transitive_closure_program(), structure)
+        wal = WriteAheadLog.create(
+            wal_path, 0, view.program_fp, fsync="always"
+        )
+        harness = _ServerThread(
+            view, wal=wal, checkpoint_path=ckpt,
+            checkpoint_every=WAL_CHECKPOINT_EVERY,
+        )
+        try:
+            _scripted_workload(harness.port, structure)
+            _verify_final_view(harness.server, structure)
+        finally:
+            harness.stop()
+
+    __, row = timed_row(
+        "serve-wal-scripted",
+        run,
+        engine="serve",
+        params={
+            "nodes": nodes, "p": p, "updates": SCRIPT_UPDATES,
+            "fsync": "always",
+            "checkpoint_every": WAL_CHECKPOINT_EVERY,
+        },
+    )
+    return row
+
+
+def _wal_recovery_row(nodes: int, p: float, workdir: str) -> dict:
+    """E24 crash-restart cost: checkpoint load + WAL suffix replay."""
+    structure = _structure(nodes, p)
+    ckpt = os.path.join(workdir, "wal-recovery.ckpt")
+    wal_path = os.path.join(workdir, "wal-recovery.wal")
+    program = transitive_closure_program()
+
+    # Untimed: produce the durable files a crashed server would leave
+    # (last checkpoint at epoch 10, WAL suffix for epochs 11-12).
+    view = LiveView(program, structure)
+    wal = WriteAheadLog.create(wal_path, 0, view.program_fp, fsync="off")
+    harness = _ServerThread(
+        view, wal=wal, checkpoint_path=ckpt,
+        checkpoint_every=WAL_CHECKPOINT_EVERY,
+    )
+    try:
+        _scripted_workload(harness.port, structure)
+    finally:
+        harness.stop()
+
+    reports: list = []
+
+    def run() -> None:
+        recovered, __, report = recover(program, structure, ckpt, wal_path)
+        assert recovered.epoch == SCRIPT_UPDATES, "recovery lost epochs"
+        reports.append(report)
+
+    __, row = timed_row(
+        "serve-wal-recovery",
+        run,
+        engine="serve",
+        params={"nodes": nodes, "p": p, "updates": SCRIPT_UPDATES},
+    )
+    row["analyze"] = {
+        "checkpoint_epoch": reports[-1].checkpoint_epoch,
+        "replayed": reports[-1].replayed,
+        "skipped": reports[-1].skipped,
+    }
+    return row
+
+
+def _wal_load_row(
+    nodes: int, p: float, clients: int, per_client: int,
+    fsync: str, workdir: str,
+) -> dict:
+    """One fsync-policy pricing row: the mixed load with a WAL attached."""
+    structure = _structure(nodes, p)
+    ckpt = os.path.join(workdir, f"wal-load-{fsync}.ckpt")
+    wal_path = os.path.join(workdir, f"wal-load-{fsync}.wal")
+    view = LiveView(transitive_closure_program(), structure)
+    wal = WriteAheadLog.create(wal_path, 0, view.program_fp, fsync=fsync)
+    harness = _ServerThread(
+        view, wal=wal, checkpoint_path=ckpt,
+        checkpoint_every=WAL_CHECKPOINT_EVERY,
+    )
+    try:
+        report = _load_workload(harness.port, structure, clients, per_client)
+        _verify_final_view(harness.server, structure)
+        report["wal"] = harness.server.wal.info()
+    finally:
+        harness.stop()
+    return {
+        "name": f"serve-wal-load-{fsync}",
+        "params": {
+            "nodes": nodes, "p": p, "clients": clients,
+            "per_client": per_client, "fsync": fsync,
+        },
+        "engine": "serve",
+        "wall_ms": round(report["wall_seconds"] * 1000, 3),
+        # Empty like every load row: thread interleaving makes the
+        # counters nondeterministic; {} compares as 1.0 in the gate.
+        "counters": {},
+        "analyze": report,
+    }
+
+
 # -- pytest entry points (pytest benchmarks/ --benchmark-only) -------------
 
 
@@ -260,6 +390,18 @@ def bench_serve_scripted(benchmark):
     benchmark.pedantic(run, rounds=1, iterations=1)
     benchmark.extra_info["experiment"] = "E23"
     benchmark.extra_info["updates"] = SCRIPT_UPDATES
+
+
+def bench_serve_wal_scripted(benchmark):
+    """The scripted workload with the write-ahead log fully on."""
+    nodes, p = FULL_GRAPH
+    with tempfile.TemporaryDirectory() as workdir:
+        row = benchmark.pedantic(
+            lambda: _wal_scripted_row(nodes, p, workdir),
+            rounds=1, iterations=1,
+        )
+    benchmark.extra_info["experiment"] = "E24"
+    benchmark.extra_info["counters"] = row["counters"]
 
 
 @pytest.mark.parametrize("clients,per_client", FULL_LOAD)
@@ -286,9 +428,10 @@ def bench_serve_load(benchmark, clients, per_client):
 
 
 def main(argv=None):
-    """E23 smoke: scripted + load rows; prints the qps/p99 table and,
-    with ``--json PATH``, writes the versioned bench document the CI
-    counters gate compares against its checked-in baseline."""
+    """E23+E24 smoke: scripted, load, and WAL-pricing rows; prints the
+    qps/p99 table (with durability overhead vs the WAL-less baseline)
+    and, with ``--json PATH``, writes the versioned bench document the
+    CI counters gate compares against its checked-in baseline."""
     import argparse
 
     parser = argparse.ArgumentParser(description=main.__doc__)
@@ -308,7 +451,20 @@ def main(argv=None):
     rows = [_scripted_row(nodes, p)]
     for clients, per_client in load_shape:
         rows.append(_load_row(nodes, p, clients, per_client))
+    clients, per_client = load_shape[0]
+    with tempfile.TemporaryDirectory() as workdir:
+        rows.append(_wal_scripted_row(nodes, p, workdir))
+        rows.append(_wal_recovery_row(nodes, p, workdir))
+        for fsync in ("off", "interval", "always"):
+            rows.append(
+                _wal_load_row(nodes, p, clients, per_client, fsync, workdir)
+            )
 
+    baseline_qps = next(
+        row["analyze"]["qps"]
+        for row in rows
+        if row["name"] == f"serve-load-c{clients}"
+    )
     print(f"{'row':<24} {'wall_ms':>10} {'qps':>8}  p99 by verb")
     for row in rows:
         report = row.get("analyze") or {}
@@ -324,6 +480,20 @@ def main(argv=None):
         f"serve-scripted counters: "
         f"{json.dumps(rows[0]['counters'], sort_keys=True)[:120]}..."
     )
+    for row in rows:
+        if not row["name"].startswith("serve-wal-load-"):
+            continue
+        overhead = 1 - row["analyze"]["qps"] / baseline_qps
+        print(
+            f"durability overhead [{row['params']['fsync']:<8}]: "
+            f"{overhead:+.1%} of {baseline_qps} qps baseline"
+        )
+        if row["params"]["fsync"] == "interval" and not args.quick:
+            # The E24 bar: default-policy durability costs <= 15% qps.
+            assert overhead <= WAL_OVERHEAD_BAR, (
+                f"interval-fsync WAL costs {overhead:.1%} qps "
+                f"(bar: {WAL_OVERHEAD_BAR:.0%})"
+            )
 
     if args.json:
         write_rows(args.json, rows, bench="serve")

@@ -941,8 +941,10 @@ def _parse_tenant_budgets(entries: Sequence[str] | None) -> dict:
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
+    from repro.guard import CheckpointMismatch
     from repro.serve.server import SERVE_ENGINES, ReproServer, run_server
     from repro.serve.view import LiveView
+    from repro.serve.wal import WalError, WriteAheadLog, recover
 
     if args.engine not in SERVE_ENGINES:
         raise CliError(
@@ -958,10 +960,49 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         raise CliError("--checkpoint-every needs --checkpoint FILE")
     if args.resume and not args.checkpoint:
         raise CliError("--resume needs --checkpoint FILE (the file to load)")
+    if args.wal and not args.checkpoint:
+        raise CliError(
+            "--wal needs --checkpoint FILE (the log compacts against it)"
+        )
+    if args.fsync_interval <= 0:
+        raise CliError(
+            f"--fsync-interval must be > 0, got {args.fsync_interval}"
+        )
+    if args.max_queue < 0 or args.max_outbox < 0:
+        raise CliError("--max-queue and --max-outbox must be >= 0")
+    if args.history < 1:
+        raise CliError(f"--history must be >= 1, got {args.history}")
     __, program = _load_program_or_library(args.program, args.goal)
     graph = load_digraph(args.graph)
     structure = graph.to_structure()
-    if args.resume:
+    dedupe: dict = {}
+    if args.resume and args.wal:
+        ckpt_exists = os.path.exists(args.checkpoint)
+        wal_exists = os.path.exists(args.wal)
+        if not ckpt_exists and not wal_exists:
+            raise CliError(
+                f"--resume: neither checkpoint {args.checkpoint!r} nor "
+                f"WAL {args.wal!r} exists"
+            )
+        try:
+            view, dedupe, report = recover(
+                program,
+                structure,
+                args.checkpoint if ckpt_exists else None,
+                args.wal if wal_exists else None,
+            )
+        except (WalError, CheckpointMismatch) as exc:
+            raise CliError(str(exc))
+        print(
+            f"% resumed from {args.checkpoint}: epoch {view.epoch}, "
+            f"{len(view.snapshot.goal_rows)} {program.goal} tuples"
+        )
+        print(
+            f"% wal replay: {report.replayed} records applied, "
+            f"{report.skipped} skipped, {report.torn_bytes} torn bytes "
+            "truncated"
+        )
+    elif args.resume:
         if not os.path.exists(args.checkpoint):
             raise CliError(
                 f"--resume: checkpoint file {args.checkpoint!r} does not "
@@ -978,6 +1019,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"% initial fixpoint: {len(view.snapshot.goal_rows)} "
             f"{program.goal} tuples"
         )
+    wal = None
+    if args.wal:
+        if args.resume:
+            # Boot-compaction: pin checkpoint and fresh WAL to the
+            # recovered epoch so they agree if we crash again before
+            # the first cadence checkpoint.
+            view.checkpoint(args.checkpoint)
+        wal = WriteAheadLog.create(
+            args.wal,
+            view.epoch,
+            view.program_fp,
+            dedupe,
+            fsync=args.fsync,
+            fsync_interval=args.fsync_interval,
+        )
     server = ReproServer(
         view,
         host=args.host,
@@ -987,6 +1043,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         tenant_budgets=_parse_tenant_budgets(args.tenant),
         checkpoint_path=args.checkpoint,
         checkpoint_every=args.checkpoint_every,
+        wal=wal,
+        dedupe=dedupe,
+        max_queue=args.max_queue,
+        max_outbox=args.max_outbox,
+        history=args.history,
     )
 
     async def _serve() -> int:
@@ -1446,7 +1507,47 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--resume", action="store_true",
         help="restore the view from --checkpoint FILE before serving "
-        "(same program required; serves a bit-identical view)",
+        "(same program required; serves a bit-identical view); with "
+        "--wal the log suffix is replayed on top, recovering every "
+        "acknowledged update since the checkpoint",
+    )
+    serve.add_argument(
+        "--wal", metavar="FILE",
+        help="write-ahead log: append every applied update (CRC-guarded, "
+        "epoch-stamped) before acknowledging it; rotates at each "
+        "checkpoint (needs --checkpoint)",
+    )
+    serve.add_argument(
+        "--fsync", choices=("always", "interval", "off"),
+        default="interval",
+        help="WAL fsync policy: 'always' fsyncs every append (acked "
+        "survives power loss), 'interval' fsyncs periodically (acked "
+        "survives process death; default), 'off' never fsyncs "
+        "explicitly",
+    )
+    serve.add_argument(
+        "--fsync-interval", type=float, default=0.1, metavar="SECONDS",
+        dest="fsync_interval",
+        help="max seconds between fsyncs in --fsync interval mode "
+        "(default %(default)s)",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=0, metavar="N", dest="max_queue",
+        help="bound the writer queue at N jobs; further updates get the "
+        "structured 'overloaded' error with a retry_after_ms hint "
+        "(0 = unbounded)",
+    )
+    serve.add_argument(
+        "--max-outbox", type=int, default=0, metavar="N",
+        dest="max_outbox",
+        help="bound each subscriber's outbox at N messages; a slow "
+        "subscriber's deltas are dropped and healed with one 'resync' "
+        "event (0 = unbounded)",
+    )
+    serve.add_argument(
+        "--history", type=int, default=256, metavar="N",
+        help="epochs of per-predicate deltas kept for from_epoch "
+        "resubscribe backfill (default %(default)s)",
     )
     serve.set_defaults(func=_cmd_serve)
 

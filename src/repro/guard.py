@@ -388,15 +388,16 @@ def edb_fingerprint(
     return _digest(parts)
 
 
-def _atomic_pickle_dump(obj, path: str) -> None:
-    """Write ``pickle(obj)`` to ``path`` atomically.
+def atomic_bytes_dump(data: bytes, path: str) -> None:
+    """Write ``data`` to ``path`` atomically (temp + fsync + rename).
 
     The bytes go to a temporary file in the same directory, are
     fsynced, and only then renamed over ``path`` (``os.replace``) -- so
-    a crash at *any* instant leaves either the previous checkpoint or
-    the new one, never a torn file.  This is what lets ``repro serve``
-    SIGKILL itself mid-stream and still trust whatever checkpoint file
-    exists on restart.
+    a crash at *any* instant leaves either the previous file or the new
+    one, never a torn file.  Shared by every checkpoint save and by
+    write-ahead-log rotation (:mod:`repro.serve.wal`); it is what lets
+    ``repro serve`` SIGKILL itself mid-stream and still trust whatever
+    checkpoint/WAL file exists on restart.
     """
     directory = os.path.dirname(os.path.abspath(path)) or "."
     fd, tmp_path = tempfile.mkstemp(
@@ -404,7 +405,7 @@ def _atomic_pickle_dump(obj, path: str) -> None:
     )
     try:
         with os.fdopen(fd, "wb") as handle:
-            pickle.dump(obj, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            handle.write(data)
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp_path, path)
@@ -414,6 +415,13 @@ def _atomic_pickle_dump(obj, path: str) -> None:
         except OSError:
             pass
         raise
+
+
+def _atomic_pickle_dump(obj, path: str) -> None:
+    """Write ``pickle(obj)`` to ``path`` atomically (see above)."""
+    atomic_bytes_dump(
+        pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL), path
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -1,29 +1,89 @@
-"""A small synchronous client for the ``repro serve`` protocol.
+"""Clients for the ``repro serve`` protocol: plain and resilient.
 
-Used by the test suite, the E23 load generator, and the CI smoke
-script; applications can use it as-is or as a reference for the wire
-contract.  One :class:`ServeClient` is one connection: requests are
-issued serially, responses are matched by arrival order (the protocol
+:class:`ServeClient` is one blocking connection: requests are issued
+serially, responses are matched by arrival order (the protocol
 guarantees request order), and push events that arrive between
 responses are buffered on :attr:`events` for the caller to inspect.
+Transport failures never escape as raw ``ConnectionError``/``OSError``:
+every connect, send, and read is wrapped into a structured
+:class:`ServeConnectionError` carrying the host/port and the last
+epoch this client observed -- the caller always knows *where* the
+stream broke.
 
-The client is deliberately dependency-free (sockets and
-:mod:`json` only) so a script can talk to a server without importing
+:class:`ResilientClient` wraps that connection with the retry
+discipline a real client needs against a crash-restarting, sometimes
+overloaded server:
+
+* **Reconnect + exponential backoff with deterministic jitter.**  A
+  dropped connection is retried with ``min(cap, base * 2^attempt)``
+  scaled by a jitter factor drawn from a *seeded* ``random.Random`` --
+  under a fixed seed the whole backoff schedule is reproducible (and
+  recorded on :attr:`backoffs`).  ``overloaded`` errors honour the
+  server's ``retry_after_ms`` hint as a floor.
+* **A retry budget that drains.**  Every retry spends one unit from a
+  finite budget shared across the client's lifetime; exhaustion raises
+  :class:`RetryBudgetExhausted` instead of retrying forever.
+* **Idempotent replay of in-flight updates.**  Each ``insert``/
+  ``delete`` gets a stable request id (``rid``) *before* its first
+  attempt; a retry resends the same rid, and the protocol-v2 server
+  dedupes -- the update is applied exactly once no matter how many
+  times the ack was lost (even across a server crash: the dedupe table
+  lives in the write-ahead log).
+* **Resubscribe with epoch-gap recovery.**  The client remembers its
+  subscription and last seen epoch; after a reconnect it resubscribes
+  with ``from_epoch``, and the server backfills the missed deltas or
+  pushes one ``resync`` (full rows) when the gap outran its history.
+
+The module is deliberately dependency-free (sockets, :mod:`json`,
+:mod:`random` only) so a script can talk to a server without importing
 the evaluation stack.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import socket
+import time
 
 
 class ServeError(RuntimeError):
-    """A structured error response (``ok: false``) from the server."""
+    """A structured error response (``ok: false``) from the server.
 
-    def __init__(self, code: str, message: str) -> None:
+    ``fields`` holds any extra keys of the wire error object --
+    notably ``retry_after_ms`` on ``overloaded`` responses.
+    """
+
+    def __init__(self, code: str, message: str, **fields) -> None:
         self.code = code
+        self.fields = fields
         super().__init__(f"{code}: {message}")
+
+    @property
+    def retry_after_ms(self) -> int | None:
+        return self.fields.get("retry_after_ms")
+
+
+class ServeConnectionError(ConnectionError):
+    """The transport to a serve server failed, with context.
+
+    Subclasses :class:`ConnectionError` so existing ``except
+    (ConnectionError, OSError)`` call sites keep working, but carries
+    the structure retry logic needs: which server (``host``/``port``),
+    what the client last knew (``last_epoch``), and what broke
+    (``reason``).
+    """
+
+    def __init__(
+        self, host: str, port: int, last_epoch: int, reason: str
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.last_epoch = last_epoch
+        super().__init__(
+            f"connection to {host}:{port} failed at epoch "
+            f"{last_epoch}: {reason}"
+        )
 
 
 class ServeClient:
@@ -47,9 +107,21 @@ class ServeClient:
         tenant: str | None = None,
         timeout: float = 30.0,
     ) -> None:
+        self.host = host
+        self.port = port
         self.tenant = tenant
         self.events: list[dict] = []
-        self._sock = socket.create_connection((host, port), timeout=timeout)
+        #: Highest epoch observed in any response or event (what a
+        #: resubscribe-after-reconnect passes as ``from_epoch``).
+        self.last_epoch = 0
+        try:
+            self._sock = socket.create_connection(
+                (host, port), timeout=timeout
+            )
+        except OSError as exc:
+            raise ServeConnectionError(
+                host, port, 0, f"connect failed: {exc}"
+            ) from exc
         self._reader = self._sock.makefile("r", encoding="utf-8")
         self._next_id = 0
 
@@ -67,33 +139,61 @@ class ServeClient:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
+    def _broke(self, reason: str) -> ServeConnectionError:
+        return ServeConnectionError(
+            self.host, self.port, self.last_epoch, reason
+        )
+
+    def _observe_epoch(self, message: dict) -> None:
+        epoch = message.get("epoch")
+        if isinstance(epoch, int) and epoch > self.last_epoch:
+            self.last_epoch = epoch
+
     def request(self, op: str, **fields) -> dict:
         """Send one request, return its response (raises on ``ok: false``).
 
         Push events arriving before the response are buffered on
-        :attr:`events`.
+        :attr:`events`.  Transport failures raise
+        :class:`ServeConnectionError`; structured server errors raise
+        :class:`ServeError`.
         """
         self._next_id += 1
         message: dict = {"op": op, "id": self._next_id}
         if self.tenant is not None:
             message["tenant"] = self.tenant
         message.update(fields)
-        self._sock.sendall((json.dumps(message) + "\n").encode("utf-8"))
+        try:
+            self._sock.sendall((json.dumps(message) + "\n").encode("utf-8"))
+        except OSError as exc:
+            raise self._broke(f"send failed: {exc}") from exc
         response = self._read_response()
         if not response.get("ok"):
             error = response.get("error") or {}
             raise ServeError(
                 error.get("code", "internal"),
                 error.get("message", "unknown error"),
+                **{
+                    key: value
+                    for key, value in error.items()
+                    if key not in ("code", "message")
+                },
             )
         return response
 
+    def _read_line(self) -> dict:
+        try:
+            line = self._reader.readline()
+        except OSError as exc:  # includes socket.timeout
+            raise self._broke(f"read failed: {exc}") from exc
+        if not line:
+            raise self._broke("server closed the connection")
+        message = json.loads(line)
+        self._observe_epoch(message)
+        return message
+
     def _read_response(self) -> dict:
         while True:
-            line = self._reader.readline()
-            if not line:
-                raise ConnectionError("server closed the connection")
-            message = json.loads(line)
+            message = self._read_line()
             if "event" in message:
                 self.events.append(message)
                 continue
@@ -107,10 +207,7 @@ class ServeClient:
         triggering response, so this reads lines until enough are in.
         """
         while len(self.events) < count:
-            line = self._reader.readline()
-            if not line:
-                raise ConnectionError("server closed the connection")
-            message = json.loads(line)
+            message = self._read_line()
             if "event" not in message:
                 raise RuntimeError(
                     f"expected a push event, got response {message!r}"
@@ -137,18 +234,34 @@ class ServeClient:
             fields["bind"] = bind
         return self.request("query", **fields)
 
-    def insert(self, predicate: str, *rows: list) -> dict:
-        return self.request(
-            "insert", predicate=predicate, rows=[list(r) for r in rows]
-        )
+    def insert(self, predicate: str, *rows: list, rid: str | None = None) -> dict:
+        fields: dict = {
+            "predicate": predicate,
+            "rows": [list(r) for r in rows],
+        }
+        if rid is not None:
+            fields["rid"] = rid
+        return self.request("insert", **fields)
 
-    def delete(self, predicate: str, *rows: list) -> dict:
-        return self.request(
-            "delete", predicate=predicate, rows=[list(r) for r in rows]
-        )
+    def delete(self, predicate: str, *rows: list, rid: str | None = None) -> dict:
+        fields: dict = {
+            "predicate": predicate,
+            "rows": [list(r) for r in rows],
+        }
+        if rid is not None:
+            fields["rid"] = rid
+        return self.request("delete", **fields)
 
-    def subscribe(self, predicate: str | None = None) -> dict:
-        fields = {} if predicate is None else {"predicate": predicate}
+    def subscribe(
+        self,
+        predicate: str | None = None,
+        from_epoch: int | None = None,
+    ) -> dict:
+        fields: dict = {}
+        if predicate is not None:
+            fields["predicate"] = predicate
+        if from_epoch is not None:
+            fields["from_epoch"] = from_epoch
         return self.request("subscribe", **fields)
 
     def unsubscribe(self) -> dict:
@@ -157,5 +270,220 @@ class ServeClient:
     def stats(self) -> dict:
         return self.request("stats")
 
+    def health(self) -> dict:
+        return self.request("health")
+
     def shutdown(self) -> dict:
         return self.request("shutdown")
+
+
+class RetryBudgetExhausted(RuntimeError):
+    """A :class:`ResilientClient` ran out of retries.
+
+    Carries the drained :attr:`budget` and the terminal failure that
+    spent the last unit (:attr:`last_error`).
+    """
+
+    def __init__(self, budget: int, last_error: Exception) -> None:
+        self.budget = budget
+        self.last_error = last_error
+        super().__init__(
+            f"retry budget ({budget}) exhausted; last error: {last_error}"
+        )
+
+
+class ResilientClient:
+    """A :class:`ServeClient` that survives crashes and overload.
+
+    Parameters
+    ----------
+    host / port / tenant / timeout:
+        As for :class:`ServeClient`.
+    retry_budget:
+        Total retries this client may spend over its lifetime (a
+        drained budget raises :class:`RetryBudgetExhausted`).
+    backoff_base / backoff_cap:
+        The exponential schedule: retry ``n`` sleeps
+        ``min(cap, base * 2^n)`` scaled by jitter in ``[0.5, 1.0]``.
+    seed:
+        Seeds the jitter RNG *and* the rid namespace -- a fixed seed
+        makes the whole retry schedule (and every request id)
+        reproducible.  Give concurrent clients of one server distinct
+        seeds so their rids cannot collide.
+    sleep:
+        Injectable sleep (tests pass a recorder; default
+        :func:`time.sleep`).
+    client_factory:
+        Injectable connection constructor (tests substitute a scripted
+        transport); must accept ``(host, port, tenant=..., timeout=...)``.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        tenant: str | None = None,
+        timeout: float = 30.0,
+        retry_budget: int = 16,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
+        seed: int = 0,
+        sleep=time.sleep,
+        client_factory=ServeClient,
+    ) -> None:
+        if retry_budget < 0:
+            raise ValueError("retry_budget must be >= 0")
+        self.host = host
+        self.port = port
+        self.tenant = tenant
+        self.timeout = timeout
+        self.retry_budget = retry_budget
+        self.retries_left = retry_budget
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self._rng = random.Random(seed)
+        self._rid_prefix = f"rc{seed}"
+        self._rid_count = 0
+        self._sleep = sleep
+        self._client_factory = client_factory
+        #: Every backoff actually slept, in order (observability + the
+        #: determinism test: same seed, same schedule).
+        self.backoffs: list[float] = []
+        self.reconnects = 0
+        #: Highest epoch observed across all connections.
+        self.last_epoch = 0
+        self._client: ServeClient | None = None
+        self._subscription: tuple[str | None,] | None = None
+
+    # -- plumbing ----------------------------------------------------------
+
+    def close(self) -> None:
+        if self._client is not None:
+            try:
+                self._client.close()
+            finally:
+                self._client = None
+
+    def __enter__(self) -> "ResilientClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _drop(self) -> None:
+        if self._client is not None:
+            self.last_epoch = max(self.last_epoch, self._client.last_epoch)
+            try:
+                self._client.close()
+            except Exception:
+                pass
+            self._client = None
+
+    def _ensure_connected(self) -> ServeClient:
+        if self._client is None:
+            client = self._client_factory(
+                self.host, self.port, tenant=self.tenant,
+                timeout=self.timeout,
+            )
+            client.last_epoch = self.last_epoch
+            self._client = client
+            self.reconnects += 1
+            if self._subscription is not None:
+                # Heal the delta stream: the server backfills from
+                # last_epoch or pushes a resync past the gap.
+                (predicate,) = self._subscription
+                client.subscribe(
+                    predicate=predicate, from_epoch=self.last_epoch
+                )
+        return self._client
+
+    def _spend_retry(self, error: Exception, hint_ms: int | None) -> None:
+        """One unit off the budget, then the jittered backoff sleep."""
+        if self.retries_left <= 0:
+            raise RetryBudgetExhausted(self.retry_budget, error) from error
+        attempt = self.retry_budget - self.retries_left
+        self.retries_left -= 1
+        delay = min(self.backoff_cap, self.backoff_base * (2 ** attempt))
+        delay *= 0.5 + self._rng.random() / 2  # jitter in [0.5, 1.0]
+        if hint_ms is not None:
+            delay = max(delay, hint_ms / 1000.0)
+        self.backoffs.append(delay)
+        self._sleep(delay)
+
+    def _call(self, op: str, *args, **kwargs):
+        """Run one verb with reconnect/overload retries."""
+        while True:
+            try:
+                client = self._ensure_connected()
+                response = getattr(client, op)(*args, **kwargs)
+                self.last_epoch = max(self.last_epoch, client.last_epoch)
+                return response
+            except ServeConnectionError as exc:
+                self._drop()
+                self._spend_retry(exc, None)
+            except ServeError as exc:
+                if exc.code != "overloaded":
+                    raise
+                self._spend_retry(exc, exc.retry_after_ms)
+
+    def _new_rid(self) -> str:
+        self._rid_count += 1
+        return f"{self._rid_prefix}-{self._rid_count}"
+
+    # -- verbs -------------------------------------------------------------
+
+    def ping(self) -> dict:
+        return self._call("ping")
+
+    def query(self, bind: list | None = None, magic: bool = False) -> dict:
+        return self._call("query", bind=bind, magic=magic)
+
+    def insert(self, predicate: str, *rows: list) -> dict:
+        # The rid is fixed *before* the first attempt: every retry
+        # replays the same id, so a lost ack can never double-apply.
+        return self._call(
+            "insert", predicate, *rows, rid=self._new_rid()
+        )
+
+    def delete(self, predicate: str, *rows: list) -> dict:
+        return self._call(
+            "delete", predicate, *rows, rid=self._new_rid()
+        )
+
+    def subscribe(self, predicate: str | None = None) -> dict:
+        response = self._call("subscribe", predicate=predicate)
+        self._subscription = (predicate,)
+        return response
+
+    def unsubscribe(self) -> dict:
+        self._subscription = None
+        return self._call("unsubscribe")
+
+    def stats(self) -> dict:
+        return self._call("stats")
+
+    def health(self) -> dict:
+        return self._call("health")
+
+    def shutdown(self) -> dict:
+        return self._call("shutdown")
+
+    def drain_events(self, count: int) -> list[dict]:
+        """Collect ``count`` push events, surviving reconnects.
+
+        After a drop the resubscribe (``from_epoch``) brings backfilled
+        deltas or a ``resync``; both count toward ``count`` -- the
+        caller distinguishes them by the ``event`` field.
+        """
+        collected: list[dict] = []
+        while len(collected) < count:
+            try:
+                client = self._ensure_connected()
+                collected.extend(
+                    client.drain_events(count - len(collected))
+                )
+                self.last_epoch = max(self.last_epoch, client.last_epoch)
+            except ServeConnectionError as exc:
+                self._drop()
+                self._spend_retry(exc, None)
+        return collected

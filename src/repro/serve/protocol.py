@@ -23,14 +23,29 @@ Requests
     An EDB update (``"row": [...]`` is accepted for a single row).
     Updates from every client are serialised through the server's one
     writer task; each applied update bumps the view epoch by one and
-    the response reports the new epoch.
-``{"op": "subscribe", "predicate": P?}`` / ``{"op": "unsubscribe"}``
+    the response reports the new epoch.  An update may carry a
+    client-supplied ``"rid"`` (a non-empty request-id string): with a
+    write-ahead log enabled the server dedupes on it, so a retried
+    update -- across reconnects *and* across server crashes -- is
+    applied exactly once; the deduplicated response carries
+    ``"deduped": true``.
+``{"op": "subscribe", "predicate": P?, "from_epoch": N?}`` /
+``{"op": "unsubscribe"}``
     Register for delta push events on an IDB predicate (default: the
     goal).  After every epoch bump the server pushes one event per
-    subscription (see below).
+    subscription (see below).  A resubscribing client passes
+    ``from_epoch`` (the last epoch it saw): the server backfills the
+    missed deltas from its bounded history, or -- if the gap outruns
+    the history -- pushes one ``resync`` event carrying the full
+    current rows instead.
 ``{"op": "stats"}``
     Server observability: version, epoch, uptime, client counts, and
     per-verb latency quantiles (p50/p95/p99).
+``{"op": "health"}``
+    A cheap liveness/pressure probe: epoch, writer-queue depth and
+    capacity, client count, and (when a WAL is enabled) the log's
+    fsync mode and record counts.  Unlike ``stats`` it allocates
+    nothing per verb and is safe to poll hot.
 ``{"op": "shutdown"}``
     Ask the server to stop cleanly (it responds first, then closes).
 
@@ -46,10 +61,23 @@ Success: ``{"ok": true, "op": ..., "id": ..., ...verb fields...}``.
 Failure: ``{"ok": false, "id": ..., "error": {"code": ..., "message":
 ...}}`` -- the connection stays open; in particular a tripped tenant
 budget is the structured code ``"budget_exceeded"``, not a dropped
-connection.  Push events have no ``id``::
+connection, and a full writer queue is the structured code
+``"overloaded"`` whose error object carries ``"retry_after_ms"`` (the
+backoff hint :class:`~repro.serve.client.ResilientClient` honours).
+Push events have no ``id``::
 
     {"event": "delta", "epoch": N, "predicate": P,
      "added": [[...], ...], "removed": [[...], ...]}
+
+    {"event": "resync", "epoch": N, "predicate": P,
+     "rows": [[...], ...], "reason": "gap"|"evicted"}
+
+A ``resync`` event replaces the delta stream with the predicate's full
+rows at ``epoch``: the server sends it when a resubscribe gap outruns
+the delta history (``reason: "gap"``) or when a slow subscriber's
+outbox overflowed and its queued deltas were dropped
+(``reason: "evicted"``) -- either way the client swaps in the rows and
+resumes delta-following from ``epoch``.
 
 This module is pure data plumbing -- parsing, validation, and
 serialisation -- shared by the server, the client, and the tests; it
@@ -61,8 +89,10 @@ from __future__ import annotations
 import json
 from typing import Mapping
 
-#: Protocol revision, reported by ``stats``.
-PROTOCOL_VERSION = 1
+#: Protocol revision, reported by ``stats``.  v2 added request ids on
+#: updates (exactly-once dedupe), ``health``, ``from_epoch`` resubscribe
+#: with ``resync`` events, and the ``overloaded`` error code.
+PROTOCOL_VERSION = 2
 
 #: Every request verb the server understands.
 VERBS = (
@@ -73,6 +103,7 @@ VERBS = (
     "subscribe",
     "unsubscribe",
     "stats",
+    "health",
     "shutdown",
 )
 
@@ -83,6 +114,7 @@ ERROR_CODES = (
     "unknown_op",
     "budget_exceeded",
     "maintenance_aborted",
+    "overloaded",
     "shutting_down",
     "internal",
 )
@@ -93,13 +125,15 @@ class ProtocolError(ValueError):
 
     ``code`` is one of :data:`ERROR_CODES`; the server turns the
     exception into a structured error response and keeps the
-    connection open.
+    connection open.  ``fields`` are extra key/values merged into the
+    wire error object (e.g. ``retry_after_ms`` on ``overloaded``).
     """
 
-    def __init__(self, code: str, message: str) -> None:
+    def __init__(self, code: str, message: str, **fields) -> None:
         if code not in ERROR_CODES:
             raise ValueError(f"unknown error code {code!r}")
         self.code = code
+        self.fields = fields
         super().__init__(message)
 
 
@@ -224,11 +258,28 @@ def parse_request(line: str) -> dict:
     elif op in ("insert", "delete"):
         parsed["predicate"] = _require_string(request, "predicate")
         parsed["rows"] = _normalize_rows(request)
+        rid = request.get("rid")
+        if rid is not None and (not isinstance(rid, str) or not rid):
+            raise ProtocolError(
+                "bad_request", "'rid' must be a non-empty string"
+            )
+        parsed["rid"] = rid
     elif op == "subscribe":
         predicate = request.get("predicate")
         if predicate is not None:
             predicate = _require_string(request, "predicate")
         parsed["predicate"] = predicate
+        from_epoch = request.get("from_epoch")
+        if from_epoch is not None and (
+            not isinstance(from_epoch, int)
+            or isinstance(from_epoch, bool)
+            or from_epoch < 0
+        ):
+            raise ProtocolError(
+                "bad_request",
+                "'from_epoch' must be a non-negative integer",
+            )
+        parsed["from_epoch"] = from_epoch
     return parsed
 
 
@@ -243,14 +294,12 @@ def ok_response(op: str, request_id, **fields) -> dict:
     return response
 
 
-def error_response(request_id, code: str, message: str) -> dict:
+def error_response(request_id, code: str, message: str, **fields) -> dict:
     if code not in ERROR_CODES:
         code = "internal"
-    return {
-        "ok": False,
-        "id": request_id,
-        "error": {"code": code, "message": message},
-    }
+    error = {"code": code, "message": message}
+    error.update(fields)
+    return {"ok": False, "id": request_id, "error": error}
 
 
 def delta_event(
@@ -263,6 +312,24 @@ def delta_event(
         "predicate": predicate,
         "added": sorted([list(row) for row in added]),
         "removed": sorted([list(row) for row in removed]),
+    }
+
+
+def resync_event(epoch: int, predicate: str, rows, reason: str) -> dict:
+    """Full-rows replacement push: delta continuity was broken.
+
+    ``reason`` is ``"gap"`` (a resubscribe's ``from_epoch`` fell off
+    the server's delta history) or ``"evicted"`` (this subscriber's
+    outbox overflowed and its queued deltas were dropped).  The client
+    replaces its materialisation with ``rows`` (true at ``epoch``) and
+    follows deltas from there.
+    """
+    return {
+        "event": "resync",
+        "epoch": epoch,
+        "predicate": predicate,
+        "rows": rows_payload(rows),
+        "reason": reason,
     }
 
 

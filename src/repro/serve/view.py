@@ -145,6 +145,11 @@ class LiveView:
         return self._program.goal
 
     @property
+    def program_fp(self) -> str:
+        """The program fingerprint checkpoints and WAL headers carry."""
+        return self._program_fp
+
+    @property
     def goal_arity(self) -> int:
         return self._program.arity(self._program.goal)
 

@@ -1,0 +1,551 @@
+"""The ``repro serve`` write-ahead log: durability between checkpoints.
+
+PR 9's periodic checkpoints bound recovery work but not data loss:
+every update acknowledged *since* the last checkpoint silently
+vanished on a crash.  This module closes that gap with the classical
+database recipe -- log before you acknowledge:
+
+* **Append-before-ack.**  The server's writer task appends one
+  :class:`WalRecord` per applied update -- epoch-stamped, CRC-guarded,
+  carrying the client's request id -- and only then sends the
+  response.  An epoch the client has seen acknowledged is therefore
+  always reconstructible: it is either inside the latest checkpoint or
+  inside the WAL suffix on top of it.
+* **Framed, CRC-guarded records.**  The file is a sequence of frames
+  ``<u32 length><u32 crc32><payload>`` (little-endian header, compact
+  JSON payload).  The first frame is the *header*: WAL format version,
+  the program fingerprint, the ``base_epoch`` the log continues from,
+  and a snapshot of the exactly-once dedupe table (see below).  Record
+  epochs are contiguous from ``base_epoch + 1``, which :func:`scan_wal`
+  verifies -- a gap means corruption, never silence.
+* **Torn tails truncate; corruption is loud.**  A crash mid-``write``
+  leaves an incomplete final frame.  :func:`scan_wal` distinguishes
+  the two failure shapes: a frame whose declared bytes run past
+  end-of-file (or whose final-frame CRC fails) is a *torn tail* --
+  expected, truncated, reported; a CRC mismatch on a frame with valid
+  bytes after it is *mid-file corruption* and raises :class:`WalCorrupt`
+  with the record number and byte offset.  The ``torn_wal`` fault site
+  (:mod:`repro.testing.faults`) manufactures real torn tails for the
+  truncation drills.
+* **Rotation = compaction.**  After each durable checkpoint the log
+  restarts: a fresh header (``base_epoch`` = checkpoint epoch, current
+  dedupe table) is written atomically over the old file via
+  :func:`repro.guard.atomic_bytes_dump`.  Replay cost is therefore
+  bounded by the checkpoint cadence, and a crash between checkpoint
+  and rotation is benign -- recovery skips records at or below the
+  checkpoint epoch.
+* **fsync policy.**  ``always`` fsyncs every append (acknowledged means
+  on-disk, survives power loss); ``interval`` fsyncs at most every
+  ``fsync_interval`` seconds (acknowledged survives process death --
+  every append is flushed to the OS -- with a bounded power-loss
+  window); ``off`` never fsyncs explicitly (bench floor).  All three
+  modes flush to the kernel per append, so ``SIGKILL`` loses nothing
+  in any mode.
+* **Exactly-once recovery.**  Each record carries the client-supplied
+  request id (``rid``) plus its row index / row count inside the
+  request.  :func:`recover` rebuilds the view *and* the dedupe table:
+  a completed request's retry is answered from the table without
+  touching the view; a request whose record suffix was cut off mid-way
+  resumes at the first unlogged row.  Either way a retried in-flight
+  update is applied exactly once, across any number of crashes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import time
+import zlib
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.guard import atomic_bytes_dump, program_fingerprint
+from repro.obs import metrics as _metrics
+from repro.testing import faults as _faults
+from repro.testing.faults import InjectedFault
+
+#: WAL format revision, stored in every header frame.
+WAL_VERSION = 1
+
+#: The frame header: payload length, then crc32 of the payload.
+_FRAME = struct.Struct("<II")
+
+#: Accepted ``fsync`` policies.
+FSYNC_MODES = ("always", "interval", "off")
+
+#: Exactly-once table size bound: oldest *completed* entries are
+#: evicted first once the table grows past this many request ids.
+DEDUPE_MAX = 4096
+
+
+class WalError(RuntimeError):
+    """Base class for write-ahead-log failures (carries the path)."""
+
+    def __init__(self, path: str, message: str) -> None:
+        self.path = path
+        super().__init__(f"{path}: {message}")
+
+
+class WalCorrupt(WalError):
+    """Mid-file corruption: a damaged record with valid data after it.
+
+    Unlike a torn tail this cannot be explained by a crash during a
+    sequential append, so recovery refuses to guess -- the diagnostic
+    names the record number and byte offset of the damage.
+    """
+
+
+class WalMismatch(WalError):
+    """The WAL was written for a different program.
+
+    Replaying another program's updates would silently converge to a
+    wrong view, so the header fingerprint is verified before any
+    record is applied (same contract as checkpoint fingerprints).
+    """
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One applied update, as logged before its acknowledgement.
+
+    ``epoch`` is the view epoch the update produced; ``rid`` is the
+    client's request id (``None`` for unkeyed updates); ``row_index`` /
+    ``rows_total`` place the row inside its (possibly multi-row)
+    request; ``applied`` records whether the row changed the EDB (an
+    idempotent re-insert applies 0 rows but still bumps the epoch).
+    """
+
+    epoch: int
+    op: str
+    predicate: str
+    row: tuple
+    rid: str | None = None
+    row_index: int = 0
+    rows_total: int = 1
+    applied: int = 0
+
+    def to_payload(self) -> bytes:
+        return json.dumps(
+            {
+                "e": self.epoch,
+                "o": self.op,
+                "p": self.predicate,
+                "r": list(self.row),
+                "k": self.rid,
+                "i": self.row_index,
+                "n": self.rows_total,
+                "a": self.applied,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        ).encode("utf-8")
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "WalRecord":
+        return cls(
+            epoch=payload["e"],
+            op=payload["o"],
+            predicate=payload["p"],
+            row=tuple(payload["r"]),
+            rid=payload["k"],
+            row_index=payload["i"],
+            rows_total=payload["n"],
+            applied=payload["a"],
+        )
+
+
+def _frame(payload: bytes) -> bytes:
+    return _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def _header_payload(
+    base_epoch: int, program_fp: str, dedupe: Mapping
+) -> bytes:
+    return json.dumps(
+        {
+            "wal": WAL_VERSION,
+            "base_epoch": base_epoch,
+            "program": program_fp,
+            "dedupe": dict(dedupe),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    ).encode("utf-8")
+
+
+@dataclass
+class WalScan:
+    """What :func:`scan_wal` found in one WAL file.
+
+    ``header`` is ``None`` only when the file is empty or its very
+    first frame is torn (a crash during creation -- recoverable as "no
+    WAL yet").  ``valid_bytes`` is the offset the last intact frame
+    ends at; ``torn_bytes`` counts the trailing bytes of an incomplete
+    frame (0 for a clean file).
+    """
+
+    header: dict | None
+    records: list[WalRecord]
+    valid_bytes: int
+    torn_bytes: int
+
+    @property
+    def base_epoch(self) -> int:
+        return 0 if self.header is None else self.header["base_epoch"]
+
+    @property
+    def last_epoch(self) -> int:
+        return self.records[-1].epoch if self.records else self.base_epoch
+
+
+def scan_wal(path: str) -> WalScan:
+    """Read and validate a WAL file, truncation-tolerantly.
+
+    Walks the frames front to back.  An incomplete final frame (torn
+    tail) stops the scan and is reported via ``torn_bytes``; a CRC or
+    decode failure on a frame with bytes after it raises
+    :class:`WalCorrupt`; record epochs must be contiguous from
+    ``base_epoch + 1``.  The scan never mutates the file -- callers
+    decide whether to truncate (see :func:`recover`).
+    """
+    with open(path, "rb") as handle:
+        data = handle.read()
+    frames: list[dict] = []
+    offset = 0
+    while offset < len(data):
+        if offset + _FRAME.size > len(data):
+            break  # torn: not even a whole frame header
+        length, crc = _FRAME.unpack_from(data, offset)
+        end = offset + _FRAME.size + length
+        if end > len(data):
+            break  # torn: declared payload runs past EOF
+        payload = data[offset + _FRAME.size:end]
+        damaged = zlib.crc32(payload) != crc
+        if not damaged:
+            try:
+                decoded = json.loads(payload)
+            except (ValueError, UnicodeDecodeError):
+                damaged = True
+        if damaged:
+            if end == len(data):
+                break  # final frame: a torn in-place write, truncate
+            raise WalCorrupt(
+                path,
+                f"CRC/decode failure in record #{max(len(frames) - 1, 0)} "
+                f"at byte {offset} with {len(data) - end} valid-looking "
+                "bytes after it -- this is mid-file corruption, not a "
+                "torn tail; restore the file from a replica or discard "
+                "it explicitly",
+            )
+        frames.append(decoded)
+        offset = end
+    torn_bytes = len(data) - offset
+
+    if not frames:
+        return WalScan(
+            header=None, records=[], valid_bytes=offset,
+            torn_bytes=torn_bytes,
+        )
+    header = frames[0]
+    if not isinstance(header, dict) or "wal" not in header:
+        raise WalCorrupt(
+            path, "first frame is not a WAL header (wrong file type?)"
+        )
+    if header["wal"] != WAL_VERSION:
+        raise WalCorrupt(
+            path,
+            f"WAL format version {header['wal']} is not the supported "
+            f"version {WAL_VERSION}",
+        )
+    records = []
+    expected = header["base_epoch"] + 1
+    for index, payload in enumerate(frames[1:]):
+        record = WalRecord.from_payload(payload)
+        if record.epoch != expected:
+            raise WalCorrupt(
+                path,
+                f"record #{index} carries epoch {record.epoch}, "
+                f"expected {expected} (epochs must be contiguous from "
+                f"base_epoch {header['base_epoch']})",
+            )
+        records.append(record)
+        expected += 1
+    return WalScan(
+        header=header, records=records, valid_bytes=offset,
+        torn_bytes=torn_bytes,
+    )
+
+
+class WriteAheadLog:
+    """An append-only, epoch-stamped log of applied serve updates.
+
+    Create one with :meth:`create` (which writes a fresh header
+    atomically -- also how rotation restarts the file); the server
+    appends via :meth:`append` and rotates at each checkpoint via
+    :meth:`rotate`.  Reading happens only at recovery time, through
+    :func:`scan_wal` / :func:`recover` -- a live WAL is write-only.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        fsync: str = "interval",
+        fsync_interval: float = 0.1,
+    ) -> None:
+        if fsync not in FSYNC_MODES:
+            raise ValueError(
+                f"unknown fsync mode {fsync!r} "
+                f"(choose from {', '.join(FSYNC_MODES)})"
+            )
+        if fsync_interval <= 0:
+            raise ValueError(
+                f"fsync_interval must be positive, got {fsync_interval}"
+            )
+        self.path = path
+        self.fsync_mode = fsync
+        self.fsync_interval = fsync_interval
+        self.base_epoch = 0
+        self.records_appended = 0
+        self.rotations = 0
+        self.fsyncs = 0
+        self._file = None
+        self._last_fsync = time.monotonic()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        path: str,
+        base_epoch: int,
+        program_fp: str,
+        dedupe: Mapping | None = None,
+        *,
+        fsync: str = "interval",
+        fsync_interval: float = 0.1,
+    ) -> "WriteAheadLog":
+        """Start a fresh WAL at ``base_epoch`` (atomic header write).
+
+        Any previous file at ``path`` is replaced in one ``os.replace``
+        -- exactly the checkpoint-write discipline, so a crash during
+        creation leaves either the old log or the new one.
+        """
+        wal = cls(path, fsync=fsync, fsync_interval=fsync_interval)
+        wal._start_file(base_epoch, program_fp, dedupe or {})
+        return wal
+
+    def _start_file(
+        self, base_epoch: int, program_fp: str, dedupe: Mapping
+    ) -> None:
+        if self._file is not None:
+            self._file.close()
+        atomic_bytes_dump(
+            _frame(_header_payload(base_epoch, program_fp, dedupe)),
+            self.path,
+        )
+        self._file = open(self.path, "ab")
+        self.base_epoch = base_epoch
+        self.records_appended = 0
+        self._last_fsync = time.monotonic()
+
+    def close(self) -> None:
+        if self._file is not None:
+            if self.fsync_mode != "off":
+                self._fsync()
+            self._file.close()
+            self._file = None
+
+    # -- the hot path ------------------------------------------------------
+
+    def append(self, record: WalRecord) -> None:
+        """Durably (per policy) log one applied update.
+
+        Called by the writer task after :meth:`LiveView.apply` and
+        *before* the update's acknowledgement.  The ``torn_wal`` fault
+        site fires here: an armed plan makes this write a half-frame
+        (a genuine torn tail) and re-raises for the server to translate
+        into a real ``SIGKILL``.
+        """
+        if self._file is None:
+            raise WalError(self.path, "log is closed")
+        frame = _frame(record.to_payload())
+        try:
+            _faults.faults.hit("torn_wal")
+        except InjectedFault:
+            # Manufacture the crash shape the truncation drill needs:
+            # half a frame on disk, then die (the server SIGKILLs on
+            # the re-raised fault).  Recovery must truncate this.
+            self._file.write(frame[: len(frame) // 2])
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            raise
+        self._file.write(frame)
+        self._file.flush()  # process death loses nothing past here
+        self.records_appended += 1
+        _metrics.metrics.inc("serve.wal.appends")
+        if self.fsync_mode == "always":
+            self._fsync()
+        elif self.fsync_mode == "interval":
+            now = time.monotonic()
+            if now - self._last_fsync >= self.fsync_interval:
+                self._fsync()
+
+    def _fsync(self) -> None:
+        os.fsync(self._file.fileno())
+        self._last_fsync = time.monotonic()
+        self.fsyncs += 1
+        _metrics.metrics.inc("serve.wal.fsyncs")
+
+    # -- rotation ----------------------------------------------------------
+
+    def rotate(
+        self, base_epoch: int, program_fp: str, dedupe: Mapping
+    ) -> None:
+        """Compact: restart the log on top of a durable checkpoint.
+
+        The caller (the writer task) invokes this immediately after the
+        checkpoint's atomic rename; the new header carries the current
+        dedupe table so exactly-once state survives the compaction.  A
+        crash before the rotation's own rename leaves the longer
+        pre-rotation log, which recovery handles by skipping records at
+        or below the checkpoint epoch.
+        """
+        self._start_file(base_epoch, program_fp, dedupe)
+        self.rotations += 1
+        _metrics.metrics.inc("serve.wal.rotations")
+
+    # -- observability -----------------------------------------------------
+
+    def info(self) -> dict:
+        """The ``wal`` payload of the ``health``/``stats`` verbs."""
+        return {
+            "path": self.path,
+            "fsync": self.fsync_mode,
+            "base_epoch": self.base_epoch,
+            "records": self.records_appended,
+            "rotations": self.rotations,
+            "fsyncs": self.fsyncs,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Recovery: checkpoint + WAL suffix -> (view, dedupe table).
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RecoveryReport:
+    """What :func:`recover` did, for logs and tests."""
+
+    checkpoint_epoch: int = 0
+    wal_base_epoch: int = 0
+    replayed: int = 0
+    skipped: int = 0
+    torn_bytes: int = 0
+    epoch: int = 0
+    dedupe_entries: int = 0
+
+
+def merge_dedupe(dedupe: dict, record: WalRecord) -> None:
+    """Fold one WAL record into the exactly-once table.
+
+    The table entry mirrors what the live server maintains: how many
+    rows of the request are logged, the cumulative applied count, the
+    epoch of the last logged row, and whether the request completed
+    (its final row is on disk).  Replay reconstructs the same entry the
+    crashed server held, so a client retry is answered identically.
+    """
+    if record.rid is None:
+        return
+    entry = dedupe.get(record.rid)
+    if entry is None:
+        entry = {
+            "rows_done": 0,
+            "applied": 0,
+            "epoch": record.epoch,
+            "requested": record.rows_total,
+            "completed": False,
+            "op": record.op,
+            "predicate": record.predicate,
+        }
+        dedupe[record.rid] = entry
+    entry["rows_done"] = record.row_index + 1
+    entry["applied"] = entry["applied"] + record.applied
+    entry["epoch"] = record.epoch
+    entry["requested"] = record.rows_total
+    entry["completed"] = record.row_index + 1 == record.rows_total
+
+
+def recover(
+    program,
+    structure,
+    checkpoint_path: str | None = None,
+    wal_path: str | None = None,
+):
+    """Rebuild a live view at the last logged epoch, exactly once.
+
+    1. Load the latest fingerprinted checkpoint (if any) -- the view is
+       bit-identical at the checkpoint epoch, as PR 9's drill proves.
+    2. Scan the WAL (if any): verify the program fingerprint, tolerate
+       a torn tail (truncating the file in place so a subsequent scan
+       is clean), and replay every record *above* the checkpoint epoch
+       through the ordinary :meth:`LiveView.apply` path -- each replayed
+       record must land exactly on its logged epoch.
+    3. Rebuild the dedupe table from the WAL header snapshot plus the
+       logged records, so retried in-flight requests are applied
+       exactly once after the restart.
+
+    Returns ``(view, dedupe, report)``.  Raises :class:`WalMismatch` /
+    :class:`WalCorrupt` for wrong-program or damaged logs and
+    :class:`~repro.guard.CheckpointMismatch` for bad checkpoints --
+    recovery is loud, never quietly wrong.
+    """
+    from repro.datalog.incremental import Update
+    from repro.serve.view import LiveView
+
+    report = RecoveryReport()
+    program_fp = program_fingerprint(program)
+    if checkpoint_path is not None and os.path.exists(checkpoint_path):
+        view = LiveView.resume(program, structure, checkpoint_path)
+        report.checkpoint_epoch = view.epoch
+    else:
+        view = LiveView(program, structure)
+    dedupe: dict = {}
+    if wal_path is not None and os.path.exists(wal_path):
+        scan = scan_wal(wal_path)
+        report.torn_bytes = scan.torn_bytes
+        if scan.torn_bytes:
+            with open(wal_path, "r+b") as handle:
+                handle.truncate(scan.valid_bytes)
+        if scan.header is not None:
+            if scan.header["program"] != program_fp:
+                raise WalMismatch(
+                    wal_path,
+                    "WAL was written for a different program "
+                    f"(log {scan.header['program'][:12]}..., offered "
+                    f"{program_fp[:12]}...); replaying would corrupt "
+                    "the view",
+                )
+            report.wal_base_epoch = scan.base_epoch
+            dedupe = dict(scan.header["dedupe"])
+            for record in scan.records:
+                if record.epoch > view.epoch:
+                    __, snapshot = view.apply(
+                        Update(record.op, record.predicate, record.row)
+                    )
+                    if snapshot.epoch != record.epoch:
+                        raise WalCorrupt(
+                            wal_path,
+                            f"replaying record for epoch {record.epoch} "
+                            f"produced epoch {snapshot.epoch}; the log "
+                            "and checkpoint disagree",
+                        )
+                    report.replayed += 1
+                    _metrics.metrics.inc("serve.wal.replayed")
+                else:
+                    report.skipped += 1
+                merge_dedupe(dedupe, record)
+    report.epoch = view.epoch
+    report.dedupe_entries = len(dedupe)
+    return view, dedupe, report

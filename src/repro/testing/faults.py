@@ -41,6 +41,25 @@ permanent, feather-weight fault sites instead:
     Hit ``n`` is the ``n``-th checkpoint the serve session writes, so a
     census of a scripted update stream enumerates every checkpoint
     boundary exactly.
+``wal_record``
+    hit by the serve writer task once per write-ahead-log record, right
+    after the record is appended (and fsynced per policy) but *before*
+    the update's response is acknowledged.  The server translates the
+    injected fault into a real ``SIGKILL`` of its own process, so hit
+    ``n`` kills the server with exactly ``n`` records durable and at
+    most ``n - 1`` updates acknowledged -- the kill-at-every-WAL-record
+    drill enumerates every applied-update boundary this way and asserts
+    ``--resume`` replays the WAL suffix to the last appended epoch with
+    zero lost acknowledged updates.
+``torn_wal``
+    hit inside :meth:`repro.serve.wal.WriteAheadLog.append` before the
+    record's bytes go out.  The WAL catches the injected fault, writes
+    only a *prefix* of the framed record (a torn tail, exactly what a
+    crash mid-``write`` leaves), flushes it, and re-raises; the server
+    translates the escape into a real ``SIGKILL``.  Recovery must
+    detect the torn tail by its incomplete frame, truncate it, and
+    resume at the previous (fully appended) epoch -- the torn record's
+    update was never acknowledged, so dropping it loses nothing.
 
 Cost discipline mirrors :mod:`repro.obs.metrics`: instrumented code
 calls ``faults.hit("round")`` unconditionally through this module's
@@ -62,8 +81,16 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Iterator
 
-#: The five permanent fault sites compiled into the engines.
-_SITES = ("round", "rule", "probe", "kill_worker", "kill_server")
+#: The seven permanent fault sites compiled into the engines.
+_SITES = (
+    "round",
+    "rule",
+    "probe",
+    "kill_worker",
+    "kill_server",
+    "wal_record",
+    "torn_wal",
+)
 
 
 def fault_sites() -> tuple[str, ...]:

@@ -48,7 +48,8 @@ GRAPH_PROGRAMS = {
 class TestHarness:
     def test_sites(self):
         assert fault_sites() == (
-            "round", "rule", "probe", "kill_worker", "kill_server"
+            "round", "rule", "probe", "kill_worker", "kill_server",
+            "wal_record", "torn_wal",
         )
 
     def test_plan_validates(self):

@@ -443,3 +443,164 @@ class TestCliServeValidation:
         )
         assert code == 2
         assert "malformed --tenant" in capsys.readouterr().err
+
+    def test_wal_needs_checkpoint(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["serve", "transitive-closure", "missing.graph",
+             "--wal", "serve.wal"]
+        )
+        assert code == 2
+        assert "--wal needs --checkpoint" in capsys.readouterr().err
+
+    @pytest.mark.parametrize(
+        "flags,fragment",
+        [
+            (["--wal", "w", "--checkpoint", "c", "--fsync-interval", "0"],
+             "--fsync-interval must be > 0"),
+            (["--max-queue", "-1"], "--max-queue and --max-outbox"),
+            (["--max-outbox", "-1"], "--max-queue and --max-outbox"),
+            (["--history", "0"], "--history must be >= 1"),
+        ],
+    )
+    def test_durability_flag_validation(self, capsys, flags, fragment):
+        from repro.cli import main
+
+        code = main(
+            ["serve", "transitive-closure", "missing.graph", *flags]
+        )
+        assert code == 2
+        assert fragment in capsys.readouterr().err
+
+
+class TestProtocolV2:
+    def test_protocol_version_bumped(self):
+        assert protocol.PROTOCOL_VERSION == 2
+        assert "health" in protocol.VERBS
+        assert "overloaded" in protocol.ERROR_CODES
+
+    def test_rid_parses_and_validates(self):
+        parsed = protocol.parse_request(
+            '{"op": "insert", "predicate": "E", "row": ["a", "b"], '
+            '"rid": "c1-7"}'
+        )
+        assert parsed["rid"] == "c1-7"
+        bare = protocol.parse_request(
+            '{"op": "insert", "predicate": "E", "row": ["a", "b"]}'
+        )
+        assert bare["rid"] is None
+        for bad in ('""', "7", "[1]"):
+            with pytest.raises(protocol.ProtocolError) as excinfo:
+                protocol.parse_request(
+                    '{"op": "delete", "predicate": "E", "row": ["a"], '
+                    f'"rid": {bad}}}'
+                )
+            assert excinfo.value.code == "bad_request"
+
+    def test_from_epoch_parses_and_validates(self):
+        parsed = protocol.parse_request(
+            '{"op": "subscribe", "from_epoch": 12}'
+        )
+        assert parsed["from_epoch"] == 12
+        assert protocol.parse_request('{"op": "subscribe"}')[
+            "from_epoch"
+        ] is None
+        for bad in ("-1", "1.5", "true", '"3"'):
+            with pytest.raises(protocol.ProtocolError) as excinfo:
+                protocol.parse_request(
+                    f'{{"op": "subscribe", "from_epoch": {bad}}}'
+                )
+            assert excinfo.value.code == "bad_request"
+
+    def test_error_fields_ride_the_wire(self):
+        error = protocol.ProtocolError(
+            "overloaded", "queue full", retry_after_ms=75
+        )
+        assert error.fields == {"retry_after_ms": 75}
+        response = protocol.error_response(
+            4, error.code, str(error), **error.fields
+        )
+        assert response["error"]["retry_after_ms"] == 75
+        assert response["error"]["code"] == "overloaded"
+
+    def test_resync_event_shape(self):
+        event = protocol.resync_event(
+            9, "S", {("b", "a"), ("a", "b")}, "evicted"
+        )
+        assert event == {
+            "event": "resync",
+            "epoch": 9,
+            "predicate": "S",
+            "rows": [["a", "b"], ["b", "a"]],
+            "reason": "evicted",
+        }
+
+
+class TestServerV2Integration:
+    EDGES = [("a", "b"), ("b", "c"), ("c", "d")]
+
+    def test_health_reports_pressure(self):
+        with running_server(tc_view(self.EDGES), max_queue=8) as server:
+            with connect(server) as client:
+                client.insert("E", ["d", "a"])
+                health = client.health()
+        assert health["epoch"] == 1
+        assert health["queue_depth"] == 0
+        assert health["queue_capacity"] == 8
+        assert health["clients"] == 1
+        assert "wal" not in health  # no log attached
+
+    def test_rid_dedupes_a_completed_request(self):
+        with running_server(tc_view(self.EDGES)) as server:
+            with connect(server) as client:
+                first = client.insert("E", ["d", "a"], rid="req-1")
+                assert first["epoch"] == 1
+                assert "deduped" not in first
+                retry = client.insert("E", ["d", "a"], rid="req-1")
+                assert retry["deduped"] is True
+                assert retry["epoch"] == 1
+                assert retry["applied"] == first["applied"] == 1
+                # The view moved once, not twice.
+                assert client.ping()["epoch"] == 1
+                assert client.stats()["deduped"] == 1
+
+    def test_distinct_rids_apply_independently(self):
+        with running_server(tc_view(self.EDGES)) as server:
+            with connect(server) as client:
+                client.insert("E", ["d", "a"], rid="x")
+                client.delete("E", ["d", "a"], rid="y")
+                assert client.ping()["epoch"] == 2
+
+    def test_resubscribe_backfills_missed_deltas(self):
+        with running_server(tc_view(self.EDGES)) as server:
+            with connect(server) as writer, connect(server) as late:
+                writer.insert("E", ["d", "a"])
+                writer.delete("E", ["d", "a"])
+                response = late.subscribe(from_epoch=0)
+                assert response["backfilled"] == 2
+                events = late.drain_events(2)
+                assert [e["epoch"] for e in events] == [1, 2]
+                assert ["d", "a"] in events[0]["added"]
+                assert ["d", "a"] in events[1]["removed"]
+
+    def test_resubscribe_past_the_history_resyncs(self):
+        with running_server(tc_view(self.EDGES), history=1) as server:
+            with connect(server) as writer, connect(server) as late:
+                writer.insert("E", ["d", "a"])
+                writer.insert("E", ["a", "c"])  # pushes epoch 1 out
+                response = late.subscribe(from_epoch=0)
+                assert response["backfilled"] == 0
+                (event,) = late.drain_events(1)
+                assert event["event"] == "resync"
+                assert event["reason"] == "gap"
+                assert event["epoch"] == 2
+                assert event["rows"] == writer.query()["rows"]
+
+    def test_up_to_date_resubscribe_backfills_nothing(self):
+        with running_server(tc_view(self.EDGES)) as server:
+            with connect(server) as client:
+                client.insert("E", ["d", "a"])
+                response = client.subscribe(from_epoch=1)
+                assert response["backfilled"] == 0
+                assert client.events == []

@@ -21,6 +21,22 @@ Because the kill lands immediately after the checkpoint's
 the checkpoint write: a torn file would fail ``--resume`` loudly with
 ``CheckpointMismatch`` rather than resume quietly wrong.
 
+With ``--wal`` the drill tightens from checkpoint boundaries to
+**every applied-update boundary**:
+
+* ``wal_record`` fires after each record is durably appended but
+  before the update is acknowledged -- a SIGKILL there leaves ``k``
+  records on disk and at most ``k - 1`` acks delivered, and
+  ``--resume`` (checkpoint + WAL suffix) must serve the serial-prefix
+  view at epoch ``k``.  No acknowledged epoch is ever lost.
+* ``torn_wal`` crashes *mid-append*, leaving half a frame on disk:
+  recovery truncates the torn tail (reported in the resume banner)
+  and serves epoch ``k - 1`` -- the unacknowledged torn update is
+  legitimately gone, every acknowledged one is not.
+* The dedupe table rides in WAL headers/records, so a client retrying
+  its unacknowledged in-flight update *across the crash* (same
+  ``rid``) is answered ``deduped: true`` with no second application.
+
 Run with ``-m fault_injection`` (deselected from the default suite,
 like the other fault drills).
 """
@@ -37,6 +53,7 @@ from repro.datalog.evaluation import evaluate
 from repro.datalog.library import transitive_closure_program
 from repro.graphs.digraph import DiGraph
 from repro.serve.client import ServeClient
+from repro.serve.wal import WriteAheadLog
 from repro.testing.faults import census
 
 from tests.serve_utils import connect, running_server, tc_view
@@ -73,12 +90,15 @@ def _write_graph(tmp_path) -> str:
     return str(path)
 
 
-def _spawn_server(graph: str, ckpt: str, *extra, arm: int | None = None):
-    """Start a serve subprocess; returns (process, bound port).
+def _spawn_server(
+    graph: str, ckpt: str, *extra, arm: tuple[str, int] | None = None
+):
+    """Start a serve subprocess; returns (process, bound port, banner).
 
-    ``arm`` pre-arms ``FaultPlan("kill_server", arm)`` inside the
-    child before the CLI runs -- the injected fault becomes a real
-    SIGKILL of that process.
+    ``arm=(site, n)`` pre-arms ``FaultPlan(site, n)`` inside the child
+    before the CLI runs -- the injected fault becomes a real SIGKILL
+    of that process.  ``banner`` is the stdout printed before the
+    serving line (the resume/replay diagnostics).
     """
     serve_args = [
         "serve", "transitive-closure", graph, "--port", "0",
@@ -87,10 +107,11 @@ def _spawn_server(graph: str, ckpt: str, *extra, arm: int | None = None):
     if arm is None:
         argv = [sys.executable, "-u", "-m", "repro.cli", *serve_args]
     else:
+        site, occurrence = arm
         boot = (
             "import sys\n"
             "import repro.testing.faults as faults\n"
-            f"faults.faults = faults.FaultPlan('kill_server', {arm})\n"
+            f"faults.faults = faults.FaultPlan({site!r}, {occurrence})\n"
             "from repro.cli import main\n"
             f"sys.exit(main({serve_args!r}))\n"
         )
@@ -101,15 +122,20 @@ def _spawn_server(graph: str, ckpt: str, *extra, arm: int | None = None):
         env=env, text=True,
     )
     port = None
+    banner: list[str] = []
     for line in process.stdout:
         match = re.search(r"serving \S+ on \S+:(\d+)", line)
         if match:
             port = int(match.group(1))
             break
+        banner.append(line)
     if port is None:
         process.kill()
-        raise RuntimeError("server subprocess never printed its port")
-    return process, port
+        raise RuntimeError(
+            "server subprocess never printed its port; output was:\n"
+            + "".join(banner)
+        )
+    return process, port, "".join(banner)
 
 
 def test_census_enumerates_every_checkpoint_boundary(tmp_path):
@@ -146,8 +172,8 @@ def test_sigkill_at_every_boundary_resumes_bit_identical(tmp_path, boundary):
     ckpt = str(tmp_path / f"kill{boundary}.ckpt")
 
     # Phase 1: armed server; drive the script until the kill lands.
-    process, port = _spawn_server(
-        graph, ckpt, "--checkpoint-every", "1", arm=boundary
+    process, port, _banner = _spawn_server(
+        graph, ckpt, "--checkpoint-every", "1", arm=("kill_server", boundary)
     )
     delivered = 0
     try:
@@ -170,13 +196,181 @@ def test_sigkill_at_every_boundary_resumes_bit_identical(tmp_path, boundary):
     assert delivered == boundary - 1
 
     # Phase 2: --resume must serve the serial-prefix view at epoch k.
-    process2, port2 = _spawn_server(graph, ckpt, "--resume")
+    process2, port2, _banner2 = _spawn_server(graph, ckpt, "--resume")
     try:
         with ServeClient("127.0.0.1", port2, timeout=30) as client:
             assert client.ping()["epoch"] == boundary
             response = client.query()
             assert response["epoch"] == boundary
             assert response["rows"] == _serial_goal_rows(boundary)
+            client.shutdown()
+    finally:
+        assert process2.wait(timeout=30) == 0
+
+
+# ---------------------------------------------------------------------------
+# WAL drills: every applied-update boundary, not just checkpoints
+# ---------------------------------------------------------------------------
+
+
+def _drive_until_kill(port: int, rids: bool = False) -> int:
+    """Drive SCRIPT until the armed kill severs the connection.
+
+    Returns the number of *acknowledged* updates -- the durability
+    contract the drills hold the server to.
+    """
+    delivered = 0
+    client = ServeClient("127.0.0.1", port, timeout=30)
+    try:
+        for index, (kind, row) in enumerate(SCRIPT, start=1):
+            rid = f"drill-{index}" if rids else None
+            getattr(client, kind)("E", list(row), rid=rid)
+            delivered += 1
+    except (ConnectionError, OSError):
+        pass
+    finally:
+        client.close()
+    return delivered
+
+
+def test_census_counts_every_wal_record(tmp_path):
+    """With a WAL attached the schedulable range is every applied row:
+    both WAL sites are probed once per record."""
+    ckpt = str(tmp_path / "census-wal.ckpt")
+    with census() as counts:
+        view = tc_view(EDGES, nodes=NODES)
+        wal = WriteAheadLog.create(
+            str(tmp_path / "census.wal"), 0, view.program_fp
+        )
+        with running_server(
+            view, wal=wal, checkpoint_path=ckpt, checkpoint_every=1
+        ) as server:
+            with connect(server) as client:
+                for kind, row in SCRIPT:
+                    getattr(client, kind)("E", list(row))
+    assert counts.hits("wal_record") == len(SCRIPT)
+    assert counts.hits("torn_wal") == len(SCRIPT)
+
+
+@pytest.mark.parametrize("boundary", range(1, len(SCRIPT) + 1))
+def test_sigkill_at_every_wal_record_loses_no_acknowledged_epoch(
+    tmp_path, boundary
+):
+    """SIGKILL after record ``k`` is durable but before its ack: at
+    most ``k - 1`` responses were delivered, and --resume (checkpoint
+    + WAL suffix replay) serves the serial prefix at epoch ``k``."""
+    graph = _write_graph(tmp_path)
+    ckpt = str(tmp_path / f"wal-kill{boundary}.ckpt")
+    wal = str(tmp_path / f"wal-kill{boundary}.wal")
+    durability = ["--wal", wal, "--checkpoint-every", "2"]
+
+    process, port, _banner = _spawn_server(
+        graph, ckpt, *durability, arm=("wal_record", boundary)
+    )
+    try:
+        delivered = _drive_until_kill(port)
+    finally:
+        returncode = process.wait(timeout=30)
+    assert returncode == -signal.SIGKILL
+    assert delivered == boundary - 1
+
+    process2, port2, banner = _spawn_server(
+        graph, ckpt, *durability, "--resume"
+    )
+    try:
+        assert "% wal replay:" in banner
+        with ServeClient("127.0.0.1", port2, timeout=30) as client:
+            # Bit-identical at the last durable epoch: record k was
+            # logged before the kill, so nothing acknowledged (<= k-1)
+            # -- nor even the unacked k-th -- is lost.
+            assert client.ping()["epoch"] == boundary
+            response = client.query()
+            assert response["epoch"] == boundary
+            assert response["rows"] == _serial_goal_rows(boundary)
+            client.shutdown()
+    finally:
+        assert process2.wait(timeout=30) == 0
+
+
+@pytest.mark.parametrize("boundary", range(1, len(SCRIPT) + 1))
+def test_torn_tail_at_every_record_is_truncated_not_fatal(
+    tmp_path, boundary
+):
+    """``torn_wal`` crashes mid-append, leaving half a frame on disk.
+    Recovery truncates the torn tail (reported, not fatal) and serves
+    epoch ``k - 1``: the torn update was never acknowledged."""
+    graph = _write_graph(tmp_path)
+    ckpt = str(tmp_path / f"torn{boundary}.ckpt")
+    wal = str(tmp_path / f"torn{boundary}.wal")
+    durability = ["--wal", wal, "--checkpoint-every", "2"]
+
+    process, port, _banner = _spawn_server(
+        graph, ckpt, *durability, arm=("torn_wal", boundary)
+    )
+    try:
+        delivered = _drive_until_kill(port)
+    finally:
+        returncode = process.wait(timeout=30)
+    assert returncode == -signal.SIGKILL
+    assert delivered == boundary - 1
+
+    process2, port2, banner = _spawn_server(
+        graph, ckpt, *durability, "--resume"
+    )
+    try:
+        torn = re.search(r"(\d+) torn bytes truncated", banner)
+        assert torn is not None, f"no truncation report in: {banner!r}"
+        assert int(torn.group(1)) > 0
+        with ServeClient("127.0.0.1", port2, timeout=30) as client:
+            assert client.ping()["epoch"] == boundary - 1
+            response = client.query()
+            assert response["rows"] == _serial_goal_rows(boundary - 1)
+            client.shutdown()
+    finally:
+        assert process2.wait(timeout=30) == 0
+
+
+def test_rid_retry_across_crash_applies_exactly_once(tmp_path):
+    """The lost-ack crash: update 3 is applied and logged, the server
+    dies before responding.  After --resume the client's retry (same
+    rid) is answered from the recovered dedupe table -- no second
+    application -- and the script completes to the full serial view."""
+    graph = _write_graph(tmp_path)
+    ckpt = str(tmp_path / "retry.ckpt")
+    wal = str(tmp_path / "retry.wal")
+    durability = ["--wal", wal, "--checkpoint-every", "2"]
+    boundary = 3
+
+    process, port, _banner = _spawn_server(
+        graph, ckpt, *durability, arm=("wal_record", boundary)
+    )
+    try:
+        delivered = _drive_until_kill(port, rids=True)
+    finally:
+        assert process.wait(timeout=30) == -signal.SIGKILL
+    assert delivered == boundary - 1
+
+    process2, port2, _banner2 = _spawn_server(
+        graph, ckpt, *durability, "--resume"
+    )
+    try:
+        with ServeClient("127.0.0.1", port2, timeout=30) as client:
+            assert client.ping()["epoch"] == boundary
+            # Replay the unacknowledged in-flight update verbatim.
+            kind, row = SCRIPT[boundary - 1]
+            retried = getattr(client, kind)(
+                "E", list(row), rid=f"drill-{boundary}"
+            )
+            assert retried["deduped"] is True
+            assert retried["epoch"] == boundary  # not applied twice
+            assert client.ping()["epoch"] == boundary
+            # Finish the script; the final view equals a serial replay.
+            for index in range(boundary, len(SCRIPT)):
+                kind, row = SCRIPT[index]
+                getattr(client, kind)("E", list(row), rid=f"drill-{index + 1}")
+            response = client.query()
+            assert response["epoch"] == len(SCRIPT)
+            assert response["rows"] == _serial_goal_rows(len(SCRIPT))
             client.shutdown()
     finally:
         assert process2.wait(timeout=30) == 0

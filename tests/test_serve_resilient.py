@@ -1,0 +1,299 @@
+"""The resilient client: reconnect, backoff, budget, exactly-once.
+
+Two layers of tests:
+
+* **Scripted-transport units** -- a fake ``client_factory`` drives
+  :class:`ResilientClient` through connection failures and
+  ``overloaded`` responses with an injected sleep recorder, proving
+  the backoff schedule is a pure function of the seed (deterministic
+  jitter), that the server's ``retry_after_ms`` hint floors the delay,
+  and that the retry budget drains to :class:`RetryBudgetExhausted`.
+* **Real-server integration** -- a lossy wrapper around the genuine
+  :class:`ServeClient` simulates the classic lost-ack: the update is
+  applied, the response is dropped, the client retries with the same
+  rid -- and the update is applied exactly once.  Reconnection heals
+  subscriptions via ``from_epoch`` backfill.
+
+Also covers the satellite: transport failures surface as the
+structured :class:`ServeConnectionError` (host/port/last-epoch), never
+a raw ``ConnectionError``/``OSError`` -- while still *being* a
+``ConnectionError`` so legacy call sites keep catching them.
+"""
+
+import random
+import socket
+
+import pytest
+
+from repro.serve.client import (
+    ResilientClient,
+    RetryBudgetExhausted,
+    ServeClient,
+    ServeConnectionError,
+    ServeError,
+)
+
+from tests.serve_utils import connect, running_server, tc_view
+
+EDGES = [("a", "b"), ("b", "c"), ("c", "d")]
+
+
+# ---------------------------------------------------------------------------
+# Scripted transports
+# ---------------------------------------------------------------------------
+
+
+class _ScriptedClient:
+    """A fake ServeClient: each verb call pops the next scripted step.
+
+    A step is an exception instance (raised) or a dict (returned).
+    The script is shared across reconnections via the factory closure.
+    """
+
+    def __init__(self, script, host, port, tenant=None, timeout=None):
+        self._script = script
+        self.host = host
+        self.port = port
+        self.last_epoch = 0
+        self.calls = []
+
+    def _step(self, op, *args, **fields):
+        self.calls.append((op, fields))
+        action = self._script.pop(0)
+        if isinstance(action, Exception):
+            raise action
+        epoch = action.get("epoch")
+        if isinstance(epoch, int):
+            self.last_epoch = max(self.last_epoch, epoch)
+        return action
+
+    def __getattr__(self, op):
+        if op.startswith("_"):
+            raise AttributeError(op)
+        return lambda *args, **kwargs: self._step(op, *args, **kwargs)
+
+    def close(self):
+        pass
+
+
+def _factory(script, log=None):
+    def make(host, port, tenant=None, timeout=None):
+        client = _ScriptedClient(script, host, port, tenant, timeout)
+        if log is not None:
+            log.append(client)
+        return client
+
+    return make
+
+
+def _expected_backoffs(seed, count, base=0.05, cap=2.0, hints=None):
+    rng = random.Random(seed)
+    delays = []
+    for attempt in range(count):
+        delay = min(cap, base * (2 ** attempt))
+        delay *= 0.5 + rng.random() / 2
+        if hints and hints[attempt] is not None:
+            delay = max(delay, hints[attempt] / 1000.0)
+        delays.append(delay)
+    return delays
+
+
+class TestScriptedRetries:
+    def test_backoff_schedule_is_seed_deterministic(self):
+        def run(seed):
+            drop = lambda: ServeConnectionError("h", 1, 0, "drop")
+            script = [drop(), drop(), drop(), {"ok": True, "epoch": 3}]
+            slept = []
+            client = ResilientClient(
+                "h", 1, seed=seed, sleep=slept.append,
+                client_factory=_factory(script),
+            )
+            assert client.ping() == {"ok": True, "epoch": 3}
+            return slept, list(client.backoffs)
+
+        slept_a, recorded_a = run(seed=11)
+        slept_b, _ = run(seed=11)
+        slept_c, _ = run(seed=12)
+        assert slept_a == slept_b == _expected_backoffs(11, 3)
+        assert slept_a != slept_c  # different seed, different jitter
+        assert recorded_a == slept_a
+
+    def test_overloaded_honours_retry_after_floor(self):
+        overloaded = ServeError(
+            "overloaded", "queue full", retry_after_ms=500
+        )
+        script = [overloaded, {"ok": True, "epoch": 1}]
+        slept = []
+        client = ResilientClient(
+            "h", 1, seed=3, sleep=slept.append,
+            client_factory=_factory(script),
+        )
+        assert client.ping()["ok"]
+        # First backoff would be ~0.025-0.05s; the 500ms hint floors it.
+        assert slept == _expected_backoffs(3, 1, hints=[500])
+        assert slept[0] >= 0.5
+
+    def test_budget_drains_deterministically_to_exhaustion(self):
+        drop = lambda: ServeConnectionError("h", 1, 0, "down")
+        script = [drop() for _ in range(20)]
+        slept = []
+        client = ResilientClient(
+            "h", 1, seed=7, retry_budget=5, sleep=slept.append,
+            client_factory=_factory(script),
+        )
+        with pytest.raises(RetryBudgetExhausted) as excinfo:
+            client.ping()
+        assert excinfo.value.budget == 5
+        assert isinstance(excinfo.value.last_error, ServeConnectionError)
+        assert client.retries_left == 0
+        # Exactly budget sleeps happened, on the seeded schedule.
+        assert slept == _expected_backoffs(7, 5)
+
+    def test_non_overloaded_server_errors_do_not_retry(self):
+        script = [ServeError("bad_request", "nope")]
+        client = ResilientClient(
+            "h", 1, seed=0, sleep=lambda _s: None,
+            client_factory=_factory(script),
+        )
+        with pytest.raises(ServeError, match="bad_request"):
+            client.ping()
+        assert client.retries_left == client.retry_budget
+
+    def test_reconnect_resubscribes_with_from_epoch(self):
+        script = [
+            {"ok": True, "predicate": "S", "epoch": 0},   # subscribe
+            {"ok": True, "epoch": 4},                     # ping
+            ServeConnectionError("h", 1, 4, "drop"),      # ping fails
+            {"ok": True, "predicate": "S", "epoch": 4},   # re-subscribe
+            {"ok": True, "epoch": 4},                     # ping retry
+        ]
+        made = []
+        client = ResilientClient(
+            "h", 1, seed=1, sleep=lambda _s: None,
+            client_factory=_factory(script, made),
+        )
+        client.subscribe()
+        client.ping()
+        client.ping()
+        assert len(made) == 2  # one reconnect
+        resub_op, resub_fields = made[1].calls[0]
+        assert resub_op == "subscribe"
+        assert resub_fields == {"predicate": None, "from_epoch": 4}
+        assert client.reconnects == 2
+
+    def test_update_rids_are_stable_and_sequential(self):
+        drop = ServeConnectionError("h", 1, 0, "drop")
+        script = [
+            drop,                                  # insert attempt 1
+            {"ok": True, "epoch": 1},              # insert attempt 2
+            {"ok": True, "epoch": 2},              # delete
+        ]
+        made = []
+        client = ResilientClient(
+            "h", 1, seed=9, sleep=lambda _s: None,
+            client_factory=_factory(script, made),
+        )
+        client.insert("E", ["a", "b"])
+        client.delete("E", ["a", "b"])
+        calls = [call for made_client in made for call in made_client.calls]
+        insert_rids = {
+            fields["rid"] for op, fields in calls if op == "insert"
+        }
+        delete_rids = {
+            fields["rid"] for op, fields in calls if op == "delete"
+        }
+        # Both attempts of the insert replayed ONE rid; the delete got
+        # the next one in the seed-scoped namespace.
+        assert insert_rids == {"rc9-1"}
+        assert delete_rids == {"rc9-2"}
+
+
+# ---------------------------------------------------------------------------
+# Real server integration
+# ---------------------------------------------------------------------------
+
+
+class _LossyClient(ServeClient):
+    """Drops the ack of selected requests *after* the server applied
+    them -- the canonical duplicate-generating failure."""
+
+    drop_ops: set = set()
+
+    def request(self, op, **fields):
+        response = super().request(op, **fields)
+        if op in type(self).drop_ops:
+            type(self).drop_ops.discard(op)
+            raise ServeConnectionError(
+                self.host, self.port, self.last_epoch,
+                "simulated lost acknowledgement",
+            )
+        return response
+
+
+class TestAgainstRealServer:
+    def test_lost_ack_applies_exactly_once(self):
+        _LossyClient.drop_ops = {"insert"}
+        with running_server(tc_view(EDGES)) as server:
+            client = ResilientClient(
+                "127.0.0.1", server.port, seed=5,
+                sleep=lambda _s: None, client_factory=_LossyClient,
+            )
+            response = client.insert("E", ["d", "a"])
+            # The retry was answered from the dedupe table: applied
+            # once, epoch bumped once.
+            assert response["deduped"] is True
+            assert response["applied"] == 1
+            assert response["epoch"] == 1
+            assert client.ping()["epoch"] == 1
+            assert client.reconnects == 2
+            client.close()
+
+    def test_reconnect_backfills_subscription_gap(self):
+        with running_server(tc_view(EDGES)) as server:
+            subscriber = ResilientClient(
+                "127.0.0.1", server.port, seed=6, sleep=lambda _s: None,
+            )
+            with connect(server) as writer:
+                subscriber.subscribe()
+                writer.insert("E", ["d", "a"])
+                (event,) = subscriber.drain_events(1)
+                assert event["epoch"] == 1
+                # Sever the connection behind the client's back, then
+                # miss two epochs.
+                subscriber._client._sock.shutdown(socket.SHUT_RDWR)
+                writer.insert("E", ["a", "c"])
+                writer.delete("E", ["a", "c"])
+                events = subscriber.drain_events(2)
+                assert [e["epoch"] for e in events] == [2, 3]
+                assert [e["event"] for e in events] == ["delta", "delta"]
+                assert subscriber.reconnects == 2
+            subscriber.close()
+
+    def test_connection_error_is_structured(self):
+        # A port with nothing listening: connect fails loudly and
+        # structurally (and is still a ConnectionError for old code).
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        with pytest.raises(ServeConnectionError) as excinfo:
+            ServeClient("127.0.0.1", port, timeout=2)
+        error = excinfo.value
+        assert isinstance(error, ConnectionError)
+        assert error.host == "127.0.0.1"
+        assert error.port == port
+        assert error.last_epoch == 0
+        assert "connect failed" in str(error)
+
+    def test_server_close_surfaces_last_epoch(self):
+        with running_server(tc_view(EDGES)) as server:
+            client = connect(server)
+            client.insert("E", ["d", "a"])
+            client.insert("E", ["a", "c"])
+            client.shutdown()
+            with pytest.raises(ServeConnectionError) as excinfo:
+                for _ in range(10):  # the close may take a beat
+                    client.ping()
+            assert excinfo.value.last_epoch == 2
+            assert excinfo.value.port == server.port
+            client.close()

@@ -1,0 +1,223 @@
+"""Seeded chaos soak: crashes, lost acks, flaky subscribers -- and
+still serial-replay equality.
+
+Each trial boots a real threaded server with a WAL and drives a
+seeded random update script through a :class:`ResilientClient` whose
+transport *loses acknowledgements on purpose* (the server applies the
+update, the client never hears -- the retry must dedupe).  While the
+script runs the trial also, at seeded random points:
+
+* **snapshots the durable state** -- copies the live ``(checkpoint,
+  WAL)`` pair exactly as a SIGKILL at that instant would leave it
+  (including mid-append torn tails: the copy races the writer on
+  purpose).  After the trial, :func:`repro.serve.wal.recover` is run
+  on every copy and must reconstruct a view at an epoch **at least**
+  the last acknowledged one, whose goal relation equals a from-scratch
+  serial replay of that epoch prefix.  Zero lost acknowledged updates,
+  at every moment of the run.
+* **severs the subscriber's socket** behind its back -- the resilient
+  resubscribe (``from_epoch``) must heal the stream via backfill or
+  resync.
+* optionally parks a **never-reading subscriber** on a server with a
+  tiny ``max_outbox`` -- multi-row updates then force evictions, and
+  the writer must shrug (drop + pending resync), never stall.
+
+The trial count honours ``REPRO_SOAK_TRIALS`` (default keeps the
+default suite fast); CI's chaos job runs the full 100+.  Everything is
+derived from the trial seed: the script, the ack-loss schedule, the
+snapshot points, the backoff jitter.  A failure reproduces from its
+seed alone.
+"""
+
+import os
+import random
+import shutil
+import socket
+
+import pytest
+
+from repro.datalog.evaluation import evaluate
+from repro.datalog.library import transitive_closure_program
+from repro.graphs.digraph import DiGraph
+from repro.serve.client import ResilientClient, ServeClient, ServeConnectionError
+from repro.serve.wal import WriteAheadLog, recover
+
+from tests.serve_utils import connect, running_server, tc_view
+
+pytestmark = pytest.mark.fault_injection
+
+NODES = "abcdef"
+INITIAL_EDGES = [("a", "b"), ("b", "c"), ("c", "d")]
+ROWS_PER_TRIAL = 10
+
+
+def _trial_count() -> int:
+    return int(os.environ.get("REPRO_SOAK_TRIALS", "100"))
+
+
+def _serial_goal_rows(rowops) -> list[list[str]]:
+    """Ground truth: evaluate from scratch after applying ``rowops``."""
+    edb = set(INITIAL_EDGES)
+    for kind, row in rowops:
+        (edb.add if kind == "insert" else edb.discard)(tuple(row))
+    program = transitive_closure_program()
+    structure = DiGraph(nodes=NODES, edges=[]).to_structure()
+    result = evaluate(program, structure, extra_edb={"E": frozenset(edb)})
+    return sorted([list(r) for r in result.relations[program.goal]])
+
+
+def _make_script(rng: random.Random) -> list[tuple[str, tuple[str, str]]]:
+    """A seeded flat list of single-row updates (the serial schedule)."""
+    rowops = []
+    for _ in range(ROWS_PER_TRIAL):
+        kind = "insert" if rng.random() < 0.7 else "delete"
+        a, b = rng.sample(NODES, 2)
+        rowops.append((kind, (a, b)))
+    return rowops
+
+
+def _group_calls(rowops, rng: random.Random):
+    """Chunk the serial schedule into 1-3 row client calls (same kind)."""
+    calls = []
+    index = 0
+    while index < len(rowops):
+        kind = rowops[index][0]
+        width = rng.randint(1, 3)
+        rows = []
+        while index < len(rowops) and rowops[index][0] == kind and len(rows) < width:
+            rows.append(rowops[index][1])
+            index += 1
+        calls.append((kind, rows))
+    return calls
+
+
+class _LossyAcks(ServeClient):
+    """Applies the request for real, then sometimes 'loses' the ack."""
+
+    drop_schedule: list = []  # shared, popped per update request
+
+    def request(self, op, **fields):
+        response = super().request(op, **fields)
+        if op in ("insert", "delete") and type(self).drop_schedule:
+            if type(self).drop_schedule.pop(0):
+                raise ServeConnectionError(
+                    self.host, self.port, self.last_epoch, "lost ack (chaos)"
+                )
+        return response
+
+
+def _run_trial(seed: int, tmp_path) -> dict:
+    """One chaos trial; returns counters for the soak-wide summary."""
+    rng = random.Random(seed)
+    rowops = _make_script(rng)
+    calls = _group_calls(rowops, rng)
+    ckpt = str(tmp_path / f"soak{seed}.ckpt")
+    wal_path = str(tmp_path / f"soak{seed}.wal")
+
+    program = transitive_closure_program()
+    structure = DiGraph(nodes=NODES, edges=INITIAL_EDGES).to_structure()
+    view = tc_view(INITIAL_EDGES, nodes=NODES)
+    wal = WriteAheadLog.create(wal_path, 0, view.program_fp)
+
+    slow_subscriber = rng.random() < 0.5
+    max_outbox = 1 if slow_subscriber else 0
+    # Every update request loses its ack with probability 0.25, on a
+    # schedule fixed up front (retries do not consult it again).
+    _LossyAcks.drop_schedule = [
+        rng.random() < 0.25 for _ in range(len(calls) * 2)
+    ]
+
+    snapshots = []  # (ckpt copy or None, wal copy, acked epoch then)
+    counters = {"dropped_acks": 0, "severed": 0, "evictions": 0}
+
+    with running_server(
+        view,
+        wal=wal,
+        checkpoint_path=ckpt,
+        checkpoint_every=rng.randint(1, 3),
+        max_outbox=max_outbox,
+    ) as server:
+        writer = ResilientClient(
+            "127.0.0.1", server.port, seed=seed,
+            sleep=lambda _s: None, client_factory=_LossyAcks,
+        )
+        subscriber = ResilientClient(
+            "127.0.0.1", server.port, seed=seed + 1, sleep=lambda _s: None,
+        )
+        subscriber.subscribe()
+        parked = connect(server) if slow_subscriber else None
+        if parked is not None:
+            parked.subscribe()
+
+        acked_epoch = 0
+        for index, (kind, rows) in enumerate(calls):
+            response = getattr(writer, kind)("E", *rows)
+            assert response["epoch"] >= acked_epoch
+            acked_epoch = response["epoch"]
+            if rng.random() < 0.35:
+                # The disk state a SIGKILL right now would leave; the
+                # copy deliberately races the live writer.
+                tag = f"{seed}-{index}"
+                ckpt_copy = None
+                if os.path.exists(ckpt):
+                    ckpt_copy = str(tmp_path / f"copy{tag}.ckpt")
+                    shutil.copy(ckpt, ckpt_copy)
+                wal_copy = str(tmp_path / f"copy{tag}.wal")
+                shutil.copy(wal_path, wal_copy)
+                snapshots.append((ckpt_copy, wal_copy, acked_epoch))
+            if rng.random() < 0.25 and subscriber._client is not None:
+                try:
+                    subscriber._client._sock.shutdown(socket.SHUT_RDWR)
+                    counters["severed"] += 1
+                except OSError:
+                    pass  # already severed; the client has not noticed yet
+
+        assert acked_epoch == len(rowops)
+        # The final view converges to the serial replay of the script.
+        final = writer.query()
+        assert final["epoch"] == len(rowops)
+        assert final["rows"] == _serial_goal_rows(rowops)
+        # The (possibly repeatedly severed) subscriber still hears the
+        # stream: one more update, one more event -- backfilled deltas
+        # or a resync, either proves the gap healed.
+        writer.insert("E", ["a", "f"])
+        (event,) = subscriber.drain_events(1)
+        assert event["event"] in ("delta", "resync")
+        assert event["epoch"] <= len(rowops) + 1
+        counters["evictions"] = server.stats.subscribers_evicted
+        counters["dropped_acks"] = server.stats.deduped
+        if parked is not None:
+            parked.close()
+        subscriber.close()
+        writer.close()
+
+    # Crash-at-every-snapshot recovery: nothing acknowledged is lost.
+    for ckpt_copy, wal_copy, epoch_then in snapshots:
+        recovered, _dedupe, report = recover(
+            program, structure, ckpt_copy, wal_copy
+        )
+        assert recovered.epoch >= epoch_then, (
+            f"seed {seed}: recovery lost acknowledged updates "
+            f"(epoch {recovered.epoch} < acked {epoch_then})"
+        )
+        expected = _serial_goal_rows(rowops[: recovered.epoch])
+        got = sorted([list(r) for r in recovered.snapshot.goal_rows])
+        assert got == expected, f"seed {seed}: diverged at {wal_copy}"
+    counters["snapshots"] = len(snapshots)
+    return counters
+
+
+def test_chaos_soak_converges_to_serial_replay(tmp_path):
+    trials = _trial_count()
+    totals = {"snapshots": 0, "severed": 0, "dropped_acks": 0, "evictions": 0}
+    for seed in range(trials):
+        counters = _run_trial(seed, tmp_path)
+        for key in totals:
+            totals[key] += counters[key]
+    # The chaos actually happened: across the soak every fault class
+    # fired (any individual trial may draw none of a given kind).
+    assert totals["snapshots"] > 0
+    assert totals["severed"] > 0
+    assert totals["dropped_acks"] > 0
+    if trials >= 20:
+        assert totals["evictions"] > 0
